@@ -1,0 +1,209 @@
+//! Ablation benches for the design choices DESIGN.md calls out:
+//!
+//! * **Synchronization policy** — per-request wait loop vs. user-level
+//!   Waitall vs. the directive engine's consolidated region sync, on a
+//!   fan-out of small messages (the mechanism behind Fig. 4).
+//! * **Eager threshold** — ring latency across payload sizes spanning the
+//!   eager→rendezvous switch.
+//! * **Unexpected-message copy** — receives posted before vs. after the
+//!   matching sends (virtually), isolating the unexpected-queue penalty.
+
+use commint::prelude::*;
+use criterion::{criterion_group, criterion_main, Criterion};
+use mpisim::Comm;
+use netsim::{run, CostModel, MachineModel, SimConfig, SrcSel, TagSel, Time};
+
+const NMSG: usize = 16;
+
+/// Fan-out of NMSG small messages from rank 0, completed per `policy`.
+fn fanout_time(policy: &'static str) -> Time {
+    let n = NMSG + 1;
+    let res = run(SimConfig::new(n), move |ctx| {
+        let world = Comm::world(ctx);
+        let me = world.rank(ctx);
+        match policy {
+            "wait_loop" | "waitall" => {
+                if me == 0 {
+                    let reqs: Vec<_> = (1..n)
+                        .map(|d| world.isend_slice(ctx, d, 0, &[0.5f64; 3]))
+                        .collect();
+                    if policy == "waitall" {
+                        world.waitall(ctx, &reqs, &[]);
+                    } else {
+                        for r in &reqs {
+                            world.wait_send(ctx, r);
+                        }
+                    }
+                } else {
+                    let req = world.irecv(ctx, Some(0), Some(0));
+                    if policy == "waitall" {
+                        world.waitall(ctx, &[], std::slice::from_ref(&req));
+                    } else {
+                        world.wait_recv(ctx, &req);
+                    }
+                }
+            }
+            "directive" => {
+                let mut session = CommSession::new(ctx, world).without_ir();
+                let me = session.rank();
+                let params = CommParams::new()
+                    .sender(RankExpr::lit(0))
+                    .receiver(RankExpr::var("d"))
+                    .sendwhen(RankExpr::rank().eq(RankExpr::lit(0)))
+                    .receivewhen(RankExpr::rank().eq(RankExpr::var("d")))
+                    .count(3)
+                    .max_comm_iter(NMSG as i64);
+                session
+                    .region(&params, |reg| {
+                        let src = [0.5f64; 3];
+                        let mut dst = [0.0f64; 3];
+                        for d in 1..n {
+                            reg.set_var("d", d as i64);
+                            let sb: &[f64] = if me == 0 { &src } else { &[] };
+                            reg.p2p()
+                                .site(1)
+                                .sbuf(Prim::new("src", sb))
+                                .rbuf(PrimMut::new("dst", &mut dst))
+                                .run()
+                                .unwrap();
+                        }
+                    })
+                    .unwrap();
+                session.flush();
+            }
+            _ => unreachable!(),
+        }
+        ctx.now()
+    });
+    res.makespan()
+}
+
+fn ablation_sync(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ablation_sync_policy");
+    group.sample_size(10);
+    for policy in ["wait_loop", "waitall", "directive"] {
+        println!(
+            "[virtual] sync ablation {policy:>10}: {}",
+            fanout_time(policy)
+        );
+        group.bench_function(policy, |b| b.iter(|| fanout_time(policy)));
+    }
+    group.finish();
+}
+
+/// Ring transfer time at one payload size.
+fn ring_time(bytes: usize, machine: MachineModel) -> Time {
+    let res = run(
+        SimConfig::new(4).with_machine(machine),
+        move |ctx| {
+            let m = ctx.machine().mpi;
+            let n = ctx.nranks();
+            let me = ctx.rank();
+            let payload = vec![1u8; bytes];
+            let s = ctx.isend((me + 1) % n, 0, &payload, &m);
+            let r = ctx.irecv(SrcSel::Exact((me + n - 1) % n), TagSel::Exact(0), &m);
+            ctx.waitall(&[s], &[r], &m);
+            ctx.now()
+        },
+    );
+    res.makespan()
+}
+
+fn ablation_eager(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ablation_eager_threshold");
+    group.sample_size(10);
+    let machine = MachineModel::gemini();
+    let thr = machine.mpi.eager_threshold;
+    println!("[virtual] eager threshold = {thr} bytes");
+    for bytes in [64usize, 1024, thr, thr + 1, 4 * thr] {
+        println!(
+            "[virtual] ring 4 ranks, {bytes:>6} B: {}",
+            ring_time(bytes, machine)
+        );
+        group.bench_function(format!("{bytes}B"), |b| {
+            b.iter(|| ring_time(bytes, machine))
+        });
+    }
+    group.finish();
+}
+
+/// One message; receive posted early (pre-posted) or late (unexpected).
+fn unexpected_time(late_post: bool) -> Time {
+    let res = run(SimConfig::new(2), move |ctx| {
+        let m: CostModel = ctx.machine().mpi;
+        if ctx.rank() == 0 {
+            let req = ctx.isend(1, 0, &[7u8; 4096], &m);
+            ctx.wait_send(&req, &m);
+        } else {
+            if late_post {
+                // Receiver busy: the message lands in the unexpected queue
+                // (virtually) and pays the copy.
+                ctx.compute(Time::from_micros(500));
+            }
+            let req = ctx.irecv(SrcSel::Exact(0), TagSel::Exact(0), &m);
+            let done = ctx.wait_recv(&req, &m);
+            assert_eq!(done.unexpected, late_post);
+        }
+        ctx.now()
+    });
+    res.final_times[1]
+}
+
+fn ablation_unexpected(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ablation_unexpected_copy");
+    group.sample_size(10);
+    println!(
+        "[virtual] pre-posted recv: {}, late recv: {}",
+        unexpected_time(false),
+        unexpected_time(true)
+    );
+    group.bench_function("preposted", |b| b.iter(|| unexpected_time(false)));
+    group.bench_function("unexpected", |b| b.iter(|| unexpected_time(true)));
+    group.finish();
+}
+
+/// Extension ablation: the spin distribution expressed with collective
+/// directives (two scatters) vs. the paper's p2p-directive version.
+fn spin_path_time(collective: bool) -> Time {
+    use wl_lsms::{spin, SpinState, Topology};
+    let topo = Topology::new(3, 8);
+    let res = run(SimConfig::new(topo.total_ranks()), move |ctx| {
+        let comms = topo.build_comms(ctx);
+        let mut state = SpinState::new(&topo, ctx.rank());
+        if ctx.rank() == topo.wl_rank() {
+            state.ev = spin::generate_spins(1, topo.instances * topo.ranks_per_lsms);
+        }
+        let mut session = CommSession::new(ctx, comms.world.clone()).without_ir();
+        if collective {
+            spin::set_evec_collective(&mut session, &topo, &mut state, Target::Mpi2Side).unwrap();
+        } else {
+            spin::set_evec_directive(&mut session, &topo, &mut state, Target::Mpi2Side, None)
+                .unwrap();
+        }
+        session.flush();
+        ctx.now()
+    });
+    res.makespan()
+}
+
+fn ablation_collective_vs_p2p(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ablation_spin_collective_vs_p2p");
+    group.sample_size(10);
+    println!(
+        "[virtual] spin distribution p2p-directive: {}, collective-directive: {}",
+        spin_path_time(false),
+        spin_path_time(true)
+    );
+    group.bench_function("p2p_directives", |b| b.iter(|| spin_path_time(false)));
+    group.bench_function("collective_directives", |b| b.iter(|| spin_path_time(true)));
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    ablation_sync,
+    ablation_eager,
+    ablation_unexpected,
+    ablation_collective_vs_p2p
+);
+criterion_main!(benches);

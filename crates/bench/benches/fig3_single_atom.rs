@@ -1,0 +1,40 @@
+//! Criterion bench for the Fig. 3 experiment (single atom data
+//! distribution). Wall-clock measures the simulator; the virtual-time
+//! series (the paper's y-axis) is printed once per variant.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use wl_lsms::{fig3_single_atom, AtomCommVariant, AtomSizes, Topology};
+
+fn bench_fig3(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig3_single_atom");
+    group.sample_size(10);
+    // A mid-sweep point (M=4 instances, 65 ranks) keeps the bench fast.
+    let topo = Topology::paper(4);
+    let sizes = AtomSizes::default();
+
+    for variant in [
+        AtomCommVariant::Original,
+        AtomCommVariant::DirectiveMpi2,
+        AtomCommVariant::DirectiveShmem,
+    ] {
+        let meas = fig3_single_atom(&topo, variant, sizes);
+        assert!(meas.correct);
+        println!(
+            "[virtual] fig3 {:>45}: {:>12} @ {} ranks",
+            variant.label(),
+            format!("{}", meas.time),
+            meas.nranks
+        );
+        group.bench_function(format!("{variant:?}"), |b| {
+            b.iter(|| {
+                let m = fig3_single_atom(&topo, variant, sizes);
+                assert!(m.correct);
+                m.time
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_fig3);
+criterion_main!(benches);

@@ -1,0 +1,46 @@
+//! Criterion bench for the Fig. 4 experiment (random spin configuration
+//! communication) across all four variants, plus the virtual-time speedup
+//! summary the paper quotes.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use wl_lsms::{fig4_spin, SpinVariant, Topology};
+
+fn bench_fig4(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig4_spin_comm");
+    group.sample_size(10);
+    let topo = Topology::paper(4); // 65 ranks
+    let steps = 3;
+
+    let mut virtuals = Vec::new();
+    for variant in [
+        SpinVariant::Original,
+        SpinVariant::OriginalWaitall,
+        SpinVariant::DirectiveMpi2,
+        SpinVariant::DirectiveShmem,
+    ] {
+        let meas = fig4_spin(&topo, variant, steps);
+        assert!(meas.correct);
+        println!(
+            "[virtual] fig4 {:>45}: {:>12}/step @ {} ranks",
+            variant.label(),
+            format!("{}", meas.time),
+            meas.nranks
+        );
+        virtuals.push((variant, meas.time));
+        group.bench_function(format!("{variant:?}"), |b| {
+            b.iter(|| fig4_spin(&topo, variant, steps).time)
+        });
+    }
+    let base = virtuals[0].1.as_nanos() as f64;
+    for (v, t) in &virtuals[1..] {
+        println!(
+            "[virtual] fig4 speedup original/{:?} = {:.2}x",
+            v,
+            base / t.as_nanos() as f64
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_fig4);
+criterion_main!(benches);

@@ -1,0 +1,34 @@
+//! Criterion bench for the Fig. 5 experiment (communication/computation
+//! overlap under the 10x GPU projection).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use wl_lsms::{fig5_overlap, AtomSizes, CoreStateParams, Topology};
+
+fn bench_fig5(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig5_overlap");
+    group.sample_size(10);
+    let topo = Topology::paper(4);
+    let cparams = CoreStateParams::default().gpu();
+    let sizes = AtomSizes { jmt: 200, numc: 8 }; // lighter mesh for the bench
+    let steps = 2;
+
+    let seq = fig5_overlap(&topo, false, cparams, sizes, steps);
+    let ovl = fig5_overlap(&topo, true, cparams, sizes, steps);
+    println!(
+        "[virtual] fig5 sequential: {}/step, overlapped: {}/step, speedup {:.2}x",
+        seq.time,
+        ovl.time,
+        seq.time.as_nanos() as f64 / ovl.time.as_nanos() as f64
+    );
+
+    group.bench_function("original_plus_gpu_compute", |b| {
+        b.iter(|| fig5_overlap(&topo, false, cparams, sizes, steps).time)
+    });
+    group.bench_function("directive_overlapped", |b| {
+        b.iter(|| fig5_overlap(&topo, true, cparams, sizes, steps).time)
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_fig5);
+criterion_main!(benches);

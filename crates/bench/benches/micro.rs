@@ -1,0 +1,116 @@
+//! Microbenchmarks of the framework itself: clause-expression evaluation,
+//! pragma parsing, lowering/codegen, derived-datatype gather/scatter, and
+//! the tag-matching engine. These bound the overhead the directive
+//! abstraction adds over raw library calls.
+
+use commint::analysis::{classify, resolve_graph};
+use commint::buffer::{gather_described, scatter_described};
+use commint::clause::Target;
+use commint::expr::{EvalEnv, RankExpr};
+use criterion::{criterion_group, criterion_main, Criterion};
+use mpisim::dtype::BasicType;
+use pragma_front::{parse, SymbolTable};
+
+commint::comm_datatype! {
+    struct MicroAtom {
+        id: i32,
+        pos: [f64; 3],
+        charge: f64,
+        tags: [u8; 16],
+    }
+}
+
+fn micro_expr(c: &mut Criterion) {
+    let next = (RankExpr::rank() + RankExpr::lit(1)) % RankExpr::nranks();
+    let env = EvalEnv::new(7, 64);
+    c.bench_function("expr_eval_ring", |b| {
+        b.iter(|| next.eval(std::hint::black_box(&env)).unwrap())
+    });
+
+    let cond = (RankExpr::rank() % RankExpr::lit(2))
+        .eq(RankExpr::lit(0))
+        .and(RankExpr::rank().lt(RankExpr::nranks() - RankExpr::lit(1)));
+    c.bench_function("cond_eval_even_odd", |b| {
+        b.iter(|| cond.eval(std::hint::black_box(&env)).unwrap())
+    });
+}
+
+fn micro_parse(c: &mut Criterion) {
+    let mut syms = SymbolTable::new();
+    syms.declare_prim("buf1", BasicType::F64, 16)
+        .declare_prim("buf2", BasicType::F64, 16);
+    let src = "#pragma comm_parameters sender((rank-1+nprocs)%nprocs) receiver((rank+1)%nprocs) \
+               sendwhen(rank%2==0) receivewhen(rank%2==1) count(16) max_comm_iter(8) \
+               place_sync(END_PARAM_REGION) { #pragma comm_p2p sbuf(buf1) rbuf(buf2) { } }";
+    c.bench_function("pragma_parse_region", |b| {
+        b.iter(|| parse(std::hint::black_box(src), &syms).unwrap())
+    });
+
+    let parsed = parse(src, &syms).unwrap();
+    let pragma_front::Item::Region(spec) = &parsed.items[0] else {
+        panic!()
+    };
+    c.bench_function("lower_to_mpi2", |b| {
+        b.iter(|| commint::lower::lower(std::hint::black_box(spec), Target::Mpi2Side).render())
+    });
+    let vars = std::collections::HashMap::new();
+    c.bench_function("resolve_and_classify_256", |b| {
+        b.iter(|| {
+            let g = resolve_graph(&spec.body[0], Some(&spec.clauses), 256, &vars);
+            classify(&g, 256)
+        })
+    });
+}
+
+fn micro_datatype(c: &mut Criterion) {
+    let atoms = vec![
+        MicroAtom {
+            id: 1,
+            pos: [1.0, 2.0, 3.0],
+            charge: -1.0,
+            tags: [7; 16],
+        };
+        256
+    ];
+    let mut packed = Vec::new();
+    c.bench_function("gather_described_256", |b| {
+        b.iter(|| {
+            packed.clear();
+            gather_described(std::hint::black_box(&atoms), 256, &mut packed);
+            packed.len()
+        })
+    });
+    gather_described(&atoms, 256, &mut packed);
+    let mut out = atoms.clone();
+    c.bench_function("scatter_described_256", |b| {
+        b.iter(|| scatter_described(std::hint::black_box(&mut out), 256, &packed))
+    });
+}
+
+fn micro_matching(c: &mut Criterion) {
+    use netsim::{run, SimConfig, SrcSel, TagSel};
+    c.bench_function("matching_engine_64msgs", |b| {
+        b.iter(|| {
+            run(SimConfig::new(2), |ctx| {
+                let m = ctx.machine().mpi;
+                if ctx.rank() == 0 {
+                    let reqs: Vec<_> = (0..64)
+                        .map(|i| ctx.isend(1, i, &[0u8; 32], &m))
+                        .collect();
+                    ctx.waitall(&reqs, &[], &m);
+                } else {
+                    // Reverse tag order: every post scans the queue.
+                    let reqs: Vec<_> = (0..64)
+                        .rev()
+                        .map(|i| ctx.irecv(SrcSel::Exact(0), TagSel::Exact(i), &m))
+                        .collect();
+                    ctx.waitall(&[], &reqs, &m);
+                }
+            })
+            .makespan()
+        })
+    });
+}
+
+criterion_group!(benches, micro_expr, micro_parse, micro_datatype, micro_matching);
+criterion_main!(benches);

@@ -1,0 +1,45 @@
+//! Figure 3: experimental results for communication of single atom data
+//! (potentials + electron densities).
+//!
+//! Usage: `fig3 [--stride K]`.
+
+use bench::{paper_ms, SeriesTable};
+use wl_lsms::{fig3_single_atom, AtomCommVariant, AtomSizes, Topology};
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let stride = args
+        .iter()
+        .position(|a| a == "--stride")
+        .and_then(|i| args.get(i + 1))
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(1);
+
+    let ms = paper_ms(stride);
+    let xs: Vec<usize> = ms.iter().map(|&m| Topology::paper(m).total_ranks()).collect();
+    let mut table = SeriesTable::new(xs);
+
+    for variant in [
+        AtomCommVariant::Original,
+        AtomCommVariant::DirectiveMpi2,
+        AtomCommVariant::DirectiveShmem,
+    ] {
+        let mut times = Vec::new();
+        for &m in &ms {
+            let topo = Topology::paper(m);
+            let meas = fig3_single_atom(&topo, variant, AtomSizes::default());
+            assert!(meas.correct, "atom data validation failed for {variant:?}");
+            times.push(meas.time);
+        }
+        table.push(variant.label(), times);
+        eprintln!("  [done] {}", variant.label());
+    }
+
+    println!(
+        "{}",
+        table.render("Fig. 3 — Single atom data communication (s; paper: all three comparable)")
+    );
+    println!("# Ratios vs original (paper shows comparable performance, directives slightly ahead)");
+    println!("original/directive-MPI   = {:5.2}x", table.avg_speedup(0, 1));
+    println!("original/directive-SHMEM = {:5.2}x", table.avg_speedup(0, 2));
+}

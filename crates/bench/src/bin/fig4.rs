@@ -1,0 +1,68 @@
+//! Figure 4: experimental results for communication of random spin
+//! configurations (`setEvec`), plus the §IV-B speedup table.
+//!
+//! Usage: `fig4 [--stride K] [--steps N]` (stride thins the process sweep).
+
+use bench::{paper_ms, SeriesTable};
+use wl_lsms::{fig4_spin, SpinVariant, Topology};
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let stride = arg(&args, "--stride").unwrap_or(1);
+    let steps = arg(&args, "--steps").unwrap_or(4);
+
+    let ms = paper_ms(stride);
+    let xs: Vec<usize> = ms.iter().map(|&m| Topology::paper(m).total_ranks()).collect();
+    let mut table = SeriesTable::new(xs);
+
+    let variants = [
+        SpinVariant::Original,
+        SpinVariant::OriginalWaitall,
+        SpinVariant::DirectiveMpi2,
+        SpinVariant::DirectiveShmem,
+    ];
+    for variant in variants {
+        let mut times = Vec::new();
+        for &m in &ms {
+            let topo = Topology::paper(m);
+            let meas = fig4_spin(&topo, variant, steps);
+            assert!(meas.correct, "spin validation failed for {variant:?}");
+            times.push(meas.time);
+        }
+        table.push(variant.label(), times);
+        eprintln!("  [done] {}", variant.label());
+    }
+
+    println!(
+        "{}",
+        table.render("Fig. 4 — Random spin configuration communication (s per WL step)")
+    );
+    println!("# Speedups vs original (paper: Waitall-mod ~2.6x, MPI directive ~4x, SHMEM directive ~38x)");
+    println!(
+        "original/waitall-modified      = {:6.2}x",
+        table.avg_speedup(0, 1)
+    );
+    println!(
+        "original/directive-MPI-2sided  = {:6.2}x",
+        table.avg_speedup(0, 2)
+    );
+    println!(
+        "original/directive-SHMEM       = {:6.2}x",
+        table.avg_speedup(0, 3)
+    );
+    println!(
+        "waitall-mod/directive-MPI      = {:6.2}x  (paper ~1.4x)",
+        table.avg_speedup(1, 2)
+    );
+    println!(
+        "waitall-mod/directive-SHMEM    = {:6.2}x  (paper ~14.5x)",
+        table.avg_speedup(1, 3)
+    );
+}
+
+fn arg(args: &[String], name: &str) -> Option<usize> {
+    args.iter()
+        .position(|a| a == name)
+        .and_then(|i| args.get(i + 1))
+        .and_then(|v| v.parse().ok())
+}

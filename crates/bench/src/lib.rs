@@ -1,0 +1,86 @@
+//! Shared helpers for the figure-regeneration binaries and benches.
+
+use netsim::Time;
+
+/// Render one figure series as an aligned table.
+pub struct SeriesTable {
+    /// x-axis values (number of processes).
+    pub xs: Vec<usize>,
+    /// (label, per-x virtual times) series.
+    pub series: Vec<(String, Vec<Time>)>,
+}
+
+impl SeriesTable {
+    /// New empty table over an x-axis.
+    pub fn new(xs: Vec<usize>) -> Self {
+        SeriesTable {
+            xs,
+            series: Vec::new(),
+        }
+    }
+
+    /// Append a series (must match the x-axis length).
+    pub fn push(&mut self, label: impl Into<String>, times: Vec<Time>) {
+        assert_eq!(times.len(), self.xs.len(), "series length mismatch");
+        self.series.push((label.into(), times));
+    }
+
+    /// Render with times in seconds, paper-style.
+    pub fn render(&self, title: &str) -> String {
+        let mut out = String::new();
+        out.push_str(&format!("# {title}\n"));
+        out.push_str(&format!("{:>10}", "procs"));
+        for (label, _) in &self.series {
+            out.push_str(&format!("  {label:>42}"));
+        }
+        out.push('\n');
+        for (i, &x) in self.xs.iter().enumerate() {
+            out.push_str(&format!("{x:>10}"));
+            for (_, times) in &self.series {
+                out.push_str(&format!("  {:>42.9}", times[i].as_secs_f64()));
+            }
+            out.push('\n');
+        }
+        out
+    }
+
+    /// Average speedup of series `base` over series `other` across x.
+    pub fn avg_speedup(&self, base: usize, other: usize) -> f64 {
+        let b = &self.series[base].1;
+        let o = &self.series[other].1;
+        let mut acc = 0.0;
+        for i in 0..self.xs.len() {
+            acc += b[i].as_nanos() as f64 / o[i].as_nanos() as f64;
+        }
+        acc / self.xs.len() as f64
+    }
+}
+
+/// The paper's process-count sweep (1 + 16·M, M = 2..=21), optionally
+/// thinned for quick runs.
+pub fn paper_ms(stride: usize) -> Vec<usize> {
+    (2..=21).step_by(stride.max(1)).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_renders_and_speedups() {
+        let mut t = SeriesTable::new(vec![33, 49]);
+        t.push("a", vec![Time::from_micros(100), Time::from_micros(200)]);
+        t.push("b", vec![Time::from_micros(25), Time::from_micros(50)]);
+        let text = t.render("demo");
+        assert!(text.contains("procs"));
+        assert!(text.contains("33"));
+        assert!((t.avg_speedup(0, 1) - 4.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn sweep_thinning() {
+        assert_eq!(paper_ms(1).len(), 20);
+        let thin = paper_ms(5);
+        assert_eq!(thin, vec![2, 7, 12, 17]);
+    }
+}

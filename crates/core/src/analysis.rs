@@ -1,0 +1,865 @@
+//! Compiler-style static analyses over the directive IR.
+//!
+//! This is the payoff the paper argues for: once communication is expressed
+//! through directives with analyzable clauses, "all source and destination
+//! information can be incorporated into an analysis framework for automated
+//! analysis and optimization". Given a [`ParamsSpec`] (from the builder API
+//! or the pragma parser) and a communicator size, these analyses:
+//!
+//! * resolve the per-rank communication graph ([`resolve_graph`]),
+//! * classify the pattern ([`classify`]: cyclic/linear shifts, ring,
+//!   nearest-neighbour pairs, fan-in/fan-out, exchanges),
+//! * check send/receive **matching completeness** ([`check_matching`]) —
+//!   the static guarantee hand-written MPI cannot give,
+//! * verify **buffer independence** across adjacent `comm_p2p` instances,
+//!   the precondition for synchronization consolidation
+//!   ([`buffer_independence`]),
+//! * and estimate the synchronization savings of consolidation
+//!   ([`sync_report`]), the effect Figure 4 measures.
+
+use std::collections::{HashMap, HashSet};
+
+use crate::clause::ClauseSet;
+use crate::dir::{P2pSpec, ParamsSpec};
+use crate::expr::{EvalEnv, ExprError};
+
+/// One directed communication edge resolved for a concrete rank count.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Edge {
+    /// Sending rank.
+    pub src: usize,
+    /// Receiving rank.
+    pub dst: usize,
+}
+
+/// The resolved communication graph of one `comm_p2p` instance.
+#[derive(Clone, Debug, Default)]
+pub struct CommGraph {
+    /// Declared send edges (from the senders' perspective).
+    pub sends: Vec<Edge>,
+    /// Declared receive edges (from the receivers' perspective).
+    pub recvs: Vec<Edge>,
+    /// Ranks whose clauses could not be resolved statically (opaque
+    /// expressions or unbound variables).
+    pub unresolved: Vec<usize>,
+}
+
+impl CommGraph {
+    /// Send edges that no receiver declares.
+    pub fn unmatched_sends(&self) -> Vec<Edge> {
+        let recvs: HashSet<&Edge> = self.recvs.iter().collect();
+        self.sends
+            .iter()
+            .filter(|e| !recvs.contains(e))
+            .copied()
+            .collect()
+    }
+
+    /// Receive edges that no sender declares.
+    pub fn unmatched_recvs(&self) -> Vec<Edge> {
+        let sends: HashSet<&Edge> = self.sends.iter().collect();
+        self.recvs
+            .iter()
+            .filter(|e| !sends.contains(e))
+            .copied()
+            .collect()
+    }
+
+    /// Whether every declared send has a matching declared receive and vice
+    /// versa (and everything resolved).
+    pub fn fully_matched(&self) -> bool {
+        self.unresolved.is_empty()
+            && self.unmatched_sends().is_empty()
+            && self.unmatched_recvs().is_empty()
+    }
+
+    /// The matched edges (intersection of send and receive declarations).
+    pub fn matched(&self) -> Vec<Edge> {
+        let recvs: HashSet<&Edge> = self.recvs.iter().collect();
+        let mut out: Vec<Edge> = self
+            .sends
+            .iter()
+            .filter(|e| recvs.contains(e))
+            .copied()
+            .collect();
+        out.sort();
+        out.dedup();
+        out
+    }
+}
+
+/// Resolve the communication graph of a `comm_p2p` instance (its clauses
+/// merged with the enclosing region's) for `nranks` ranks, with `vars`
+/// bound.
+pub fn resolve_graph(
+    p2p: &P2pSpec,
+    outer: Option<&ClauseSet>,
+    nranks: usize,
+    vars: &HashMap<String, i64>,
+) -> CommGraph {
+    let merged = match outer {
+        Some(o) => p2p.clauses.merged_with(o),
+        None => p2p.clauses.clone(),
+    };
+    let mut g = CommGraph::default();
+    for r in 0..nranks {
+        let env = EvalEnv {
+            rank: r as i64,
+            nranks: nranks as i64,
+            vars: vars.clone(),
+        };
+        let sends = match &merged.sendwhen {
+            Some(c) => c.eval(&env),
+            None => Ok(true),
+        };
+        let recvs = match &merged.receivewhen {
+            Some(c) => c.eval(&env),
+            None => Ok(true),
+        };
+        let mut resolved = true;
+        match sends {
+            Ok(true) => match merged.receiver.as_ref().map(|e| e.eval(&env)) {
+                Some(Ok(d)) if d >= 0 && (d as usize) < nranks => g.sends.push(Edge {
+                    src: r,
+                    dst: d as usize,
+                }),
+                Some(Ok(_)) | None => resolved = false,
+                Some(Err(ExprError::UnknownVar(_))) | Some(Err(ExprError::DivByZero)) => {
+                    resolved = false
+                }
+            },
+            Ok(false) => {}
+            Err(_) => resolved = false,
+        }
+        match recvs {
+            Ok(true) => match merged.sender.as_ref().map(|e| e.eval(&env)) {
+                Some(Ok(s)) if s >= 0 && (s as usize) < nranks => g.recvs.push(Edge {
+                    src: s as usize,
+                    dst: r,
+                }),
+                Some(Ok(_)) | None => resolved = false,
+                Some(Err(_)) => resolved = false,
+            },
+            Ok(false) => {}
+            Err(_) => resolved = false,
+        }
+        if !resolved {
+            g.unresolved.push(r);
+        }
+    }
+    g
+}
+
+/// Classified communication patterns ("there are a variety of
+/// point-to-point communication patterns that are recurring in scientific
+/// applications" — the basis for the directive interface).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Pattern {
+    /// No communication.
+    Empty,
+    /// Every rank sends to `(rank + k) % n`; `k = 1` is the classic ring.
+    CyclicShift { k: usize },
+    /// Ranks `0..n-k` send to `rank + k` (no wraparound).
+    LinearShift { k: usize },
+    /// Disjoint sender→receiver pairs (e.g. even ranks to the next odd
+    /// rank, paper Listing 2).
+    DisjointPairs,
+    /// One root sends to multiple ranks (scatter-flavoured).
+    FanOut { root: usize },
+    /// Multiple ranks send to one root (gather-flavoured).
+    FanIn { root: usize },
+    /// Symmetric pairwise exchange (both directions between pairs).
+    Exchange,
+    /// Anything else.
+    Irregular,
+}
+
+/// Classify the *matched* edges of a graph over `nranks` ranks.
+pub fn classify(graph: &CommGraph, nranks: usize) -> Pattern {
+    let edges = graph.matched();
+    if edges.is_empty() {
+        return Pattern::Empty;
+    }
+    let n = nranks;
+
+    // Cyclic shift: all ranks send, dst = (src + k) mod n for one k.
+    if edges.len() == n {
+        let k0 = (edges[0].dst + n - edges[0].src) % n;
+        if k0 != 0
+            && edges
+                .iter()
+                .all(|e| (e.dst + n - e.src) % n == k0)
+            && edges.iter().map(|e| e.src).collect::<HashSet<_>>().len() == n
+        {
+            return Pattern::CyclicShift { k: k0 };
+        }
+    }
+
+    // Linear shift: srcs are 0..n-k, dst = src + k.
+    if let Some(first) = edges.first() {
+        if first.dst > first.src {
+            let k = first.dst - first.src;
+            let expected: Vec<Edge> = (0..n.saturating_sub(k))
+                .map(|s| Edge { src: s, dst: s + k })
+                .collect();
+            let mut sorted = edges.clone();
+            sorted.sort();
+            if sorted == expected {
+                return Pattern::LinearShift { k };
+            }
+        }
+    }
+
+    let srcs: HashSet<usize> = edges.iter().map(|e| e.src).collect();
+    let dsts: HashSet<usize> = edges.iter().map(|e| e.dst).collect();
+
+    // Fan-out / fan-in.
+    if srcs.len() == 1 && edges.len() > 1 {
+        return Pattern::FanOut {
+            root: *srcs.iter().next().expect("nonempty"),
+        };
+    }
+    if dsts.len() == 1 && edges.len() > 1 {
+        return Pattern::FanIn {
+            root: *dsts.iter().next().expect("nonempty"),
+        };
+    }
+
+    // Exchange: edge set symmetric under reversal, on disjoint pairs.
+    let set: HashSet<Edge> = edges.iter().copied().collect();
+    if edges.iter().all(|e| {
+        set.contains(&Edge {
+            src: e.dst,
+            dst: e.src,
+        })
+    }) && edges.iter().all(|e| e.src != e.dst)
+    {
+        return Pattern::Exchange;
+    }
+
+    // Disjoint pairs: senders and receivers disjoint, each appears once.
+    if srcs.is_disjoint(&dsts)
+        && srcs.len() == edges.len()
+        && dsts.len() == edges.len()
+    {
+        return Pattern::DisjointPairs;
+    }
+
+    Pattern::Irregular
+}
+
+/// A matching-completeness diagnosis for one `comm_p2p`.
+#[derive(Clone, Debug, Default)]
+pub struct MatchReport {
+    /// Sends no receiver declares (will hang a blocking receiver / leak a
+    /// message).
+    pub unmatched_sends: Vec<Edge>,
+    /// Receives no sender declares (will block forever).
+    pub unmatched_recvs: Vec<Edge>,
+    /// Ranks that could not be resolved.
+    pub unresolved: Vec<usize>,
+}
+
+impl MatchReport {
+    /// Whether the instance is statically safe.
+    pub fn is_clean(&self) -> bool {
+        self.unmatched_sends.is_empty()
+            && self.unmatched_recvs.is_empty()
+            && self.unresolved.is_empty()
+    }
+}
+
+/// Check matching completeness for every `comm_p2p` in a region.
+pub fn check_matching(
+    spec: &ParamsSpec,
+    nranks: usize,
+    vars: &HashMap<String, i64>,
+) -> Vec<MatchReport> {
+    spec.body
+        .iter()
+        .map(|p| {
+            let g = resolve_graph(p, Some(&spec.clauses), nranks, vars);
+            MatchReport {
+                unmatched_sends: g.unmatched_sends(),
+                unmatched_recvs: g.unmatched_recvs(),
+                unresolved: g.unresolved.clone(),
+            }
+        })
+        .collect()
+}
+
+/// Buffer-independence verdict across the `comm_p2p` instances of a region:
+/// the precondition for consolidating their synchronization into one call.
+#[derive(Clone, Debug, Default)]
+pub struct IndependenceReport {
+    /// Pairs of p2p indices whose buffers overlap in memory, with the
+    /// offending buffer names.
+    pub conflicts: Vec<(usize, usize, String, String)>,
+}
+
+impl IndependenceReport {
+    /// Whether consolidation is legal for the whole region.
+    pub fn independent(&self) -> bool {
+        self.conflicts.is_empty()
+    }
+}
+
+/// Check pairwise buffer independence between adjacent `comm_p2p`
+/// instances. Write-write and write-read overlaps are conflicts; two sends
+/// reading the same buffer are not.
+pub fn buffer_independence(spec: &ParamsSpec) -> IndependenceReport {
+    let mut report = IndependenceReport::default();
+    for i in 0..spec.body.len() {
+        for j in (i + 1)..spec.body.len() {
+            let (a, b) = (&spec.body[i], &spec.body[j]);
+            // rbuf (written) vs rbuf (written)
+            for ra in &a.rbuf {
+                for rb in &b.rbuf {
+                    if ra.overlaps(rb) {
+                        report
+                            .conflicts
+                            .push((i, j, ra.name.clone(), rb.name.clone()));
+                    }
+                }
+            }
+            // rbuf (written) vs sbuf (read) in either direction
+            for ra in &a.rbuf {
+                for sb in &b.sbuf {
+                    if ra.overlaps(sb) {
+                        report
+                            .conflicts
+                            .push((i, j, ra.name.clone(), sb.name.clone()));
+                    }
+                }
+            }
+            for sa in &a.sbuf {
+                for rb in &b.rbuf {
+                    if sa.overlaps(rb) {
+                        report
+                            .conflicts
+                            .push((i, j, sa.name.clone(), rb.name.clone()));
+                    }
+                }
+            }
+        }
+    }
+    report
+}
+
+/// Synchronization-consolidation estimate for one region: how many wait
+/// calls the naive per-request translation makes vs. the directive
+/// translation's single consolidated call (per executing rank, per
+/// iteration).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct SyncReport {
+    /// Wait calls in the per-request translation (one `MPI_Wait` per send
+    /// and per receive).
+    pub naive_wait_calls: usize,
+    /// Completion calls after consolidation (one `Waitall`-class call at
+    /// the placed sync point).
+    pub consolidated_calls: usize,
+    /// Requests covered by the consolidated call.
+    pub requests_covered: usize,
+    /// Whether consolidation is legal (buffers independent).
+    pub legal: bool,
+}
+
+/// Estimate synchronization savings for a region resolved at `nranks`.
+/// Counts the busiest rank's requests (the paper's figures measure the
+/// critical path).
+pub fn sync_report(
+    spec: &ParamsSpec,
+    nranks: usize,
+    vars: &HashMap<String, i64>,
+) -> SyncReport {
+    let mut per_rank: HashMap<usize, usize> = HashMap::new();
+    for p in &spec.body {
+        let g = resolve_graph(p, Some(&spec.clauses), nranks, vars);
+        let nbuf = p.sbuf.len().max(1);
+        for e in g.sends {
+            *per_rank.entry(e.src).or_insert(0) += nbuf;
+        }
+        for e in g.recvs {
+            *per_rank.entry(e.dst).or_insert(0) += nbuf;
+        }
+    }
+    let busiest = per_rank.values().copied().max().unwrap_or(0);
+    let legal = buffer_independence(spec).independent();
+    SyncReport {
+        naive_wait_calls: busiest,
+        consolidated_calls: usize::from(busiest > 0),
+        requests_covered: busiest,
+        legal,
+    }
+}
+
+/// Per-rank communication volume statically derived from a region: what a
+/// compiler reports to guide data-layout and placement decisions ("provide
+/// a way to understand how communication patterns affect the program's
+/// data and the communication requirements of an application", §V).
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct VolumeReport {
+    /// Bytes sent per rank.
+    pub sent: Vec<usize>,
+    /// Bytes received per rank.
+    pub received: Vec<usize>,
+}
+
+impl VolumeReport {
+    /// Total bytes moved.
+    pub fn total(&self) -> usize {
+        self.sent.iter().sum()
+    }
+
+    /// The busiest sender (rank, bytes).
+    pub fn hotspot(&self) -> Option<(usize, usize)> {
+        self.sent
+            .iter()
+            .copied()
+            .enumerate()
+            .max_by_key(|&(_, b)| b)
+            .filter(|&(_, b)| b > 0)
+    }
+}
+
+/// Compute per-rank send/receive volumes for one region execution.
+pub fn volume_report(
+    spec: &ParamsSpec,
+    nranks: usize,
+    vars: &HashMap<String, i64>,
+) -> VolumeReport {
+    let mut report = VolumeReport {
+        sent: vec![0; nranks],
+        received: vec![0; nranks],
+    };
+    for p in &spec.body {
+        let merged = p.clauses.merged_with(&spec.clauses);
+        let g = resolve_graph(p, Some(&spec.clauses), nranks, vars);
+        for e in g.matched() {
+            let count = merged
+                .count
+                .as_ref()
+                .and_then(|c| {
+                    c.eval(&EvalEnv {
+                        rank: e.src as i64,
+                        nranks: nranks as i64,
+                        vars: vars.clone(),
+                    })
+                    .ok()
+                })
+                .map(|v| v.max(0) as usize)
+                .or_else(|| p.inferred_count())
+                .unwrap_or(0);
+            let bytes: usize = p
+                .sbuf
+                .iter()
+                .map(|b| count * b.elem.packed_size())
+                .sum();
+            report.sent[e.src] += bytes;
+            report.received[e.dst] += bytes;
+        }
+    }
+    report
+}
+
+/// Structural deadlock check: the directive translation only emits
+/// non-blocking operations completed by one consolidated wait per region,
+/// which cannot deadlock as long as matching is complete. For a
+/// hypothetical blocking-call translation, a cycle in the matched graph
+/// with no buffering would deadlock; this reports both facts.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct DeadlockReport {
+    /// The generated (non-blocking) code is deadlock-free.
+    pub nonblocking_safe: bool,
+    /// A blocking-send translation would deadlock (matched graph has a
+    /// cycle).
+    pub blocking_would_deadlock: bool,
+}
+
+/// Analyze deadlock freedom of one `comm_p2p`'s matched graph.
+pub fn deadlock_report(graph: &CommGraph) -> DeadlockReport {
+    let edges = graph.matched();
+    // Cycle detection on the directed matched graph.
+    let mut adj: HashMap<usize, Vec<usize>> = HashMap::new();
+    for e in &edges {
+        adj.entry(e.src).or_default().push(e.dst);
+    }
+    let mut color: HashMap<usize, u8> = HashMap::new();
+    fn dfs(
+        u: usize,
+        adj: &HashMap<usize, Vec<usize>>,
+        color: &mut HashMap<usize, u8>,
+    ) -> bool {
+        color.insert(u, 1);
+        if let Some(next) = adj.get(&u) {
+            for &v in next {
+                match color.get(&v).copied().unwrap_or(0) {
+                    0 => {
+                        if dfs(v, adj, color) {
+                            return true;
+                        }
+                    }
+                    1 => return true,
+                    _ => {}
+                }
+            }
+        }
+        color.insert(u, 2);
+        false
+    }
+    let mut cyclic = false;
+    let nodes: Vec<usize> = adj.keys().copied().collect();
+    for u in nodes {
+        if color.get(&u).copied().unwrap_or(0) == 0 && dfs(u, &adj, &mut color) {
+            cyclic = true;
+            break;
+        }
+    }
+    DeadlockReport {
+        nonblocking_safe: graph.fully_matched(),
+        blocking_would_deadlock: cyclic,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::buffer::{BufMeta, ElemKind};
+    use crate::expr::RankExpr;
+    use mpisim::dtype::BasicType;
+
+    fn meta(name: &str, lo: usize, bytes: usize) -> BufMeta {
+        BufMeta {
+            name: name.to_string(),
+            elem: ElemKind::Prim(BasicType::U8),
+            len: bytes,
+            addr: (lo, lo + bytes),
+        }
+    }
+
+    fn p2p(clauses: ClauseSet) -> P2pSpec {
+        P2pSpec {
+            clauses,
+            sbuf: vec![meta("s", 0, 8)],
+            rbuf: vec![meta("r", 100, 8)],
+            has_overlap_body: false,
+            site: 0,
+        }
+    }
+
+    fn ring_clauses() -> ClauseSet {
+        ClauseSet {
+            sender: Some(
+                (RankExpr::rank() - RankExpr::lit(1) + RankExpr::nranks()) % RankExpr::nranks(),
+            ),
+            receiver: Some((RankExpr::rank() + RankExpr::lit(1)) % RankExpr::nranks()),
+            ..ClauseSet::default()
+        }
+    }
+
+    #[test]
+    fn ring_resolves_and_classifies() {
+        let g = resolve_graph(&p2p(ring_clauses()), None, 5, &HashMap::new());
+        assert!(g.fully_matched());
+        assert_eq!(g.matched().len(), 5);
+        assert_eq!(classify(&g, 5), Pattern::CyclicShift { k: 1 });
+    }
+
+    #[test]
+    fn even_odd_classifies_as_pairs() {
+        let clauses = ClauseSet {
+            sender: Some(RankExpr::rank() - RankExpr::lit(1)),
+            receiver: Some(RankExpr::rank() + RankExpr::lit(1)),
+            sendwhen: Some((RankExpr::rank() % RankExpr::lit(2)).eq(RankExpr::lit(0))),
+            receivewhen: Some((RankExpr::rank() % RankExpr::lit(2)).eq(RankExpr::lit(1))),
+            ..ClauseSet::default()
+        };
+        let g = resolve_graph(&p2p(clauses), None, 8, &HashMap::new());
+        assert!(g.fully_matched(), "unmatched: {:?}/{:?}", g.unmatched_sends(), g.unmatched_recvs());
+        assert_eq!(classify(&g, 8), Pattern::DisjointPairs);
+    }
+
+    #[test]
+    fn fan_out_from_root() {
+        // Root 0 sends to `dest`; every rank evaluates the same var, only
+        // the matching receiver accepts. Resolve per dest and union.
+        let mut sends = Vec::new();
+        let mut recvs = Vec::new();
+        for dest in 1..6i64 {
+            let clauses = ClauseSet {
+                sender: Some(RankExpr::lit(0)),
+                receiver: Some(RankExpr::var("dest")),
+                sendwhen: Some(RankExpr::rank().eq(RankExpr::lit(0))),
+                receivewhen: Some(RankExpr::rank().eq(RankExpr::var("dest"))),
+                ..ClauseSet::default()
+            };
+            let vars: HashMap<String, i64> = [("dest".to_string(), dest)].into();
+            let g = resolve_graph(&p2p(clauses), None, 6, &vars);
+            sends.extend(g.sends);
+            recvs.extend(g.recvs);
+        }
+        let g = CommGraph {
+            sends,
+            recvs,
+            unresolved: vec![],
+        };
+        assert!(g.fully_matched());
+        assert_eq!(classify(&g, 6), Pattern::FanOut { root: 0 });
+    }
+
+    #[test]
+    fn fan_in_classification() {
+        let g = CommGraph {
+            sends: (1..5).map(|s| Edge { src: s, dst: 0 }).collect(),
+            recvs: (1..5).map(|s| Edge { src: s, dst: 0 }).collect(),
+            unresolved: vec![],
+        };
+        assert_eq!(classify(&g, 5), Pattern::FanIn { root: 0 });
+    }
+
+    #[test]
+    fn exchange_classification() {
+        let mut edges = Vec::new();
+        for p in [(0, 1), (1, 0), (2, 3), (3, 2)] {
+            edges.push(Edge { src: p.0, dst: p.1 });
+        }
+        let g = CommGraph {
+            sends: edges.clone(),
+            recvs: edges,
+            unresolved: vec![],
+        };
+        assert_eq!(classify(&g, 4), Pattern::Exchange);
+    }
+
+    #[test]
+    fn linear_shift_classification() {
+        let edges: Vec<Edge> = (0..6).map(|s| Edge { src: s, dst: s + 2 }).collect();
+        let g = CommGraph {
+            sends: edges.clone(),
+            recvs: edges,
+            unresolved: vec![],
+        };
+        assert_eq!(classify(&g, 8), Pattern::LinearShift { k: 2 });
+    }
+
+    #[test]
+    fn empty_and_irregular() {
+        let g = CommGraph::default();
+        assert_eq!(classify(&g, 4), Pattern::Empty);
+        let g = CommGraph {
+            sends: vec![Edge { src: 0, dst: 1 }, Edge { src: 1, dst: 0 }, Edge { src: 2, dst: 1 }],
+            recvs: vec![Edge { src: 0, dst: 1 }, Edge { src: 1, dst: 0 }, Edge { src: 2, dst: 1 }],
+            unresolved: vec![],
+        };
+        assert_eq!(classify(&g, 3), Pattern::Irregular);
+    }
+
+    #[test]
+    fn mismatch_detected() {
+        // Senders declare rank+1, receivers expect rank-2: mismatched.
+        let clauses = ClauseSet {
+            sender: Some(RankExpr::rank() - RankExpr::lit(2)),
+            receiver: Some(RankExpr::rank() + RankExpr::lit(1)),
+            sendwhen: Some(RankExpr::rank().eq(RankExpr::lit(0))),
+            receivewhen: Some(RankExpr::rank().eq(RankExpr::lit(1))),
+            ..ClauseSet::default()
+        };
+        let g = resolve_graph(&p2p(clauses), None, 4, &HashMap::new());
+        assert!(!g.fully_matched());
+        assert_eq!(g.unmatched_sends(), vec![Edge { src: 0, dst: 1 }]);
+        // Rank 1 expects from rank -1... no: 1-2 = -1 -> unresolved rank 1.
+        assert!(g.unresolved.contains(&1));
+    }
+
+    #[test]
+    fn unknown_vars_mark_unresolved() {
+        let clauses = ClauseSet {
+            sender: Some(RankExpr::var("mystery")),
+            receiver: Some(RankExpr::lit(0)),
+            ..ClauseSet::default()
+        };
+        let g = resolve_graph(&p2p(clauses), None, 3, &HashMap::new());
+        assert_eq!(g.unresolved.len(), 3);
+        assert!(!g.fully_matched());
+    }
+
+    #[test]
+    fn opaque_exprs_resolve_dynamically() {
+        // Opaque closures evaluate fine during resolution (we have the
+        // closure); they are "unresolvable" only for a *source-level*
+        // compiler, which pragma-front models separately.
+        let clauses = ClauseSet {
+            sender: Some(RankExpr::opaque("prev", |e| {
+                (e.rank - 1 + e.nranks) % e.nranks
+            })),
+            receiver: Some(RankExpr::opaque("next", |e| (e.rank + 1) % e.nranks)),
+            ..ClauseSet::default()
+        };
+        let g = resolve_graph(&p2p(clauses), None, 4, &HashMap::new());
+        assert!(g.fully_matched());
+        assert_eq!(classify(&g, 4), Pattern::CyclicShift { k: 1 });
+    }
+
+    #[test]
+    fn independence_conflicts_found() {
+        let spec = ParamsSpec {
+            clauses: ring_clauses(),
+            body: vec![
+                P2pSpec {
+                    clauses: ClauseSet::default(),
+                    sbuf: vec![meta("a", 0, 16)],
+                    rbuf: vec![meta("x", 100, 16)],
+                    has_overlap_body: false,
+                    site: 0,
+                },
+                P2pSpec {
+                    clauses: ClauseSet::default(),
+                    // reads the bytes p2p#0 writes
+                    sbuf: vec![meta("x_alias", 108, 8)],
+                    rbuf: vec![meta("y", 200, 8)],
+                    has_overlap_body: false,
+                    site: 1,
+                },
+            ],
+        };
+        let rep = buffer_independence(&spec);
+        assert!(!rep.independent());
+        assert_eq!(rep.conflicts.len(), 1);
+        let (i, j, a, b) = &rep.conflicts[0];
+        assert_eq!((*i, *j), (0, 1));
+        assert_eq!((a.as_str(), b.as_str()), ("x", "x_alias"));
+    }
+
+    #[test]
+    fn independence_shared_reads_allowed() {
+        let spec = ParamsSpec {
+            clauses: ring_clauses(),
+            body: vec![
+                P2pSpec {
+                    clauses: ClauseSet::default(),
+                    sbuf: vec![meta("shared", 0, 16)],
+                    rbuf: vec![meta("x", 100, 16)],
+                    has_overlap_body: false,
+                    site: 0,
+                },
+                P2pSpec {
+                    clauses: ClauseSet::default(),
+                    sbuf: vec![meta("shared", 0, 16)],
+                    rbuf: vec![meta("y", 200, 16)],
+                    has_overlap_body: false,
+                    site: 1,
+                },
+            ],
+        };
+        assert!(buffer_independence(&spec).independent());
+    }
+
+    #[test]
+    fn sync_savings_estimate() {
+        // Fan-out of 16 messages from rank 0 (the setEvec shape): the naive
+        // translation waits 16 times on the root; consolidation waits once.
+        let mut body = Vec::new();
+        for _ in 0..1 {
+            body.push(P2pSpec {
+                clauses: ClauseSet::default(),
+                sbuf: vec![meta("ev", 0, 24)],
+                rbuf: vec![meta("evec", 100, 24)],
+                has_overlap_body: true,
+                site: 0,
+            });
+        }
+        let spec = ParamsSpec {
+            clauses: ClauseSet {
+                sender: Some(RankExpr::lit(0)),
+                receiver: Some(RankExpr::var("dest")),
+                sendwhen: Some(RankExpr::rank().eq(RankExpr::lit(0))),
+                receivewhen: Some(RankExpr::rank().eq(RankExpr::var("dest"))),
+                ..ClauseSet::default()
+            },
+            body,
+        };
+        // Resolve across all 16 destinations to count the root's requests.
+        let mut total_naive = 0;
+        for dest in 1..17i64 {
+            let vars: HashMap<String, i64> = [("dest".to_string(), dest)].into();
+            let rep = sync_report(&spec, 17, &vars);
+            assert!(rep.legal);
+            total_naive += rep.naive_wait_calls;
+        }
+        assert_eq!(total_naive, 16);
+    }
+
+    #[test]
+    fn volume_report_ring_and_hotspot() {
+        // Ring of 6: every rank sends 8 bytes.
+        let spec = ParamsSpec {
+            clauses: ring_clauses(),
+            body: vec![p2p(ClauseSet::default())],
+        };
+        let v = volume_report(&spec, 6, &HashMap::new());
+        assert_eq!(v.sent, vec![8; 6]);
+        assert_eq!(v.received, vec![8; 6]);
+        assert_eq!(v.total(), 48);
+        // Uniform ring: any rank may be the "hotspot" but all tie at 8.
+        assert_eq!(v.hotspot().map(|(_, b)| b), Some(8));
+
+        // Fan-out: the root is the hotspot.
+        let fan = ParamsSpec {
+            clauses: ClauseSet {
+                sender: Some(RankExpr::lit(0)),
+                receiver: Some(RankExpr::var("d")),
+                sendwhen: Some(RankExpr::rank().eq(RankExpr::lit(0))),
+                receivewhen: Some(RankExpr::rank().eq(RankExpr::var("d"))),
+                count: Some(RankExpr::lit(4)),
+                ..ClauseSet::default()
+            },
+            body: vec![p2p(ClauseSet::default())],
+        };
+        let mut total = VolumeReport {
+            sent: vec![0; 5],
+            received: vec![0; 5],
+        };
+        for d in 1..5i64 {
+            let vars: HashMap<String, i64> = [("d".to_string(), d)].into();
+            let v = volume_report(&fan, 5, &vars);
+            for r in 0..5 {
+                total.sent[r] += v.sent[r];
+                total.received[r] += v.received[r];
+            }
+        }
+        assert_eq!(total.hotspot(), Some((0, 16)));
+        assert_eq!(total.received[1], 4);
+    }
+
+    #[test]
+    fn deadlock_reporting() {
+        let ring = resolve_graph(&p2p(ring_clauses()), None, 4, &HashMap::new());
+        let rep = deadlock_report(&ring);
+        assert!(rep.nonblocking_safe);
+        assert!(
+            rep.blocking_would_deadlock,
+            "a blocking ring without buffering deadlocks"
+        );
+
+        // A linear chain does not deadlock even blocking.
+        let chain = CommGraph {
+            sends: (0..3).map(|s| Edge { src: s, dst: s + 1 }).collect(),
+            recvs: (0..3).map(|s| Edge { src: s, dst: s + 1 }).collect(),
+            unresolved: vec![],
+        };
+        let rep = deadlock_report(&chain);
+        assert!(rep.nonblocking_safe);
+        assert!(!rep.blocking_would_deadlock);
+    }
+
+    #[test]
+    fn check_matching_over_region() {
+        let spec = ParamsSpec {
+            clauses: ring_clauses(),
+            body: vec![p2p(ClauseSet::default()), p2p(ClauseSet::default())],
+        };
+        let reports = check_matching(&spec, 6, &HashMap::new());
+        assert_eq!(reports.len(), 2);
+        assert!(reports.iter().all(|r| r.is_clean()));
+    }
+}

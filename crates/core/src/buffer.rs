@@ -1,0 +1,810 @@
+//! Buffer descriptors for the `sbuf`/`rbuf` clauses.
+//!
+//! A directive buffer is a slice of primitive elements or of *described
+//! composite* values (the paper's composite types: scalar structs like the
+//! WL-LSMS single-atom data). The buffer carries everything the translator
+//! needs: element kind (→ automatic data-type handling), length (→ count
+//! inference from "the size of the smallest array"), and the address range
+//! (→ buffer-independence analysis for synchronization consolidation).
+//!
+//! Composite element access is field-wise through the declared layout, so
+//! padding bytes are never read — the same discipline the generated
+//! MPI-struct code follows. Pointers inside composites are unrepresentable
+//! (the [`FieldSpec`] trait has no pointer impl), turning the paper's
+//! runtime prohibition into a compile-time guarantee; nested composites are
+//! likewise rejected because only primitive field specs exist.
+
+use mpisim::dtype::{BasicType, Datatype, StructField};
+use mpisim::pod::{as_bytes, as_bytes_mut, Pod};
+
+/// A primitive element type admissible in buffers.
+pub trait PrimElem: Pod {
+    /// The corresponding MPI basic type.
+    const BASIC: BasicType;
+}
+
+impl PrimElem for u8 {
+    const BASIC: BasicType = BasicType::U8;
+}
+impl PrimElem for i32 {
+    const BASIC: BasicType = BasicType::I32;
+}
+impl PrimElem for i64 {
+    const BASIC: BasicType = BasicType::I64;
+}
+impl PrimElem for f32 {
+    const BASIC: BasicType = BasicType::F32;
+}
+impl PrimElem for f64 {
+    const BASIC: BasicType = BasicType::F64;
+}
+
+/// Field shape inside a composite: `(basic type, block length)`.
+/// Implemented for primitives and fixed-size arrays of primitives only —
+/// pointers and nested composites cannot occur, by construction.
+pub trait FieldSpec {
+    /// The element type of the block.
+    const TY: BasicType;
+    /// Number of consecutive elements.
+    const BLOCKLEN: usize;
+}
+
+impl<P: PrimElem> FieldSpec for P {
+    const TY: BasicType = P::BASIC;
+    const BLOCKLEN: usize = 1;
+}
+
+impl<P: PrimElem, const N: usize> FieldSpec for [P; N] {
+    const TY: BasicType = P::BASIC;
+    const BLOCKLEN: usize = N;
+}
+
+/// One field of a composite layout.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct FieldDef {
+    /// Field name (diagnostics, codegen).
+    pub name: String,
+    /// Byte offset within the composite.
+    pub offset: usize,
+    /// Element type of the block.
+    pub ty: BasicType,
+    /// Number of consecutive elements.
+    pub blocklen: usize,
+}
+
+/// The declared layout of a composite element type.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct CompositeLayout {
+    /// Type name (diagnostics, codegen).
+    pub name: String,
+    /// Memory extent of one element (`size_of::<T>()`).
+    pub extent: usize,
+    /// Field blocks, in declaration order.
+    pub fields: Vec<FieldDef>,
+}
+
+impl CompositeLayout {
+    /// Build and validate a layout for `T`. Panics on layout violations
+    /// (overlaps, blocks past the extent) — these are programming errors in
+    /// the type description, equivalent to compiler bugs in the paper's
+    /// setting.
+    pub fn new<T>(name: &str, fields: Vec<FieldDef>) -> CompositeLayout {
+        let extent = std::mem::size_of::<T>();
+        let layout = CompositeLayout {
+            name: name.to_string(),
+            extent,
+            fields,
+        };
+        layout
+            .to_datatype_checked()
+            .unwrap_or_else(|e| panic!("invalid composite layout for {name}: {e}"));
+        layout
+    }
+
+    /// Bytes of payload one element contributes (sum of field blocks).
+    pub fn packed_size(&self) -> usize {
+        self.fields.iter().map(|f| f.blocklen * f.ty.size()).sum()
+    }
+
+    /// The equivalent MPI struct datatype.
+    pub fn to_datatype(&self) -> Datatype {
+        Datatype::Struct {
+            fields: self
+                .fields
+                .iter()
+                .map(|f| StructField {
+                    offset: f.offset,
+                    blocklen: f.blocklen,
+                    ty: f.ty,
+                })
+                .collect(),
+            extent: self.extent,
+        }
+    }
+
+    fn to_datatype_checked(&self) -> Result<Datatype, mpisim::dtype::DtypeError> {
+        let descr: Vec<(&str, usize, usize, mpisim::dtype::FieldKind)> = self
+            .fields
+            .iter()
+            .map(|f| {
+                (
+                    f.name.as_str(),
+                    f.offset,
+                    f.blocklen,
+                    mpisim::dtype::FieldKind::Basic(f.ty),
+                )
+            })
+            .collect();
+        Datatype::try_struct(&descr, self.extent)
+    }
+}
+
+/// A composite type whose layout is declared for communication.
+///
+/// # Safety
+///
+/// The layout must describe only initialized, padding-free field ranges of
+/// `Self`, with correct offsets and block lengths. Use the
+/// [`comm_datatype!`](crate::comm_datatype) macro, which derives offsets
+/// with `std::mem::offset_of!` and is always correct.
+pub unsafe trait Described: Copy + Send + Sync + 'static {
+    /// The communication layout of this type.
+    fn layout() -> CompositeLayout;
+}
+
+/// Gather the described fields of `items` into packed bytes (appending to
+/// `out`). Field-wise copies: padding is never read.
+pub fn gather_described<T: Described>(items: &[T], count: usize, out: &mut Vec<u8>) {
+    let layout = T::layout();
+    assert!(count <= items.len(), "gather count exceeds buffer length");
+    out.reserve(count * layout.packed_size());
+    for item in &items[..count] {
+        let base = (item as *const T).cast::<u8>();
+        for f in &layout.fields {
+            let len = f.blocklen * f.ty.size();
+            let start = out.len();
+            out.resize(start + len, 0);
+            // SAFETY: the layout contract guarantees [offset, offset+len)
+            // is an initialized field range of T.
+            unsafe {
+                std::ptr::copy_nonoverlapping(base.add(f.offset), out[start..].as_mut_ptr(), len);
+            }
+        }
+    }
+}
+
+/// Scatter packed bytes into the described fields of `items`.
+pub fn scatter_described<T: Described>(items: &mut [T], count: usize, packed: &[u8]) {
+    let layout = T::layout();
+    assert!(count <= items.len(), "scatter count exceeds buffer length");
+    assert!(
+        packed.len() >= count * layout.packed_size(),
+        "scatter source too small: {} < {}",
+        packed.len(),
+        count * layout.packed_size()
+    );
+    let mut pos = 0usize;
+    for item in &mut items[..count] {
+        let base = (item as *mut T).cast::<u8>();
+        for f in &layout.fields {
+            let len = f.blocklen * f.ty.size();
+            // SAFETY: layout contract as in `gather_described`; writing
+            // field ranges of a Copy type is always sound.
+            unsafe {
+                std::ptr::copy_nonoverlapping(packed[pos..].as_ptr(), base.add(f.offset), len);
+            }
+            pos += len;
+        }
+    }
+}
+
+/// Element kind of a buffer, as the analyses and lowering see it.
+#[derive(Clone, Debug, PartialEq)]
+pub enum ElemKind {
+    /// A primitive element.
+    Prim(BasicType),
+    /// A described composite element.
+    Composite(CompositeLayout),
+    /// A strided block of primitives: one "element" is `blocklen`
+    /// consecutive values, placed `stride` values apart in memory — the
+    /// `MPI_Type_vector` case (e.g. a matrix row in column-major storage).
+    Strided {
+        /// Underlying primitive type.
+        ty: BasicType,
+        /// Values per block.
+        blocklen: usize,
+        /// Values between block starts (≥ blocklen).
+        stride: usize,
+    },
+}
+
+impl ElemKind {
+    /// Payload bytes per element.
+    pub fn packed_size(&self) -> usize {
+        match self {
+            ElemKind::Prim(t) => t.size(),
+            ElemKind::Composite(l) => l.packed_size(),
+            ElemKind::Strided { ty, blocklen, .. } => blocklen * ty.size(),
+        }
+    }
+
+    /// Memory extent per element.
+    pub fn extent(&self) -> usize {
+        match self {
+            ElemKind::Prim(t) => t.size(),
+            ElemKind::Composite(l) => l.extent,
+            ElemKind::Strided { ty, stride, .. } => stride * ty.size(),
+        }
+    }
+
+    /// The MPI datatype equivalent (basic, struct or vector; the vector
+    /// type is per-element: one block).
+    pub fn to_datatype(&self) -> Datatype {
+        match self {
+            ElemKind::Prim(t) => Datatype::Basic(*t),
+            ElemKind::Composite(l) => l.to_datatype(),
+            ElemKind::Strided { ty, blocklen, stride } => Datatype::Vector {
+                count: 1,
+                blocklen: *blocklen,
+                stride: *stride,
+                elem: *ty,
+            },
+        }
+    }
+
+    /// Whether two buffers can be paired in one transfer (identical wire
+    /// representation). Strided and contiguous layouts are interchangeable
+    /// when the block payloads agree — the wire format is packed either
+    /// way (this is how a column scatters into a contiguous halo buffer).
+    pub fn compatible(&self, other: &ElemKind) -> bool {
+        match (self, other) {
+            (ElemKind::Prim(a), ElemKind::Prim(b)) => a == b,
+            (ElemKind::Composite(a), ElemKind::Composite(b)) => {
+                a.packed_size() == b.packed_size()
+                    && a.fields.len() == b.fields.len()
+                    && a.fields
+                        .iter()
+                        .zip(&b.fields)
+                        .all(|(x, y)| x.ty == y.ty && x.blocklen == y.blocklen)
+            }
+            (
+                ElemKind::Strided { ty: a, blocklen: la, .. },
+                ElemKind::Strided { ty: b, blocklen: lb, .. },
+            ) => a == b && la == lb,
+            (ElemKind::Strided { ty: a, blocklen, .. }, ElemKind::Prim(b))
+            | (ElemKind::Prim(b), ElemKind::Strided { ty: a, blocklen, .. }) => {
+                a == b && *blocklen == 1
+            }
+            _ => false,
+        }
+    }
+}
+
+/// Metadata about a buffer, detached from its borrow — what the static
+/// analyses operate on.
+#[derive(Clone, Debug, PartialEq)]
+pub struct BufMeta {
+    /// Display name.
+    pub name: String,
+    /// Element kind.
+    pub elem: ElemKind,
+    /// Element count.
+    pub len: usize,
+    /// Address range `[lo, hi)` in bytes, for independence analysis.
+    pub addr: (usize, usize),
+}
+
+impl BufMeta {
+    /// Whether two buffers' memory ranges overlap.
+    pub fn overlaps(&self, other: &BufMeta) -> bool {
+        self.addr.0 < other.addr.1 && other.addr.0 < self.addr.1
+    }
+}
+
+/// A send-side buffer: read access plus metadata.
+pub trait SendBuf {
+    /// Buffer metadata.
+    fn meta(&self) -> BufMeta;
+    /// Append `count` elements' packed bytes to `out`.
+    fn gather(&self, count: usize, out: &mut Vec<u8>);
+}
+
+/// A receive-side buffer: write access plus metadata.
+pub trait RecvBuf {
+    /// Buffer metadata.
+    fn meta(&self) -> BufMeta;
+    /// Fill `count` elements from packed bytes.
+    fn scatter(&mut self, count: usize, packed: &[u8]);
+}
+
+fn prim_meta<T: PrimElem>(name: &str, slice: &[T]) -> BufMeta {
+    let lo = slice.as_ptr() as usize;
+    BufMeta {
+        name: name.to_string(),
+        elem: ElemKind::Prim(T::BASIC),
+        len: slice.len(),
+        addr: (lo, lo + std::mem::size_of_val(slice)),
+    }
+}
+
+/// A named primitive send buffer.
+pub struct Prim<'a, T: PrimElem> {
+    name: &'a str,
+    data: &'a [T],
+}
+
+impl<'a, T: PrimElem> Prim<'a, T> {
+    /// Wrap a primitive slice with a display name.
+    pub fn new(name: &'a str, data: &'a [T]) -> Self {
+        Prim { name, data }
+    }
+}
+
+impl<T: PrimElem> SendBuf for Prim<'_, T> {
+    fn meta(&self) -> BufMeta {
+        prim_meta(self.name, self.data)
+    }
+
+    fn gather(&self, count: usize, out: &mut Vec<u8>) {
+        assert!(count <= self.data.len(), "gather count exceeds buffer length");
+        out.extend_from_slice(as_bytes(&self.data[..count]));
+    }
+}
+
+/// A named primitive receive buffer.
+pub struct PrimMut<'a, T: PrimElem> {
+    name: &'a str,
+    data: &'a mut [T],
+}
+
+impl<'a, T: PrimElem> PrimMut<'a, T> {
+    /// Wrap a mutable primitive slice with a display name.
+    pub fn new(name: &'a str, data: &'a mut [T]) -> Self {
+        PrimMut { name, data }
+    }
+}
+
+impl<T: PrimElem> RecvBuf for PrimMut<'_, T> {
+    fn meta(&self) -> BufMeta {
+        prim_meta(self.name, self.data)
+    }
+
+    fn scatter(&mut self, count: usize, packed: &[u8]) {
+        assert!(count <= self.data.len(), "scatter count exceeds buffer length");
+        copy_exact(&mut self.data[..count], packed);
+    }
+}
+
+fn copy_exact<T: PrimElem>(dst: &mut [T], packed: &[u8]) {
+    let bytes = as_bytes_mut(dst);
+    bytes.copy_from_slice(&packed[..bytes.len()]);
+}
+
+/// A named composite send buffer.
+pub struct Struc<'a, T: Described> {
+    name: &'a str,
+    data: &'a [T],
+}
+
+impl<'a, T: Described> Struc<'a, T> {
+    /// Wrap a described-composite slice with a display name.
+    pub fn new(name: &'a str, data: &'a [T]) -> Self {
+        Struc { name, data }
+    }
+}
+
+impl<T: Described> SendBuf for Struc<'_, T> {
+    fn meta(&self) -> BufMeta {
+        let lo = self.data.as_ptr() as usize;
+        BufMeta {
+            name: self.name.to_string(),
+            elem: ElemKind::Composite(T::layout()),
+            len: self.data.len(),
+            addr: (lo, lo + std::mem::size_of_val(self.data)),
+        }
+    }
+
+    fn gather(&self, count: usize, out: &mut Vec<u8>) {
+        gather_described(self.data, count, out);
+    }
+}
+
+/// A named composite receive buffer.
+pub struct StrucMut<'a, T: Described> {
+    name: &'a str,
+    data: &'a mut [T],
+}
+
+impl<'a, T: Described> StrucMut<'a, T> {
+    /// Wrap a mutable described-composite slice with a display name.
+    pub fn new(name: &'a str, data: &'a mut [T]) -> Self {
+        StrucMut { name, data }
+    }
+}
+
+impl<T: Described> RecvBuf for StrucMut<'_, T> {
+    fn meta(&self) -> BufMeta {
+        let lo = self.data.as_ptr() as usize;
+        BufMeta {
+            name: self.name.to_string(),
+            elem: ElemKind::Composite(T::layout()),
+            len: self.data.len(),
+            addr: (lo, lo + std::mem::size_of_val(self.data)),
+        }
+    }
+
+    fn scatter(&mut self, count: usize, packed: &[u8]) {
+        scatter_described(self.data, count, packed);
+    }
+}
+
+/// A strided send view: `count` blocks of `blocklen` values, block starts
+/// `stride` values apart — ships a matrix row/column without copying it
+/// contiguous first (the directive's automatic `MPI_Type_vector` handling).
+pub struct PrimStrided<'a, T: PrimElem> {
+    name: &'a str,
+    data: &'a [T],
+    blocklen: usize,
+    stride: usize,
+}
+
+impl<'a, T: PrimElem> PrimStrided<'a, T> {
+    /// Wrap a strided view. `data` must cover every addressed block;
+    /// `stride >= blocklen >= 1`.
+    pub fn new(name: &'a str, data: &'a [T], blocklen: usize, stride: usize) -> Self {
+        assert!(blocklen >= 1 && stride >= blocklen, "invalid stride layout");
+        PrimStrided {
+            name,
+            data,
+            blocklen,
+            stride,
+        }
+    }
+
+    fn n_blocks(&self) -> usize {
+        if self.data.len() < self.blocklen {
+            0
+        } else {
+            (self.data.len() - self.blocklen) / self.stride + 1
+        }
+    }
+
+    fn meta_impl(&self) -> BufMeta {
+        let lo = self.data.as_ptr() as usize;
+        BufMeta {
+            name: self.name.to_string(),
+            elem: ElemKind::Strided {
+                ty: T::BASIC,
+                blocklen: self.blocklen,
+                stride: self.stride,
+            },
+            len: self.n_blocks(),
+            addr: (lo, lo + std::mem::size_of_val(self.data)),
+        }
+    }
+}
+
+impl<T: PrimElem> SendBuf for PrimStrided<'_, T> {
+    fn meta(&self) -> BufMeta {
+        self.meta_impl()
+    }
+
+    fn gather(&self, count: usize, out: &mut Vec<u8>) {
+        assert!(count <= self.n_blocks(), "gather count exceeds block count");
+        for b in 0..count {
+            let start = b * self.stride;
+            out.extend_from_slice(as_bytes(&self.data[start..start + self.blocklen]));
+        }
+    }
+}
+
+/// A strided receive view (see [`PrimStrided`]).
+pub struct PrimStridedMut<'a, T: PrimElem> {
+    name: &'a str,
+    data: &'a mut [T],
+    blocklen: usize,
+    stride: usize,
+}
+
+impl<'a, T: PrimElem> PrimStridedMut<'a, T> {
+    /// Wrap a mutable strided view.
+    pub fn new(name: &'a str, data: &'a mut [T], blocklen: usize, stride: usize) -> Self {
+        assert!(blocklen >= 1 && stride >= blocklen, "invalid stride layout");
+        PrimStridedMut {
+            name,
+            data,
+            blocklen,
+            stride,
+        }
+    }
+
+    fn n_blocks(&self) -> usize {
+        if self.data.len() < self.blocklen {
+            0
+        } else {
+            (self.data.len() - self.blocklen) / self.stride + 1
+        }
+    }
+}
+
+impl<T: PrimElem> RecvBuf for PrimStridedMut<'_, T> {
+    fn meta(&self) -> BufMeta {
+        let lo = self.data.as_ptr() as usize;
+        BufMeta {
+            name: self.name.to_string(),
+            elem: ElemKind::Strided {
+                ty: T::BASIC,
+                blocklen: self.blocklen,
+                stride: self.stride,
+            },
+            len: self.n_blocks(),
+            addr: (lo, lo + std::mem::size_of_val(self.data)),
+        }
+    }
+
+    fn scatter(&mut self, count: usize, packed: &[u8]) {
+        assert!(count <= self.n_blocks(), "scatter count exceeds block count");
+        let block_bytes = self.blocklen * std::mem::size_of::<T>();
+        for b in 0..count {
+            let start = b * self.stride;
+            copy_exact(
+                &mut self.data[start..start + self.blocklen],
+                &packed[b * block_bytes..(b + 1) * block_bytes],
+            );
+        }
+    }
+}
+
+/// Declare a communication-ready composite struct: emits a `#[repr(C)]`
+/// struct plus its [`Described`] layout derived with `offset_of!`.
+///
+/// Pointer fields and nested composites do not compile — the paper's
+/// prohibitions are enforced by the type system ([`FieldSpec`] has impls
+/// only for primitives and fixed arrays of primitives).
+///
+/// ```
+/// commint::comm_datatype! {
+///     /// Example particle.
+///     pub struct Particle {
+///         id: i32,
+///         position: [f64; 3],
+///         charge: f64,
+///     }
+/// }
+/// let layout = <Particle as commint::buffer::Described>::layout();
+/// assert_eq!(layout.fields.len(), 3);
+/// ```
+#[macro_export]
+macro_rules! comm_datatype {
+    (
+        $(#[$meta:meta])*
+        $vis:vis struct $name:ident {
+            $( $(#[$fmeta:meta])* $fvis:vis $field:ident : $ty:ty ),* $(,)?
+        }
+    ) => {
+        $(#[$meta])*
+        #[repr(C)]
+        #[derive(Clone, Copy, Debug, PartialEq)]
+        $vis struct $name {
+            $( $(#[$fmeta])* $fvis $field : $ty, )*
+        }
+
+        unsafe impl $crate::buffer::Described for $name {
+            fn layout() -> $crate::buffer::CompositeLayout {
+                $crate::buffer::CompositeLayout::new::<$name>(
+                    stringify!($name),
+                    vec![
+                        $( $crate::buffer::FieldDef {
+                            name: stringify!($field).to_string(),
+                            offset: std::mem::offset_of!($name, $field),
+                            ty: <$ty as $crate::buffer::FieldSpec>::TY,
+                            blocklen: <$ty as $crate::buffer::FieldSpec>::BLOCKLEN,
+                        }, )*
+                    ],
+                )
+            }
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    crate::comm_datatype! {
+        struct Mixed {
+            a: i32,
+            b: f64,
+            tag3: [u8; 3],
+            v: [f64; 2],
+        }
+    }
+
+    #[test]
+    fn macro_layout_offsets_correct() {
+        let layout = Mixed::layout();
+        assert_eq!(layout.name, "Mixed");
+        assert_eq!(layout.extent, std::mem::size_of::<Mixed>());
+        assert_eq!(layout.fields.len(), 4);
+        assert_eq!(layout.fields[0].offset, std::mem::offset_of!(Mixed, a));
+        assert_eq!(layout.fields[1].offset, std::mem::offset_of!(Mixed, b));
+        assert_eq!(layout.fields[2].blocklen, 3);
+        assert_eq!(layout.fields[3].ty, BasicType::F64);
+        assert_eq!(layout.packed_size(), 4 + 8 + 3 + 16);
+    }
+
+    #[test]
+    fn described_gather_scatter_roundtrip() {
+        let items = [
+            Mixed {
+                a: 1,
+                b: 2.5,
+                tag3: [7, 8, 9],
+                v: [0.1, 0.2],
+            },
+            Mixed {
+                a: -4,
+                b: -1.5,
+                tag3: [0, 1, 2],
+                v: [9.9, 8.8],
+            },
+        ];
+        let mut packed = Vec::new();
+        gather_described(&items, 2, &mut packed);
+        assert_eq!(packed.len(), 2 * Mixed::layout().packed_size());
+
+        let mut back = [Mixed {
+            a: 0,
+            b: 0.0,
+            tag3: [0; 3],
+            v: [0.0; 2],
+        }; 2];
+        scatter_described(&mut back, 2, &packed);
+        assert_eq!(back, items);
+    }
+
+    #[test]
+    fn partial_count_gathers_prefix() {
+        let items = [
+            Mixed { a: 1, b: 1.0, tag3: [1; 3], v: [1.0; 2] },
+            Mixed { a: 2, b: 2.0, tag3: [2; 3], v: [2.0; 2] },
+        ];
+        let mut packed = Vec::new();
+        gather_described(&items, 1, &mut packed);
+        assert_eq!(packed.len(), Mixed::layout().packed_size());
+        let mut back = [Mixed { a: 0, b: 0.0, tag3: [0; 3], v: [0.0; 2] }; 2];
+        scatter_described(&mut back, 1, &packed);
+        assert_eq!(back[0], items[0]);
+        assert_eq!(back[1].a, 0);
+    }
+
+    #[test]
+    fn prim_buffers_roundtrip() {
+        let src = [1.5f64, 2.5, 3.5, 4.5];
+        let sb = Prim::new("src", &src);
+        let meta = sb.meta();
+        assert_eq!(meta.len, 4);
+        assert_eq!(meta.elem, ElemKind::Prim(BasicType::F64));
+        assert_eq!(meta.addr.1 - meta.addr.0, 32);
+
+        let mut packed = Vec::new();
+        sb.gather(3, &mut packed);
+        assert_eq!(packed.len(), 24);
+
+        let mut dst = [0f64; 3];
+        let mut rb = PrimMut::new("dst", &mut dst);
+        rb.scatter(3, &packed);
+        assert_eq!(dst, [1.5, 2.5, 3.5]);
+    }
+
+    #[test]
+    fn strided_gather_scatter_roundtrip() {
+        // A 4x3 column-major matrix; ship row 1 (blocklen 1, stride 4).
+        let m: Vec<f64> = (0..12).map(|i| i as f64).collect();
+        let row = PrimStrided::new("row1", &m[1..], 1, 4);
+        let meta = row.meta();
+        assert_eq!(meta.len, 3, "three row elements");
+        assert_eq!(meta.elem.packed_size(), 8);
+        assert_eq!(meta.elem.extent(), 32);
+
+        let mut packed = Vec::new();
+        row.gather(3, &mut packed);
+        let vals: Vec<f64> = mpisim::pod::vec_from_bytes(&packed);
+        assert_eq!(vals, vec![1.0, 5.0, 9.0]);
+
+        // Scatter into another matrix's row 0.
+        let mut dst = vec![0.0f64; 12];
+        let mut drow = PrimStridedMut::new("row0", &mut dst, 1, 4);
+        drow.scatter(3, &packed);
+        assert_eq!(dst[0], 1.0);
+        assert_eq!(dst[4], 5.0);
+        assert_eq!(dst[8], 9.0);
+        assert_eq!(dst[1], 0.0);
+    }
+
+    #[test]
+    fn strided_blocks_with_blocklen() {
+        // blocks of 2 every 5.
+        let data: Vec<i32> = (0..12).collect();
+        let s = PrimStrided::new("blocks", &data, 2, 5);
+        assert_eq!(s.meta().len, 3); // starts at 0, 5, 10
+        let mut packed = Vec::new();
+        s.gather(3, &mut packed);
+        let vals: Vec<i32> = mpisim::pod::vec_from_bytes(&packed);
+        assert_eq!(vals, vec![0, 1, 5, 6, 10, 11]);
+    }
+
+    #[test]
+    fn strided_compatibility_rules() {
+        let col = ElemKind::Strided {
+            ty: BasicType::F64,
+            blocklen: 1,
+            stride: 8,
+        };
+        let other_stride = ElemKind::Strided {
+            ty: BasicType::F64,
+            blocklen: 1,
+            stride: 3,
+        };
+        let contig = ElemKind::Prim(BasicType::F64);
+        // Same block payload, different strides: compatible (wire format
+        // is packed either way).
+        assert!(col.compatible(&other_stride));
+        // blocklen-1 strided <-> contiguous: compatible.
+        assert!(col.compatible(&contig));
+        assert!(contig.compatible(&col));
+        // Wider blocks are not interchangeable with single values.
+        let wide = ElemKind::Strided {
+            ty: BasicType::F64,
+            blocklen: 2,
+            stride: 8,
+        };
+        assert!(!wide.compatible(&contig));
+        assert!(!wide.compatible(&col));
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid stride layout")]
+    fn stride_smaller_than_blocklen_rejected() {
+        let data = [0f32; 8];
+        let _ = PrimStrided::new("bad", &data, 3, 2);
+    }
+
+    #[test]
+    fn overlap_detection() {
+        let buf = [0u8; 16];
+        let a = Prim::new("a", &buf[0..8]).meta();
+        let b = Prim::new("b", &buf[8..16]).meta();
+        let c = Prim::new("c", &buf[4..12]).meta();
+        assert!(!a.overlaps(&b));
+        assert!(a.overlaps(&c));
+        assert!(c.overlaps(&b));
+        assert!(a.overlaps(&a));
+    }
+
+    #[test]
+    fn elem_compatibility() {
+        let f = ElemKind::Prim(BasicType::F64);
+        let i = ElemKind::Prim(BasicType::I32);
+        assert!(f.compatible(&f));
+        assert!(!f.compatible(&i));
+        let comp = ElemKind::Composite(Mixed::layout());
+        assert!(comp.compatible(&ElemKind::Composite(Mixed::layout())));
+        assert!(!comp.compatible(&f));
+    }
+
+    #[test]
+    fn elem_datatype_mapping() {
+        assert_eq!(
+            ElemKind::Prim(BasicType::I32).to_datatype(),
+            Datatype::Basic(BasicType::I32)
+        );
+        match ElemKind::Composite(Mixed::layout()).to_datatype() {
+            Datatype::Struct { fields, extent } => {
+                assert_eq!(fields.len(), 4);
+                assert_eq!(extent, std::mem::size_of::<Mixed>());
+            }
+            other => panic!("expected struct datatype, got {other:?}"),
+        }
+    }
+}

@@ -1,0 +1,540 @@
+//! Clause expression ASTs.
+//!
+//! The paper's clauses take C expressions evaluated per-rank:
+//! `sender(rank-1)`, `receiver((rank+1)%nprocs)`, `sendwhen(rank%2==0)`.
+//! Keeping these as *data* (rather than opaque closures) is what makes the
+//! communication statically analyzable — the compiler-style analyses in
+//! [`crate::analysis`] resolve them for every rank to recover the intended
+//! communication graph, classify the pattern, and check send/receive
+//! matching. An [`RankExpr::Opaque`] escape hatch carries arbitrary Rust
+//! closures for things no small AST covers; analyses degrade gracefully on
+//! it (the program still runs, classification reports `Irregular`).
+
+use std::collections::HashMap;
+use std::fmt;
+use std::sync::Arc;
+
+/// Evaluation environment for clause expressions: the SPMD identity plus
+/// user variables (loop bounds, privileged ranks, ...).
+#[derive(Clone, Debug, Default)]
+pub struct EvalEnv {
+    /// Communicator-local rank of the evaluating process.
+    pub rank: i64,
+    /// Communicator size.
+    pub nranks: i64,
+    /// User variables referenced by name in expressions.
+    pub vars: HashMap<String, i64>,
+}
+
+impl EvalEnv {
+    /// Environment for `rank` of `nranks` with no variables.
+    pub fn new(rank: usize, nranks: usize) -> Self {
+        EvalEnv {
+            rank: rank as i64,
+            nranks: nranks as i64,
+            vars: HashMap::new(),
+        }
+    }
+
+    /// Set a variable (builder style).
+    pub fn with(mut self, name: &str, value: i64) -> Self {
+        self.vars.insert(name.to_string(), value);
+        self
+    }
+
+    /// Set a variable.
+    pub fn set(&mut self, name: &str, value: i64) {
+        self.vars.insert(name.to_string(), value);
+    }
+}
+
+/// Expression evaluation errors.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum ExprError {
+    /// A `Var` was not present in the environment.
+    UnknownVar(String),
+    /// Division or modulo by zero.
+    DivByZero,
+}
+
+impl fmt::Display for ExprError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ExprError::UnknownVar(v) => write!(f, "unknown variable `{v}`"),
+            ExprError::DivByZero => write!(f, "division by zero"),
+        }
+    }
+}
+
+impl std::error::Error for ExprError {}
+
+/// An integer-valued clause expression (`sender`, `receiver`, `count`,
+/// `max_comm_iter`).
+#[derive(Clone)]
+pub enum RankExpr {
+    /// The evaluating process's rank.
+    Rank,
+    /// The communicator size (`nprocs`).
+    NRanks,
+    /// An integer literal.
+    Const(i64),
+    /// A named user variable.
+    Var(String),
+    /// Arithmetic.
+    Add(Box<RankExpr>, Box<RankExpr>),
+    Sub(Box<RankExpr>, Box<RankExpr>),
+    Mul(Box<RankExpr>, Box<RankExpr>),
+    Div(Box<RankExpr>, Box<RankExpr>),
+    Mod(Box<RankExpr>, Box<RankExpr>),
+    Neg(Box<RankExpr>),
+    /// An opaque Rust closure with a display label. Analyses treat it as
+    /// unresolvable; execution evaluates it.
+    Opaque(Arc<dyn Fn(&EvalEnv) -> i64 + Send + Sync>, &'static str),
+}
+
+impl RankExpr {
+    /// Shorthand: the `rank` variable.
+    pub fn rank() -> RankExpr {
+        RankExpr::Rank
+    }
+
+    /// Shorthand: the `nprocs` variable.
+    pub fn nranks() -> RankExpr {
+        RankExpr::NRanks
+    }
+
+    /// Shorthand: a literal.
+    pub fn lit(v: i64) -> RankExpr {
+        RankExpr::Const(v)
+    }
+
+    /// Shorthand: a named variable.
+    pub fn var(name: &str) -> RankExpr {
+        RankExpr::Var(name.to_string())
+    }
+
+    /// Wrap a Rust closure with a display label.
+    pub fn opaque(
+        label: &'static str,
+        f: impl Fn(&EvalEnv) -> i64 + Send + Sync + 'static,
+    ) -> RankExpr {
+        RankExpr::Opaque(Arc::new(f), label)
+    }
+
+    /// Modulo (C semantics: sign of dividend).
+    pub fn rem(self, rhs: RankExpr) -> RankExpr {
+        RankExpr::Mod(Box::new(self), Box::new(rhs))
+    }
+
+    /// Evaluate under `env`.
+    pub fn eval(&self, env: &EvalEnv) -> Result<i64, ExprError> {
+        Ok(match self {
+            RankExpr::Rank => env.rank,
+            RankExpr::NRanks => env.nranks,
+            RankExpr::Const(v) => *v,
+            RankExpr::Var(name) => *env
+                .vars
+                .get(name)
+                .ok_or_else(|| ExprError::UnknownVar(name.clone()))?,
+            RankExpr::Add(a, b) => a.eval(env)?.wrapping_add(b.eval(env)?),
+            RankExpr::Sub(a, b) => a.eval(env)?.wrapping_sub(b.eval(env)?),
+            RankExpr::Mul(a, b) => a.eval(env)?.wrapping_mul(b.eval(env)?),
+            RankExpr::Div(a, b) => {
+                let d = b.eval(env)?;
+                if d == 0 {
+                    return Err(ExprError::DivByZero);
+                }
+                a.eval(env)?.wrapping_div(d)
+            }
+            RankExpr::Mod(a, b) => {
+                let d = b.eval(env)?;
+                if d == 0 {
+                    return Err(ExprError::DivByZero);
+                }
+                a.eval(env)?.wrapping_rem(d)
+            }
+            RankExpr::Neg(a) => a.eval(env)?.wrapping_neg(),
+            RankExpr::Opaque(f, _) => f(env),
+        })
+    }
+
+    /// Whether the expression contains an opaque closure (unresolvable by
+    /// static analysis without execution).
+    pub fn has_opaque(&self) -> bool {
+        match self {
+            RankExpr::Rank | RankExpr::NRanks | RankExpr::Const(_) | RankExpr::Var(_) => false,
+            RankExpr::Add(a, b)
+            | RankExpr::Sub(a, b)
+            | RankExpr::Mul(a, b)
+            | RankExpr::Div(a, b)
+            | RankExpr::Mod(a, b) => a.has_opaque() || b.has_opaque(),
+            RankExpr::Neg(a) => a.has_opaque(),
+            RankExpr::Opaque(..) => true,
+        }
+    }
+
+    /// Free variable names referenced by the expression.
+    pub fn free_vars(&self, out: &mut Vec<String>) {
+        match self {
+            RankExpr::Var(name) => {
+                if !out.contains(name) {
+                    out.push(name.clone());
+                }
+            }
+            RankExpr::Add(a, b)
+            | RankExpr::Sub(a, b)
+            | RankExpr::Mul(a, b)
+            | RankExpr::Div(a, b)
+            | RankExpr::Mod(a, b) => {
+                a.free_vars(out);
+                b.free_vars(out);
+            }
+            RankExpr::Neg(a) => a.free_vars(out),
+            _ => {}
+        }
+    }
+
+    // -- comparison builders producing conditions ---------------------------
+
+    /// `self == rhs`
+    pub fn eq(self, rhs: RankExpr) -> CondExpr {
+        CondExpr::Eq(self, rhs)
+    }
+    /// `self != rhs`
+    pub fn ne(self, rhs: RankExpr) -> CondExpr {
+        CondExpr::Ne(self, rhs)
+    }
+    /// `self < rhs`
+    pub fn lt(self, rhs: RankExpr) -> CondExpr {
+        CondExpr::Lt(self, rhs)
+    }
+    /// `self <= rhs`
+    pub fn le(self, rhs: RankExpr) -> CondExpr {
+        CondExpr::Le(self, rhs)
+    }
+    /// `self > rhs`
+    pub fn gt(self, rhs: RankExpr) -> CondExpr {
+        CondExpr::Gt(self, rhs)
+    }
+    /// `self >= rhs`
+    pub fn ge(self, rhs: RankExpr) -> CondExpr {
+        CondExpr::Ge(self, rhs)
+    }
+}
+
+impl fmt::Debug for RankExpr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{self}")
+    }
+}
+
+impl fmt::Display for RankExpr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RankExpr::Rank => write!(f, "rank"),
+            RankExpr::NRanks => write!(f, "nprocs"),
+            RankExpr::Const(v) => write!(f, "{v}"),
+            RankExpr::Var(name) => write!(f, "{name}"),
+            RankExpr::Add(a, b) => write!(f, "({a}+{b})"),
+            RankExpr::Sub(a, b) => write!(f, "({a}-{b})"),
+            RankExpr::Mul(a, b) => write!(f, "({a}*{b})"),
+            RankExpr::Div(a, b) => write!(f, "({a}/{b})"),
+            RankExpr::Mod(a, b) => write!(f, "({a}%{b})"),
+            RankExpr::Neg(a) => write!(f, "(-{a})"),
+            RankExpr::Opaque(_, label) => write!(f, "<{label}>"),
+        }
+    }
+}
+
+impl From<i64> for RankExpr {
+    fn from(v: i64) -> Self {
+        RankExpr::Const(v)
+    }
+}
+
+impl From<usize> for RankExpr {
+    fn from(v: usize) -> Self {
+        RankExpr::Const(v as i64)
+    }
+}
+
+impl From<i32> for RankExpr {
+    fn from(v: i32) -> Self {
+        RankExpr::Const(i64::from(v))
+    }
+}
+
+impl std::ops::Add for RankExpr {
+    type Output = RankExpr;
+    fn add(self, rhs: RankExpr) -> RankExpr {
+        RankExpr::Add(Box::new(self), Box::new(rhs))
+    }
+}
+
+impl std::ops::Sub for RankExpr {
+    type Output = RankExpr;
+    fn sub(self, rhs: RankExpr) -> RankExpr {
+        RankExpr::Sub(Box::new(self), Box::new(rhs))
+    }
+}
+
+impl std::ops::Mul for RankExpr {
+    type Output = RankExpr;
+    fn mul(self, rhs: RankExpr) -> RankExpr {
+        RankExpr::Mul(Box::new(self), Box::new(rhs))
+    }
+}
+
+impl std::ops::Div for RankExpr {
+    type Output = RankExpr;
+    fn div(self, rhs: RankExpr) -> RankExpr {
+        RankExpr::Div(Box::new(self), Box::new(rhs))
+    }
+}
+
+impl std::ops::Rem for RankExpr {
+    type Output = RankExpr;
+    fn rem(self, rhs: RankExpr) -> RankExpr {
+        RankExpr::Mod(Box::new(self), Box::new(rhs))
+    }
+}
+
+impl std::ops::Neg for RankExpr {
+    type Output = RankExpr;
+    fn neg(self) -> RankExpr {
+        RankExpr::Neg(Box::new(self))
+    }
+}
+
+/// A Boolean clause expression (`sendwhen`, `receivewhen`).
+#[derive(Clone)]
+pub enum CondExpr {
+    /// Constant true.
+    True,
+    /// Constant false.
+    False,
+    Eq(RankExpr, RankExpr),
+    Ne(RankExpr, RankExpr),
+    Lt(RankExpr, RankExpr),
+    Le(RankExpr, RankExpr),
+    Gt(RankExpr, RankExpr),
+    Ge(RankExpr, RankExpr),
+    And(Box<CondExpr>, Box<CondExpr>),
+    Or(Box<CondExpr>, Box<CondExpr>),
+    Not(Box<CondExpr>),
+    /// Opaque Rust predicate with a display label.
+    Opaque(Arc<dyn Fn(&EvalEnv) -> bool + Send + Sync>, &'static str),
+}
+
+impl CondExpr {
+    /// Wrap a Rust predicate with a display label.
+    pub fn opaque(
+        label: &'static str,
+        f: impl Fn(&EvalEnv) -> bool + Send + Sync + 'static,
+    ) -> CondExpr {
+        CondExpr::Opaque(Arc::new(f), label)
+    }
+
+    /// Logical and.
+    pub fn and(self, rhs: CondExpr) -> CondExpr {
+        CondExpr::And(Box::new(self), Box::new(rhs))
+    }
+
+    /// Logical or.
+    pub fn or(self, rhs: CondExpr) -> CondExpr {
+        CondExpr::Or(Box::new(self), Box::new(rhs))
+    }
+
+    /// Logical negation.
+    #[allow(clippy::should_implement_trait)]
+    pub fn not(self) -> CondExpr {
+        CondExpr::Not(Box::new(self))
+    }
+
+    /// Evaluate under `env`.
+    pub fn eval(&self, env: &EvalEnv) -> Result<bool, ExprError> {
+        Ok(match self {
+            CondExpr::True => true,
+            CondExpr::False => false,
+            CondExpr::Eq(a, b) => a.eval(env)? == b.eval(env)?,
+            CondExpr::Ne(a, b) => a.eval(env)? != b.eval(env)?,
+            CondExpr::Lt(a, b) => a.eval(env)? < b.eval(env)?,
+            CondExpr::Le(a, b) => a.eval(env)? <= b.eval(env)?,
+            CondExpr::Gt(a, b) => a.eval(env)? > b.eval(env)?,
+            CondExpr::Ge(a, b) => a.eval(env)? >= b.eval(env)?,
+            CondExpr::And(a, b) => a.eval(env)? && b.eval(env)?,
+            CondExpr::Or(a, b) => a.eval(env)? || b.eval(env)?,
+            CondExpr::Not(a) => !a.eval(env)?,
+            CondExpr::Opaque(f, _) => f(env),
+        })
+    }
+
+    /// Whether the condition contains an opaque closure.
+    pub fn has_opaque(&self) -> bool {
+        match self {
+            CondExpr::True | CondExpr::False => false,
+            CondExpr::Eq(a, b)
+            | CondExpr::Ne(a, b)
+            | CondExpr::Lt(a, b)
+            | CondExpr::Le(a, b)
+            | CondExpr::Gt(a, b)
+            | CondExpr::Ge(a, b) => a.has_opaque() || b.has_opaque(),
+            CondExpr::And(a, b) | CondExpr::Or(a, b) => a.has_opaque() || b.has_opaque(),
+            CondExpr::Not(a) => a.has_opaque(),
+            CondExpr::Opaque(..) => true,
+        }
+    }
+
+    /// Free variable names referenced by the condition.
+    pub fn free_vars(&self, out: &mut Vec<String>) {
+        match self {
+            CondExpr::Eq(a, b)
+            | CondExpr::Ne(a, b)
+            | CondExpr::Lt(a, b)
+            | CondExpr::Le(a, b)
+            | CondExpr::Gt(a, b)
+            | CondExpr::Ge(a, b) => {
+                a.free_vars(out);
+                b.free_vars(out);
+            }
+            CondExpr::And(a, b) | CondExpr::Or(a, b) => {
+                a.free_vars(out);
+                b.free_vars(out);
+            }
+            CondExpr::Not(a) => a.free_vars(out),
+            _ => {}
+        }
+    }
+}
+
+impl fmt::Debug for CondExpr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{self}")
+    }
+}
+
+impl fmt::Display for CondExpr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CondExpr::True => write!(f, "1"),
+            CondExpr::False => write!(f, "0"),
+            CondExpr::Eq(a, b) => write!(f, "({a}=={b})"),
+            CondExpr::Ne(a, b) => write!(f, "({a}!={b})"),
+            CondExpr::Lt(a, b) => write!(f, "({a}<{b})"),
+            CondExpr::Le(a, b) => write!(f, "({a}<={b})"),
+            CondExpr::Gt(a, b) => write!(f, "({a}>{b})"),
+            CondExpr::Ge(a, b) => write!(f, "({a}>={b})"),
+            CondExpr::And(a, b) => write!(f, "({a}&&{b})"),
+            CondExpr::Or(a, b) => write!(f, "({a}||{b})"),
+            CondExpr::Not(a) => write!(f, "(!{a})"),
+            CondExpr::Opaque(_, label) => write!(f, "<{label}>"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn env(rank: i64, nranks: i64) -> EvalEnv {
+        EvalEnv {
+            rank,
+            nranks,
+            vars: HashMap::new(),
+        }
+    }
+
+    #[test]
+    fn ring_expressions() {
+        // prev = (rank-1+nprocs)%nprocs ; next = (rank+1)%nprocs (Listing 1)
+        let prev = (RankExpr::rank() - RankExpr::lit(1) + RankExpr::nranks()) % RankExpr::nranks();
+        let next = (RankExpr::rank() + RankExpr::lit(1)) % RankExpr::nranks();
+        let e = env(0, 4);
+        assert_eq!(prev.eval(&e).unwrap(), 3);
+        assert_eq!(next.eval(&e).unwrap(), 1);
+        let e = env(3, 4);
+        assert_eq!(prev.eval(&e).unwrap(), 2);
+        assert_eq!(next.eval(&e).unwrap(), 0);
+    }
+
+    #[test]
+    fn even_odd_conditions() {
+        // sendwhen(rank%2==0) receivewhen(rank%2==1) (Listing 2)
+        let sendwhen = (RankExpr::rank() % RankExpr::lit(2)).eq(RankExpr::lit(0));
+        let recvwhen = (RankExpr::rank() % RankExpr::lit(2)).eq(RankExpr::lit(1));
+        assert!(sendwhen.eval(&env(0, 8)).unwrap());
+        assert!(!sendwhen.eval(&env(1, 8)).unwrap());
+        assert!(recvwhen.eval(&env(1, 8)).unwrap());
+        assert!(!recvwhen.eval(&env(2, 8)).unwrap());
+    }
+
+    #[test]
+    fn variables_and_errors() {
+        let e = RankExpr::var("from_rank");
+        assert_eq!(
+            e.eval(&env(0, 2)).unwrap_err(),
+            ExprError::UnknownVar("from_rank".to_string())
+        );
+        let mut en = env(0, 2);
+        en.set("from_rank", 5);
+        assert_eq!(e.eval(&en).unwrap(), 5);
+
+        let div = RankExpr::rank() / RankExpr::lit(0);
+        assert_eq!(div.eval(&env(1, 2)).unwrap_err(), ExprError::DivByZero);
+        let md = RankExpr::rank() % RankExpr::lit(0);
+        assert_eq!(md.eval(&env(1, 2)).unwrap_err(), ExprError::DivByZero);
+    }
+
+    #[test]
+    fn c_modulo_semantics() {
+        // (rank-1) % n is negative for rank 0 in C; the paper's Listing 1
+        // therefore adds nprocs first. Verify we reproduce C semantics.
+        let e = (RankExpr::rank() - RankExpr::lit(1)) % RankExpr::nranks();
+        assert_eq!(e.eval(&env(0, 4)).unwrap(), -1);
+    }
+
+    #[test]
+    fn display_renders_c_like() {
+        let next = (RankExpr::rank() + RankExpr::lit(1)) % RankExpr::nranks();
+        assert_eq!(next.to_string(), "((rank+1)%nprocs)");
+        let c = (RankExpr::rank() % RankExpr::lit(2)).eq(RankExpr::lit(0));
+        assert_eq!(c.to_string(), "((rank%2)==0)");
+    }
+
+    #[test]
+    fn opaque_exprs_evaluate_and_flag() {
+        let e = RankExpr::opaque("twice_rank", |env| env.rank * 2);
+        assert_eq!(e.eval(&env(3, 8)).unwrap(), 6);
+        assert!(e.has_opaque());
+        assert!(!(RankExpr::rank() + RankExpr::lit(1)).has_opaque());
+        let c = CondExpr::opaque("is_root", |env| env.rank == 0);
+        assert!(c.eval(&env(0, 8)).unwrap());
+        assert!(c.has_opaque());
+        assert_eq!(e.to_string(), "<twice_rank>");
+    }
+
+    #[test]
+    fn free_vars_collected() {
+        let e = RankExpr::var("n") * RankExpr::var("m") + RankExpr::var("n");
+        let mut vars = Vec::new();
+        e.free_vars(&mut vars);
+        assert_eq!(vars, vec!["n".to_string(), "m".to_string()]);
+
+        let c = RankExpr::var("root").eq(RankExpr::rank());
+        let mut vars = Vec::new();
+        c.free_vars(&mut vars);
+        assert_eq!(vars, vec!["root".to_string()]);
+    }
+
+    #[test]
+    fn boolean_combinators() {
+        let a = RankExpr::rank().lt(RankExpr::lit(4));
+        let b = RankExpr::rank().ge(RankExpr::lit(2));
+        let both = a.clone().and(b.clone());
+        assert!(both.eval(&env(3, 8)).unwrap());
+        assert!(!both.eval(&env(5, 8)).unwrap());
+        let either = a.or(b);
+        assert!(either.eval(&env(5, 8)).unwrap());
+        assert!(CondExpr::True.not().eval(&env(0, 1)).unwrap() == false);
+    }
+}

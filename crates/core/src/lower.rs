@@ -1,0 +1,465 @@
+//! Static lowering: render the library calls the compiler would generate
+//! for a directive region, per target — "the directives can then be
+//! translated by the compiler into message passing calls that efficiently
+//! implement the intended pattern and be targeted to multiple communication
+//! libraries".
+//!
+//! The output is C-flavoured source text (what an Open64 lowering pass
+//! emits), used by the pragma front-end's `--emit` mode, by documentation,
+//! and by golden tests that pin the translation's shape: non-blocking
+//! operations, automatic datatype construction, and exactly one
+//! consolidated synchronization per region at the placed sync point.
+
+use crate::buffer::ElemKind;
+use crate::clause::{PlaceSync, Target};
+use crate::dir::{P2pSpec, ParamsSpec};
+use mpisim::dtype::BasicType;
+
+/// Generated code for one region, split by role so SPMD readers can see
+/// which guard each block sits under.
+#[derive(Clone, Debug, Default)]
+pub struct GeneratedCode {
+    /// Declarations and one-time datatype construction.
+    pub prologue: Vec<String>,
+    /// The per-`comm_p2p` communication calls (with their guards).
+    pub body: Vec<String>,
+    /// The consolidated synchronization block.
+    pub sync: Vec<String>,
+}
+
+impl GeneratedCode {
+    /// Render as one source listing.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        for section in [&self.prologue, &self.body, &self.sync] {
+            for line in section {
+                out.push_str(line);
+                out.push('\n');
+            }
+        }
+        out
+    }
+}
+
+fn c_type(b: BasicType) -> &'static str {
+    match b {
+        BasicType::U8 => "char",
+        BasicType::I32 => "int",
+        BasicType::I64 => "long long",
+        BasicType::F32 => "float",
+        BasicType::F64 => "double",
+    }
+}
+
+fn mpi_type_expr(elem: &ElemKind, var_hint: &str) -> String {
+    match elem {
+        ElemKind::Prim(b) => b.mpi_name().to_string(),
+        ElemKind::Composite(layout) => format!("{}_{}_mpitype", var_hint, layout.name),
+        ElemKind::Strided { .. } => format!("{var_hint}_vec_mpitype"),
+    }
+}
+
+fn shmem_put_call(elem: &ElemKind) -> &'static str {
+    match elem {
+        ElemKind::Prim(b) => {
+            shmemsim::TypedPut::for_elem_size(b.size()).call_name()
+        }
+        // Strided blocks go out as size-matched puts per block; composites
+        // need a byte-granular put.
+        ElemKind::Strided { ty, .. } => shmemsim::TypedPut::for_elem_size(ty.size()).call_name(),
+        ElemKind::Composite(_) => "shmem_putmem",
+    }
+}
+
+fn count_expr(p2p: &P2pSpec, outer: &ParamsSpec) -> String {
+    let merged = p2p.clauses.merged_with(&outer.clauses);
+    match merged.count {
+        Some(e) => e.to_string(),
+        None => p2p
+            .inferred_count()
+            .map(|c| c.to_string())
+            .unwrap_or_else(|| "/* inferred */".to_string()),
+    }
+}
+
+/// Lower a region to the calls generated for `target`.
+pub fn lower(spec: &ParamsSpec, target: Target) -> GeneratedCode {
+    let mut code = GeneratedCode::default();
+    let mut req_count = 0usize;
+    let mut datatypes_emitted: Vec<String> = Vec::new();
+
+    let merged_of = |p2p: &P2pSpec| p2p.clauses.merged_with(&spec.clauses);
+
+    // Prologue: derived datatypes for composite buffers (MPI targets), one
+    // per distinct layout per scope.
+    if target != Target::Shmem {
+        for p2p in &spec.body {
+            for b in p2p.sbuf.iter().chain(&p2p.rbuf) {
+                match &b.elem {
+                    ElemKind::Composite(layout) => {
+                        let var = format!("{}_{}_mpitype", b.name, layout.name);
+                        if !datatypes_emitted.contains(&var) {
+                            datatypes_emitted.push(var.clone());
+                            code.prologue.push(format!("MPI_Datatype {var};"));
+                            code.prologue
+                                .extend(layout.to_datatype().describe_mpi_calls(&var));
+                        }
+                    }
+                    ElemKind::Strided { ty, blocklen, stride } => {
+                        let var = format!("{}_vec_mpitype", b.name);
+                        if !datatypes_emitted.contains(&var) {
+                            datatypes_emitted.push(var.clone());
+                            code.prologue.push(format!("MPI_Datatype {var};"));
+                            code.prologue.push(format!(
+                                "MPI_Type_vector(1, {blocklen}, {stride}, {}, &{var});",
+                                ty.mpi_name()
+                            ));
+                            code.prologue.push(format!("MPI_Type_commit(&{var});"));
+                        }
+                    }
+                    ElemKind::Prim(_) => {}
+                }
+            }
+        }
+    }
+
+    for (i, p2p) in spec.body.iter().enumerate() {
+        let merged = merged_of(p2p);
+        let cnt = count_expr(p2p, spec);
+        let sendwhen = merged
+            .sendwhen
+            .as_ref()
+            .map(|c| c.to_string())
+            .unwrap_or_else(|| "1".to_string());
+        let recvwhen = merged
+            .receivewhen
+            .as_ref()
+            .map(|c| c.to_string())
+            .unwrap_or_else(|| "1".to_string());
+        let receiver = merged
+            .receiver
+            .as_ref()
+            .map(|e| e.to_string())
+            .unwrap_or_else(|| "/*receiver*/".to_string());
+        let sender = merged
+            .sender
+            .as_ref()
+            .map(|e| e.to_string())
+            .unwrap_or_else(|| "/*sender*/".to_string());
+        let tag = format!("COMM_DIR_TAG+{}", p2p.site);
+
+        code.body.push(format!("/* comm_p2p #{i} (site {}) */", p2p.site));
+        match target {
+            Target::Mpi2Side => {
+                code.body.push(format!("if ({sendwhen}) {{"));
+                for b in &p2p.sbuf {
+                    let ty = mpi_type_expr(&b.elem, &b.name);
+                    code.body.push(format!(
+                        "  MPI_Isend({buf}, {cnt}, {ty}, {receiver}, {tag}, comm, &req[{r}]);",
+                        buf = b.name,
+                        r = req_count
+                    ));
+                    req_count += 1;
+                }
+                code.body.push("}".to_string());
+                code.body.push(format!("if ({recvwhen}) {{"));
+                for b in &p2p.rbuf {
+                    let ty = mpi_type_expr(&b.elem, &b.name);
+                    code.body.push(format!(
+                        "  MPI_Irecv({buf}, {cnt}, {ty}, {sender}, {tag}, comm, &req[{r}]);",
+                        buf = b.name,
+                        r = req_count
+                    ));
+                    req_count += 1;
+                }
+                code.body.push("}".to_string());
+            }
+            Target::Mpi1Side => {
+                code.body.push(format!("if ({sendwhen}) {{"));
+                for b in &p2p.sbuf {
+                    let ty = mpi_type_expr(&b.elem, &b.name);
+                    code.body.push(format!(
+                        "  MPI_Put({buf}, {cnt}, {ty}, {receiver}, {buf}_disp, {cnt}, {ty}, win);",
+                        buf = b.name,
+                    ));
+                    req_count += 1;
+                }
+                code.body.push("}".to_string());
+            }
+            Target::Shmem => {
+                code.body.push(format!("if ({sendwhen}) {{"));
+                for b in &p2p.sbuf {
+                    let call = shmem_put_call(&b.elem);
+                    let size = if call == "shmem_putmem" {
+                        format!("({cnt})*sizeof({})", elem_c_size_hint(&b.elem))
+                    } else {
+                        cnt.clone()
+                    };
+                    code.body.push(format!(
+                        "  {call}({buf}_sym, {buf}, {size}, {receiver});",
+                        buf = b.name,
+                    ));
+                    req_count += 1;
+                }
+                code.body.push("}".to_string());
+            }
+        }
+    }
+
+    // Consolidated synchronization at the placed point.
+    let placement = match spec.place_sync() {
+        PlaceSync::EndParamRegion => "end of this comm_parameters region",
+        PlaceSync::BeginNextParamRegion => "beginning of next comm_parameters region",
+        PlaceSync::EndAdjParamRegions => "end of last adjacent comm_parameters region",
+    };
+    code.sync.push(format!("/* sync placed at: {placement} */"));
+    match target {
+        Target::Mpi2Side => {
+            code.sync
+                .push(format!("MPI_Waitall({req_count}, req, MPI_STATUSES_IGNORE);"));
+        }
+        Target::Mpi1Side => {
+            code.sync.push("MPI_Win_fence(0, win);".to_string());
+        }
+        Target::Shmem => {
+            code.sync.push("shmem_quiet();".to_string());
+            code.sync.push("shmem_barrier_all();".to_string());
+        }
+    }
+    code
+}
+
+fn elem_c_size_hint(elem: &ElemKind) -> String {
+    match elem {
+        ElemKind::Prim(b) | ElemKind::Strided { ty: b, .. } => c_type(*b).to_string(),
+        ElemKind::Composite(l) => l.name.clone(),
+    }
+}
+
+/// Lower a collective directive (the §V extension): MPI targets get the
+/// native collective over a derived group communicator; SHMEM gets
+/// generated puts plus synchronization.
+pub fn lower_coll(spec: &crate::dir::CollSpec, target: Target) -> GeneratedCode {
+    use crate::coll::CollKind;
+    let mut code = GeneratedCode::default();
+    let cnt = spec
+        .count
+        .as_ref()
+        .map(|e| e.to_string())
+        .unwrap_or_else(|| {
+            spec.sbuf
+                .iter()
+                .chain(&spec.rbuf)
+                .map(|b| b.len)
+                .min()
+                .unwrap_or(0)
+                .to_string()
+        });
+    let root = spec
+        .root
+        .as_ref()
+        .map(|e| e.to_string())
+        .unwrap_or_else(|| "0".to_string());
+    let sname = spec.sbuf.first().map(|b| b.name.clone()).unwrap_or_else(|| "sbuf".into());
+    let rname = spec.rbuf.first().map(|b| b.name.clone()).unwrap_or_else(|| "rbuf".into());
+    let ty = spec
+        .sbuf
+        .first()
+        .or_else(|| spec.rbuf.first())
+        .map(|b| mpi_type_expr(&b.elem, &b.name))
+        .unwrap_or_else(|| "MPI_BYTE".into());
+
+    // Group construction from groupwhen (the "groups of processes" part).
+    let comm_var = match &spec.groupwhen {
+        Some(c) => {
+            code.prologue.push(format!(
+                "MPI_Comm group_comm; MPI_Comm_split(comm, ({c}) ? 1 : MPI_UNDEFINED, rank, &group_comm);"
+            ));
+            "group_comm"
+        }
+        None => "comm",
+    };
+
+    match target {
+        Target::Mpi2Side | Target::Mpi1Side => {
+            let call = match spec.kind {
+                CollKind::Bcast => format!("MPI_Bcast({rname}, {cnt}, {ty}, {root}, {comm_var});"),
+                CollKind::Gather => format!(
+                    "MPI_Gather({sname}, {cnt}, {ty}, {rname}, {cnt}, {ty}, {root}, {comm_var});"
+                ),
+                CollKind::Scatter => format!(
+                    "MPI_Scatter({sname}, {cnt}, {ty}, {rname}, {cnt}, {ty}, {root}, {comm_var});"
+                ),
+                CollKind::AllToAll => format!(
+                    "MPI_Alltoall({sname}, {cnt}, {ty}, {rname}, {cnt}, {ty}, {comm_var});"
+                ),
+                CollKind::Reduce(op) => format!(
+                    "MPI_Reduce({sname}, {rname}, {cnt}, {ty}, {}, {root}, {comm_var});",
+                    op.mpi_name()
+                ),
+            };
+            code.body.push(call);
+        }
+        Target::Shmem => {
+            // Generated one-sided translation: puts + consolidated sync.
+            match spec.kind {
+                CollKind::Bcast => {
+                    code.body.push(format!("if (rank == {root}) {{"));
+                    code.body.push(format!(
+                        "  for (pe = 0; pe < npes; pe++) if (group[pe]) {}({rname}_sym, {rname}, {cnt}, pe);",
+                        shmem_put_call(&spec.rbuf.first().map(|b| b.elem.clone()).unwrap_or(ElemKind::Prim(BasicType::U8)))
+                    ));
+                    code.body.push("}".to_string());
+                }
+                CollKind::Gather | CollKind::Reduce(_) => {
+                    code.body.push(format!(
+                        "{}({rname}_sym + my_group_index*{cnt}, {sname}, {cnt}, {root});",
+                        shmem_put_call(&spec.sbuf.first().map(|b| b.elem.clone()).unwrap_or(ElemKind::Prim(BasicType::U8)))
+                    ));
+                }
+                CollKind::Scatter => {
+                    code.body.push(format!("if (rank == {root}) {{"));
+                    code.body.push(format!(
+                        "  for (pe = 0; pe < npes; pe++) if (group[pe]) {}({rname}_sym, {sname} + idx(pe)*{cnt}, {cnt}, pe);",
+                        shmem_put_call(&spec.rbuf.first().map(|b| b.elem.clone()).unwrap_or(ElemKind::Prim(BasicType::U8)))
+                    ));
+                    code.body.push("}".to_string());
+                }
+                CollKind::AllToAll => {
+                    code.body.push(format!(
+                        "for (pe = 0; pe < npes; pe++) if (group[pe]) {}({rname}_sym + my_group_index*{cnt}, {sname} + idx(pe)*{cnt}, {cnt}, pe);",
+                        shmem_put_call(&spec.sbuf.first().map(|b| b.elem.clone()).unwrap_or(ElemKind::Prim(BasicType::U8)))
+                    ));
+                }
+            }
+            code.sync.push("shmem_quiet();".to_string());
+            code.sync.push("shmem_barrier(group_start, 0, group_size, pSync);".to_string());
+        }
+    }
+    code
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::buffer::{BufMeta, CompositeLayout, FieldDef};
+    use crate::clause::ClauseSet;
+    use crate::expr::RankExpr;
+
+    fn prim_meta(name: &str, ty: BasicType, len: usize) -> BufMeta {
+        BufMeta {
+            name: name.to_string(),
+            elem: ElemKind::Prim(ty),
+            len,
+            addr: (0, len * ty.size()),
+        }
+    }
+
+    fn ring_spec() -> ParamsSpec {
+        ParamsSpec {
+            clauses: ClauseSet {
+                sender: Some(
+                    (RankExpr::rank() - RankExpr::lit(1) + RankExpr::nranks())
+                        % RankExpr::nranks(),
+                ),
+                receiver: Some((RankExpr::rank() + RankExpr::lit(1)) % RankExpr::nranks()),
+                ..ClauseSet::default()
+            },
+            body: vec![P2pSpec {
+                clauses: ClauseSet::default(),
+                sbuf: vec![prim_meta("buf1", BasicType::F64, 16)],
+                rbuf: vec![prim_meta("buf2", BasicType::F64, 16)],
+                has_overlap_body: false,
+                site: 0,
+            }],
+        }
+    }
+
+    #[test]
+    fn mpi2_translation_shape() {
+        let code = lower(&ring_spec(), Target::Mpi2Side);
+        let text = code.render();
+        assert!(text.contains("MPI_Isend(buf1, 16, MPI_DOUBLE"));
+        assert!(text.contains("MPI_Irecv(buf2, 16, MPI_DOUBLE"));
+        assert!(text.contains("MPI_Waitall(2, req"));
+        assert!(!text.contains("MPI_Wait(")); // never per-request waits
+    }
+
+    #[test]
+    fn mpi1_translation_shape() {
+        let code = lower(&ring_spec(), Target::Mpi1Side);
+        let text = code.render();
+        assert!(text.contains("MPI_Put(buf1"));
+        assert!(text.contains("MPI_Win_fence"));
+        assert!(!text.contains("MPI_Isend"));
+    }
+
+    #[test]
+    fn shmem_translation_selects_typed_put() {
+        let code = lower(&ring_spec(), Target::Shmem);
+        let text = code.render();
+        assert!(text.contains("shmem_put64(buf1_sym, buf1, 16"), "{text}");
+        assert!(text.contains("shmem_quiet();"));
+        assert!(text.contains("shmem_barrier_all();"));
+    }
+
+    #[test]
+    fn composite_gets_datatype_prologue_for_mpi_only() {
+        let layout = CompositeLayout {
+            name: "AtomScalars".to_string(),
+            extent: 24,
+            fields: vec![
+                FieldDef {
+                    name: "jmt".to_string(),
+                    offset: 0,
+                    ty: BasicType::I32,
+                    blocklen: 1,
+                },
+                FieldDef {
+                    name: "xstart".to_string(),
+                    offset: 8,
+                    ty: BasicType::F64,
+                    blocklen: 1,
+                },
+            ],
+        };
+        let mut spec = ring_spec();
+        spec.body[0].sbuf = vec![BufMeta {
+            name: "atom".to_string(),
+            elem: ElemKind::Composite(layout.clone()),
+            len: 1,
+            addr: (0, 24),
+        }];
+        spec.body[0].rbuf = spec.body[0].sbuf.clone();
+        spec.body[0].clauses.count = Some(RankExpr::lit(1));
+
+        let mpi = lower(&spec, Target::Mpi2Side).render();
+        assert!(mpi.contains("MPI_Type_create_struct"));
+        assert!(mpi.contains("MPI_Type_commit"));
+        assert!(mpi.contains("atom_AtomScalars_mpitype"));
+
+        let shm = lower(&spec, Target::Shmem).render();
+        assert!(!shm.contains("MPI_Type_create_struct"));
+        assert!(shm.contains("shmem_putmem"));
+    }
+
+    #[test]
+    fn sync_placement_annotated() {
+        let mut spec = ring_spec();
+        spec.clauses.place_sync = Some(PlaceSync::EndAdjParamRegions);
+        let text = lower(&spec, Target::Mpi2Side).render();
+        assert!(text.contains("end of last adjacent"));
+    }
+
+    #[test]
+    fn guards_render_conditions() {
+        let mut spec = ring_spec();
+        spec.clauses.sendwhen =
+            Some((RankExpr::rank() % RankExpr::lit(2)).eq(RankExpr::lit(0)));
+        spec.clauses.receivewhen =
+            Some((RankExpr::rank() % RankExpr::lit(2)).eq(RankExpr::lit(1)));
+        let text = lower(&spec, Target::Mpi2Side).render();
+        assert!(text.contains("if (((rank%2)==0))"));
+        assert!(text.contains("if (((rank%2)==1))"));
+    }
+}

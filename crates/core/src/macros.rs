@@ -1,0 +1,280 @@
+//! Pragma-shaped macros: the closest Rust rendering of the paper's
+//! directive syntax.
+//!
+//! ```
+//! use commint::prelude::*;
+//! use mpisim::Comm;
+//! use netsim::{run, SimConfig};
+//!
+//! let res = run(SimConfig::new(4), |ctx| {
+//!     let comm = Comm::world(ctx);
+//!     let mut session = CommSession::new(ctx, comm);
+//!     let me = session.rank() as i64;
+//!     let buf1 = [me; 4];
+//!     let mut buf2 = [0i64; 4];
+//!     // #pragma comm_parameters sender(prev) receiver(next)
+//!     // { #pragma comm_p2p sbuf(buf1) rbuf(buf2) }
+//!     comm_parameters!(session, {
+//!         sender((RankExpr::rank() - RankExpr::lit(1) + RankExpr::nranks()) % RankExpr::nranks())
+//!         receiver((RankExpr::rank() + RankExpr::lit(1)) % RankExpr::nranks())
+//!     }, |reg| {
+//!         comm_p2p!(reg, {
+//!             sbuf(Prim::new("buf1", &buf1))
+//!             rbuf(PrimMut::new("buf2", &mut buf2))
+//!         })
+//!         .unwrap();
+//!     })
+//!     .unwrap();
+//!     session.flush();
+//!     buf2[0]
+//! });
+//! assert_eq!(res.per_rank, vec![3, 0, 1, 2]);
+//! ```
+
+/// Open a `comm_parameters` region on a session:
+/// `comm_parameters!(session, { clause(args) ... }, |reg| { body })`.
+///
+/// Clauses: `sender`, `receiver`, `sendwhen`, `receivewhen`, `count`,
+/// `target`, `place_sync`, `max_comm_iter` — exactly the paper's set
+/// admissible on `comm_parameters`.
+#[macro_export]
+macro_rules! comm_parameters {
+    ($session:expr, { $($clause:ident ( $($arg:tt)* ))* }, $body:expr) => {{
+        #[allow(unused_mut)]
+        let mut __params = $crate::scope::CommParams::new();
+        $( __params = $crate::__params_clause!(__params, $clause, $($arg)*); )*
+        $session.region(&__params, $body)
+    }};
+}
+
+/// Issue a `comm_p2p` directive inside a region (or on a session for the
+/// standalone form):
+/// `comm_p2p!(reg, { clause(args) ... })` or
+/// `comm_p2p!(reg, { ... }, |ctx| { overlapped computation })`.
+///
+/// `sbuf`/`rbuf` take comma-separated buffer wrappers, mirroring the
+/// paper's buffer lists: `sbuf(Prim::new("vr", &vr), Prim::new("rhotot", &rhotot))`.
+/// The lexical site id is derived from `line!()`, which is how distinct
+/// directive instances inside loops keep distinct staging and tags.
+#[macro_export]
+macro_rules! comm_p2p {
+    ($reg:expr, { $($clause:ident ( $($arg:tt)* ))* }) => {{
+        let __call = $reg.p2p().site(line!());
+        $( let __call = $crate::__p2p_clause!(__call, $clause, $($arg)*); )*
+        __call.run()
+    }};
+    ($reg:expr, { $($clause:ident ( $($arg:tt)* ))* }, $body:expr) => {{
+        let __call = $reg.p2p().site(line!());
+        $( let __call = $crate::__p2p_clause!(__call, $clause, $($arg)*); )*
+        __call.overlap($body)
+    }};
+}
+
+/// Issue a collective directive on a session (the §V extension):
+/// `comm_coll!(session, BCAST { root(0) count(8) } => bcast(&mut buf))`.
+///
+/// Kinds: `BCAST`, `GATHER`, `SCATTER`, `ALLTOALL`, `REDUCE(op)`. Clauses:
+/// `root`, `groupwhen`, `count`, `target`, `site`. The `=> method(args)`
+/// part selects the buffer signature matching the kind.
+#[macro_export]
+macro_rules! comm_coll {
+    ($session:expr, REDUCE($op:expr) { $($clause:ident ( $($arg:tt)* ))* } => $method:ident ( $($bufs:tt)* )) => {{
+        let __call = $session.coll($crate::coll::CollKind::Reduce($op));
+        $( let __call = $crate::__coll_clause!(__call, $clause, $($arg)*); )*
+        __call.$method($($bufs)*)
+    }};
+    ($session:expr, $kind:ident { $($clause:ident ( $($arg:tt)* ))* } => $method:ident ( $($bufs:tt)* )) => {{
+        let __call = $session.coll($crate::__coll_kind!($kind));
+        $( let __call = $crate::__coll_clause!(__call, $clause, $($arg)*); )*
+        __call.$method($($bufs)*)
+    }};
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __coll_kind {
+    (BCAST) => {
+        $crate::coll::CollKind::Bcast
+    };
+    (GATHER) => {
+        $crate::coll::CollKind::Gather
+    };
+    (SCATTER) => {
+        $crate::coll::CollKind::Scatter
+    };
+    (ALLTOALL) => {
+        $crate::coll::CollKind::AllToAll
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __coll_clause {
+    ($c:expr, root, $($e:tt)*) => { $c.root($($e)*) };
+    ($c:expr, groupwhen, $($e:tt)*) => { $c.groupwhen($($e)*) };
+    ($c:expr, count, $($e:tt)*) => { $c.count($($e)*) };
+    ($c:expr, target, $($e:tt)*) => { $c.target($($e)*) };
+    ($c:expr, site, $($e:tt)*) => { $c.site($($e)*) };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __params_clause {
+    ($p:expr, sender, $($e:tt)*) => { $p.sender($($e)*) };
+    ($p:expr, receiver, $($e:tt)*) => { $p.receiver($($e)*) };
+    ($p:expr, sendwhen, $($e:tt)*) => { $p.sendwhen($($e)*) };
+    ($p:expr, receivewhen, $($e:tt)*) => { $p.receivewhen($($e)*) };
+    ($p:expr, count, $($e:tt)*) => { $p.count($($e)*) };
+    ($p:expr, target, $($e:tt)*) => { $p.target($($e)*) };
+    ($p:expr, place_sync, $($e:tt)*) => { $p.place_sync($($e)*) };
+    ($p:expr, max_comm_iter, $($e:tt)*) => { $p.max_comm_iter($($e)*) };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __p2p_clause {
+    ($c:expr, sbuf, $($b:expr),+ $(,)?) => {{ let mut __c = $c; $( __c = __c.sbuf($b); )+ __c }};
+    ($c:expr, rbuf, $($b:expr),+ $(,)?) => {{ let mut __c = $c; $( __c = __c.rbuf($b); )+ __c }};
+    ($c:expr, sender, $($e:tt)*) => { $c.sender($($e)*) };
+    ($c:expr, receiver, $($e:tt)*) => { $c.receiver($($e)*) };
+    ($c:expr, sendwhen, $($e:tt)*) => { $c.sendwhen($($e)*) };
+    ($c:expr, receivewhen, $($e:tt)*) => { $c.receivewhen($($e)*) };
+    ($c:expr, count, $($e:tt)*) => { $c.count($($e)*) };
+    ($c:expr, target, $($e:tt)*) => { $c.target($($e)*) };
+    ($c:expr, site, $($e:tt)*) => { $c.site($($e)*) };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+    use mpisim::Comm;
+    use netsim::{run, SimConfig};
+
+    #[test]
+    fn listing3_loop_with_optional_clauses() {
+        // Listing 3: comm_parameters with sendwhen/receivewhen, count,
+        // max_comm_iter, place_sync wrapping a loop of comm_p2p on &buf[p].
+        let n = 6usize;
+        let iters = 3usize;
+        let res = run(SimConfig::new(n), move |ctx| {
+            let comm = Comm::world(ctx);
+            let mut session = CommSession::new(ctx, comm);
+            let me = session.rank() as i64;
+            let buf1: Vec<i64> = (0..iters as i64).map(|p| me * 100 + p).collect();
+            let mut buf2 = vec![-1i64; iters];
+            comm_parameters!(session, {
+                sender(RankExpr::rank() - RankExpr::lit(1))
+                receiver(RankExpr::rank() + RankExpr::lit(1))
+                sendwhen((RankExpr::rank() % RankExpr::lit(2)).eq(RankExpr::lit(0)))
+                receivewhen((RankExpr::rank() % RankExpr::lit(2)).eq(RankExpr::lit(1)))
+                count(1)
+                max_comm_iter(iters as i64)
+                place_sync(PlaceSync::EndParamRegion)
+            }, |reg| {
+                for p in 0..iters {
+                    comm_p2p!(reg, {
+                        sbuf(Prim::new("buf1[p]", &buf1[p..p + 1]))
+                        rbuf(PrimMut::new("buf2[p]", &mut buf2[p..p + 1]))
+                    })
+                    .unwrap();
+                }
+            })
+            .unwrap();
+            session.flush();
+            (buf2, ctx.stats.waitalls)
+        });
+        for (r, (buf2, waitalls)) in res.per_rank.iter().enumerate() {
+            if r % 2 == 1 {
+                let prev = (r as i64 - 1) * 100;
+                assert_eq!(*buf2, vec![prev, prev + 1, prev + 2]);
+                assert_eq!(*waitalls, 1, "one consolidated sync for the loop");
+            } else {
+                assert!(buf2.iter().all(|&v| v == -1));
+            }
+        }
+    }
+
+    #[test]
+    fn buffer_lists_expand() {
+        // Listing 5 shape: sbuf(vr, rhotot) rbuf(vr, rhotot) count(size1).
+        let res = run(SimConfig::new(2), |ctx| {
+            let comm = Comm::world(ctx);
+            let mut session = CommSession::new(ctx, comm);
+            let vr = [1.0f64; 4];
+            let rhotot = [2.0f64; 4];
+            let mut vr_r = [0.0f64; 4];
+            let mut rhotot_r = [0.0f64; 4];
+            comm_parameters!(session, {
+                sender(RankExpr::lit(0))
+                receiver(RankExpr::lit(1))
+                sendwhen(RankExpr::rank().eq(RankExpr::lit(0)))
+                receivewhen(RankExpr::rank().eq(RankExpr::lit(1)))
+            }, |reg| {
+                comm_p2p!(reg, {
+                    sbuf(Prim::new("vr", &vr), Prim::new("rhotot", &rhotot))
+                    rbuf(PrimMut::new("vr", &mut vr_r), PrimMut::new("rhotot", &mut rhotot_r))
+                    count(4)
+                })
+                .unwrap();
+            })
+            .unwrap();
+            session.flush();
+            (vr_r, rhotot_r)
+        });
+        assert_eq!(res.per_rank[1].0, [1.0; 4]);
+        assert_eq!(res.per_rank[1].1, [2.0; 4]);
+    }
+
+    #[test]
+    fn comm_coll_macro_forms() {
+        let res = run(SimConfig::new(4), |ctx| {
+            let comm = Comm::world(ctx);
+            let mut session = CommSession::new(ctx, comm);
+            // Broadcast via the macro.
+            let mut params = if session.rank() == 0 { [3.5f64; 4] } else { [0.0; 4] };
+            comm_coll!(session, BCAST { root(0) count(4) } => bcast(&mut params)).unwrap();
+            // Reduce via the macro.
+            let mut v = [session.rank() as f64];
+            comm_coll!(
+                session,
+                REDUCE(crate::coll::ReduceOp::Sum) { root(0) site(9500) } => reduce(&mut v)
+            )
+            .unwrap();
+            session.flush();
+            (params, v[0])
+        });
+        for (params, _) in &res.per_rank {
+            assert_eq!(*params, [3.5; 4]);
+        }
+        assert_eq!(res.per_rank[0].1, 6.0);
+    }
+
+    #[test]
+    fn overlap_body_form() {
+        let res = run(SimConfig::new(2), |ctx| {
+            let comm = Comm::world(ctx);
+            let mut session = CommSession::new(ctx, comm);
+            let src = [9i32; 2];
+            let mut dst = [0i32; 2];
+            comm_parameters!(session, {
+                sender(RankExpr::lit(0))
+                receiver(RankExpr::lit(1))
+                sendwhen(RankExpr::rank().eq(RankExpr::lit(0)))
+                receivewhen(RankExpr::rank().eq(RankExpr::lit(1)))
+            }, |reg| {
+                comm_p2p!(reg, {
+                    sbuf(Prim::new("src", &src))
+                    rbuf(PrimMut::new("dst", &mut dst))
+                }, |ctx| {
+                    ctx.compute(netsim::Time::from_micros(50));
+                })
+                .unwrap();
+            })
+            .unwrap();
+            session.flush();
+            (dst, ctx.now())
+        });
+        assert_eq!(res.per_rank[1].0, [9; 2]);
+        assert!(res.per_rank[0].1 >= netsim::Time::from_micros(50));
+    }
+}

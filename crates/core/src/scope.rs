@@ -1,0 +1,1474 @@
+//! The runtime directive engine: `comm_parameters` regions and `comm_p2p`
+//! instances executing against a chosen target library, with the paper's
+//! automatic behaviours — data-type handling, count inference,
+//! synchronization consolidation and placement, communication/computation
+//! overlap, and symmetric staging-buffer reuse.
+//!
+//! ## Timing semantics
+//!
+//! Data movement is physical (the receive buffer really is filled), but the
+//! *cost* of waiting is deferred: a `comm_p2p` records virtual completion
+//! times, and the region's synchronization point folds them into the rank's
+//! clock as one consolidated charge ("for every set of adjacent comm_p2p
+//! directives with independent buffers, synchronization is consolidated and
+//! reduced in most cases to one call at the end"). Computation overlapped
+//! via [`P2pCall::overlap`] therefore advances the clock concurrently with
+//! the in-flight transfer, exactly like the generated overlap code.
+
+use std::collections::HashMap;
+
+use mpisim::dtype::DtypeCache;
+use mpisim::Comm;
+use netsim::{RankCtx, SegId, SendRequest, Time};
+
+use crate::buffer::{BufMeta, ElemKind, RecvBuf, SendBuf};
+use crate::clause::{ClauseSet, Diagnostic, DirectiveKind, PlaceSync, Target};
+use crate::dir::{P2pSpec, ParamsSpec};
+use crate::expr::{CondExpr, EvalEnv, ExprError, RankExpr};
+
+/// Base user tag reserved for directive-generated messages.
+const DIR_TAG_BASE: i32 = 1 << 18;
+
+/// Errors from directive execution.
+#[derive(Debug)]
+pub enum DirectiveError {
+    /// Clause/buffer validation failed.
+    Invalid(Vec<Diagnostic>),
+    /// A clause expression failed to evaluate.
+    Expr(ExprError),
+    /// An evaluated rank was outside the communicator.
+    RankOutOfRange { clause: &'static str, value: i64, size: usize },
+    /// A site executed more times than `max_comm_iter` allows.
+    MaxIterExceeded { site: u32, bound: i64 },
+    /// A later execution's payload exceeded the staging capacity fixed at
+    /// first execution (increase `max_comm_iter` or keep counts uniform).
+    StagingOverflow { site: u32, need: usize, have: usize },
+}
+
+impl std::fmt::Display for DirectiveError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            DirectiveError::Invalid(diags) => {
+                writeln!(f, "directive validation failed:")?;
+                for d in diags {
+                    writeln!(f, "  {d}")?;
+                }
+                Ok(())
+            }
+            DirectiveError::Expr(e) => write!(f, "clause expression error: {e}"),
+            DirectiveError::RankOutOfRange { clause, value, size } => write!(
+                f,
+                "`{clause}` evaluated to {value}, outside communicator of size {size}"
+            ),
+            DirectiveError::MaxIterExceeded { site, bound } => write!(
+                f,
+                "comm_p2p site {site} executed more than max_comm_iter={bound} times"
+            ),
+            DirectiveError::StagingOverflow { site, need, have } => write!(
+                f,
+                "comm_p2p site {site}: payload {need}B exceeds staging capacity {have}B"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for DirectiveError {}
+
+impl From<ExprError> for DirectiveError {
+    fn from(e: ExprError) -> Self {
+        DirectiveError::Expr(e)
+    }
+}
+
+/// Builder for the `comm_parameters` directive's clause list.
+#[derive(Clone, Debug, Default)]
+pub struct CommParams {
+    /// The clause payload.
+    pub clauses: ClauseSet,
+}
+
+impl CommParams {
+    /// Empty clause list.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// `sender(expr)`.
+    pub fn sender(mut self, e: impl Into<RankExpr>) -> Self {
+        self.clauses.sender = Some(e.into());
+        self
+    }
+
+    /// `receiver(expr)`.
+    pub fn receiver(mut self, e: impl Into<RankExpr>) -> Self {
+        self.clauses.receiver = Some(e.into());
+        self
+    }
+
+    /// `sendwhen(cond)`.
+    pub fn sendwhen(mut self, c: CondExpr) -> Self {
+        self.clauses.sendwhen = Some(c);
+        self
+    }
+
+    /// `receivewhen(cond)`.
+    pub fn receivewhen(mut self, c: CondExpr) -> Self {
+        self.clauses.receivewhen = Some(c);
+        self
+    }
+
+    /// `count(expr)`.
+    pub fn count(mut self, e: impl Into<RankExpr>) -> Self {
+        self.clauses.count = Some(e.into());
+        self
+    }
+
+    /// `target(keyword)`.
+    pub fn target(mut self, t: Target) -> Self {
+        self.clauses.target = Some(t);
+        self
+    }
+
+    /// `place_sync(keyword)`.
+    pub fn place_sync(mut self, p: PlaceSync) -> Self {
+        self.clauses.place_sync = Some(p);
+        self
+    }
+
+    /// `max_comm_iter(expr)`.
+    pub fn max_comm_iter(mut self, e: impl Into<RankExpr>) -> Self {
+        self.clauses.max_comm_iter = Some(e.into());
+        self
+    }
+}
+
+/// Deferred synchronization state accumulated by directive executions.
+#[derive(Default)]
+struct PendingSync {
+    /// Outstanding non-blocking sends (MPI two-sided).
+    send_reqs: Vec<SendRequest>,
+    /// Completion times of already-delivered receives (MPI two-sided).
+    recv_completions: Vec<Time>,
+    /// Put arrival times by library, sender side.
+    put_arrivals_mpi: Vec<Time>,
+    put_arrivals_shmem: Vec<Time>,
+    /// Incoming put arrival times, receiver side.
+    recv_arrivals_mpi: Vec<Time>,
+    recv_arrivals_shmem: Vec<Time>,
+    /// Whether any directive in scope used each one-sided target (uniform
+    /// across ranks, so the collective fence/barrier is safe).
+    used_mpi1: bool,
+    used_shmem: bool,
+}
+
+impl PendingSync {
+    fn is_empty(&self) -> bool {
+        self.send_reqs.is_empty()
+            && self.recv_completions.is_empty()
+            && !self.used_mpi1
+            && !self.used_shmem
+    }
+
+    fn absorb(&mut self, mut other: PendingSync) {
+        self.send_reqs.append(&mut other.send_reqs);
+        self.recv_completions.append(&mut other.recv_completions);
+        self.put_arrivals_mpi.append(&mut other.put_arrivals_mpi);
+        self.put_arrivals_shmem.append(&mut other.put_arrivals_shmem);
+        self.recv_arrivals_mpi.append(&mut other.recv_arrivals_mpi);
+        self.recv_arrivals_shmem.append(&mut other.recv_arrivals_shmem);
+        self.used_mpi1 |= other.used_mpi1;
+        self.used_shmem |= other.used_shmem;
+    }
+}
+
+/// A per-site symmetric staging allocation for one-sided targets.
+struct StagingSite {
+    seg: SegId,
+    /// Byte offset of each buffer within one slot.
+    buf_offsets: Vec<usize>,
+    /// Bytes per slot (one directive execution).
+    slot_bytes: usize,
+    /// Number of slots (`max_comm_iter` at first execution, else 1).
+    slots: usize,
+    /// Per-destination send counts (slot selection on the sender).
+    send_counts: HashMap<usize, u64>,
+    /// Receive count (slot selection + signal indexing on the receiver).
+    recv_count: u64,
+}
+
+/// A directive session: binds a rank context to a communicator and holds
+/// the cross-region state — the per-scope datatype cache, carried
+/// synchronizations (`place_sync` deferral), symmetric staging sites, and
+/// the recorded IR of every region executed (for analysis).
+pub struct CommSession<'a> {
+    ctx: &'a mut RankCtx,
+    comm: Comm,
+    vars: HashMap<String, i64>,
+    dtype_cache: DtypeCache,
+    carried_next: PendingSync,
+    carried_adj: PendingSync,
+    staging: HashMap<u32, StagingSite>,
+    /// Arrival horizons of physically-received-but-unsynced buffers, keyed
+    /// by address range. A later send reading such a buffer is forced to
+    /// depart no earlier than the data's virtual arrival (causality under
+    /// deferred synchronization — the "relaxed" sync stays legal).
+    recv_horizons: Vec<((usize, usize), Time)>,
+    /// Recorded region IR (first instance per call order), for analysis.
+    program: Vec<ParamsSpec>,
+    record_ir: bool,
+}
+
+impl<'a> CommSession<'a> {
+    /// Create a session over `comm`.
+    pub fn new(ctx: &'a mut RankCtx, comm: Comm) -> Self {
+        CommSession {
+            ctx,
+            comm,
+            vars: HashMap::new(),
+            dtype_cache: DtypeCache::new(),
+            carried_next: PendingSync::default(),
+            carried_adj: PendingSync::default(),
+            staging: HashMap::new(),
+            recv_horizons: Vec::new(),
+            program: Vec::new(),
+            record_ir: true,
+        }
+    }
+
+    /// The latest arrival horizon of received data overlapping `range`
+    /// (data-dependency fence for sends under deferred sync).
+    fn data_horizon(&self, range: (usize, usize)) -> Option<Time> {
+        self.recv_horizons
+            .iter()
+            .filter(|((lo, hi), _)| *lo < range.1 && range.0 < *hi)
+            .map(|&(_, t)| t)
+            .max()
+    }
+
+    /// Disable IR recording (hot loops in benches).
+    pub fn without_ir(mut self) -> Self {
+        self.record_ir = false;
+        self
+    }
+
+    /// Bind a clause variable.
+    pub fn set_var(&mut self, name: &str, value: i64) {
+        self.vars.insert(name.to_string(), value);
+    }
+
+    /// The underlying rank context.
+    pub fn ctx(&mut self) -> &mut RankCtx {
+        self.ctx
+    }
+
+    /// The session's communicator.
+    pub fn comm(&self) -> &Comm {
+        &self.comm
+    }
+
+    /// This rank's communicator-local id.
+    pub fn rank(&self) -> usize {
+        self.comm.rank(self.ctx)
+    }
+
+    /// Communicator size.
+    pub fn size(&self) -> usize {
+        self.comm.size()
+    }
+
+    /// Recorded directive IR so far.
+    pub fn program(&self) -> &[ParamsSpec] {
+        &self.program
+    }
+
+    fn env(&self) -> EvalEnv {
+        EvalEnv {
+            rank: self.comm.rank(self.ctx) as i64,
+            nranks: self.comm.size() as i64,
+            vars: self.vars.clone(),
+        }
+    }
+
+    /// Execute a `comm_parameters` region: validates the clause list,
+    /// applies any synchronization deferred to the region's beginning, runs
+    /// `body`, then places this region's synchronization per `place_sync`.
+    pub fn region<R>(
+        &mut self,
+        params: &CommParams,
+        body: impl FnOnce(&mut Region<'_, 'a>) -> R,
+    ) -> Result<R, DirectiveError> {
+        let diags = params
+            .clauses
+            .validate(DirectiveKind::CommParameters, None);
+        let errors: Vec<Diagnostic> = diags
+            .iter()
+            .filter(|d| d.severity == crate::clause::Severity::Error)
+            .cloned()
+            .collect();
+        // A region's sender/receiver may be supplied by its p2ps; only the
+        // pairing rule and params-only placement apply here.
+        let hard: Vec<Diagnostic> = errors
+            .into_iter()
+            .filter(|d| d.message.contains("both"))
+            .collect();
+        if !hard.is_empty() {
+            return Err(DirectiveError::Invalid(hard));
+        }
+
+        // BEGIN_NEXT_PARAM_REGION syncs land here.
+        let carried = std::mem::take(&mut self.carried_next);
+        self.apply_sync(carried);
+
+        let max_iter = match &params.clauses.max_comm_iter {
+            Some(e) => Some(e.eval(&self.env())?),
+            None => None,
+        };
+
+        let mut region = Region {
+            session: self,
+            clauses: params.clauses.clone(),
+            pending: PendingSync::default(),
+            spec: ParamsSpec {
+                clauses: params.clauses.clone(),
+                body: Vec::new(),
+            },
+            iter_counts: HashMap::new(),
+            max_iter,
+            error: None,
+            used_bufs: Vec::new(),
+            split_syncs: 0,
+        };
+        let out = body(&mut region);
+        let Region {
+            pending,
+            spec,
+            error,
+            ..
+        } = region;
+        if let Some(e) = error {
+            return Err(e);
+        }
+
+        match spec.place_sync() {
+            PlaceSync::EndParamRegion => {
+                let adj = std::mem::take(&mut self.carried_adj);
+                self.apply_sync(adj);
+                self.apply_sync(pending);
+            }
+            PlaceSync::BeginNextParamRegion => {
+                self.carried_next.absorb(pending);
+            }
+            PlaceSync::EndAdjParamRegions => {
+                self.carried_adj.absorb(pending);
+            }
+        }
+        if self.record_ir {
+            self.program.push(spec);
+        }
+        Ok(out)
+    }
+
+    /// Execute a standalone `comm_p2p` (outside any region): synchronizes
+    /// immediately after the instance (plus any overlap body).
+    pub fn p2p<'r, 'data>(&'r mut self) -> P2pCall<'r, 'r, 'a, 'data> {
+        P2pCall {
+            region: RegionRef::Standalone {
+                session: self,
+                pending: PendingSync::default(),
+            },
+            clauses: ClauseSet::default(),
+            site: 0,
+            sbufs: Vec::new(),
+            rbufs: Vec::new(),
+        }
+    }
+
+    /// Force application of all deferred synchronizations (the end of a run
+    /// of adjacent regions, or program end).
+    pub fn flush(&mut self) {
+        let next = std::mem::take(&mut self.carried_next);
+        self.apply_sync(next);
+        let adj = std::mem::take(&mut self.carried_adj);
+        self.apply_sync(adj);
+    }
+
+    /// Flush and return the recorded IR.
+    pub fn finish(mut self) -> Vec<ParamsSpec> {
+        self.flush();
+        std::mem::take(&mut self.program)
+    }
+
+    fn apply_sync(&mut self, pending: PendingSync) {
+        if pending.is_empty() {
+            return;
+        }
+        let mpi = self.ctx.machine().mpi;
+        let shmem = self.ctx.machine().shmem;
+
+        // MPI two-sided: one consolidated Waitall over sends + receives.
+        let n2 = pending.send_reqs.len() + pending.recv_completions.len();
+        if n2 > 0 {
+            let mut completions = pending.recv_completions;
+            for req in &pending.send_reqs {
+                completions.push(req.wait_raw());
+            }
+            self.ctx.charge_consolidated(&completions, n2, &mpi);
+        }
+
+        // MPI one-sided: fence = quiet + barrier over the communicator.
+        if pending.used_mpi1 {
+            let horizon = pending
+                .put_arrivals_mpi
+                .iter()
+                .chain(&pending.recv_arrivals_mpi)
+                .copied()
+                .fold(Time::ZERO, Time::max);
+            self.ctx.advance_to(horizon);
+            self.ctx.take_outstanding_puts();
+            self.ctx.charge(Time::from_nanos(mpi.o_quiet));
+            let group = self.comm.sorted_globals();
+            self.ctx.barrier_group(&group, &mpi);
+        }
+
+        // SHMEM: quiet (sender-side put completion) plus point-wise
+        // completion of incoming signalled deliveries (`shmem_wait`-style).
+        // No collective barrier: SHMEM's one-sided model needs none, which
+        // is precisely why it scales on small frequent transfers (paper
+        // §IV-B and refs [13][14]).
+        if pending.used_shmem {
+            let horizon = pending
+                .put_arrivals_shmem
+                .iter()
+                .chain(&pending.recv_arrivals_shmem)
+                .copied()
+                .fold(Time::ZERO, Time::max);
+            self.ctx.advance_to(horizon);
+            self.ctx.take_outstanding_puts();
+            self.ctx.charge(Time::from_nanos(shmem.o_quiet));
+            self.ctx.stats.quiets += 1;
+        }
+
+        // Horizons covered by the charges above are no longer needed.
+        let now = self.ctx.now();
+        self.recv_horizons.retain(|&(_, t)| t > now);
+    }
+}
+
+/// An open `comm_parameters` region.
+pub struct Region<'s, 'a> {
+    session: &'s mut CommSession<'a>,
+    clauses: ClauseSet,
+    pending: PendingSync,
+    spec: ParamsSpec,
+    iter_counts: HashMap<u32, u64>,
+    max_iter: Option<i64>,
+    error: Option<DirectiveError>,
+    /// Address ranges touched by pending (unsynced) directives in this
+    /// region: `(lo, hi, written)`. A new directive whose buffers conflict
+    /// (write-write or read-write overlap) forces an intermediate sync —
+    /// the paper consolidates only "adjacent comm_p2p directives with
+    /// independent buffers".
+    used_bufs: Vec<(usize, usize, bool)>,
+    /// Number of intermediate syncs forced by buffer dependences.
+    pub split_syncs: usize,
+}
+
+impl<'s, 'a> Region<'s, 'a> {
+    /// Start a `comm_p2p` instance in this region.
+    pub fn p2p<'r, 'data>(&'r mut self) -> P2pCall<'r, 's, 'a, 'data> {
+        P2pCall {
+            region: RegionRef::InRegion(self),
+            clauses: ClauseSet::default(),
+            site: 0,
+            sbufs: Vec::new(),
+            rbufs: Vec::new(),
+        }
+    }
+
+    /// The rank context (for computation between directives).
+    pub fn ctx(&mut self) -> &mut RankCtx {
+        self.session.ctx
+    }
+
+    /// Bind a clause variable mid-region.
+    pub fn set_var(&mut self, name: &str, value: i64) {
+        self.session.set_var(name, value);
+    }
+
+    /// The first error raised by a p2p in this region, if any (errors also
+    /// abort the enclosing [`CommSession::region`] call).
+    pub fn error(&self) -> Option<&DirectiveError> {
+        self.error.as_ref()
+    }
+}
+
+enum RegionRef<'r, 's, 'a> {
+    InRegion(&'r mut Region<'s, 'a>),
+    Standalone {
+        session: &'r mut CommSession<'a>,
+        pending: PendingSync,
+    },
+}
+
+/// A `comm_p2p` call under construction. Finish with [`P2pCall::run`] or
+/// [`P2pCall::overlap`].
+pub struct P2pCall<'r, 's, 'a, 'data> {
+    region: RegionRef<'r, 's, 'a>,
+    clauses: ClauseSet,
+    site: u32,
+    sbufs: Vec<Box<dyn SendBuf + 'data>>,
+    rbufs: Vec<Box<dyn RecvBuf + 'data>>,
+}
+
+impl<'r, 's, 'a, 'data> P2pCall<'r, 's, 'a, 'data> {
+    /// Distinguish lexical `comm_p2p` sites sharing a region (the macro
+    /// passes `line!()`; manual callers pass any stable id).
+    pub fn site(mut self, site: u32) -> Self {
+        self.site = site;
+        self
+    }
+
+    /// `sender(expr)` override.
+    pub fn sender(mut self, e: impl Into<RankExpr>) -> Self {
+        self.clauses.sender = Some(e.into());
+        self
+    }
+
+    /// `receiver(expr)` override.
+    pub fn receiver(mut self, e: impl Into<RankExpr>) -> Self {
+        self.clauses.receiver = Some(e.into());
+        self
+    }
+
+    /// `sendwhen(cond)` override.
+    pub fn sendwhen(mut self, c: CondExpr) -> Self {
+        self.clauses.sendwhen = Some(c);
+        self
+    }
+
+    /// `receivewhen(cond)` override.
+    pub fn receivewhen(mut self, c: CondExpr) -> Self {
+        self.clauses.receivewhen = Some(c);
+        self
+    }
+
+    /// `count(expr)` override.
+    pub fn count(mut self, e: impl Into<RankExpr>) -> Self {
+        self.clauses.count = Some(e.into());
+        self
+    }
+
+    /// `target(keyword)` override.
+    pub fn target(mut self, t: Target) -> Self {
+        self.clauses.target = Some(t);
+        self
+    }
+
+    /// Add a send buffer (`sbuf` list element).
+    pub fn sbuf(mut self, b: impl SendBuf + 'data) -> Self {
+        self.sbufs.push(Box::new(b));
+        self
+    }
+
+    /// Add a receive buffer (`rbuf` list element).
+    pub fn rbuf(mut self, b: impl RecvBuf + 'data) -> Self {
+        self.rbufs.push(Box::new(b));
+        self
+    }
+
+    /// Execute with an empty body.
+    pub fn run(self) -> Result<(), DirectiveError> {
+        self.execute(|_| {})
+    }
+
+    /// Execute with a computation body overlapped with the communication.
+    pub fn overlap(self, f: impl FnOnce(&mut RankCtx)) -> Result<(), DirectiveError> {
+        self.execute(f)
+    }
+
+    fn execute(mut self, body: impl FnOnce(&mut RankCtx)) -> Result<(), DirectiveError> {
+        let mut standalone_spec = ParamsSpec::default();
+        let result = {
+            let (session, pending, outer, max_iter, iter_counts, spec, used_bufs) =
+                match &mut self.region {
+                    RegionRef::InRegion(r) => (
+                        &mut *r.session,
+                        &mut r.pending,
+                        Some(r.clauses.clone()),
+                        r.max_iter,
+                        Some(&mut r.iter_counts),
+                        Some(&mut r.spec),
+                        Some((&mut r.used_bufs, &mut r.split_syncs)),
+                    ),
+                    RegionRef::Standalone { session, pending } => (
+                        &mut **session,
+                        pending,
+                        None,
+                        None,
+                        None,
+                        Some(&mut standalone_spec),
+                        None,
+                    ),
+                };
+            execute_p2p(
+                session,
+                pending,
+                outer,
+                max_iter,
+                iter_counts,
+                spec,
+                used_bufs,
+                &self.clauses,
+                self.site,
+                &self.sbufs,
+                &mut self.rbufs,
+                body,
+            )
+        };
+        match result {
+            Ok(()) => {
+                // Standalone p2p: synchronize immediately and record IR.
+                if let RegionRef::Standalone { session, pending } = self.region {
+                    let p = pending;
+                    session.apply_sync(p);
+                    if session.record_ir {
+                        session.program.push(standalone_spec);
+                    }
+                }
+                Ok(())
+            }
+            Err(e) => {
+                if let RegionRef::InRegion(r) = &mut self.region {
+                    if r.error.is_none() {
+                        r.error = Some(DirectiveError::Invalid(vec![Diagnostic::error(
+                            format!("{e}"),
+                        )]));
+                    }
+                }
+                Err(e)
+            }
+        }
+    }
+}
+
+#[allow(clippy::too_many_arguments)]
+fn execute_p2p(
+    session: &mut CommSession<'_>,
+    pending: &mut PendingSync,
+    outer: Option<ClauseSet>,
+    max_iter: Option<i64>,
+    iter_counts: Option<&mut HashMap<u32, u64>>,
+    spec: Option<&mut ParamsSpec>,
+    used_bufs: Option<(&mut Vec<(usize, usize, bool)>, &mut usize)>,
+    clauses: &ClauseSet,
+    site: u32,
+    sbufs: &[Box<dyn SendBuf + '_>],
+    rbufs: &mut [Box<dyn RecvBuf + '_>],
+    body: impl FnOnce(&mut RankCtx),
+) -> Result<(), DirectiveError> {
+    // -- validation ----------------------------------------------------------
+    let sb_meta: Vec<BufMeta> = sbufs.iter().map(|b| b.meta()).collect();
+    let rb_meta: Vec<BufMeta> = rbufs.iter().map(|b| b.meta()).collect();
+    let p2p_spec = P2pSpec {
+        clauses: clauses.clone(),
+        sbuf: sb_meta.clone(),
+        rbuf: rb_meta.clone(),
+        has_overlap_body: true, // unknown statically; body may be empty
+        site,
+    };
+    let diags = p2p_spec.validate(outer.as_ref());
+    if ClauseSet::has_errors(&diags) {
+        return Err(DirectiveError::Invalid(
+            diags
+                .into_iter()
+                .filter(|d| d.severity == crate::clause::Severity::Error)
+                .collect(),
+        ));
+    }
+
+    // Record IR on first execution of this site within the region.
+    let mut first_execution_of_site = true;
+    if let Some(counts) = iter_counts {
+        let c = counts.entry(site).or_insert(0);
+        first_execution_of_site = *c == 0;
+        *c += 1;
+        if let Some(bound) = max_iter {
+            if *c as i64 > bound {
+                return Err(DirectiveError::MaxIterExceeded { site, bound });
+            }
+        }
+    }
+    if first_execution_of_site {
+        if let Some(spec) = spec {
+            spec.body.push(p2p_spec);
+        }
+    }
+
+    // -- clause resolution -----------------------------------------------------
+    let merged = match &outer {
+        Some(o) => clauses.merged_with(o),
+        None => clauses.clone(),
+    };
+    let env = session.env();
+    let is_sender = match &merged.sendwhen {
+        Some(c) => c.eval(&env)?,
+        None => true,
+    };
+    let is_receiver = match &merged.receivewhen {
+        Some(c) => c.eval(&env)?,
+        None => true,
+    };
+    let count = match &merged.count {
+        Some(e) => {
+            let v = e.eval(&env)?;
+            if v < 0 {
+                return Err(DirectiveError::RankOutOfRange {
+                    clause: "count",
+                    value: v,
+                    size: usize::MAX,
+                });
+            }
+            v as usize
+        }
+        None => p2p_specless_inferred_count(&sb_meta, &rb_meta),
+    };
+    let target = merged.target.unwrap_or_default();
+    let size = session.comm.size();
+
+    let dest = if is_sender {
+        let e = merged.receiver.as_ref().expect("validated");
+        let v = e.eval(&env)?;
+        if v < 0 || v >= size as i64 {
+            return Err(DirectiveError::RankOutOfRange {
+                clause: "receiver",
+                value: v,
+                size,
+            });
+        }
+        Some(v as usize)
+    } else {
+        None
+    };
+    let src = if is_receiver {
+        let e = merged.sender.as_ref().expect("validated");
+        let v = e.eval(&env)?;
+        if v < 0 || v >= size as i64 {
+            return Err(DirectiveError::RankOutOfRange {
+                clause: "sender",
+                value: v,
+                size,
+            });
+        }
+        Some(v as usize)
+    } else {
+        None
+    };
+
+    // -- buffer-independence guard -----------------------------------------------
+    // Consolidation is legal only across independent buffers (paper
+    // §III-A). A directive that writes memory an unsynced directive touched
+    // (or reads memory one wrote) forces the generated code to synchronize
+    // first; the engine models exactly that split.
+    if let Some((used, splits)) = used_bufs {
+        let mut current: Vec<(usize, usize, bool)> = Vec::new();
+        if is_sender {
+            for m in &sb_meta {
+                current.push((m.addr.0, m.addr.1, false));
+            }
+        }
+        if is_receiver {
+            for m in &rb_meta {
+                current.push((m.addr.0, m.addr.1, true));
+            }
+        }
+        let conflict = current.iter().any(|&(lo, hi, w)| {
+            lo < hi
+                && used
+                    .iter()
+                    .any(|&(ulo, uhi, uw)| ulo < hi && lo < uhi && (w || uw))
+        });
+        if conflict {
+            let p = std::mem::take(pending);
+            session.apply_sync(p);
+            used.clear();
+            *splits += 1;
+        }
+        used.extend(current.into_iter().filter(|&(lo, hi, _)| lo < hi));
+    }
+
+    // -- dispatch ---------------------------------------------------------------
+    match target {
+        Target::Mpi2Side => {
+            exec_mpi2(session, pending, site, sbufs, rbufs, count, dest, src)?;
+        }
+        Target::Mpi1Side | Target::Shmem => {
+            exec_onesided(
+                session, pending, site, sbufs, rbufs, count, dest, src, target, max_iter,
+            )?;
+        }
+    }
+
+    // -- overlapped computation --------------------------------------------------
+    body(session.ctx);
+    Ok(())
+}
+
+fn p2p_specless_inferred_count(sb: &[BufMeta], rb: &[BufMeta]) -> usize {
+    sb.iter().chain(rb).map(|b| b.len).min().unwrap_or(0)
+}
+
+/// MPI two-sided lowering: non-blocking Isend/Irecv through automatic
+/// datatypes; completion deferred to the region sync.
+#[allow(clippy::too_many_arguments)]
+fn exec_mpi2(
+    session: &mut CommSession<'_>,
+    pending: &mut PendingSync,
+    site: u32,
+    sbufs: &[Box<dyn SendBuf + '_>],
+    rbufs: &mut [Box<dyn RecvBuf + '_>],
+    count: usize,
+    dest: Option<usize>,
+    src: Option<usize>,
+) -> Result<(), DirectiveError> {
+    let tag = DIR_TAG_BASE + site as i32;
+    let mpi = session.ctx.machine().mpi;
+    if let Some(dest) = dest {
+        for sb in sbufs {
+            let meta = sb.meta();
+            let n = count.min(meta.len);
+            // Causality under deferred sync: reading a buffer that was
+            // filled by an unsynced receive fences the departure to the
+            // data's arrival (no software overhead charged — this is the
+            // data dependency, not a wait call).
+            if let Some(h) = session.data_horizon(meta.addr) {
+                session.ctx.advance_to(h);
+            }
+            let mut payload = Vec::with_capacity(n * meta.elem.packed_size());
+            sb.gather(n, &mut payload);
+            if !matches!(meta.elem, ElemKind::Prim(_)) {
+                // Derived-datatype path (struct or vector): one-time commit
+                // per layout, cheap per-byte gather (instead of an explicit
+                // MPI_Pack copy).
+                let dt = meta.elem.to_datatype();
+                session
+                    .dtype_cache
+                    .ensure_committed(session.ctx, &dt, &mpi);
+                session
+                    .ctx
+                    .charge(mpi.byte_cost(mpi.datatype_per_byte, payload.len()));
+            }
+            let req = session
+                .comm
+                .isend_bytes(session.ctx, dest, tag, bytes::Bytes::from(payload));
+            pending.send_reqs.push(req);
+        }
+    }
+    if let Some(src) = src {
+        for rb in rbufs.iter_mut() {
+            let meta = rb.meta();
+            let n = count.min(meta.len);
+            let req = session.comm.irecv(session.ctx, Some(src), Some(tag));
+            // Physically complete now (data lands in the user buffer); the
+            // virtual wait cost is deferred to the region sync point.
+            let done = req.wait_raw();
+            if !matches!(meta.elem, ElemKind::Prim(_)) {
+                let dt = meta.elem.to_datatype();
+                session
+                    .dtype_cache
+                    .ensure_committed(session.ctx, &dt, &mpi);
+                session
+                    .ctx
+                    .charge(mpi.byte_cost(mpi.datatype_per_byte, done.payload.len()));
+            }
+            rb.scatter(n, &done.payload);
+            session.recv_horizons.push((meta.addr, done.completion));
+            pending.recv_completions.push(done.completion);
+        }
+    }
+    Ok(())
+}
+
+/// One-sided lowering (MPI_Put or shmem_put): symmetric staging slots sized
+/// by `max_comm_iter`, signalled deliveries, sync deferred to the region
+/// fence/barrier.
+#[allow(clippy::too_many_arguments)]
+fn exec_onesided(
+    session: &mut CommSession<'_>,
+    pending: &mut PendingSync,
+    site: u32,
+    sbufs: &[Box<dyn SendBuf + '_>],
+    rbufs: &mut [Box<dyn RecvBuf + '_>],
+    count: usize,
+    dest: Option<usize>,
+    src: Option<usize>,
+    target: Target,
+    max_iter: Option<i64>,
+) -> Result<(), DirectiveError> {
+    let model = match target {
+        Target::Mpi1Side => session.ctx.machine().mpi,
+        _ => session.ctx.machine().shmem,
+    };
+    match target {
+        Target::Mpi1Side => pending.used_mpi1 = true,
+        Target::Shmem => pending.used_shmem = true,
+        Target::Mpi2Side => unreachable!(),
+    }
+
+    // Lazily create the per-site staging segment (collective: every rank of
+    // the communicator executes the directive, participant or not).
+    if !session.staging.contains_key(&site) {
+        let metas: Vec<BufMeta> = sbufs.iter().map(|b| b.meta()).collect();
+        let mut buf_offsets = Vec::with_capacity(metas.len());
+        let mut off = 0usize;
+        for m in &metas {
+            buf_offsets.push(off);
+            // Sized by the SPMD-uniform count, NOT the local buffer length:
+            // non-participating ranks may pass empty placeholder buffers,
+            // but the collective symmetric allocation must agree everywhere.
+            off += count * m.elem.packed_size();
+        }
+        let slot_bytes = off.max(1);
+        let slots = max_iter.map(|m| m.max(1) as usize).unwrap_or(1);
+        let group = session.comm.sorted_globals();
+        // Windowed staging: a sender physically blocks (no virtual charge)
+        // rather than overwrite a slot the receiver has not drained —
+        // `max_comm_iter` sizes the in-flight window, as the paper intends
+        // ("facilitate code generation for synchronizations").
+        let window = (slots * sbufs.len().max(1)) as u64;
+        let seg = session
+            .ctx
+            .sym_alloc_windowed(&group, slot_bytes * slots, window, &model);
+        session.staging.insert(
+            site,
+            StagingSite {
+                seg,
+                buf_offsets,
+                slot_bytes,
+                slots,
+                send_counts: HashMap::new(),
+                recv_count: 0,
+            },
+        );
+    }
+
+    // Sender: put each buffer's packed payload into the destination's slot.
+    if let Some(dest) = dest {
+        let global_dest = session.comm.global(dest);
+        let (seg, slot_base, offsets, slot_bytes) = {
+            let st = session.staging.get_mut(&site).expect("staging created");
+            let k = st.send_counts.entry(dest).or_insert(0);
+            let slot = (*k % st.slots as u64) as usize;
+            *k += 1;
+            (
+                st.seg,
+                slot * st.slot_bytes,
+                st.buf_offsets.clone(),
+                st.slot_bytes,
+            )
+        };
+        let mut payload = Vec::new();
+        let mut used = 0usize;
+        for (i, sb) in sbufs.iter().enumerate() {
+            let meta = sb.meta();
+            let n = count.min(meta.len);
+            // Data-dependency fence (see the two-sided path).
+            if let Some(h) = session.data_horizon(meta.addr) {
+                session.ctx.advance_to(h);
+            }
+            payload.clear();
+            sb.gather(n, &mut payload);
+            used += payload.len();
+            if used > slot_bytes {
+                return Err(DirectiveError::StagingOverflow {
+                    site,
+                    need: used,
+                    have: slot_bytes,
+                });
+            }
+            if !matches!(meta.elem, ElemKind::Prim(_)) {
+                // SHMEM has no datatype engine: composite/strided payloads
+                // are packed by generated code before the put (MPI_Put pays
+                // the datatype gather instead).
+                match target {
+                    Target::Shmem => session
+                        .ctx
+                        .charge(model.byte_cost(model.pack_per_byte, payload.len())),
+                    _ => session
+                        .ctx
+                        .charge(model.byte_cost(model.datatype_per_byte, payload.len())),
+                }
+            }
+            let arrival = session.ctx.put(
+                seg,
+                global_dest,
+                slot_base + offsets[i],
+                &payload,
+                &model,
+                true,
+            );
+            match target {
+                Target::Mpi1Side => pending.put_arrivals_mpi.push(arrival),
+                _ => pending.put_arrivals_shmem.push(arrival),
+            }
+        }
+        // The engine tracks arrivals itself; drain the ctx list so a later
+        // unrelated `quiet` doesn't double-count.
+        session.ctx.take_outstanding_puts();
+    }
+
+    // Receiver: wait (physically) for this execution's deliveries, copy the
+    // staged bytes into the user buffers, record the arrival horizon.
+    if src.is_some() {
+        let (seg, slot_base, offsets, expect_base) = {
+            let st = session.staging.get_mut(&site).expect("staging created");
+            let slot = (st.recv_count % st.slots as u64) as usize;
+            let expect_base = st.recv_count * sbufs.len() as u64;
+            st.recv_count += 1;
+            (
+                st.seg,
+                slot * st.slot_bytes,
+                st.buf_offsets.clone(),
+                expect_base,
+            )
+        };
+        let nbufs = rbufs.len();
+        for (i, rb) in rbufs.iter_mut().enumerate() {
+            let meta = rb.meta();
+            let n = count.min(meta.len);
+            let bytes = n * meta.elem.packed_size();
+            let arrival = session
+                .ctx
+                .wait_signals_raw(seg, (expect_base + i as u64 + 1) as usize);
+            let mut staged = vec![0u8; bytes];
+            session
+                .ctx
+                .read_local(seg, slot_base + offsets.get(i).copied().unwrap_or(0), &mut staged);
+            rb.scatter(n, &staged);
+            // Bounce copy out of the symmetric staging buffer; the slot is
+            // now reusable by flow-controlled senders.
+            session.ctx.charge_memcpy(bytes, &model);
+            session.ctx.mark_consumed(seg, 1);
+            session.recv_horizons.push((meta.addr, arrival));
+            match target {
+                Target::Mpi1Side => pending.recv_arrivals_mpi.push(arrival),
+                _ => pending.recv_arrivals_shmem.push(arrival),
+            }
+            let _ = nbufs;
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::buffer::{Prim, PrimMut};
+    use netsim::{run, SimConfig};
+
+    fn ring_params(n: usize) -> CommParams {
+        let _ = n;
+        CommParams::new()
+            .sender((RankExpr::rank() - RankExpr::lit(1) + RankExpr::nranks()) % RankExpr::nranks())
+            .receiver((RankExpr::rank() + RankExpr::lit(1)) % RankExpr::nranks())
+    }
+
+    fn run_ring(target: Target, n: usize) -> Vec<i64> {
+        let res = run(SimConfig::new(n), move |ctx| {
+            let comm = Comm::world(ctx);
+            let mut session = CommSession::new(ctx, comm);
+            let me = session.rank() as i64;
+            let src = [me; 4];
+            let mut dst = [0i64; 4];
+            let params = ring_params(n).target(target);
+            session
+                .region(&params, |reg| {
+                    reg.p2p()
+                        .sbuf(Prim::new("src", &src))
+                        .rbuf(PrimMut::new("dst", &mut dst))
+                        .run()
+                        .unwrap();
+                })
+                .unwrap();
+            session.flush();
+            dst[0]
+        });
+        res.per_rank
+    }
+
+    #[test]
+    fn ring_all_targets_deliver() {
+        for target in Target::ALL {
+            let n = 6;
+            let got = run_ring(target, n);
+            for (r, &v) in got.iter().enumerate() {
+                assert_eq!(
+                    v as usize,
+                    (r + n - 1) % n,
+                    "target {target}: rank {r} got {v}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn count_inference_uses_smallest_buffer() {
+        run(SimConfig::new(2), |ctx| {
+            let comm = Comm::world(ctx);
+            let mut session = CommSession::new(ctx, comm);
+            let src = [7.0f64; 10];
+            let mut dst = [0.0f64; 3]; // smallest => count 3
+            let params = CommParams::new()
+                .sender(RankExpr::lit(0))
+                .receiver(RankExpr::lit(1))
+                .sendwhen(RankExpr::rank().eq(RankExpr::lit(0)))
+                .receivewhen(RankExpr::rank().eq(RankExpr::lit(1)));
+            session
+                .region(&params, |reg| {
+                    reg.p2p()
+                        .sbuf(Prim::new("src", &src))
+                        .rbuf(PrimMut::new("dst", &mut dst))
+                        .run()
+                        .unwrap();
+                })
+                .unwrap();
+            if session.rank() == 1 {
+                assert_eq!(dst, [7.0; 3]);
+            }
+        });
+    }
+
+    #[test]
+    fn even_odd_grouping() {
+        // Listing 2: even ranks send to rank+1; odd ranks receive.
+        let n = 8;
+        let res = run(SimConfig::new(n), move |ctx| {
+            let comm = Comm::world(ctx);
+            let mut session = CommSession::new(ctx, comm);
+            let me = session.rank() as i64;
+            let src = [me * 100];
+            let mut dst = [-1i64];
+            let params = CommParams::new()
+                .sender(RankExpr::rank() - RankExpr::lit(1))
+                .receiver(RankExpr::rank() + RankExpr::lit(1))
+                .sendwhen((RankExpr::rank() % RankExpr::lit(2)).eq(RankExpr::lit(0)))
+                .receivewhen((RankExpr::rank() % RankExpr::lit(2)).eq(RankExpr::lit(1)));
+            session
+                .region(&params, |reg| {
+                    reg.p2p()
+                        .sbuf(Prim::new("src", &src))
+                        .rbuf(PrimMut::new("dst", &mut dst))
+                        .run()
+                        .unwrap();
+                })
+                .unwrap();
+            dst[0]
+        });
+        for (r, &v) in res.per_rank.iter().enumerate() {
+            if r % 2 == 1 {
+                assert_eq!(v, (r as i64 - 1) * 100);
+            } else {
+                assert_eq!(v, -1);
+            }
+        }
+    }
+
+    #[test]
+    fn consolidated_sync_beats_per_message_wait() {
+        // Three adjacent p2ps with independent buffers must produce exactly
+        // one consolidated waitall charge on each participating rank.
+        let res = run(SimConfig::new(2), |ctx| {
+            let comm = Comm::world(ctx);
+            let mut session = CommSession::new(ctx, comm);
+            let a = [1.0f64; 8];
+            let b = [2.0f64; 8];
+            let c = [3.0f64; 8];
+            let (mut ra, mut rb, mut rc) = ([0.0f64; 8], [0.0f64; 8], [0.0f64; 8]);
+            let params = CommParams::new()
+                .sender(RankExpr::lit(0))
+                .receiver(RankExpr::lit(1))
+                .sendwhen(RankExpr::rank().eq(RankExpr::lit(0)))
+                .receivewhen(RankExpr::rank().eq(RankExpr::lit(1)));
+            session
+                .region(&params, |reg| {
+                    reg.p2p().site(1).sbuf(Prim::new("a", &a)).rbuf(PrimMut::new("ra", &mut ra)).run().unwrap();
+                    reg.p2p().site(2).sbuf(Prim::new("b", &b)).rbuf(PrimMut::new("rb", &mut rb)).run().unwrap();
+                    reg.p2p().site(3).sbuf(Prim::new("c", &c)).rbuf(PrimMut::new("rc", &mut rc)).run().unwrap();
+                })
+                .unwrap();
+            if session.rank() == 1 {
+                assert_eq!(ra, [1.0; 8]);
+                assert_eq!(rb, [2.0; 8]);
+                assert_eq!(rc, [3.0; 8]);
+            }
+            ctx.stats.waitalls
+        });
+        assert_eq!(res.per_rank, vec![1, 1], "one consolidated sync per rank");
+    }
+
+    #[test]
+    fn max_comm_iter_enforced() {
+        run(SimConfig::new(2), |ctx| {
+            let comm = Comm::world(ctx);
+            let mut session = CommSession::new(ctx, comm);
+            let src = [1i32];
+            let mut dst = [0i32];
+            let params = CommParams::new()
+                .sender(RankExpr::lit(0))
+                .receiver(RankExpr::lit(1))
+                .sendwhen(RankExpr::rank().eq(RankExpr::lit(0)))
+                .receivewhen(RankExpr::rank().eq(RankExpr::lit(1)))
+                .max_comm_iter(2);
+            let err = session.region(&params, |reg| {
+                for i in 0..3 {
+                    let r = reg
+                        .p2p()
+                        .site(9)
+                        .sbuf(Prim::new("src", &src))
+                        .rbuf(PrimMut::new("dst", &mut dst))
+                        .run();
+                    if i < 2 {
+                        assert!(r.is_ok(), "iteration {i} should pass");
+                    } else {
+                        assert!(matches!(
+                            r,
+                            Err(DirectiveError::MaxIterExceeded { bound: 2, .. })
+                        ));
+                    }
+                }
+            });
+            assert!(err.is_err(), "region must surface the iteration overflow");
+        });
+    }
+
+    #[test]
+    fn deferred_sync_to_next_region() {
+        let res = run(SimConfig::new(2), |ctx| {
+            let comm = Comm::world(ctx);
+            let mut session = CommSession::new(ctx, comm);
+            let src = [5i64; 4];
+            let mut dst = [0i64; 4];
+            let params1 = CommParams::new()
+                .sender(RankExpr::lit(0))
+                .receiver(RankExpr::lit(1))
+                .sendwhen(RankExpr::rank().eq(RankExpr::lit(0)))
+                .receivewhen(RankExpr::rank().eq(RankExpr::lit(1)))
+                .place_sync(PlaceSync::BeginNextParamRegion);
+            session
+                .region(&params1, |reg| {
+                    reg.p2p()
+                        .sbuf(Prim::new("src", &src))
+                        .rbuf(PrimMut::new("dst", &mut dst))
+                        .run()
+                        .unwrap();
+                })
+                .unwrap();
+            let w1 = session.ctx().stats.waitalls;
+            // Second region: carried sync applies at its beginning.
+            let params2 = CommParams::new()
+                .sender(RankExpr::lit(1))
+                .receiver(RankExpr::lit(0));
+            let src2 = [1i64];
+            let mut dst2 = [0i64];
+            session
+                .region(&params2, |reg| {
+                    reg.p2p()
+                        .site(2)
+                        .sendwhen(RankExpr::rank().eq(RankExpr::lit(1)))
+                        .receivewhen(RankExpr::rank().eq(RankExpr::lit(0)))
+                        .sbuf(Prim::new("src2", &src2))
+                        .rbuf(PrimMut::new("dst2", &mut dst2))
+                        .run()
+                        .unwrap();
+                })
+                .unwrap();
+            session.flush();
+            (w1, ctx.stats.waitalls)
+        });
+        // No sync inside/after region 1; both syncs complete by the end.
+        for (w1, w2) in res.per_rank {
+            assert_eq!(w1, 0, "region 1 sync was deferred");
+            assert!(w2 >= 1);
+        }
+    }
+
+    #[test]
+    fn standalone_p2p_syncs_immediately() {
+        let res = run(SimConfig::new(2), |ctx| {
+            let comm = Comm::world(ctx);
+            let mut session = CommSession::new(ctx, comm);
+            let me = session.rank() as i64;
+            let src = [me + 10];
+            let mut dst = [0i64];
+            session
+                .p2p()
+                .sender((RankExpr::rank() - RankExpr::lit(1) + RankExpr::nranks()) % RankExpr::nranks())
+                .receiver((RankExpr::rank() + RankExpr::lit(1)) % RankExpr::nranks())
+                .sbuf(Prim::new("src", &src))
+                .rbuf(PrimMut::new("dst", &mut dst))
+                .run()
+                .unwrap();
+            (dst[0], ctx.stats.waitalls)
+        });
+        assert_eq!(res.per_rank[0].0, 11); // rank 0 got rank 1's value
+        assert_eq!(res.per_rank[1].0, 10);
+        assert!(res.per_rank.iter().all(|&(_, w)| w == 1));
+    }
+
+    #[test]
+    fn invalid_clauses_rejected_at_execution() {
+        run(SimConfig::new(2), |ctx| {
+            let comm = Comm::world(ctx);
+            let mut session = CommSession::new(ctx, comm);
+            let src = [0u8; 4];
+            let mut dst = [0u8; 4];
+            // Missing receiver clause.
+            let r = session
+                .p2p()
+                .sender(RankExpr::lit(0))
+                .sbuf(Prim::new("s", &src))
+                .rbuf(PrimMut::new("r", &mut dst))
+                .run();
+            assert!(matches!(r, Err(DirectiveError::Invalid(_))));
+        });
+    }
+
+    #[test]
+    fn rank_out_of_range_detected() {
+        run(SimConfig::new(2), |ctx| {
+            let comm = Comm::world(ctx);
+            let mut session = CommSession::new(ctx, comm);
+            let src = [0u8; 4];
+            let mut dst = [0u8; 4];
+            let r = session
+                .p2p()
+                .sender(RankExpr::lit(0))
+                .receiver(RankExpr::lit(7)) // no rank 7 of 2
+                .sbuf(Prim::new("s", &src))
+                .rbuf(PrimMut::new("r", &mut dst))
+                .run();
+            assert!(matches!(
+                r,
+                Err(DirectiveError::RankOutOfRange { clause: "receiver", value: 7, .. })
+            ));
+        });
+    }
+
+    #[test]
+    fn overlap_advances_clock_concurrently() {
+        // The overlapped computation must not delay the recorded message
+        // completion: total time ≈ max(comm, compute) + sync, not sum.
+        let compute = Time::from_micros(300);
+        let run_one = |with_overlap: bool| {
+            let res = run(SimConfig::new(2), move |ctx| {
+                let comm = Comm::world(ctx);
+                let mut session = CommSession::new(ctx, comm);
+                let src = [1.0f64; 512];
+                let mut dst = [0.0f64; 512];
+                let params = CommParams::new()
+                    .sender(RankExpr::lit(0))
+                    .receiver(RankExpr::lit(1))
+                    .sendwhen(RankExpr::rank().eq(RankExpr::lit(0)))
+                    .receivewhen(RankExpr::rank().eq(RankExpr::lit(1)));
+                session
+                    .region(&params, |reg| {
+                        let call = reg
+                            .p2p()
+                            .sbuf(Prim::new("src", &src))
+                            .rbuf(PrimMut::new("dst", &mut dst));
+                        if with_overlap {
+                            call.overlap(|ctx| ctx.compute(compute)).unwrap();
+                        } else {
+                            call.run().unwrap();
+                        }
+                    })
+                    .unwrap();
+                if !with_overlap {
+                    // Sequential version: compute after the region sync.
+                    ctx.compute(compute);
+                }
+                ctx.now()
+            });
+            res.final_times[1]
+        };
+        let overlapped = run_one(true);
+        let sequential = run_one(false);
+        assert!(
+            overlapped < sequential,
+            "overlap ({overlapped}) must beat sequential ({sequential})"
+        );
+    }
+
+    #[test]
+    fn shmem_loop_reuses_staging_with_max_iter_slots() {
+        // A loop of puts within one region: distinct slots prevent
+        // overwrite before the receiver drains them.
+        let iters = 4usize;
+        let res = run(SimConfig::new(2), move |ctx| {
+            let comm = Comm::world(ctx);
+            let mut session = CommSession::new(ctx, comm);
+            let mut got = Vec::new();
+            let params = CommParams::new()
+                .sender(RankExpr::lit(0))
+                .receiver(RankExpr::lit(1))
+                .sendwhen(RankExpr::rank().eq(RankExpr::lit(0)))
+                .receivewhen(RankExpr::rank().eq(RankExpr::lit(1)))
+                .target(Target::Shmem)
+                .max_comm_iter(iters as i64);
+            session
+                .region(&params, |reg| {
+                    for i in 0..iters {
+                        let src = [i as i64; 2];
+                        let mut dst = [0i64; 2];
+                        reg.p2p()
+                            .site(5)
+                            .sbuf(Prim::new("src", &src))
+                            .rbuf(PrimMut::new("dst", &mut dst))
+                            .run()
+                            .unwrap();
+                        got.push(dst[0]);
+                    }
+                })
+                .unwrap();
+            session.flush();
+            got
+        });
+        assert_eq!(res.per_rank[1], vec![0, 1, 2, 3]);
+        assert!(res.per_rank[0].iter().all(|&v| v == 0));
+    }
+
+    #[test]
+    fn ir_recorded_for_analysis() {
+        run(SimConfig::new(2), |ctx| {
+            let comm = Comm::world(ctx);
+            let mut session = CommSession::new(ctx, comm);
+            let src = [1i32; 3];
+            let mut dst = [0i32; 3];
+            let params = CommParams::new()
+                .sender(RankExpr::lit(0))
+                .receiver(RankExpr::lit(1))
+                .sendwhen(RankExpr::rank().eq(RankExpr::lit(0)))
+                .receivewhen(RankExpr::rank().eq(RankExpr::lit(1)));
+            session
+                .region(&params, |reg| {
+                    for _ in 0..3 {
+                        let s = [0i32; 3];
+                        let mut d = [0i32; 3];
+                        let _ = (&src, &dst);
+                        reg.p2p()
+                            .site(1)
+                            .sbuf(Prim::new("s", &s))
+                            .rbuf(PrimMut::new("d", &mut d))
+                            .run()
+                            .unwrap();
+                    }
+                })
+                .unwrap();
+            let _ = (&mut dst, &src);
+            let program = session.finish();
+            assert_eq!(program.len(), 1);
+            // Loop iterations collapse to one recorded site.
+            assert_eq!(program[0].body.len(), 1);
+            assert_eq!(program[0].body[0].site, 1);
+        });
+    }
+}

@@ -1,0 +1,231 @@
+//! Trace reconstruction and rendering: turn the runtime's event trace into
+//! per-rank timelines, a communication matrix, and an ASCII Gantt chart.
+//!
+//! The paper's motivation is that directive-expressed communication becomes
+//! *visible* to tools ("all source and destination information can be
+//! incorporated into an analysis framework"). This module is that tool
+//! support for the dynamic side: tests assert on structure ("one waitall,
+//! three sends"), examples print timelines humans can read.
+
+use std::collections::BTreeMap;
+
+use netsim::{EventKind, Time, TraceEvent};
+
+/// A per-rank summary of traced activity.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct RankTimeline {
+    /// (time, short label) in time order.
+    pub events: Vec<(Time, String)>,
+    /// Virtual time of the last event.
+    pub end: Time,
+    /// Total bytes sent (two-sided + puts).
+    pub bytes_out: usize,
+    /// Number of consolidated syncs.
+    pub waitalls: usize,
+    /// Number of single-request waits.
+    pub waits: usize,
+    /// Virtual time spent in `Compute` events.
+    pub compute: Time,
+}
+
+/// A reconstructed view over a whole trace.
+#[derive(Clone, Debug, Default)]
+pub struct TraceView {
+    /// Per-rank timelines, keyed by rank.
+    pub ranks: BTreeMap<usize, RankTimeline>,
+    /// `matrix[(src, dst)] = bytes` over two-sided sends and puts.
+    pub comm_matrix: BTreeMap<(usize, usize), usize>,
+}
+
+impl TraceView {
+    /// Build from raw events.
+    pub fn build(events: &[TraceEvent]) -> TraceView {
+        let mut view = TraceView::default();
+        for ev in events {
+            let rank = view.ranks.entry(ev.rank).or_default();
+            rank.end = rank.end.max(ev.time);
+            let label = match &ev.kind {
+                EventKind::SendPost { dst, bytes, .. } => {
+                    rank.bytes_out += bytes;
+                    *view.comm_matrix.entry((ev.rank, *dst)).or_insert(0) += bytes;
+                    format!("send->{dst} ({bytes}B)")
+                }
+                EventKind::Put { dst, bytes } => {
+                    rank.bytes_out += bytes;
+                    *view.comm_matrix.entry((ev.rank, *dst)).or_insert(0) += bytes;
+                    format!("put->{dst} ({bytes}B)")
+                }
+                EventKind::RecvPost { src, .. } => match src {
+                    Some(s) => format!("recv<-{s} posted"),
+                    None => "recv<-any posted".to_string(),
+                },
+                EventKind::RecvDone {
+                    src,
+                    bytes,
+                    unexpected,
+                    ..
+                } => format!(
+                    "recv<-{src} done ({bytes}B{})",
+                    if *unexpected { ", unexpected" } else { "" }
+                ),
+                EventKind::Wait => {
+                    rank.waits += 1;
+                    "wait".to_string()
+                }
+                EventKind::Waitall { n } => {
+                    rank.waitalls += 1;
+                    format!("waitall({n})")
+                }
+                EventKind::Get { src, bytes } => format!("get<-{src} ({bytes}B)"),
+                EventKind::Quiet { outstanding } => format!("quiet({outstanding})"),
+                EventKind::Barrier { group_len } => format!("barrier({group_len})"),
+                EventKind::Compute { ns } => {
+                    rank.compute += Time::from_nanos(*ns);
+                    format!("compute {}", Time::from_nanos(*ns))
+                }
+                EventKind::Pack { bytes } => format!("pack {bytes}B"),
+                EventKind::DatatypeCommit => "dtype commit".to_string(),
+                EventKind::Marker(m) => format!("# {m}"),
+            };
+            rank.events.push((ev.time, label));
+        }
+        for rank in view.ranks.values_mut() {
+            rank.events.sort_by(|a, b| a.0.cmp(&b.0));
+        }
+        view
+    }
+
+    /// Total traffic between a pair of ranks (either direction).
+    pub fn traffic_between(&self, a: usize, b: usize) -> usize {
+        self.comm_matrix.get(&(a, b)).copied().unwrap_or(0)
+            + self.comm_matrix.get(&(b, a)).copied().unwrap_or(0)
+    }
+
+    /// Render an ASCII Gantt chart: one row per rank, `width` columns over
+    /// the trace's makespan, `#` for compute, `*` for communication events.
+    pub fn gantt(&self, width: usize) -> String {
+        let makespan = self
+            .ranks
+            .values()
+            .map(|r| r.end)
+            .max()
+            .unwrap_or(Time::ZERO);
+        let mut out = String::new();
+        out.push_str(&format!("virtual makespan: {makespan}\n"));
+        if makespan == Time::ZERO {
+            return out;
+        }
+        let col = |t: Time| -> usize {
+            ((t.as_nanos() as u128 * (width as u128 - 1)) / makespan.as_nanos().max(1) as u128)
+                as usize
+        };
+        for (rank, tl) in &self.ranks {
+            let mut row = vec![b'.'; width];
+            for (t, label) in &tl.events {
+                let c = col(*t);
+                row[c] = if label.starts_with("compute") {
+                    b'#'
+                } else if label.starts_with('#') {
+                    b'|'
+                } else {
+                    b'*'
+                };
+            }
+            out.push_str(&format!(
+                "rank {rank:>3} |{}| out {:>8}B, {:>2} waitall, {:>2} wait\n",
+                String::from_utf8_lossy(&row),
+                tl.bytes_out,
+                tl.waitalls,
+                tl.waits,
+            ));
+        }
+        out
+    }
+
+    /// Render the communication matrix (bytes), ranks in ascending order.
+    pub fn matrix_table(&self) -> String {
+        let mut ranks: Vec<usize> = self.ranks.keys().copied().collect();
+        ranks.sort_unstable();
+        let mut out = String::from("src\\dst");
+        for d in &ranks {
+            out.push_str(&format!("{d:>10}"));
+        }
+        out.push('\n');
+        for &s in &ranks {
+            out.push_str(&format!("{s:>7}"));
+            for &d in &ranks {
+                let v = self.comm_matrix.get(&(s, d)).copied().unwrap_or(0);
+                out.push_str(&format!("{v:>10}"));
+            }
+            out.push('\n');
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mpisim::Comm;
+    use netsim::{run, SimConfig};
+
+    fn traced_ring(n: usize) -> Vec<TraceEvent> {
+        let res = run(SimConfig::new(n).with_trace(), move |ctx| {
+            let comm = Comm::world(ctx);
+            let mut s = crate::CommSession::new(ctx, comm);
+            let me = s.rank() as i64;
+            let send = [me; 4];
+            let mut recv = [0i64; 4];
+            crate::patterns::ring(&mut s, crate::Target::Mpi2Side, &send, &mut recv).unwrap();
+            s.flush();
+            ctx.compute(Time::from_micros(10));
+        });
+        res.trace.expect("trace enabled")
+    }
+
+    #[test]
+    fn reconstructs_ring_structure() {
+        let n = 4;
+        let view = TraceView::build(&traced_ring(n));
+        assert_eq!(view.ranks.len(), n);
+        // Each rank sent exactly 32 bytes to its right neighbour.
+        for r in 0..n {
+            let tl = &view.ranks[&r];
+            assert_eq!(tl.bytes_out, 32);
+            assert_eq!(tl.waitalls, 1, "one consolidated sync");
+            assert_eq!(tl.waits, 0, "never a per-request wait");
+            assert_eq!(tl.compute, Time::from_micros(10));
+            assert_eq!(view.comm_matrix[&(r, (r + 1) % n)], 32);
+            assert_eq!(view.comm_matrix.get(&(r, (r + n - 1) % n)), None);
+        }
+        // Ring: only 0 -> 1 carries traffic between that pair.
+        assert_eq!(view.traffic_between(0, 1), 32);
+        assert_eq!(view.traffic_between(1, 0), 32);
+    }
+
+    #[test]
+    fn gantt_renders_rows_and_marks() {
+        let view = TraceView::build(&traced_ring(3));
+        let chart = view.gantt(40);
+        assert_eq!(chart.lines().count(), 4); // header + 3 ranks
+        assert!(chart.contains("rank   0"));
+        assert!(chart.contains('#'), "compute marks present");
+        assert!(chart.contains('*'), "communication marks present");
+    }
+
+    #[test]
+    fn matrix_table_shape() {
+        let view = TraceView::build(&traced_ring(3));
+        let table = view.matrix_table();
+        assert_eq!(table.lines().count(), 4);
+        assert!(table.starts_with("src\\dst"));
+        assert!(table.contains("32"));
+    }
+
+    #[test]
+    fn empty_trace_is_fine() {
+        let view = TraceView::build(&[]);
+        assert!(view.ranks.is_empty());
+        assert!(view.gantt(20).contains("0ns"));
+    }
+}

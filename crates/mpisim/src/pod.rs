@@ -1,0 +1,141 @@
+//! Plain-old-data marker trait and byte-view helpers.
+//!
+//! Communication payloads move as raw bytes. [`Pod`] marks the primitive
+//! element types (and fixed-size arrays of them) whose in-memory
+//! representation has no padding and no invalid bit patterns, so viewing a
+//! slice of them as bytes — and back — is sound.
+
+/// Types safely viewable as raw bytes and reconstructible from them.
+///
+/// # Safety
+///
+/// Implementors must be `Copy`, contain no padding bytes, no pointers, and
+/// every bit pattern of the correct length must be a valid value.
+pub unsafe trait Pod: Copy + Send + Sync + 'static {}
+
+unsafe impl Pod for u8 {}
+unsafe impl Pod for i8 {}
+unsafe impl Pod for u16 {}
+unsafe impl Pod for i16 {}
+unsafe impl Pod for u32 {}
+unsafe impl Pod for i32 {}
+unsafe impl Pod for u64 {}
+unsafe impl Pod for i64 {}
+unsafe impl Pod for f32 {}
+unsafe impl Pod for f64 {}
+unsafe impl<T: Pod, const N: usize> Pod for [T; N] {}
+
+/// View a slice of `Pod` values as bytes (native endianness).
+#[inline]
+pub fn as_bytes<T: Pod>(slice: &[T]) -> &[u8] {
+    // SAFETY: T is Pod (no padding), lifetime and length preserved.
+    unsafe {
+        std::slice::from_raw_parts(slice.as_ptr().cast::<u8>(), std::mem::size_of_val(slice))
+    }
+}
+
+/// View a mutable slice of `Pod` values as bytes.
+#[inline]
+pub fn as_bytes_mut<T: Pod>(slice: &mut [T]) -> &mut [u8] {
+    // SAFETY: T is Pod, every bit pattern valid, so arbitrary writes are fine.
+    unsafe {
+        std::slice::from_raw_parts_mut(
+            slice.as_mut_ptr().cast::<u8>(),
+            std::mem::size_of_val(slice),
+        )
+    }
+}
+
+/// Copy bytes into a slice of `Pod` values. Panics if lengths mismatch.
+#[inline]
+pub fn copy_from_bytes<T: Pod>(dst: &mut [T], src: &[u8]) {
+    let dst_bytes = as_bytes_mut(dst);
+    assert_eq!(
+        dst_bytes.len(),
+        src.len(),
+        "byte length mismatch: dst {} vs src {}",
+        dst_bytes.len(),
+        src.len()
+    );
+    dst_bytes.copy_from_slice(src);
+}
+
+/// Reinterpret a byte slice as a vector of `Pod` values (copies).
+#[inline]
+pub fn vec_from_bytes<T: Pod>(src: &[u8]) -> Vec<T> {
+    let n = src.len() / std::mem::size_of::<T>();
+    assert_eq!(
+        n * std::mem::size_of::<T>(),
+        src.len(),
+        "byte length {} not a multiple of element size {}",
+        src.len(),
+        std::mem::size_of::<T>()
+    );
+    let mut out = vec![T::zeroed(); n];
+    copy_from_bytes(&mut out, src);
+    out
+}
+
+/// Internal helper: a zero value of any `Pod` type.
+trait Zeroed: Sized {
+    fn zeroed() -> Self;
+}
+
+impl<T: Pod> Zeroed for T {
+    #[inline]
+    fn zeroed() -> T {
+        // SAFETY: every bit pattern (including all-zeros) is valid for Pod.
+        unsafe { std::mem::zeroed() }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip_f64() {
+        let v = [1.5f64, -2.25, 0.0, f64::MAX];
+        let bytes = as_bytes(&v);
+        assert_eq!(bytes.len(), 32);
+        let back: Vec<f64> = vec_from_bytes(bytes);
+        assert_eq!(&back, &v);
+    }
+
+    #[test]
+    fn roundtrip_i32() {
+        let v = [i32::MIN, -1, 0, 7, i32::MAX];
+        let back: Vec<i32> = vec_from_bytes(as_bytes(&v));
+        assert_eq!(&back, &v);
+    }
+
+    #[test]
+    fn roundtrip_fixed_array_elems() {
+        let v = [[1.0f64, 2.0, 3.0], [4.0, 5.0, 6.0]];
+        let bytes = as_bytes(&v);
+        assert_eq!(bytes.len(), 48);
+        let back: Vec<[f64; 3]> = vec_from_bytes(bytes);
+        assert_eq!(&back, &v);
+    }
+
+    #[test]
+    fn copy_into_mutable_slice() {
+        let src = [9u32, 8, 7];
+        let mut dst = [0u32; 3];
+        copy_from_bytes(&mut dst, as_bytes(&src));
+        assert_eq!(dst, src);
+    }
+
+    #[test]
+    #[should_panic(expected = "byte length mismatch")]
+    fn mismatched_copy_panics() {
+        let mut dst = [0u16; 2];
+        copy_from_bytes(&mut dst, &[0u8; 5]);
+    }
+
+    #[test]
+    #[should_panic(expected = "not a multiple")]
+    fn ragged_vec_from_bytes_panics() {
+        let _: Vec<u32> = vec_from_bytes(&[0u8; 6]);
+    }
+}

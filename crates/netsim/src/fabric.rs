@@ -1,0 +1,777 @@
+//! The shared machine state: per-rank mailboxes (tag matching), group
+//! barriers with clock reconciliation, and the one-sided symmetric segment
+//! store with per-delivery signals.
+
+use std::collections::HashMap;
+use std::collections::VecDeque;
+use std::sync::Arc;
+
+use bytes::Bytes;
+use parking_lot::{Condvar, Mutex, RwLock};
+
+use crate::msg::{
+    match_timing, Completion, Envelope, RecvDone, RecvRequest, RecvSlot, SendRequest, SrcSel,
+    TagSel, WireCosts,
+};
+use crate::time::Time;
+
+// ---------------------------------------------------------------------------
+// Mailboxes / tag matching
+// ---------------------------------------------------------------------------
+
+struct PostedRecv {
+    src: SrcSel,
+    tag: TagSel,
+    post_time: Time,
+    slot: Arc<RecvSlot>,
+}
+
+#[derive(Default)]
+struct MailboxInner {
+    unexpected: VecDeque<Envelope>,
+    posted: VecDeque<PostedRecv>,
+    arrival_seq: u64,
+}
+
+/// One rank's incoming-message matching engine.
+#[derive(Default)]
+pub struct Mailbox {
+    inner: Mutex<MailboxInner>,
+}
+
+impl Mailbox {
+    /// Deliver an envelope: match against posted receives (in posting order)
+    /// or park it in the unexpected queue.
+    fn deliver(&self, mut env: Envelope) {
+        let mut g = self.inner.lock();
+        env.arrival_seq = g.arrival_seq;
+        g.arrival_seq += 1;
+        if let Some(idx) = g
+            .posted
+            .iter()
+            .position(|p| p.src.matches(env.src) && p.tag.matches(env.tag))
+        {
+            let posted = g.posted.remove(idx).expect("index valid");
+            drop(g);
+            complete_match(env, posted.post_time, &posted.slot);
+        } else {
+            // Eager messages complete the sender immediately; rendezvous
+            // sends stay pending until matched.
+            if env.costs.eager {
+                env.send_done.set(env.depart);
+            }
+            g.unexpected.push_back(env);
+        }
+    }
+
+    /// Post a receive at virtual time `post_time`. If a matching message is
+    /// already parked, the receive completes immediately; otherwise it is
+    /// queued for the next matching delivery.
+    fn post(&self, src: SrcSel, tag: TagSel, post_time: Time, slot: Arc<RecvSlot>) {
+        let mut g = self.inner.lock();
+        // MPI non-overtaking: per source, messages match in send order, so
+        // only each source's *oldest* parked candidate is eligible (a
+        // source's messages hit the mailbox in program order, making
+        // arrival_seq the per-source send order). Among eligible
+        // candidates from different sources, pick the earliest virtual
+        // arrival (deterministic), tie-broken by arrival order.
+        let mut oldest_per_src: std::collections::HashMap<usize, usize> =
+            std::collections::HashMap::new();
+        for (i, e) in g.unexpected.iter().enumerate() {
+            if src.matches(e.src) && tag.matches(e.tag) {
+                let entry = oldest_per_src.entry(e.src).or_insert(i);
+                if g.unexpected[*entry].arrival_seq > e.arrival_seq {
+                    *entry = i;
+                }
+            }
+        }
+        let best = oldest_per_src
+            .into_values()
+            .min_by_key(|&i| {
+                let e = &g.unexpected[i];
+                (
+                    e.costs.eager_arrival(e.depart, e.payload.len()),
+                    e.arrival_seq,
+                )
+            });
+        match best {
+            Some(i) => {
+                let env = g.unexpected.remove(i).expect("index valid");
+                drop(g);
+                complete_match(env, post_time, &slot);
+            }
+            None => g.posted.push_back(PostedRecv {
+                src,
+                tag,
+                post_time,
+                slot,
+            }),
+        }
+    }
+
+    /// Number of parked unexpected messages (diagnostics).
+    pub fn unexpected_len(&self) -> usize {
+        self.inner.lock().unexpected.len()
+    }
+
+    /// Number of outstanding posted receives (diagnostics).
+    pub fn posted_len(&self) -> usize {
+        self.inner.lock().posted.len()
+    }
+}
+
+fn complete_match(env: Envelope, post_time: Time, slot: &RecvSlot) {
+    let bytes = env.payload.len();
+    let timing = match_timing(&env.costs, bytes, env.depart, post_time);
+    env.send_done.set(timing.send_complete);
+    slot.set(RecvDone {
+        payload: env.payload,
+        completion: timing.recv_complete,
+        unexpected: timing.unexpected,
+        src: env.src,
+        tag: env.tag,
+    });
+}
+
+// ---------------------------------------------------------------------------
+// Group barriers with clock reconciliation
+// ---------------------------------------------------------------------------
+
+#[derive(Default)]
+struct BarrierInner {
+    generation: u64,
+    arrived: usize,
+    max_entry: Time,
+    exit_time: Time,
+}
+
+/// A reusable barrier over a fixed group size that also reconciles virtual
+/// clocks: every participant leaves with `max(entry clocks) + cost`.
+pub struct GroupBarrier {
+    size: usize,
+    inner: Mutex<BarrierInner>,
+    cv: Condvar,
+}
+
+impl GroupBarrier {
+    fn new(size: usize) -> Self {
+        GroupBarrier {
+            size,
+            inner: Mutex::new(BarrierInner::default()),
+            cv: Condvar::new(),
+        }
+    }
+
+    /// Enter with local clock `entry`; returns the reconciled exit clock.
+    /// `cost` is charged once on top of the max entry time (the last
+    /// arriver's model decides it; all participants pass the same value in
+    /// practice since they use the same library for the barrier).
+    pub fn enter(&self, entry: Time, cost: Time) -> Time {
+        let mut g = self.inner.lock();
+        let gen = g.generation;
+        g.max_entry = g.max_entry.max(entry);
+        g.arrived += 1;
+        if g.arrived == self.size {
+            g.exit_time = g.max_entry + cost;
+            g.arrived = 0;
+            g.max_entry = Time::ZERO;
+            g.generation += 1;
+            self.cv.notify_all();
+            g.exit_time
+        } else {
+            while g.generation == gen {
+                self.cv.wait(&mut g);
+            }
+            g.exit_time
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Symmetric segments (one-sided memory)
+// ---------------------------------------------------------------------------
+
+/// Identifier of a symmetric segment, valid on every participating rank.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub struct SegId(pub usize);
+
+struct SlotInner {
+    data: Vec<u8>,
+    /// Virtual arrival times of signalled deliveries, in delivery order.
+    signals: Vec<Time>,
+    /// Number of signalled deliveries the owner has consumed (flow control).
+    consumed: u64,
+}
+
+struct Slot {
+    inner: Mutex<SlotInner>,
+    cv: Condvar,
+}
+
+/// A symmetric allocation: `bytes` of memory on each rank of `group`.
+pub struct Segment {
+    bytes: usize,
+    /// Participating global ranks, ascending.
+    group: Vec<usize>,
+    /// One slot per participating rank, indexed by position in `group`.
+    slots: Vec<Slot>,
+    /// Flow-control window: a signalled put physically blocks while
+    /// `signals - consumed >= window` (staging-slot reuse safety).
+    window: u64,
+}
+
+impl Segment {
+    fn slot_of(&self, rank: usize) -> &Slot {
+        let idx = self
+            .group
+            .binary_search(&rank)
+            .unwrap_or_else(|_| panic!("rank {rank} not in segment group {:?}", self.group));
+        &self.slots[idx]
+    }
+
+    /// Size in bytes of the per-rank allocation.
+    pub fn len(&self) -> usize {
+        self.bytes
+    }
+
+    /// Whether the allocation is zero-sized.
+    pub fn is_empty(&self) -> bool {
+        self.bytes == 0
+    }
+}
+
+#[derive(Default)]
+struct AllocRendezvous {
+    generation: u64,
+    arrived: usize,
+    bytes: usize,
+    window: u64,
+    result: Option<SegId>,
+}
+
+struct AllocState {
+    inner: Mutex<AllocRendezvous>,
+    cv: Condvar,
+}
+
+/// The one-sided memory store: symmetric segments plus the collective
+/// allocation rendezvous per group.
+#[derive(Default)]
+pub struct SegmentStore {
+    segments: RwLock<Vec<Arc<Segment>>>,
+    allocs: Mutex<HashMap<Vec<usize>, Arc<AllocState>>>,
+}
+
+impl SegmentStore {
+    /// Collective symmetric allocation over `group` (ascending global
+    /// ranks). Every rank in the group must call with identical arguments;
+    /// all receive the same [`SegId`]. Mirrors `shmalloc` semantics (which
+    /// synchronizes all PEs). `window` bounds outstanding signalled
+    /// deliveries per destination (use `u64::MAX` for none).
+    pub fn alloc(&self, group: &[usize], bytes: usize, window: u64) -> SegId {
+        debug_assert!(group.windows(2).all(|w| w[0] < w[1]), "group must be sorted");
+        let state = {
+            let mut g = self.allocs.lock();
+            Arc::clone(
+                g.entry(group.to_vec())
+                    .or_insert_with(|| {
+                        Arc::new(AllocState {
+                            inner: Mutex::new(AllocRendezvous::default()),
+                            cv: Condvar::new(),
+                        })
+                    }),
+            )
+        };
+        let mut g = state.inner.lock();
+        let gen = g.generation;
+        if g.arrived == 0 {
+            g.bytes = bytes;
+            g.window = window;
+            g.result = None;
+        } else {
+            assert_eq!(
+                g.bytes, bytes,
+                "symmetric alloc size mismatch across ranks in group {group:?}"
+            );
+            assert_eq!(
+                g.window, window,
+                "symmetric alloc window mismatch across ranks in group {group:?}"
+            );
+        }
+        g.arrived += 1;
+        if g.arrived == group.len() {
+            let seg = Arc::new(Segment {
+                bytes,
+                group: group.to_vec(),
+                window,
+                slots: group
+                    .iter()
+                    .map(|_| Slot {
+                        inner: Mutex::new(SlotInner {
+                            data: vec![0u8; bytes],
+                            signals: Vec::new(),
+                            consumed: 0,
+                        }),
+                        cv: Condvar::new(),
+                    })
+                    .collect(),
+            });
+            let id = {
+                let mut segs = self.segments.write();
+                segs.push(seg);
+                SegId(segs.len() - 1)
+            };
+            g.result = Some(id);
+            g.arrived = 0;
+            g.generation += 1;
+            self.cv_notify(&state);
+            id
+        } else {
+            while g.generation == gen {
+                state.cv.wait(&mut g);
+            }
+            g.result.expect("alloc result set by last arriver")
+        }
+    }
+
+    fn cv_notify(&self, state: &AllocState) {
+        state.cv.notify_all();
+    }
+
+    fn seg(&self, id: SegId) -> Arc<Segment> {
+        Arc::clone(&self.segments.read()[id.0])
+    }
+
+    /// Write `data` into `target`'s copy of the segment at `offset`.
+    /// If `signal_arrival` is set, appends a delivery signal with that
+    /// virtual arrival time and wakes waiters.
+    pub fn put(
+        &self,
+        id: SegId,
+        target: usize,
+        offset: usize,
+        data: &[u8],
+        signal_arrival: Option<Time>,
+    ) {
+        let seg = self.seg(id);
+        let slot = seg.slot_of(target);
+        let mut g = slot.inner.lock();
+        if signal_arrival.is_some() {
+            // Flow control: do not overwrite a staging slot the owner has
+            // not consumed yet. Purely physical (no virtual-time charge):
+            // models adequately-sized staging on the critical path.
+            while (g.signals.len() as u64).saturating_sub(g.consumed) >= seg.window {
+                slot.cv.wait(&mut g);
+            }
+        }
+        assert!(
+            offset + data.len() <= g.data.len(),
+            "put out of bounds: {}+{} > {}",
+            offset,
+            data.len(),
+            g.data.len()
+        );
+        g.data[offset..offset + data.len()].copy_from_slice(data);
+        if let Some(t) = signal_arrival {
+            g.signals.push(t);
+            slot.cv.notify_all();
+        }
+    }
+
+    /// Mark `count` additional signalled deliveries as consumed by `rank`
+    /// (releases flow-controlled senders).
+    pub fn mark_consumed(&self, id: SegId, rank: usize, count: u64) {
+        let seg = self.seg(id);
+        let slot = seg.slot_of(rank);
+        let mut g = slot.inner.lock();
+        g.consumed += count;
+        slot.cv.notify_all();
+    }
+
+    /// Read `out.len()` bytes from `target`'s copy at `offset`.
+    pub fn read(&self, id: SegId, target: usize, offset: usize, out: &mut [u8]) {
+        let seg = self.seg(id);
+        let slot = seg.slot_of(target);
+        let g = slot.inner.lock();
+        assert!(
+            offset + out.len() <= g.data.len(),
+            "read out of bounds: {}+{} > {}",
+            offset,
+            out.len(),
+            g.data.len()
+        );
+        out.copy_from_slice(&g.data[offset..offset + out.len()]);
+    }
+
+    /// Physically block until at least `count` signalled deliveries have
+    /// landed in `rank`'s copy of the segment; returns the virtual arrival
+    /// time of the `count`-th (1-based) delivery.
+    pub fn wait_signals(&self, id: SegId, rank: usize, count: usize) -> Time {
+        assert!(count >= 1, "must wait for at least one signal");
+        let seg = self.seg(id);
+        let slot = seg.slot_of(rank);
+        let mut g = slot.inner.lock();
+        while g.signals.len() < count {
+            slot.cv.wait(&mut g);
+        }
+        g.signals[count - 1]
+    }
+
+    /// Number of signalled deliveries so far on `rank`'s copy.
+    pub fn signal_count(&self, id: SegId, rank: usize) -> usize {
+        let seg = self.seg(id);
+        let slot = seg.slot_of(rank);
+        let n = slot.inner.lock().signals.len();
+        n
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Fabric: everything a rank reaches through
+// ---------------------------------------------------------------------------
+
+/// The shared interconnect + memory fabric of one simulated machine.
+pub struct Fabric {
+    nranks: usize,
+    mailboxes: Vec<Mailbox>,
+    barriers: Mutex<HashMap<Vec<usize>, Arc<GroupBarrier>>>,
+    segments: SegmentStore,
+}
+
+impl Fabric {
+    pub fn new(nranks: usize) -> Arc<Self> {
+        Arc::new(Fabric {
+            nranks,
+            mailboxes: (0..nranks).map(|_| Mailbox::default()).collect(),
+            barriers: Mutex::new(HashMap::new()),
+            segments: SegmentStore::default(),
+        })
+    }
+
+    /// Total number of ranks on the machine.
+    pub fn nranks(&self) -> usize {
+        self.nranks
+    }
+
+    /// The one-sided segment store.
+    pub fn segments(&self) -> &SegmentStore {
+        &self.segments
+    }
+
+    /// Mailbox of `rank` (diagnostics).
+    pub fn mailbox(&self, rank: usize) -> &Mailbox {
+        &self.mailboxes[rank]
+    }
+
+    /// Initiate a non-blocking two-sided send. `depart` is the sender's
+    /// clock after charging `o_send`.
+    pub fn send(
+        &self,
+        src: usize,
+        dst: usize,
+        tag: i32,
+        payload: Bytes,
+        depart: Time,
+        costs: WireCosts,
+    ) -> SendRequest {
+        assert!(dst < self.nranks, "send to nonexistent rank {dst}");
+        let done = Completion::new();
+        let bytes = payload.len();
+        let env = Envelope {
+            src,
+            dst,
+            tag,
+            payload,
+            depart,
+            costs,
+            arrival_seq: 0,
+            send_done: Arc::clone(&done),
+        };
+        self.mailboxes[dst].deliver(env);
+        SendRequest { done, bytes }
+    }
+
+    /// Post a non-blocking receive on `rank`'s mailbox. `post_time` is the
+    /// receiver's clock after charging `o_recv`.
+    pub fn recv(&self, rank: usize, src: SrcSel, tag: TagSel, post_time: Time) -> RecvRequest {
+        let slot = RecvSlot::new();
+        self.mailboxes[rank].post(src, tag, post_time, Arc::clone(&slot));
+        RecvRequest { slot }
+    }
+
+    /// Barrier over `group` (ascending global ranks), reconciling clocks.
+    pub fn barrier(&self, group: &[usize], entry: Time, cost: Time) -> Time {
+        debug_assert!(group.windows(2).all(|w| w[0] < w[1]), "group must be sorted");
+        let b = {
+            let mut g = self.barriers.lock();
+            Arc::clone(
+                g.entry(group.to_vec())
+                    .or_insert_with(|| Arc::new(GroupBarrier::new(group.len()))),
+            )
+        };
+        b.enter(entry, cost)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::thread;
+
+    fn eager_costs() -> WireCosts {
+        WireCosts {
+            latency: 1_000,
+            byte_time_ns: 1.0,
+            handshake: 0,
+            unexpected_per_byte: 0.5,
+            eager: true,
+        }
+    }
+
+    #[test]
+    fn send_then_recv_matches() {
+        let f = Fabric::new(2);
+        let req = f.send(
+            0,
+            1,
+            7,
+            Bytes::from_static(b"abcd"),
+            Time(100),
+            eager_costs(),
+        );
+        assert_eq!(f.mailbox(1).unexpected_len(), 1);
+        let r = f.recv(1, SrcSel::Exact(0), TagSel::Exact(7), Time(0));
+        let done = r.wait_raw();
+        assert_eq!(&done.payload[..], b"abcd");
+        // depart 100 + L 1000 + 4 bytes = 1104; post at 0 => arrival wins.
+        assert_eq!(done.completion, Time(1_104));
+        // Virtual arrival (1104) is after the post (0), so even though the
+        // message physically sat in the unexpected queue, no copy is charged.
+        assert!(!done.unexpected);
+        assert_eq!(req.wait_raw(), Time(100));
+    }
+
+    #[test]
+    fn recv_then_send_matches() {
+        let f = Fabric::new(2);
+        let r = f.recv(1, SrcSel::Exact(0), TagSel::Exact(3), Time(50));
+        assert_eq!(f.mailbox(1).posted_len(), 1);
+        f.send(0, 1, 3, Bytes::from_static(b"xy"), Time(0), eager_costs());
+        let done = r.wait_raw();
+        assert_eq!(&done.payload[..], b"xy");
+        assert!(!done.unexpected);
+        assert_eq!(done.completion, Time(1_002)); // max(50, 0+1000+2)
+    }
+
+    #[test]
+    fn unexpected_flag_on_late_post() {
+        let f = Fabric::new(2);
+        f.send(0, 1, 1, Bytes::from_static(b"zz"), Time(0), eager_costs());
+        // Virtual arrival = 1002; post at 10_000 => unexpected.
+        let r = f.recv(1, SrcSel::Exact(0), TagSel::Exact(1), Time(10_000));
+        let done = r.wait_raw();
+        assert!(done.unexpected);
+        assert_eq!(done.completion, Time(10_001)); // 10_000 + 0.5*2
+    }
+
+    #[test]
+    fn tag_and_source_selective_matching() {
+        let f = Fabric::new(3);
+        f.send(0, 2, 5, Bytes::from_static(b"A"), Time(0), eager_costs());
+        f.send(1, 2, 6, Bytes::from_static(b"B"), Time(0), eager_costs());
+        let r6 = f.recv(2, SrcSel::Any, TagSel::Exact(6), Time(0));
+        assert_eq!(&r6.wait_raw().payload[..], b"B");
+        let r5 = f.recv(2, SrcSel::Exact(0), TagSel::Any, Time(0));
+        let d5 = r5.wait_raw();
+        assert_eq!(&d5.payload[..], b"A");
+        assert_eq!(d5.src, 0);
+        assert_eq!(d5.tag, 5);
+    }
+
+    #[test]
+    fn wildcard_prefers_earliest_virtual_arrival() {
+        let f = Fabric::new(3);
+        // Physically delivered first but departs later virtually.
+        f.send(0, 2, 1, Bytes::from_static(b"late"), Time(9_000), eager_costs());
+        f.send(1, 2, 1, Bytes::from_static(b"early"), Time(0), eager_costs());
+        let r = f.recv(2, SrcSel::Any, TagSel::Exact(1), Time(20_000));
+        assert_eq!(&r.wait_raw().payload[..], b"early");
+    }
+
+    #[test]
+    fn same_source_fifo_order() {
+        let f = Fabric::new(2);
+        for (i, t) in [(0u8, 0u64), (1, 10), (2, 20)] {
+            f.send(0, 1, 9, Bytes::copy_from_slice(&[i]), Time(t), eager_costs());
+        }
+        for expect in 0u8..3 {
+            let r = f.recv(1, SrcSel::Exact(0), TagSel::Exact(9), Time(0));
+            assert_eq!(r.wait_raw().payload[0], expect);
+        }
+    }
+
+    #[test]
+    fn rendezvous_send_completion_requires_match() {
+        let mut costs = eager_costs();
+        costs.eager = false;
+        costs.handshake = 500;
+        let f = Fabric::new(2);
+        let s = f.send(0, 1, 2, Bytes::from_static(&[0u8; 16]), Time(0), costs);
+        assert!(s.poll().is_none(), "rendezvous send pending until matched");
+        let r = f.recv(1, SrcSel::Exact(0), TagSel::Exact(2), Time(4_000));
+        let d = r.wait_raw();
+        // xfer_start = max(0+1000, 4000) + 500 = 4500; arrival = +1000+16
+        assert_eq!(d.completion, Time(5_516));
+        assert_eq!(s.wait_raw(), d.completion);
+    }
+
+    #[test]
+    fn cross_thread_blocking_wait() {
+        let f = Fabric::new(2);
+        let f2 = Arc::clone(&f);
+        let h = thread::spawn(move || {
+            let r = f2.recv(1, SrcSel::Exact(0), TagSel::Exact(0), Time(0));
+            r.wait_raw().payload.to_vec()
+        });
+        thread::sleep(std::time::Duration::from_millis(20));
+        f.send(0, 1, 0, Bytes::from_static(b"ping"), Time(5), eager_costs());
+        assert_eq!(h.join().unwrap(), b"ping");
+    }
+
+    #[test]
+    fn barrier_reconciles_clocks() {
+        let f = Fabric::new(4);
+        let group = [0usize, 1, 2, 3];
+        let mut handles = Vec::new();
+        for r in 0..4usize {
+            let f = Arc::clone(&f);
+            handles.push(thread::spawn(move || {
+                f.barrier(&group[..], Time(100 * (r as u64 + 1)), Time(50))
+            }));
+        }
+        for h in handles {
+            assert_eq!(h.join().unwrap(), Time(450)); // max entry 400 + 50
+        }
+    }
+
+    #[test]
+    fn barrier_reusable_across_generations() {
+        let f = Fabric::new(2);
+        let group = [0usize, 1];
+        for round in 0..3u64 {
+            let f0 = Arc::clone(&f);
+            let g = group;
+            let h = thread::spawn(move || f0.barrier(&g[..], Time(round * 10), Time(1)));
+            let me = f.barrier(&group[..], Time(round * 10 + 5), Time(1));
+            assert_eq!(me, Time(round * 10 + 6));
+            assert_eq!(h.join().unwrap(), me);
+        }
+    }
+
+    #[test]
+    fn subgroup_barriers_are_independent() {
+        let f = Fabric::new(4);
+        let a = [0usize, 1];
+        let b = [2usize, 3];
+        let fa = Arc::clone(&f);
+        let ha = thread::spawn(move || fa.barrier(&a[..], Time(10), Time(1)));
+        let fb = Arc::clone(&f);
+        let hb = thread::spawn(move || fb.barrier(&b[..], Time(100), Time(1)));
+        assert_eq!(f.barrier(&a[..], Time(20), Time(1)), Time(21));
+        assert_eq!(f.barrier(&b[..], Time(200), Time(1)), Time(201));
+        ha.join().unwrap();
+        hb.join().unwrap();
+    }
+
+    #[test]
+    fn symmetric_alloc_and_put_get() {
+        let f = Fabric::new(2);
+        let group = [0usize, 1];
+        let f2 = Arc::clone(&f);
+        let h = thread::spawn(move || f2.segments().alloc(&[0, 1], 64, u64::MAX));
+        let id = f.segments().alloc(&group[..], 64, u64::MAX);
+        assert_eq!(h.join().unwrap(), id);
+
+        f.segments().put(id, 1, 8, b"hello", None);
+        let mut out = [0u8; 5];
+        f.segments().read(id, 1, 8, &mut out);
+        assert_eq!(&out, b"hello");
+        // Rank 0's copy untouched.
+        f.segments().read(id, 0, 8, &mut out);
+        assert_eq!(&out, &[0u8; 5]);
+    }
+
+    #[test]
+    fn signalled_puts_wake_waiters_in_order() {
+        let f = Fabric::new(2);
+        let f2 = Arc::clone(&f);
+        let ha = thread::spawn(move || f2.segments().alloc(&[0, 1], 16, u64::MAX));
+        let id = f.segments().alloc(&[0, 1], 16, u64::MAX);
+        ha.join().unwrap();
+
+        let f3 = Arc::clone(&f);
+        let waiter = thread::spawn(move || {
+            let t1 = f3.segments().wait_signals(id, 1, 1);
+            let t2 = f3.segments().wait_signals(id, 1, 2);
+            (t1, t2)
+        });
+        thread::sleep(std::time::Duration::from_millis(10));
+        f.segments().put(id, 1, 0, &[1u8; 4], Some(Time(111)));
+        f.segments().put(id, 1, 4, &[2u8; 4], Some(Time(222)));
+        let (t1, t2) = waiter.join().unwrap();
+        assert_eq!((t1, t2), (Time(111), Time(222)));
+        assert_eq!(f.segments().signal_count(id, 1), 2);
+        assert_eq!(f.segments().signal_count(id, 0), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of bounds")]
+    fn put_out_of_bounds_panics() {
+        let f = Fabric::new(1);
+        let id = f.segments().alloc(&[0], 4, u64::MAX);
+        f.segments().put(id, 0, 2, &[0u8; 4], None);
+    }
+
+    #[test]
+    fn flow_control_blocks_until_consumed() {
+        use std::sync::atomic::{AtomicUsize, Ordering};
+        let f = Fabric::new(2);
+        let fa = Arc::clone(&f);
+        let h = thread::spawn(move || fa.segments().alloc(&[0, 1], 8, 2));
+        let id = f.segments().alloc(&[0, 1], 8, 2);
+        h.join().unwrap();
+
+        let done = Arc::new(AtomicUsize::new(0));
+        let f2 = Arc::clone(&f);
+        let d2 = Arc::clone(&done);
+        let sender = thread::spawn(move || {
+            for k in 0..4u8 {
+                f2.segments().put(id, 1, 0, &[k], Some(Time(k as u64)));
+                d2.fetch_add(1, Ordering::SeqCst);
+            }
+        });
+        // Window = 2: the third put must block until a consumption.
+        thread::sleep(std::time::Duration::from_millis(30));
+        assert_eq!(done.load(Ordering::SeqCst), 2, "third put blocked");
+        f.segments().mark_consumed(id, 1, 1);
+        thread::sleep(std::time::Duration::from_millis(30));
+        assert_eq!(done.load(Ordering::SeqCst), 3, "one slot freed one put");
+        f.segments().mark_consumed(id, 1, 3);
+        sender.join().unwrap();
+        assert_eq!(done.load(Ordering::SeqCst), 4);
+        assert_eq!(f.segments().signal_count(id, 1), 4);
+    }
+
+    #[test]
+    fn unsignalled_puts_ignore_flow_control() {
+        let f = Fabric::new(1);
+        let id = f.segments().alloc(&[0], 8, 1);
+        // Plain memory writes (no signal) never block.
+        for k in 0..10u8 {
+            f.segments().put(id, 0, 0, &[k], None);
+        }
+        let mut out = [0u8; 1];
+        f.segments().read(id, 0, 0, &mut out);
+        assert_eq!(out[0], 9);
+    }
+}

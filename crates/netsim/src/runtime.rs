@@ -1,0 +1,754 @@
+//! The SPMD rank runtime: spawns one OS thread per simulated rank, each
+//! owning a virtual clock and a handle to the shared [`Fabric`].
+//!
+//! Clock-charging policy lives here. Crucially, the *physical* completion of
+//! an operation (data delivered) is decoupled from the *virtual* cost of
+//! waiting for it: `wait_raw` on a request blocks the thread but does not
+//! touch the clock, and the `charge_*` family implements the different
+//! synchronization-cost policies (`MPI_Wait` loop vs. `MPI_Waitall` vs. the
+//! directive layer's consolidated region sync) whose comparison is the
+//! subject of the paper's Figure 4.
+
+use std::sync::Arc;
+
+use bytes::Bytes;
+
+use crate::fabric::{Fabric, SegId};
+use crate::model::{CostModel, MachineModel};
+use crate::msg::{RecvDone, RecvRequest, SendRequest, SrcSel, TagSel, WireCosts};
+use crate::time::Time;
+use crate::trace::{EventKind, RankStats, TraceEvent, TraceSink};
+
+/// Simulation configuration.
+#[derive(Clone)]
+pub struct SimConfig {
+    /// Number of SPMD ranks.
+    pub nranks: usize,
+    /// The machine's per-library cost models.
+    pub machine: MachineModel,
+    /// Record a full event trace (tests/examples; off for benches).
+    pub trace: bool,
+    /// Stack size per rank thread in bytes.
+    pub stack_size: usize,
+}
+
+impl SimConfig {
+    /// A Gemini-like machine with `nranks` ranks and tracing off.
+    pub fn new(nranks: usize) -> Self {
+        SimConfig {
+            nranks,
+            machine: MachineModel::default(),
+            trace: false,
+            stack_size: 1 << 20,
+        }
+    }
+
+    /// Enable event tracing.
+    pub fn with_trace(mut self) -> Self {
+        self.trace = true;
+        self
+    }
+
+    /// Use a specific machine model.
+    pub fn with_machine(mut self, machine: MachineModel) -> Self {
+        self.machine = machine;
+        self
+    }
+}
+
+/// Result of a simulation: per-rank return values, final virtual clocks,
+/// per-rank statistics, and (optionally) the event trace.
+#[derive(Debug)]
+pub struct SimResult<T> {
+    /// Value returned by each rank's closure, indexed by rank.
+    pub per_rank: Vec<T>,
+    /// Final virtual clock of each rank.
+    pub final_times: Vec<Time>,
+    /// Per-rank operation counters.
+    pub stats: Vec<RankStats>,
+    /// The event trace, if enabled.
+    pub trace: Option<Vec<TraceEvent>>,
+}
+
+impl<T> SimResult<T> {
+    /// The job's makespan: the maximum final clock over all ranks.
+    pub fn makespan(&self) -> Time {
+        self.final_times.iter().copied().max().unwrap_or(Time::ZERO)
+    }
+
+    /// Whole-job operation totals.
+    pub fn total_stats(&self) -> RankStats {
+        let mut total = RankStats::default();
+        for s in &self.stats {
+            total.merge(s);
+        }
+        total
+    }
+}
+
+/// Run an SPMD program: `body` is executed once per rank, in parallel.
+///
+/// Panics in any rank are propagated (with the rank id) after all other
+/// ranks have been joined or also panicked.
+pub fn run<T, F>(cfg: SimConfig, body: F) -> SimResult<T>
+where
+    T: Send,
+    F: Fn(&mut RankCtx) -> T + Sync,
+{
+    assert!(cfg.nranks > 0, "need at least one rank");
+    let fabric = Fabric::new(cfg.nranks);
+    let sink = if cfg.trace {
+        Some(Arc::new(TraceSink::new()))
+    } else {
+        None
+    };
+    let body = &body;
+
+    let mut outputs: Vec<Option<(T, Time, RankStats)>> =
+        (0..cfg.nranks).map(|_| None).collect();
+
+    std::thread::scope(|scope| {
+        let mut handles = Vec::with_capacity(cfg.nranks);
+        for rank in 0..cfg.nranks {
+            let fabric = Arc::clone(&fabric);
+            let sink = sink.clone();
+            let machine = cfg.machine;
+            let nranks = cfg.nranks;
+            let builder = std::thread::Builder::new()
+                .name(format!("rank-{rank}"))
+                .stack_size(cfg.stack_size);
+            let handle = builder
+                .spawn_scoped(scope, move || {
+                    let mut ctx = RankCtx {
+                        rank,
+                        nranks,
+                        clock: Time::ZERO,
+                        fabric,
+                        machine,
+                        outstanding_puts: Vec::new(),
+                        stats: RankStats::default(),
+                        sink,
+                    };
+                    let out = body(&mut ctx);
+                    (out, ctx.clock, ctx.stats)
+                })
+                .expect("failed to spawn rank thread");
+            handles.push(handle);
+        }
+        for (rank, handle) in handles.into_iter().enumerate() {
+            match handle.join() {
+                Ok(triple) => outputs[rank] = Some(triple),
+                Err(e) => {
+                    let msg = e
+                        .downcast_ref::<String>()
+                        .map(String::as_str)
+                        .or_else(|| e.downcast_ref::<&str>().copied())
+                        .unwrap_or("<non-string panic>");
+                    panic!("rank {rank} panicked: {msg}");
+                }
+            }
+        }
+    });
+
+    let mut per_rank = Vec::with_capacity(cfg.nranks);
+    let mut final_times = Vec::with_capacity(cfg.nranks);
+    let mut stats = Vec::with_capacity(cfg.nranks);
+    for slot in outputs {
+        let (out, t, s) = slot.expect("every rank produced output");
+        per_rank.push(out);
+        final_times.push(t);
+        stats.push(s);
+    }
+    SimResult {
+        per_rank,
+        final_times,
+        stats,
+        trace: sink.map(|s| s.take()),
+    }
+}
+
+/// Deterministic per-message jitter source (splitmix64 over the message
+/// identity) — reproducible non-uniform latencies.
+fn deterministic_jitter(a: u64, b: u64, c: u64, d: u64) -> u64 {
+    let mut z = a
+        .wrapping_mul(0x9E3779B97F4A7C15)
+        .wrapping_add(b.rotate_left(17))
+        .wrapping_add(c.rotate_left(33))
+        .wrapping_add(d.rotate_left(49));
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58476D1CE4E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D049BB133111EB);
+    z ^ (z >> 31)
+}
+
+/// Per-rank execution context: identity, virtual clock, fabric access, and
+/// clock-charging policy helpers.
+pub struct RankCtx {
+    rank: usize,
+    nranks: usize,
+    clock: Time,
+    fabric: Arc<Fabric>,
+    machine: MachineModel,
+    outstanding_puts: Vec<Time>,
+    /// Operation counters for this rank.
+    pub stats: RankStats,
+    sink: Option<Arc<TraceSink>>,
+}
+
+impl RankCtx {
+    /// This rank's global id.
+    #[inline]
+    pub fn rank(&self) -> usize {
+        self.rank
+    }
+
+    /// Total ranks in the job.
+    #[inline]
+    pub fn nranks(&self) -> usize {
+        self.nranks
+    }
+
+    /// The machine's library cost models.
+    #[inline]
+    pub fn machine(&self) -> &MachineModel {
+        &self.machine
+    }
+
+    /// Current virtual clock.
+    #[inline]
+    pub fn now(&self) -> Time {
+        self.clock
+    }
+
+    /// The shared fabric (escape hatch for substrate layers).
+    pub fn fabric(&self) -> &Arc<Fabric> {
+        &self.fabric
+    }
+
+    fn trace(&self, kind: EventKind) {
+        if let Some(sink) = &self.sink {
+            sink.record(TraceEvent {
+                rank: self.rank,
+                time: self.clock,
+                kind,
+            });
+        }
+    }
+
+    /// Emit a free-form trace marker at the current clock.
+    pub fn marker(&self, label: impl Into<String>) {
+        self.trace(EventKind::Marker(label.into()));
+    }
+
+    // -- computation --------------------------------------------------------
+
+    /// Model a block of local computation costing `t` of virtual time.
+    pub fn compute(&mut self, t: Time) {
+        self.clock += t;
+        self.trace(EventKind::Compute { ns: t.as_nanos() });
+    }
+
+    /// Charge an arbitrary local overhead without a trace event.
+    pub fn charge(&mut self, t: Time) {
+        self.clock += t;
+    }
+
+    /// Force the clock forward to at least `t` (used by substrate layers for
+    /// custom reconciliation). Never moves the clock backwards.
+    pub fn advance_to(&mut self, t: Time) {
+        self.clock = self.clock.max(t);
+    }
+
+    // -- two-sided ----------------------------------------------------------
+
+    /// Initiate a non-blocking send of `payload` to `dst` under `model`.
+    /// Charges `o_send` and departs at the resulting clock.
+    pub fn isend(&mut self, dst: usize, tag: i32, payload: &[u8], model: &CostModel) -> SendRequest {
+        self.isend_bytes(dst, tag, Bytes::copy_from_slice(payload), model)
+    }
+
+    /// Like [`RankCtx::isend`] but takes ownership of the payload without a
+    /// copy.
+    pub fn isend_bytes(
+        &mut self,
+        dst: usize,
+        tag: i32,
+        payload: Bytes,
+        model: &CostModel,
+    ) -> SendRequest {
+        self.clock += Time::from_nanos(model.o_send);
+        let bytes = payload.len();
+        self.stats.sends += 1;
+        self.stats.bytes_sent += bytes;
+        self.trace(EventKind::SendPost { dst, tag, bytes });
+        let mut costs = WireCosts::for_message(model, bytes);
+        if model.latency_jitter_ns > 0 {
+            costs.latency += deterministic_jitter(
+                self.rank as u64,
+                dst as u64,
+                tag as u64,
+                self.stats.sends as u64,
+            ) % (model.latency_jitter_ns + 1);
+        }
+        self.fabric
+            .send(self.rank, dst, tag, payload, self.clock, costs)
+    }
+
+    /// Post a non-blocking receive. Charges `o_recv`; the post time is the
+    /// resulting clock.
+    pub fn irecv(&mut self, src: SrcSel, tag: TagSel, model: &CostModel) -> RecvRequest {
+        self.clock += Time::from_nanos(model.o_recv);
+        self.stats.recvs += 1;
+        self.trace(EventKind::RecvPost {
+            src: match src {
+                SrcSel::Exact(r) => Some(r),
+                SrcSel::Any => None,
+            },
+            tag: match tag {
+                TagSel::Exact(t) => Some(t),
+                TagSel::Range { .. } | TagSel::Any => None,
+            },
+        });
+        self.fabric.recv(self.rank, src, tag, self.clock)
+    }
+
+    /// Blocking send: initiate and wait with a single-request charge.
+    pub fn send(&mut self, dst: usize, tag: i32, payload: &[u8], model: &CostModel) {
+        let req = self.isend(dst, tag, payload, model);
+        self.wait_send(&req, model);
+    }
+
+    /// Blocking receive: post and wait with a single-request charge.
+    pub fn recv(&mut self, src: SrcSel, tag: TagSel, model: &CostModel) -> RecvDone {
+        let req = self.irecv(src, tag, model);
+        self.wait_recv(&req, model)
+    }
+
+    /// Wait for a single send request, charging `o_wait` (the expensive
+    /// per-call pattern).
+    pub fn wait_send(&mut self, req: &SendRequest, model: &CostModel) {
+        let done = req.wait_raw();
+        self.clock = self.clock.max(done) + Time::from_nanos(model.o_wait);
+        self.stats.waits += 1;
+        self.trace(EventKind::Wait);
+    }
+
+    /// Wait for a single receive request, charging `o_wait`.
+    pub fn wait_recv(&mut self, req: &RecvRequest, model: &CostModel) -> RecvDone {
+        let done = req.wait_raw();
+        self.clock = self.clock.max(done.completion) + Time::from_nanos(model.o_wait);
+        self.stats.waits += 1;
+        self.trace(EventKind::Wait);
+        self.trace(EventKind::RecvDone {
+            src: done.src,
+            tag: done.tag,
+            bytes: done.payload.len(),
+            unexpected: done.unexpected,
+        });
+        done
+    }
+
+    /// Consolidated completion over a mixed set of requests (`MPI_Waitall`):
+    /// the clock advances to the max completion plus one amortized charge.
+    /// Returns the receive results in request order.
+    pub fn waitall(
+        &mut self,
+        sends: &[SendRequest],
+        recvs: &[RecvRequest],
+        model: &CostModel,
+    ) -> Vec<RecvDone> {
+        let mut max_t = self.clock;
+        for s in sends {
+            max_t = max_t.max(s.wait_raw());
+        }
+        let mut dones = Vec::with_capacity(recvs.len());
+        for r in recvs {
+            let d = r.wait_raw();
+            max_t = max_t.max(d.completion);
+            dones.push(d);
+        }
+        let n = sends.len() + recvs.len();
+        // User-level Waitall fills per-request status objects.
+        self.clock = max_t
+            + model.waitall_cost(n)
+            + Time::from_nanos(model.o_status * n as u64);
+        self.stats.waitalls += 1;
+        self.trace(EventKind::Waitall { n });
+        dones
+    }
+
+    /// Fold a set of pre-collected virtual completion times into the clock
+    /// as one consolidated sync (the directive layer's deferred region
+    /// sync). `n` is the number of requests covered.
+    pub fn charge_consolidated(&mut self, completions: &[Time], n: usize, model: &CostModel) {
+        let max_t = completions
+            .iter()
+            .copied()
+            .fold(self.clock, Time::max);
+        self.clock = max_t + model.waitall_cost(n);
+        self.stats.waitalls += 1;
+        self.trace(EventKind::Waitall { n });
+    }
+
+    // -- one-sided -----------------------------------------------------------
+
+    /// Collective symmetric allocation over `group` (ascending global
+    /// ranks; must include this rank). Synchronizes the group like
+    /// `shmalloc` does.
+    pub fn sym_alloc(&mut self, group: &[usize], bytes: usize, model: &CostModel) -> SegId {
+        self.sym_alloc_windowed(group, bytes, u64::MAX, model)
+    }
+
+    /// [`RankCtx::sym_alloc`] with a flow-control window: a signalled put
+    /// physically blocks while `window` deliveries are unconsumed at the
+    /// destination (staging-slot reuse safety for layered engines).
+    pub fn sym_alloc_windowed(
+        &mut self,
+        group: &[usize],
+        bytes: usize,
+        window: u64,
+        model: &CostModel,
+    ) -> SegId {
+        let id = self.fabric.segments().alloc(group, bytes, window);
+        // shmalloc implies a barrier across the participants.
+        self.barrier_group(group, model);
+        id
+    }
+
+    /// Release flow-controlled senders: mark `count` signalled deliveries
+    /// into this rank's copy of `seg` as consumed.
+    pub fn mark_consumed(&self, seg: SegId, count: u64) {
+        self.fabric.segments().mark_consumed(seg, self.rank, count);
+    }
+
+    /// One-sided put of `data` into `target`'s copy of segment `seg` at
+    /// `offset`. Charges `o_put`; the remote data is signalled with its
+    /// virtual arrival time so receivers can (physically) wait for it.
+    /// Returns the arrival time; it is also recorded as an outstanding put
+    /// for [`RankCtx::quiet`].
+    pub fn put(
+        &mut self,
+        seg: SegId,
+        target: usize,
+        offset: usize,
+        data: &[u8],
+        model: &CostModel,
+        signal: bool,
+    ) -> Time {
+        self.clock += Time::from_nanos(model.o_put);
+        let mut arrival = self.clock + model.wire_time(data.len());
+        if model.latency_jitter_ns > 0 {
+            arrival += Time::from_nanos(
+                deterministic_jitter(
+                    self.rank as u64,
+                    target as u64,
+                    seg.0 as u64,
+                    self.stats.puts as u64,
+                ) % (model.latency_jitter_ns + 1),
+            );
+        }
+        self.fabric
+            .segments()
+            .put(seg, target, offset, data, signal.then_some(arrival));
+        self.outstanding_puts.push(arrival);
+        self.stats.puts += 1;
+        self.stats.bytes_put += data.len();
+        self.trace(EventKind::Put {
+            dst: target,
+            bytes: data.len(),
+        });
+        arrival
+    }
+
+    /// Blocking one-sided get from `target`'s copy of `seg` into `out`.
+    /// Charges the full software + wire round trip.
+    pub fn get(
+        &mut self,
+        seg: SegId,
+        target: usize,
+        offset: usize,
+        out: &mut [u8],
+        model: &CostModel,
+    ) {
+        self.fabric.segments().read(seg, target, offset, out);
+        self.clock += Time::from_nanos(model.o_get)
+            + Time::from_nanos(model.latency)
+            + model.wire_time(out.len());
+        self.stats.gets += 1;
+        self.trace(EventKind::Get {
+            src: target,
+            bytes: out.len(),
+        });
+    }
+
+    /// Read this rank's own copy of a segment (free: local load).
+    pub fn read_local(&self, seg: SegId, offset: usize, out: &mut [u8]) {
+        self.fabric.segments().read(seg, self.rank, offset, out);
+    }
+
+    /// Write this rank's own copy of a segment (free: local store).
+    pub fn write_local(&self, seg: SegId, offset: usize, data: &[u8]) {
+        self.fabric.segments().put(seg, self.rank, offset, data, None);
+    }
+
+    /// Physically wait until at least `count` signalled deliveries landed in
+    /// this rank's copy of `seg`; returns the `count`-th arrival time.
+    /// Does **not** advance the clock — pair with [`RankCtx::advance_to`] or
+    /// a consolidated charge.
+    pub fn wait_signals_raw(&self, seg: SegId, count: usize) -> Time {
+        self.fabric.segments().wait_signals(seg, self.rank, count)
+    }
+
+    /// Complete all outstanding puts (`shmem_quiet`): clock advances to the
+    /// latest arrival plus `o_quiet`.
+    pub fn quiet(&mut self, model: &CostModel) {
+        let outstanding = self.outstanding_puts.len();
+        let max_arrival = self
+            .outstanding_puts
+            .drain(..)
+            .fold(self.clock, Time::max);
+        self.clock = max_arrival + Time::from_nanos(model.o_quiet);
+        self.stats.quiets += 1;
+        self.trace(EventKind::Quiet { outstanding });
+    }
+
+    /// Completion time of the latest outstanding put without charging
+    /// (used by the directive engine for deferred syncs).
+    pub fn outstanding_put_horizon(&self) -> Option<Time> {
+        self.outstanding_puts.iter().copied().max()
+    }
+
+    /// Drain the outstanding-put list, returning the arrival times.
+    pub fn take_outstanding_puts(&mut self) -> Vec<Time> {
+        std::mem::take(&mut self.outstanding_puts)
+    }
+
+    // -- collectives ----------------------------------------------------------
+
+    /// Barrier over all ranks.
+    pub fn barrier(&mut self, model: &CostModel) {
+        let group: Vec<usize> = (0..self.nranks).collect();
+        self.barrier_group(&group, model);
+    }
+
+    /// Barrier over an arbitrary ascending group containing this rank.
+    pub fn barrier_group(&mut self, group: &[usize], model: &CostModel) {
+        debug_assert!(group.contains(&self.rank), "barrier group excludes caller");
+        let cost = model.barrier_cost(group.len());
+        let exit = self.fabric.barrier(group, self.clock, cost);
+        self.clock = exit;
+        self.stats.barriers += 1;
+        self.trace(EventKind::Barrier {
+            group_len: group.len(),
+        });
+    }
+
+    // -- explicit data handling costs ----------------------------------------
+
+    /// Charge an explicit pack/unpack copy of `bytes` (`MPI_Pack` path).
+    pub fn charge_pack(&mut self, bytes: usize, model: &CostModel) {
+        self.clock += model.byte_cost(model.pack_per_byte, bytes);
+        self.stats.packed_bytes += bytes;
+        self.trace(EventKind::Pack { bytes });
+    }
+
+    /// Charge a derived-datatype build + commit.
+    pub fn charge_datatype_commit(&mut self, model: &CostModel) {
+        self.clock += Time::from_nanos(model.datatype_commit);
+        self.stats.datatype_commits += 1;
+        self.trace(EventKind::DatatypeCommit);
+    }
+
+    /// Charge a local staging copy of `bytes`.
+    pub fn charge_memcpy(&mut self, bytes: usize, model: &CostModel) {
+        self.clock += model.byte_cost(model.memcpy_per_byte, bytes);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::MachineModel;
+
+    fn uniform_cfg(n: usize) -> SimConfig {
+        SimConfig::new(n).with_machine(MachineModel::uniform(1_000, 1.0))
+    }
+
+    #[test]
+    fn single_rank_compute() {
+        let res = run(uniform_cfg(1), |ctx| {
+            ctx.compute(Time::from_micros(5));
+            ctx.now()
+        });
+        assert_eq!(res.per_rank[0], Time::from_micros(5));
+        assert_eq!(res.makespan(), Time::from_micros(5));
+    }
+
+    #[test]
+    fn ping_message_clock_charges() {
+        let res = run(uniform_cfg(2), |ctx| {
+            let m = ctx.machine().mpi;
+            if ctx.rank() == 0 {
+                ctx.send(1, 0, &[7u8; 100], &m);
+            } else {
+                let d = ctx.recv(SrcSel::Exact(0), TagSel::Exact(0), &m);
+                assert_eq!(d.payload.len(), 100);
+            }
+            ctx.now()
+        });
+        // Sender: o_send(100) + wait: completion=depart(100) => max(100,100)+o_wait(100)=200
+        assert_eq!(res.per_rank[0], Time(200));
+        // Receiver: o_recv(100) posts at 100; arrival = 100 + 1000 + 100 = 1200;
+        // wait => max(100,1200)+100 = 1300.
+        assert_eq!(res.per_rank[1], Time(1300));
+        assert_eq!(res.total_stats().sends, 1);
+        assert_eq!(res.total_stats().recvs, 1);
+    }
+
+    #[test]
+    fn waitall_vs_wait_loop_ordering() {
+        // With n requests, a wait loop charges n*o_wait while waitall charges
+        // o_waitall + n*o_req_poll; verify end-to-end through the runtime.
+        let n_msgs = 8usize;
+        let run_one = |consolidated: bool| {
+            let res = run(SimConfig::new(2), move |ctx| {
+                let m = ctx.machine().mpi;
+                if ctx.rank() == 0 {
+                    let reqs: Vec<_> =
+                        (0..n_msgs).map(|i| ctx.isend(1, i as i32, &[0u8; 24], &m)).collect();
+                    if consolidated {
+                        ctx.waitall(&reqs, &[], &m);
+                    } else {
+                        for r in &reqs {
+                            ctx.wait_send(r, &m);
+                        }
+                    }
+                } else {
+                    let reqs: Vec<_> = (0..n_msgs)
+                        .map(|i| ctx.irecv(SrcSel::Exact(0), TagSel::Exact(i as i32), &m))
+                        .collect();
+                    if consolidated {
+                        ctx.waitall(&[], &reqs, &m);
+                    } else {
+                        for r in &reqs {
+                            ctx.wait_recv(r, &m);
+                        }
+                    }
+                }
+                ctx.now()
+            });
+            res.makespan()
+        };
+        let loop_time = run_one(false);
+        let all_time = run_one(true);
+        assert!(
+            all_time < loop_time,
+            "waitall ({all_time}) should beat wait loop ({loop_time})"
+        );
+    }
+
+    #[test]
+    fn barrier_all_ranks_same_exit() {
+        let res = run(uniform_cfg(4), |ctx| {
+            ctx.compute(Time::from_nanos(100 * (ctx.rank() as u64 + 1)));
+            let m = ctx.machine().mpi;
+            ctx.barrier(&m);
+            ctx.now()
+        });
+        let t0 = res.per_rank[0];
+        assert!(res.per_rank.iter().all(|&t| t == t0));
+        assert!(t0 > Time(400));
+    }
+
+    #[test]
+    fn one_sided_put_and_signal() {
+        let res = run(uniform_cfg(2), |ctx| {
+            let m = ctx.machine().shmem;
+            let seg = ctx.sym_alloc(&[0, 1], 64, &m);
+            if ctx.rank() == 0 {
+                let arrival = ctx.put(seg, 1, 0, &[42u8; 8], &m, true);
+                ctx.quiet(&m);
+                assert!(ctx.now() >= arrival);
+            } else {
+                let arrival = ctx.wait_signals_raw(seg, 1);
+                ctx.advance_to(arrival);
+                let mut out = [0u8; 8];
+                ctx.read_local(seg, 0, &mut out);
+                assert_eq!(out, [42u8; 8]);
+            }
+            ctx.now()
+        });
+        assert!(res.per_rank[1] > Time::ZERO);
+        assert_eq!(res.total_stats().puts, 1);
+    }
+
+    #[test]
+    fn trace_records_events() {
+        let res = run(uniform_cfg(2).with_trace(), |ctx| {
+            let m = ctx.machine().mpi;
+            if ctx.rank() == 0 {
+                ctx.send(1, 0, b"x", &m);
+            } else {
+                ctx.recv(SrcSel::Exact(0), TagSel::Exact(0), &m);
+            }
+        });
+        let trace = res.trace.expect("trace enabled");
+        assert!(trace
+            .iter()
+            .any(|e| matches!(e.kind, EventKind::SendPost { dst: 1, .. })));
+        assert!(trace
+            .iter()
+            .any(|e| matches!(e.kind, EventKind::RecvDone { src: 0, .. })));
+    }
+
+    #[test]
+    #[should_panic(expected = "rank 1 panicked")]
+    fn rank_panic_propagates_with_id() {
+        run(uniform_cfg(2), |ctx| {
+            if ctx.rank() == 1 {
+                panic!("boom");
+            }
+        });
+    }
+
+    #[test]
+    fn pack_and_datatype_charges() {
+        let res = run(SimConfig::new(1), |ctx| {
+            let m = ctx.machine().mpi;
+            let before = ctx.now();
+            ctx.charge_pack(1_000, &m);
+            let after_pack = ctx.now();
+            ctx.charge_datatype_commit(&m);
+            (before, after_pack, ctx.now())
+        });
+        let (a, b, c) = res.per_rank[0];
+        assert!(b > a);
+        assert!(c > b);
+        assert_eq!(res.stats[0].packed_bytes, 1_000);
+        assert_eq!(res.stats[0].datatype_commits, 1);
+    }
+
+    #[test]
+    fn charge_consolidated_folds_completions() {
+        let res = run(SimConfig::new(1), |ctx| {
+            let m = ctx.machine().mpi;
+            ctx.compute(Time(500));
+            ctx.charge_consolidated(&[Time(10_000), Time(2_000)], 2, &m);
+            ctx.now()
+        });
+        let m = crate::model::CostModel::gemini_mpi();
+        assert_eq!(res.per_rank[0], Time(10_000) + m.waitall_cost(2));
+    }
+
+    #[test]
+    fn many_ranks_scale() {
+        // Smoke test that the thread-per-rank runtime handles Fig-3-scale
+        // rank counts.
+        let res = run(SimConfig::new(97), |ctx| {
+            let m = ctx.machine().mpi;
+            ctx.barrier(&m);
+            ctx.rank()
+        });
+        assert_eq!(res.per_rank.len(), 97);
+        assert!(res.per_rank.iter().enumerate().all(|(i, &r)| i == r));
+    }
+}

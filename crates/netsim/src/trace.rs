@@ -1,0 +1,175 @@
+//! Event tracing: an optional, low-overhead record of every communication
+//! operation with its virtual timestamp. Used by tests to assert on the
+//! *structure* of generated communication (e.g. "the directive version
+//! issues exactly one waitall") and by examples to print timelines.
+
+use parking_lot::Mutex;
+
+use crate::time::Time;
+
+/// What happened.
+#[derive(Clone, Debug, PartialEq)]
+pub enum EventKind {
+    /// Non-blocking send initiated.
+    SendPost { dst: usize, tag: i32, bytes: usize },
+    /// Non-blocking receive posted.
+    RecvPost { src: Option<usize>, tag: Option<i32> },
+    /// A receive completed (clock charged).
+    RecvDone { src: usize, tag: i32, bytes: usize, unexpected: bool },
+    /// A single-request wait call (clock charged `o_wait`).
+    Wait,
+    /// A consolidated completion over `n` requests.
+    Waitall { n: usize },
+    /// One-sided put initiated.
+    Put { dst: usize, bytes: usize },
+    /// One-sided get performed.
+    Get { src: usize, bytes: usize },
+    /// Quiet/flush of outstanding puts.
+    Quiet { outstanding: usize },
+    /// Barrier crossed (clock reconciled).
+    Barrier { group_len: usize },
+    /// Local computation block.
+    Compute { ns: u64 },
+    /// Explicit pack/unpack copy of `bytes`.
+    Pack { bytes: usize },
+    /// Derived datatype committed.
+    DatatypeCommit,
+    /// Free-form marker emitted by upper layers.
+    Marker(String),
+}
+
+/// One trace record.
+#[derive(Clone, Debug)]
+pub struct TraceEvent {
+    /// Emitting rank.
+    pub rank: usize,
+    /// The rank's virtual clock *after* the operation.
+    pub time: Time,
+    /// The operation.
+    pub kind: EventKind,
+}
+
+/// A shared sink collecting events from all ranks.
+#[derive(Default)]
+pub struct TraceSink {
+    events: Mutex<Vec<TraceEvent>>,
+}
+
+impl TraceSink {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Record one event.
+    pub fn record(&self, ev: TraceEvent) {
+        self.events.lock().push(ev);
+    }
+
+    /// Drain all events, sorted by (time, rank) for stable inspection.
+    pub fn take(&self) -> Vec<TraceEvent> {
+        let mut evs = std::mem::take(&mut *self.events.lock());
+        evs.sort_by_key(|e| (e.time, e.rank));
+        evs
+    }
+
+    /// Count events on `rank` matching a predicate, without draining.
+    pub fn count_where(&self, mut pred: impl FnMut(&TraceEvent) -> bool) -> usize {
+        self.events.lock().iter().filter(|e| pred(e)).count()
+    }
+}
+
+/// Per-rank running statistics, kept unconditionally (cheap counters).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct RankStats {
+    /// Two-sided messages initiated.
+    pub sends: usize,
+    /// Receives posted.
+    pub recvs: usize,
+    /// Bytes moved by two-sided sends.
+    pub bytes_sent: usize,
+    /// Single-request wait calls.
+    pub waits: usize,
+    /// Consolidated waitall calls.
+    pub waitalls: usize,
+    /// One-sided puts initiated.
+    pub puts: usize,
+    /// Bytes moved by puts.
+    pub bytes_put: usize,
+    /// One-sided gets.
+    pub gets: usize,
+    /// Barriers crossed.
+    pub barriers: usize,
+    /// Quiet/flush calls.
+    pub quiets: usize,
+    /// Explicit pack/unpack bytes copied.
+    pub packed_bytes: usize,
+    /// Derived datatypes committed.
+    pub datatype_commits: usize,
+}
+
+impl RankStats {
+    /// Merge another rank's counters into this one (for whole-job totals).
+    pub fn merge(&mut self, other: &RankStats) {
+        self.sends += other.sends;
+        self.recvs += other.recvs;
+        self.bytes_sent += other.bytes_sent;
+        self.waits += other.waits;
+        self.waitalls += other.waitalls;
+        self.puts += other.puts;
+        self.bytes_put += other.bytes_put;
+        self.gets += other.gets;
+        self.barriers += other.barriers;
+        self.quiets += other.quiets;
+        self.packed_bytes += other.packed_bytes;
+        self.datatype_commits += other.datatype_commits;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sink_records_and_sorts() {
+        let sink = TraceSink::new();
+        sink.record(TraceEvent {
+            rank: 1,
+            time: Time(20),
+            kind: EventKind::Wait,
+        });
+        sink.record(TraceEvent {
+            rank: 0,
+            time: Time(10),
+            kind: EventKind::Waitall { n: 4 },
+        });
+        assert_eq!(sink.count_where(|e| matches!(e.kind, EventKind::Wait)), 1);
+        let evs = sink.take();
+        assert_eq!(evs.len(), 2);
+        assert_eq!(evs[0].time, Time(10));
+        assert_eq!(evs[1].rank, 1);
+        assert!(sink.take().is_empty());
+    }
+
+    #[test]
+    fn stats_merge() {
+        let mut a = RankStats {
+            sends: 1,
+            bytes_sent: 100,
+            waits: 2,
+            ..RankStats::default()
+        };
+        let b = RankStats {
+            sends: 3,
+            bytes_sent: 50,
+            waitalls: 1,
+            barriers: 2,
+            ..RankStats::default()
+        };
+        a.merge(&b);
+        assert_eq!(a.sends, 4);
+        assert_eq!(a.bytes_sent, 150);
+        assert_eq!(a.waits, 2);
+        assert_eq!(a.waitalls, 1);
+        assert_eq!(a.barriers, 2);
+    }
+}

@@ -1,0 +1,167 @@
+//! `pragmacc` — the directive compiler driver, as a command-line tool.
+//!
+//! Reads pragma-annotated source (a file argument or stdin), runs the
+//! static analyses, and/or emits the translated library calls:
+//!
+//! ```text
+//! pragmacc input.c --nranks 16 --analyze
+//! pragmacc input.c --emit TARGET_COMM_SHMEM
+//! pragmacc input.c --emit all --var n=4
+//! echo '#pragma comm_p2p ...' | pragmacc - --analyze
+//! ```
+//!
+//! Buffers referenced by the directives are declared with repeated
+//! `--buf name:type:len` options (the symbol-table role the host compiler
+//! plays); undeclared buffers are assumed `char[0]` with a warning.
+
+use std::collections::HashMap;
+use std::io::Read;
+use std::process::ExitCode;
+
+use commint::clause::Target;
+use mpisim::dtype::BasicType;
+use pragma_front::{analyze_with_vars, translate, SymbolTable};
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.is_empty() || args.iter().any(|a| a == "--help" || a == "-h") {
+        eprintln!(
+            "usage: pragmacc <file|-> [--nranks N] [--analyze] [--emit TARGET|all] \
+             [--var name=value]... [--buf name:type:len]..."
+        );
+        return ExitCode::from(2);
+    }
+
+    let mut input: Option<String> = None;
+    let mut nranks = 8usize;
+    let mut do_analyze = false;
+    let mut emit: Vec<Target> = Vec::new();
+    let mut vars: HashMap<String, i64> = HashMap::new();
+    let mut symbols = SymbolTable::new();
+
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--nranks" => {
+                i += 1;
+                nranks = args.get(i).and_then(|v| v.parse().ok()).unwrap_or(8);
+            }
+            "--analyze" => do_analyze = true,
+            "--emit" => {
+                i += 1;
+                match args.get(i).map(String::as_str) {
+                    Some("all") => emit.extend(Target::ALL),
+                    Some(kw) => match Target::from_keyword(kw) {
+                        Some(t) => emit.push(t),
+                        None => {
+                            eprintln!("pragmacc: unknown target `{kw}`");
+                            return ExitCode::from(2);
+                        }
+                    },
+                    None => {
+                        eprintln!("pragmacc: --emit needs a target keyword or `all`");
+                        return ExitCode::from(2);
+                    }
+                }
+            }
+            "--var" => {
+                i += 1;
+                let Some((name, value)) = args.get(i).and_then(|v| v.split_once('=')) else {
+                    eprintln!("pragmacc: --var expects name=value");
+                    return ExitCode::from(2);
+                };
+                let Ok(value) = value.parse::<i64>() else {
+                    eprintln!("pragmacc: --var value must be an integer");
+                    return ExitCode::from(2);
+                };
+                vars.insert(name.to_string(), value);
+            }
+            "--buf" => {
+                i += 1;
+                let spec = args.get(i).cloned().unwrap_or_default();
+                let parts: Vec<&str> = spec.split(':').collect();
+                if parts.len() != 3 {
+                    eprintln!("pragmacc: --buf expects name:type:len");
+                    return ExitCode::from(2);
+                }
+                let ty = match parts[1] {
+                    "char" | "u8" => BasicType::U8,
+                    "int" | "i32" => BasicType::I32,
+                    "long" | "i64" => BasicType::I64,
+                    "float" | "f32" => BasicType::F32,
+                    "double" | "f64" => BasicType::F64,
+                    other => {
+                        eprintln!("pragmacc: unknown buffer type `{other}`");
+                        return ExitCode::from(2);
+                    }
+                };
+                let Ok(len) = parts[2].parse::<usize>() else {
+                    eprintln!("pragmacc: buffer length must be an integer");
+                    return ExitCode::from(2);
+                };
+                symbols.declare_prim(parts[0], ty, len);
+            }
+            path if input.is_none() => input = Some(path.to_string()),
+            other => {
+                eprintln!("pragmacc: unexpected argument `{other}`");
+                return ExitCode::from(2);
+            }
+        }
+        i += 1;
+    }
+
+    let Some(path) = input else {
+        eprintln!("pragmacc: no input");
+        return ExitCode::from(2);
+    };
+    let source = if path == "-" {
+        let mut s = String::new();
+        if std::io::stdin().read_to_string(&mut s).is_err() {
+            eprintln!("pragmacc: failed to read stdin");
+            return ExitCode::FAILURE;
+        }
+        s
+    } else {
+        match std::fs::read_to_string(&path) {
+            Ok(s) => s,
+            Err(e) => {
+                eprintln!("pragmacc: cannot read {path}: {e}");
+                return ExitCode::FAILURE;
+            }
+        }
+    };
+
+    if !do_analyze && emit.is_empty() {
+        do_analyze = true; // default action
+    }
+
+    if do_analyze {
+        match analyze_with_vars(&source, &symbols, nranks, &vars) {
+            Ok(report) => {
+                println!("== analysis @ {nranks} ranks ==");
+                print!("{}", report.render());
+                if report
+                    .diagnostics
+                    .iter()
+                    .any(|d| d.severity == commint::Severity::Error)
+                {
+                    return ExitCode::FAILURE;
+                }
+            }
+            Err(e) => {
+                eprintln!("pragmacc: {e}");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+    for target in emit {
+        match translate(&source, &symbols, target) {
+            Ok(code) => print!("{code}"),
+            Err(e) => {
+                eprintln!("pragmacc: {e}");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+    ExitCode::SUCCESS
+}

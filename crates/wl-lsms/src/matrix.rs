@@ -1,0 +1,123 @@
+//! Column-major 2-D matrices, matching the original WL-LSMS container
+//! (`atom.vr(0,0)`, `n_row()`, column-contiguous storage — which is why the
+//! original code can `MPI_Pack(&atom.vr(0,0), 2*t, MPI_DOUBLE, ...)` to
+//! ship the first two columns as one contiguous block).
+
+use mpisim::pod::Pod;
+
+/// A column-major matrix.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Matrix<T> {
+    rows: usize,
+    cols: usize,
+    data: Vec<T>,
+}
+
+impl<T: Pod + Default> Matrix<T> {
+    /// Zero-initialized `rows x cols` matrix.
+    pub fn new(rows: usize, cols: usize) -> Self {
+        Matrix {
+            rows,
+            cols,
+            data: vec![T::default(); rows * cols],
+        }
+    }
+
+    /// Number of rows (`n_row()` in the original code).
+    pub fn n_row(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns.
+    pub fn n_col(&self) -> usize {
+        self.cols
+    }
+
+    /// Element access (column-major).
+    pub fn at(&self, r: usize, c: usize) -> T {
+        assert!(r < self.rows && c < self.cols, "index out of bounds");
+        self.data[c * self.rows + r]
+    }
+
+    /// Mutable element access (column-major).
+    pub fn at_mut(&mut self, r: usize, c: usize) -> &mut T {
+        assert!(r < self.rows && c < self.cols, "index out of bounds");
+        &mut self.data[c * self.rows + r]
+    }
+
+    /// The backing column-major storage.
+    pub fn as_slice(&self) -> &[T] {
+        &self.data
+    }
+
+    /// Mutable backing storage.
+    pub fn as_mut_slice(&mut self) -> &mut [T] {
+        &mut self.data
+    }
+
+    /// The first `n` elements in storage order — `&vr(0,0)` with a count of
+    /// `n`, as the original pack calls do.
+    pub fn prefix(&self, n: usize) -> &[T] {
+        &self.data[..n]
+    }
+
+    /// Mutable prefix.
+    pub fn prefix_mut(&mut self, n: usize) -> &mut [T] {
+        &mut self.data[..n]
+    }
+
+    /// Resize to `rows x cols`, preserving the storage prefix (the
+    /// original's `resizePotential` semantics are coarser; data is
+    /// re-communicated right after).
+    pub fn resize(&mut self, rows: usize, cols: usize) {
+        self.rows = rows;
+        self.cols = cols;
+        self.data.resize(rows * cols, T::default());
+    }
+
+    /// Fill from a deterministic function of (row, col).
+    pub fn fill_with(&mut self, mut f: impl FnMut(usize, usize) -> T) {
+        for c in 0..self.cols {
+            for r in 0..self.rows {
+                self.data[c * self.rows + r] = f(r, c);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn column_major_layout() {
+        let mut m = Matrix::<f64>::new(3, 2);
+        *m.at_mut(0, 0) = 1.0;
+        *m.at_mut(2, 0) = 3.0;
+        *m.at_mut(0, 1) = 4.0;
+        assert_eq!(m.as_slice(), &[1.0, 0.0, 3.0, 4.0, 0.0, 0.0]);
+        assert_eq!(m.at(2, 0), 3.0);
+        assert_eq!(m.n_row(), 3);
+        assert_eq!(m.n_col(), 2);
+    }
+
+    #[test]
+    fn prefix_matches_first_columns() {
+        // prefix(2*t) with t=n_row covers exactly the first two columns.
+        let mut m = Matrix::<i32>::new(4, 3);
+        m.fill_with(|r, c| (c * 10 + r) as i32);
+        let t = m.n_row();
+        assert_eq!(m.prefix(2 * t), &[0, 1, 2, 3, 10, 11, 12, 13]);
+    }
+
+    #[test]
+    fn resize_preserves_prefix() {
+        let mut m = Matrix::<f64>::new(2, 2);
+        m.fill_with(|r, c| (r + c) as f64);
+        m.resize(3, 2);
+        assert_eq!(m.n_row(), 3);
+        assert_eq!(m.as_slice().len(), 6);
+        assert_eq!(m.as_slice()[0], 0.0);
+        assert_eq!(m.as_slice()[1], 1.0);
+    }
+}

@@ -1,0 +1,74 @@
+//! Retargeting: the paper's central portability claim — "the programmer
+//! would only need to assert the desired message passing implementation
+//! using the `target` clause".
+//!
+//! The same even→odd pairwise region (Listing 2) runs unchanged under all
+//! three translation targets; the data is identical, the virtual cost
+//! profile differs exactly as the library characteristics dictate.
+//!
+//! Run with: `cargo run -p bench --example retarget_portability`
+
+use commint::prelude::*;
+use mpisim::Comm;
+use netsim::{run, SimConfig, Time};
+
+fn pairwise(target: Target, nranks: usize, msgs: usize) -> (Vec<i64>, Time) {
+    let res = run(SimConfig::new(nranks), move |ctx| {
+        let comm = Comm::world(ctx);
+        let mut session = CommSession::new(ctx, comm).without_ir();
+        let me = session.rank() as i64;
+        let mut got = -1i64;
+
+        // #pragma comm_parameters sender(rank-1) receiver(rank+1)
+        //     sendwhen(rank%2==0) receivewhen(rank%2==1)
+        //     max_comm_iter(msgs) target(<target>)
+        let params = CommParams::new()
+            .sender(RankExpr::rank() - RankExpr::lit(1))
+            .receiver(RankExpr::rank() + RankExpr::lit(1))
+            .sendwhen(
+                (RankExpr::rank() % RankExpr::lit(2))
+                    .eq(RankExpr::lit(0))
+                    .and(RankExpr::rank().lt(RankExpr::nranks() - RankExpr::lit(1))),
+            )
+            .receivewhen((RankExpr::rank() % RankExpr::lit(2)).eq(RankExpr::lit(1)))
+            .max_comm_iter(msgs as i64)
+            .target(target);
+        session
+            .region(&params, |reg| {
+                for k in 0..msgs {
+                    let src = [me * 1000 + k as i64];
+                    let mut dst = [-1i64];
+                    reg.p2p()
+                        .site(1)
+                        .sbuf(Prim::new("src", &src))
+                        .rbuf(PrimMut::new("dst", &mut dst))
+                        .run()
+                        .unwrap();
+                    if dst[0] >= 0 {
+                        got = dst[0];
+                    }
+                }
+            })
+            .unwrap();
+        session.flush();
+        (got, ctx.now())
+    });
+    let values = res.per_rank.iter().map(|&(v, _)| v).collect();
+    (values, res.makespan())
+}
+
+fn main() {
+    let nranks = 16;
+    let msgs = 8;
+    println!("even ranks send {msgs} small messages to the next odd rank (Listing 2)\n");
+    let mut reference: Option<Vec<i64>> = None;
+    for target in Target::ALL {
+        let (values, time) = pairwise(target, nranks, msgs);
+        match &reference {
+            None => reference = Some(values.clone()),
+            Some(r) => assert_eq!(r, &values, "retargeting changed the data!"),
+        }
+        println!("{:>24}: makespan {:>12}  (identical data: yes)", target.keyword(), format!("{time}"));
+    }
+    println!("\nSHMEM wins on frequent small transfers; the code never changed.");
+}

@@ -1,0 +1,99 @@
+//! Integration: small-scale smoke runs of all three figure experiments,
+//! asserting the qualitative claims of the paper's evaluation section.
+
+use wl_lsms::{
+    fig3_single_atom, fig4_spin, fig5_overlap, AtomCommVariant, AtomSizes, CoreStateParams,
+    SpinVariant, Topology,
+};
+
+#[test]
+fn fig3_three_series_comparable_and_growing() {
+    let sizes = AtomSizes { jmt: 120, numc: 8 };
+    let small = Topology::new(2, 6);
+    let large = Topology::new(5, 6);
+
+    let mut prev = None;
+    for topo in [&small, &large] {
+        let orig = fig3_single_atom(topo, AtomCommVariant::Original, sizes);
+        let mpi = fig3_single_atom(topo, AtomCommVariant::DirectiveMpi2, sizes);
+        let shm = fig3_single_atom(topo, AtomCommVariant::DirectiveShmem, sizes);
+        assert!(orig.correct && mpi.correct && shm.correct);
+        for (label, m) in [("mpi", &mpi), ("shmem", &shm)] {
+            let r = orig.time.as_nanos() as f64 / m.time.as_nanos() as f64;
+            assert!(
+                (0.6..4.0).contains(&r),
+                "{label} not comparable at {} ranks: {r:.2}",
+                topo.total_ranks()
+            );
+        }
+        if let Some(prev_time) = prev {
+            assert!(
+                orig.time > prev_time,
+                "single-atom distribution must grow with scale"
+            );
+        }
+        prev = Some(orig.time);
+    }
+}
+
+#[test]
+fn fig4_quoted_speedups_at_scale_band() {
+    // At a mid-size topology the quoted bands should already show:
+    // waitall ~2-3.5x, MPI directive ~3-4.5x, SHMEM directive >15x.
+    let topo = Topology::new(6, 16); // 97 ranks
+    let steps = 3;
+    let orig = fig4_spin(&topo, SpinVariant::Original, steps);
+    let wall = fig4_spin(&topo, SpinVariant::OriginalWaitall, steps);
+    let mpi = fig4_spin(&topo, SpinVariant::DirectiveMpi2, steps);
+    let shm = fig4_spin(&topo, SpinVariant::DirectiveShmem, steps);
+    let x = |b: &wl_lsms::Measurement| orig.time.as_nanos() as f64 / b.time.as_nanos() as f64;
+    assert!(
+        (1.8..3.8).contains(&x(&wall)),
+        "waitall speedup {:.2} out of band",
+        x(&wall)
+    );
+    assert!(
+        (2.5..5.5).contains(&x(&mpi)),
+        "MPI directive speedup {:.2} out of band",
+        x(&mpi)
+    );
+    assert!(
+        x(&shm) > 15.0,
+        "SHMEM directive speedup {:.2} below band",
+        x(&shm)
+    );
+    // And the residual ratio vs the waitall-modified original:
+    let residual_mpi = wall.time.as_nanos() as f64 / mpi.time.as_nanos() as f64;
+    assert!(
+        (1.0..2.0).contains(&residual_mpi),
+        "waitall/directive-MPI {residual_mpi:.2}"
+    );
+}
+
+#[test]
+fn fig5_overlap_saves_roughly_the_communication_time() {
+    let topo = Topology::new(3, 8);
+    let sizes = AtomSizes { jmt: 64, numc: 6 };
+    let cparams = CoreStateParams {
+        base_ns_per_atom: 400_000,
+        speedup: 10.0,
+        iterations: 2,
+    };
+    let steps = 2;
+    let seq = fig5_overlap(&topo, false, cparams, sizes, steps);
+    let ovl = fig5_overlap(&topo, true, cparams, sizes, steps);
+    assert!(ovl.time < seq.time, "overlap {} !< sequential {}", ovl.time, seq.time);
+    // Bounded by compute: overlapped time can't drop below the computation.
+    assert!(ovl.time >= cparams.time_per_atom());
+}
+
+#[test]
+fn sweep_axis_matches_paper() {
+    let xs: Vec<usize> = Topology::paper_sweep()
+        .iter()
+        .map(|t| t.total_ranks())
+        .collect();
+    assert_eq!(xs.first(), Some(&33));
+    assert_eq!(xs.last(), Some(&337));
+    assert_eq!(xs.len(), 20);
+}

@@ -1,0 +1,125 @@
+//! Integration: communication/computation overlap semantics — the virtual
+//! clock must show `max(comm, compute)`-shaped behaviour for overlapped
+//! regions and `comm + compute` for sequential code, across targets
+//! (the mechanism behind the paper's Figure 5).
+
+use commint::prelude::*;
+use integration::with_world_session;
+use netsim::Time;
+
+fn one_transfer(target: Target, overlap: Option<Time>, payload: usize) -> Time {
+    let res = with_world_session(2, move |s| {
+        let src = vec![1f64; payload];
+        let mut dst = vec![0f64; payload];
+        let params = CommParams::new()
+            .sender(RankExpr::lit(0))
+            .receiver(RankExpr::lit(1))
+            .sendwhen(RankExpr::rank().eq(RankExpr::lit(0)))
+            .receivewhen(RankExpr::rank().eq(RankExpr::lit(1)))
+            .target(target);
+        s.region(&params, |reg| {
+            let call = reg
+                .p2p()
+                .sbuf(Prim::new("src", &src))
+                .rbuf(PrimMut::new("dst", &mut dst));
+            match overlap {
+                Some(t) => call.overlap(|ctx| ctx.compute(t)).unwrap(),
+                None => call.run().unwrap(),
+            }
+        })
+        .unwrap();
+        if overlap.is_none() {
+            // Sequential version computes after the sync.
+        }
+        assert!(dst.iter().all(|&v| v == 1.0) || s.rank() != 1);
+    });
+    res.makespan()
+}
+
+#[test]
+fn overlap_hides_communication_under_compute() {
+    for target in [Target::Mpi2Side, Target::Shmem] {
+        let compute = Time::from_millis(2);
+        let comm_only = one_transfer(target, None, 4096);
+        let overlapped = one_transfer(target, Some(compute), 4096);
+        // Communication fully hidden: overlapped ~ compute (+sync), far
+        // below comm + compute.
+        assert!(
+            overlapped < comm_only + compute,
+            "{target}: overlapped {overlapped} !< comm {comm_only} + compute {compute}"
+        );
+        assert!(
+            overlapped >= compute,
+            "{target}: can't finish before the computation itself"
+        );
+        // Hiding is near-total for this compute-dominated case. (Checked
+        // for MPI only: the SHMEM one-time symmetric allocation is a
+        // startup synchronization that overlap legitimately cannot hide.)
+        if target == Target::Mpi2Side {
+            let hidden = (comm_only + compute).saturating_sub(overlapped);
+            assert!(
+                hidden.as_nanos() as f64 >= 0.5 * comm_only.as_nanos() as f64,
+                "{target}: too little hidden: {hidden} of {comm_only}"
+            );
+        }
+    }
+}
+
+#[test]
+fn overlap_bounded_by_communication_when_compute_small() {
+    // Tiny compute: total is communication-bound; overlap can't beat the
+    // wire.
+    let tiny = Time::from_nanos(100);
+    let t = one_transfer(Target::Mpi2Side, Some(tiny), 1 << 16);
+    let wire_floor = netsim::CostModel::gemini_mpi().wire_time(1 << 19);
+    assert!(
+        t > Time::from_nanos(wire_floor.as_nanos() / 8),
+        "a 512KB transfer cannot be free: {t}"
+    );
+}
+
+#[test]
+fn overlap_runs_on_both_roles() {
+    // The directive body executes on every rank reaching the directive
+    // (Listing 7 computes on senders and receivers alike).
+    let res = with_world_session(3, |s| {
+        let src = [1i64; 2];
+        let mut dst = [0i64; 2];
+        let mut body_ran = false;
+        let params = CommParams::new()
+            .sender(RankExpr::lit(0))
+            .receiver(RankExpr::lit(1))
+            .sendwhen(RankExpr::rank().eq(RankExpr::lit(0)))
+            .receivewhen(RankExpr::rank().eq(RankExpr::lit(1)));
+        s.region(&params, |reg| {
+            reg.p2p()
+                .sbuf(Prim::new("s", &src))
+                .rbuf(PrimMut::new("d", &mut dst))
+                .overlap(|ctx| {
+                    body_ran = true;
+                    ctx.compute(Time::from_micros(1));
+                })
+                .unwrap();
+        })
+        .unwrap();
+        body_ran
+    });
+    assert_eq!(res.per_rank, vec![true, true, true]);
+}
+
+#[test]
+fn paper_19_to_1_ratio_shape() {
+    // With compute:comm at 19:1, overlap saves at most the communication
+    // time (paper §IV-B: "this optimization provides an improvement in
+    // performance of at most the time to communicate").
+    let comm_alone = one_transfer(Target::Mpi2Side, None, 256);
+    let compute = Time::from_nanos(19 * comm_alone.as_nanos());
+    let sequential_est = comm_alone + compute;
+    let overlapped = one_transfer(Target::Mpi2Side, Some(compute), 256);
+    let saved = sequential_est.saturating_sub(overlapped);
+    assert!(
+        saved <= comm_alone + Time::from_micros(5),
+        "saved {saved} cannot exceed the communication time {comm_alone} (+sync slack)"
+    );
+    assert!(saved > Time::ZERO, "overlap must save something");
+}

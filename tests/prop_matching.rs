@@ -1,0 +1,222 @@
+//! Property tests: the tag-matching engine delivers every message exactly
+//! once, to the right receive, with the payload intact — and virtual
+//! timings are deterministic across repeated runs — for randomized message
+//! schedules.
+
+use integration::with_ranks;
+use netsim::{SrcSel, TagSel, Time};
+use proptest::prelude::*;
+
+#[derive(Clone, Debug)]
+struct Msg {
+    tag: i32,
+    len: usize,
+    fill: u8,
+}
+
+fn msg_strategy() -> impl Strategy<Value = Msg> {
+    (0..4i32, 1usize..256, any::<u8>()).prop_map(|(tag, len, fill)| Msg { tag, len, fill })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn every_message_delivered_exactly_once(
+        msgs in proptest::collection::vec(msg_strategy(), 1..24),
+        post_first in any::<bool>(),
+    ) {
+        let msgs2 = msgs.clone();
+        let res = with_ranks(2, move |ctx| {
+            let m = ctx.machine().mpi;
+            if ctx.rank() == 0 {
+                let reqs: Vec<_> = msgs2
+                    .iter()
+                    .map(|msg| ctx.isend(1, msg.tag, &vec![msg.fill; msg.len], &m))
+                    .collect();
+                ctx.waitall(&reqs, &[], &m);
+                Vec::new()
+            } else {
+                if !post_first {
+                    // Let the sends land in the unexpected queue first
+                    // (physically) — delivery must be identical.
+                    std::thread::sleep(std::time::Duration::from_millis(1));
+                }
+                // Post receives per tag, in tag order; within a tag, FIFO.
+                let mut out = Vec::new();
+                for tag in 0..4i32 {
+                    let count = msgs2.iter().filter(|m2| m2.tag == tag).count();
+                    for _ in 0..count {
+                        let req = ctx.irecv(SrcSel::Exact(0), TagSel::Exact(tag), &m);
+                        let done = ctx.wait_recv(&req, &m);
+                        out.push((tag, done.payload.len(), done.payload[0]));
+                    }
+                }
+                out
+            }
+        });
+        let got = &res.per_rank[1];
+        // Exactly the multiset of sent messages, FIFO within each tag.
+        for tag in 0..4i32 {
+            let sent: Vec<(usize, u8)> = msgs
+                .iter()
+                .filter(|m| m.tag == tag)
+                .map(|m| (m.len, m.fill))
+                .collect();
+            let recv: Vec<(usize, u8)> = got
+                .iter()
+                .filter(|(t, _, _)| *t == tag)
+                .map(|&(_, l, f)| (l, f))
+                .collect();
+            prop_assert_eq!(sent, recv, "tag {} order/content", tag);
+        }
+        prop_assert_eq!(got.len(), msgs.len());
+    }
+
+    #[test]
+    fn virtual_times_deterministic(
+        msgs in proptest::collection::vec(msg_strategy(), 1..16),
+    ) {
+        let run_once = || {
+            let msgs = msgs.clone();
+            with_ranks(2, move |ctx| {
+                let m = ctx.machine().mpi;
+                if ctx.rank() == 0 {
+                    let reqs: Vec<_> = msgs
+                        .iter()
+                        .map(|msg| ctx.isend(1, msg.tag, &vec![msg.fill; msg.len], &m))
+                        .collect();
+                    ctx.waitall(&reqs, &[], &m);
+                } else {
+                    let reqs: Vec<_> = msgs
+                        .iter()
+                        .map(|msg| ctx.irecv(SrcSel::Exact(0), TagSel::Exact(msg.tag), &m))
+                        .collect();
+                    ctx.waitall(&[], &reqs, &m);
+                }
+                ctx.now()
+            })
+            .final_times
+        };
+        let a = run_once();
+        let b = run_once();
+        prop_assert_eq!(a, b, "same program, same virtual times");
+    }
+
+    #[test]
+    fn wildcard_receive_gets_everything(
+        fills in proptest::collection::vec(any::<u8>(), 1..12),
+    ) {
+        let fills2 = fills.clone();
+        let res = with_ranks(3, move |ctx| {
+            let m = ctx.machine().mpi;
+            match ctx.rank() {
+                0 | 1 => {
+                    for (i, f) in fills2.iter().enumerate() {
+                        ctx.send(2, i as i32, &[*f], &m);
+                    }
+                    Vec::new()
+                }
+                _ => {
+                    let mut got = Vec::new();
+                    for _ in 0..2 * fills2.len() {
+                        let req = ctx.irecv(SrcSel::Any, TagSel::Any, &m);
+                        let done = ctx.wait_recv(&req, &m);
+                        got.push((done.src, done.tag, done.payload[0]));
+                    }
+                    got
+                }
+            }
+        });
+        let got = &res.per_rank[2];
+        prop_assert_eq!(got.len(), 2 * fills.len());
+        // Per source, tags arrive in order (per-source FIFO).
+        for src in [0usize, 1] {
+            let tags: Vec<i32> = got
+                .iter()
+                .filter(|(s, _, _)| *s == src)
+                .map(|&(_, t, _)| t)
+                .collect();
+            let mut sorted = tags.clone();
+            sorted.sort_unstable();
+            prop_assert_eq!(&tags, &sorted, "per-source FIFO for {}", src);
+            // Payload matches the tag's fill value.
+            for &(_, t, f) in got.iter().filter(|(s, _, _)| *s == src) {
+                prop_assert_eq!(f, fills[t as usize]);
+            }
+        }
+    }
+
+    #[test]
+    fn jittered_network_same_data_deterministic_times(
+        msgs in proptest::collection::vec(msg_strategy(), 1..12),
+        jitter_ns in 1u64..5_000,
+    ) {
+        use netsim::{run, MachineModel, SimConfig};
+        let run_once = || {
+            let msgs = msgs.clone();
+            run(
+                SimConfig::new(2)
+                    .with_machine(MachineModel::gemini().with_jitter(jitter_ns)),
+                move |ctx| {
+                    let m = ctx.machine().mpi;
+                    if ctx.rank() == 0 {
+                        let reqs: Vec<_> = msgs
+                            .iter()
+                            .map(|msg| ctx.isend(1, msg.tag, &vec![msg.fill; msg.len], &m))
+                            .collect();
+                        ctx.waitall(&reqs, &[], &m);
+                        Vec::new()
+                    } else {
+                        let mut out = Vec::new();
+                        for msg in &msgs {
+                            let req = ctx.irecv(SrcSel::Exact(0), TagSel::Exact(msg.tag), &m);
+                            let done = req.wait_raw();
+                            ctx.advance_to(done.completion);
+                            out.push((done.payload.len(), done.payload[0]));
+                        }
+                        out
+                    }
+                },
+            )
+        };
+        let a = run_once();
+        let b = run_once();
+        // Data correct and identical; virtual times identical run-to-run
+        // (jitter is a deterministic function of message identity).
+        let sent: Vec<(usize, u8)> = msgs.iter().map(|m| (m.len, m.fill)).collect();
+        prop_assert_eq!(&a.per_rank[1], &sent);
+        prop_assert_eq!(&a.per_rank[1], &b.per_rank[1]);
+        prop_assert_eq!(a.final_times, b.final_times);
+    }
+
+    #[test]
+    fn completion_times_respect_wire_physics(
+        len in 1usize..8192,
+        delay_us in 0u64..200,
+    ) {
+        let res = with_ranks(2, move |ctx| {
+            let m = ctx.machine().mpi;
+            if ctx.rank() == 0 {
+                ctx.compute(Time::from_micros(delay_us));
+                let req = ctx.isend(1, 0, &vec![0u8; len], &m);
+                let depart = ctx.now();
+                ctx.wait_send(&req, &m);
+                depart
+            } else {
+                let req = ctx.irecv(SrcSel::Exact(0), TagSel::Exact(0), &m);
+                let done = ctx.wait_recv(&req, &m);
+                done.completion
+            }
+        });
+        let depart = res.per_rank[0];
+        let completion = res.per_rank[1];
+        // The receive can never (virtually) complete before the payload
+        // crossed the wire.
+        let m = netsim::CostModel::gemini_mpi();
+        prop_assert!(completion >= depart.max(Time::from_nanos(m.latency)));
+        prop_assert!(
+            completion >= Time::from_nanos((len as f64 * m.byte_time_ns) as u64)
+        );
+    }
+}

@@ -1,0 +1,123 @@
+//! Property tests: cost-model invariants — monotonicity, protocol
+//! boundaries, and the match-timing algebra the figures rest on.
+
+use netsim::msg::{match_timing, WireCosts};
+use netsim::{CostModel, Time};
+use proptest::prelude::*;
+
+fn models() -> Vec<CostModel> {
+    vec![
+        CostModel::gemini_mpi(),
+        CostModel::gemini_shmem(),
+        CostModel::hockney(1_000, 2.0),
+        CostModel::loggp(1_200, 400, 0.25),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    #[test]
+    fn wire_time_monotone(a in 0usize..1_000_000, b in 0usize..1_000_000) {
+        let (lo, hi) = (a.min(b), a.max(b));
+        for m in models() {
+            prop_assert!(m.wire_time(lo) <= m.wire_time(hi), "{m:?}");
+        }
+    }
+
+    #[test]
+    fn waitall_cost_beats_wait_loop(n in 1usize..512) {
+        // The central asymmetry of Fig. 4 must hold for every n on the
+        // calibrated MPI model.
+        let m = CostModel::gemini_mpi();
+        let loop_cost = m.o_wait as u128 * n as u128;
+        let all_cost = m.waitall_cost(n).as_nanos() as u128;
+        prop_assert!(all_cost < loop_cost, "n={n}: {all_cost} !< {loop_cost}");
+    }
+
+    #[test]
+    fn eager_match_timing_invariants(
+        bytes in 0usize..8192,
+        depart in 0u64..1_000_000,
+        post in 0u64..1_000_000,
+    ) {
+        let costs = WireCosts::for_message(&CostModel::gemini_mpi(), bytes);
+        prop_assume!(costs.eager);
+        let t = match_timing(&costs, bytes, Time(depart), Time(post));
+        // Receive completes no earlier than both the post and the wire.
+        prop_assert!(t.recv_complete >= Time(post));
+        prop_assert!(t.recv_complete >= costs.eager_arrival(Time(depart), bytes).min(t.recv_complete));
+        // Eager sends complete at departure.
+        prop_assert_eq!(t.send_complete, Time(depart));
+        // Unexpected iff virtual arrival strictly precedes the post.
+        let arrival = costs.eager_arrival(Time(depart), bytes);
+        prop_assert_eq!(t.unexpected, arrival < Time(post));
+        if t.unexpected {
+            prop_assert!(t.recv_complete >= Time(post));
+        }
+    }
+
+    #[test]
+    fn rendezvous_match_timing_invariants(
+        bytes in 8193usize..1_000_000,
+        depart in 0u64..1_000_000,
+        post in 0u64..1_000_000,
+    ) {
+        let m = CostModel::gemini_mpi();
+        let costs = WireCosts::for_message(&m, bytes);
+        prop_assume!(!costs.eager);
+        let t = match_timing(&costs, bytes, Time(depart), Time(post));
+        // Send and receive complete together (buffer held to transfer end).
+        prop_assert_eq!(t.send_complete, t.recv_complete);
+        prop_assert!(!t.unexpected);
+        // Never earlier than the later party plus a full wire crossing.
+        let floor = Time(depart.max(post))
+            + Time::from_nanos(m.latency)
+            + Time::from_nanos_f64(m.byte_time_ns * bytes as f64);
+        prop_assert!(t.recv_complete >= floor);
+    }
+
+    #[test]
+    fn match_timing_monotone_in_post_time(
+        bytes in 0usize..100_000,
+        depart in 0u64..500_000,
+        post_a in 0u64..500_000,
+        post_b in 0u64..500_000,
+    ) {
+        let costs = WireCosts::for_message(&CostModel::gemini_mpi(), bytes);
+        let (lo, hi) = (post_a.min(post_b), post_a.max(post_b));
+        let ta = match_timing(&costs, bytes, Time(depart), Time(lo));
+        let tb = match_timing(&costs, bytes, Time(depart), Time(hi));
+        prop_assert!(tb.recv_complete >= ta.recv_complete);
+    }
+
+    #[test]
+    fn barrier_cost_monotone(a in 1usize..1024, b in 1usize..1024) {
+        let (lo, hi) = (a.min(b), a.max(b));
+        for m in models() {
+            prop_assert!(m.barrier_cost(lo) <= m.barrier_cost(hi));
+        }
+    }
+
+    #[test]
+    fn shmem_small_message_advantage_holds(bytes in 8usize..=256) {
+        // The paper's premise from refs [13][14], across the whole 8-256B
+        // band: SHMEM's put path beats MPI's two-sided path handily.
+        let mpi = CostModel::gemini_mpi();
+        let shm = CostModel::gemini_shmem();
+        let mpi_path = mpi.o_send + mpi.o_recv + mpi.o_wait;
+        let mpi_t = Time::from_nanos(mpi_path) + mpi.wire_time(bytes);
+        let shm_t = Time::from_nanos(shm.o_put) + shm.wire_time(bytes);
+        let ratio = mpi_t.as_nanos() as f64 / shm_t.as_nanos() as f64;
+        prop_assert!(ratio > 3.0, "{bytes}B: {ratio:.2}");
+    }
+
+    #[test]
+    fn time_arithmetic_laws(a in 0u64..u64::MAX / 4, b in 0u64..u64::MAX / 4) {
+        let (ta, tb) = (Time(a), Time(b));
+        prop_assert_eq!(ta + tb, tb + ta);
+        prop_assert_eq!((ta + tb) - tb, ta);
+        prop_assert_eq!(ta.max(tb).as_nanos(), a.max(b));
+        prop_assert_eq!(ta.saturating_sub(tb), Time(a.saturating_sub(b)));
+    }
+}

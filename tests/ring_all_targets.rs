@@ -1,0 +1,175 @@
+//! Integration: the same directive programs deliver identical data under
+//! every translation target, across rank counts, element types and buffer
+//! shapes — the paper's portability claim, end to end.
+
+use commint::patterns;
+use commint::prelude::*;
+use integration::with_world_session;
+
+#[test]
+fn ring_identical_across_targets_and_sizes() {
+    for n in [2usize, 3, 5, 9, 17] {
+        let mut reference: Option<Vec<Vec<i64>>> = None;
+        for target in Target::ALL {
+            let res = with_world_session(n, move |s| {
+                let me = s.rank() as i64;
+                let send: Vec<i64> = (0..6).map(|i| me * 100 + i).collect();
+                let mut recv = vec![0i64; 6];
+                patterns::ring(s, target, &send, &mut recv).unwrap();
+                recv
+            });
+            match &reference {
+                None => reference = Some(res.per_rank),
+                Some(r) => assert_eq!(
+                    r, &res.per_rank,
+                    "target {target} diverged at n={n}"
+                ),
+            }
+        }
+        let data = reference.expect("set");
+        for (rank, v) in data.iter().enumerate() {
+            let prev = ((rank + n - 1) % n) as i64;
+            assert_eq!(v[0], prev * 100);
+            assert_eq!(v[5], prev * 100 + 5);
+        }
+    }
+}
+
+#[test]
+fn composite_round_trip_on_every_target() {
+    commint::comm_datatype! {
+        struct Probe {
+            id: i32,
+            weights: [f64; 4],
+            tag: [u8; 5],
+        }
+    }
+    for target in Target::ALL {
+        let res = with_world_session(2, move |s| {
+            let src = [Probe {
+                id: 42,
+                weights: [0.25, 0.5, 0.75, 1.0],
+                tag: *b"probe",
+            }];
+            let mut dst = [Probe {
+                id: 0,
+                weights: [0.0; 4],
+                tag: [0; 5],
+            }];
+            let params = CommParams::new()
+                .sender(RankExpr::lit(0))
+                .receiver(RankExpr::lit(1))
+                .sendwhen(RankExpr::rank().eq(RankExpr::lit(0)))
+                .receivewhen(RankExpr::rank().eq(RankExpr::lit(1)))
+                .count(1)
+                .target(target);
+            s.region(&params, |reg| {
+                reg.p2p()
+                    .sbuf(Struc::new("probe", &src))
+                    .rbuf(StrucMut::new("probe", &mut dst))
+                    .run()
+                    .unwrap();
+            })
+            .unwrap();
+            dst[0]
+        });
+        let got = res.per_rank[1];
+        assert_eq!(got.id, 42, "target {target}");
+        assert_eq!(got.weights, [0.25, 0.5, 0.75, 1.0]);
+        assert_eq!(&got.tag, b"probe");
+    }
+}
+
+#[test]
+fn multi_buffer_lists_across_targets() {
+    for target in Target::ALL {
+        let res = with_world_session(4, move |s| {
+            let me = s.rank() as i64;
+            let a: Vec<f64> = (0..8).map(|i| me as f64 + i as f64 * 0.5).collect();
+            let b: Vec<i32> = (0..8).map(|i| me as i32 * 10 + i).collect();
+            let mut ra = vec![0f64; 8];
+            let mut rb = vec![0i32; 8];
+            let params = CommParams::new()
+                .sender((RankExpr::rank() - RankExpr::lit(1) + RankExpr::nranks()) % RankExpr::nranks())
+                .receiver((RankExpr::rank() + RankExpr::lit(1)) % RankExpr::nranks())
+                .count(8)
+                .target(target);
+            s.region(&params, |reg| {
+                reg.p2p()
+                    .sbuf(Prim::new("a", &a))
+                    .sbuf(Prim::new("b", &b))
+                    .rbuf(PrimMut::new("ra", &mut ra))
+                    .rbuf(PrimMut::new("rb", &mut rb))
+                    .run()
+                    .unwrap();
+            })
+            .unwrap();
+            (ra, rb)
+        });
+        for (rank, (ra, rb)) in res.per_rank.iter().enumerate() {
+            let prev = (rank + 3) % 4;
+            assert_eq!(ra[0], prev as f64, "target {target}");
+            assert_eq!(rb[7], prev as i32 * 10 + 7, "target {target}");
+        }
+    }
+}
+
+#[test]
+fn fan_patterns_all_targets() {
+    for target in Target::ALL {
+        // fan_out
+        let n = 6;
+        let res = with_world_session(n, move |s| {
+            let chunks: Vec<Vec<i64>> = (0..n).map(|d| vec![d as i64 * 3 + 1]).collect();
+            let mut recv = [0i64];
+            patterns::fan_out(s, target, 0, &chunks, &mut recv).unwrap();
+            recv[0]
+        });
+        for (rank, &v) in res.per_rank.iter().enumerate().skip(1) {
+            assert_eq!(v, rank as i64 * 3 + 1, "fan_out target {target}");
+        }
+    }
+}
+
+#[test]
+fn timing_profiles_differ_by_target_but_data_does_not() {
+    // Many small messages: SHMEM must be cheapest, MPI one-sided priciest
+    // (fence); data identical everywhere. Uses the session makespan.
+    let mut times = Vec::new();
+    for target in Target::ALL {
+        let res = with_world_session(9, move |s| {
+            let me = s.rank() as i64;
+            let params = CommParams::new()
+                .sender((RankExpr::rank() - RankExpr::lit(1) + RankExpr::nranks()) % RankExpr::nranks())
+                .receiver((RankExpr::rank() + RankExpr::lit(1)) % RankExpr::nranks())
+                .max_comm_iter(16)
+                .target(target);
+            let mut last = 0i64;
+            s.region(&params, |reg| {
+                for k in 0..16 {
+                    let src = [me * 1000 + k];
+                    let mut dst = [0i64];
+                    reg.p2p()
+                        .site(3)
+                        .sbuf(Prim::new("src", &src))
+                        .rbuf(PrimMut::new("dst", &mut dst))
+                        .run()
+                        .unwrap();
+                    last = dst[0];
+                }
+            })
+            .unwrap();
+            last
+        });
+        for (rank, &v) in res.per_rank.iter().enumerate() {
+            let prev = ((rank + 8) % 9) as i64;
+            assert_eq!(v, prev * 1000 + 15, "target {target}");
+        }
+        times.push((target, res.makespan()));
+    }
+    let by = |t: Target| times.iter().find(|(x, _)| *x == t).expect("present").1;
+    assert!(
+        by(Target::Shmem) < by(Target::Mpi2Side),
+        "SHMEM should beat MPI two-sided on 16 tiny messages: {times:?}"
+    );
+}

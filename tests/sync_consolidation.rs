@@ -1,0 +1,321 @@
+//! Integration: synchronization consolidation and `place_sync` placement —
+//! the paper's §III-A automatic analysis ("for every set of adjacent
+//! comm_p2p directives with independent buffers, synchronization is
+//! consolidated and reduced in most cases to one call at the end").
+
+use commint::prelude::*;
+use integration::{with_ranks, with_world_session};
+use netsim::Time;
+
+fn pair_params() -> CommParams {
+    CommParams::new()
+        .sender(RankExpr::lit(0))
+        .receiver(RankExpr::lit(1))
+        .sendwhen(RankExpr::rank().eq(RankExpr::lit(0)))
+        .receivewhen(RankExpr::rank().eq(RankExpr::lit(1)))
+}
+
+#[test]
+fn adjacent_p2ps_one_waitall() {
+    // Independent (distinct) buffers per directive: consolidation is legal
+    // and the engine produces exactly one sync.
+    for k in [2usize, 4, 8] {
+        let res = with_world_session(2, move |s| {
+            let params = pair_params();
+            let srcs: Vec<[i64; 1]> = (0..k as i64).map(|i| [i]).collect();
+            let mut dsts: Vec<[i64; 1]> = vec![[0]; k];
+            s.region(&params, |reg| {
+                for i in 0..k {
+                    reg.p2p()
+                        .site(100 + i as u32)
+                        .sbuf(Prim::new("s", &srcs[i]))
+                        .rbuf(PrimMut::new("d", &mut dsts[i]))
+                        .run()
+                        .unwrap();
+                }
+            })
+            .unwrap();
+            if s.rank() == 1 {
+                for (i, d) in dsts.iter().enumerate() {
+                    assert_eq!(d[0], i as i64);
+                }
+            }
+            s.ctx().stats.waitalls
+        });
+        assert_eq!(res.per_rank, vec![1, 1], "k={k}: exactly one sync each");
+    }
+}
+
+#[test]
+fn dependent_buffers_split_the_sync() {
+    // Reusing the same receive buffer across adjacent directives is a
+    // write-write dependence: the paper's translation may not consolidate,
+    // and the engine inserts the intermediate sync automatically.
+    let k = 4usize;
+    let res = with_world_session(2, move |s| {
+        let params = pair_params();
+        let src = [5i64];
+        let mut dst = [0i64]; // same buffer every iteration
+        s.region(&params, |reg| {
+            for i in 0..k {
+                reg.p2p()
+                    .site(150 + i as u32)
+                    .sbuf(Prim::new("s", &src))
+                    .rbuf(PrimMut::new("d", &mut dst))
+                    .run()
+                    .unwrap();
+            }
+        })
+        .unwrap();
+        s.ctx().stats.waitalls
+    });
+    // Receiver: a sync before each reuse (k-1 splits) plus the region end.
+    assert_eq!(res.per_rank[1], k, "receiver splits on every reuse");
+    // Sender reads the same buffer repeatedly: reads don't conflict.
+    assert_eq!(res.per_rank[0], 1, "sender stays consolidated");
+}
+
+#[test]
+fn consolidation_beats_standalone_sequence() {
+    // The same k transfers as standalone directives (sync each) must cost
+    // strictly more virtual time than one region (sync once).
+    let k = 8usize;
+    let time_of = |consolidated: bool| {
+        with_world_session(2, move |s| {
+            if consolidated {
+                let params = pair_params();
+                s.region(&params, |reg| {
+                    for i in 0..k {
+                        let src = [1f64; 16];
+                        let mut dst = [0f64; 16];
+                        reg.p2p()
+                            .site(i as u32)
+                            .sbuf(Prim::new("s", &src))
+                            .rbuf(PrimMut::new("d", &mut dst))
+                            .run()
+                            .unwrap();
+                    }
+                })
+                .unwrap();
+            } else {
+                for i in 0..k {
+                    let src = [1f64; 16];
+                    let mut dst = [0f64; 16];
+                    s.p2p()
+                        .site(i as u32)
+                        .sender(RankExpr::lit(0))
+                        .receiver(RankExpr::lit(1))
+                        .sendwhen(RankExpr::rank().eq(RankExpr::lit(0)))
+                        .receivewhen(RankExpr::rank().eq(RankExpr::lit(1)))
+                        .sbuf(Prim::new("s", &src))
+                        .rbuf(PrimMut::new("d", &mut dst))
+                        .run()
+                        .unwrap();
+                }
+            }
+        })
+        .makespan()
+    };
+    let region = time_of(true);
+    let standalone = time_of(false);
+    assert!(
+        region < standalone,
+        "consolidated {region} must beat per-directive sync {standalone}"
+    );
+}
+
+#[test]
+fn begin_next_region_placement() {
+    let res = with_world_session(2, |s| {
+        let src = [9i64; 4];
+        let mut dst = [0i64; 4];
+        let params = pair_params().place_sync(PlaceSync::BeginNextParamRegion);
+        s.region(&params, |reg| {
+            reg.p2p()
+                .sbuf(Prim::new("s", &src))
+                .rbuf(PrimMut::new("d", &mut dst))
+                .run()
+                .unwrap();
+        })
+        .unwrap();
+        let after_first = s.ctx().stats.waitalls;
+        // Empty second region: the carried sync applies at its start.
+        let params2 = CommParams::new().sender(RankExpr::lit(0)).receiver(RankExpr::lit(1));
+        s.region(&params2, |_reg| {}).unwrap();
+        let after_second = s.ctx().stats.waitalls;
+        (after_first, after_second, dst[0])
+    });
+    for &(a, b, v) in &res.per_rank {
+        assert_eq!(a, 0, "no sync inside the first region");
+        assert_eq!(b, 1, "carried sync applied at next region entry");
+        let _ = v;
+    }
+    assert_eq!(res.per_rank[1].2, 9, "data delivered regardless of placement");
+}
+
+#[test]
+fn end_adjacent_regions_placement() {
+    let res = with_world_session(2, |s| {
+        let params_adj = pair_params().place_sync(PlaceSync::EndAdjParamRegions);
+        for i in 0..3 {
+            let src = [i as i64];
+            let mut dst = [0i64];
+            s.region(&params_adj, |reg| {
+                reg.p2p()
+                    .site(200 + i as u32)
+                    .sbuf(Prim::new("s", &src))
+                    .rbuf(PrimMut::new("d", &mut dst))
+                    .run()
+                    .unwrap();
+            })
+            .unwrap();
+        }
+        let deferred = s.ctx().stats.waitalls;
+        // Final region with default placement closes the adjacency run.
+        let src = [99i64];
+        let mut dst = [0i64];
+        s.region(&pair_params(), |reg| {
+            reg.p2p()
+                .site(299)
+                .sbuf(Prim::new("s", &src))
+                .rbuf(PrimMut::new("d", &mut dst))
+                .run()
+                .unwrap();
+        })
+        .unwrap();
+        (deferred, s.ctx().stats.waitalls)
+    });
+    for &(deferred, total) in &res.per_rank {
+        assert_eq!(deferred, 0, "syncs deferred across all adjacent regions");
+        // One consolidated charge for the carried requests + one for the
+        // final region's own (merged application order may fold them; at
+        // most two calls).
+        assert!(total >= 1 && total <= 2, "got {total}");
+    }
+}
+
+#[test]
+fn flush_applies_outstanding_syncs() {
+    let res = with_ranks(2, |ctx| {
+        let comm = mpisim::Comm::world(ctx);
+        let mut s = commint::CommSession::new(ctx, comm);
+        let src = [5i64];
+        let mut dst = [0i64];
+        let params = pair_params().place_sync(PlaceSync::EndAdjParamRegions);
+        s.region(&params, |reg| {
+            reg.p2p()
+                .sbuf(Prim::new("s", &src))
+                .rbuf(PrimMut::new("d", &mut dst))
+                .run()
+                .unwrap();
+        })
+        .unwrap();
+        let before = s.ctx().stats.waitalls;
+        s.flush();
+        let after = s.ctx().stats.waitalls;
+        (before, after)
+    });
+    for &(before, after) in &res.per_rank {
+        assert_eq!(before, 0);
+        assert_eq!(after, 1);
+    }
+}
+
+#[test]
+fn overlapping_buffers_flagged_by_analysis() {
+    // The engine trusts the program; the static analysis is the guard rail.
+    let res = with_world_session(2, |s| {
+        let mut shared = [0i64; 8];
+        let src = [1i64; 8];
+        let params = pair_params();
+        s.region(&params, |reg| {
+            reg.p2p()
+                .site(1)
+                .sbuf(Prim::new("src", &src))
+                .rbuf(PrimMut::new("shared", &mut shared))
+                .run()
+                .unwrap();
+            // Second p2p reads what the first wrote.
+            let view = [shared[0]];
+            let mut out = [0i64];
+            reg.p2p()
+                .site(2)
+                .sbuf(Prim::new("shared_head", &shared[..1]))
+                .rbuf(PrimMut::new("out", &mut out))
+                .run()
+                .unwrap();
+            let _ = (view, out);
+        })
+        .unwrap();
+        let program = s.program().to_vec();
+        commint::analysis::buffer_independence(&program[0]).independent()
+    });
+    assert!(
+        res.per_rank.iter().any(|&indep| !indep),
+        "receiver must see the write-read dependency"
+    );
+}
+
+#[test]
+fn dependent_send_is_causally_ordered() {
+    // Rank 0 -> 1 -> 2 relay in one deferred-sync chain: rank 1 forwards
+    // the buffer it just received. Its forwarded message must not depart
+    // (virtually) before the incoming data arrived.
+    let res = with_world_session(3, |s| {
+        let me = s.rank() as i64;
+        let mut hop = [0i64; 4];
+        let seed = [7i64, 8, 9, 10];
+        let params = CommParams::new()
+            .sender(RankExpr::rank() - RankExpr::lit(1))
+            .receiver(RankExpr::rank() + RankExpr::lit(1))
+            .place_sync(PlaceSync::EndAdjParamRegions);
+        // Region A: 0 -> 1
+        s.region(
+            &params
+                .clone()
+                .sendwhen(RankExpr::rank().eq(RankExpr::lit(0)))
+                .receivewhen(RankExpr::rank().eq(RankExpr::lit(1))),
+            |reg| {
+                let sb: &[i64] = if me == 0 { &seed } else { &[] };
+                reg.p2p()
+                    .site(1)
+                    .count(4)
+                    .sbuf(Prim::new("seed", sb))
+                    .rbuf(PrimMut::new("hop", &mut hop))
+                    .run()
+                    .unwrap();
+            },
+        )
+        .unwrap();
+        // Region B: 1 -> 2, forwarding `hop` (received above, unsynced).
+        let mut fin = [0i64; 4];
+        s.region(
+            &CommParams::new()
+                .sender(RankExpr::rank() - RankExpr::lit(1))
+                .receiver(RankExpr::rank() + RankExpr::lit(1))
+                .sendwhen(RankExpr::rank().eq(RankExpr::lit(1)))
+                .receivewhen(RankExpr::rank().eq(RankExpr::lit(2))),
+            |reg| {
+                reg.p2p()
+                    .site(2)
+                    .count(4)
+                    .sbuf(Prim::new("hop", &hop))
+                    .rbuf(PrimMut::new("fin", &mut fin))
+                    .run()
+                    .unwrap();
+            },
+        )
+        .unwrap();
+        (hop, fin, s.ctx().now())
+    });
+    assert_eq!(res.per_rank[1].0, [7, 8, 9, 10]);
+    assert_eq!(res.per_rank[2].1, [7, 8, 9, 10], "relay forwarded real data");
+    // Rank 2's completion must come after a full two-hop latency chain.
+    let two_hops = Time::from_nanos(2 * netsim::CostModel::gemini_mpi().latency);
+    assert!(
+        res.final_times[2] > two_hops,
+        "causality: {} must exceed two wire hops {}",
+        res.final_times[2],
+        two_hops
+    );
+}

@@ -1,0 +1,109 @@
+//! Integration: WL-LSMS end-to-end — every communication variant moves
+//! identical data and computes identical physics; the performance ordering
+//! matches the paper's Figure 4.
+
+use wl_lsms::{
+    fig3_single_atom, fig4_spin, run_full_app, AtomCommVariant, AtomSizes, SpinVariant, Topology,
+};
+
+fn sizes() -> AtomSizes {
+    AtomSizes { jmt: 32, numc: 5 }
+}
+
+#[test]
+fn atom_distribution_correct_on_all_variants_and_shapes() {
+    for (m, n) in [(1usize, 2usize), (2, 3), (3, 5)] {
+        let topo = Topology::new(m, n);
+        for v in [
+            AtomCommVariant::Original,
+            AtomCommVariant::DirectiveMpi2,
+            AtomCommVariant::DirectiveShmem,
+        ] {
+            let meas = fig3_single_atom(&topo, v, sizes());
+            assert!(meas.correct, "variant {v:?} failed at {m}x{n}");
+        }
+    }
+}
+
+#[test]
+fn atom_distribution_original_pays_pack_copies_directive_does_not() {
+    let topo = Topology::new(2, 3);
+    let orig = fig3_single_atom(&topo, AtomCommVariant::Original, sizes());
+    let dir = fig3_single_atom(&topo, AtomCommVariant::DirectiveMpi2, sizes());
+    assert!(
+        orig.stats.packed_bytes > dir.stats.packed_bytes,
+        "original {} packed bytes vs directive {}",
+        orig.stats.packed_bytes,
+        dir.stats.packed_bytes
+    );
+    assert!(dir.stats.datatype_commits > 0, "directive commits MPI structs");
+}
+
+#[test]
+fn spin_comm_speedup_ordering_matches_figure4() {
+    let topo = Topology::new(3, 8); // 25 ranks keeps the test quick
+    let steps = 3;
+    let orig = fig4_spin(&topo, SpinVariant::Original, steps);
+    let wall = fig4_spin(&topo, SpinVariant::OriginalWaitall, steps);
+    let mpi = fig4_spin(&topo, SpinVariant::DirectiveMpi2, steps);
+    let shm = fig4_spin(&topo, SpinVariant::DirectiveShmem, steps);
+    assert!(orig.correct && wall.correct && mpi.correct && shm.correct);
+
+    // Paper ordering: original > waitall-mod >= directive MPI > SHMEM.
+    assert!(wall.time < orig.time);
+    assert!(mpi.time <= wall.time);
+    assert!(shm.time < mpi.time);
+
+    // Magnitudes: substantial, not marginal.
+    let x = |a: &wl_lsms::Measurement, b: &wl_lsms::Measurement| {
+        a.time.as_nanos() as f64 / b.time.as_nanos() as f64
+    };
+    assert!(x(&orig, &mpi) > 2.0, "MPI directive speedup {:.2}", x(&orig, &mpi));
+    assert!(x(&orig, &shm) > 8.0, "SHMEM directive speedup {:.2}", x(&orig, &shm));
+}
+
+#[test]
+fn spin_comm_times_grow_with_scale() {
+    // The Fig. 4 x-axis behaviour: more LSMS instances, more WL-side
+    // serialization, longer per-step times.
+    let small = fig4_spin(&Topology::new(2, 8), SpinVariant::Original, 2);
+    let large = fig4_spin(&Topology::new(6, 8), SpinVariant::Original, 2);
+    assert!(large.time > small.time);
+}
+
+#[test]
+fn full_app_identical_physics_and_expected_ordering() {
+    let topo = Topology::new(2, 4);
+    let steps = 6;
+    let base = run_full_app(&topo, SpinVariant::Original, sizes(), steps);
+    assert_eq!(base.energies.len(), steps);
+    assert!(base.energies.iter().all(|e| e.is_finite()));
+
+    let mut times = vec![(SpinVariant::Original, base.time)];
+    for v in [
+        SpinVariant::OriginalWaitall,
+        SpinVariant::DirectiveMpi2,
+        SpinVariant::DirectiveShmem,
+    ] {
+        let r = run_full_app(&topo, v, sizes(), steps);
+        assert_eq!(base.energies, r.energies, "{v:?} changed the physics");
+        assert_eq!(base.wl_stages, r.wl_stages);
+        times.push((v, r.time));
+    }
+    // Communication variant changes time, not results.
+    let t = |v: SpinVariant| times.iter().find(|(x, _)| *x == v).expect("present").1;
+    assert!(t(SpinVariant::DirectiveShmem) < t(SpinVariant::Original));
+}
+
+#[test]
+fn wang_landau_makes_progress() {
+    let topo = Topology::new(2, 4);
+    let r = run_full_app(&topo, SpinVariant::DirectiveMpi2, sizes(), 40);
+    // The walker visits multiple energies (sampling actually happens).
+    let distinct: std::collections::BTreeSet<i64> = r
+        .energies
+        .iter()
+        .map(|e| (e * 1e6) as i64)
+        .collect();
+    assert!(distinct.len() > 3, "only {} distinct energies", distinct.len());
+}
