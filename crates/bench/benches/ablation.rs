@@ -8,6 +8,7 @@
 //! * **Unexpected-message copy** — receives posted before vs. after the
 //!   matching sends (virtually), isolating the unexpected-queue penalty.
 
+use bench::{default_jobs, sweep};
 use commint::prelude::*;
 use criterion::{criterion_group, criterion_main, Criterion};
 use mpisim::Comm;
@@ -81,11 +82,10 @@ fn fanout_time(policy: &'static str) -> Time {
 fn ablation_sync(c: &mut Criterion) {
     let mut group = c.benchmark_group("ablation_sync_policy");
     group.sample_size(10);
-    for policy in ["wait_loop", "waitall", "directive"] {
-        println!(
-            "[virtual] sync ablation {policy:>10}: {}",
-            fanout_time(policy)
-        );
+    let policies = ["wait_loop", "waitall", "directive"];
+    let times = sweep(&policies, default_jobs(), |p| fanout_time(p));
+    for (policy, t) in policies.into_iter().zip(times) {
+        println!("[virtual] sync ablation {policy:>10}: {t}");
         group.bench_function(policy, |b| b.iter(|| fanout_time(policy)));
     }
     group.finish();
@@ -93,19 +93,16 @@ fn ablation_sync(c: &mut Criterion) {
 
 /// Ring transfer time at one payload size.
 fn ring_time(bytes: usize, machine: MachineModel) -> Time {
-    let res = run(
-        SimConfig::new(4).with_machine(machine),
-        move |ctx| {
-            let m = ctx.machine().mpi;
-            let n = ctx.nranks();
-            let me = ctx.rank();
-            let payload = vec![1u8; bytes];
-            let s = ctx.isend((me + 1) % n, 0, &payload, &m);
-            let r = ctx.irecv(SrcSel::Exact((me + n - 1) % n), TagSel::Exact(0), &m);
-            ctx.waitall(&[s], &[r], &m);
-            ctx.now()
-        },
-    );
+    let res = run(SimConfig::new(4).with_machine(machine), move |ctx| {
+        let m = ctx.machine().mpi;
+        let n = ctx.nranks();
+        let me = ctx.rank();
+        let payload = vec![1u8; bytes];
+        let s = ctx.isend((me + 1) % n, 0, &payload, &m);
+        let r = ctx.irecv(SrcSel::Exact((me + n - 1) % n), TagSel::Exact(0), &m);
+        ctx.waitall(&[s], &[r], &m);
+        ctx.now()
+    });
     res.makespan()
 }
 
@@ -115,11 +112,10 @@ fn ablation_eager(c: &mut Criterion) {
     let machine = MachineModel::gemini();
     let thr = machine.mpi.eager_threshold;
     println!("[virtual] eager threshold = {thr} bytes");
-    for bytes in [64usize, 1024, thr, thr + 1, 4 * thr] {
-        println!(
-            "[virtual] ring 4 ranks, {bytes:>6} B: {}",
-            ring_time(bytes, machine)
-        );
+    let sizes = [64usize, 1024, thr, thr + 1, 4 * thr];
+    let times = sweep(&sizes, default_jobs(), |&b| ring_time(b, machine));
+    for (bytes, t) in sizes.into_iter().zip(times) {
+        println!("[virtual] ring 4 ranks, {bytes:>6} B: {t}");
         group.bench_function(format!("{bytes}B"), |b| {
             b.iter(|| ring_time(bytes, machine))
         });
@@ -152,10 +148,12 @@ fn unexpected_time(late_post: bool) -> Time {
 fn ablation_unexpected(c: &mut Criterion) {
     let mut group = c.benchmark_group("ablation_unexpected_copy");
     group.sample_size(10);
+    let times = sweep(&[false, true], default_jobs(), |&late| {
+        unexpected_time(late)
+    });
     println!(
         "[virtual] pre-posted recv: {}, late recv: {}",
-        unexpected_time(false),
-        unexpected_time(true)
+        times[0], times[1]
     );
     group.bench_function("preposted", |b| b.iter(|| unexpected_time(false)));
     group.bench_function("unexpected", |b| b.iter(|| unexpected_time(true)));
@@ -189,10 +187,10 @@ fn spin_path_time(collective: bool) -> Time {
 fn ablation_collective_vs_p2p(c: &mut Criterion) {
     let mut group = c.benchmark_group("ablation_spin_collective_vs_p2p");
     group.sample_size(10);
+    let times = sweep(&[false, true], default_jobs(), |&coll| spin_path_time(coll));
     println!(
         "[virtual] spin distribution p2p-directive: {}, collective-directive: {}",
-        spin_path_time(false),
-        spin_path_time(true)
+        times[0], times[1]
     );
     group.bench_function("p2p_directives", |b| b.iter(|| spin_path_time(false)));
     group.bench_function("collective_directives", |b| b.iter(|| spin_path_time(true)));

@@ -94,9 +94,7 @@ fn micro_matching(c: &mut Criterion) {
             run(SimConfig::new(2), |ctx| {
                 let m = ctx.machine().mpi;
                 if ctx.rank() == 0 {
-                    let reqs: Vec<_> = (0..64)
-                        .map(|i| ctx.isend(1, i, &[0u8; 32], &m))
-                        .collect();
+                    let reqs: Vec<_> = (0..64).map(|i| ctx.isend(1, i, &[0u8; 32], &m)).collect();
                     ctx.waitall(&reqs, &[], &m);
                 } else {
                     // Reverse tag order: every post scans the queue.
@@ -112,5 +110,11 @@ fn micro_matching(c: &mut Criterion) {
     });
 }
 
-criterion_group!(benches, micro_expr, micro_parse, micro_datatype, micro_matching);
+criterion_group!(
+    benches,
+    micro_expr,
+    micro_parse,
+    micro_datatype,
+    micro_matching
+);
 criterion_main!(benches);

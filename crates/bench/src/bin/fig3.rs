@@ -1,37 +1,52 @@
 //! Figure 3: experimental results for communication of single atom data
 //! (potentials + electron densities).
 //!
-//! Usage: `fig3 [--stride K]`.
+//! Usage: `fig3 [--stride K] [--jobs J] [--stats]`.
 
-use bench::{paper_ms, SeriesTable};
+use bench::{default_jobs, paper_ms, render_stats, sweep, SeriesTable};
+use netsim::RankStats;
 use wl_lsms::{fig3_single_atom, AtomCommVariant, AtomSizes, Topology};
 
 fn main() {
     let args: Vec<String> = std::env::args().collect();
-    let stride = args
-        .iter()
-        .position(|a| a == "--stride")
-        .and_then(|i| args.get(i + 1))
-        .and_then(|v| v.parse().ok())
-        .unwrap_or(1);
+    let stride = arg(&args, "--stride").unwrap_or(1);
+    let jobs = arg(&args, "--jobs").unwrap_or_else(default_jobs);
+    let stats = args.iter().any(|a| a == "--stats");
 
     let ms = paper_ms(stride);
-    let xs: Vec<usize> = ms.iter().map(|&m| Topology::paper(m).total_ranks()).collect();
+    let xs: Vec<usize> = ms
+        .iter()
+        .map(|&m| Topology::paper(m).total_ranks())
+        .collect();
     let mut table = SeriesTable::new(xs);
 
-    for variant in [
+    let variants = [
         AtomCommVariant::Original,
         AtomCommVariant::DirectiveMpi2,
         AtomCommVariant::DirectiveShmem,
-    ] {
-        let mut times = Vec::new();
-        for &m in &ms {
-            let topo = Topology::paper(m);
-            let meas = fig3_single_atom(&topo, variant, AtomSizes::default());
-            assert!(meas.correct, "atom data validation failed for {variant:?}");
-            times.push(meas.time);
+    ];
+    let points: Vec<(AtomCommVariant, usize)> = variants
+        .iter()
+        .flat_map(|&v| ms.iter().map(move |&m| (v, m)))
+        .collect();
+    let results = sweep(&points, jobs, |&(variant, m)| {
+        let topo = Topology::paper(m);
+        let meas = fig3_single_atom(&topo, variant, AtomSizes::default());
+        assert!(meas.correct, "atom data validation failed for {variant:?}");
+        meas
+    });
+
+    let mut stat_lines = Vec::new();
+    for (vi, variant) in variants.iter().enumerate() {
+        let runs = &results[vi * ms.len()..(vi + 1) * ms.len()];
+        table.push(variant.label(), runs.iter().map(|r| r.time).collect());
+        if stats {
+            let mut total = RankStats::default();
+            for r in runs {
+                total.merge(&r.stats);
+            }
+            stat_lines.push(render_stats(variant.label(), &total));
         }
-        table.push(variant.label(), times);
         eprintln!("  [done] {}", variant.label());
     }
 
@@ -39,7 +54,25 @@ fn main() {
         "{}",
         table.render("Fig. 3 — Single atom data communication (s; paper: all three comparable)")
     );
-    println!("# Ratios vs original (paper shows comparable performance, directives slightly ahead)");
-    println!("original/directive-MPI   = {:5.2}x", table.avg_speedup(0, 1));
-    println!("original/directive-SHMEM = {:5.2}x", table.avg_speedup(0, 2));
+    println!(
+        "# Ratios vs original (paper shows comparable performance, directives slightly ahead)"
+    );
+    println!(
+        "original/directive-MPI   = {:5.2}x",
+        table.avg_speedup(0, 1)
+    );
+    println!(
+        "original/directive-SHMEM = {:5.2}x",
+        table.avg_speedup(0, 2)
+    );
+    for line in stat_lines {
+        println!("{line}");
+    }
+}
+
+fn arg(args: &[String], name: &str) -> Option<usize> {
+    args.iter()
+        .position(|a| a == name)
+        .and_then(|i| args.get(i + 1))
+        .and_then(|v| v.parse().ok())
 }

@@ -1,18 +1,26 @@
 //! Figure 4: experimental results for communication of random spin
 //! configurations (`setEvec`), plus the §IV-B speedup table.
 //!
-//! Usage: `fig4 [--stride K] [--steps N]` (stride thins the process sweep).
+//! Usage: `fig4 [--stride K] [--steps N] [--jobs J] [--stats]`
+//! (stride thins the process sweep; jobs bounds the worker pool; stats
+//! appends merged per-variant operation counters).
 
-use bench::{paper_ms, SeriesTable};
+use bench::{default_jobs, paper_ms, render_stats, sweep, SeriesTable};
+use netsim::RankStats;
 use wl_lsms::{fig4_spin, SpinVariant, Topology};
 
 fn main() {
     let args: Vec<String> = std::env::args().collect();
     let stride = arg(&args, "--stride").unwrap_or(1);
     let steps = arg(&args, "--steps").unwrap_or(4);
+    let jobs = arg(&args, "--jobs").unwrap_or_else(default_jobs);
+    let stats = args.iter().any(|a| a == "--stats");
 
     let ms = paper_ms(stride);
-    let xs: Vec<usize> = ms.iter().map(|&m| Topology::paper(m).total_ranks()).collect();
+    let xs: Vec<usize> = ms
+        .iter()
+        .map(|&m| Topology::paper(m).total_ranks())
+        .collect();
     let mut table = SeriesTable::new(xs);
 
     let variants = [
@@ -21,15 +29,31 @@ fn main() {
         SpinVariant::DirectiveMpi2,
         SpinVariant::DirectiveShmem,
     ];
-    for variant in variants {
-        let mut times = Vec::new();
-        for &m in &ms {
-            let topo = Topology::paper(m);
-            let meas = fig4_spin(&topo, variant, steps);
-            assert!(meas.correct, "spin validation failed for {variant:?}");
-            times.push(meas.time);
+    // One work item per (variant, m) point; the pool drains them in any
+    // order but results come back in input order, so the table (and the
+    // stdout golden) is identical to the sequential nested loop.
+    let points: Vec<(SpinVariant, usize)> = variants
+        .iter()
+        .flat_map(|&v| ms.iter().map(move |&m| (v, m)))
+        .collect();
+    let results = sweep(&points, jobs, |&(variant, m)| {
+        let topo = Topology::paper(m);
+        let meas = fig4_spin(&topo, variant, steps);
+        assert!(meas.correct, "spin validation failed for {variant:?}");
+        meas
+    });
+
+    let mut stat_lines = Vec::new();
+    for (vi, variant) in variants.iter().enumerate() {
+        let runs = &results[vi * ms.len()..(vi + 1) * ms.len()];
+        table.push(variant.label(), runs.iter().map(|r| r.time).collect());
+        if stats {
+            let mut total = RankStats::default();
+            for r in runs {
+                total.merge(&r.stats);
+            }
+            stat_lines.push(render_stats(variant.label(), &total));
         }
-        table.push(variant.label(), times);
         eprintln!("  [done] {}", variant.label());
     }
 
@@ -58,6 +82,9 @@ fn main() {
         "waitall-mod/directive-SHMEM    = {:6.2}x  (paper ~14.5x)",
         table.avg_speedup(1, 3)
     );
+    for line in stat_lines {
+        println!("{line}");
+    }
 }
 
 fn arg(args: &[String], name: &str) -> Option<usize> {

@@ -2,48 +2,72 @@
 //! overlap — spin communication plus the first `calculateCoreStates` slice,
 //! under the paper's projected 10x GPU speedup of the computation.
 //!
-//! Usage: `fig5 [--stride K] [--steps N]`.
+//! Usage: `fig5 [--stride K] [--steps N] [--jobs J] [--stats]`.
 
-use bench::{paper_ms, SeriesTable};
+use bench::{default_jobs, paper_ms, render_stats, sweep, SeriesTable};
+use netsim::RankStats;
 use wl_lsms::{fig5_overlap, AtomSizes, CoreStateParams, Topology};
 
 fn main() {
     let args: Vec<String> = std::env::args().collect();
     let stride = arg(&args, "--stride").unwrap_or(1);
     let steps = arg(&args, "--steps").unwrap_or(3);
+    let jobs = arg(&args, "--jobs").unwrap_or_else(default_jobs);
+    let stats = args.iter().any(|a| a == "--stats");
 
     let ms = paper_ms(stride);
-    let xs: Vec<usize> = ms.iter().map(|&m| Topology::paper(m).total_ranks()).collect();
+    let xs: Vec<usize> = ms
+        .iter()
+        .map(|&m| Topology::paper(m).total_ranks())
+        .collect();
     let mut table = SeriesTable::new(xs);
 
     // The paper's projection: core-state computation accelerated 10x.
     let cparams = CoreStateParams::default().gpu();
     let sizes = AtomSizes::default();
 
-    for directive in [false, true] {
+    let modes = [false, true];
+    let points: Vec<(bool, usize)> = modes
+        .iter()
+        .flat_map(|&d| ms.iter().map(move |&m| (d, m)))
+        .collect();
+    let results = sweep(&points, jobs, |&(directive, m)| {
+        let topo = Topology::paper(m);
+        fig5_overlap(&topo, directive, cparams, sizes, steps)
+    });
+
+    let mut stat_lines = Vec::new();
+    for (di, &directive) in modes.iter().enumerate() {
         let label = if directive {
             "Directive Communication w/ Overlapped Computation"
         } else {
             "Original Communication + Optimized Computation"
         };
-        let mut times = Vec::new();
-        for &m in &ms {
-            let topo = Topology::paper(m);
-            let meas = fig5_overlap(&topo, directive, cparams, sizes, steps);
-            times.push(meas.time);
+        let runs = &results[di * ms.len()..(di + 1) * ms.len()];
+        table.push(label, runs.iter().map(|r| r.time).collect());
+        if stats {
+            let mut total = RankStats::default();
+            for r in runs {
+                total.merge(&r.stats);
+            }
+            stat_lines.push(render_stats(label, &total));
         }
-        table.push(label, times);
         eprintln!("  [done] {label}");
     }
 
     println!(
         "{}",
-        table.render(
-            "Fig. 5 — Spin comm + core-state computation per step (s), 10x GPU projection"
-        )
+        table
+            .render("Fig. 5 — Spin comm + core-state computation per step (s), 10x GPU projection")
     );
     println!("# The overlap hides communication behind computation (bounded by compute).");
-    println!("original/overlap speedup = {:5.2}x", table.avg_speedup(0, 1));
+    println!(
+        "original/overlap speedup = {:5.2}x",
+        table.avg_speedup(0, 1)
+    );
+    for line in stat_lines {
+        println!("{line}");
+    }
 }
 
 fn arg(args: &[String], name: &str) -> Option<usize> {

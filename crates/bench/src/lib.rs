@@ -1,6 +1,81 @@
 //! Shared helpers for the figure-regeneration binaries and benches.
 
-use netsim::Time;
+use netsim::{RankStats, Time};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+/// Run `f` over every item on a bounded worker pool and return the results
+/// in input order.
+///
+/// Each figure point is an independent virtual-time simulation whose result
+/// depends only on virtual quantities, so fanning points out across OS
+/// threads changes wall-clock time but never the measured times: the output
+/// is bit-identical to the sequential loop. Workers claim indices from a
+/// shared counter (no per-worker stripes, so a slow point does not stall
+/// the pool) and write into a per-index slot, which keeps collection
+/// deterministic regardless of completion order.
+pub fn sweep<I, T, F>(items: &[I], jobs: usize, f: F) -> Vec<T>
+where
+    I: Sync,
+    T: Send,
+    F: Fn(&I) -> T + Sync,
+{
+    let jobs = jobs.max(1).min(items.len().max(1));
+    if jobs == 1 {
+        return items.iter().map(f).collect();
+    }
+    let next = AtomicUsize::new(0);
+    let slots: Vec<Mutex<Option<T>>> = items.iter().map(|_| Mutex::new(None)).collect();
+    std::thread::scope(|s| {
+        for _ in 0..jobs {
+            s.spawn(|| loop {
+                let i = next.fetch_add(1, Ordering::Relaxed);
+                if i >= items.len() {
+                    break;
+                }
+                let out = f(&items[i]);
+                *slots[i].lock().unwrap() = Some(out);
+            });
+        }
+    });
+    slots
+        .into_iter()
+        .map(|m| m.into_inner().unwrap().expect("sweep worker panicked"))
+        .collect()
+}
+
+/// Worker-pool width for the figure binaries: the host's available
+/// parallelism unless overridden by `--jobs`.
+pub fn default_jobs() -> usize {
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+}
+
+/// Render merged [`RankStats`] (including the mailbox hot-path counters)
+/// as `# `-prefixed comment lines for the figure binaries' `--stats` flag.
+pub fn render_stats(label: &str, stats: &RankStats) -> String {
+    format!(
+        "# stats[{label}] sends={} recvs={} bytes_sent={} waits={} waitalls={} \
+         puts={} bytes_put={} gets={} barriers={} quiets={} packed_bytes={} \
+         datatype_commits={} uq_high_water={} match_scan_steps={} mailbox_locks={}",
+        stats.sends,
+        stats.recvs,
+        stats.bytes_sent,
+        stats.waits,
+        stats.waitalls,
+        stats.puts,
+        stats.bytes_put,
+        stats.gets,
+        stats.barriers,
+        stats.quiets,
+        stats.packed_bytes,
+        stats.datatype_commits,
+        stats.uq_high_water,
+        stats.match_scan_steps,
+        stats.mailbox_locks,
+    )
+}
 
 /// Render one figure series as an aligned table.
 pub struct SeriesTable {

@@ -186,9 +186,7 @@ pub fn classify(graph: &CommGraph, nranks: usize) -> Pattern {
     if edges.len() == n {
         let k0 = (edges[0].dst + n - edges[0].src) % n;
         if k0 != 0
-            && edges
-                .iter()
-                .all(|e| (e.dst + n - e.src) % n == k0)
+            && edges.iter().all(|e| (e.dst + n - e.src) % n == k0)
             && edges.iter().map(|e| e.src).collect::<HashSet<_>>().len() == n
         {
             return Pattern::CyclicShift { k: k0 };
@@ -238,10 +236,7 @@ pub fn classify(graph: &CommGraph, nranks: usize) -> Pattern {
     }
 
     // Disjoint pairs: senders and receivers disjoint, each appears once.
-    if srcs.is_disjoint(&dsts)
-        && srcs.len() == edges.len()
-        && dsts.len() == edges.len()
-    {
+    if srcs.is_disjoint(&dsts) && srcs.len() == edges.len() && dsts.len() == edges.len() {
         return Pattern::DisjointPairs;
     }
 
@@ -367,11 +362,7 @@ pub struct SyncReport {
 /// Estimate synchronization savings for a region resolved at `nranks`.
 /// Counts the busiest rank's requests (the paper's figures measure the
 /// critical path).
-pub fn sync_report(
-    spec: &ParamsSpec,
-    nranks: usize,
-    vars: &HashMap<String, i64>,
-) -> SyncReport {
+pub fn sync_report(spec: &ParamsSpec, nranks: usize, vars: &HashMap<String, i64>) -> SyncReport {
     let mut per_rank: HashMap<usize, usize> = HashMap::new();
     for p in &spec.body {
         let g = resolve_graph(p, Some(&spec.clauses), nranks, vars);
@@ -450,11 +441,7 @@ pub fn volume_report(
                 .map(|v| v.max(0) as usize)
                 .or_else(|| p.inferred_count())
                 .unwrap_or(0);
-            let bytes: usize = p
-                .sbuf
-                .iter()
-                .map(|b| count * b.elem.packed_size())
-                .sum();
+            let bytes: usize = p.sbuf.iter().map(|b| count * b.elem.packed_size()).sum();
             report.sent[e.src] += bytes;
             report.received[e.dst] += bytes;
         }
@@ -485,19 +472,13 @@ pub fn deadlock_report(graph: &CommGraph) -> DeadlockReport {
         adj.entry(e.src).or_default().push(e.dst);
     }
     let mut color: HashMap<usize, u8> = HashMap::new();
-    fn dfs(
-        u: usize,
-        adj: &HashMap<usize, Vec<usize>>,
-        color: &mut HashMap<usize, u8>,
-    ) -> bool {
+    fn dfs(u: usize, adj: &HashMap<usize, Vec<usize>>, color: &mut HashMap<usize, u8>) -> bool {
         color.insert(u, 1);
         if let Some(next) = adj.get(&u) {
             for &v in next {
                 match color.get(&v).copied().unwrap_or(0) {
-                    0 => {
-                        if dfs(v, adj, color) {
-                            return true;
-                        }
+                    0 if dfs(v, adj, color) => {
+                        return true;
                     }
                     1 => return true,
                     _ => {}
@@ -575,7 +556,12 @@ mod tests {
             ..ClauseSet::default()
         };
         let g = resolve_graph(&p2p(clauses), None, 8, &HashMap::new());
-        assert!(g.fully_matched(), "unmatched: {:?}/{:?}", g.unmatched_sends(), g.unmatched_recvs());
+        assert!(
+            g.fully_matched(),
+            "unmatched: {:?}/{:?}",
+            g.unmatched_sends(),
+            g.unmatched_recvs()
+        );
         assert_eq!(classify(&g, 8), Pattern::DisjointPairs);
     }
 
@@ -647,8 +633,16 @@ mod tests {
         let g = CommGraph::default();
         assert_eq!(classify(&g, 4), Pattern::Empty);
         let g = CommGraph {
-            sends: vec![Edge { src: 0, dst: 1 }, Edge { src: 1, dst: 0 }, Edge { src: 2, dst: 1 }],
-            recvs: vec![Edge { src: 0, dst: 1 }, Edge { src: 1, dst: 0 }, Edge { src: 2, dst: 1 }],
+            sends: vec![
+                Edge { src: 0, dst: 1 },
+                Edge { src: 1, dst: 0 },
+                Edge { src: 2, dst: 1 },
+            ],
+            recvs: vec![
+                Edge { src: 0, dst: 1 },
+                Edge { src: 1, dst: 0 },
+                Edge { src: 2, dst: 1 },
+            ],
             unresolved: vec![],
         };
         assert_eq!(classify(&g, 3), Pattern::Irregular);

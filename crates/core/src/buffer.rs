@@ -243,7 +243,11 @@ impl ElemKind {
         match self {
             ElemKind::Prim(t) => Datatype::Basic(*t),
             ElemKind::Composite(l) => l.to_datatype(),
-            ElemKind::Strided { ty, blocklen, stride } => Datatype::Vector {
+            ElemKind::Strided {
+                ty,
+                blocklen,
+                stride,
+            } => Datatype::Vector {
                 count: 1,
                 blocklen: *blocklen,
                 stride: *stride,
@@ -268,13 +272,29 @@ impl ElemKind {
                         .all(|(x, y)| x.ty == y.ty && x.blocklen == y.blocklen)
             }
             (
-                ElemKind::Strided { ty: a, blocklen: la, .. },
-                ElemKind::Strided { ty: b, blocklen: lb, .. },
+                ElemKind::Strided {
+                    ty: a,
+                    blocklen: la,
+                    ..
+                },
+                ElemKind::Strided {
+                    ty: b,
+                    blocklen: lb,
+                    ..
+                },
             ) => a == b && la == lb,
-            (ElemKind::Strided { ty: a, blocklen, .. }, ElemKind::Prim(b))
-            | (ElemKind::Prim(b), ElemKind::Strided { ty: a, blocklen, .. }) => {
-                a == b && *blocklen == 1
-            }
+            (
+                ElemKind::Strided {
+                    ty: a, blocklen, ..
+                },
+                ElemKind::Prim(b),
+            )
+            | (
+                ElemKind::Prim(b),
+                ElemKind::Strided {
+                    ty: a, blocklen, ..
+                },
+            ) => a == b && *blocklen == 1,
             _ => false,
         }
     }
@@ -301,10 +321,39 @@ impl BufMeta {
     }
 }
 
+/// Name-free buffer descriptor for the directive execution hot path:
+/// everything `comm_p2p` needs per instance. The display name stays out so
+/// the common case allocates nothing (the engine evaluates every directive
+/// on every rank of every loop iteration); diagnostics and IR recording
+/// fetch the full [`BufMeta`] on their cold paths.
+#[derive(Clone, Debug, PartialEq)]
+pub struct BufDesc {
+    /// Element kind.
+    pub elem: ElemKind,
+    /// Element count.
+    pub len: usize,
+    /// Address range `[lo, hi)` in bytes.
+    pub addr: (usize, usize),
+}
+
+impl From<BufMeta> for BufDesc {
+    fn from(m: BufMeta) -> Self {
+        BufDesc {
+            elem: m.elem,
+            len: m.len,
+            addr: m.addr,
+        }
+    }
+}
+
 /// A send-side buffer: read access plus metadata.
 pub trait SendBuf {
     /// Buffer metadata.
     fn meta(&self) -> BufMeta;
+    /// Hot-path descriptor; implementations override to skip the name.
+    fn desc(&self) -> BufDesc {
+        BufDesc::from(self.meta())
+    }
     /// Append `count` elements' packed bytes to `out`.
     fn gather(&self, count: usize, out: &mut Vec<u8>);
 }
@@ -313,6 +362,10 @@ pub trait SendBuf {
 pub trait RecvBuf {
     /// Buffer metadata.
     fn meta(&self) -> BufMeta;
+    /// Hot-path descriptor; implementations override to skip the name.
+    fn desc(&self) -> BufDesc {
+        BufDesc::from(self.meta())
+    }
     /// Fill `count` elements from packed bytes.
     fn scatter(&mut self, count: usize, packed: &[u8]);
 }
@@ -321,6 +374,15 @@ fn prim_meta<T: PrimElem>(name: &str, slice: &[T]) -> BufMeta {
     let lo = slice.as_ptr() as usize;
     BufMeta {
         name: name.to_string(),
+        elem: ElemKind::Prim(T::BASIC),
+        len: slice.len(),
+        addr: (lo, lo + std::mem::size_of_val(slice)),
+    }
+}
+
+fn prim_desc<T: PrimElem>(slice: &[T]) -> BufDesc {
+    let lo = slice.as_ptr() as usize;
+    BufDesc {
         elem: ElemKind::Prim(T::BASIC),
         len: slice.len(),
         addr: (lo, lo + std::mem::size_of_val(slice)),
@@ -345,8 +407,15 @@ impl<T: PrimElem> SendBuf for Prim<'_, T> {
         prim_meta(self.name, self.data)
     }
 
+    fn desc(&self) -> BufDesc {
+        prim_desc(self.data)
+    }
+
     fn gather(&self, count: usize, out: &mut Vec<u8>) {
-        assert!(count <= self.data.len(), "gather count exceeds buffer length");
+        assert!(
+            count <= self.data.len(),
+            "gather count exceeds buffer length"
+        );
         out.extend_from_slice(as_bytes(&self.data[..count]));
     }
 }
@@ -369,8 +438,15 @@ impl<T: PrimElem> RecvBuf for PrimMut<'_, T> {
         prim_meta(self.name, self.data)
     }
 
+    fn desc(&self) -> BufDesc {
+        prim_desc(self.data)
+    }
+
     fn scatter(&mut self, count: usize, packed: &[u8]) {
-        assert!(count <= self.data.len(), "scatter count exceeds buffer length");
+        assert!(
+            count <= self.data.len(),
+            "scatter count exceeds buffer length"
+        );
         copy_exact(&mut self.data[..count], packed);
     }
 }
@@ -489,6 +565,21 @@ impl<T: PrimElem> SendBuf for PrimStrided<'_, T> {
         self.meta_impl()
     }
 
+    fn desc(&self) -> BufDesc {
+        BufDesc {
+            elem: ElemKind::Strided {
+                ty: T::BASIC,
+                blocklen: self.blocklen,
+                stride: self.stride,
+            },
+            len: self.n_blocks(),
+            addr: {
+                let lo = self.data.as_ptr() as usize;
+                (lo, lo + std::mem::size_of_val(self.data))
+            },
+        }
+    }
+
     fn gather(&self, count: usize, out: &mut Vec<u8>) {
         assert!(count <= self.n_blocks(), "gather count exceeds block count");
         for b in 0..count {
@@ -542,8 +633,26 @@ impl<T: PrimElem> RecvBuf for PrimStridedMut<'_, T> {
         }
     }
 
+    fn desc(&self) -> BufDesc {
+        BufDesc {
+            elem: ElemKind::Strided {
+                ty: T::BASIC,
+                blocklen: self.blocklen,
+                stride: self.stride,
+            },
+            len: self.n_blocks(),
+            addr: {
+                let lo = self.data.as_ptr() as usize;
+                (lo, lo + std::mem::size_of_val(self.data))
+            },
+        }
+    }
+
     fn scatter(&mut self, count: usize, packed: &[u8]) {
-        assert!(count <= self.n_blocks(), "scatter count exceeds block count");
+        assert!(
+            count <= self.n_blocks(),
+            "scatter count exceeds block count"
+        );
         let block_bytes = self.blocklen * std::mem::size_of::<T>();
         for b in 0..count {
             let start = b * self.stride;
@@ -666,13 +775,28 @@ mod tests {
     #[test]
     fn partial_count_gathers_prefix() {
         let items = [
-            Mixed { a: 1, b: 1.0, tag3: [1; 3], v: [1.0; 2] },
-            Mixed { a: 2, b: 2.0, tag3: [2; 3], v: [2.0; 2] },
+            Mixed {
+                a: 1,
+                b: 1.0,
+                tag3: [1; 3],
+                v: [1.0; 2],
+            },
+            Mixed {
+                a: 2,
+                b: 2.0,
+                tag3: [2; 3],
+                v: [2.0; 2],
+            },
         ];
         let mut packed = Vec::new();
         gather_described(&items, 1, &mut packed);
         assert_eq!(packed.len(), Mixed::layout().packed_size());
-        let mut back = [Mixed { a: 0, b: 0.0, tag3: [0; 3], v: [0.0; 2] }; 2];
+        let mut back = [Mixed {
+            a: 0,
+            b: 0.0,
+            tag3: [0; 3],
+            v: [0.0; 2],
+        }; 2];
         scatter_described(&mut back, 1, &packed);
         assert_eq!(back[0], items[0]);
         assert_eq!(back[1].a, 0);

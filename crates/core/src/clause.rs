@@ -11,12 +11,13 @@ use std::fmt;
 use crate::expr::{CondExpr, RankExpr};
 
 /// The `target` clause keywords: which library calls to generate.
-#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, Default)]
 pub enum Target {
     /// `TARGET_COMM_MPI_1SIDE` → `MPI_Put` + window fence.
     Mpi1Side,
     /// `TARGET_COMM_MPI_2SIDE` → non-blocking `MPI_Isend`/`MPI_Irecv`.
     /// This is the default when the clause is absent.
+    #[default]
     Mpi2Side,
     /// `TARGET_COMM_SHMEM` → size-matched `shmem_put` + deferred sync.
     Shmem,
@@ -46,12 +47,6 @@ impl Target {
     pub const ALL: [Target; 3] = [Target::Mpi2Side, Target::Mpi1Side, Target::Shmem];
 }
 
-impl Default for Target {
-    fn default() -> Self {
-        Target::Mpi2Side
-    }
-}
-
 impl fmt::Display for Target {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         f.write_str(self.keyword())
@@ -59,10 +54,11 @@ impl fmt::Display for Target {
 }
 
 /// The `place_sync` clause keywords: where generated synchronization goes.
-#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, Default)]
 pub enum PlaceSync {
     /// `END_PARAM_REGION`: one consolidated sync at the end of this
     /// `comm_parameters` region (the default behaviour).
+    #[default]
     EndParamRegion,
     /// `BEGIN_NEXT_PARAM_REGION`: defer the sync to the beginning of the
     /// next `comm_parameters` region.
@@ -90,12 +86,6 @@ impl PlaceSync {
             "END_ADJ_PARAM_REGIONS" => Some(PlaceSync::EndAdjParamRegions),
             _ => None,
         }
-    }
-}
-
-impl Default for PlaceSync {
-    fn default() -> Self {
-        PlaceSync::EndParamRegion
     }
 }
 
@@ -208,9 +198,8 @@ impl ClauseSet {
     ///   `comm_parameters`".
     pub fn validate(&self, kind: DirectiveKind, inherited: Option<&ClauseSet>) -> Vec<Diagnostic> {
         let mut out = Vec::new();
-        let has = |f: fn(&ClauseSet) -> bool| -> bool {
-            f(self) || inherited.map(f).unwrap_or(false)
-        };
+        let has =
+            |f: fn(&ClauseSet) -> bool| -> bool { f(self) || inherited.map(f).unwrap_or(false) };
         if !has(|c| c.sender.is_some()) {
             out.push(Diagnostic::error(format!(
                 "{kind}: required clause `sender` missing (and not inherited)"
@@ -342,8 +331,10 @@ mod tests {
         // The merged view has both, so it is legal.
         let mut outer = full();
         outer.sendwhen = Some(CondExprTrue());
-        let mut inner = ClauseSet::default();
-        inner.receivewhen = Some(CondExprTrue());
+        let inner = ClauseSet {
+            receivewhen: Some(CondExprTrue()),
+            ..ClauseSet::default()
+        };
         assert!(inner
             .validate(DirectiveKind::CommP2p, Some(&outer))
             .is_empty());

@@ -19,7 +19,7 @@
 //! point-wise delivery waits. The code generator emits the native MPI
 //! collective (`MPI_Bcast`, ...) where one exists.
 
-use crate::buffer::{PrimElem, Prim, PrimMut};
+use crate::buffer::{Prim, PrimElem, PrimMut};
 use crate::clause::{Diagnostic, Target};
 use crate::expr::{CondExpr, EvalEnv, RankExpr};
 use crate::scope::{CommParams, CommSession, DirectiveError};
@@ -249,11 +249,7 @@ impl<'s, 'a> CollCall<'s, 'a> {
 
     /// Execute a gather: every participant contributes `send`; on the root,
     /// `recv` receives `group.len() * count` elements in participant order.
-    pub fn gather<T: PrimElem>(
-        mut self,
-        send: &[T],
-        recv: &mut [T],
-    ) -> Result<(), DirectiveError> {
+    pub fn gather<T: PrimElem>(mut self, send: &[T], recv: &mut [T]) -> Result<(), DirectiveError> {
         assert_eq!(self.kind, CollKind::Gather, "call matches the kind");
         let (group, pos) = self.resolve_group()?;
         let root = self.resolve_root(&group)?;
@@ -301,7 +297,10 @@ impl<'s, 'a> CollCall<'s, 'a> {
             Ok::<(), DirectiveError>(())
         })??;
         if me == root {
-            let my_pos = group.iter().position(|&g| g == root).expect("root in group");
+            let my_pos = group
+                .iter()
+                .position(|&g| g == root)
+                .expect("root in group");
             recv[my_pos * n..(my_pos + 1) * n].copy_from_slice(&send[..n]);
         }
         Ok(())
@@ -346,7 +345,11 @@ impl<'s, 'a> CollCall<'s, 'a> {
                     continue;
                 }
                 reg.set_var("coll_dest", dest as i64);
-                let sb: &[T] = if me == root { &send[i * n..(i + 1) * n] } else { &empty };
+                let sb: &[T] = if me == root {
+                    &send[i * n..(i + 1) * n]
+                } else {
+                    &empty
+                };
                 let rb: &mut [T] = if me == dest { &mut recv[..n] } else { &mut [] };
                 reg.p2p()
                     .site(site + 2)
@@ -377,7 +380,10 @@ impl<'s, 'a> CollCall<'s, 'a> {
         };
         let g = group.len();
         let n = self.count.unwrap_or(recv.len() / g.max(1));
-        assert!(send.len() >= g * n && recv.len() >= g * n, "alltoall buffers too small");
+        assert!(
+            send.len() >= g * n && recv.len() >= g * n,
+            "alltoall buffers too small"
+        );
         let me = self.session.rank();
         let params = CommParams::new()
             .sender(RankExpr::var("coll_src"))
@@ -397,7 +403,11 @@ impl<'s, 'a> CollCall<'s, 'a> {
                     }
                     reg.set_var("coll_src", src as i64);
                     reg.set_var("coll_dest", dest as i64);
-                    let sb: &[T] = if me == src { &send[j * n..(j + 1) * n] } else { &empty };
+                    let sb: &[T] = if me == src {
+                        &send[j * n..(j + 1) * n]
+                    } else {
+                        &empty
+                    };
                     let rb: &mut [T] = if me == dest {
                         &mut recv[i * n..(i + 1) * n]
                     } else {
@@ -438,7 +448,13 @@ impl<'s, 'a> CollCall<'s, 'a> {
         let groupwhen = self.groupwhen.clone();
         // Gather contributions to the root...
         {
-            let mut call = self.session.coll(CollKind::Gather).root(root as i64).count(n).target(target).site(site + 4);
+            let mut call = self
+                .session
+                .coll(CollKind::Gather)
+                .root(root as i64)
+                .count(n)
+                .target(target)
+                .site(site + 4);
             if let Some(c) = groupwhen {
                 call = call.groupwhen(c);
             }
@@ -467,10 +483,7 @@ mod tests {
     use mpisim::Comm;
     use netsim::{run, SimConfig};
 
-    fn with_session<R: Send>(
-        n: usize,
-        f: impl Fn(&mut CommSession<'_>) -> R + Sync,
-    ) -> Vec<R> {
+    fn with_session<R: Send>(n: usize, f: impl Fn(&mut CommSession<'_>) -> R + Sync) -> Vec<R> {
         run(SimConfig::new(n), |ctx| {
             let comm = Comm::world(ctx);
             let mut s = CommSession::new(ctx, comm).without_ir();
@@ -519,7 +532,11 @@ mod tests {
         let got = with_session(4, |s| {
             let me = s.rank() as i64;
             let send = [me * 10, me * 10 + 1];
-            let mut recv = if s.rank() == 1 { vec![0i64; 8] } else { Vec::new() };
+            let mut recv = if s.rank() == 1 {
+                vec![0i64; 8]
+            } else {
+                Vec::new()
+            };
             s.coll(CollKind::Gather)
                 .root(1)
                 .count(2)
@@ -549,7 +566,11 @@ mod tests {
                 recv
             });
             for (r, v) in got.iter().enumerate() {
-                assert_eq!(*v, [r as f64 * 2.0, r as f64 * 2.0 + 1.0], "target {target}");
+                assert_eq!(
+                    *v,
+                    [r as f64 * 2.0, r as f64 * 2.0 + 1.0],
+                    "target {target}"
+                );
             }
         }
     }
@@ -619,7 +640,10 @@ mod tests {
                 .root(1) // odd rank...
                 .groupwhen((RankExpr::rank() % RankExpr::lit(2)).eq(RankExpr::lit(0)))
                 .bcast(&mut buf);
-            matches!(r, Err(DirectiveError::RankOutOfRange { clause: "root", .. }))
+            matches!(
+                r,
+                Err(DirectiveError::RankOutOfRange { clause: "root", .. })
+            )
         });
         assert!(got.iter().all(|&ok| ok));
     }

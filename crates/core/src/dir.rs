@@ -10,6 +10,58 @@ use crate::clause::{ClauseSet, Diagnostic, DirectiveKind, PlaceSync, Target};
 use crate::coll::CollKind;
 use crate::expr::{CondExpr, RankExpr};
 
+/// Validate one `comm_p2p` call site from borrowed parts — the execution
+/// engine runs this on every directive instance (millions of times in a
+/// region loop), so it must not clone clauses or build a [`P2pSpec`]; it
+/// allocates only when it has diagnostics to report.
+pub(crate) fn validate_p2p_call(
+    clauses: &ClauseSet,
+    outer: Option<&ClauseSet>,
+    sbuf: &[BufMeta],
+    rbuf: &[BufMeta],
+) -> Vec<Diagnostic> {
+    let mut diags = clauses.validate(DirectiveKind::CommP2p, outer);
+    if sbuf.is_empty() {
+        diags.push(Diagnostic::error(
+            "comm_p2p: required clause `sbuf` missing",
+        ));
+    }
+    if rbuf.is_empty() {
+        diags.push(Diagnostic::error(
+            "comm_p2p: required clause `rbuf` missing",
+        ));
+    }
+    if !sbuf.is_empty() && !rbuf.is_empty() {
+        if sbuf.len() != rbuf.len() {
+            diags.push(Diagnostic::error(format!(
+                "comm_p2p: sbuf lists {} buffers but rbuf lists {}",
+                sbuf.len(),
+                rbuf.len()
+            )));
+        } else {
+            for (s, r) in sbuf.iter().zip(rbuf) {
+                if !s.elem.compatible(&r.elem) {
+                    diags.push(Diagnostic::error(format!(
+                        "comm_p2p: sbuf `{}` and rbuf `{}` have incompatible element types",
+                        s.name, r.name
+                    )));
+                }
+            }
+        }
+    }
+    let has_count = clauses.count.is_some() || outer.map(|o| o.count.is_some()).unwrap_or(false);
+    if !has_count {
+        // Count may be omitted "if a buffer in either sbuf or rbuf is an
+        // array" — in this API every buffer has a length, so inference
+        // always succeeds; emit the informational note the compiler
+        // would log.
+        diags.push(Diagnostic::warning(
+            "comm_p2p: `count` omitted; inferred as the size of the smallest buffer",
+        ));
+    }
+    diags
+}
+
 /// IR of one `comm_p2p` directive.
 #[derive(Clone, Debug, Default)]
 pub struct P2pSpec {
@@ -29,59 +81,13 @@ impl P2pSpec {
     /// Validate this instance in the context of an optional enclosing
     /// region's clauses, adding buffer-rule diagnostics to the clause rules.
     pub fn validate(&self, outer: Option<&ClauseSet>) -> Vec<Diagnostic> {
-        let mut diags = self.clauses.validate(DirectiveKind::CommP2p, outer);
-        if self.sbuf.is_empty() {
-            diags.push(Diagnostic::error(
-                "comm_p2p: required clause `sbuf` missing",
-            ));
-        }
-        if self.rbuf.is_empty() {
-            diags.push(Diagnostic::error(
-                "comm_p2p: required clause `rbuf` missing",
-            ));
-        }
-        if !self.sbuf.is_empty() && !self.rbuf.is_empty() {
-            if self.sbuf.len() != self.rbuf.len() {
-                diags.push(Diagnostic::error(format!(
-                    "comm_p2p: sbuf lists {} buffers but rbuf lists {}",
-                    self.sbuf.len(),
-                    self.rbuf.len()
-                )));
-            } else {
-                for (s, r) in self.sbuf.iter().zip(&self.rbuf) {
-                    if !s.elem.compatible(&r.elem) {
-                        diags.push(Diagnostic::error(format!(
-                            "comm_p2p: sbuf `{}` and rbuf `{}` have incompatible element types",
-                            s.name, r.name
-                        )));
-                    }
-                }
-            }
-        }
-        let merged = match outer {
-            Some(o) => self.clauses.merged_with(o),
-            None => self.clauses.clone(),
-        };
-        if merged.count.is_none() {
-            // Count may be omitted "if a buffer in either sbuf or rbuf is an
-            // array" — in this API every buffer has a length, so inference
-            // always succeeds; emit the informational note the compiler
-            // would log.
-            diags.push(Diagnostic::warning(
-                "comm_p2p: `count` omitted; inferred as the size of the smallest buffer",
-            ));
-        }
-        diags
+        validate_p2p_call(&self.clauses, outer, &self.sbuf, &self.rbuf)
     }
 
     /// The inferred element count when `count` is omitted: the size of the
     /// smallest buffer in either list (paper §III-B).
     pub fn inferred_count(&self) -> Option<usize> {
-        self.sbuf
-            .iter()
-            .chain(&self.rbuf)
-            .map(|b| b.len)
-            .min()
+        self.sbuf.iter().chain(&self.rbuf).map(|b| b.len).min()
     }
 
     /// Total payload bytes per execution given an element count.
@@ -112,9 +118,10 @@ impl ParamsSpec {
         let sw = self.clauses.sendwhen.is_some();
         let rw = self.clauses.receivewhen.is_some();
         if sw != rw
-            && !self.body.iter().any(|p| {
-                p.clauses.sendwhen.is_some() || p.clauses.receivewhen.is_some()
-            })
+            && !self
+                .body
+                .iter()
+                .any(|p| p.clauses.sendwhen.is_some() || p.clauses.receivewhen.is_some())
         {
             diags.push(Diagnostic::error(
                 "comm_parameters: `sendwhen` and `receivewhen` must both be present or both be omitted",

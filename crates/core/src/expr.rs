@@ -122,6 +122,7 @@ impl RankExpr {
     }
 
     /// Modulo (C semantics: sign of dividend).
+    #[allow(clippy::should_implement_trait)] // C-style `%`, not std::ops::Rem
     pub fn rem(self, rhs: RankExpr) -> RankExpr {
         RankExpr::Mod(Box::new(self), Box::new(rhs))
     }
@@ -176,10 +177,8 @@ impl RankExpr {
     /// Free variable names referenced by the expression.
     pub fn free_vars(&self, out: &mut Vec<String>) {
         match self {
-            RankExpr::Var(name) => {
-                if !out.contains(name) {
-                    out.push(name.clone());
-                }
+            RankExpr::Var(name) if !out.contains(name) => {
+                out.push(name.clone());
             }
             RankExpr::Add(a, b)
             | RankExpr::Sub(a, b)
@@ -535,6 +534,6 @@ mod tests {
         assert!(!both.eval(&env(5, 8)).unwrap());
         let either = a.or(b);
         assert!(either.eval(&env(5, 8)).unwrap());
-        assert!(CondExpr::True.not().eval(&env(0, 1)).unwrap() == false);
+        assert!(!CondExpr::True.not().eval(&env(0, 1)).unwrap());
     }
 }

@@ -61,9 +61,7 @@ fn mpi_type_expr(elem: &ElemKind, var_hint: &str) -> String {
 
 fn shmem_put_call(elem: &ElemKind) -> &'static str {
     match elem {
-        ElemKind::Prim(b) => {
-            shmemsim::TypedPut::for_elem_size(b.size()).call_name()
-        }
+        ElemKind::Prim(b) => shmemsim::TypedPut::for_elem_size(b.size()).call_name(),
         // Strided blocks go out as size-matched puts per block; composites
         // need a byte-granular put.
         ElemKind::Strided { ty, .. } => shmemsim::TypedPut::for_elem_size(ty.size()).call_name(),
@@ -105,7 +103,11 @@ pub fn lower(spec: &ParamsSpec, target: Target) -> GeneratedCode {
                                 .extend(layout.to_datatype().describe_mpi_calls(&var));
                         }
                     }
-                    ElemKind::Strided { ty, blocklen, stride } => {
+                    ElemKind::Strided {
+                        ty,
+                        blocklen,
+                        stride,
+                    } => {
                         let var = format!("{}_vec_mpitype", b.name);
                         if !datatypes_emitted.contains(&var) {
                             datatypes_emitted.push(var.clone());
@@ -148,7 +150,8 @@ pub fn lower(spec: &ParamsSpec, target: Target) -> GeneratedCode {
             .unwrap_or_else(|| "/*sender*/".to_string());
         let tag = format!("COMM_DIR_TAG+{}", p2p.site);
 
-        code.body.push(format!("/* comm_p2p #{i} (site {}) */", p2p.site));
+        code.body
+            .push(format!("/* comm_p2p #{i} (site {}) */", p2p.site));
         match target {
             Target::Mpi2Side => {
                 code.body.push(format!("if ({sendwhen}) {{"));
@@ -215,8 +218,9 @@ pub fn lower(spec: &ParamsSpec, target: Target) -> GeneratedCode {
     code.sync.push(format!("/* sync placed at: {placement} */"));
     match target {
         Target::Mpi2Side => {
-            code.sync
-                .push(format!("MPI_Waitall({req_count}, req, MPI_STATUSES_IGNORE);"));
+            code.sync.push(format!(
+                "MPI_Waitall({req_count}, req, MPI_STATUSES_IGNORE);"
+            ));
         }
         Target::Mpi1Side => {
             code.sync.push("MPI_Win_fence(0, win);".to_string());
@@ -260,8 +264,16 @@ pub fn lower_coll(spec: &crate::dir::CollSpec, target: Target) -> GeneratedCode 
         .as_ref()
         .map(|e| e.to_string())
         .unwrap_or_else(|| "0".to_string());
-    let sname = spec.sbuf.first().map(|b| b.name.clone()).unwrap_or_else(|| "sbuf".into());
-    let rname = spec.rbuf.first().map(|b| b.name.clone()).unwrap_or_else(|| "rbuf".into());
+    let sname = spec
+        .sbuf
+        .first()
+        .map(|b| b.name.clone())
+        .unwrap_or_else(|| "sbuf".into());
+    let rname = spec
+        .rbuf
+        .first()
+        .map(|b| b.name.clone())
+        .unwrap_or_else(|| "rbuf".into());
     let ty = spec
         .sbuf
         .first()
@@ -290,9 +302,9 @@ pub fn lower_coll(spec: &crate::dir::CollSpec, target: Target) -> GeneratedCode 
                 CollKind::Scatter => format!(
                     "MPI_Scatter({sname}, {cnt}, {ty}, {rname}, {cnt}, {ty}, {root}, {comm_var});"
                 ),
-                CollKind::AllToAll => format!(
-                    "MPI_Alltoall({sname}, {cnt}, {ty}, {rname}, {cnt}, {ty}, {comm_var});"
-                ),
+                CollKind::AllToAll => {
+                    format!("MPI_Alltoall({sname}, {cnt}, {ty}, {rname}, {cnt}, {ty}, {comm_var});")
+                }
                 CollKind::Reduce(op) => format!(
                     "MPI_Reduce({sname}, {rname}, {cnt}, {ty}, {}, {root}, {comm_var});",
                     op.mpi_name()
@@ -314,7 +326,13 @@ pub fn lower_coll(spec: &crate::dir::CollSpec, target: Target) -> GeneratedCode 
                 CollKind::Gather | CollKind::Reduce(_) => {
                     code.body.push(format!(
                         "{}({rname}_sym + my_group_index*{cnt}, {sname}, {cnt}, {root});",
-                        shmem_put_call(&spec.sbuf.first().map(|b| b.elem.clone()).unwrap_or(ElemKind::Prim(BasicType::U8)))
+                        shmem_put_call(
+                            &spec
+                                .sbuf
+                                .first()
+                                .map(|b| b.elem.clone())
+                                .unwrap_or(ElemKind::Prim(BasicType::U8))
+                        )
                     ));
                 }
                 CollKind::Scatter => {
@@ -333,7 +351,8 @@ pub fn lower_coll(spec: &crate::dir::CollSpec, target: Target) -> GeneratedCode 
                 }
             }
             code.sync.push("shmem_quiet();".to_string());
-            code.sync.push("shmem_barrier(group_start, 0, group_size, pSync);".to_string());
+            code.sync
+                .push("shmem_barrier(group_start, 0, group_size, pSync);".to_string());
         }
     }
     code
@@ -359,8 +378,7 @@ mod tests {
         ParamsSpec {
             clauses: ClauseSet {
                 sender: Some(
-                    (RankExpr::rank() - RankExpr::lit(1) + RankExpr::nranks())
-                        % RankExpr::nranks(),
+                    (RankExpr::rank() - RankExpr::lit(1) + RankExpr::nranks()) % RankExpr::nranks(),
                 ),
                 receiver: Some((RankExpr::rank() + RankExpr::lit(1)) % RankExpr::nranks()),
                 ..ClauseSet::default()
@@ -454,10 +472,8 @@ mod tests {
     #[test]
     fn guards_render_conditions() {
         let mut spec = ring_spec();
-        spec.clauses.sendwhen =
-            Some((RankExpr::rank() % RankExpr::lit(2)).eq(RankExpr::lit(0)));
-        spec.clauses.receivewhen =
-            Some((RankExpr::rank() % RankExpr::lit(2)).eq(RankExpr::lit(1)));
+        spec.clauses.sendwhen = Some((RankExpr::rank() % RankExpr::lit(2)).eq(RankExpr::lit(0)));
+        spec.clauses.receivewhen = Some((RankExpr::rank() % RankExpr::lit(2)).eq(RankExpr::lit(1)));
         let text = lower(&spec, Target::Mpi2Side).render();
         assert!(text.contains("if (((rank%2)==0))"));
         assert!(text.contains("if (((rank%2)==1))"));

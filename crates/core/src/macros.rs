@@ -231,7 +231,11 @@ mod tests {
             let comm = Comm::world(ctx);
             let mut session = CommSession::new(ctx, comm);
             // Broadcast via the macro.
-            let mut params = if session.rank() == 0 { [3.5f64; 4] } else { [0.0; 4] };
+            let mut params = if session.rank() == 0 {
+                [3.5f64; 4]
+            } else {
+                [0.0; 4]
+            };
             comm_coll!(session, BCAST { root(0) count(4) } => bcast(&mut params)).unwrap();
             // Reduce via the macro.
             let mut v = [session.rank() as f64];

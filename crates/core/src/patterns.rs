@@ -240,7 +240,11 @@ pub fn halo_2d<T: PrimElem>(
     grid: &mut [T],
 ) -> Result<(), DirectiveError> {
     let ld = rows + 2; // leading dimension (column-major with ghost frame)
-    assert_eq!(grid.len(), ld * (cols + 2), "grid must include the ghost frame");
+    assert_eq!(
+        grid.len(),
+        ld * (cols + 2),
+        "grid must include the ghost frame"
+    );
     let pxr = || RankExpr::lit(px);
 
     // Left/right neighbours exchange interior edge columns (contiguous).
@@ -306,12 +310,7 @@ pub fn halo_2d<T: PrimElem>(
             .receivewhen(up_cond.clone())
             .count(cols)
             .sbuf(Prim::new("last_row", &last_row))
-            .rbuf(PrimStridedMut::new(
-                "ghost_top_row",
-                &mut grid[ld..],
-                1,
-                ld,
-            ))
+            .rbuf(PrimStridedMut::new("ghost_top_row", &mut grid[ld..], 1, ld))
             .run()?;
         Ok::<(), DirectiveError>(())
     })??;
@@ -345,10 +344,7 @@ mod tests {
     use mpisim::Comm;
     use netsim::{run, SimConfig};
 
-    fn with_session<R: Send>(
-        n: usize,
-        f: impl Fn(&mut CommSession<'_>) -> R + Sync,
-    ) -> Vec<R> {
+    fn with_session<R: Send>(n: usize, f: impl Fn(&mut CommSession<'_>) -> R + Sync) -> Vec<R> {
         run(SimConfig::new(n), |ctx| {
             let comm = Comm::world(ctx);
             let mut session = CommSession::new(ctx, comm);
@@ -449,6 +445,7 @@ mod tests {
     }
 
     #[test]
+    #[allow(clippy::needless_range_loop)] // rank-indexed assertions
     fn fan_in_collects_contributions() {
         let n = 4;
         let root = 0usize;
@@ -511,6 +508,7 @@ mod tests {
     }
 
     #[test]
+    #[allow(clippy::needless_range_loop)] // row-indexed assertions
     fn halo_2d_fills_ghosts_via_strided_rows() {
         // 2x2 process grid, 3x2 interior per rank, column-major + ghosts.
         let (px, py) = (2usize, 2usize);
@@ -539,7 +537,11 @@ mod tests {
         // Rank 1 (process col 1, row 0): left ghost = rank 0's last column.
         let g1 = &got[1];
         for r in 1..=rows {
-            assert_eq!(g1[r], 0.0 * 100.0 + (cols * 10 + r) as f64, "left ghost r={r}");
+            assert_eq!(
+                g1[r],
+                0.0 * 100.0 + (cols * 10 + r) as f64,
+                "left ghost r={r}"
+            );
         }
         // Rank 0: right ghost = rank 1's first column.
         let g0 = &got[0];
@@ -585,8 +587,6 @@ mod tests {
             );
             classify(&g, n)
         });
-        assert!(reports
-            .iter()
-            .all(|p| *p == Pattern::CyclicShift { k: 1 }));
+        assert!(reports.iter().all(|p| *p == Pattern::CyclicShift { k: 1 }));
     }
 }

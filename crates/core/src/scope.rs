@@ -37,7 +37,11 @@ pub enum DirectiveError {
     /// A clause expression failed to evaluate.
     Expr(ExprError),
     /// An evaluated rank was outside the communicator.
-    RankOutOfRange { clause: &'static str, value: i64, size: usize },
+    RankOutOfRange {
+        clause: &'static str,
+        value: i64,
+        size: usize,
+    },
     /// A site executed more times than `max_comm_iter` allows.
     MaxIterExceeded { site: u32, bound: i64 },
     /// A later execution's payload exceeded the staging capacity fixed at
@@ -56,7 +60,11 @@ impl std::fmt::Display for DirectiveError {
                 Ok(())
             }
             DirectiveError::Expr(e) => write!(f, "clause expression error: {e}"),
-            DirectiveError::RankOutOfRange { clause, value, size } => write!(
+            DirectiveError::RankOutOfRange {
+                clause,
+                value,
+                size,
+            } => write!(
                 f,
                 "`{clause}` evaluated to {value}, outside communicator of size {size}"
             ),
@@ -173,9 +181,11 @@ impl PendingSync {
         self.send_reqs.append(&mut other.send_reqs);
         self.recv_completions.append(&mut other.recv_completions);
         self.put_arrivals_mpi.append(&mut other.put_arrivals_mpi);
-        self.put_arrivals_shmem.append(&mut other.put_arrivals_shmem);
+        self.put_arrivals_shmem
+            .append(&mut other.put_arrivals_shmem);
         self.recv_arrivals_mpi.append(&mut other.recv_arrivals_mpi);
-        self.recv_arrivals_shmem.append(&mut other.recv_arrivals_shmem);
+        self.recv_arrivals_shmem
+            .append(&mut other.recv_arrivals_shmem);
         self.used_mpi1 |= other.used_mpi1;
         self.used_shmem |= other.used_shmem;
     }
@@ -203,7 +213,10 @@ struct StagingSite {
 pub struct CommSession<'a> {
     ctx: &'a mut RankCtx,
     comm: Comm,
-    vars: HashMap<String, i64>,
+    /// Cached evaluation environment (rank/size are session constants; the
+    /// variable bindings are updated in place by `set_var`). Kept ready so
+    /// the directive hot path never clones a variable map per instance.
+    env: EvalEnv,
     dtype_cache: DtypeCache,
     carried_next: PendingSync,
     carried_adj: PendingSync,
@@ -221,10 +234,11 @@ pub struct CommSession<'a> {
 impl<'a> CommSession<'a> {
     /// Create a session over `comm`.
     pub fn new(ctx: &'a mut RankCtx, comm: Comm) -> Self {
+        let env = EvalEnv::new(comm.rank(ctx), comm.size());
         CommSession {
             ctx,
             comm,
-            vars: HashMap::new(),
+            env,
             dtype_cache: DtypeCache::new(),
             carried_next: PendingSync::default(),
             carried_adj: PendingSync::default(),
@@ -253,7 +267,7 @@ impl<'a> CommSession<'a> {
 
     /// Bind a clause variable.
     pub fn set_var(&mut self, name: &str, value: i64) {
-        self.vars.insert(name.to_string(), value);
+        self.env.set(name, value);
     }
 
     /// The underlying rank context.
@@ -281,12 +295,8 @@ impl<'a> CommSession<'a> {
         &self.program
     }
 
-    fn env(&self) -> EvalEnv {
-        EvalEnv {
-            rank: self.comm.rank(self.ctx) as i64,
-            nranks: self.comm.size() as i64,
-            vars: self.vars.clone(),
-        }
+    fn env(&self) -> &EvalEnv {
+        &self.env
     }
 
     /// Execute a `comm_parameters` region: validates the clause list,
@@ -297,9 +307,7 @@ impl<'a> CommSession<'a> {
         params: &CommParams,
         body: impl FnOnce(&mut Region<'_, 'a>) -> R,
     ) -> Result<R, DirectiveError> {
-        let diags = params
-            .clauses
-            .validate(DirectiveKind::CommParameters, None);
+        let diags = params.clauses.validate(DirectiveKind::CommParameters, None);
         let errors: Vec<Diagnostic> = diags
             .iter()
             .filter(|d| d.severity == crate::clause::Severity::Error)
@@ -320,7 +328,7 @@ impl<'a> CommSession<'a> {
         self.apply_sync(carried);
 
         let max_iter = match &params.clauses.max_comm_iter {
-            Some(e) => Some(e.eval(&self.env())?),
+            Some(e) => Some(e.eval(self.env())?),
             None => None,
         };
 
@@ -588,42 +596,51 @@ impl<'r, 's, 'a, 'data> P2pCall<'r, 's, 'a, 'data> {
 
     fn execute(mut self, body: impl FnOnce(&mut RankCtx)) -> Result<(), DirectiveError> {
         let mut standalone_spec = ParamsSpec::default();
-        let result = {
-            let (session, pending, outer, max_iter, iter_counts, spec, used_bufs) =
-                match &mut self.region {
-                    RegionRef::InRegion(r) => (
-                        &mut *r.session,
-                        &mut r.pending,
-                        Some(r.clauses.clone()),
-                        r.max_iter,
-                        Some(&mut r.iter_counts),
-                        Some(&mut r.spec),
-                        Some((&mut r.used_bufs, &mut r.split_syncs)),
-                    ),
-                    RegionRef::Standalone { session, pending } => (
-                        &mut **session,
-                        pending,
-                        None,
-                        None,
-                        None,
-                        Some(&mut standalone_spec),
-                        None,
-                    ),
-                };
-            execute_p2p(
+        let result = match &mut self.region {
+            RegionRef::InRegion(r) => {
+                // Borrow the region's fields individually so the enclosing
+                // clauses can be passed by reference (this runs once per
+                // directive instance — no clones on the hot path).
+                let Region {
+                    session,
+                    clauses,
+                    pending,
+                    spec,
+                    iter_counts,
+                    max_iter,
+                    error: _,
+                    used_bufs,
+                    split_syncs,
+                } = &mut **r;
+                execute_p2p(
+                    session,
+                    pending,
+                    Some(&*clauses),
+                    *max_iter,
+                    Some(iter_counts),
+                    Some(spec),
+                    Some((used_bufs, split_syncs)),
+                    &self.clauses,
+                    self.site,
+                    &self.sbufs,
+                    &mut self.rbufs,
+                    body,
+                )
+            }
+            RegionRef::Standalone { session, pending } => execute_p2p(
                 session,
                 pending,
-                outer,
-                max_iter,
-                iter_counts,
-                spec,
-                used_bufs,
+                None,
+                None,
+                None,
+                Some(&mut standalone_spec),
+                None,
                 &self.clauses,
                 self.site,
                 &self.sbufs,
                 &mut self.rbufs,
                 body,
-            )
+            ),
         };
         match result {
             Ok(()) => {
@@ -640,9 +657,9 @@ impl<'r, 's, 'a, 'data> P2pCall<'r, 's, 'a, 'data> {
             Err(e) => {
                 if let RegionRef::InRegion(r) = &mut self.region {
                     if r.error.is_none() {
-                        r.error = Some(DirectiveError::Invalid(vec![Diagnostic::error(
-                            format!("{e}"),
-                        )]));
+                        r.error = Some(DirectiveError::Invalid(vec![Diagnostic::error(format!(
+                            "{e}"
+                        ))]));
                     }
                 }
                 Err(e)
@@ -651,15 +668,20 @@ impl<'r, 's, 'a, 'data> P2pCall<'r, 's, 'a, 'data> {
     }
 }
 
+/// Buffer-dependence tracking borrowed from the enclosing region: the
+/// `(lo, hi, written)` address ranges touched by pending directives plus
+/// the split-sync counter.
+type UsedBufs<'a> = (&'a mut Vec<(usize, usize, bool)>, &'a mut usize);
+
 #[allow(clippy::too_many_arguments)]
 fn execute_p2p(
     session: &mut CommSession<'_>,
     pending: &mut PendingSync,
-    outer: Option<ClauseSet>,
+    outer: Option<&ClauseSet>,
     max_iter: Option<i64>,
     iter_counts: Option<&mut HashMap<u32, u64>>,
     spec: Option<&mut ParamsSpec>,
-    used_bufs: Option<(&mut Vec<(usize, usize, bool)>, &mut usize)>,
+    used_bufs: Option<UsedBufs<'_>>,
     clauses: &ClauseSet,
     site: u32,
     sbufs: &[Box<dyn SendBuf + '_>],
@@ -667,19 +689,21 @@ fn execute_p2p(
     body: impl FnOnce(&mut RankCtx),
 ) -> Result<(), DirectiveError> {
     // -- validation ----------------------------------------------------------
-    let sb_meta: Vec<BufMeta> = sbufs.iter().map(|b| b.meta()).collect();
-    let rb_meta: Vec<BufMeta> = rbufs.iter().map(|b| b.meta()).collect();
-    let p2p_spec = P2pSpec {
-        clauses: clauses.clone(),
-        sbuf: sb_meta.clone(),
-        rbuf: rb_meta.clone(),
-        has_overlap_body: true, // unknown statically; body may be empty
-        site,
-    };
-    let diags = p2p_spec.validate(outer.as_ref());
-    if ClauseSet::has_errors(&diags) {
+    // Checked over name-free descriptors built on the fly; full diagnostics
+    // (with buffer names) are materialized only when something is wrong.
+    let clause_diags = clauses.validate(DirectiveKind::CommP2p, outer);
+    let bufs_ok = !sbufs.is_empty()
+        && !rbufs.is_empty()
+        && sbufs.len() == rbufs.len()
+        && sbufs
+            .iter()
+            .zip(rbufs.iter())
+            .all(|(s, r)| s.desc().elem.compatible(&r.desc().elem));
+    if ClauseSet::has_errors(&clause_diags) || !bufs_ok {
+        let sb_meta: Vec<BufMeta> = sbufs.iter().map(|b| b.meta()).collect();
+        let rb_meta: Vec<BufMeta> = rbufs.iter().map(|b| b.meta()).collect();
         return Err(DirectiveError::Invalid(
-            diags
+            crate::dir::validate_p2p_call(clauses, outer, &sb_meta, &rb_meta)
                 .into_iter()
                 .filter(|d| d.severity == crate::clause::Severity::Error)
                 .collect(),
@@ -700,27 +724,44 @@ fn execute_p2p(
     }
     if first_execution_of_site {
         if let Some(spec) = spec {
-            spec.body.push(p2p_spec);
+            spec.body.push(P2pSpec {
+                clauses: clauses.clone(),
+                sbuf: sbufs.iter().map(|b| b.meta()).collect(),
+                rbuf: rbufs.iter().map(|b| b.meta()).collect(),
+                has_overlap_body: true, // unknown statically; body may be empty
+                site,
+            });
         }
     }
 
     // -- clause resolution -----------------------------------------------------
-    let merged = match &outer {
-        Some(o) => clauses.merged_with(o),
-        None => clauses.clone(),
-    };
+    // The p2p's own assertions win; missing ones are inherited from the
+    // enclosing region. Resolved by reference — this path runs for every
+    // rank on every loop iteration, participant or not.
     let env = session.env();
-    let is_sender = match &merged.sendwhen {
-        Some(c) => c.eval(&env)?,
+    let is_sender = match clauses
+        .sendwhen
+        .as_ref()
+        .or_else(|| outer.and_then(|o| o.sendwhen.as_ref()))
+    {
+        Some(c) => c.eval(env)?,
         None => true,
     };
-    let is_receiver = match &merged.receivewhen {
-        Some(c) => c.eval(&env)?,
+    let is_receiver = match clauses
+        .receivewhen
+        .as_ref()
+        .or_else(|| outer.and_then(|o| o.receivewhen.as_ref()))
+    {
+        Some(c) => c.eval(env)?,
         None => true,
     };
-    let count = match &merged.count {
+    let count = match clauses
+        .count
+        .as_ref()
+        .or_else(|| outer.and_then(|o| o.count.as_ref()))
+    {
         Some(e) => {
-            let v = e.eval(&env)?;
+            let v = e.eval(env)?;
             if v < 0 {
                 return Err(DirectiveError::RankOutOfRange {
                     clause: "count",
@@ -730,14 +771,21 @@ fn execute_p2p(
             }
             v as usize
         }
-        None => p2p_specless_inferred_count(&sb_meta, &rb_meta),
+        None => p2p_specless_inferred_count(sbufs, rbufs),
     };
-    let target = merged.target.unwrap_or_default();
+    let target = clauses
+        .target
+        .or_else(|| outer.and_then(|o| o.target))
+        .unwrap_or_default();
     let size = session.comm.size();
 
     let dest = if is_sender {
-        let e = merged.receiver.as_ref().expect("validated");
-        let v = e.eval(&env)?;
+        let e = clauses
+            .receiver
+            .as_ref()
+            .or_else(|| outer.and_then(|o| o.receiver.as_ref()))
+            .expect("validated");
+        let v = e.eval(env)?;
         if v < 0 || v >= size as i64 {
             return Err(DirectiveError::RankOutOfRange {
                 clause: "receiver",
@@ -750,8 +798,12 @@ fn execute_p2p(
         None
     };
     let src = if is_receiver {
-        let e = merged.sender.as_ref().expect("validated");
-        let v = e.eval(&env)?;
+        let e = clauses
+            .sender
+            .as_ref()
+            .or_else(|| outer.and_then(|o| o.sender.as_ref()))
+            .expect("validated");
+        let v = e.eval(env)?;
         if v < 0 || v >= size as i64 {
             return Err(DirectiveError::RankOutOfRange {
                 clause: "sender",
@@ -772,13 +824,15 @@ fn execute_p2p(
     if let Some((used, splits)) = used_bufs {
         let mut current: Vec<(usize, usize, bool)> = Vec::new();
         if is_sender {
-            for m in &sb_meta {
-                current.push((m.addr.0, m.addr.1, false));
+            for b in sbufs {
+                let a = b.desc().addr;
+                current.push((a.0, a.1, false));
             }
         }
         if is_receiver {
-            for m in &rb_meta {
-                current.push((m.addr.0, m.addr.1, true));
+            for b in rbufs.iter() {
+                let a = b.desc().addr;
+                current.push((a.0, a.1, true));
             }
         }
         let conflict = current.iter().any(|&(lo, hi, w)| {
@@ -813,8 +867,15 @@ fn execute_p2p(
     Ok(())
 }
 
-fn p2p_specless_inferred_count(sb: &[BufMeta], rb: &[BufMeta]) -> usize {
-    sb.iter().chain(rb).map(|b| b.len).min().unwrap_or(0)
+fn p2p_specless_inferred_count(
+    sb: &[Box<dyn SendBuf + '_>],
+    rb: &[Box<dyn RecvBuf + '_>],
+) -> usize {
+    sb.iter()
+        .map(|b| b.desc().len)
+        .chain(rb.iter().map(|b| b.desc().len))
+        .min()
+        .unwrap_or(0)
 }
 
 /// MPI two-sided lowering: non-blocking Isend/Irecv through automatic
@@ -831,8 +892,8 @@ fn exec_mpi2(
     src: Option<usize>,
 ) -> Result<(), DirectiveError> {
     let tag = DIR_TAG_BASE + site as i32;
-    let mpi = session.ctx.machine().mpi;
     if let Some(dest) = dest {
+        let mpi = session.ctx.machine().mpi;
         for sb in sbufs {
             let meta = sb.meta();
             let n = count.min(meta.len);
@@ -850,9 +911,7 @@ fn exec_mpi2(
                 // per layout, cheap per-byte gather (instead of an explicit
                 // MPI_Pack copy).
                 let dt = meta.elem.to_datatype();
-                session
-                    .dtype_cache
-                    .ensure_committed(session.ctx, &dt, &mpi);
+                session.dtype_cache.ensure_committed(session.ctx, &dt, &mpi);
                 session
                     .ctx
                     .charge(mpi.byte_cost(mpi.datatype_per_byte, payload.len()));
@@ -864,6 +923,7 @@ fn exec_mpi2(
         }
     }
     if let Some(src) = src {
+        let mpi = session.ctx.machine().mpi;
         for rb in rbufs.iter_mut() {
             let meta = rb.meta();
             let n = count.min(meta.len);
@@ -873,9 +933,7 @@ fn exec_mpi2(
             let done = req.wait_raw();
             if !matches!(meta.elem, ElemKind::Prim(_)) {
                 let dt = meta.elem.to_datatype();
-                session
-                    .dtype_cache
-                    .ensure_committed(session.ctx, &dt, &mpi);
+                session.dtype_cache.ensure_committed(session.ctx, &dt, &mpi);
                 session
                     .ctx
                     .charge(mpi.byte_cost(mpi.datatype_per_byte, done.payload.len()));
@@ -1040,9 +1098,11 @@ fn exec_onesided(
                 .ctx
                 .wait_signals_raw(seg, (expect_base + i as u64 + 1) as usize);
             let mut staged = vec![0u8; bytes];
-            session
-                .ctx
-                .read_local(seg, slot_base + offsets.get(i).copied().unwrap_or(0), &mut staged);
+            session.ctx.read_local(
+                seg,
+                slot_base + offsets.get(i).copied().unwrap_or(0),
+                &mut staged,
+            );
             rb.scatter(n, &staged);
             // Bounce copy out of the symmetric staging buffer; the slot is
             // now reusable by flow-controlled senders.
@@ -1190,9 +1250,24 @@ mod tests {
                 .receivewhen(RankExpr::rank().eq(RankExpr::lit(1)));
             session
                 .region(&params, |reg| {
-                    reg.p2p().site(1).sbuf(Prim::new("a", &a)).rbuf(PrimMut::new("ra", &mut ra)).run().unwrap();
-                    reg.p2p().site(2).sbuf(Prim::new("b", &b)).rbuf(PrimMut::new("rb", &mut rb)).run().unwrap();
-                    reg.p2p().site(3).sbuf(Prim::new("c", &c)).rbuf(PrimMut::new("rc", &mut rc)).run().unwrap();
+                    reg.p2p()
+                        .site(1)
+                        .sbuf(Prim::new("a", &a))
+                        .rbuf(PrimMut::new("ra", &mut ra))
+                        .run()
+                        .unwrap();
+                    reg.p2p()
+                        .site(2)
+                        .sbuf(Prim::new("b", &b))
+                        .rbuf(PrimMut::new("rb", &mut rb))
+                        .run()
+                        .unwrap();
+                    reg.p2p()
+                        .site(3)
+                        .sbuf(Prim::new("c", &c))
+                        .rbuf(PrimMut::new("rc", &mut rc))
+                        .run()
+                        .unwrap();
                 })
                 .unwrap();
             if session.rank() == 1 {
@@ -1301,7 +1376,9 @@ mod tests {
             let mut dst = [0i64];
             session
                 .p2p()
-                .sender((RankExpr::rank() - RankExpr::lit(1) + RankExpr::nranks()) % RankExpr::nranks())
+                .sender(
+                    (RankExpr::rank() - RankExpr::lit(1) + RankExpr::nranks()) % RankExpr::nranks(),
+                )
                 .receiver((RankExpr::rank() + RankExpr::lit(1)) % RankExpr::nranks())
                 .sbuf(Prim::new("src", &src))
                 .rbuf(PrimMut::new("dst", &mut dst))
@@ -1348,7 +1425,11 @@ mod tests {
                 .run();
             assert!(matches!(
                 r,
-                Err(DirectiveError::RankOutOfRange { clause: "receiver", value: 7, .. })
+                Err(DirectiveError::RankOutOfRange {
+                    clause: "receiver",
+                    value: 7,
+                    ..
+                })
             ));
         });
     }

@@ -90,7 +90,7 @@ impl TraceView {
             rank.events.push((ev.time, label));
         }
         for rank in view.ranks.values_mut() {
-            rank.events.sort_by(|a, b| a.0.cmp(&b.0));
+            rank.events.sort_by_key(|a| a.0);
         }
         view
     }

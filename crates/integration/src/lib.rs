@@ -22,10 +22,7 @@ pub fn with_world_session<T: Send>(
 }
 
 /// Run a plain SPMD body.
-pub fn with_ranks<T: Send>(
-    nranks: usize,
-    f: impl Fn(&mut RankCtx) -> T + Sync,
-) -> SimResult<T> {
+pub fn with_ranks<T: Send>(nranks: usize, f: impl Fn(&mut RankCtx) -> T + Sync) -> SimResult<T> {
     run(SimConfig::new(nranks), f)
 }
 

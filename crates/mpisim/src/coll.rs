@@ -84,25 +84,14 @@ pub fn reduce<T: Pod>(
 }
 
 /// Reduce-to-root followed by broadcast: every rank ends with the result.
-pub fn allreduce<T: Pod>(
-    ctx: &mut RankCtx,
-    comm: &Comm,
-    buf: &mut [T],
-    op: impl FnMut(T, T) -> T,
-) {
+pub fn allreduce<T: Pod>(ctx: &mut RankCtx, comm: &Comm, buf: &mut [T], op: impl FnMut(T, T) -> T) {
     reduce(ctx, comm, 0, buf, op);
     bcast(ctx, comm, 0, buf);
 }
 
 /// Linear gather of equal-size contributions to local rank `root`.
 /// On the root, `recv` must have `comm.size() * send.len()` elements.
-pub fn gather<T: Pod>(
-    ctx: &mut RankCtx,
-    comm: &Comm,
-    root: usize,
-    send: &[T],
-    recv: &mut [T],
-) {
+pub fn gather<T: Pod>(ctx: &mut RankCtx, comm: &Comm, root: usize, send: &[T], recv: &mut [T]) {
     let n = comm.size();
     let me = comm.rank(ctx);
     let k = send.len();
@@ -126,13 +115,7 @@ pub fn gather<T: Pod>(
 
 /// Linear scatter of equal-size pieces from local rank `root`.
 /// On the root, `send` must have `comm.size() * recv.len()` elements.
-pub fn scatter<T: Pod>(
-    ctx: &mut RankCtx,
-    comm: &Comm,
-    root: usize,
-    send: &[T],
-    recv: &mut [T],
-) {
+pub fn scatter<T: Pod>(ctx: &mut RankCtx, comm: &Comm, root: usize, send: &[T], recv: &mut [T]) {
     let n = comm.size();
     let me = comm.rank(ctx);
     let k = recv.len();
@@ -140,7 +123,12 @@ pub fn scatter<T: Pod>(
         assert_eq!(send.len(), n * k, "scatter buffer size mismatch");
         let mut reqs = Vec::new();
         for dst in (0..n).filter(|&r| r != root) {
-            reqs.push(comm.isend(ctx, dst, COLL_TAG + 3, as_bytes(&send[dst * k..(dst + 1) * k])));
+            reqs.push(comm.isend(
+                ctx,
+                dst,
+                COLL_TAG + 3,
+                as_bytes(&send[dst * k..(dst + 1) * k]),
+            ));
         }
         recv.copy_from_slice(&send[root * k..(root + 1) * k]);
         comm.waitall(ctx, &reqs, &[]);

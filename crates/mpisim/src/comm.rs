@@ -128,25 +128,14 @@ impl Comm {
     }
 
     /// Non-blocking send taking ownership of the payload.
-    pub fn isend_bytes(
-        &self,
-        ctx: &mut RankCtx,
-        dst: usize,
-        tag: i32,
-        data: Bytes,
-    ) -> SendRequest {
+    pub fn isend_bytes(&self, ctx: &mut RankCtx, dst: usize, tag: i32, data: Bytes) -> SendRequest {
         let m = self.model(ctx);
         ctx.isend_bytes(self.global(dst), self.wire_tag(tag), data, &m)
     }
 
     /// Non-blocking receive (`MPI_Irecv`). `src`/`tag` of `None` mean
     /// `ANY_SOURCE`/`ANY_TAG` (scoped to this communicator).
-    pub fn irecv(
-        &self,
-        ctx: &mut RankCtx,
-        src: Option<usize>,
-        tag: Option<i32>,
-    ) -> RecvRequest {
+    pub fn irecv(&self, ctx: &mut RankCtx, src: Option<usize>, tag: Option<i32>) -> RecvRequest {
         let m = self.model(ctx);
         ctx.irecv(self.src_sel(src), self.tag_sel(tag), &m)
     }
@@ -243,6 +232,7 @@ impl Comm {
 
     /// `MPI_Sendrecv`: a combined send/receive with one consolidated
     /// completion — the deadlock-free shift primitive.
+    #[allow(clippy::too_many_arguments)] // mirrors the MPI_Sendrecv signature
     pub fn sendrecv<T: Pod>(
         &self,
         ctx: &mut RankCtx,

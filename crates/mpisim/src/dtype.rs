@@ -97,7 +97,10 @@ impl std::fmt::Display for DtypeError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
             DtypeError::PointerField { field } => {
-                write!(f, "pointer field `{field}` prohibited in composite datatype")
+                write!(
+                    f,
+                    "pointer field `{field}` prohibited in composite datatype"
+                )
             }
             DtypeError::NestedComposite { field } => write!(
                 f,
@@ -199,10 +202,9 @@ impl Datatype {
                 elem,
                 ..
             } => count * blocklen * elem.size(),
-            Datatype::Struct { fields, .. } => fields
-                .iter()
-                .map(|f| f.blocklen * f.ty.size())
-                .sum(),
+            Datatype::Struct { fields, .. } => {
+                fields.iter().map(|f| f.blocklen * f.ty.size()).sum()
+            }
         }
     }
 
@@ -361,9 +363,18 @@ impl Datatype {
                 let disps: Vec<String> = fields.iter().map(|f| f.offset.to_string()).collect();
                 let types: Vec<String> =
                     fields.iter().map(|f| f.ty.mpi_name().to_string()).collect();
-                lines.push(format!("int {var}_blocklens[{n}] = {{{}}};", blocklens.join(", ")));
-                lines.push(format!("MPI_Aint {var}_disps[{n}] = {{{}}};", disps.join(", ")));
-                lines.push(format!("MPI_Datatype {var}_types[{n}] = {{{}}};", types.join(", ")));
+                lines.push(format!(
+                    "int {var}_blocklens[{n}] = {{{}}};",
+                    blocklens.join(", ")
+                ));
+                lines.push(format!(
+                    "MPI_Aint {var}_disps[{n}] = {{{}}};",
+                    disps.join(", ")
+                ));
+                lines.push(format!(
+                    "MPI_Datatype {var}_types[{n}] = {{{}}};",
+                    types.join(", ")
+                ));
                 lines.push(format!(
                     "MPI_Type_create_struct({n}, {var}_blocklens, {var}_disps, {var}_types, &{var});"
                 ));
@@ -400,12 +411,12 @@ impl DtypeCache {
             return false; // basic types are predefined, never committed
         }
         let key = dt.layout_key();
-        if self.committed.contains_key(&key) {
-            false
-        } else {
-            self.committed.insert(key, ());
+        if let std::collections::hash_map::Entry::Vacant(e) = self.committed.entry(key) {
+            e.insert(());
             ctx.charge_datatype_commit(model);
             true
+        } else {
+            false
         }
     }
 
@@ -523,11 +534,8 @@ mod tests {
     #[test]
     fn layout_violations_rejected() {
         // Block past extent.
-        let err = Datatype::try_struct(
-            &[("a", 4, 2, FieldKind::Basic(BasicType::F64))],
-            16,
-        )
-        .unwrap_err();
+        let err =
+            Datatype::try_struct(&[("a", 4, 2, FieldKind::Basic(BasicType::F64))], 16).unwrap_err();
         assert!(matches!(err, DtypeError::BadLayout { .. }));
         // Overlapping blocks.
         let err = Datatype::try_struct(

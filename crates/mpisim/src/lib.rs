@@ -41,6 +41,7 @@ use netsim::{RankCtx, SendRequest};
 ///
 /// This is the call sequence the directive translator generates for
 /// composite buffers instead of the original `MPI_Pack` chain.
+#[allow(clippy::too_many_arguments)] // mirrors the generated MPI call sequence
 pub fn isend_typed(
     ctx: &mut RankCtx,
     comm: &Comm,
@@ -61,6 +62,7 @@ pub fn isend_typed(
 
 /// Receive into raw memory through a datatype: posts a blocking receive,
 /// scatters the payload per the layout, charging the datatype per-byte cost.
+#[allow(clippy::too_many_arguments)] // mirrors the generated MPI call sequence
 pub fn recv_typed(
     ctx: &mut RankCtx,
     comm: &Comm,
@@ -112,8 +114,16 @@ mod tests {
             let mut cache = DtypeCache::new();
             if w.rank(ctx) == 0 {
                 let atoms = [
-                    P { id: 1, x: 1.0, y: 2.0 },
-                    P { id: 2, x: 3.0, y: 4.0 },
+                    P {
+                        id: 1,
+                        x: 1.0,
+                        y: 2.0,
+                    },
+                    P {
+                        id: 2,
+                        x: 3.0,
+                        y: 4.0,
+                    },
                 ];
                 // SAFETY: we only *read* field ranges described by the
                 // datatype, all of which are initialized.
@@ -131,7 +141,11 @@ mod tests {
                 w.wait_send(ctx, &req);
                 ctx.stats.datatype_commits
             } else {
-                let mut atoms = [P { id: 0, x: 0.0, y: 0.0 }; 2];
+                let mut atoms = [P {
+                    id: 0,
+                    x: 0.0,
+                    y: 0.0,
+                }; 2];
                 for tag in [0, 1] {
                     let raw = unsafe {
                         std::slice::from_raw_parts_mut(
@@ -141,8 +155,22 @@ mod tests {
                     };
                     recv_typed(ctx, &w, Some(0), Some(tag), raw, 2, &dt, &mut cache);
                 }
-                assert_eq!(atoms[0], P { id: 1, x: 1.0, y: 2.0 });
-                assert_eq!(atoms[1], P { id: 2, x: 3.0, y: 4.0 });
+                assert_eq!(
+                    atoms[0],
+                    P {
+                        id: 1,
+                        x: 1.0,
+                        y: 2.0
+                    }
+                );
+                assert_eq!(
+                    atoms[1],
+                    P {
+                        id: 2,
+                        x: 3.0,
+                        y: 4.0
+                    }
+                );
                 ctx.stats.datatype_commits
             }
         });

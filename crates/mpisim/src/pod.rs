@@ -29,9 +29,7 @@ unsafe impl<T: Pod, const N: usize> Pod for [T; N] {}
 #[inline]
 pub fn as_bytes<T: Pod>(slice: &[T]) -> &[u8] {
     // SAFETY: T is Pod (no padding), lifetime and length preserved.
-    unsafe {
-        std::slice::from_raw_parts(slice.as_ptr().cast::<u8>(), std::mem::size_of_val(slice))
-    }
+    unsafe { std::slice::from_raw_parts(slice.as_ptr().cast::<u8>(), std::mem::size_of_val(slice)) }
 }
 
 /// View a mutable slice of `Pod` values as bytes.

@@ -62,7 +62,12 @@ impl Win {
         elem_disp: usize,
         data: &[T],
     ) -> Time {
-        self.put(ctx, target, elem_disp * std::mem::size_of::<T>(), as_bytes(data))
+        self.put(
+            ctx,
+            target,
+            elem_disp * std::mem::size_of::<T>(),
+            as_bytes(data),
+        )
     }
 
     /// `MPI_Get` of raw bytes from `target` at byte offset `disp`
@@ -91,7 +96,11 @@ impl Win {
 
     /// Write this rank's own window memory.
     pub fn write_local<T: Pod>(&self, ctx: &RankCtx, elem_disp: usize, data: &[T]) {
-        ctx.write_local(self.seg, elem_disp * std::mem::size_of::<T>(), as_bytes(data));
+        ctx.write_local(
+            self.seg,
+            elem_disp * std::mem::size_of::<T>(),
+            as_bytes(data),
+        );
     }
 
     /// Physically wait for `count` signalled deliveries into this rank's

@@ -14,53 +14,169 @@ use crate::msg::{
     TagSel, WireCosts,
 };
 use crate::time::Time;
+use crate::trace::MailboxHotStats;
 
 // ---------------------------------------------------------------------------
 // Mailboxes / tag matching
 // ---------------------------------------------------------------------------
 
 struct PostedRecv {
-    src: SrcSel,
     tag: TagSel,
     post_time: Time,
+    /// Global posting-order stamp across both lanes; MPI requires receives
+    /// to match in posting order regardless of selector shape.
+    post_seq: u64,
     slot: Arc<RecvSlot>,
 }
 
-#[derive(Default)]
+/// Indexed matching state. Instead of one flat unexpected queue scanned (and
+/// a `HashMap` rebuilt) on every post, both sides of the match are indexed by
+/// source rank:
+///
+/// * `unexpected[src]` — parked envelopes from `src`, in arrival order. A
+///   source's messages enter the mailbox in program order, so the front-most
+///   tag match in its lane *is* that source's oldest eligible candidate
+///   (MPI non-overtaking), found without touching other sources' traffic.
+/// * `posted_exact[src]` — posted receives pinned to `SrcSel::Exact(src)`.
+/// * `posted_any` — the wildcard lane (`SrcSel::Any` receives).
+///
+/// The exact-source/exact-tag fast path is O(1); wildcard posts are
+/// O(active sources); deliveries scan one exact lane plus the wildcard lane.
+/// `active_srcs` keeps the set of non-empty unexpected lanes sorted so
+/// wildcard scans are deterministic and skip idle sources.
 struct MailboxInner {
-    unexpected: VecDeque<Envelope>,
-    posted: VecDeque<PostedRecv>,
+    unexpected: Vec<VecDeque<Envelope>>,
+    /// Sources with a non-empty `unexpected` lane, ascending.
+    active_srcs: Vec<usize>,
+    unexpected_total: usize,
+    posted_exact: Vec<VecDeque<PostedRecv>>,
+    posted_any: VecDeque<PostedRecv>,
+    posted_total: usize,
     arrival_seq: u64,
+    post_seq: u64,
+    stats: MailboxHotStats,
 }
 
 /// One rank's incoming-message matching engine.
-#[derive(Default)]
 pub struct Mailbox {
     inner: Mutex<MailboxInner>,
 }
 
+impl MailboxInner {
+    fn note_parked(&mut self, src: usize) {
+        if self.unexpected[src].len() == 1 {
+            // Lane just became non-empty.
+            let pos = self.active_srcs.partition_point(|&s| s < src);
+            self.active_srcs.insert(pos, src);
+        }
+        self.unexpected_total += 1;
+        if self.unexpected_total > self.stats.uq_high_water {
+            self.stats.uq_high_water = self.unexpected_total;
+        }
+    }
+
+    fn take_unexpected(&mut self, src: usize, idx: usize) -> Envelope {
+        let env = self.unexpected[src].remove(idx).expect("index valid");
+        if self.unexpected[src].is_empty() {
+            if let Ok(pos) = self.active_srcs.binary_search(&src) {
+                self.active_srcs.remove(pos);
+            }
+        }
+        self.unexpected_total -= 1;
+        env
+    }
+
+    /// Front-most tag match in `src`'s unexpected lane: the oldest eligible
+    /// candidate from that source under non-overtaking.
+    fn oldest_match(&mut self, src: usize, tag: TagSel) -> Option<usize> {
+        let mut steps = 0;
+        let mut hit = None;
+        for (i, e) in self.unexpected[src].iter().enumerate() {
+            steps += 1;
+            if tag.matches(e.tag) {
+                hit = Some(i);
+                break;
+            }
+        }
+        self.stats.match_scan_steps += steps;
+        hit
+    }
+}
+
 impl Mailbox {
+    fn new(nranks: usize) -> Self {
+        Mailbox {
+            inner: Mutex::new(MailboxInner {
+                unexpected: (0..nranks).map(|_| VecDeque::new()).collect(),
+                active_srcs: Vec::new(),
+                unexpected_total: 0,
+                posted_exact: (0..nranks).map(|_| VecDeque::new()).collect(),
+                posted_any: VecDeque::new(),
+                posted_total: 0,
+                arrival_seq: 0,
+                post_seq: 0,
+                stats: MailboxHotStats::default(),
+            }),
+        }
+    }
+
     /// Deliver an envelope: match against posted receives (in posting order)
-    /// or park it in the unexpected queue.
+    /// or park it in the per-source unexpected lane.
     fn deliver(&self, mut env: Envelope) {
         let mut g = self.inner.lock();
+        g.stats.lock_acquisitions += 1;
         env.arrival_seq = g.arrival_seq;
         g.arrival_seq += 1;
-        if let Some(idx) = g
-            .posted
-            .iter()
-            .position(|p| p.src.matches(env.src) && p.tag.matches(env.tag))
-        {
-            let posted = g.posted.remove(idx).expect("index valid");
-            drop(g);
-            complete_match(env, posted.post_time, &posted.slot);
-        } else {
-            // Eager messages complete the sender immediately; rendezvous
-            // sends stay pending until matched.
-            if env.costs.eager {
-                env.send_done.set(env.depart);
+        // Earliest-posted matching receive: the front-most tag match in the
+        // sender's exact lane vs. the front-most match in the wildcard
+        // lane, whichever was posted first. Each lane is in posting order,
+        // so the two lane-firsts bracket every candidate.
+        let mut steps = 0;
+        let mut exact_hit: Option<(usize, u64)> = None;
+        for (i, p) in g.posted_exact[env.src].iter().enumerate() {
+            steps += 1;
+            if p.tag.matches(env.tag) {
+                exact_hit = Some((i, p.post_seq));
+                break;
             }
-            g.unexpected.push_back(env);
+        }
+        let mut any_hit: Option<(usize, u64)> = None;
+        for (i, p) in g.posted_any.iter().enumerate() {
+            steps += 1;
+            if p.tag.matches(env.tag) {
+                any_hit = Some((i, p.post_seq));
+                break;
+            }
+        }
+        g.stats.match_scan_steps += steps;
+        let winner = match (exact_hit, any_hit) {
+            (Some((i, a)), Some((_, b))) if a < b => Some((true, i)),
+            (Some(_), Some((j, _))) => Some((false, j)),
+            (Some((i, _)), None) => Some((true, i)),
+            (None, Some((j, _))) => Some((false, j)),
+            (None, None) => None,
+        };
+        match winner {
+            Some((in_exact, idx)) => {
+                let posted = if in_exact {
+                    g.posted_exact[env.src].remove(idx).expect("index valid")
+                } else {
+                    g.posted_any.remove(idx).expect("index valid")
+                };
+                g.posted_total -= 1;
+                drop(g);
+                complete_match(env, posted.post_time, &posted.slot);
+            }
+            None => {
+                // Eager messages complete the sender immediately; rendezvous
+                // sends stay pending until matched.
+                if env.costs.eager {
+                    env.send_done.set(env.depart);
+                }
+                let src = env.src;
+                g.unexpected[src].push_back(env);
+                g.note_parked(src);
+            }
         }
     }
 
@@ -69,54 +185,70 @@ impl Mailbox {
     /// queued for the next matching delivery.
     fn post(&self, src: SrcSel, tag: TagSel, post_time: Time, slot: Arc<RecvSlot>) {
         let mut g = self.inner.lock();
+        g.stats.lock_acquisitions += 1;
         // MPI non-overtaking: per source, messages match in send order, so
-        // only each source's *oldest* parked candidate is eligible (a
-        // source's messages hit the mailbox in program order, making
-        // arrival_seq the per-source send order). Among eligible
-        // candidates from different sources, pick the earliest virtual
-        // arrival (deterministic), tie-broken by arrival order.
-        let mut oldest_per_src: std::collections::HashMap<usize, usize> =
-            std::collections::HashMap::new();
-        for (i, e) in g.unexpected.iter().enumerate() {
-            if src.matches(e.src) && tag.matches(e.tag) {
-                let entry = oldest_per_src.entry(e.src).or_insert(i);
-                if g.unexpected[*entry].arrival_seq > e.arrival_seq {
-                    *entry = i;
+        // only each source's *oldest* parked candidate is eligible — the
+        // front-most tag match in its lane. Among eligible candidates from
+        // different sources, pick the earliest virtual arrival
+        // (deterministic), tie-broken by physical arrival order.
+        let best: Option<(usize, usize)> = match src {
+            SrcSel::Exact(s) => g.oldest_match(s, tag).map(|i| (s, i)),
+            SrcSel::Any => {
+                let active = std::mem::take(&mut g.active_srcs);
+                let mut best: Option<(usize, usize, (Time, u64))> = None;
+                for &s in &active {
+                    if let Some(i) = g.oldest_match(s, tag) {
+                        let e = &g.unexpected[s][i];
+                        let key = (
+                            e.costs.eager_arrival(e.depart, e.payload.len()),
+                            e.arrival_seq,
+                        );
+                        if best.map(|(_, _, k)| key < k).unwrap_or(true) {
+                            best = Some((s, i, key));
+                        }
+                    }
                 }
+                g.active_srcs = active;
+                best.map(|(s, i, _)| (s, i))
             }
-        }
-        let best = oldest_per_src
-            .into_values()
-            .min_by_key(|&i| {
-                let e = &g.unexpected[i];
-                (
-                    e.costs.eager_arrival(e.depart, e.payload.len()),
-                    e.arrival_seq,
-                )
-            });
+        };
         match best {
-            Some(i) => {
-                let env = g.unexpected.remove(i).expect("index valid");
+            Some((s, i)) => {
+                let env = g.take_unexpected(s, i);
                 drop(g);
                 complete_match(env, post_time, &slot);
             }
-            None => g.posted.push_back(PostedRecv {
-                src,
-                tag,
-                post_time,
-                slot,
-            }),
+            None => {
+                let seq = g.post_seq;
+                g.post_seq += 1;
+                let posted = PostedRecv {
+                    tag,
+                    post_time,
+                    post_seq: seq,
+                    slot,
+                };
+                match src {
+                    SrcSel::Exact(s) => g.posted_exact[s].push_back(posted),
+                    SrcSel::Any => g.posted_any.push_back(posted),
+                }
+                g.posted_total += 1;
+            }
         }
     }
 
     /// Number of parked unexpected messages (diagnostics).
     pub fn unexpected_len(&self) -> usize {
-        self.inner.lock().unexpected.len()
+        self.inner.lock().unexpected_total
     }
 
     /// Number of outstanding posted receives (diagnostics).
     pub fn posted_len(&self) -> usize {
-        self.inner.lock().posted.len()
+        self.inner.lock().posted_total
+    }
+
+    /// Snapshot of the hot-path contention counters.
+    pub fn hot_stats(&self) -> MailboxHotStats {
+        self.inner.lock().stats
     }
 }
 
@@ -184,6 +316,49 @@ impl GroupBarrier {
             }
             g.exit_time
         }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Sharded group-keyed registries
+// ---------------------------------------------------------------------------
+
+/// Shard count for group-keyed registry maps (power of two).
+const MAP_SHARDS: usize = 16;
+
+/// A group-keyed registry (`group: Vec<usize>` → shared state) split over
+/// fixed shards, so concurrent lookups for unrelated groups — e.g. disjoint
+/// subcommunicator barriers entered from many rank threads at once — do not
+/// serialize on one global mutex. Entries are never removed: groups are
+/// stable for a simulation's lifetime.
+struct ShardedMap<V> {
+    shards: Vec<Mutex<HashMap<Vec<usize>, V>>>,
+}
+
+impl<V> Default for ShardedMap<V> {
+    fn default() -> Self {
+        ShardedMap {
+            shards: (0..MAP_SHARDS)
+                .map(|_| Mutex::new(HashMap::new()))
+                .collect(),
+        }
+    }
+}
+
+impl<V: Clone> ShardedMap<V> {
+    fn shard_of(key: &[usize]) -> usize {
+        // FNV-1a over the group members; cheap and stable.
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        for &k in key {
+            h ^= k as u64;
+            h = h.wrapping_mul(0x100_0000_01b3);
+        }
+        (h as usize) & (MAP_SHARDS - 1)
+    }
+
+    fn get_or_insert_with(&self, key: &[usize], make: impl FnOnce() -> V) -> V {
+        let mut g = self.shards[Self::shard_of(key)].lock();
+        g.entry(key.to_vec()).or_insert_with(make).clone()
     }
 }
 
@@ -259,7 +434,7 @@ struct AllocState {
 #[derive(Default)]
 pub struct SegmentStore {
     segments: RwLock<Vec<Arc<Segment>>>,
-    allocs: Mutex<HashMap<Vec<usize>, Arc<AllocState>>>,
+    allocs: ShardedMap<Arc<AllocState>>,
 }
 
 impl SegmentStore {
@@ -269,19 +444,16 @@ impl SegmentStore {
     /// synchronizes all PEs). `window` bounds outstanding signalled
     /// deliveries per destination (use `u64::MAX` for none).
     pub fn alloc(&self, group: &[usize], bytes: usize, window: u64) -> SegId {
-        debug_assert!(group.windows(2).all(|w| w[0] < w[1]), "group must be sorted");
-        let state = {
-            let mut g = self.allocs.lock();
-            Arc::clone(
-                g.entry(group.to_vec())
-                    .or_insert_with(|| {
-                        Arc::new(AllocState {
-                            inner: Mutex::new(AllocRendezvous::default()),
-                            cv: Condvar::new(),
-                        })
-                    }),
-            )
-        };
+        debug_assert!(
+            group.windows(2).all(|w| w[0] < w[1]),
+            "group must be sorted"
+        );
+        let state = self.allocs.get_or_insert_with(group, || {
+            Arc::new(AllocState {
+                inner: Mutex::new(AllocRendezvous::default()),
+                cv: Condvar::new(),
+            })
+        });
         let mut g = state.inner.lock();
         let gen = g.generation;
         if g.arrived == 0 {
@@ -434,7 +606,7 @@ impl SegmentStore {
 pub struct Fabric {
     nranks: usize,
     mailboxes: Vec<Mailbox>,
-    barriers: Mutex<HashMap<Vec<usize>, Arc<GroupBarrier>>>,
+    barriers: ShardedMap<Arc<GroupBarrier>>,
     segments: SegmentStore,
 }
 
@@ -442,8 +614,8 @@ impl Fabric {
     pub fn new(nranks: usize) -> Arc<Self> {
         Arc::new(Fabric {
             nranks,
-            mailboxes: (0..nranks).map(|_| Mailbox::default()).collect(),
-            barriers: Mutex::new(HashMap::new()),
+            mailboxes: (0..nranks).map(|_| Mailbox::new(nranks)).collect(),
+            barriers: ShardedMap::default(),
             segments: SegmentStore::default(),
         })
     }
@@ -501,14 +673,13 @@ impl Fabric {
 
     /// Barrier over `group` (ascending global ranks), reconciling clocks.
     pub fn barrier(&self, group: &[usize], entry: Time, cost: Time) -> Time {
-        debug_assert!(group.windows(2).all(|w| w[0] < w[1]), "group must be sorted");
-        let b = {
-            let mut g = self.barriers.lock();
-            Arc::clone(
-                g.entry(group.to_vec())
-                    .or_insert_with(|| Arc::new(GroupBarrier::new(group.len()))),
-            )
-        };
+        debug_assert!(
+            group.windows(2).all(|w| w[0] < w[1]),
+            "group must be sorted"
+        );
+        let b = self
+            .barriers
+            .get_or_insert_with(group, || Arc::new(GroupBarrier::new(group.len())));
         b.enter(entry, cost)
     }
 }
@@ -592,8 +763,22 @@ mod tests {
     fn wildcard_prefers_earliest_virtual_arrival() {
         let f = Fabric::new(3);
         // Physically delivered first but departs later virtually.
-        f.send(0, 2, 1, Bytes::from_static(b"late"), Time(9_000), eager_costs());
-        f.send(1, 2, 1, Bytes::from_static(b"early"), Time(0), eager_costs());
+        f.send(
+            0,
+            2,
+            1,
+            Bytes::from_static(b"late"),
+            Time(9_000),
+            eager_costs(),
+        );
+        f.send(
+            1,
+            2,
+            1,
+            Bytes::from_static(b"early"),
+            Time(0),
+            eager_costs(),
+        );
         let r = f.recv(2, SrcSel::Any, TagSel::Exact(1), Time(20_000));
         assert_eq!(&r.wait_raw().payload[..], b"early");
     }
@@ -602,7 +787,14 @@ mod tests {
     fn same_source_fifo_order() {
         let f = Fabric::new(2);
         for (i, t) in [(0u8, 0u64), (1, 10), (2, 20)] {
-            f.send(0, 1, 9, Bytes::copy_from_slice(&[i]), Time(t), eager_costs());
+            f.send(
+                0,
+                1,
+                9,
+                Bytes::copy_from_slice(&[i]),
+                Time(t),
+                eager_costs(),
+            );
         }
         for expect in 0u8..3 {
             let r = f.recv(1, SrcSel::Exact(0), TagSel::Exact(9), Time(0));

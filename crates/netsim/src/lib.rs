@@ -52,7 +52,9 @@ pub mod trace;
 
 pub use fabric::{Fabric, SegId};
 pub use model::{CostModel, MachineModel};
-pub use msg::{RecvDone, RecvRequest, SendRequest, SrcSel, TagSel};
+pub use msg::{
+    match_timing, MatchTiming, RecvDone, RecvRequest, SendRequest, SrcSel, TagSel, WireCosts,
+};
 pub use runtime::{run, RankCtx, SimConfig, SimResult};
 pub use time::Time;
-pub use trace::{EventKind, RankStats, TraceEvent, TraceSink};
+pub use trace::{EventKind, MailboxHotStats, RankStats, TraceEvent, TraceSink};

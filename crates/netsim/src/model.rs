@@ -151,7 +151,7 @@ impl CostModel {
             o_waitall: 1_200,
             o_req_poll: 60,
             o_status: 280,
-            o_put: 900,  // MPI_Put on XK7 goes through the same software stack
+            o_put: 900, // MPI_Put on XK7 goes through the same software stack
             o_get: 900,
             o_quiet: 800,
             o_barrier: 1_500,
@@ -315,8 +315,8 @@ mod tests {
         let mpi = CostModel::gemini_mpi();
         let shmem = CostModel::gemini_shmem();
         for bytes in [8usize, 24, 64, 256] {
-            let mpi_path = Time::from_nanos(mpi.o_send + mpi.o_recv + mpi.o_wait)
-                + mpi.wire_time(bytes);
+            let mpi_path =
+                Time::from_nanos(mpi.o_send + mpi.o_recv + mpi.o_wait) + mpi.wire_time(bytes);
             let shmem_path = Time::from_nanos(shmem.o_put) + shmem.wire_time(bytes);
             let ratio = mpi_path.as_nanos() as f64 / shmem_path.as_nanos() as f64;
             assert!(

@@ -26,8 +26,9 @@ pub enum SrcSel {
 }
 
 impl SrcSel {
+    /// Whether a message from `src` satisfies this selector.
     #[inline]
-    pub(crate) fn matches(self, src: usize) -> bool {
+    pub fn matches(self, src: usize) -> bool {
         match self {
             SrcSel::Exact(r) => r == src,
             SrcSel::Any => true,
@@ -48,8 +49,9 @@ pub enum TagSel {
 }
 
 impl TagSel {
+    /// Whether a message carrying `tag` satisfies this selector.
     #[inline]
-    pub(crate) fn matches(self, tag: i32) -> bool {
+    pub fn matches(self, tag: i32) -> bool {
         match self {
             TagSel::Exact(t) => t == tag,
             TagSel::Range { lo, hi } => lo <= tag && tag < hi,

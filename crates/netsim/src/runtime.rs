@@ -104,8 +104,7 @@ where
     };
     let body = &body;
 
-    let mut outputs: Vec<Option<(T, Time, RankStats)>> =
-        (0..cfg.nranks).map(|_| None).collect();
+    let mut outputs: Vec<Option<(T, Time, RankStats)>> = (0..cfg.nranks).map(|_| None).collect();
 
     std::thread::scope(|scope| {
         let mut handles = Vec::with_capacity(cfg.nranks);
@@ -153,8 +152,11 @@ where
     let mut per_rank = Vec::with_capacity(cfg.nranks);
     let mut final_times = Vec::with_capacity(cfg.nranks);
     let mut stats = Vec::with_capacity(cfg.nranks);
-    for slot in outputs {
-        let (out, t, s) = slot.expect("every rank produced output");
+    for (rank, slot) in outputs.into_iter().enumerate() {
+        let (out, t, mut s) = slot.expect("every rank produced output");
+        // The matching engine's hot-path counters live in the rank's
+        // mailbox; fold them in now that all threads are quiescent.
+        s.absorb_mailbox(&fabric.mailbox(rank).hot_stats());
         per_rank.push(out);
         final_times.push(t);
         stats.push(s);
@@ -262,7 +264,13 @@ impl RankCtx {
 
     /// Initiate a non-blocking send of `payload` to `dst` under `model`.
     /// Charges `o_send` and departs at the resulting clock.
-    pub fn isend(&mut self, dst: usize, tag: i32, payload: &[u8], model: &CostModel) -> SendRequest {
+    pub fn isend(
+        &mut self,
+        dst: usize,
+        tag: i32,
+        payload: &[u8],
+        model: &CostModel,
+    ) -> SendRequest {
         self.isend_bytes(dst, tag, Bytes::copy_from_slice(payload), model)
     }
 
@@ -368,9 +376,7 @@ impl RankCtx {
         }
         let n = sends.len() + recvs.len();
         // User-level Waitall fills per-request status objects.
-        self.clock = max_t
-            + model.waitall_cost(n)
-            + Time::from_nanos(model.o_status * n as u64);
+        self.clock = max_t + model.waitall_cost(n) + Time::from_nanos(model.o_status * n as u64);
         self.stats.waitalls += 1;
         self.trace(EventKind::Waitall { n });
         dones
@@ -380,10 +386,7 @@ impl RankCtx {
     /// as one consolidated sync (the directive layer's deferred region
     /// sync). `n` is the number of requests covered.
     pub fn charge_consolidated(&mut self, completions: &[Time], n: usize, model: &CostModel) {
-        let max_t = completions
-            .iter()
-            .copied()
-            .fold(self.clock, Time::max);
+        let max_t = completions.iter().copied().fold(self.clock, Time::max);
         self.clock = max_t + model.waitall_cost(n);
         self.stats.waitalls += 1;
         self.trace(EventKind::Waitall { n });
@@ -487,7 +490,9 @@ impl RankCtx {
 
     /// Write this rank's own copy of a segment (free: local store).
     pub fn write_local(&self, seg: SegId, offset: usize, data: &[u8]) {
-        self.fabric.segments().put(seg, self.rank, offset, data, None);
+        self.fabric
+            .segments()
+            .put(seg, self.rank, offset, data, None);
     }
 
     /// Physically wait until at least `count` signalled deliveries landed in
@@ -502,10 +507,7 @@ impl RankCtx {
     /// latest arrival plus `o_quiet`.
     pub fn quiet(&mut self, model: &CostModel) {
         let outstanding = self.outstanding_puts.len();
-        let max_arrival = self
-            .outstanding_puts
-            .drain(..)
-            .fold(self.clock, Time::max);
+        let max_arrival = self.outstanding_puts.drain(..).fold(self.clock, Time::max);
         self.clock = max_arrival + Time::from_nanos(model.o_quiet);
         self.stats.quiets += 1;
         self.trace(EventKind::Quiet { outstanding });
@@ -613,8 +615,9 @@ mod tests {
             let res = run(SimConfig::new(2), move |ctx| {
                 let m = ctx.machine().mpi;
                 if ctx.rank() == 0 {
-                    let reqs: Vec<_> =
-                        (0..n_msgs).map(|i| ctx.isend(1, i as i32, &[0u8; 24], &m)).collect();
+                    let reqs: Vec<_> = (0..n_msgs)
+                        .map(|i| ctx.isend(1, i as i32, &[0u8; 24], &m))
+                        .collect();
                     if consolidated {
                         ctx.waitall(&reqs, &[], &m);
                     } else {

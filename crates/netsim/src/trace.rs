@@ -13,9 +13,17 @@ pub enum EventKind {
     /// Non-blocking send initiated.
     SendPost { dst: usize, tag: i32, bytes: usize },
     /// Non-blocking receive posted.
-    RecvPost { src: Option<usize>, tag: Option<i32> },
+    RecvPost {
+        src: Option<usize>,
+        tag: Option<i32>,
+    },
     /// A receive completed (clock charged).
-    RecvDone { src: usize, tag: i32, bytes: usize, unexpected: bool },
+    RecvDone {
+        src: usize,
+        tag: i32,
+        bytes: usize,
+        unexpected: bool,
+    },
     /// A single-request wait call (clock charged `o_wait`).
     Wait,
     /// A consolidated completion over `n` requests.
@@ -78,6 +86,19 @@ impl TraceSink {
     }
 }
 
+/// Hot-path counters maintained inside one rank's mailbox, under the same
+/// lock the matching engine already holds (increments are free of extra
+/// synchronization). Folded into that rank's [`RankStats`] after the run.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct MailboxHotStats {
+    /// High-water mark of the unexpected (parked) message queue.
+    pub uq_high_water: usize,
+    /// Envelopes/posted-receives examined by the matching engine.
+    pub match_scan_steps: usize,
+    /// Times the mailbox lock was taken (deliveries + posts).
+    pub lock_acquisitions: usize,
+}
+
 /// Per-rank running statistics, kept unconditionally (cheap counters).
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
 pub struct RankStats {
@@ -105,6 +126,12 @@ pub struct RankStats {
     pub packed_bytes: usize,
     /// Derived datatypes committed.
     pub datatype_commits: usize,
+    /// High-water mark of this rank's unexpected-message queue.
+    pub uq_high_water: usize,
+    /// Matching-engine scan steps in this rank's mailbox.
+    pub match_scan_steps: usize,
+    /// Mailbox lock acquisitions (deliveries into + posts on this rank).
+    pub mailbox_locks: usize,
 }
 
 impl RankStats {
@@ -122,6 +149,17 @@ impl RankStats {
         self.quiets += other.quiets;
         self.packed_bytes += other.packed_bytes;
         self.datatype_commits += other.datatype_commits;
+        // A job-wide high-water mark is the worst single mailbox, not a sum.
+        self.uq_high_water = self.uq_high_water.max(other.uq_high_water);
+        self.match_scan_steps += other.match_scan_steps;
+        self.mailbox_locks += other.mailbox_locks;
+    }
+
+    /// Fold one mailbox's hot-path counters into this rank's stats.
+    pub fn absorb_mailbox(&mut self, hot: &MailboxHotStats) {
+        self.uq_high_water = self.uq_high_water.max(hot.uq_high_water);
+        self.match_scan_steps += hot.match_scan_steps;
+        self.mailbox_locks += hot.lock_acquisitions;
     }
 }
 

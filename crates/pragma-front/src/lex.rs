@@ -314,11 +314,11 @@ mod tests {
 
     #[test]
     fn comments_and_continuations_skipped() {
-        let toks = kinds("#pragma comm_p2p \\\n  sender(prev) // tail comment\n  /* block */ receiver(next)");
+        let toks = kinds(
+            "#pragma comm_p2p \\\n  sender(prev) // tail comment\n  /* block */ receiver(next)",
+        );
         assert_eq!(
-            toks.iter()
-                .filter(|t| matches!(t, Tok::Ident(_)))
-                .count(),
+            toks.iter().filter(|t| matches!(t, Tok::Ident(_))).count(),
             5
         );
     }

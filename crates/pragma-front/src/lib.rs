@@ -35,7 +35,7 @@ use commint::clause::{Diagnostic, Target};
 use commint::dir::ParamsSpec;
 use commint::lower::lower;
 
-pub use parse::{parse, Item, Parsed, ParseError, SymbolTable};
+pub use parse::{parse, Item, ParseError, Parsed, SymbolTable};
 
 /// Analysis results for one `comm_p2p` instance.
 #[derive(Clone, Debug)]
@@ -263,11 +263,7 @@ pub fn analyze_with_vars(
 
 /// Parse pragma source and render the translated library calls for each
 /// directive under `target` — the paper's compiler lowering, as text.
-pub fn translate(
-    src: &str,
-    symbols: &SymbolTable,
-    target: Target,
-) -> Result<String, ParseError> {
+pub fn translate(src: &str, symbols: &SymbolTable, target: Target) -> Result<String, ParseError> {
     let parsed = parse(src, symbols)?;
     let mut out = String::new();
     for (i, item) in parsed.items.iter().enumerate() {
@@ -370,7 +366,10 @@ mod tests {
         assert!(report.render().contains("collective BCAST"));
 
         let mpi = translate(src, &s, Target::Mpi2Side).unwrap();
-        assert!(mpi.contains("MPI_Bcast(params, 32, MPI_DOUBLE, 0, group_comm);"), "{mpi}");
+        assert!(
+            mpi.contains("MPI_Bcast(params, 32, MPI_DOUBLE, 0, group_comm);"),
+            "{mpi}"
+        );
         assert!(mpi.contains("MPI_Comm_split"));
         let shm = translate(src, &s, Target::Shmem).unwrap();
         assert!(shm.contains("shmem_put64"));
@@ -379,7 +378,10 @@ mod tests {
         // Many-to-one with an operator.
         let src = "#pragma comm_reduce root(0) op(MAX) count(4) sbuf(contrib) rbuf(all)";
         let mpi = translate(src, &s, Target::Mpi2Side).unwrap();
-        assert!(mpi.contains("MPI_Reduce(contrib, all, 4, MPI_DOUBLE, MPI_MAX, 0, comm);"), "{mpi}");
+        assert!(
+            mpi.contains("MPI_Reduce(contrib, all, 4, MPI_DOUBLE, MPI_MAX, 0, comm);"),
+            "{mpi}"
+        );
 
         // All-to-all.
         let src = "#pragma comm_alltoall count(4) sbuf(all) rbuf(all)";
@@ -403,8 +405,7 @@ mod tests {
     fn variables_bound_at_analysis_time() {
         let src = "#pragma comm_p2p sender(root) receiver(dest) \
                    sendwhen(rank==root) receivewhen(rank==dest) sbuf(buf1) rbuf(buf2)";
-        let vars: HashMap<String, i64> =
-            [("root".to_string(), 0), ("dest".to_string(), 3)].into();
+        let vars: HashMap<String, i64> = [("root".to_string(), 0), ("dest".to_string(), 3)].into();
         let report = analyze_with_vars(src, &syms(), 6, &vars).unwrap();
         let p = &report.regions[0].p2ps[0];
         assert_eq!(p.unresolved_ranks, 0);

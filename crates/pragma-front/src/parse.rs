@@ -238,9 +238,10 @@ impl Parser<'_> {
                 "count" => spec.count = Some(self.expr()?),
                 "target" => {
                     let kw = self.ident()?;
-                    spec.target = Some(Target::from_keyword(&kw).ok_or_else(|| {
-                        self.err(format!("unknown target keyword `{kw}`"))
-                    })?);
+                    spec.target = Some(
+                        Target::from_keyword(&kw)
+                            .ok_or_else(|| self.err(format!("unknown target keyword `{kw}`")))?,
+                    );
                 }
                 "op" => {
                     let kw = self.ident()?;
@@ -248,14 +249,10 @@ impl Parser<'_> {
                         "SUM" => ReduceOp::Sum,
                         "MAX" => ReduceOp::Max,
                         "MIN" => ReduceOp::Min,
-                        other => {
-                            return Err(self.err(format!("unknown reduce op `{other}`")))
-                        }
+                        other => return Err(self.err(format!("unknown reduce op `{other}`"))),
                     };
                     if !matches!(kind, CollKind::Reduce(_)) {
-                        return Err(self.err(
-                            "`op` may only be used with comm_reduce".to_string(),
-                        ));
+                        return Err(self.err("`op` may only be used with comm_reduce".to_string()));
                     }
                     kind = CollKind::Reduce(op);
                     spec.kind = kind;
@@ -379,9 +376,10 @@ impl Parser<'_> {
                 "receivewhen" => clauses.receivewhen = Some(self.cond()?),
                 "target" => {
                     let kw = self.ident()?;
-                    clauses.target = Some(Target::from_keyword(&kw).ok_or_else(|| {
-                        self.err(format!("unknown target keyword `{kw}`"))
-                    })?);
+                    clauses.target = Some(
+                        Target::from_keyword(&kw)
+                            .ok_or_else(|| self.err(format!("unknown target keyword `{kw}`")))?,
+                    );
                 }
                 "place_sync" => {
                     let kw = self.ident()?;
@@ -450,15 +448,12 @@ impl Parser<'_> {
                 (ElemKind::Prim(BasicType::U8), 0)
             }
         };
-        let addr = *self
-            .buf_addrs
-            .entry(base.clone())
-            .or_insert_with(|| {
-                let lo = self.buf_addr_cursor;
-                let size = (len * elem.extent()).max(1);
-                self.buf_addr_cursor = lo + size + 64;
-                (lo, lo + size)
-            });
+        let addr = *self.buf_addrs.entry(base.clone()).or_insert_with(|| {
+            let lo = self.buf_addr_cursor;
+            let size = (len * elem.extent()).max(1);
+            self.buf_addr_cursor = lo + size + 64;
+            (lo, lo + size)
+        });
         Ok(BufMeta {
             name: display,
             elem,
@@ -591,11 +586,7 @@ impl Parser<'_> {
             Tok::Le => lhs.le(rhs),
             Tok::Gt => lhs.gt(rhs),
             Tok::Ge => lhs.ge(rhs),
-            other => {
-                return Err(self.err(format!(
-                    "expected comparison operator, found {other}"
-                )))
-            }
+            other => return Err(self.err(format!("expected comparison operator, found {other}"))),
         })
     }
 }
@@ -664,10 +655,7 @@ mod tests {
             panic!()
         };
         assert_eq!(r.clauses.place_sync, Some(PlaceSync::EndParamRegion));
-        assert_eq!(
-            r.clauses.max_comm_iter.as_ref().unwrap().to_string(),
-            "n"
-        );
+        assert_eq!(r.clauses.max_comm_iter.as_ref().unwrap().to_string(), "n");
         assert_eq!(r.body.len(), 1);
         assert_eq!(r.body[0].sbuf[0].name, "&buf1[p]");
     }
@@ -763,8 +751,7 @@ mod tests {
 
     #[test]
     fn sendwhen_without_receivewhen_rejected() {
-        let src =
-            "#pragma comm_p2p sender(a) receiver(b) sendwhen(rank==0) sbuf(buf1) rbuf(buf2)";
+        let src = "#pragma comm_p2p sender(a) receiver(b) sendwhen(rank==0) sbuf(buf1) rbuf(buf2)";
         let parsed = parse(src, &symbols()).unwrap();
         assert!(parsed.has_errors());
     }

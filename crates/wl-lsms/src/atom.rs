@@ -92,7 +92,10 @@ pub struct AtomSizes {
 
 impl Default for AtomSizes {
     fn default() -> Self {
-        AtomSizes { jmt: 1000, numc: 15 }
+        AtomSizes {
+            jmt: 1000,
+            numc: 15,
+        }
     }
 }
 
@@ -138,13 +141,15 @@ impl AtomData {
             let x = (r + 1) as f64 / jmt;
             -2.0 * 26.0 * (-x).exp() / x + c as f64 * 0.01 + id as f64 * 1e-3
         });
-        atom.rhotot
-            .fill_with(|r, c| ((r + 1) as f64 / jmt).powi(2) * (26.0 - c as f64) + id as f64 * 1e-3);
+        atom.rhotot.fill_with(|r, c| {
+            ((r + 1) as f64 / jmt).powi(2) * (26.0 - c as f64) + id as f64 * 1e-3
+        });
         atom.ec
             .fill_with(|r, c| -(2.0 * (r + 1) as f64) + 0.1 * c as f64 + id as f64 * 1e-3);
         atom.nc.fill_with(|r, _| (r / 4 + 1) as i32);
         atom.lc.fill_with(|r, _| (r % 4) as i32);
-        atom.kc.fill_with(|r, c| if c == 0 { -(r as i32) - 1 } else { r as i32 });
+        atom.kc
+            .fill_with(|r, c| if c == 0 { -(r as i32) - 1 } else { r as i32 });
         atom
     }
 
@@ -190,8 +195,8 @@ mod tests {
         assert_eq!(
             names,
             vec![
-                "local_id", "jmt", "jws", "xstart", "rmt", "header", "alat", "efermi",
-                "vdif", "ztotss", "zcorss", "evec", "nspin", "numc"
+                "local_id", "jmt", "jws", "xstart", "rmt", "header", "alat", "efermi", "vdif",
+                "ztotss", "zcorss", "evec", "nspin", "numc"
             ]
         );
         // header is an 80-char block, evec three doubles.

@@ -160,7 +160,10 @@ pub fn transfer_atom_directive(
         reg.p2p()
             .site(1)
             .count(1)
-            .sbuf(Struc::new("scalaratomdata", std::slice::from_ref(&scalars_src)))
+            .sbuf(Struc::new(
+                "scalaratomdata",
+                std::slice::from_ref(&scalars_src),
+            ))
             .rbuf(StrucMut::new(
                 "scalaratomdata",
                 std::slice::from_mut(scalars),

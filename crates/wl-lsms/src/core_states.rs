@@ -60,11 +60,7 @@ impl CoreStateParams {
 /// Compute refined core-state energies for `atom` given its current spin
 /// direction, charging virtual compute time. Returns the atom's core-energy
 /// sum (used by the Wang–Landau driver as part of the local energy).
-pub fn calculate_core_states(
-    ctx: &mut RankCtx,
-    atom: &AtomData,
-    params: &CoreStateParams,
-) -> f64 {
+pub fn calculate_core_states(ctx: &mut RankCtx, atom: &AtomData, params: &CoreStateParams) -> f64 {
     let t = atom.ec.n_row();
     let mesh = atom.vr.n_row().max(1);
     let mut total = 0.0f64;

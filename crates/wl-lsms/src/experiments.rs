@@ -24,7 +24,9 @@ use netsim::{run, RankStats, SimConfig, Time};
 use crate::atom::{AtomData, AtomSizes};
 use crate::atom_comm::{transfer_atom_directive, transfer_atom_original};
 use crate::core_states::{calculate_core_states, CoreStateParams};
-use crate::spin::{generate_spins, set_evec_directive, set_evec_original, SpinState, SpinVariant};
+use crate::spin::{
+    generate_spins, set_evec_directive, set_evec_original, spin_at, SpinState, SpinVariant,
+};
 use crate::topology::Topology;
 use crate::wang_landau::{heisenberg_ring_energy, WangLandau};
 
@@ -65,7 +67,12 @@ pub struct Measurement {
 }
 
 /// Fig. 3: time to distribute every atom's single-atom data.
-pub fn fig3_single_atom(topo: &Topology, variant: AtomCommVariant, sizes: AtomSizes) -> Measurement {
+#[allow(clippy::needless_range_loop)] // worker loops index rank-shaped arrays
+pub fn fig3_single_atom(
+    topo: &Topology,
+    variant: AtomCommVariant,
+    sizes: AtomSizes,
+) -> Measurement {
     let t = topo.clone();
     let res = run(SimConfig::new(t.total_ranks()), move |ctx| {
         let comms = t.build_comms(ctx);
@@ -231,8 +238,7 @@ fn check_spin(topo: &Topology, rank: usize, step: u64, state: &SpinState) -> boo
         None => true,
         Some(m) => {
             let local = rank - topo.privileged_rank(m);
-            let expected = generate_spins(step, topo.instances * topo.ranks_per_lsms);
-            state.my_spin == expected[m * topo.ranks_per_lsms + local]
+            state.my_spin == spin_at(step, m * topo.ranks_per_lsms + local)
         }
     }
 }
@@ -254,9 +260,9 @@ pub fn fig5_overlap(
         let comms = t.build_comms(ctx);
         let mut state = SpinState::new(&t, ctx.rank());
         let natoms = t.instances * t.ranks_per_lsms;
-        let my_atom_id = t.instance_of(ctx.rank()).map(|m| {
-            m * t.ranks_per_lsms + (ctx.rank() - t.privileged_rank(m))
-        });
+        let my_atom_id = t
+            .instance_of(ctx.rank())
+            .map(|m| m * t.ranks_per_lsms + (ctx.rank() - t.privileged_rank(m)));
         let atom = my_atom_id.map(|id| AtomData::synthetic_fe(id, sizes));
 
         if directive {
@@ -307,6 +313,7 @@ pub struct AppResult {
 /// the given spin-communication variant. The physics (energies, acceptance
 /// decisions) must be bit-identical across variants — only the virtual time
 /// differs.
+#[allow(clippy::needless_range_loop)] // worker loops index rank-shaped arrays
 pub fn run_full_app(
     topo: &Topology,
     variant: SpinVariant,
@@ -405,12 +412,15 @@ pub fn run_full_app(
                     lsms,
                     0,
                     &[core_e],
-                    &mut contributions[..if lsms.rank(ctx_ref) == 0 { lsms.size() } else { 0 }],
+                    &mut contributions[..if lsms.rank(ctx_ref) == 0 {
+                        lsms.size()
+                    } else {
+                        0
+                    }],
                 );
                 if lsms.rank(ctx_ref) == 0 {
                     let spins: Vec<[f64; 3]> = state.staged.clone();
-                    let e = heisenberg_ring_energy(&spins, 1.0)
-                        + contributions.iter().sum::<f64>();
+                    let e = heisenberg_ring_energy(&spins, 1.0) + contributions.iter().sum::<f64>();
                     comms.world.send_slice(ctx_ref, t.wl_rank(), 900, &[e]);
                 }
             } else {
@@ -421,8 +431,8 @@ pub fn run_full_app(
                     let mut e = [0.0f64];
                     comms.world.recv_into(ctx_ref, Some(src), Some(900), &mut e);
                     let e = e[0];
-                    let accepted = current_e[inst].is_infinite()
-                        || wl_state.accept(current_e[inst], e);
+                    let accepted =
+                        current_e[inst].is_infinite() || wl_state.accept(current_e[inst], e);
                     if accepted {
                         current_e[inst] = e;
                     }

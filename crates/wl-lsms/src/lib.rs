@@ -32,7 +32,9 @@ pub mod wang_landau;
 
 pub use atom::{AtomData, AtomScalars, AtomSizes};
 pub use core_states::CoreStateParams;
-pub use experiments::{fig3_single_atom, fig4_spin, fig5_overlap, run_full_app, AtomCommVariant, Measurement};
+pub use experiments::{
+    fig3_single_atom, fig4_spin, fig5_overlap, run_full_app, AtomCommVariant, Measurement,
+};
 pub use spin::{SpinState, SpinVariant};
 pub use topology::Topology;
 pub use wang_landau::WangLandau;

@@ -170,6 +170,7 @@ pub fn set_evec_original(
 /// privileged, privileged → worker), consolidated synchronization, optional
 /// overlapped `calculateCoreStates` (Figure 5's configuration). Returns the
 /// overlapped core-energy result when computed.
+#[allow(clippy::needless_range_loop)] // worker loops index rank-shaped arrays
 pub fn set_evec_directive(
     session: &mut CommSession<'_>,
     topo: &Topology,
@@ -183,7 +184,11 @@ pub fn set_evec_directive(
     let is_wl = me == topo.wl_rank();
     let is_priv = topo.is_privileged(me);
 
-    let SpinState { ev, staged, my_spin } = state;
+    let SpinState {
+        ev,
+        staged,
+        my_spin,
+    } = state;
 
     // ---- Region 1: WL -> privileged (16*M messages of 3 doubles) ----------
     let params1 = CommParams::new()
@@ -251,7 +256,11 @@ pub fn set_evec_directive(
                 } else {
                     &empty
                 };
-                let rb: &mut [f64] = if dst_rank == me { &mut my_spin[..] } else { &mut [] };
+                let rb: &mut [f64] = if dst_rank == me {
+                    &mut my_spin[..]
+                } else {
+                    &mut []
+                };
                 let call = reg
                     .p2p()
                     .site(12)
@@ -369,31 +378,34 @@ fn staged_first(staged: &[[f64; 3]]) -> [f64; 3] {
 /// WL master fills `ev`; a splitmix-style hash keeps it reproducible
 /// without a stateful RNG.
 pub fn generate_spins(step: u64, count: usize) -> Vec<[f64; 3]> {
-    (0..count)
-        .map(|i| {
-            let mut z = step
-                .wrapping_mul(0x9E3779B97F4A7C15)
-                .wrapping_add(i as u64)
-                .wrapping_add(0x5851F42D4C957F2D);
-            let mut next = || {
-                z = z.wrapping_add(0x9E3779B97F4A7C15);
-                let mut x = z;
-                x = (x ^ (x >> 30)).wrapping_mul(0xBF58476D1CE4E5B9);
-                x = (x ^ (x >> 27)).wrapping_mul(0x94D049BB133111EB);
-                x ^ (x >> 31)
-            };
-            // Marsaglia-style point on the unit sphere.
-            loop {
-                let u = next() as f64 / u64::MAX as f64 * 2.0 - 1.0;
-                let v = next() as f64 / u64::MAX as f64 * 2.0 - 1.0;
-                let s = u * u + v * v;
-                if s > 0.0 && s < 1.0 {
-                    let f = 2.0 * (1.0 - s).sqrt();
-                    break [u * f, v * f, 1.0 - 2.0 * s];
-                }
-            }
-        })
-        .collect()
+    (0..count).map(|i| spin_at(step, i)).collect()
+}
+
+/// The spin at index `i` of step `step`'s proposal — each index is hashed
+/// independently, so verifying one rank's spin does not require
+/// regenerating the whole configuration.
+pub fn spin_at(step: u64, i: usize) -> [f64; 3] {
+    let mut z = step
+        .wrapping_mul(0x9E3779B97F4A7C15)
+        .wrapping_add(i as u64)
+        .wrapping_add(0x5851F42D4C957F2D);
+    let mut next = || {
+        z = z.wrapping_add(0x9E3779B97F4A7C15);
+        let mut x = z;
+        x = (x ^ (x >> 30)).wrapping_mul(0xBF58476D1CE4E5B9);
+        x = (x ^ (x >> 27)).wrapping_mul(0x94D049BB133111EB);
+        x ^ (x >> 31)
+    };
+    // Marsaglia-style point on the unit sphere.
+    loop {
+        let u = next() as f64 / u64::MAX as f64 * 2.0 - 1.0;
+        let v = next() as f64 / u64::MAX as f64 * 2.0 - 1.0;
+        let s = u * u + v * v;
+        if s > 0.0 && s < 1.0 {
+            let f = 2.0 * (1.0 - s).sqrt();
+            break [u * f, v * f, 1.0 - 2.0 * s];
+        }
+    }
 }
 
 #[cfg(test)]
@@ -410,9 +422,7 @@ mod tests {
                 state.ev = generate_spins(1, topo.instances * topo.ranks_per_lsms);
             }
             match variant {
-                SpinVariant::Original => {
-                    set_evec_original(ctx, &topo, &comms, &mut state, false)
-                }
+                SpinVariant::Original => set_evec_original(ctx, &topo, &comms, &mut state, false),
                 SpinVariant::OriginalWaitall => {
                     set_evec_original(ctx, &topo, &comms, &mut state, true)
                 }
@@ -536,9 +546,14 @@ mod tests {
                 iterations: 2,
             };
             let mut session = CommSession::new(ctx, comms.world.clone()).without_ir();
-            let e =
-                set_evec_directive(&mut session, &topo, &mut state, Target::Mpi2Side, Some((&atom, &cparams)))
-                    .unwrap();
+            let e = set_evec_directive(
+                &mut session,
+                &topo,
+                &mut state,
+                Target::Mpi2Side,
+                Some((&atom, &cparams)),
+            )
+            .unwrap();
             session.flush();
             e
         });

@@ -75,7 +75,7 @@ impl Topology {
 
     /// Whether `rank` is a privileged process.
     pub fn is_privileged(&self, rank: usize) -> bool {
-        rank != 0 && (rank - 1) % self.ranks_per_lsms == 0
+        rank != 0 && (rank - 1).is_multiple_of(self.ranks_per_lsms)
     }
 
     /// Build this rank's communicators: the world plus (for LSMS members)

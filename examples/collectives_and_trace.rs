@@ -18,7 +18,11 @@ fn main() {
         let me = session.rank();
 
         // comm_bcast root(0): simulation parameters to everyone.
-        let mut params = if me == 0 { [0.01f64, 300.0, 1.5] } else { [0.0; 3] };
+        let mut params = if me == 0 {
+            [0.01f64, 300.0, 1.5]
+        } else {
+            [0.0; 3]
+        };
         comm_coll!(session, BCAST { root(0) count(3) } => bcast(&mut params)).unwrap();
         assert_eq!(params, [0.01, 300.0, 1.5]);
 

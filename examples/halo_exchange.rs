@@ -93,7 +93,10 @@ fn main() {
     println!("1-D halo exchange, 8 ranks x {CELLS} cells, {ITERS} iterations");
     println!("  sequential : checksum {sum_seq:.6}, makespan {t_seq}");
     println!("  overlapped : checksum {sum_ovl:.6}, makespan {t_ovl}");
-    assert!((sum_seq - sum_ovl).abs() < 1e-9, "overlap changed the answer");
+    assert!(
+        (sum_seq - sum_ovl).abs() < 1e-9,
+        "overlap changed the answer"
+    );
     println!(
         "  overlap speedup: {:.2}x (same answer)",
         t_seq.as_nanos() as f64 / t_ovl.as_nanos() as f64

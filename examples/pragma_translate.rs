@@ -33,8 +33,8 @@ fn main() {
 
     // Static analysis at 16 ranks with the loop bound bound to 4.
     let vars = [("n".to_string(), 4i64), ("size".to_string(), 1)].into();
-    let report = pragma_front::analyze_with_vars(SOURCE, &syms, 16, &vars)
-        .expect("parse + analyze");
+    let report =
+        pragma_front::analyze_with_vars(SOURCE, &syms, 16, &vars).expect("parse + analyze");
     println!("===== analysis (16 ranks, n=4) =====");
     print!("{}", report.render());
 

@@ -68,7 +68,11 @@ fn main() {
             None => reference = Some(values.clone()),
             Some(r) => assert_eq!(r, &values, "retargeting changed the data!"),
         }
-        println!("{:>24}: makespan {:>12}  (identical data: yes)", target.keyword(), format!("{time}"));
+        println!(
+            "{:>24}: makespan {:>12}  (identical data: yes)",
+            target.keyword(),
+            format!("{time}")
+        );
     }
     println!("\nSHMEM wins on frequent small transfers; the code never changed.");
 }

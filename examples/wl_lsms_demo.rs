@@ -30,10 +30,7 @@ fn main() {
         let result = run_full_app(&topo, variant, sizes, steps);
         match &reference {
             None => reference = Some(result.energies.clone()),
-            Some(r) => assert_eq!(
-                r, &result.energies,
-                "{variant:?} changed the physics!"
-            ),
+            Some(r) => assert_eq!(r, &result.energies, "{variant:?} changed the physics!"),
         }
         println!(
             "{:>45}: makespan {:>12}, WL stages {}, E0 trajectory head {:?}",

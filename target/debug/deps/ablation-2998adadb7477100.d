@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ablation-2998adadb7477100.d: crates/bench/benches/ablation.rs
+
+/root/repo/target/debug/deps/libablation-2998adadb7477100.rmeta: crates/bench/benches/ablation.rs
+
+crates/bench/benches/ablation.rs:

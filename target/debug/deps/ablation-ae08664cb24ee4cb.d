@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/ablation-ae08664cb24ee4cb.d: crates/bench/benches/ablation.rs Cargo.toml
+
+/root/repo/target/debug/deps/libablation-ae08664cb24ee4cb.rmeta: crates/bench/benches/ablation.rs Cargo.toml
+
+crates/bench/benches/ablation.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/bench-2a95472df1a5ccfe.d: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/libbench-2a95472df1a5ccfe.rmeta: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/bench-6b1e134b4ace1192.d: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/bench-6b1e134b4ace1192: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:

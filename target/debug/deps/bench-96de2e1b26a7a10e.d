@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/bench-96de2e1b26a7a10e.d: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/libbench-96de2e1b26a7a10e.rlib: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/libbench-96de2e1b26a7a10e.rmeta: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/bench-a4f39786551f1e34.d: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/libbench-a4f39786551f1e34.rmeta: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:

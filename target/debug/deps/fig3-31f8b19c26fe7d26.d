@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig3-31f8b19c26fe7d26.d: crates/bench/src/bin/fig3.rs
+
+/root/repo/target/debug/deps/fig3-31f8b19c26fe7d26: crates/bench/src/bin/fig3.rs
+
+crates/bench/src/bin/fig3.rs:

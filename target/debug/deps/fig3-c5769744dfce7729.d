@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig3-c5769744dfce7729.d: crates/bench/src/bin/fig3.rs
+
+/root/repo/target/debug/deps/fig3-c5769744dfce7729: crates/bench/src/bin/fig3.rs
+
+crates/bench/src/bin/fig3.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig3-e32b056a827b05fb.d: crates/bench/src/bin/fig3.rs
+
+/root/repo/target/debug/deps/libfig3-e32b056a827b05fb.rmeta: crates/bench/src/bin/fig3.rs
+
+crates/bench/src/bin/fig3.rs:

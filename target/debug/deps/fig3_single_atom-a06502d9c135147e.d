@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig3_single_atom-a06502d9c135147e.d: crates/bench/benches/fig3_single_atom.rs
+
+/root/repo/target/debug/deps/libfig3_single_atom-a06502d9c135147e.rmeta: crates/bench/benches/fig3_single_atom.rs
+
+crates/bench/benches/fig3_single_atom.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig3_single_atom-ee8bdee1611b6619.d: crates/bench/benches/fig3_single_atom.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig3_single_atom-ee8bdee1611b6619.rmeta: crates/bench/benches/fig3_single_atom.rs Cargo.toml
+
+crates/bench/benches/fig3_single_atom.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

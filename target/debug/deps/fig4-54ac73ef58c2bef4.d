@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig4-54ac73ef58c2bef4.d: crates/bench/src/bin/fig4.rs
+
+/root/repo/target/debug/deps/fig4-54ac73ef58c2bef4: crates/bench/src/bin/fig4.rs
+
+crates/bench/src/bin/fig4.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig4-8225543169077a38.d: crates/bench/src/bin/fig4.rs
+
+/root/repo/target/debug/deps/fig4-8225543169077a38: crates/bench/src/bin/fig4.rs
+
+crates/bench/src/bin/fig4.rs:

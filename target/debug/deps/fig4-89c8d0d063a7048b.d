@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig4-89c8d0d063a7048b.d: crates/bench/src/bin/fig4.rs
+
+/root/repo/target/debug/deps/libfig4-89c8d0d063a7048b.rmeta: crates/bench/src/bin/fig4.rs
+
+crates/bench/src/bin/fig4.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig4-d3b1607f0745a79f.d: crates/bench/src/bin/fig4.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig4-d3b1607f0745a79f.rmeta: crates/bench/src/bin/fig4.rs Cargo.toml
+
+crates/bench/src/bin/fig4.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

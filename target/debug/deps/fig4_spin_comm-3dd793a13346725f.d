@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig4_spin_comm-3dd793a13346725f.d: crates/bench/benches/fig4_spin_comm.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig4_spin_comm-3dd793a13346725f.rmeta: crates/bench/benches/fig4_spin_comm.rs Cargo.toml
+
+crates/bench/benches/fig4_spin_comm.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

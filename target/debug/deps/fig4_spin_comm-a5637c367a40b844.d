@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig4_spin_comm-a5637c367a40b844.d: crates/bench/benches/fig4_spin_comm.rs
+
+/root/repo/target/debug/deps/libfig4_spin_comm-a5637c367a40b844.rmeta: crates/bench/benches/fig4_spin_comm.rs
+
+crates/bench/benches/fig4_spin_comm.rs:

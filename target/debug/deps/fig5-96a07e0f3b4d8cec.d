@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig5-96a07e0f3b4d8cec.d: crates/bench/src/bin/fig5.rs
+
+/root/repo/target/debug/deps/fig5-96a07e0f3b4d8cec: crates/bench/src/bin/fig5.rs
+
+crates/bench/src/bin/fig5.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig5-e3928c8211811ad3.d: crates/bench/src/bin/fig5.rs
+
+/root/repo/target/debug/deps/libfig5-e3928c8211811ad3.rmeta: crates/bench/src/bin/fig5.rs
+
+crates/bench/src/bin/fig5.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig5_overlap-10ec3cddd4ea89bb.d: crates/bench/benches/fig5_overlap.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig5_overlap-10ec3cddd4ea89bb.rmeta: crates/bench/benches/fig5_overlap.rs Cargo.toml
+
+crates/bench/benches/fig5_overlap.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig5_overlap-11a9c0d29597a71c.d: crates/bench/benches/fig5_overlap.rs
+
+/root/repo/target/debug/deps/libfig5_overlap-11a9c0d29597a71c.rmeta: crates/bench/benches/fig5_overlap.rs
+
+crates/bench/benches/fig5_overlap.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/figpoint-242ea03b24027036.d: crates/bench/src/bin/figpoint.rs
+
+/root/repo/target/debug/deps/libfigpoint-242ea03b24027036.rmeta: crates/bench/src/bin/figpoint.rs
+
+crates/bench/src/bin/figpoint.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/figures_smoke-441e7e76f21c0f87.d: crates/integration/../../tests/figures_smoke.rs
+
+/root/repo/target/debug/deps/figures_smoke-441e7e76f21c0f87: crates/integration/../../tests/figures_smoke.rs
+
+crates/integration/../../tests/figures_smoke.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/figures_smoke-66fa26d7f5b0e7be.d: crates/integration/../../tests/figures_smoke.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfigures_smoke-66fa26d7f5b0e7be.rmeta: crates/integration/../../tests/figures_smoke.rs Cargo.toml
+
+crates/integration/../../tests/figures_smoke.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/figures_smoke-ce0cf1cce669e415.d: crates/integration/../../tests/figures_smoke.rs
+
+/root/repo/target/debug/deps/figures_smoke-ce0cf1cce669e415: crates/integration/../../tests/figures_smoke.rs
+
+crates/integration/../../tests/figures_smoke.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/integration-06f9a0509295c272.d: crates/integration/src/lib.rs
+
+/root/repo/target/debug/deps/integration-06f9a0509295c272: crates/integration/src/lib.rs
+
+crates/integration/src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/integration-1b3f6c0ef7164da5.d: crates/integration/src/lib.rs
+
+/root/repo/target/debug/deps/integration-1b3f6c0ef7164da5: crates/integration/src/lib.rs
+
+crates/integration/src/lib.rs:

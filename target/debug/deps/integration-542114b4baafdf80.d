@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/integration-542114b4baafdf80.d: crates/integration/src/lib.rs
+
+/root/repo/target/debug/deps/libintegration-542114b4baafdf80.rlib: crates/integration/src/lib.rs
+
+/root/repo/target/debug/deps/libintegration-542114b4baafdf80.rmeta: crates/integration/src/lib.rs
+
+crates/integration/src/lib.rs:

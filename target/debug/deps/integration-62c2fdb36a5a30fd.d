@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/integration-62c2fdb36a5a30fd.d: crates/integration/src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libintegration-62c2fdb36a5a30fd.rmeta: crates/integration/src/lib.rs Cargo.toml
+
+crates/integration/src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/integration-8a912674e6b6abcf.d: crates/integration/src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libintegration-8a912674e6b6abcf.rmeta: crates/integration/src/lib.rs Cargo.toml
+
+crates/integration/src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/integration-c7f557d030c0a525.d: crates/integration/src/lib.rs
+
+/root/repo/target/debug/deps/libintegration-c7f557d030c0a525.rlib: crates/integration/src/lib.rs
+
+/root/repo/target/debug/deps/libintegration-c7f557d030c0a525.rmeta: crates/integration/src/lib.rs
+
+crates/integration/src/lib.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/micro-eded7dafcc887a95.d: crates/bench/benches/micro.rs Cargo.toml
+
+/root/repo/target/debug/deps/libmicro-eded7dafcc887a95.rmeta: crates/bench/benches/micro.rs Cargo.toml
+
+crates/bench/benches/micro.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

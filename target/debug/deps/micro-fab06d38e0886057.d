@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/micro-fab06d38e0886057.d: crates/bench/benches/micro.rs
+
+/root/repo/target/debug/deps/libmicro-fab06d38e0886057.rmeta: crates/bench/benches/micro.rs
+
+crates/bench/benches/micro.rs:

@@ -1,0 +1,15 @@
+/root/repo/target/debug/deps/mpisim-1064db2aa358534d.d: crates/mpisim/src/lib.rs crates/mpisim/src/coll.rs crates/mpisim/src/comm.rs crates/mpisim/src/dtype.rs crates/mpisim/src/pack.rs crates/mpisim/src/pod.rs crates/mpisim/src/win.rs Cargo.toml
+
+/root/repo/target/debug/deps/libmpisim-1064db2aa358534d.rmeta: crates/mpisim/src/lib.rs crates/mpisim/src/coll.rs crates/mpisim/src/comm.rs crates/mpisim/src/dtype.rs crates/mpisim/src/pack.rs crates/mpisim/src/pod.rs crates/mpisim/src/win.rs Cargo.toml
+
+crates/mpisim/src/lib.rs:
+crates/mpisim/src/coll.rs:
+crates/mpisim/src/comm.rs:
+crates/mpisim/src/dtype.rs:
+crates/mpisim/src/pack.rs:
+crates/mpisim/src/pod.rs:
+crates/mpisim/src/win.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

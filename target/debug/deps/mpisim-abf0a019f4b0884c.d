@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/mpisim-abf0a019f4b0884c.d: crates/mpisim/src/lib.rs crates/mpisim/src/coll.rs crates/mpisim/src/comm.rs crates/mpisim/src/dtype.rs crates/mpisim/src/pack.rs crates/mpisim/src/pod.rs crates/mpisim/src/win.rs
+
+/root/repo/target/debug/deps/libmpisim-abf0a019f4b0884c.rmeta: crates/mpisim/src/lib.rs crates/mpisim/src/coll.rs crates/mpisim/src/comm.rs crates/mpisim/src/dtype.rs crates/mpisim/src/pack.rs crates/mpisim/src/pod.rs crates/mpisim/src/win.rs
+
+crates/mpisim/src/lib.rs:
+crates/mpisim/src/coll.rs:
+crates/mpisim/src/comm.rs:
+crates/mpisim/src/dtype.rs:
+crates/mpisim/src/pack.rs:
+crates/mpisim/src/pod.rs:
+crates/mpisim/src/win.rs:

@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/mpisim-b2a1aee0300df79e.d: crates/mpisim/src/lib.rs crates/mpisim/src/coll.rs crates/mpisim/src/comm.rs crates/mpisim/src/dtype.rs crates/mpisim/src/pack.rs crates/mpisim/src/pod.rs crates/mpisim/src/win.rs
+
+/root/repo/target/debug/deps/mpisim-b2a1aee0300df79e: crates/mpisim/src/lib.rs crates/mpisim/src/coll.rs crates/mpisim/src/comm.rs crates/mpisim/src/dtype.rs crates/mpisim/src/pack.rs crates/mpisim/src/pod.rs crates/mpisim/src/win.rs
+
+crates/mpisim/src/lib.rs:
+crates/mpisim/src/coll.rs:
+crates/mpisim/src/comm.rs:
+crates/mpisim/src/dtype.rs:
+crates/mpisim/src/pack.rs:
+crates/mpisim/src/pod.rs:
+crates/mpisim/src/win.rs:

@@ -1,0 +1,15 @@
+/root/repo/target/debug/deps/netsim-6f1666c2626b60ba.d: crates/netsim/src/lib.rs crates/netsim/src/fabric.rs crates/netsim/src/model.rs crates/netsim/src/msg.rs crates/netsim/src/runtime.rs crates/netsim/src/time.rs crates/netsim/src/trace.rs Cargo.toml
+
+/root/repo/target/debug/deps/libnetsim-6f1666c2626b60ba.rmeta: crates/netsim/src/lib.rs crates/netsim/src/fabric.rs crates/netsim/src/model.rs crates/netsim/src/msg.rs crates/netsim/src/runtime.rs crates/netsim/src/time.rs crates/netsim/src/trace.rs Cargo.toml
+
+crates/netsim/src/lib.rs:
+crates/netsim/src/fabric.rs:
+crates/netsim/src/model.rs:
+crates/netsim/src/msg.rs:
+crates/netsim/src/runtime.rs:
+crates/netsim/src/time.rs:
+crates/netsim/src/trace.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/netsim-bbb5b5d6f4422c39.d: crates/netsim/src/lib.rs crates/netsim/src/fabric.rs crates/netsim/src/model.rs crates/netsim/src/msg.rs crates/netsim/src/runtime.rs crates/netsim/src/time.rs crates/netsim/src/trace.rs
+
+/root/repo/target/debug/deps/libnetsim-bbb5b5d6f4422c39.rlib: crates/netsim/src/lib.rs crates/netsim/src/fabric.rs crates/netsim/src/model.rs crates/netsim/src/msg.rs crates/netsim/src/runtime.rs crates/netsim/src/time.rs crates/netsim/src/trace.rs
+
+/root/repo/target/debug/deps/libnetsim-bbb5b5d6f4422c39.rmeta: crates/netsim/src/lib.rs crates/netsim/src/fabric.rs crates/netsim/src/model.rs crates/netsim/src/msg.rs crates/netsim/src/runtime.rs crates/netsim/src/time.rs crates/netsim/src/trace.rs
+
+crates/netsim/src/lib.rs:
+crates/netsim/src/fabric.rs:
+crates/netsim/src/model.rs:
+crates/netsim/src/msg.rs:
+crates/netsim/src/runtime.rs:
+crates/netsim/src/time.rs:
+crates/netsim/src/trace.rs:

@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/netsim-e23fa355a59dbc45.d: crates/netsim/src/lib.rs crates/netsim/src/fabric.rs crates/netsim/src/model.rs crates/netsim/src/msg.rs crates/netsim/src/runtime.rs crates/netsim/src/time.rs crates/netsim/src/trace.rs
+
+/root/repo/target/debug/deps/libnetsim-e23fa355a59dbc45.rmeta: crates/netsim/src/lib.rs crates/netsim/src/fabric.rs crates/netsim/src/model.rs crates/netsim/src/msg.rs crates/netsim/src/runtime.rs crates/netsim/src/time.rs crates/netsim/src/trace.rs
+
+crates/netsim/src/lib.rs:
+crates/netsim/src/fabric.rs:
+crates/netsim/src/model.rs:
+crates/netsim/src/msg.rs:
+crates/netsim/src/runtime.rs:
+crates/netsim/src/time.rs:
+crates/netsim/src/trace.rs:

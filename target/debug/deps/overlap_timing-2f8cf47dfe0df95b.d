@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/overlap_timing-2f8cf47dfe0df95b.d: crates/integration/../../tests/overlap_timing.rs
+
+/root/repo/target/debug/deps/overlap_timing-2f8cf47dfe0df95b: crates/integration/../../tests/overlap_timing.rs
+
+crates/integration/../../tests/overlap_timing.rs:

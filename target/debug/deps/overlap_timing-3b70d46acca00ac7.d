@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/overlap_timing-3b70d46acca00ac7.d: crates/integration/../../tests/overlap_timing.rs
+
+/root/repo/target/debug/deps/overlap_timing-3b70d46acca00ac7: crates/integration/../../tests/overlap_timing.rs
+
+crates/integration/../../tests/overlap_timing.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/overlap_timing-3b9380f71f47a5af.d: crates/integration/../../tests/overlap_timing.rs Cargo.toml
+
+/root/repo/target/debug/deps/liboverlap_timing-3b9380f71f47a5af.rmeta: crates/integration/../../tests/overlap_timing.rs Cargo.toml
+
+crates/integration/../../tests/overlap_timing.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/pragma_front-25ac3f9e8998f718.d: crates/pragma-front/src/lib.rs crates/pragma-front/src/lex.rs crates/pragma-front/src/parse.rs
+
+/root/repo/target/debug/deps/pragma_front-25ac3f9e8998f718: crates/pragma-front/src/lib.rs crates/pragma-front/src/lex.rs crates/pragma-front/src/parse.rs
+
+crates/pragma-front/src/lib.rs:
+crates/pragma-front/src/lex.rs:
+crates/pragma-front/src/parse.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/pragma_front-3b734109862c96a6.d: crates/pragma-front/src/lib.rs crates/pragma-front/src/lex.rs crates/pragma-front/src/parse.rs
+
+/root/repo/target/debug/deps/libpragma_front-3b734109862c96a6.rlib: crates/pragma-front/src/lib.rs crates/pragma-front/src/lex.rs crates/pragma-front/src/parse.rs
+
+/root/repo/target/debug/deps/libpragma_front-3b734109862c96a6.rmeta: crates/pragma-front/src/lib.rs crates/pragma-front/src/lex.rs crates/pragma-front/src/parse.rs
+
+crates/pragma-front/src/lib.rs:
+crates/pragma-front/src/lex.rs:
+crates/pragma-front/src/parse.rs:

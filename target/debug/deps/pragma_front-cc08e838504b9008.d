@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/pragma_front-cc08e838504b9008.d: crates/pragma-front/src/lib.rs crates/pragma-front/src/lex.rs crates/pragma-front/src/parse.rs Cargo.toml
+
+/root/repo/target/debug/deps/libpragma_front-cc08e838504b9008.rmeta: crates/pragma-front/src/lib.rs crates/pragma-front/src/lex.rs crates/pragma-front/src/parse.rs Cargo.toml
+
+crates/pragma-front/src/lib.rs:
+crates/pragma-front/src/lex.rs:
+crates/pragma-front/src/parse.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

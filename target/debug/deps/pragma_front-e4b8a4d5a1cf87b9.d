@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/pragma_front-e4b8a4d5a1cf87b9.d: crates/pragma-front/src/lib.rs crates/pragma-front/src/lex.rs crates/pragma-front/src/parse.rs
+
+/root/repo/target/debug/deps/libpragma_front-e4b8a4d5a1cf87b9.rmeta: crates/pragma-front/src/lib.rs crates/pragma-front/src/lex.rs crates/pragma-front/src/parse.rs
+
+crates/pragma-front/src/lib.rs:
+crates/pragma-front/src/lex.rs:
+crates/pragma-front/src/parse.rs:

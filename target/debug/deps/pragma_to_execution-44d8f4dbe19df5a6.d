@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/pragma_to_execution-44d8f4dbe19df5a6.d: crates/integration/../../tests/pragma_to_execution.rs
+
+/root/repo/target/debug/deps/pragma_to_execution-44d8f4dbe19df5a6: crates/integration/../../tests/pragma_to_execution.rs
+
+crates/integration/../../tests/pragma_to_execution.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/pragma_to_execution-9c30b7af41eb8c2e.d: crates/integration/../../tests/pragma_to_execution.rs
+
+/root/repo/target/debug/deps/pragma_to_execution-9c30b7af41eb8c2e: crates/integration/../../tests/pragma_to_execution.rs
+
+crates/integration/../../tests/pragma_to_execution.rs:

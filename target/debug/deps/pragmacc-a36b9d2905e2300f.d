@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/pragmacc-a36b9d2905e2300f.d: crates/pragma-front/src/bin/pragmacc.rs Cargo.toml
+
+/root/repo/target/debug/deps/libpragmacc-a36b9d2905e2300f.rmeta: crates/pragma-front/src/bin/pragmacc.rs Cargo.toml
+
+crates/pragma-front/src/bin/pragmacc.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

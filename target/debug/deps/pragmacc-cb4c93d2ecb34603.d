@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/pragmacc-cb4c93d2ecb34603.d: crates/pragma-front/src/bin/pragmacc.rs Cargo.toml
+
+/root/repo/target/debug/deps/libpragmacc-cb4c93d2ecb34603.rmeta: crates/pragma-front/src/bin/pragmacc.rs Cargo.toml
+
+crates/pragma-front/src/bin/pragmacc.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/pragmacc-e3809b55955542e0.d: crates/pragma-front/src/bin/pragmacc.rs
+
+/root/repo/target/debug/deps/pragmacc-e3809b55955542e0: crates/pragma-front/src/bin/pragmacc.rs
+
+crates/pragma-front/src/bin/pragmacc.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/pragmacc-f55933677a45508d.d: crates/pragma-front/src/bin/pragmacc.rs
+
+/root/repo/target/debug/deps/pragmacc-f55933677a45508d: crates/pragma-front/src/bin/pragmacc.rs
+
+crates/pragma-front/src/bin/pragmacc.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/prop_datatype-8e7a704170d32f23.d: crates/integration/../../tests/prop_datatype.rs Cargo.toml
+
+/root/repo/target/debug/deps/libprop_datatype-8e7a704170d32f23.rmeta: crates/integration/../../tests/prop_datatype.rs Cargo.toml
+
+crates/integration/../../tests/prop_datatype.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/prop_datatype-94cfc02399177fb7.d: crates/integration/../../tests/prop_datatype.rs
+
+/root/repo/target/debug/deps/prop_datatype-94cfc02399177fb7: crates/integration/../../tests/prop_datatype.rs
+
+crates/integration/../../tests/prop_datatype.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/prop_datatype-fc7098c2eb7de3cf.d: crates/integration/../../tests/prop_datatype.rs
+
+/root/repo/target/debug/deps/prop_datatype-fc7098c2eb7de3cf: crates/integration/../../tests/prop_datatype.rs
+
+crates/integration/../../tests/prop_datatype.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/prop_exprs-38b02dbe6fe6f7b8.d: crates/integration/../../tests/prop_exprs.rs
+
+/root/repo/target/debug/deps/prop_exprs-38b02dbe6fe6f7b8: crates/integration/../../tests/prop_exprs.rs
+
+crates/integration/../../tests/prop_exprs.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/prop_exprs-67a41847563112e7.d: crates/integration/../../tests/prop_exprs.rs
+
+/root/repo/target/debug/deps/prop_exprs-67a41847563112e7: crates/integration/../../tests/prop_exprs.rs
+
+crates/integration/../../tests/prop_exprs.rs:

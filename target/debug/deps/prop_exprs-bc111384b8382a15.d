@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/prop_exprs-bc111384b8382a15.d: crates/integration/../../tests/prop_exprs.rs Cargo.toml
+
+/root/repo/target/debug/deps/libprop_exprs-bc111384b8382a15.rmeta: crates/integration/../../tests/prop_exprs.rs Cargo.toml
+
+crates/integration/../../tests/prop_exprs.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/prop_matching-74952ef57d773b70.d: crates/integration/../../tests/prop_matching.rs
+
+/root/repo/target/debug/deps/prop_matching-74952ef57d773b70: crates/integration/../../tests/prop_matching.rs
+
+crates/integration/../../tests/prop_matching.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/prop_matching-b1205e3768cd888e.d: crates/integration/../../tests/prop_matching.rs
+
+/root/repo/target/debug/deps/prop_matching-b1205e3768cd888e: crates/integration/../../tests/prop_matching.rs
+
+crates/integration/../../tests/prop_matching.rs:

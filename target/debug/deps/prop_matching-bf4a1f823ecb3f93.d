@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/prop_matching-bf4a1f823ecb3f93.d: crates/integration/../../tests/prop_matching.rs Cargo.toml
+
+/root/repo/target/debug/deps/libprop_matching-bf4a1f823ecb3f93.rmeta: crates/integration/../../tests/prop_matching.rs Cargo.toml
+
+crates/integration/../../tests/prop_matching.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/prop_model-0c54d24d18f70002.d: crates/integration/../../tests/prop_model.rs
+
+/root/repo/target/debug/deps/prop_model-0c54d24d18f70002: crates/integration/../../tests/prop_model.rs
+
+crates/integration/../../tests/prop_model.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/prop_model-554ef07710b0fe02.d: crates/integration/../../tests/prop_model.rs Cargo.toml
+
+/root/repo/target/debug/deps/libprop_model-554ef07710b0fe02.rmeta: crates/integration/../../tests/prop_model.rs Cargo.toml
+
+crates/integration/../../tests/prop_model.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

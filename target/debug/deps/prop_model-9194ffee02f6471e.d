@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/prop_model-9194ffee02f6471e.d: crates/integration/../../tests/prop_model.rs
+
+/root/repo/target/debug/deps/prop_model-9194ffee02f6471e: crates/integration/../../tests/prop_model.rs
+
+crates/integration/../../tests/prop_model.rs:

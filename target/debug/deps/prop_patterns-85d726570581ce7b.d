@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/prop_patterns-85d726570581ce7b.d: crates/integration/../../tests/prop_patterns.rs
+
+/root/repo/target/debug/deps/prop_patterns-85d726570581ce7b: crates/integration/../../tests/prop_patterns.rs
+
+crates/integration/../../tests/prop_patterns.rs:

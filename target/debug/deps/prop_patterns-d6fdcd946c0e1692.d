@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/prop_patterns-d6fdcd946c0e1692.d: crates/integration/../../tests/prop_patterns.rs
+
+/root/repo/target/debug/deps/prop_patterns-d6fdcd946c0e1692: crates/integration/../../tests/prop_patterns.rs
+
+crates/integration/../../tests/prop_patterns.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ring_all_targets-044a72c2295ffbda.d: crates/integration/../../tests/ring_all_targets.rs
+
+/root/repo/target/debug/deps/ring_all_targets-044a72c2295ffbda: crates/integration/../../tests/ring_all_targets.rs
+
+crates/integration/../../tests/ring_all_targets.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ring_all_targets-52c94b5d903036cd.d: crates/integration/../../tests/ring_all_targets.rs
+
+/root/repo/target/debug/deps/ring_all_targets-52c94b5d903036cd: crates/integration/../../tests/ring_all_targets.rs
+
+crates/integration/../../tests/ring_all_targets.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/shmemsim-54e49a092d7240cf.d: crates/shmemsim/src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libshmemsim-54e49a092d7240cf.rmeta: crates/shmemsim/src/lib.rs Cargo.toml
+
+crates/shmemsim/src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/shmemsim-636231eb65d6dc7e.d: crates/shmemsim/src/lib.rs
+
+/root/repo/target/debug/deps/shmemsim-636231eb65d6dc7e: crates/shmemsim/src/lib.rs
+
+crates/shmemsim/src/lib.rs:

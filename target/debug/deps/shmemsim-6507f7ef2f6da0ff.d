@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/shmemsim-6507f7ef2f6da0ff.d: crates/shmemsim/src/lib.rs
+
+/root/repo/target/debug/deps/libshmemsim-6507f7ef2f6da0ff.rmeta: crates/shmemsim/src/lib.rs
+
+crates/shmemsim/src/lib.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/shmemsim-6a371da2a9df9402.d: crates/shmemsim/src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libshmemsim-6a371da2a9df9402.rmeta: crates/shmemsim/src/lib.rs Cargo.toml
+
+crates/shmemsim/src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

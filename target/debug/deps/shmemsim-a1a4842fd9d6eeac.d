@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/shmemsim-a1a4842fd9d6eeac.d: crates/shmemsim/src/lib.rs
+
+/root/repo/target/debug/deps/libshmemsim-a1a4842fd9d6eeac.rlib: crates/shmemsim/src/lib.rs
+
+/root/repo/target/debug/deps/libshmemsim-a1a4842fd9d6eeac.rmeta: crates/shmemsim/src/lib.rs
+
+crates/shmemsim/src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/sync_consolidation-528c146f2d73be2c.d: crates/integration/../../tests/sync_consolidation.rs
+
+/root/repo/target/debug/deps/sync_consolidation-528c146f2d73be2c: crates/integration/../../tests/sync_consolidation.rs
+
+crates/integration/../../tests/sync_consolidation.rs:

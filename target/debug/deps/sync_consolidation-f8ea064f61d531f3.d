@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/sync_consolidation-f8ea064f61d531f3.d: crates/integration/../../tests/sync_consolidation.rs
+
+/root/repo/target/debug/deps/sync_consolidation-f8ea064f61d531f3: crates/integration/../../tests/sync_consolidation.rs
+
+crates/integration/../../tests/sync_consolidation.rs:

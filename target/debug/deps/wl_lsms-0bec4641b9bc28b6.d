@@ -1,0 +1,17 @@
+/root/repo/target/debug/deps/wl_lsms-0bec4641b9bc28b6.d: crates/wl-lsms/src/lib.rs crates/wl-lsms/src/atom.rs crates/wl-lsms/src/atom_comm.rs crates/wl-lsms/src/core_states.rs crates/wl-lsms/src/experiments.rs crates/wl-lsms/src/matrix.rs crates/wl-lsms/src/spin.rs crates/wl-lsms/src/topology.rs crates/wl-lsms/src/wang_landau.rs Cargo.toml
+
+/root/repo/target/debug/deps/libwl_lsms-0bec4641b9bc28b6.rmeta: crates/wl-lsms/src/lib.rs crates/wl-lsms/src/atom.rs crates/wl-lsms/src/atom_comm.rs crates/wl-lsms/src/core_states.rs crates/wl-lsms/src/experiments.rs crates/wl-lsms/src/matrix.rs crates/wl-lsms/src/spin.rs crates/wl-lsms/src/topology.rs crates/wl-lsms/src/wang_landau.rs Cargo.toml
+
+crates/wl-lsms/src/lib.rs:
+crates/wl-lsms/src/atom.rs:
+crates/wl-lsms/src/atom_comm.rs:
+crates/wl-lsms/src/core_states.rs:
+crates/wl-lsms/src/experiments.rs:
+crates/wl-lsms/src/matrix.rs:
+crates/wl-lsms/src/spin.rs:
+crates/wl-lsms/src/topology.rs:
+crates/wl-lsms/src/wang_landau.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,15 @@
+/root/repo/target/debug/deps/wl_lsms-98952ea1a2206d41.d: crates/wl-lsms/src/lib.rs crates/wl-lsms/src/atom.rs crates/wl-lsms/src/atom_comm.rs crates/wl-lsms/src/core_states.rs crates/wl-lsms/src/experiments.rs crates/wl-lsms/src/matrix.rs crates/wl-lsms/src/spin.rs crates/wl-lsms/src/topology.rs crates/wl-lsms/src/wang_landau.rs
+
+/root/repo/target/debug/deps/libwl_lsms-98952ea1a2206d41.rlib: crates/wl-lsms/src/lib.rs crates/wl-lsms/src/atom.rs crates/wl-lsms/src/atom_comm.rs crates/wl-lsms/src/core_states.rs crates/wl-lsms/src/experiments.rs crates/wl-lsms/src/matrix.rs crates/wl-lsms/src/spin.rs crates/wl-lsms/src/topology.rs crates/wl-lsms/src/wang_landau.rs
+
+/root/repo/target/debug/deps/libwl_lsms-98952ea1a2206d41.rmeta: crates/wl-lsms/src/lib.rs crates/wl-lsms/src/atom.rs crates/wl-lsms/src/atom_comm.rs crates/wl-lsms/src/core_states.rs crates/wl-lsms/src/experiments.rs crates/wl-lsms/src/matrix.rs crates/wl-lsms/src/spin.rs crates/wl-lsms/src/topology.rs crates/wl-lsms/src/wang_landau.rs
+
+crates/wl-lsms/src/lib.rs:
+crates/wl-lsms/src/atom.rs:
+crates/wl-lsms/src/atom_comm.rs:
+crates/wl-lsms/src/core_states.rs:
+crates/wl-lsms/src/experiments.rs:
+crates/wl-lsms/src/matrix.rs:
+crates/wl-lsms/src/spin.rs:
+crates/wl-lsms/src/topology.rs:
+crates/wl-lsms/src/wang_landau.rs:

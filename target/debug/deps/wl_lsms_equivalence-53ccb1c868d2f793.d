@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/wl_lsms_equivalence-53ccb1c868d2f793.d: crates/integration/../../tests/wl_lsms_equivalence.rs
+
+/root/repo/target/debug/deps/wl_lsms_equivalence-53ccb1c868d2f793: crates/integration/../../tests/wl_lsms_equivalence.rs
+
+crates/integration/../../tests/wl_lsms_equivalence.rs:

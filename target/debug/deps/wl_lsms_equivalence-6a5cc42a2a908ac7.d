@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/wl_lsms_equivalence-6a5cc42a2a908ac7.d: crates/integration/../../tests/wl_lsms_equivalence.rs Cargo.toml
+
+/root/repo/target/debug/deps/libwl_lsms_equivalence-6a5cc42a2a908ac7.rmeta: crates/integration/../../tests/wl_lsms_equivalence.rs Cargo.toml
+
+crates/integration/../../tests/wl_lsms_equivalence.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/wl_lsms_equivalence-b078335e4db25648.d: crates/integration/../../tests/wl_lsms_equivalence.rs
+
+/root/repo/target/debug/deps/wl_lsms_equivalence-b078335e4db25648: crates/integration/../../tests/wl_lsms_equivalence.rs
+
+crates/integration/../../tests/wl_lsms_equivalence.rs:

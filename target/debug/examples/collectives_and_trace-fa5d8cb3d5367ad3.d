@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/collectives_and_trace-fa5d8cb3d5367ad3.d: crates/bench/../../examples/collectives_and_trace.rs
+
+/root/repo/target/debug/examples/collectives_and_trace-fa5d8cb3d5367ad3: crates/bench/../../examples/collectives_and_trace.rs
+
+crates/bench/../../examples/collectives_and_trace.rs:

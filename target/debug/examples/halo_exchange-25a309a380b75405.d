@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/halo_exchange-25a309a380b75405.d: crates/bench/../../examples/halo_exchange.rs Cargo.toml
+
+/root/repo/target/debug/examples/libhalo_exchange-25a309a380b75405.rmeta: crates/bench/../../examples/halo_exchange.rs Cargo.toml
+
+crates/bench/../../examples/halo_exchange.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/halo_exchange-f165c73185001aaa.d: crates/bench/../../examples/halo_exchange.rs
+
+/root/repo/target/debug/examples/halo_exchange-f165c73185001aaa: crates/bench/../../examples/halo_exchange.rs
+
+crates/bench/../../examples/halo_exchange.rs:

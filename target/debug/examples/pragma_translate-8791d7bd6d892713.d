@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/pragma_translate-8791d7bd6d892713.d: crates/bench/../../examples/pragma_translate.rs
+
+/root/repo/target/debug/examples/pragma_translate-8791d7bd6d892713: crates/bench/../../examples/pragma_translate.rs
+
+crates/bench/../../examples/pragma_translate.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/pragma_translate-acd039f858af741b.d: crates/bench/../../examples/pragma_translate.rs Cargo.toml
+
+/root/repo/target/debug/examples/libpragma_translate-acd039f858af741b.rmeta: crates/bench/../../examples/pragma_translate.rs Cargo.toml
+
+crates/bench/../../examples/pragma_translate.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

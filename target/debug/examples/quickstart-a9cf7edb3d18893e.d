@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/quickstart-a9cf7edb3d18893e.d: crates/bench/../../examples/quickstart.rs Cargo.toml
+
+/root/repo/target/debug/examples/libquickstart-a9cf7edb3d18893e.rmeta: crates/bench/../../examples/quickstart.rs Cargo.toml
+
+crates/bench/../../examples/quickstart.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

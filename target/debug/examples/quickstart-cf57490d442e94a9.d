@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/quickstart-cf57490d442e94a9.d: crates/bench/../../examples/quickstart.rs
+
+/root/repo/target/debug/examples/quickstart-cf57490d442e94a9: crates/bench/../../examples/quickstart.rs
+
+crates/bench/../../examples/quickstart.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/retarget_portability-1a15f6214efb0562.d: crates/bench/../../examples/retarget_portability.rs
+
+/root/repo/target/debug/examples/retarget_portability-1a15f6214efb0562: crates/bench/../../examples/retarget_portability.rs
+
+crates/bench/../../examples/retarget_portability.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/wl_lsms_demo-57dc7b47a2d0f391.d: crates/bench/../../examples/wl_lsms_demo.rs
+
+/root/repo/target/debug/examples/wl_lsms_demo-57dc7b47a2d0f391: crates/bench/../../examples/wl_lsms_demo.rs
+
+crates/bench/../../examples/wl_lsms_demo.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/wl_lsms_demo-89552cf5fc761bea.d: crates/bench/../../examples/wl_lsms_demo.rs Cargo.toml
+
+/root/repo/target/debug/examples/libwl_lsms_demo-89552cf5fc761bea.rmeta: crates/bench/../../examples/wl_lsms_demo.rs Cargo.toml
+
+crates/bench/../../examples/wl_lsms_demo.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

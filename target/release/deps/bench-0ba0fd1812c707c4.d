@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/bench-0ba0fd1812c707c4.d: crates/bench/src/lib.rs
+
+/root/repo/target/release/deps/bench-0ba0fd1812c707c4: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:

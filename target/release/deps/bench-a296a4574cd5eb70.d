@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/bench-a296a4574cd5eb70.d: crates/bench/src/lib.rs
+
+/root/repo/target/release/deps/libbench-a296a4574cd5eb70.rlib: crates/bench/src/lib.rs
+
+/root/repo/target/release/deps/libbench-a296a4574cd5eb70.rmeta: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:

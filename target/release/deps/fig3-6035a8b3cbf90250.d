@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig3-6035a8b3cbf90250.d: crates/bench/src/bin/fig3.rs
+
+/root/repo/target/release/deps/fig3-6035a8b3cbf90250: crates/bench/src/bin/fig3.rs
+
+crates/bench/src/bin/fig3.rs:

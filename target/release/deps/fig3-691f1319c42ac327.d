@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig3-691f1319c42ac327.d: crates/bench/src/bin/fig3.rs
+
+/root/repo/target/release/deps/fig3-691f1319c42ac327: crates/bench/src/bin/fig3.rs
+
+crates/bench/src/bin/fig3.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig4-844aa1947e49a3b0.d: crates/bench/src/bin/fig4.rs
+
+/root/repo/target/release/deps/fig4-844aa1947e49a3b0: crates/bench/src/bin/fig4.rs
+
+crates/bench/src/bin/fig4.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig4-87e59f4fdd7c49dd.d: crates/bench/src/bin/fig4.rs
+
+/root/repo/target/release/deps/fig4-87e59f4fdd7c49dd: crates/bench/src/bin/fig4.rs
+
+crates/bench/src/bin/fig4.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig5-23029c1f6ce970bb.d: crates/bench/src/bin/fig5.rs
+
+/root/repo/target/release/deps/fig5-23029c1f6ce970bb: crates/bench/src/bin/fig5.rs
+
+crates/bench/src/bin/fig5.rs:

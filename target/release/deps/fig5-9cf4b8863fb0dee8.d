@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig5-9cf4b8863fb0dee8.d: crates/bench/src/bin/fig5.rs
+
+/root/repo/target/release/deps/fig5-9cf4b8863fb0dee8: crates/bench/src/bin/fig5.rs
+
+crates/bench/src/bin/fig5.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/figpoint-51426e6d66953064.d: crates/bench/src/bin/figpoint.rs
+
+/root/repo/target/release/deps/figpoint-51426e6d66953064: crates/bench/src/bin/figpoint.rs
+
+crates/bench/src/bin/figpoint.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/figpoint-5a663bf25fe62e9d.d: crates/bench/src/bin/figpoint.rs
+
+/root/repo/target/release/deps/figpoint-5a663bf25fe62e9d: crates/bench/src/bin/figpoint.rs
+
+crates/bench/src/bin/figpoint.rs:

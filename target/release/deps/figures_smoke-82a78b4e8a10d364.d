@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/figures_smoke-82a78b4e8a10d364.d: crates/integration/../../tests/figures_smoke.rs
+
+/root/repo/target/release/deps/figures_smoke-82a78b4e8a10d364: crates/integration/../../tests/figures_smoke.rs
+
+crates/integration/../../tests/figures_smoke.rs:

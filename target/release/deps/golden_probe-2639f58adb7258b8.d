@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/golden_probe-2639f58adb7258b8.d: crates/integration/../../tests/golden_probe.rs
+
+/root/repo/target/release/deps/golden_probe-2639f58adb7258b8: crates/integration/../../tests/golden_probe.rs
+
+crates/integration/../../tests/golden_probe.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/integration-02c75671fc5ca5d4.d: crates/integration/src/lib.rs
+
+/root/repo/target/release/deps/integration-02c75671fc5ca5d4: crates/integration/src/lib.rs
+
+crates/integration/src/lib.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/integration-19e83017960cde08.d: crates/integration/src/lib.rs
+
+/root/repo/target/release/deps/libintegration-19e83017960cde08.rlib: crates/integration/src/lib.rs
+
+/root/repo/target/release/deps/libintegration-19e83017960cde08.rmeta: crates/integration/src/lib.rs
+
+crates/integration/src/lib.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/integration-491b65bd9baa7019.d: crates/integration/src/lib.rs
+
+/root/repo/target/release/deps/libintegration-491b65bd9baa7019.rlib: crates/integration/src/lib.rs
+
+/root/repo/target/release/deps/libintegration-491b65bd9baa7019.rmeta: crates/integration/src/lib.rs
+
+crates/integration/src/lib.rs:

@@ -1,0 +1,13 @@
+/root/repo/target/release/deps/mpisim-ffffc67f903bdc9e.d: crates/mpisim/src/lib.rs crates/mpisim/src/coll.rs crates/mpisim/src/comm.rs crates/mpisim/src/dtype.rs crates/mpisim/src/pack.rs crates/mpisim/src/pod.rs crates/mpisim/src/win.rs
+
+/root/repo/target/release/deps/libmpisim-ffffc67f903bdc9e.rlib: crates/mpisim/src/lib.rs crates/mpisim/src/coll.rs crates/mpisim/src/comm.rs crates/mpisim/src/dtype.rs crates/mpisim/src/pack.rs crates/mpisim/src/pod.rs crates/mpisim/src/win.rs
+
+/root/repo/target/release/deps/libmpisim-ffffc67f903bdc9e.rmeta: crates/mpisim/src/lib.rs crates/mpisim/src/coll.rs crates/mpisim/src/comm.rs crates/mpisim/src/dtype.rs crates/mpisim/src/pack.rs crates/mpisim/src/pod.rs crates/mpisim/src/win.rs
+
+crates/mpisim/src/lib.rs:
+crates/mpisim/src/coll.rs:
+crates/mpisim/src/comm.rs:
+crates/mpisim/src/dtype.rs:
+crates/mpisim/src/pack.rs:
+crates/mpisim/src/pod.rs:
+crates/mpisim/src/win.rs:

@@ -1,0 +1,11 @@
+/root/repo/target/release/deps/netsim-a9520a25c617704b.d: crates/netsim/src/lib.rs crates/netsim/src/fabric.rs crates/netsim/src/model.rs crates/netsim/src/msg.rs crates/netsim/src/runtime.rs crates/netsim/src/time.rs crates/netsim/src/trace.rs
+
+/root/repo/target/release/deps/netsim-a9520a25c617704b: crates/netsim/src/lib.rs crates/netsim/src/fabric.rs crates/netsim/src/model.rs crates/netsim/src/msg.rs crates/netsim/src/runtime.rs crates/netsim/src/time.rs crates/netsim/src/trace.rs
+
+crates/netsim/src/lib.rs:
+crates/netsim/src/fabric.rs:
+crates/netsim/src/model.rs:
+crates/netsim/src/msg.rs:
+crates/netsim/src/runtime.rs:
+crates/netsim/src/time.rs:
+crates/netsim/src/trace.rs:

@@ -1,0 +1,13 @@
+/root/repo/target/release/deps/netsim-d194a4bf12ffa5c6.d: crates/netsim/src/lib.rs crates/netsim/src/fabric.rs crates/netsim/src/model.rs crates/netsim/src/msg.rs crates/netsim/src/runtime.rs crates/netsim/src/time.rs crates/netsim/src/trace.rs
+
+/root/repo/target/release/deps/libnetsim-d194a4bf12ffa5c6.rlib: crates/netsim/src/lib.rs crates/netsim/src/fabric.rs crates/netsim/src/model.rs crates/netsim/src/msg.rs crates/netsim/src/runtime.rs crates/netsim/src/time.rs crates/netsim/src/trace.rs
+
+/root/repo/target/release/deps/libnetsim-d194a4bf12ffa5c6.rmeta: crates/netsim/src/lib.rs crates/netsim/src/fabric.rs crates/netsim/src/model.rs crates/netsim/src/msg.rs crates/netsim/src/runtime.rs crates/netsim/src/time.rs crates/netsim/src/trace.rs
+
+crates/netsim/src/lib.rs:
+crates/netsim/src/fabric.rs:
+crates/netsim/src/model.rs:
+crates/netsim/src/msg.rs:
+crates/netsim/src/runtime.rs:
+crates/netsim/src/time.rs:
+crates/netsim/src/trace.rs:

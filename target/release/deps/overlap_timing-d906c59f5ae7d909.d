@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/overlap_timing-d906c59f5ae7d909.d: crates/integration/../../tests/overlap_timing.rs
+
+/root/repo/target/release/deps/overlap_timing-d906c59f5ae7d909: crates/integration/../../tests/overlap_timing.rs
+
+crates/integration/../../tests/overlap_timing.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/pragma_front-a4f20483fb3646ba.d: crates/pragma-front/src/lib.rs crates/pragma-front/src/lex.rs crates/pragma-front/src/parse.rs
+
+/root/repo/target/release/deps/libpragma_front-a4f20483fb3646ba.rlib: crates/pragma-front/src/lib.rs crates/pragma-front/src/lex.rs crates/pragma-front/src/parse.rs
+
+/root/repo/target/release/deps/libpragma_front-a4f20483fb3646ba.rmeta: crates/pragma-front/src/lib.rs crates/pragma-front/src/lex.rs crates/pragma-front/src/parse.rs
+
+crates/pragma-front/src/lib.rs:
+crates/pragma-front/src/lex.rs:
+crates/pragma-front/src/parse.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/pragma_front-ff1e1a713326f47c.d: crates/pragma-front/src/lib.rs crates/pragma-front/src/lex.rs crates/pragma-front/src/parse.rs
+
+/root/repo/target/release/deps/pragma_front-ff1e1a713326f47c: crates/pragma-front/src/lib.rs crates/pragma-front/src/lex.rs crates/pragma-front/src/parse.rs
+
+crates/pragma-front/src/lib.rs:
+crates/pragma-front/src/lex.rs:
+crates/pragma-front/src/parse.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/pragma_to_execution-938f1ce488f74b5e.d: crates/integration/../../tests/pragma_to_execution.rs
+
+/root/repo/target/release/deps/pragma_to_execution-938f1ce488f74b5e: crates/integration/../../tests/pragma_to_execution.rs
+
+crates/integration/../../tests/pragma_to_execution.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/pragmacc-121f7d90a10798c6.d: crates/pragma-front/src/bin/pragmacc.rs
+
+/root/repo/target/release/deps/pragmacc-121f7d90a10798c6: crates/pragma-front/src/bin/pragmacc.rs
+
+crates/pragma-front/src/bin/pragmacc.rs:

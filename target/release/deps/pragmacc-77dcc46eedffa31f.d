@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/pragmacc-77dcc46eedffa31f.d: crates/pragma-front/src/bin/pragmacc.rs
+
+/root/repo/target/release/deps/pragmacc-77dcc46eedffa31f: crates/pragma-front/src/bin/pragmacc.rs
+
+crates/pragma-front/src/bin/pragmacc.rs:

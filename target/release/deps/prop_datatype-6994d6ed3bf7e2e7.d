@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/prop_datatype-6994d6ed3bf7e2e7.d: crates/integration/../../tests/prop_datatype.rs
+
+/root/repo/target/release/deps/prop_datatype-6994d6ed3bf7e2e7: crates/integration/../../tests/prop_datatype.rs
+
+crates/integration/../../tests/prop_datatype.rs:

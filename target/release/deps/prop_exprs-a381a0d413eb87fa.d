@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/prop_exprs-a381a0d413eb87fa.d: crates/integration/../../tests/prop_exprs.rs
+
+/root/repo/target/release/deps/prop_exprs-a381a0d413eb87fa: crates/integration/../../tests/prop_exprs.rs
+
+crates/integration/../../tests/prop_exprs.rs:

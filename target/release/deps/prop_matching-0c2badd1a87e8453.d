@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/prop_matching-0c2badd1a87e8453.d: crates/integration/../../tests/prop_matching.rs
+
+/root/repo/target/release/deps/prop_matching-0c2badd1a87e8453: crates/integration/../../tests/prop_matching.rs
+
+crates/integration/../../tests/prop_matching.rs:

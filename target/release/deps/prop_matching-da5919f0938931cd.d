@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/prop_matching-da5919f0938931cd.d: crates/integration/../../tests/prop_matching.rs
+
+/root/repo/target/release/deps/prop_matching-da5919f0938931cd: crates/integration/../../tests/prop_matching.rs
+
+crates/integration/../../tests/prop_matching.rs:

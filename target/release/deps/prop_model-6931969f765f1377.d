@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/prop_model-6931969f765f1377.d: crates/integration/../../tests/prop_model.rs
+
+/root/repo/target/release/deps/prop_model-6931969f765f1377: crates/integration/../../tests/prop_model.rs
+
+crates/integration/../../tests/prop_model.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/prop_patterns-ae2ff52d2561a020.d: crates/integration/../../tests/prop_patterns.rs
+
+/root/repo/target/release/deps/prop_patterns-ae2ff52d2561a020: crates/integration/../../tests/prop_patterns.rs
+
+crates/integration/../../tests/prop_patterns.rs:

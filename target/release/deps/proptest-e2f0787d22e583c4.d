@@ -1,0 +1,6 @@
+/root/repo/target/release/deps/proptest-e2f0787d22e583c4.d: vendor/proptest/src/lib.rs vendor/proptest/src/collection.rs
+
+/root/repo/target/release/deps/proptest-e2f0787d22e583c4: vendor/proptest/src/lib.rs vendor/proptest/src/collection.rs
+
+vendor/proptest/src/lib.rs:
+vendor/proptest/src/collection.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/ring_all_targets-6c35915437bbcf60.d: crates/integration/../../tests/ring_all_targets.rs
+
+/root/repo/target/release/deps/ring_all_targets-6c35915437bbcf60: crates/integration/../../tests/ring_all_targets.rs
+
+crates/integration/../../tests/ring_all_targets.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/shmemsim-4b31bf4ff592a125.d: crates/shmemsim/src/lib.rs
+
+/root/repo/target/release/deps/shmemsim-4b31bf4ff592a125: crates/shmemsim/src/lib.rs
+
+crates/shmemsim/src/lib.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/shmemsim-4b868a7e563f6c4e.d: crates/shmemsim/src/lib.rs
+
+/root/repo/target/release/deps/libshmemsim-4b868a7e563f6c4e.rlib: crates/shmemsim/src/lib.rs
+
+/root/repo/target/release/deps/libshmemsim-4b868a7e563f6c4e.rmeta: crates/shmemsim/src/lib.rs
+
+crates/shmemsim/src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/sync_consolidation-2394d9a0cd6c778e.d: crates/integration/../../tests/sync_consolidation.rs
+
+/root/repo/target/release/deps/sync_consolidation-2394d9a0cd6c778e: crates/integration/../../tests/sync_consolidation.rs
+
+crates/integration/../../tests/sync_consolidation.rs:

@@ -1,0 +1,13 @@
+/root/repo/target/release/deps/wl_lsms-3a3e2b5f7a1beb9e.d: crates/wl-lsms/src/lib.rs crates/wl-lsms/src/atom.rs crates/wl-lsms/src/atom_comm.rs crates/wl-lsms/src/core_states.rs crates/wl-lsms/src/experiments.rs crates/wl-lsms/src/matrix.rs crates/wl-lsms/src/spin.rs crates/wl-lsms/src/topology.rs crates/wl-lsms/src/wang_landau.rs
+
+/root/repo/target/release/deps/wl_lsms-3a3e2b5f7a1beb9e: crates/wl-lsms/src/lib.rs crates/wl-lsms/src/atom.rs crates/wl-lsms/src/atom_comm.rs crates/wl-lsms/src/core_states.rs crates/wl-lsms/src/experiments.rs crates/wl-lsms/src/matrix.rs crates/wl-lsms/src/spin.rs crates/wl-lsms/src/topology.rs crates/wl-lsms/src/wang_landau.rs
+
+crates/wl-lsms/src/lib.rs:
+crates/wl-lsms/src/atom.rs:
+crates/wl-lsms/src/atom_comm.rs:
+crates/wl-lsms/src/core_states.rs:
+crates/wl-lsms/src/experiments.rs:
+crates/wl-lsms/src/matrix.rs:
+crates/wl-lsms/src/spin.rs:
+crates/wl-lsms/src/topology.rs:
+crates/wl-lsms/src/wang_landau.rs:

@@ -1,0 +1,15 @@
+/root/repo/target/release/deps/wl_lsms-74b37b7c28c8e4c4.d: crates/wl-lsms/src/lib.rs crates/wl-lsms/src/atom.rs crates/wl-lsms/src/atom_comm.rs crates/wl-lsms/src/core_states.rs crates/wl-lsms/src/experiments.rs crates/wl-lsms/src/matrix.rs crates/wl-lsms/src/spin.rs crates/wl-lsms/src/topology.rs crates/wl-lsms/src/wang_landau.rs
+
+/root/repo/target/release/deps/libwl_lsms-74b37b7c28c8e4c4.rlib: crates/wl-lsms/src/lib.rs crates/wl-lsms/src/atom.rs crates/wl-lsms/src/atom_comm.rs crates/wl-lsms/src/core_states.rs crates/wl-lsms/src/experiments.rs crates/wl-lsms/src/matrix.rs crates/wl-lsms/src/spin.rs crates/wl-lsms/src/topology.rs crates/wl-lsms/src/wang_landau.rs
+
+/root/repo/target/release/deps/libwl_lsms-74b37b7c28c8e4c4.rmeta: crates/wl-lsms/src/lib.rs crates/wl-lsms/src/atom.rs crates/wl-lsms/src/atom_comm.rs crates/wl-lsms/src/core_states.rs crates/wl-lsms/src/experiments.rs crates/wl-lsms/src/matrix.rs crates/wl-lsms/src/spin.rs crates/wl-lsms/src/topology.rs crates/wl-lsms/src/wang_landau.rs
+
+crates/wl-lsms/src/lib.rs:
+crates/wl-lsms/src/atom.rs:
+crates/wl-lsms/src/atom_comm.rs:
+crates/wl-lsms/src/core_states.rs:
+crates/wl-lsms/src/experiments.rs:
+crates/wl-lsms/src/matrix.rs:
+crates/wl-lsms/src/spin.rs:
+crates/wl-lsms/src/topology.rs:
+crates/wl-lsms/src/wang_landau.rs:

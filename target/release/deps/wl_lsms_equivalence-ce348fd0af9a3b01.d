@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/wl_lsms_equivalence-ce348fd0af9a3b01.d: crates/integration/../../tests/wl_lsms_equivalence.rs
+
+/root/repo/target/release/deps/wl_lsms_equivalence-ce348fd0af9a3b01: crates/integration/../../tests/wl_lsms_equivalence.rs
+
+crates/integration/../../tests/wl_lsms_equivalence.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/collectives_and_trace-cf67ffa2741843e6.d: crates/bench/../../examples/collectives_and_trace.rs
+
+/root/repo/target/release/examples/collectives_and_trace-cf67ffa2741843e6: crates/bench/../../examples/collectives_and_trace.rs
+
+crates/bench/../../examples/collectives_and_trace.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/halo_exchange-f3fbbab84a46a148.d: crates/bench/../../examples/halo_exchange.rs
+
+/root/repo/target/release/examples/halo_exchange-f3fbbab84a46a148: crates/bench/../../examples/halo_exchange.rs
+
+crates/bench/../../examples/halo_exchange.rs:

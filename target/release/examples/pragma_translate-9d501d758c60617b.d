@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/pragma_translate-9d501d758c60617b.d: crates/bench/../../examples/pragma_translate.rs
+
+/root/repo/target/release/examples/pragma_translate-9d501d758c60617b: crates/bench/../../examples/pragma_translate.rs
+
+crates/bench/../../examples/pragma_translate.rs:

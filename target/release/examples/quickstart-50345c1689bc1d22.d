@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/quickstart-50345c1689bc1d22.d: crates/bench/../../examples/quickstart.rs
+
+/root/repo/target/release/examples/quickstart-50345c1689bc1d22: crates/bench/../../examples/quickstart.rs
+
+crates/bench/../../examples/quickstart.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/retarget_portability-d90d41aa96914da6.d: crates/bench/../../examples/retarget_portability.rs
+
+/root/repo/target/release/examples/retarget_portability-d90d41aa96914da6: crates/bench/../../examples/retarget_portability.rs
+
+crates/bench/../../examples/retarget_portability.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/wl_lsms_demo-e09042b13723b418.d: crates/bench/../../examples/wl_lsms_demo.rs
+
+/root/repo/target/release/examples/wl_lsms_demo-e09042b13723b418: crates/bench/../../examples/wl_lsms_demo.rs
+
+crates/bench/../../examples/wl_lsms_demo.rs:

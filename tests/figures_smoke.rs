@@ -82,7 +82,12 @@ fn fig5_overlap_saves_roughly_the_communication_time() {
     let steps = 2;
     let seq = fig5_overlap(&topo, false, cparams, sizes, steps);
     let ovl = fig5_overlap(&topo, true, cparams, sizes, steps);
-    assert!(ovl.time < seq.time, "overlap {} !< sequential {}", ovl.time, seq.time);
+    assert!(
+        ovl.time < seq.time,
+        "overlap {} !< sequential {}",
+        ovl.time,
+        seq.time
+    );
     // Bounded by compute: overlapped time can't drop below the computation.
     assert!(ovl.time >= cparams.time_per_atom());
 }

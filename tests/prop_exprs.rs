@@ -51,9 +51,7 @@ fn cond_strategy() -> impl Strategy<Value = CondExpr> {
 fn roundtrip_rank_expr(e: &RankExpr) -> RankExpr {
     let mut syms = SymbolTable::new();
     syms.declare_prim("b", BasicType::U8, 1);
-    let src = format!(
-        "#pragma comm_p2p sender({e}) receiver(0) sbuf(b) rbuf(b)"
-    );
+    let src = format!("#pragma comm_p2p sender({e}) receiver(0) sbuf(b) rbuf(b)");
     let parsed = parse(&src, &syms).unwrap_or_else(|err| panic!("`{e}` failed to parse: {err}"));
     let Item::P2p(p) = &parsed.items[0] else {
         panic!("expected p2p");

@@ -4,7 +4,7 @@
 //! schedules.
 
 use integration::with_ranks;
-use netsim::{SrcSel, TagSel, Time};
+use netsim::{match_timing, Fabric, RecvRequest, SendRequest, SrcSel, TagSel, Time, WireCosts};
 use proptest::prelude::*;
 
 #[derive(Clone, Debug)]
@@ -12,6 +12,205 @@ struct Msg {
     tag: i32,
     len: usize,
     fill: u8,
+}
+
+// ---------------------------------------------------------------------------
+// Indexed mailbox ≡ reference linear-scan matcher
+// ---------------------------------------------------------------------------
+
+/// One step of a scripted send/post interleaving against a single receiver.
+#[derive(Clone, Debug)]
+enum Op {
+    Send {
+        src: usize,
+        tag: i32,
+        len: usize,
+        depart_ns: u64,
+        eager: bool,
+    },
+    Post {
+        src: SrcSel,
+        tag: TagSel,
+        post_ns: u64,
+    },
+}
+
+const OP_SRCS: usize = 4;
+const OP_TAGS: i32 = 3;
+
+fn wire_costs(eager: bool) -> WireCosts {
+    WireCosts {
+        latency: 1_000,
+        byte_time_ns: 1.0,
+        handshake: 400,
+        unexpected_per_byte: 0.5,
+        eager,
+    }
+}
+
+fn op_strategy() -> impl Strategy<Value = Op> {
+    prop_oneof![
+        (
+            0..OP_SRCS,
+            0..OP_TAGS,
+            1usize..64,
+            0u64..10_000,
+            any::<bool>()
+        )
+            .prop_map(|(src, tag, len, depart_ns, eager)| Op::Send {
+                src,
+                tag,
+                len,
+                depart_ns,
+                eager,
+            }),
+        // `OP_SRCS` / `OP_TAGS` act as the wildcard sentinel.
+        (0..=OP_SRCS, 0..=OP_TAGS, 0u64..10_000).prop_map(|(src, tag, post_ns)| Op::Post {
+            src: if src == OP_SRCS {
+                SrcSel::Any
+            } else {
+                SrcSel::Exact(src)
+            },
+            tag: if tag == OP_TAGS {
+                TagSel::Any
+            } else {
+                TagSel::Exact(tag)
+            },
+            post_ns,
+        }),
+    ]
+}
+
+/// What one posted receive resolved to: `(len, fill, src, tag, completion,
+/// unexpected)`, or `None` while unmatched.
+type RecvOutcome = Option<(usize, u8, usize, i32, Time, bool)>;
+
+/// The seed's linear-scan matching engine, transcribed over parked message
+/// descriptors: deliveries match the first posted receive in posting order;
+/// posts consider only each source's oldest matching parked message
+/// (non-overtaking) and pick the earliest virtual arrival, tie-broken by
+/// physical arrival order.
+#[derive(Default)]
+struct RefMailbox {
+    unexpected: Vec<RefEnv>,
+    posted: Vec<RefPosted>,
+    arrival_seq: u64,
+}
+
+struct RefEnv {
+    src: usize,
+    tag: i32,
+    len: usize,
+    fill: u8,
+    depart: Time,
+    costs: WireCosts,
+    arrival_seq: u64,
+    send_id: usize,
+}
+
+struct RefPosted {
+    src: SrcSel,
+    tag: TagSel,
+    post_time: Time,
+    recv_id: usize,
+}
+
+impl RefMailbox {
+    /// Set a send completion with the real `Completion` cell's idempotence:
+    /// the first value wins (an eager send completes at departure when it
+    /// parks; the later match does not move it).
+    fn set_send(send_outcomes: &mut [Option<Time>], id: usize, t: Time) {
+        if send_outcomes[id].is_none() {
+            send_outcomes[id] = Some(t);
+        }
+    }
+
+    fn complete(
+        env: RefEnv,
+        post_time: Time,
+        recv_id: usize,
+        recv_outcomes: &mut [RecvOutcome],
+        send_outcomes: &mut [Option<Time>],
+    ) {
+        let t = match_timing(&env.costs, env.len, env.depart, post_time);
+        recv_outcomes[recv_id] = Some((
+            env.len,
+            env.fill,
+            env.src,
+            env.tag,
+            t.recv_complete,
+            t.unexpected,
+        ));
+        Self::set_send(send_outcomes, env.send_id, t.send_complete);
+    }
+
+    fn deliver(
+        &mut self,
+        mut env: RefEnv,
+        recv_outcomes: &mut [RecvOutcome],
+        send_outcomes: &mut [Option<Time>],
+    ) {
+        env.arrival_seq = self.arrival_seq;
+        self.arrival_seq += 1;
+        if let Some(idx) = self
+            .posted
+            .iter()
+            .position(|p| p.src.matches(env.src) && p.tag.matches(env.tag))
+        {
+            let posted = self.posted.remove(idx);
+            Self::complete(
+                env,
+                posted.post_time,
+                posted.recv_id,
+                recv_outcomes,
+                send_outcomes,
+            );
+        } else {
+            if env.costs.eager {
+                Self::set_send(send_outcomes, env.send_id, env.depart);
+            }
+            self.unexpected.push(env);
+        }
+    }
+
+    fn post(
+        &mut self,
+        src: SrcSel,
+        tag: TagSel,
+        post_time: Time,
+        recv_id: usize,
+        recv_outcomes: &mut [RecvOutcome],
+        send_outcomes: &mut [Option<Time>],
+    ) {
+        let mut oldest_per_src: std::collections::HashMap<usize, usize> =
+            std::collections::HashMap::new();
+        for (i, e) in self.unexpected.iter().enumerate() {
+            if src.matches(e.src) && tag.matches(e.tag) {
+                let entry = oldest_per_src.entry(e.src).or_insert(i);
+                if self.unexpected[*entry].arrival_seq > e.arrival_seq {
+                    *entry = i;
+                }
+            }
+        }
+        let best = oldest_per_src.into_values().min_by_key(|&i| {
+            let e = &self.unexpected[i];
+            (e.costs.eager_arrival(e.depart, e.len), e.arrival_seq)
+        });
+        match best {
+            Some(i) => {
+                let env = self.unexpected.remove(i);
+                Self::complete(env, post_time, recv_id, recv_outcomes, send_outcomes);
+            }
+            None => {
+                self.posted.push(RefPosted {
+                    src,
+                    tag,
+                    post_time,
+                    recv_id,
+                });
+            }
+        }
+    }
 }
 
 fn msg_strategy() -> impl Strategy<Value = Msg> {
@@ -190,6 +389,86 @@ proptest! {
         prop_assert_eq!(a.final_times, b.final_times);
     }
 
+    /// The indexed per-source mailbox must produce the same match pairings
+    /// and the same virtual completion times as the seed's linear-scan
+    /// matcher, for arbitrary interleavings of sends and posts including
+    /// wildcard sources and tags. The script runs single-threaded against
+    /// the real `Fabric`, so the interleaving seen by the indexed engine is
+    /// exactly the scripted one.
+    #[test]
+    fn indexed_matching_equals_reference_linear_scan(
+        ops in proptest::collection::vec(op_strategy(), 1..48),
+    ) {
+        let fabric = Fabric::new(OP_SRCS + 1);
+        let dst = OP_SRCS;
+        let mut reference = RefMailbox::default();
+        let mut send_reqs: Vec<SendRequest> = Vec::new();
+        let mut recv_reqs: Vec<RecvRequest> = Vec::new();
+        let mut ref_send: Vec<Option<Time>> = Vec::new();
+        let mut ref_recv: Vec<RecvOutcome> = Vec::new();
+        for op in &ops {
+            match *op {
+                Op::Send { src, tag, len, depart_ns, eager } => {
+                    let send_id = send_reqs.len();
+                    let fill = send_id as u8;
+                    let costs = wire_costs(eager);
+                    let depart = Time::from_nanos(depart_ns);
+                    send_reqs.push(fabric.send(
+                        src,
+                        dst,
+                        tag,
+                        bytes::Bytes::from(vec![fill; len]),
+                        depart,
+                        costs,
+                    ));
+                    ref_send.push(None);
+                    reference.deliver(
+                        RefEnv {
+                            src,
+                            tag,
+                            len,
+                            fill,
+                            depart,
+                            costs,
+                            arrival_seq: 0,
+                            send_id,
+                        },
+                        &mut ref_recv,
+                        &mut ref_send,
+                    );
+                }
+                Op::Post { src, tag, post_ns } => {
+                    let recv_id = recv_reqs.len();
+                    let post_time = Time::from_nanos(post_ns);
+                    recv_reqs.push(fabric.recv(dst, src, tag, post_time));
+                    ref_recv.push(None);
+                    reference.post(src, tag, post_time, recv_id, &mut ref_recv, &mut ref_send);
+                }
+            }
+        }
+        for (i, req) in recv_reqs.iter().enumerate() {
+            match (req.poll(), &ref_recv[i]) {
+                (Some(done), Some((len, fill, src, tag, completion, unexpected))) => {
+                    prop_assert_eq!(done.payload.len(), *len, "recv {} length", i);
+                    prop_assert_eq!(done.payload[0], *fill, "recv {} message identity", i);
+                    prop_assert_eq!(done.src, *src, "recv {} source", i);
+                    prop_assert_eq!(done.tag, *tag, "recv {} tag", i);
+                    prop_assert_eq!(done.completion, *completion, "recv {} completion", i);
+                    prop_assert_eq!(done.unexpected, *unexpected, "recv {} unexpected flag", i);
+                }
+                (None, None) => {}
+                (got, want) => prop_assert!(
+                    false,
+                    "recv {} diverged: indexed {:?} vs reference {:?}",
+                    i, got, want
+                ),
+            }
+        }
+        for (i, req) in send_reqs.iter().enumerate() {
+            prop_assert_eq!(req.poll(), ref_send[i], "send {} completion", i);
+        }
+    }
+
     #[test]
     fn completion_times_respect_wire_physics(
         len in 1usize..8192,
@@ -218,5 +497,64 @@ proptest! {
         prop_assert!(
             completion >= Time::from_nanos((len as f64 * m.byte_time_ns) as u64)
         );
+    }
+}
+
+/// Non-overtaking under wildcards: a source's oldest matching message wins
+/// even when a younger message from the same source would arrive (virtually)
+/// earlier — the pathological case where a pure earliest-arrival pick would
+/// reorder one sender's stream.
+#[test]
+fn wildcard_post_respects_per_source_order() {
+    let fabric = Fabric::new(2);
+    let costs = wire_costs(true);
+    // Big message first: eager arrival 0 + 1000 + 63 = 1063.
+    fabric.send(
+        0,
+        1,
+        0,
+        bytes::Bytes::from(vec![1u8; 63]),
+        Time::ZERO,
+        costs,
+    );
+    // Small message second: eager arrival 0 + 1000 + 1 = 1001 — earlier.
+    fabric.send(0, 1, 0, bytes::Bytes::from(vec![2u8; 1]), Time::ZERO, costs);
+    let r = fabric.recv(1, SrcSel::Any, TagSel::Any, Time::from_nanos(5_000));
+    let done = r.wait_raw();
+    assert_eq!(
+        done.payload[0], 1,
+        "oldest message from the source matches first"
+    );
+    assert_eq!(done.payload.len(), 63);
+}
+
+/// Fixed-scenario makespans pinned to the seed matching engine's values:
+/// the indexed mailbox (and every later runtime optimization) must never
+/// change what the simulator measures. Values were printed from the seed
+/// revision before the refactor.
+#[test]
+fn fixed_scenario_makespans_unchanged() {
+    use wl_lsms::{fig4_spin, SpinVariant, Topology};
+    let variants = [
+        SpinVariant::Original,
+        SpinVariant::OriginalWaitall,
+        SpinVariant::DirectiveMpi2,
+        SpinVariant::DirectiveShmem,
+    ];
+    let goldens: [(usize, usize, [u64; 4]); 2] = [
+        (2, 2, [81_600, 36_962, 23_942, 3_282]),
+        (4, 3, [163_200, 61_521, 43_881, 4_823]),
+    ];
+    for (m, steps, expect) in goldens {
+        let topo = Topology::paper(m);
+        for (v, want) in variants.into_iter().zip(expect) {
+            let meas = fig4_spin(&topo, v, steps);
+            assert!(meas.correct, "spin validation failed for {v:?}");
+            assert_eq!(
+                meas.time.as_nanos(),
+                want,
+                "fig4 m={m} steps={steps} {v:?} drifted from the seed golden"
+            );
+        }
     }
 }

@@ -2,8 +2,8 @@
 //! shapes and the analyses classify what was executed.
 
 use commint::analysis::{classify, resolve_graph, Pattern};
-use commint::prelude::*;
 use commint::patterns;
+use commint::prelude::*;
 use integration::with_world_session;
 use proptest::prelude::*;
 
@@ -32,7 +32,7 @@ proptest! {
 
     #[test]
     fn cyclic_shift_classification(n in 2usize..12, k in 1i64..11) {
-        prop_assume!((k as usize) % n != 0);
+        prop_assume!(!(k as usize).is_multiple_of(n));
         let res = with_world_session(n, move |s| {
             let send = [0i64];
             let mut recv = [0i64];

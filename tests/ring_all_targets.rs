@@ -20,10 +20,7 @@ fn ring_identical_across_targets_and_sizes() {
             });
             match &reference {
                 None => reference = Some(res.per_rank),
-                Some(r) => assert_eq!(
-                    r, &res.per_rank,
-                    "target {target} diverged at n={n}"
-                ),
+                Some(r) => assert_eq!(r, &res.per_rank, "target {target} diverged at n={n}"),
             }
         }
         let data = reference.expect("set");
@@ -90,7 +87,9 @@ fn multi_buffer_lists_across_targets() {
             let mut ra = vec![0f64; 8];
             let mut rb = vec![0i32; 8];
             let params = CommParams::new()
-                .sender((RankExpr::rank() - RankExpr::lit(1) + RankExpr::nranks()) % RankExpr::nranks())
+                .sender(
+                    (RankExpr::rank() - RankExpr::lit(1) + RankExpr::nranks()) % RankExpr::nranks(),
+                )
                 .receiver((RankExpr::rank() + RankExpr::lit(1)) % RankExpr::nranks())
                 .count(8)
                 .target(target);
@@ -140,7 +139,9 @@ fn timing_profiles_differ_by_target_but_data_does_not() {
         let res = with_world_session(9, move |s| {
             let me = s.rank() as i64;
             let params = CommParams::new()
-                .sender((RankExpr::rank() - RankExpr::lit(1) + RankExpr::nranks()) % RankExpr::nranks())
+                .sender(
+                    (RankExpr::rank() - RankExpr::lit(1) + RankExpr::nranks()) % RankExpr::nranks(),
+                )
                 .receiver((RankExpr::rank() + RankExpr::lit(1)) % RankExpr::nranks())
                 .max_comm_iter(16)
                 .target(target);

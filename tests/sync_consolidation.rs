@@ -140,7 +140,9 @@ fn begin_next_region_placement() {
         .unwrap();
         let after_first = s.ctx().stats.waitalls;
         // Empty second region: the carried sync applies at its start.
-        let params2 = CommParams::new().sender(RankExpr::lit(0)).receiver(RankExpr::lit(1));
+        let params2 = CommParams::new()
+            .sender(RankExpr::lit(0))
+            .receiver(RankExpr::lit(1));
         s.region(&params2, |_reg| {}).unwrap();
         let after_second = s.ctx().stats.waitalls;
         (after_first, after_second, dst[0])
@@ -150,7 +152,10 @@ fn begin_next_region_placement() {
         assert_eq!(b, 1, "carried sync applied at next region entry");
         let _ = v;
     }
-    assert_eq!(res.per_rank[1].2, 9, "data delivered regardless of placement");
+    assert_eq!(
+        res.per_rank[1].2, 9,
+        "data delivered regardless of placement"
+    );
 }
 
 #[test]
@@ -190,7 +195,7 @@ fn end_adjacent_regions_placement() {
         // One consolidated charge for the carried requests + one for the
         // final region's own (merged application order may fold them; at
         // most two calls).
-        assert!(total >= 1 && total <= 2, "got {total}");
+        assert!((1..=2).contains(&total), "got {total}");
     }
 }
 
@@ -309,7 +314,11 @@ fn dependent_send_is_causally_ordered() {
         (hop, fin, s.ctx().now())
     });
     assert_eq!(res.per_rank[1].0, [7, 8, 9, 10]);
-    assert_eq!(res.per_rank[2].1, [7, 8, 9, 10], "relay forwarded real data");
+    assert_eq!(
+        res.per_rank[2].1,
+        [7, 8, 9, 10],
+        "relay forwarded real data"
+    );
     // Rank 2's completion must come after a full two-hop latency chain.
     let two_hops = Time::from_nanos(2 * netsim::CostModel::gemini_mpi().latency);
     assert!(

@@ -36,7 +36,10 @@ fn atom_distribution_original_pays_pack_copies_directive_does_not() {
         orig.stats.packed_bytes,
         dir.stats.packed_bytes
     );
-    assert!(dir.stats.datatype_commits > 0, "directive commits MPI structs");
+    assert!(
+        dir.stats.datatype_commits > 0,
+        "directive commits MPI structs"
+    );
 }
 
 #[test]
@@ -58,8 +61,16 @@ fn spin_comm_speedup_ordering_matches_figure4() {
     let x = |a: &wl_lsms::Measurement, b: &wl_lsms::Measurement| {
         a.time.as_nanos() as f64 / b.time.as_nanos() as f64
     };
-    assert!(x(&orig, &mpi) > 2.0, "MPI directive speedup {:.2}", x(&orig, &mpi));
-    assert!(x(&orig, &shm) > 8.0, "SHMEM directive speedup {:.2}", x(&orig, &shm));
+    assert!(
+        x(&orig, &mpi) > 2.0,
+        "MPI directive speedup {:.2}",
+        x(&orig, &mpi)
+    );
+    assert!(
+        x(&orig, &shm) > 8.0,
+        "SHMEM directive speedup {:.2}",
+        x(&orig, &shm)
+    );
 }
 
 #[test]
@@ -100,10 +111,11 @@ fn wang_landau_makes_progress() {
     let topo = Topology::new(2, 4);
     let r = run_full_app(&topo, SpinVariant::DirectiveMpi2, sizes(), 40);
     // The walker visits multiple energies (sampling actually happens).
-    let distinct: std::collections::BTreeSet<i64> = r
-        .energies
-        .iter()
-        .map(|e| (e * 1e6) as i64)
-        .collect();
-    assert!(distinct.len() > 3, "only {} distinct energies", distinct.len());
+    let distinct: std::collections::BTreeSet<i64> =
+        r.energies.iter().map(|e| (e * 1e6) as i64).collect();
+    assert!(
+        distinct.len() > 3,
+        "only {} distinct energies",
+        distinct.len()
+    );
 }
