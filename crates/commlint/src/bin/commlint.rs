@@ -1,0 +1,138 @@
+//! `commlint` — lint communication-intent pragma sources.
+//!
+//! ```text
+//! commlint [--ranks LO..=HI] [--format text|json] \
+//!          [--var name=value]... [--buf name:type:len]... FILE...
+//! ```
+//!
+//! Exit status: 0 clean (notes allowed), 1 any warning-or-above finding,
+//! 2 usage or parse error. Sources may carry `// @decl`, `// @var` and
+//! `// @ranks` annotations; `--buf`/`--var` supply the same information on
+//! the command line, and a per-file `@ranks` overrides `--ranks`.
+
+use std::process::ExitCode;
+
+use commlint::{
+    basic_type_of, json::render_json, lint_source, render_text, LintOptions, RankRange,
+};
+use pragma_front::SymbolTable;
+
+const USAGE: &str = "usage: commlint [--ranks LO..=HI] [--format text|json] \
+[--var name=value]... [--buf name:type:len]... FILE...";
+
+fn fail(msg: &str) -> ExitCode {
+    eprintln!("commlint: {msg}");
+    eprintln!("{USAGE}");
+    ExitCode::from(2)
+}
+
+fn main() -> ExitCode {
+    let mut opts = LintOptions::default();
+    let mut symbols = SymbolTable::new();
+    let mut format = "text".to_string();
+    let mut files: Vec<String> = Vec::new();
+
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--ranks" => {
+                let Some(spec) = args.next() else {
+                    return fail("--ranks needs a value");
+                };
+                let Some(r) = RankRange::parse(&spec) else {
+                    return fail(&format!("bad --ranks `{spec}` (want LO..=HI, LO>=1)"));
+                };
+                opts.ranks = r;
+            }
+            "--format" => {
+                let Some(f) = args.next() else {
+                    return fail("--format needs a value");
+                };
+                if f != "text" && f != "json" {
+                    return fail(&format!("bad --format `{f}` (want text or json)"));
+                }
+                format = f;
+            }
+            "--var" => {
+                let Some(spec) = args.next() else {
+                    return fail("--var needs name=value");
+                };
+                let Some((name, value)) = spec.split_once('=') else {
+                    return fail(&format!("bad --var `{spec}` (want name=value)"));
+                };
+                let Ok(value) = value.trim().parse::<i64>() else {
+                    return fail(&format!("bad --var value in `{spec}`"));
+                };
+                opts.vars.insert(name.trim().to_string(), value);
+            }
+            "--buf" => {
+                let Some(spec) = args.next() else {
+                    return fail("--buf needs name:type:len");
+                };
+                let parts: Vec<&str> = spec.split(':').collect();
+                let [name, ty, len] = parts.as_slice() else {
+                    return fail(&format!("bad --buf `{spec}` (want name:type:len)"));
+                };
+                let Some(bt) = basic_type_of(ty) else {
+                    return fail(&format!("unknown --buf type `{ty}`"));
+                };
+                let Ok(len) = len.parse::<usize>() else {
+                    return fail(&format!("bad --buf length in `{spec}`"));
+                };
+                symbols.declare_prim(name, bt, len);
+            }
+            "--help" | "-h" => {
+                println!("{USAGE}");
+                return ExitCode::SUCCESS;
+            }
+            _ if arg.starts_with("--") => {
+                return fail(&format!("unknown flag `{arg}`"));
+            }
+            _ => files.push(arg),
+        }
+    }
+    if files.is_empty() {
+        return fail("no input files");
+    }
+
+    let mut reports = Vec::new();
+    for path in &files {
+        let src = match std::fs::read_to_string(path) {
+            Ok(s) => s,
+            Err(e) => return fail(&format!("cannot read `{path}`: {e}")),
+        };
+        match lint_source(&src, &symbols, &opts) {
+            Ok(report) => reports.push((path.clone(), report)),
+            Err(e) => {
+                eprintln!("commlint: {path}: {e}");
+                return ExitCode::from(2);
+            }
+        }
+    }
+
+    let gate_fails = reports.iter().any(|(_, r)| r.gate_fails());
+    if format == "json" {
+        print!("{}", render_json(&reports));
+    } else {
+        for (path, report) in &reports {
+            print!("{}", render_text(path, report));
+        }
+        let (e, w, n) = reports.iter().fold((0, 0, 0), |(e, w, n), (_, r)| {
+            use commint::clause::Severity;
+            (
+                e + r.count(Severity::Error),
+                w + r.count(Severity::Warning),
+                n + r.count(Severity::Note),
+            )
+        });
+        eprintln!(
+            "commlint: {} file(s), {e} error(s), {w} warning(s), {n} note(s)",
+            reports.len()
+        );
+    }
+    if gate_fails {
+        ExitCode::from(1)
+    } else {
+        ExitCode::SUCCESS
+    }
+}

@@ -1,0 +1,375 @@
+//! # commlint — a static analyzer for communication intent
+//!
+//! The driver the paper's "analysis framework" needs: parse pragma sources
+//! with `pragma-front`, run the full `commint` analysis suite over a *range*
+//! of rank counts, and report coded, span-carrying diagnostics
+//! (`CI000`–`CI008`, see [`commint::diag::LintCode`]) with a failing
+//! rank-count witness per finding. A library (`lint_source`) plus a CLI
+//! binary (`commlint`) with `--format json` for CI gates.
+//!
+//! Sources are self-describing: comment annotations declare the symbol
+//! table and analysis parameters, so a `.comm` file carries everything the
+//! linter needs:
+//!
+//! ```text
+//! // @decl buf1: double[16]
+//! // @var n = 4
+//! // @ranks 2..=16
+//! #pragma comm_p2p sender((rank-1+nprocs)%nprocs) ...
+//! ```
+
+pub mod json;
+
+use std::collections::HashMap;
+
+use commint::clause::{Diagnostic, Severity};
+use commint::diag::{lint_region_at, Diag, LintCode};
+use commint::dir::ParamsSpec;
+use mpisim::dtype::BasicType;
+use pragma_front::{parse, Item, ParseError, SymbolTable};
+
+/// Inclusive rank-count range to sweep.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct RankRange {
+    /// Smallest communicator size analyzed.
+    pub min: usize,
+    /// Largest communicator size analyzed.
+    pub max: usize,
+}
+
+impl Default for RankRange {
+    fn default() -> Self {
+        RankRange { min: 2, max: 16 }
+    }
+}
+
+impl RankRange {
+    /// Parse `lo..=hi` (or a single `n`).
+    pub fn parse(s: &str) -> Option<RankRange> {
+        if let Some((lo, hi)) = s.split_once("..=") {
+            let (min, max) = (lo.trim().parse().ok()?, hi.trim().parse().ok()?);
+            (min >= 1 && min <= max).then_some(RankRange { min, max })
+        } else {
+            let n: usize = s.trim().parse().ok()?;
+            (n >= 1).then_some(RankRange { min: n, max: n })
+        }
+    }
+}
+
+impl std::fmt::Display for RankRange {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}..={}", self.min, self.max)
+    }
+}
+
+/// Linter configuration shared across files.
+#[derive(Clone, Debug, Default)]
+pub struct LintOptions {
+    /// Rank counts to sweep (per-file `@ranks` annotations override this).
+    pub ranks: RankRange,
+    /// Clause variables bound for analysis.
+    pub vars: HashMap<String, i64>,
+}
+
+/// Self-describing annotations scanned from `// @...` comments.
+#[derive(Clone, Debug, Default)]
+pub struct Annotations {
+    /// `@decl name: type[len]` buffer declarations.
+    pub decls: Vec<(String, BasicType, usize)>,
+    /// `@var name = value` bindings.
+    pub vars: HashMap<String, i64>,
+    /// `@ranks lo..=hi` sweep override.
+    pub ranks: Option<RankRange>,
+}
+
+/// Map a C-ish type keyword to a basic type (the `pragmacc --buf` mapping).
+pub fn basic_type_of(kw: &str) -> Option<BasicType> {
+    match kw {
+        "char" | "u8" => Some(BasicType::U8),
+        "int" | "i32" => Some(BasicType::I32),
+        "long" | "i64" => Some(BasicType::I64),
+        "float" | "f32" => Some(BasicType::F32),
+        "double" | "f64" => Some(BasicType::F64),
+        _ => None,
+    }
+}
+
+/// Scan `// @decl` / `// @var` / `// @ranks` annotations. Malformed
+/// annotations are ignored (they are comments to every other consumer).
+pub fn scan_annotations(src: &str) -> Annotations {
+    let mut out = Annotations::default();
+    for line in src.lines() {
+        let Some(rest) = line.trim_start().strip_prefix("//") else {
+            continue;
+        };
+        let rest = rest.trim();
+        if let Some(decl) = rest.strip_prefix("@decl ") {
+            // name: type[len]
+            let Some((name, ty)) = decl.split_once(':') else {
+                continue;
+            };
+            let ty = ty.trim();
+            let Some((kw, len)) = ty.split_once('[') else {
+                continue;
+            };
+            let Some(len) = len.strip_suffix(']') else {
+                continue;
+            };
+            let (Some(bt), Ok(len)) = (basic_type_of(kw.trim()), len.trim().parse()) else {
+                continue;
+            };
+            out.decls.push((name.trim().to_string(), bt, len));
+        } else if let Some(var) = rest.strip_prefix("@var ") {
+            let Some((name, value)) = var.split_once('=') else {
+                continue;
+            };
+            if let Ok(v) = value.trim().parse::<i64>() {
+                out.vars.insert(name.trim().to_string(), v);
+            }
+        } else if let Some(ranks) = rest.strip_prefix("@ranks ") {
+            if let Some(r) = RankRange::parse(ranks) {
+                out.ranks = Some(r);
+            }
+        }
+    }
+    out
+}
+
+/// Lint result for one source.
+#[derive(Clone, Debug)]
+pub struct LintReport {
+    /// Rank counts actually swept.
+    pub ranks: RankRange,
+    /// Merged diagnostics, most severe first.
+    pub diags: Vec<Diag>,
+}
+
+impl LintReport {
+    /// The most severe diagnostic present.
+    pub fn max_severity(&self) -> Option<Severity> {
+        self.diags.iter().map(|d| d.severity).max()
+    }
+
+    /// Whether the CI gate should fail (any warning-or-above).
+    pub fn gate_fails(&self) -> bool {
+        self.max_severity() >= Some(Severity::Warning)
+    }
+
+    /// Count diagnostics of a severity.
+    pub fn count(&self, sev: Severity) -> usize {
+        self.diags.iter().filter(|d| d.severity == sev).count()
+    }
+}
+
+/// A region view of any non-collective item: standalone `comm_p2p`s are
+/// wrapped in a default region, mirroring how the engine executes them.
+fn region_view(item: &Item) -> Option<ParamsSpec> {
+    match item {
+        Item::Region(r) => Some(r.clone()),
+        Item::P2p(p) => Some(ParamsSpec {
+            clauses: Default::default(),
+            body: vec![p.clone()],
+            spans: p.spans.clone(),
+        }),
+        Item::Coll(_) => None,
+    }
+}
+
+/// Map a parse/validation diagnostic into the lint catalog (`CI000`
+/// directive-rule). Pairing-rule messages are dropped: the IR-level `CI005`
+/// check reports them with clause spans and rank context.
+fn map_parse_diag(d: &Diagnostic) -> Option<Diag> {
+    if d.message.contains("must both be present") {
+        return None;
+    }
+    Some(Diag {
+        code: LintCode::DirectiveRule,
+        severity: d.severity,
+        message: d.message.clone(),
+        span: d.span,
+        region: 0,
+        site: None,
+        key: d.message.clone(),
+        witness: None,
+    })
+}
+
+/// Lint pre-parsed directives over a rank range with `vars` bound: run
+/// [`lint_region_at`] at every count, merge findings by identity, and keep
+/// the *first* (smallest-rank-count) witness for each.
+pub fn lint_parsed(
+    parsed: &pragma_front::Parsed,
+    ranks: RankRange,
+    vars: &HashMap<String, i64>,
+) -> LintReport {
+    let mut diags: Vec<Diag> = Vec::new();
+    let mut seen: std::collections::HashSet<(LintCode, usize, Option<u32>, String)> =
+        std::collections::HashSet::new();
+    let mut push = |d: Diag, diags: &mut Vec<Diag>| {
+        let id = (d.code, d.region, d.site, d.key.clone());
+        if seen.insert(id) {
+            diags.push(d);
+        }
+    };
+
+    for d in &parsed.diagnostics {
+        if let Some(diag) = map_parse_diag(d) {
+            push(diag, &mut diags);
+        }
+    }
+
+    let regions: Vec<ParamsSpec> = parsed.items.iter().filter_map(region_view).collect();
+    for nranks in ranks.min..=ranks.max {
+        for (ri, spec) in regions.iter().enumerate() {
+            for diag in lint_region_at(ri, spec, nranks, vars) {
+                push(diag, &mut diags);
+            }
+        }
+    }
+
+    // Most severe first; then stable source order for determinism.
+    diags.sort_by(|a, b| {
+        b.severity
+            .cmp(&a.severity)
+            .then(a.code.cmp(&b.code))
+            .then(a.region.cmp(&b.region))
+            .then(a.site.cmp(&b.site))
+            .then(a.key.cmp(&b.key))
+    });
+    LintReport { ranks, diags }
+}
+
+/// Parse and lint one source. Per-file `@decl`/`@var` annotations extend
+/// `symbols`/`opts.vars`; `@ranks` overrides the sweep range.
+pub fn lint_source(
+    src: &str,
+    symbols: &SymbolTable,
+    opts: &LintOptions,
+) -> Result<LintReport, ParseError> {
+    let ann = scan_annotations(src);
+    let mut symbols = symbols.clone();
+    for (name, ty, len) in &ann.decls {
+        symbols.declare_prim(name, *ty, *len);
+    }
+    let mut vars = opts.vars.clone();
+    vars.extend(ann.vars);
+    let ranks = ann.ranks.unwrap_or(opts.ranks);
+    let parsed = parse(src, &symbols)?;
+    Ok(lint_parsed(&parsed, ranks, &vars))
+}
+
+/// Render one file's report as `path:line:col: severity[CODE name]: ...`
+/// lines (clippy-style, one diagnostic per line).
+pub fn render_text(path: &str, report: &LintReport) -> String {
+    let mut out = String::new();
+    for d in &report.diags {
+        let loc = match d.span {
+            Some(sp) => format!("{path}:{sp}"),
+            None => path.to_string(),
+        };
+        out.push_str(&format!(
+            "{loc}: {}[{} {}]: {}",
+            d.severity.keyword(),
+            d.code.code(),
+            d.code.name(),
+            d.message
+        ));
+        if let Some(w) = &d.witness {
+            out.push_str(&format!(" (fails at nranks={}", w.nranks));
+            if !w.ranks.is_empty() {
+                let shown: Vec<String> = w.ranks.iter().take(8).map(|r| r.to_string()).collect();
+                out.push_str(&format!("; ranks {}", shown.join(",")));
+                if w.ranks.len() > 8 {
+                    out.push_str(&format!(" and {} more", w.ranks.len() - 8));
+                }
+            }
+            out.push(')');
+        }
+        out.push('\n');
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const RING: &str = "\
+// @decl buf1: double[16]
+// @decl buf2: double[16]
+// @ranks 2..=8
+#pragma comm_p2p sender((rank-1+nprocs)%nprocs) receiver((rank+1)%nprocs) \
+  sbuf(buf1) rbuf(buf2) count(16)";
+
+    #[test]
+    fn annotations_scanned() {
+        let ann = scan_annotations(RING);
+        assert_eq!(ann.decls.len(), 2);
+        assert_eq!(ann.decls[0], ("buf1".to_string(), BasicType::F64, 16));
+        assert_eq!(ann.ranks, Some(RankRange { min: 2, max: 8 }));
+        // Malformed annotations are ignored, not errors.
+        let ann = scan_annotations("// @decl oops\n// @var x\n// @ranks ?");
+        assert!(ann.decls.is_empty() && ann.vars.is_empty() && ann.ranks.is_none());
+    }
+
+    #[test]
+    fn ring_lints_to_a_single_note() {
+        let report = lint_source(RING, &SymbolTable::new(), &LintOptions::default()).unwrap();
+        assert_eq!(report.ranks, RankRange { min: 2, max: 8 });
+        // The canonical ring produces exactly the advisory CI002 note:
+        // warning-free, so the CI gate passes.
+        assert!(!report.gate_fails(), "{:?}", report.diags);
+        assert!(report
+            .diags
+            .iter()
+            .all(|d| d.code == LintCode::BlockingDeadlockCycle && d.severity == Severity::Note));
+        // Witness is the smallest swept count.
+        assert_eq!(report.diags[0].witness.as_ref().unwrap().nranks, 2);
+    }
+
+    #[test]
+    fn witness_keeps_smallest_failing_count() {
+        // sender(1) receiver(0) from rank 2's perspective is fine at
+        // nranks=2 but rank 2 sends unmatched at nranks>=3.
+        let src = "\
+// @decl a: int[4]
+// @decl b: int[4]
+// @ranks 2..=6
+#pragma comm_p2p sender(0) receiver(1) sendwhen(rank==0||rank==2) receivewhen(rank==1) \
+  sbuf(a) rbuf(b) count(4)";
+        let report = lint_source(src, &SymbolTable::new(), &LintOptions::default()).unwrap();
+        let d = report
+            .diags
+            .iter()
+            .find(|d| d.code == LintCode::UnmatchedSend)
+            .expect("unmatched send");
+        assert_eq!(d.witness.as_ref().unwrap().nranks, 3);
+    }
+
+    #[test]
+    fn rank_range_parses() {
+        assert_eq!(
+            RankRange::parse("2..=64"),
+            Some(RankRange { min: 2, max: 64 })
+        );
+        assert_eq!(RankRange::parse("5"), Some(RankRange { min: 5, max: 5 }));
+        assert_eq!(RankRange::parse("0..=4"), None);
+        assert_eq!(RankRange::parse("8..=2"), None);
+        assert_eq!(RankRange::parse("x"), None);
+    }
+
+    #[test]
+    fn text_rendering_includes_span_and_witness() {
+        let src = "\
+// @decl a: int[4]
+// @decl b: int[4]
+#pragma comm_p2p sender(0) receiver(1) sendwhen(rank==0) receivewhen(rank<0) \
+  sbuf(a) rbuf(b) count(4)";
+        let report = lint_source(src, &SymbolTable::new(), &LintOptions::default()).unwrap();
+        assert!(report.gate_fails());
+        let text = render_text("x.comm", &report);
+        assert!(text.contains("x.comm:3:"), "{text}");
+        assert!(text.contains("error[CI001 unmatched-send]"), "{text}");
+        assert!(text.contains("fails at nranks=2"), "{text}");
+    }
+}

@@ -17,7 +17,7 @@
 //! * and estimate the synchronization savings of consolidation
 //!   ([`sync_report`]), the effect Figure 4 measures.
 
-use std::collections::{HashMap, HashSet};
+use std::collections::{BTreeMap, HashMap, HashSet};
 
 use crate::clause::ClauseSet;
 use crate::dir::{P2pSpec, ParamsSpec};
@@ -461,44 +461,77 @@ pub struct DeadlockReport {
     /// A blocking-send translation would deadlock (matched graph has a
     /// cycle).
     pub blocking_would_deadlock: bool,
+    /// The ranks of one wait-for cycle, in cycle order (empty when acyclic).
+    pub cycle: Vec<usize>,
+}
+
+/// Find one directed cycle in `edges`, returned as the ranks along it in
+/// cycle order. Iterative (explicit stack), so adversarially deep graphs —
+/// e.g. a shift pattern over hundreds of thousands of ranks — cannot
+/// overflow the call stack. Deterministic: neighbours are visited in sorted
+/// order from the smallest root.
+pub fn find_cycle(edges: &[Edge]) -> Option<Vec<usize>> {
+    let mut adj: BTreeMap<usize, Vec<usize>> = BTreeMap::new();
+    for e in edges {
+        adj.entry(e.src).or_default().push(e.dst);
+    }
+    for next in adj.values_mut() {
+        next.sort_unstable();
+        next.dedup();
+    }
+    const WHITE: u8 = 0;
+    const GRAY: u8 = 1;
+    const BLACK: u8 = 2;
+    let mut color: HashMap<usize, u8> = HashMap::new();
+    let roots: Vec<usize> = adj.keys().copied().collect();
+    for root in roots {
+        if color.get(&root).copied().unwrap_or(WHITE) != WHITE {
+            continue;
+        }
+        // Explicit DFS stack of (node, next-neighbour index); `path` mirrors
+        // the stack's nodes so a back edge can be cut into a cycle.
+        let mut stack: Vec<(usize, usize)> = vec![(root, 0)];
+        let mut path: Vec<usize> = vec![root];
+        color.insert(root, GRAY);
+        while let Some(frame) = stack.last_mut() {
+            let u = frame.0;
+            let next = adj.get(&u).and_then(|ns| ns.get(frame.1)).copied();
+            frame.1 += 1;
+            match next {
+                Some(v) => match color.get(&v).copied().unwrap_or(WHITE) {
+                    WHITE => {
+                        color.insert(v, GRAY);
+                        stack.push((v, 0));
+                        path.push(v);
+                    }
+                    GRAY => {
+                        // Back edge: every GRAY node is on `path`.
+                        let start = path
+                            .iter()
+                            .position(|&p| p == v)
+                            .expect("gray node is on the active path");
+                        return Some(path[start..].to_vec());
+                    }
+                    _ => {}
+                },
+                None => {
+                    color.insert(u, BLACK);
+                    stack.pop();
+                    path.pop();
+                }
+            }
+        }
+    }
+    None
 }
 
 /// Analyze deadlock freedom of one `comm_p2p`'s matched graph.
 pub fn deadlock_report(graph: &CommGraph) -> DeadlockReport {
-    let edges = graph.matched();
-    // Cycle detection on the directed matched graph.
-    let mut adj: HashMap<usize, Vec<usize>> = HashMap::new();
-    for e in &edges {
-        adj.entry(e.src).or_default().push(e.dst);
-    }
-    let mut color: HashMap<usize, u8> = HashMap::new();
-    fn dfs(u: usize, adj: &HashMap<usize, Vec<usize>>, color: &mut HashMap<usize, u8>) -> bool {
-        color.insert(u, 1);
-        if let Some(next) = adj.get(&u) {
-            for &v in next {
-                match color.get(&v).copied().unwrap_or(0) {
-                    0 if dfs(v, adj, color) => {
-                        return true;
-                    }
-                    1 => return true,
-                    _ => {}
-                }
-            }
-        }
-        color.insert(u, 2);
-        false
-    }
-    let mut cyclic = false;
-    let nodes: Vec<usize> = adj.keys().copied().collect();
-    for u in nodes {
-        if color.get(&u).copied().unwrap_or(0) == 0 && dfs(u, &adj, &mut color) {
-            cyclic = true;
-            break;
-        }
-    }
+    let cycle = find_cycle(&graph.matched());
     DeadlockReport {
         nonblocking_safe: graph.fully_matched(),
-        blocking_would_deadlock: cyclic,
+        blocking_would_deadlock: cycle.is_some(),
+        cycle: cycle.unwrap_or_default(),
     }
 }
 
@@ -523,8 +556,7 @@ mod tests {
             clauses,
             sbuf: vec![meta("s", 0, 8)],
             rbuf: vec![meta("r", 100, 8)],
-            has_overlap_body: false,
-            site: 0,
+            ..P2pSpec::default()
         }
     }
 
@@ -698,6 +730,7 @@ mod tests {
     fn independence_conflicts_found() {
         let spec = ParamsSpec {
             clauses: ring_clauses(),
+            spans: Default::default(),
             body: vec![
                 P2pSpec {
                     clauses: ClauseSet::default(),
@@ -705,6 +738,7 @@ mod tests {
                     rbuf: vec![meta("x", 100, 16)],
                     has_overlap_body: false,
                     site: 0,
+                    spans: Default::default(),
                 },
                 P2pSpec {
                     clauses: ClauseSet::default(),
@@ -713,6 +747,7 @@ mod tests {
                     rbuf: vec![meta("y", 200, 8)],
                     has_overlap_body: false,
                     site: 1,
+                    spans: Default::default(),
                 },
             ],
         };
@@ -728,6 +763,7 @@ mod tests {
     fn independence_shared_reads_allowed() {
         let spec = ParamsSpec {
             clauses: ring_clauses(),
+            spans: Default::default(),
             body: vec![
                 P2pSpec {
                     clauses: ClauseSet::default(),
@@ -735,6 +771,7 @@ mod tests {
                     rbuf: vec![meta("x", 100, 16)],
                     has_overlap_body: false,
                     site: 0,
+                    spans: Default::default(),
                 },
                 P2pSpec {
                     clauses: ClauseSet::default(),
@@ -742,6 +779,7 @@ mod tests {
                     rbuf: vec![meta("y", 200, 16)],
                     has_overlap_body: false,
                     site: 1,
+                    spans: Default::default(),
                 },
             ],
         };
@@ -760,9 +798,11 @@ mod tests {
                 rbuf: vec![meta("evec", 100, 24)],
                 has_overlap_body: true,
                 site: 0,
+                spans: Default::default(),
             });
         }
         let spec = ParamsSpec {
+            spans: Default::default(),
             clauses: ClauseSet {
                 sender: Some(RankExpr::lit(0)),
                 receiver: Some(RankExpr::var("dest")),
@@ -788,6 +828,7 @@ mod tests {
         // Ring of 6: every rank sends 8 bytes.
         let spec = ParamsSpec {
             clauses: ring_clauses(),
+            spans: Default::default(),
             body: vec![p2p(ClauseSet::default())],
         };
         let v = volume_report(&spec, 6, &HashMap::new());
@@ -799,6 +840,7 @@ mod tests {
 
         // Fan-out: the root is the hotspot.
         let fan = ParamsSpec {
+            spans: Default::default(),
             clauses: ClauseSet {
                 sender: Some(RankExpr::lit(0)),
                 receiver: Some(RankExpr::var("d")),
@@ -834,6 +876,11 @@ mod tests {
             rep.blocking_would_deadlock,
             "a blocking ring without buffering deadlocks"
         );
+        // The witness cycle is the whole ring, in cycle order.
+        assert_eq!(rep.cycle.len(), 4);
+        for w in rep.cycle.windows(2) {
+            assert_eq!(w[1], (w[0] + 1) % 4);
+        }
 
         // A linear chain does not deadlock even blocking.
         let chain = CommGraph {
@@ -844,12 +891,35 @@ mod tests {
         let rep = deadlock_report(&chain);
         assert!(rep.nonblocking_safe);
         assert!(!rep.blocking_would_deadlock);
+        assert!(rep.cycle.is_empty());
+    }
+
+    #[test]
+    fn find_cycle_handles_adversarially_deep_graphs() {
+        // A 200k-node chain closed into one giant cycle: the old recursive
+        // DFS would overflow the (2 MiB test-thread) stack here.
+        const N: usize = 200_000;
+        let mut edges: Vec<Edge> = (0..N - 1).map(|s| Edge { src: s, dst: s + 1 }).collect();
+        assert_eq!(find_cycle(&edges), None);
+        edges.push(Edge { src: N - 1, dst: 0 });
+        let cycle = find_cycle(&edges).expect("closed chain is cyclic");
+        assert_eq!(cycle.len(), N);
+        assert_eq!(cycle[0], 0);
+        assert_eq!(*cycle.last().unwrap(), N - 1);
+    }
+
+    #[test]
+    fn find_cycle_reports_inner_cycle_only() {
+        // Tail 0->1->2 leading into the cycle 2->3->4->2.
+        let edges = [(0, 1), (1, 2), (2, 3), (3, 4), (4, 2)].map(|(src, dst)| Edge { src, dst });
+        assert_eq!(find_cycle(&edges), Some(vec![2, 3, 4]));
     }
 
     #[test]
     fn check_matching_over_region() {
         let spec = ParamsSpec {
             clauses: ring_clauses(),
+            spans: Default::default(),
             body: vec![p2p(ClauseSet::default()), p2p(ClauseSet::default())],
         };
         let reports = check_matching(&spec, 6, &HashMap::new());

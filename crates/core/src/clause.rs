@@ -143,15 +143,34 @@ pub struct Diagnostic {
     pub severity: Severity,
     /// Human-readable message.
     pub message: String,
+    /// Source location of the offending clause or directive, when the
+    /// diagnostic originates from parsed pragma text (`pragma-front`
+    /// threads lexer spans through; builder-API diagnostics carry none).
+    pub span: Option<crate::diag::SrcSpan>,
 }
 
 /// Diagnostic severity.
 #[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord)]
 pub enum Severity {
+    /// Informational; nothing is wrong with the directive translation
+    /// itself (e.g. "a *blocking* translation of this pattern would
+    /// deadlock").
+    Note,
     /// Advisory; execution proceeds.
     Warning,
     /// Violation of the directive rules; execution refuses.
     Error,
+}
+
+impl Severity {
+    /// Lower-case keyword (`note` / `warning` / `error`).
+    pub fn keyword(self) -> &'static str {
+        match self {
+            Severity::Note => "note",
+            Severity::Warning => "warning",
+            Severity::Error => "error",
+        }
+    }
 }
 
 impl Diagnostic {
@@ -160,6 +179,7 @@ impl Diagnostic {
         Diagnostic {
             severity: Severity::Error,
             message: message.into(),
+            span: None,
         }
     }
 
@@ -168,17 +188,40 @@ impl Diagnostic {
         Diagnostic {
             severity: Severity::Warning,
             message: message.into(),
+            span: None,
         }
+    }
+
+    /// Construct an informational note.
+    pub fn note(message: impl Into<String>) -> Diagnostic {
+        Diagnostic {
+            severity: Severity::Note,
+            message: message.into(),
+            span: None,
+        }
+    }
+
+    /// Attach a source span (builder style).
+    pub fn at(mut self, span: crate::diag::SrcSpan) -> Diagnostic {
+        self.span = Some(span);
+        self
+    }
+
+    /// Attach a span only if the diagnostic does not already carry one.
+    pub fn or_at(mut self, span: Option<crate::diag::SrcSpan>) -> Diagnostic {
+        if self.span.is_none() {
+            self.span = span;
+        }
+        self
     }
 }
 
 impl fmt::Display for Diagnostic {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        let sev = match self.severity {
-            Severity::Warning => "warning",
-            Severity::Error => "error",
-        };
-        write!(f, "{sev}: {}", self.message)
+        match self.span {
+            Some(sp) => write!(f, "{} at {sp}: {}", self.severity.keyword(), self.message),
+            None => write!(f, "{}: {}", self.severity.keyword(), self.message),
+        }
     }
 }
 

@@ -55,7 +55,7 @@ pub(crate) fn validate_p2p_call(
         // array" — in this API every buffer has a length, so inference
         // always succeeds; emit the informational note the compiler
         // would log.
-        diags.push(Diagnostic::warning(
+        diags.push(Diagnostic::note(
             "comm_p2p: `count` omitted; inferred as the size of the smallest buffer",
         ));
     }
@@ -75,13 +75,24 @@ pub struct P2pSpec {
     pub has_overlap_body: bool,
     /// Stable site id (distinguishes lexical instances inside loops).
     pub site: u32,
+    /// Source locations of the directive and its clauses (populated by
+    /// `pragma-front`; builder-API specs carry none).
+    pub spans: crate::diag::DirSpans,
 }
 
 impl P2pSpec {
     /// Validate this instance in the context of an optional enclosing
     /// region's clauses, adding buffer-rule diagnostics to the clause rules.
+    /// Diagnostics are located at the clause they name when the spec carries
+    /// spans.
     pub fn validate(&self, outer: Option<&ClauseSet>) -> Vec<Diagnostic> {
         validate_p2p_call(&self.clauses, outer, &self.sbuf, &self.rbuf)
+            .into_iter()
+            .map(|d| {
+                let span = self.spans.for_message(&d.message);
+                d.or_at(span)
+            })
+            .collect()
     }
 
     /// The inferred element count when `count` is omitted: the size of the
@@ -106,6 +117,8 @@ pub struct ParamsSpec {
     pub clauses: ClauseSet,
     /// The `comm_p2p` instances in the body, in first-execution order.
     pub body: Vec<P2pSpec>,
+    /// Source locations of the region directive and its clauses.
+    pub spans: crate::diag::DirSpans,
 }
 
 impl ParamsSpec {
@@ -123,15 +136,19 @@ impl ParamsSpec {
                 .iter()
                 .any(|p| p.clauses.sendwhen.is_some() || p.clauses.receivewhen.is_some())
         {
-            diags.push(Diagnostic::error(
-                "comm_parameters: `sendwhen` and `receivewhen` must both be present or both be omitted",
-            ));
+            diags.push(
+                Diagnostic::error(
+                    "comm_parameters: `sendwhen` and `receivewhen` must both be present or both be omitted",
+                )
+                .or_at(self.spans.when()),
+            );
         }
         for (i, p2p) in self.body.iter().enumerate() {
             for d in p2p.validate(Some(&self.clauses)) {
                 diags.push(Diagnostic {
                     severity: d.severity,
                     message: format!("p2p #{i}: {}", d.message),
+                    span: d.span,
                 });
             }
         }
@@ -218,8 +235,7 @@ mod tests {
             },
             sbuf: vec![meta("buf1", BasicType::F64, 10)],
             rbuf: vec![meta("buf2", BasicType::F64, 10)],
-            has_overlap_body: false,
-            site: 0,
+            ..P2pSpec::default()
         }
     }
 
@@ -286,9 +302,9 @@ mod tests {
                 },
                 sbuf: vec![meta("scalaratomdata", BasicType::U8, 160)],
                 rbuf: vec![meta("scalaratomdata", BasicType::U8, 160)],
-                has_overlap_body: false,
-                site: 0,
+                ..P2pSpec::default()
             }],
+            spans: Default::default(),
         };
         let diags = region.validate();
         assert!(
@@ -307,6 +323,7 @@ mod tests {
                 ..ClauseSet::default()
             },
             body: vec![],
+            spans: Default::default(),
         };
         let diags = region.validate();
         assert!(ClauseSet::has_errors(&diags));

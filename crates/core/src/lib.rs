@@ -56,6 +56,7 @@ pub mod analysis;
 pub mod buffer;
 pub mod clause;
 pub mod coll;
+pub mod diag;
 pub mod dir;
 pub mod expr;
 pub mod lower;
@@ -67,6 +68,7 @@ pub mod traceview;
 pub use buffer::{Prim, PrimMut, PrimStrided, PrimStridedMut, RecvBuf, SendBuf, Struc, StrucMut};
 pub use clause::{ClauseSet, Diagnostic, DirectiveKind, PlaceSync, Severity, Target};
 pub use coll::{CollKind, ReduceOp};
+pub use diag::{Diag, DirSpans, LintCode, RankWitness, SrcSpan};
 pub use dir::{P2pSpec, ParamsSpec};
 pub use expr::{CondExpr, EvalEnv, ExprError, RankExpr};
 pub use scope::{CommParams, CommSession, DirectiveError, P2pCall, Region};

@@ -387,9 +387,9 @@ mod tests {
                 clauses: ClauseSet::default(),
                 sbuf: vec![prim_meta("buf1", BasicType::F64, 16)],
                 rbuf: vec![prim_meta("buf2", BasicType::F64, 16)],
-                has_overlap_body: false,
-                site: 0,
+                ..P2pSpec::default()
             }],
+            spans: Default::default(),
         }
     }
 

@@ -339,6 +339,7 @@ impl<'a> CommSession<'a> {
             spec: ParamsSpec {
                 clauses: params.clauses.clone(),
                 body: Vec::new(),
+                spans: Default::default(),
             },
             iter_counts: HashMap::new(),
             max_iter,
@@ -730,6 +731,7 @@ fn execute_p2p(
                 rbuf: rbufs.iter().map(|b| b.meta()).collect(),
                 has_overlap_body: true, // unknown statically; body may be empty
                 site,
+                spans: Default::default(),
             });
         }
     }

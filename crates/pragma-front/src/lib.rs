@@ -152,6 +152,7 @@ fn region_of(item: &Item) -> Option<ParamsSpec> {
         Item::P2p(p) => Some(ParamsSpec {
             clauses: Default::default(),
             body: vec![p.clone()],
+            spans: p.spans.clone(),
         }),
         Item::Coll(_) => None,
     }

@@ -21,11 +21,21 @@ use std::collections::HashMap;
 use commint::buffer::{BufMeta, ElemKind};
 use commint::clause::{ClauseSet, Diagnostic, PlaceSync, Target};
 use commint::coll::{CollKind, ReduceOp};
+use commint::diag::{DirSpans, SrcSpan};
 use commint::dir::{CollSpec, P2pSpec, ParamsSpec};
 use commint::expr::{CondExpr, RankExpr};
 use mpisim::dtype::BasicType;
 
 use crate::lex::{lex, Span, Tok, Token};
+
+/// Convert a lexer span into the IR-level source span.
+fn src_span(s: Span) -> SrcSpan {
+    SrcSpan {
+        offset: s.offset,
+        line: s.line,
+        col: s.col,
+    }
+}
 
 /// Buffer declarations: name → (element kind, length in elements).
 #[derive(Clone, Debug, Default)]
@@ -204,11 +214,12 @@ impl Parser<'_> {
     // -- directives -----------------------------------------------------------
 
     fn item(&mut self) -> Result<Item, ParseError> {
+        let dspan = self.span();
         self.expect(&Tok::Pragma)?;
         let name = self.ident()?;
         match name.as_str() {
-            "comm_parameters" => self.region().map(Item::Region),
-            "comm_p2p" => self.p2p().map(Item::P2p),
+            "comm_parameters" => self.region(dspan).map(Item::Region),
+            "comm_p2p" => self.p2p(dspan).map(Item::P2p),
             "comm_bcast" => self.coll(CollKind::Bcast).map(Item::Coll),
             "comm_gather" => self.coll(CollKind::Gather).map(Item::Coll),
             "comm_scatter" => self.coll(CollKind::Scatter).map(Item::Coll),
@@ -257,8 +268,8 @@ impl Parser<'_> {
                     kind = CollKind::Reduce(op);
                     spec.kind = kind;
                 }
-                "sbuf" => spec.sbuf = self.buf_list()?,
-                "rbuf" => spec.rbuf = self.buf_list()?,
+                "sbuf" => spec.sbuf = self.buf_list()?.0,
+                "rbuf" => spec.rbuf = self.buf_list()?.0,
                 other => return Err(self.err(format!("unknown clause `{other}`"))),
             }
             self.expect(&Tok::RParen)?;
@@ -279,8 +290,9 @@ impl Parser<'_> {
         Ok(spec)
     }
 
-    fn region(&mut self) -> Result<ParamsSpec, ParseError> {
-        let (clauses, _, _) = self.clauses()?;
+    fn region(&mut self, dspan: Span) -> Result<ParamsSpec, ParseError> {
+        let (clauses, _, _, mut spans) = self.clauses()?;
+        spans.directive = Some(src_span(dspan));
         let mut body = Vec::new();
         self.expect(&Tok::LBrace)?;
         loop {
@@ -290,6 +302,7 @@ impl Parser<'_> {
                     break;
                 }
                 Tok::Pragma => {
+                    let p2p_span = self.span();
                     self.bump();
                     let name = self.ident()?;
                     if name != "comm_p2p" {
@@ -297,7 +310,7 @@ impl Parser<'_> {
                             "only comm_p2p may appear inside a comm_parameters region, found `{name}`"
                         )));
                     }
-                    body.push(self.p2p()?);
+                    body.push(self.p2p(p2p_span)?);
                 }
                 Tok::Eof => return Err(self.err("unterminated comm_parameters region".into())),
                 _ => {
@@ -307,11 +320,16 @@ impl Parser<'_> {
                 }
             }
         }
-        Ok(ParamsSpec { clauses, body })
+        Ok(ParamsSpec {
+            clauses,
+            body,
+            spans,
+        })
     }
 
-    fn p2p(&mut self) -> Result<P2pSpec, ParseError> {
-        let (clauses, sbuf, rbuf) = self.clauses()?;
+    fn p2p(&mut self, dspan: Span) -> Result<P2pSpec, ParseError> {
+        let (clauses, sbuf, rbuf, mut spans) = self.clauses()?;
+        spans.directive = Some(src_span(dspan));
         self.site_counter += 1;
         let mut has_overlap_body = false;
         // Optional body: `{ ... }` (overlapped computation).
@@ -335,6 +353,7 @@ impl Parser<'_> {
             rbuf,
             has_overlap_body,
             site: self.site_counter,
+            spans,
         })
     }
 
@@ -360,26 +379,48 @@ impl Parser<'_> {
     // -- clauses ---------------------------------------------------------------
 
     #[allow(clippy::type_complexity)]
-    fn clauses(&mut self) -> Result<(ClauseSet, Vec<BufMeta>, Vec<BufMeta>), ParseError> {
+    fn clauses(&mut self) -> Result<(ClauseSet, Vec<BufMeta>, Vec<BufMeta>, DirSpans), ParseError> {
         let mut clauses = ClauseSet::default();
         let mut sbuf = Vec::new();
         let mut rbuf = Vec::new();
+        let mut spans = DirSpans::default();
         while let Tok::Ident(name) = self.peek().clone() {
+            // The clause-keyword token locates the clause in diagnostics.
+            let kw_span = src_span(self.span());
             self.bump();
             self.expect(&Tok::LParen)?;
             match name.as_str() {
-                "sender" => clauses.sender = Some(self.expr()?),
-                "receiver" => clauses.receiver = Some(self.expr()?),
-                "count" => clauses.count = Some(self.expr()?),
-                "max_comm_iter" => clauses.max_comm_iter = Some(self.expr()?),
-                "sendwhen" => clauses.sendwhen = Some(self.cond()?),
-                "receivewhen" => clauses.receivewhen = Some(self.cond()?),
+                "sender" => {
+                    clauses.sender = Some(self.expr()?);
+                    spans.sender = Some(kw_span);
+                }
+                "receiver" => {
+                    clauses.receiver = Some(self.expr()?);
+                    spans.receiver = Some(kw_span);
+                }
+                "count" => {
+                    clauses.count = Some(self.expr()?);
+                    spans.count = Some(kw_span);
+                }
+                "max_comm_iter" => {
+                    clauses.max_comm_iter = Some(self.expr()?);
+                    spans.max_comm_iter = Some(kw_span);
+                }
+                "sendwhen" => {
+                    clauses.sendwhen = Some(self.cond()?);
+                    spans.sendwhen = Some(kw_span);
+                }
+                "receivewhen" => {
+                    clauses.receivewhen = Some(self.cond()?);
+                    spans.receivewhen = Some(kw_span);
+                }
                 "target" => {
                     let kw = self.ident()?;
                     clauses.target = Some(
                         Target::from_keyword(&kw)
                             .ok_or_else(|| self.err(format!("unknown target keyword `{kw}`")))?,
                     );
+                    spans.target = Some(kw_span);
                 }
                 "place_sync" => {
                     let kw = self.ident()?;
@@ -387,31 +428,35 @@ impl Parser<'_> {
                         Some(PlaceSync::from_keyword(&kw).ok_or_else(|| {
                             self.err(format!("unknown place_sync keyword `{kw}`"))
                         })?);
+                    spans.place_sync = Some(kw_span);
                 }
-                "sbuf" | "vsbuf" => sbuf = self.buf_list()?,
-                "rbuf" => rbuf = self.buf_list()?,
+                "sbuf" | "vsbuf" => (sbuf, spans.sbuf) = self.buf_list()?,
+                "rbuf" => (rbuf, spans.rbuf) = self.buf_list()?,
                 other => {
                     return Err(self.err(format!("unknown clause `{other}`")));
                 }
             }
             self.expect(&Tok::RParen)?;
         }
-        Ok((clauses, sbuf, rbuf))
+        Ok((clauses, sbuf, rbuf, spans))
     }
 
-    fn buf_list(&mut self) -> Result<Vec<BufMeta>, ParseError> {
+    fn buf_list(&mut self) -> Result<(Vec<BufMeta>, Vec<SrcSpan>), ParseError> {
+        let mut spans = vec![src_span(self.span())];
         let mut out = vec![self.buf_expr()?];
         while self.at(&Tok::Comma) {
             self.bump();
+            spans.push(src_span(self.span()));
             out.push(self.buf_expr()?);
         }
-        Ok(out)
+        Ok((out, spans))
     }
 
     /// Buffer expression: `name`, `&name[expr]`, `&a.b[i].c[0]`, ...
     /// The *base name* indexes the symbol table; the rendered text is the
     /// display name.
     fn buf_expr(&mut self) -> Result<BufMeta, ParseError> {
+        let start = src_span(self.span());
         let mut display = String::new();
         if self.at(&Tok::Amp) {
             self.bump();
@@ -442,9 +487,12 @@ impl Parser<'_> {
         let (elem, len) = match self.symbols.lookup(&base) {
             Some((k, l)) => (k.clone(), *l),
             None => {
-                self.diagnostics.push(Diagnostic::warning(format!(
-                    "buffer `{base}` not declared in the symbol table; assuming char[0]"
-                )));
+                self.diagnostics.push(
+                    Diagnostic::warning(format!(
+                        "buffer `{base}` not declared in the symbol table; assuming char[0]"
+                    ))
+                    .at(start),
+                );
                 (ElemKind::Prim(BasicType::U8), 0)
             }
         };
@@ -730,10 +778,48 @@ mod tests {
     fn undeclared_buffer_warns() {
         let src = "#pragma comm_p2p sender(a) receiver(b) sbuf(ghost) rbuf(buf2)";
         let parsed = parse(src, &symbols()).unwrap();
-        assert!(parsed
+        let d = parsed
             .diagnostics
             .iter()
-            .any(|d| d.message.contains("`ghost` not declared")));
+            .find(|d| d.message.contains("`ghost` not declared"))
+            .expect("undeclared-buffer warning");
+        // The diagnostic points at the buffer token (1-based line:col).
+        let span = d.span.expect("warning carries the token span");
+        assert_eq!(span.line, 1);
+        assert_eq!(span.col, 1 + src.find("ghost").unwrap());
+    }
+
+    #[test]
+    fn clause_spans_recorded() {
+        let src =
+            "#pragma comm_p2p sender(prev) receiver(next)\n    sbuf(buf1) rbuf(buf2) count(4)";
+        let parsed = parse(src, &symbols()).unwrap();
+        let Item::P2p(p) = &parsed.items[0] else {
+            panic!()
+        };
+        let dir = p.spans.directive.expect("directive span");
+        assert_eq!((dir.line, dir.col), (1, 1));
+        let sender = p.spans.sender.expect("sender span");
+        assert_eq!(sender.col, 1 + src.find("sender").unwrap());
+        let count = p.spans.count.expect("count span");
+        assert_eq!(count.line, 2);
+        assert_eq!(p.spans.sbuf.len(), 1);
+        assert_eq!(p.spans.rbuf.len(), 1);
+        assert_eq!(p.spans.sbuf[0].line, 2);
+    }
+
+    #[test]
+    fn violation_diagnostics_carry_clause_spans() {
+        let src = "#pragma comm_p2p sender(a) receiver(b) sbuf(buf1) rbuf(buf2) \
+                   place_sync(END_PARAM_REGION)";
+        let parsed = parse(src, &symbols()).unwrap();
+        let d = parsed
+            .diagnostics
+            .iter()
+            .find(|d| d.message.contains("place_sync"))
+            .expect("place_sync violation");
+        let span = d.span.expect("violation points at the clause keyword");
+        assert_eq!(span.col, 1 + src.find("place_sync").unwrap());
     }
 
     #[test]

@@ -1,12 +1,13 @@
-/root/repo/target/debug/deps/commint-9de10153ac8a7cba.d: crates/core/src/lib.rs crates/core/src/analysis.rs crates/core/src/buffer.rs crates/core/src/clause.rs crates/core/src/coll.rs crates/core/src/dir.rs crates/core/src/expr.rs crates/core/src/lower.rs crates/core/src/macros.rs crates/core/src/patterns.rs crates/core/src/scope.rs crates/core/src/traceview.rs Cargo.toml
+/root/repo/target/debug/deps/commint-9de10153ac8a7cba.d: crates/core/src/lib.rs crates/core/src/analysis.rs crates/core/src/buffer.rs crates/core/src/clause.rs crates/core/src/coll.rs crates/core/src/diag.rs crates/core/src/dir.rs crates/core/src/expr.rs crates/core/src/lower.rs crates/core/src/macros.rs crates/core/src/patterns.rs crates/core/src/scope.rs crates/core/src/traceview.rs Cargo.toml
 
-/root/repo/target/debug/deps/libcommint-9de10153ac8a7cba.rmeta: crates/core/src/lib.rs crates/core/src/analysis.rs crates/core/src/buffer.rs crates/core/src/clause.rs crates/core/src/coll.rs crates/core/src/dir.rs crates/core/src/expr.rs crates/core/src/lower.rs crates/core/src/macros.rs crates/core/src/patterns.rs crates/core/src/scope.rs crates/core/src/traceview.rs Cargo.toml
+/root/repo/target/debug/deps/libcommint-9de10153ac8a7cba.rmeta: crates/core/src/lib.rs crates/core/src/analysis.rs crates/core/src/buffer.rs crates/core/src/clause.rs crates/core/src/coll.rs crates/core/src/diag.rs crates/core/src/dir.rs crates/core/src/expr.rs crates/core/src/lower.rs crates/core/src/macros.rs crates/core/src/patterns.rs crates/core/src/scope.rs crates/core/src/traceview.rs Cargo.toml
 
 crates/core/src/lib.rs:
 crates/core/src/analysis.rs:
 crates/core/src/buffer.rs:
 crates/core/src/clause.rs:
 crates/core/src/coll.rs:
+crates/core/src/diag.rs:
 crates/core/src/dir.rs:
 crates/core/src/expr.rs:
 crates/core/src/lower.rs:

@@ -1,12 +1,13 @@
-/root/repo/target/debug/deps/commint-c1e0dc07d7a93f54.d: crates/core/src/lib.rs crates/core/src/analysis.rs crates/core/src/buffer.rs crates/core/src/clause.rs crates/core/src/coll.rs crates/core/src/dir.rs crates/core/src/expr.rs crates/core/src/lower.rs crates/core/src/macros.rs crates/core/src/patterns.rs crates/core/src/scope.rs crates/core/src/traceview.rs
+/root/repo/target/debug/deps/commint-c1e0dc07d7a93f54.d: crates/core/src/lib.rs crates/core/src/analysis.rs crates/core/src/buffer.rs crates/core/src/clause.rs crates/core/src/coll.rs crates/core/src/diag.rs crates/core/src/dir.rs crates/core/src/expr.rs crates/core/src/lower.rs crates/core/src/macros.rs crates/core/src/patterns.rs crates/core/src/scope.rs crates/core/src/traceview.rs
 
-/root/repo/target/debug/deps/libcommint-c1e0dc07d7a93f54.rmeta: crates/core/src/lib.rs crates/core/src/analysis.rs crates/core/src/buffer.rs crates/core/src/clause.rs crates/core/src/coll.rs crates/core/src/dir.rs crates/core/src/expr.rs crates/core/src/lower.rs crates/core/src/macros.rs crates/core/src/patterns.rs crates/core/src/scope.rs crates/core/src/traceview.rs
+/root/repo/target/debug/deps/libcommint-c1e0dc07d7a93f54.rmeta: crates/core/src/lib.rs crates/core/src/analysis.rs crates/core/src/buffer.rs crates/core/src/clause.rs crates/core/src/coll.rs crates/core/src/diag.rs crates/core/src/dir.rs crates/core/src/expr.rs crates/core/src/lower.rs crates/core/src/macros.rs crates/core/src/patterns.rs crates/core/src/scope.rs crates/core/src/traceview.rs
 
 crates/core/src/lib.rs:
 crates/core/src/analysis.rs:
 crates/core/src/buffer.rs:
 crates/core/src/clause.rs:
 crates/core/src/coll.rs:
+crates/core/src/diag.rs:
 crates/core/src/dir.rs:
 crates/core/src/expr.rs:
 crates/core/src/lower.rs:

@@ -1,12 +1,13 @@
-/root/repo/target/debug/deps/commint-c7caa48a455abc4c.d: crates/core/src/lib.rs crates/core/src/analysis.rs crates/core/src/buffer.rs crates/core/src/clause.rs crates/core/src/coll.rs crates/core/src/dir.rs crates/core/src/expr.rs crates/core/src/lower.rs crates/core/src/macros.rs crates/core/src/patterns.rs crates/core/src/scope.rs crates/core/src/traceview.rs
+/root/repo/target/debug/deps/commint-c7caa48a455abc4c.d: crates/core/src/lib.rs crates/core/src/analysis.rs crates/core/src/buffer.rs crates/core/src/clause.rs crates/core/src/coll.rs crates/core/src/diag.rs crates/core/src/dir.rs crates/core/src/expr.rs crates/core/src/lower.rs crates/core/src/macros.rs crates/core/src/patterns.rs crates/core/src/scope.rs crates/core/src/traceview.rs
 
-/root/repo/target/debug/deps/commint-c7caa48a455abc4c: crates/core/src/lib.rs crates/core/src/analysis.rs crates/core/src/buffer.rs crates/core/src/clause.rs crates/core/src/coll.rs crates/core/src/dir.rs crates/core/src/expr.rs crates/core/src/lower.rs crates/core/src/macros.rs crates/core/src/patterns.rs crates/core/src/scope.rs crates/core/src/traceview.rs
+/root/repo/target/debug/deps/commint-c7caa48a455abc4c: crates/core/src/lib.rs crates/core/src/analysis.rs crates/core/src/buffer.rs crates/core/src/clause.rs crates/core/src/coll.rs crates/core/src/diag.rs crates/core/src/dir.rs crates/core/src/expr.rs crates/core/src/lower.rs crates/core/src/macros.rs crates/core/src/patterns.rs crates/core/src/scope.rs crates/core/src/traceview.rs
 
 crates/core/src/lib.rs:
 crates/core/src/analysis.rs:
 crates/core/src/buffer.rs:
 crates/core/src/clause.rs:
 crates/core/src/coll.rs:
+crates/core/src/diag.rs:
 crates/core/src/dir.rs:
 crates/core/src/expr.rs:
 crates/core/src/lower.rs:

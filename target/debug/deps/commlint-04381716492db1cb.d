@@ -1,0 +1,8 @@
+/root/repo/target/debug/deps/commlint-04381716492db1cb.d: crates/commlint/src/lib.rs crates/commlint/src/json.rs
+
+/root/repo/target/debug/deps/libcommlint-04381716492db1cb.rlib: crates/commlint/src/lib.rs crates/commlint/src/json.rs
+
+/root/repo/target/debug/deps/libcommlint-04381716492db1cb.rmeta: crates/commlint/src/lib.rs crates/commlint/src/json.rs
+
+crates/commlint/src/lib.rs:
+crates/commlint/src/json.rs:

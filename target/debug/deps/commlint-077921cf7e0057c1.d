@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/commlint-077921cf7e0057c1.d: crates/commlint/src/lib.rs crates/commlint/src/json.rs Cargo.toml
+
+/root/repo/target/debug/deps/libcommlint-077921cf7e0057c1.rmeta: crates/commlint/src/lib.rs crates/commlint/src/json.rs Cargo.toml
+
+crates/commlint/src/lib.rs:
+crates/commlint/src/json.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/commlint-1cf93e64426b28cb.d: crates/commlint/src/bin/commlint.rs
+
+/root/repo/target/debug/deps/commlint-1cf93e64426b28cb: crates/commlint/src/bin/commlint.rs
+
+crates/commlint/src/bin/commlint.rs:

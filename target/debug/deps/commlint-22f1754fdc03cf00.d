@@ -1,0 +1,6 @@
+/root/repo/target/debug/deps/commlint-22f1754fdc03cf00.d: crates/commlint/src/lib.rs crates/commlint/src/json.rs
+
+/root/repo/target/debug/deps/commlint-22f1754fdc03cf00: crates/commlint/src/lib.rs crates/commlint/src/json.rs
+
+crates/commlint/src/lib.rs:
+crates/commlint/src/json.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/commlint-5d235aa7fdada853.d: crates/commlint/src/bin/commlint.rs Cargo.toml
+
+/root/repo/target/debug/deps/libcommlint-5d235aa7fdada853.rmeta: crates/commlint/src/bin/commlint.rs Cargo.toml
+
+crates/commlint/src/bin/commlint.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

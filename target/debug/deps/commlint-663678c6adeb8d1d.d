@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/commlint-663678c6adeb8d1d.d: crates/commlint/src/bin/commlint.rs
+
+/root/repo/target/debug/deps/commlint-663678c6adeb8d1d: crates/commlint/src/bin/commlint.rs
+
+crates/commlint/src/bin/commlint.rs:

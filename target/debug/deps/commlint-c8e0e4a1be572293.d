@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/commlint-c8e0e4a1be572293.d: crates/commlint/src/lib.rs crates/commlint/src/json.rs Cargo.toml
+
+/root/repo/target/debug/deps/libcommlint-c8e0e4a1be572293.rmeta: crates/commlint/src/lib.rs crates/commlint/src/json.rs Cargo.toml
+
+crates/commlint/src/lib.rs:
+crates/commlint/src/json.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/commlint-ecbb94b8d0f42f69.d: crates/commlint/src/bin/commlint.rs Cargo.toml
+
+/root/repo/target/debug/deps/libcommlint-ecbb94b8d0f42f69.rmeta: crates/commlint/src/bin/commlint.rs Cargo.toml
+
+crates/commlint/src/bin/commlint.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/commlint_golden-9e758f3c6aebc8ac.d: crates/integration/../../tests/commlint_golden.rs Cargo.toml
+
+/root/repo/target/debug/deps/libcommlint_golden-9e758f3c6aebc8ac.rmeta: crates/integration/../../tests/commlint_golden.rs Cargo.toml
+
+crates/integration/../../tests/commlint_golden.rs:
+Cargo.toml:
+
+# env-dep:CARGO_MANIFEST_DIR=/root/repo/crates/integration
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/commlint_golden-c7b945e22833b41d.d: crates/integration/../../tests/commlint_golden.rs
+
+/root/repo/target/debug/deps/commlint_golden-c7b945e22833b41d: crates/integration/../../tests/commlint_golden.rs
+
+crates/integration/../../tests/commlint_golden.rs:
+
+# env-dep:CARGO_MANIFEST_DIR=/root/repo/crates/integration

@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/commlint_wl_lsms-87fc6f61402f9a78.d: crates/integration/../../tests/commlint_wl_lsms.rs Cargo.toml
+
+/root/repo/target/debug/deps/libcommlint_wl_lsms-87fc6f61402f9a78.rmeta: crates/integration/../../tests/commlint_wl_lsms.rs Cargo.toml
+
+crates/integration/../../tests/commlint_wl_lsms.rs:
+Cargo.toml:
+
+# env-dep:CARGO_MANIFEST_DIR=/root/repo/crates/integration
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

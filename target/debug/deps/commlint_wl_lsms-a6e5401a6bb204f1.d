@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/commlint_wl_lsms-a6e5401a6bb204f1.d: crates/integration/../../tests/commlint_wl_lsms.rs
+
+/root/repo/target/debug/deps/commlint_wl_lsms-a6e5401a6bb204f1: crates/integration/../../tests/commlint_wl_lsms.rs
+
+crates/integration/../../tests/commlint_wl_lsms.rs:
+
+# env-dep:CARGO_MANIFEST_DIR=/root/repo/crates/integration

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/figures_smoke-7aa7fe4318a577e6.d: crates/integration/../../tests/figures_smoke.rs
+
+/root/repo/target/debug/deps/figures_smoke-7aa7fe4318a577e6: crates/integration/../../tests/figures_smoke.rs
+
+crates/integration/../../tests/figures_smoke.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/figures_smoke-a7402ff15b34dd2d.d: crates/integration/../../tests/figures_smoke.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfigures_smoke-a7402ff15b34dd2d.rmeta: crates/integration/../../tests/figures_smoke.rs Cargo.toml
+
+crates/integration/../../tests/figures_smoke.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

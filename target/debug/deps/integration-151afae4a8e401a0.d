@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/integration-151afae4a8e401a0.d: crates/integration/src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libintegration-151afae4a8e401a0.rmeta: crates/integration/src/lib.rs Cargo.toml
+
+crates/integration/src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

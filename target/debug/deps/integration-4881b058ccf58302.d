@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/integration-4881b058ccf58302.d: crates/integration/src/lib.rs
+
+/root/repo/target/debug/deps/integration-4881b058ccf58302: crates/integration/src/lib.rs
+
+crates/integration/src/lib.rs:

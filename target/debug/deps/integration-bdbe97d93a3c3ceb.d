@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/integration-bdbe97d93a3c3ceb.d: crates/integration/src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libintegration-bdbe97d93a3c3ceb.rmeta: crates/integration/src/lib.rs Cargo.toml
+
+crates/integration/src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/integration-c6375c235efba03e.d: crates/integration/src/lib.rs
+
+/root/repo/target/debug/deps/libintegration-c6375c235efba03e.rlib: crates/integration/src/lib.rs
+
+/root/repo/target/debug/deps/libintegration-c6375c235efba03e.rmeta: crates/integration/src/lib.rs
+
+crates/integration/src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/overlap_timing-24a92cc0476bd426.d: crates/integration/../../tests/overlap_timing.rs
+
+/root/repo/target/debug/deps/overlap_timing-24a92cc0476bd426: crates/integration/../../tests/overlap_timing.rs
+
+crates/integration/../../tests/overlap_timing.rs:

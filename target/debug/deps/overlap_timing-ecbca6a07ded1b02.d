@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/overlap_timing-ecbca6a07ded1b02.d: crates/integration/../../tests/overlap_timing.rs Cargo.toml
+
+/root/repo/target/debug/deps/liboverlap_timing-ecbca6a07ded1b02.rmeta: crates/integration/../../tests/overlap_timing.rs Cargo.toml
+
+crates/integration/../../tests/overlap_timing.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/pragma_to_execution-99a08fa4296ec5ed.d: crates/integration/../../tests/pragma_to_execution.rs
+
+/root/repo/target/debug/deps/pragma_to_execution-99a08fa4296ec5ed: crates/integration/../../tests/pragma_to_execution.rs
+
+crates/integration/../../tests/pragma_to_execution.rs:

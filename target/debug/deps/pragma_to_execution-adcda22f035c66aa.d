@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/pragma_to_execution-adcda22f035c66aa.d: crates/integration/../../tests/pragma_to_execution.rs Cargo.toml
+
+/root/repo/target/debug/deps/libpragma_to_execution-adcda22f035c66aa.rmeta: crates/integration/../../tests/pragma_to_execution.rs Cargo.toml
+
+crates/integration/../../tests/pragma_to_execution.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/prop_datatype-e56b2ff84dc6518e.d: crates/integration/../../tests/prop_datatype.rs
+
+/root/repo/target/debug/deps/prop_datatype-e56b2ff84dc6518e: crates/integration/../../tests/prop_datatype.rs
+
+crates/integration/../../tests/prop_datatype.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/prop_datatype-ebf9cc7108947bef.d: crates/integration/../../tests/prop_datatype.rs Cargo.toml
+
+/root/repo/target/debug/deps/libprop_datatype-ebf9cc7108947bef.rmeta: crates/integration/../../tests/prop_datatype.rs Cargo.toml
+
+crates/integration/../../tests/prop_datatype.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

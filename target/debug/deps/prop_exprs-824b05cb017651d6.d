@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/prop_exprs-824b05cb017651d6.d: crates/integration/../../tests/prop_exprs.rs Cargo.toml
+
+/root/repo/target/debug/deps/libprop_exprs-824b05cb017651d6.rmeta: crates/integration/../../tests/prop_exprs.rs Cargo.toml
+
+crates/integration/../../tests/prop_exprs.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/prop_exprs-9e8735268b04d4c9.d: crates/integration/../../tests/prop_exprs.rs
+
+/root/repo/target/debug/deps/prop_exprs-9e8735268b04d4c9: crates/integration/../../tests/prop_exprs.rs
+
+crates/integration/../../tests/prop_exprs.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/prop_lint-ace13733636c4966.d: crates/integration/../../tests/prop_lint.rs Cargo.toml
+
+/root/repo/target/debug/deps/libprop_lint-ace13733636c4966.rmeta: crates/integration/../../tests/prop_lint.rs Cargo.toml
+
+crates/integration/../../tests/prop_lint.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/prop_lint-e32443776b65cfa0.d: crates/integration/../../tests/prop_lint.rs
+
+/root/repo/target/debug/deps/prop_lint-e32443776b65cfa0: crates/integration/../../tests/prop_lint.rs
+
+crates/integration/../../tests/prop_lint.rs:

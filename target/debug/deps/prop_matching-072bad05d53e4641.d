@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/prop_matching-072bad05d53e4641.d: crates/integration/../../tests/prop_matching.rs Cargo.toml
+
+/root/repo/target/debug/deps/libprop_matching-072bad05d53e4641.rmeta: crates/integration/../../tests/prop_matching.rs Cargo.toml
+
+crates/integration/../../tests/prop_matching.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/prop_matching-819d1cfebd010c82.d: crates/integration/../../tests/prop_matching.rs
+
+/root/repo/target/debug/deps/prop_matching-819d1cfebd010c82: crates/integration/../../tests/prop_matching.rs
+
+crates/integration/../../tests/prop_matching.rs:

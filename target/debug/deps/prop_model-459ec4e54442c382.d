@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/prop_model-459ec4e54442c382.d: crates/integration/../../tests/prop_model.rs
+
+/root/repo/target/debug/deps/prop_model-459ec4e54442c382: crates/integration/../../tests/prop_model.rs
+
+crates/integration/../../tests/prop_model.rs:

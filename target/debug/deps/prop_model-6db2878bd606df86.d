@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/prop_model-6db2878bd606df86.d: crates/integration/../../tests/prop_model.rs Cargo.toml
+
+/root/repo/target/debug/deps/libprop_model-6db2878bd606df86.rmeta: crates/integration/../../tests/prop_model.rs Cargo.toml
+
+crates/integration/../../tests/prop_model.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/prop_patterns-6541de9726668213.d: crates/integration/../../tests/prop_patterns.rs
+
+/root/repo/target/debug/deps/prop_patterns-6541de9726668213: crates/integration/../../tests/prop_patterns.rs
+
+crates/integration/../../tests/prop_patterns.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/prop_patterns-6c9e8637f5c7d1f2.d: crates/integration/../../tests/prop_patterns.rs Cargo.toml
+
+/root/repo/target/debug/deps/libprop_patterns-6c9e8637f5c7d1f2.rmeta: crates/integration/../../tests/prop_patterns.rs Cargo.toml
+
+crates/integration/../../tests/prop_patterns.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

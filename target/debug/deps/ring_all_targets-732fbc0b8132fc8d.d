@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ring_all_targets-732fbc0b8132fc8d.d: crates/integration/../../tests/ring_all_targets.rs
+
+/root/repo/target/debug/deps/ring_all_targets-732fbc0b8132fc8d: crates/integration/../../tests/ring_all_targets.rs
+
+crates/integration/../../tests/ring_all_targets.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/ring_all_targets-d54939247dcfd5a2.d: crates/integration/../../tests/ring_all_targets.rs Cargo.toml
+
+/root/repo/target/debug/deps/libring_all_targets-d54939247dcfd5a2.rmeta: crates/integration/../../tests/ring_all_targets.rs Cargo.toml
+
+crates/integration/../../tests/ring_all_targets.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/sync_consolidation-3f597e881b634d7c.d: crates/integration/../../tests/sync_consolidation.rs Cargo.toml
+
+/root/repo/target/debug/deps/libsync_consolidation-3f597e881b634d7c.rmeta: crates/integration/../../tests/sync_consolidation.rs Cargo.toml
+
+crates/integration/../../tests/sync_consolidation.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/sync_consolidation-a06f96925c0a0a6d.d: crates/integration/../../tests/sync_consolidation.rs
+
+/root/repo/target/debug/deps/sync_consolidation-a06f96925c0a0a6d: crates/integration/../../tests/sync_consolidation.rs
+
+crates/integration/../../tests/sync_consolidation.rs:

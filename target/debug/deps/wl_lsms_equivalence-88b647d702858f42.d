@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/wl_lsms_equivalence-88b647d702858f42.d: crates/integration/../../tests/wl_lsms_equivalence.rs Cargo.toml
+
+/root/repo/target/debug/deps/libwl_lsms_equivalence-88b647d702858f42.rmeta: crates/integration/../../tests/wl_lsms_equivalence.rs Cargo.toml
+
+crates/integration/../../tests/wl_lsms_equivalence.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/wl_lsms_equivalence-c23c5ab6bb461032.d: crates/integration/../../tests/wl_lsms_equivalence.rs
+
+/root/repo/target/debug/deps/wl_lsms_equivalence-c23c5ab6bb461032: crates/integration/../../tests/wl_lsms_equivalence.rs
+
+crates/integration/../../tests/wl_lsms_equivalence.rs:

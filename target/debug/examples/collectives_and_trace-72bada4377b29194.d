@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/collectives_and_trace-72bada4377b29194.d: crates/bench/../../examples/collectives_and_trace.rs Cargo.toml
+
+/root/repo/target/debug/examples/libcollectives_and_trace-72bada4377b29194.rmeta: crates/bench/../../examples/collectives_and_trace.rs Cargo.toml
+
+crates/bench/../../examples/collectives_and_trace.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/halo_exchange-87f3db9b5e80f7d4.d: crates/bench/../../examples/halo_exchange.rs Cargo.toml
+
+/root/repo/target/debug/examples/libhalo_exchange-87f3db9b5e80f7d4.rmeta: crates/bench/../../examples/halo_exchange.rs Cargo.toml
+
+crates/bench/../../examples/halo_exchange.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/pragma_translate-090eeffb20a0d8a0.d: crates/bench/../../examples/pragma_translate.rs Cargo.toml
+
+/root/repo/target/debug/examples/libpragma_translate-090eeffb20a0d8a0.rmeta: crates/bench/../../examples/pragma_translate.rs Cargo.toml
+
+crates/bench/../../examples/pragma_translate.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

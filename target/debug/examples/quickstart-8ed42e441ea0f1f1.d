@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/quickstart-8ed42e441ea0f1f1.d: crates/bench/../../examples/quickstart.rs Cargo.toml
+
+/root/repo/target/debug/examples/libquickstart-8ed42e441ea0f1f1.rmeta: crates/bench/../../examples/quickstart.rs Cargo.toml
+
+crates/bench/../../examples/quickstart.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/retarget_portability-17e2002365e263a3.d: crates/bench/../../examples/retarget_portability.rs Cargo.toml
+
+/root/repo/target/debug/examples/libretarget_portability-17e2002365e263a3.rmeta: crates/bench/../../examples/retarget_portability.rs Cargo.toml
+
+crates/bench/../../examples/retarget_portability.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

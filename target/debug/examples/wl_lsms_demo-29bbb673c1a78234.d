@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/wl_lsms_demo-29bbb673c1a78234.d: crates/bench/../../examples/wl_lsms_demo.rs Cargo.toml
+
+/root/repo/target/debug/examples/libwl_lsms_demo-29bbb673c1a78234.rmeta: crates/bench/../../examples/wl_lsms_demo.rs Cargo.toml
+
+crates/bench/../../examples/wl_lsms_demo.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,8 @@
+/root/repo/target/release/deps/commlint-7e7a047f687c936c.d: crates/commlint/src/lib.rs crates/commlint/src/json.rs
+
+/root/repo/target/release/deps/libcommlint-7e7a047f687c936c.rlib: crates/commlint/src/lib.rs crates/commlint/src/json.rs
+
+/root/repo/target/release/deps/libcommlint-7e7a047f687c936c.rmeta: crates/commlint/src/lib.rs crates/commlint/src/json.rs
+
+crates/commlint/src/lib.rs:
+crates/commlint/src/json.rs:

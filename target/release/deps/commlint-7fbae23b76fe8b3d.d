@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/commlint-7fbae23b76fe8b3d.d: crates/commlint/src/bin/commlint.rs
+
+/root/repo/target/release/deps/commlint-7fbae23b76fe8b3d: crates/commlint/src/bin/commlint.rs
+
+crates/commlint/src/bin/commlint.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/integration-eff312f34565aafb.d: crates/integration/src/lib.rs
+
+/root/repo/target/release/deps/libintegration-eff312f34565aafb.rlib: crates/integration/src/lib.rs
+
+/root/repo/target/release/deps/libintegration-eff312f34565aafb.rmeta: crates/integration/src/lib.rs
+
+crates/integration/src/lib.rs:

@@ -1,0 +1,94 @@
+//! Golden-file tests for `commlint --format json`: every catalogued lint
+//! code is detected on its fixture, with span and rank-count witness, and
+//! the JSON document matches the committed golden byte-for-byte.
+//!
+//! Regenerate goldens after an intentional output change with
+//! `BLESS=1 cargo test -p integration --test commlint_golden`.
+
+use std::path::PathBuf;
+
+use commlint::{json::render_json, lint_source, LintOptions};
+use pragma_front::SymbolTable;
+
+fn fixture_dir() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../../tests/lint_fixtures")
+}
+
+/// Lint one fixture and render its JSON with a machine-independent path.
+fn lint_fixture(name: &str) -> (commlint::LintReport, String) {
+    let src = std::fs::read_to_string(fixture_dir().join(name))
+        .unwrap_or_else(|e| panic!("read fixture {name}: {e}"));
+    let report = lint_source(&src, &SymbolTable::new(), &LintOptions::default())
+        .unwrap_or_else(|e| panic!("fixture {name} failed to parse: {e}"));
+    let json = render_json(&[(name.to_string(), report.clone())]);
+    (report, json)
+}
+
+fn check_golden(name: &str) -> commlint::LintReport {
+    let (report, json) = lint_fixture(name);
+    let golden_path = fixture_dir()
+        .join("golden")
+        .join(name.replace(".comm", ".json"));
+    if std::env::var_os("BLESS").is_some() {
+        std::fs::write(&golden_path, &json).expect("write golden");
+        return report;
+    }
+    let want = std::fs::read_to_string(&golden_path)
+        .unwrap_or_else(|e| panic!("read golden for {name}: {e} (run with BLESS=1 to create)"));
+    assert_eq!(
+        json, want,
+        "{name}: JSON drifted from golden (run with BLESS=1 after intentional changes)"
+    );
+    report
+}
+
+#[test]
+fn clean_fixture_has_zero_diagnostics() {
+    let report = check_golden("clean.comm");
+    assert!(report.diags.is_empty(), "{:?}", report.diags);
+    assert!(!report.gate_fails());
+}
+
+/// Each `ciNNN_*` fixture is detected with its advertised code, carries a
+/// source span, and (for the engine-level codes) a rank-count witness.
+#[test]
+fn every_lint_code_detected_on_its_fixture() {
+    let cases = [
+        ("ci000_directive_rule.comm", "CI000"),
+        ("ci001_unmatched_send.comm", "CI001"),
+        ("ci002_deadlock_cycle.comm", "CI002"),
+        ("ci003_aliasing.comm", "CI003"),
+        ("ci004_size_mismatch.comm", "CI004"),
+        ("ci005_pairing.comm", "CI005"),
+        ("ci006_consolidation.comm", "CI006"),
+        ("ci007_target_infeasible.comm", "CI007"),
+        ("ci008_unresolved.comm", "CI008"),
+    ];
+    for (name, code) in cases {
+        let report = check_golden(name);
+        let d = report
+            .diags
+            .iter()
+            .find(|d| d.code.code() == code)
+            .unwrap_or_else(|| panic!("{name}: {code} not detected: {:?}", report.diags));
+        assert!(d.span.is_some(), "{name}: {code} carries no span");
+        if code != "CI000" {
+            let w = d
+                .witness
+                .as_ref()
+                .unwrap_or_else(|| panic!("{name}: {code} carries no rank witness"));
+            assert!(w.nranks >= 2, "{name}: witness {w:?}");
+        }
+    }
+}
+
+/// The CI001 fixture is clean at nranks=2 and first fails at 3 — the sweep
+/// must report the smallest failing count, not the largest swept.
+#[test]
+fn witness_is_smallest_failing_rank_count() {
+    let (report, _) = lint_fixture("ci001_unmatched_send.comm");
+    let d = &report.diags[0];
+    assert_eq!(d.code.code(), "CI001");
+    assert_eq!(d.witness.as_ref().unwrap().nranks, 3);
+    assert_eq!(d.witness.as_ref().unwrap().ranks, vec![2]);
+}

@@ -1,0 +1,170 @@
+//! Property tests: the lint driver is total — `lint_region_at` never
+//! panics and never loops, for arbitrary clause sets, buffer layouts, and
+//! region shapes, across every rank count 1..=32. Diagnostics may be
+//! nonsense for nonsense specs; crashing is the only wrong answer.
+
+use std::collections::HashMap;
+
+use commint::buffer::{BufMeta, ElemKind};
+use commint::clause::{ClauseSet, PlaceSync, Target};
+use commint::diag::lint_region_at;
+use commint::dir::{P2pSpec, ParamsSpec};
+use commint::expr::{CondExpr, RankExpr};
+use mpisim::dtype::BasicType;
+use proptest::prelude::*;
+
+/// The vendored proptest shim has no `proptest::option` module.
+fn opt<S: Strategy + 'static>(s: S) -> impl Strategy<Value = Option<S::Value>> {
+    (any::<bool>(), s).prop_map(|(some, v)| if some { Some(v) } else { None })
+}
+
+fn expr_strategy() -> impl Strategy<Value = RankExpr> {
+    let leaf = prop_oneof![
+        Just(RankExpr::rank()),
+        Just(RankExpr::nranks()),
+        (-4i64..50).prop_map(RankExpr::lit),
+        Just(RankExpr::var("n")),
+        Just(RankExpr::var("unbound")),
+        Just(RankExpr::opaque("f(x)", |env| env.rank * 3 - 1)),
+    ];
+    leaf.prop_recursive(3, 16, 2, |inner| {
+        prop_oneof![
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| a + b),
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| a - b),
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| a * b),
+            // Zero divisors/moduli included on purpose: evaluation must
+            // fail cleanly, not crash the linter.
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| a / b),
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| a % b),
+        ]
+    })
+}
+
+fn cond_strategy() -> impl Strategy<Value = CondExpr> {
+    (expr_strategy(), expr_strategy(), 0u8..6).prop_map(|(a, b, op)| match op {
+        0 => a.eq(b),
+        1 => a.ne(b),
+        2 => a.lt(b),
+        3 => a.le(b),
+        4 => a.gt(b),
+        _ => a.ge(b),
+    })
+}
+
+fn clause_strategy() -> impl Strategy<Value = ClauseSet> {
+    (
+        (
+            opt(expr_strategy()),
+            opt(expr_strategy()),
+            opt(cond_strategy()),
+            opt(cond_strategy()),
+        ),
+        (
+            opt(expr_strategy()),
+            opt(prop_oneof![
+                Just(Target::Mpi2Side),
+                Just(Target::Mpi1Side),
+                Just(Target::Shmem),
+            ]),
+            opt(prop_oneof![
+                Just(PlaceSync::EndParamRegion),
+                Just(PlaceSync::BeginNextParamRegion),
+                Just(PlaceSync::EndAdjParamRegions),
+            ]),
+            opt(expr_strategy()),
+        ),
+    )
+        .prop_map(
+            |((sender, receiver, sendwhen, receivewhen), (count, target, place_sync, max))| {
+                ClauseSet {
+                    sender,
+                    receiver,
+                    sendwhen,
+                    receivewhen,
+                    count,
+                    target,
+                    place_sync,
+                    max_comm_iter: max,
+                }
+            },
+        )
+}
+
+/// Buffers with arbitrary (possibly overlapping, possibly empty) address
+/// ranges and element kinds.
+fn buf_strategy() -> impl Strategy<Value = BufMeta> {
+    (
+        0usize..4,
+        0usize..128,
+        0usize..64,
+        prop_oneof![
+            Just(BasicType::U8),
+            Just(BasicType::I32),
+            Just(BasicType::F64),
+        ],
+    )
+        .prop_map(|(name, lo, len, ty)| BufMeta {
+            name: format!("buf{name}"),
+            elem: ElemKind::Prim(ty),
+            len,
+            addr: (lo, lo + len * ty.size()),
+        })
+}
+
+fn p2p_strategy() -> impl Strategy<Value = P2pSpec> {
+    (
+        clause_strategy(),
+        proptest::collection::vec(buf_strategy(), 0..3),
+        proptest::collection::vec(buf_strategy(), 0..3),
+        any::<bool>(),
+        0u32..100,
+    )
+        .prop_map(|(clauses, sbuf, rbuf, has_overlap_body, site)| P2pSpec {
+            clauses,
+            sbuf,
+            rbuf,
+            has_overlap_body,
+            site,
+            spans: Default::default(),
+        })
+}
+
+fn region_strategy() -> impl Strategy<Value = ParamsSpec> {
+    (
+        clause_strategy(),
+        proptest::collection::vec(p2p_strategy(), 0..4),
+    )
+        .prop_map(|(clauses, body)| ParamsSpec {
+            clauses,
+            body,
+            spans: Default::default(),
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn lint_driver_never_panics(
+        spec in region_strategy(),
+        bind_n in opt(-2i64..40),
+    ) {
+        let mut vars = HashMap::new();
+        if let Some(n) = bind_n {
+            vars.insert("n".to_string(), n);
+        }
+        for nranks in 1..=32usize {
+            let diags = lint_region_at(0, &spec, nranks, &vars);
+            // Structural sanity on whatever came out.
+            for d in &diags {
+                prop_assert_eq!(d.region, 0);
+                if let Some(w) = &d.witness {
+                    prop_assert_eq!(w.nranks, nranks);
+                    for &r in &w.ranks {
+                        prop_assert!(r < nranks, "witness rank {} out of 0..{}", r, nranks);
+                    }
+                }
+            }
+        }
+    }
+}
