@@ -1,24 +1,37 @@
 //! Figure 3: experimental results for communication of single atom data
 //! (potentials + electron densities).
 //!
-//! Usage: `fig3 [--stride K] [--jobs J] [--stats]`.
+//! Usage: `fig3 [--stride K] [--jobs J] [--workers W] [--stats] [--json]
+//!              [--baseline FILE]`.
 
-use bench::{default_jobs, paper_ms, render_stats, sweep, SeriesTable};
-use netsim::RankStats;
-use wl_lsms::{fig3_single_atom, AtomCommVariant, AtomSizes, Topology};
+use std::time::Instant;
+
+use bench::{
+    arg_str, arg_usize, default_jobs, emit_json_report, paper_ms, render_stats, sweep, BenchReport,
+    SeriesReport, SeriesTable,
+};
+use netsim::{ExecPolicy, RankStats};
+use wl_lsms::{fig3_single_atom_exec, AtomCommVariant, AtomSizes, Topology};
 
 fn main() {
     let args: Vec<String> = std::env::args().collect();
-    let stride = arg(&args, "--stride").unwrap_or(1);
-    let jobs = arg(&args, "--jobs").unwrap_or_else(default_jobs);
+    let stride = arg_usize(&args, "--stride").unwrap_or(1);
+    let jobs = arg_usize(&args, "--jobs").unwrap_or_else(default_jobs);
     let stats = args.iter().any(|a| a == "--stats");
+    let json = args.iter().any(|a| a == "--json");
+    let baseline = arg_str(&args, "--baseline");
+    let workers = arg_usize(&args, "--workers");
+    let exec = match workers {
+        Some(w) => ExecPolicy::bounded(w),
+        None => ExecPolicy::threads(),
+    };
 
     let ms = paper_ms(stride);
     let xs: Vec<usize> = ms
         .iter()
         .map(|&m| Topology::paper(m).total_ranks())
         .collect();
-    let mut table = SeriesTable::new(xs);
+    let mut table = SeriesTable::new(xs.clone());
 
     let variants = [
         AtomCommVariant::Original,
@@ -29,25 +42,47 @@ fn main() {
         .iter()
         .flat_map(|&v| ms.iter().map(move |&m| (v, m)))
         .collect();
+    let t0 = Instant::now();
     let results = sweep(&points, jobs, |&(variant, m)| {
         let topo = Topology::paper(m);
-        let meas = fig3_single_atom(&topo, variant, AtomSizes::default());
+        let meas = fig3_single_atom_exec(&topo, variant, AtomSizes::default(), exec);
         assert!(meas.correct, "atom data validation failed for {variant:?}");
         meas
     });
+    let wall_s = t0.elapsed().as_secs_f64();
 
     let mut stat_lines = Vec::new();
+    let mut series = Vec::new();
     for (vi, variant) in variants.iter().enumerate() {
         let runs = &results[vi * ms.len()..(vi + 1) * ms.len()];
         table.push(variant.label(), runs.iter().map(|r| r.time).collect());
+        let mut total = RankStats::default();
+        for r in runs {
+            total.merge(&r.stats);
+        }
+        series.push(SeriesReport::new(
+            variant.label(),
+            runs.iter().map(|r| r.time.as_nanos()).collect(),
+            &total,
+        ));
         if stats {
-            let mut total = RankStats::default();
-            for r in runs {
-                total.merge(&r.stats);
-            }
             stat_lines.push(render_stats(variant.label(), &total));
         }
         eprintln!("  [done] {}", variant.label());
+    }
+
+    if json {
+        let report = BenchReport {
+            bench: "fig3".into(),
+            args: vec![
+                ("stride".into(), stride as i64),
+                ("workers".into(), workers.map_or(-1, |w| w as i64)),
+            ],
+            ranks: xs,
+            series,
+            wall_s,
+        };
+        std::process::exit(emit_json_report(&report, baseline));
     }
 
     println!(
@@ -68,11 +103,4 @@ fn main() {
     for line in stat_lines {
         println!("{line}");
     }
-}
-
-fn arg(args: &[String], name: &str) -> Option<usize> {
-    args.iter()
-        .position(|a| a == name)
-        .and_then(|i| args.get(i + 1))
-        .and_then(|v| v.parse().ok())
 }

@@ -1,27 +1,43 @@
 //! Figure 4: experimental results for communication of random spin
 //! configurations (`setEvec`), plus the §IV-B speedup table.
 //!
-//! Usage: `fig4 [--stride K] [--steps N] [--jobs J] [--stats]`
-//! (stride thins the process sweep; jobs bounds the worker pool; stats
-//! appends merged per-variant operation counters).
+//! Usage: `fig4 [--stride K] [--steps N] [--jobs J] [--workers W] [--stats]
+//!              [--json] [--baseline FILE]`
+//! (stride thins the process sweep; jobs bounds the sweep worker pool;
+//! `--workers` selects the bounded in-run engine, 0 = auto; stats appends
+//! merged per-variant operation counters; `--json` emits the machine
+//! -readable report instead of the table; `--baseline` gates virtual times
+//! against a committed report).
 
-use bench::{default_jobs, paper_ms, render_stats, sweep, SeriesTable};
-use netsim::RankStats;
-use wl_lsms::{fig4_spin, SpinVariant, Topology};
+use std::time::Instant;
+
+use bench::{
+    arg_str, arg_usize, default_jobs, emit_json_report, paper_ms, render_stats, sweep, BenchReport,
+    SeriesReport, SeriesTable,
+};
+use netsim::{ExecPolicy, RankStats};
+use wl_lsms::{fig4_spin_exec, SpinVariant, Topology};
 
 fn main() {
     let args: Vec<String> = std::env::args().collect();
-    let stride = arg(&args, "--stride").unwrap_or(1);
-    let steps = arg(&args, "--steps").unwrap_or(4);
-    let jobs = arg(&args, "--jobs").unwrap_or_else(default_jobs);
+    let stride = arg_usize(&args, "--stride").unwrap_or(1);
+    let steps = arg_usize(&args, "--steps").unwrap_or(4);
+    let jobs = arg_usize(&args, "--jobs").unwrap_or_else(default_jobs);
     let stats = args.iter().any(|a| a == "--stats");
+    let json = args.iter().any(|a| a == "--json");
+    let baseline = arg_str(&args, "--baseline");
+    let workers = arg_usize(&args, "--workers");
+    let exec = match workers {
+        Some(w) => ExecPolicy::bounded(w),
+        None => ExecPolicy::threads(),
+    };
 
     let ms = paper_ms(stride);
     let xs: Vec<usize> = ms
         .iter()
         .map(|&m| Topology::paper(m).total_ranks())
         .collect();
-    let mut table = SeriesTable::new(xs);
+    let mut table = SeriesTable::new(xs.clone());
 
     let variants = [
         SpinVariant::Original,
@@ -36,25 +52,48 @@ fn main() {
         .iter()
         .flat_map(|&v| ms.iter().map(move |&m| (v, m)))
         .collect();
+    let t0 = Instant::now();
     let results = sweep(&points, jobs, |&(variant, m)| {
         let topo = Topology::paper(m);
-        let meas = fig4_spin(&topo, variant, steps);
+        let meas = fig4_spin_exec(&topo, variant, steps, exec);
         assert!(meas.correct, "spin validation failed for {variant:?}");
         meas
     });
+    let wall_s = t0.elapsed().as_secs_f64();
 
     let mut stat_lines = Vec::new();
+    let mut series = Vec::new();
     for (vi, variant) in variants.iter().enumerate() {
         let runs = &results[vi * ms.len()..(vi + 1) * ms.len()];
         table.push(variant.label(), runs.iter().map(|r| r.time).collect());
+        let mut total = RankStats::default();
+        for r in runs {
+            total.merge(&r.stats);
+        }
+        series.push(SeriesReport::new(
+            variant.label(),
+            runs.iter().map(|r| r.time.as_nanos()).collect(),
+            &total,
+        ));
         if stats {
-            let mut total = RankStats::default();
-            for r in runs {
-                total.merge(&r.stats);
-            }
             stat_lines.push(render_stats(variant.label(), &total));
         }
         eprintln!("  [done] {}", variant.label());
+    }
+
+    if json {
+        let report = BenchReport {
+            bench: "fig4".into(),
+            args: vec![
+                ("stride".into(), stride as i64),
+                ("steps".into(), steps as i64),
+                ("workers".into(), workers.map_or(-1, |w| w as i64)),
+            ],
+            ranks: xs,
+            series,
+            wall_s,
+        };
+        std::process::exit(emit_json_report(&report, baseline));
     }
 
     println!(
@@ -85,11 +124,4 @@ fn main() {
     for line in stat_lines {
         println!("{line}");
     }
-}
-
-fn arg(args: &[String], name: &str) -> Option<usize> {
-    args.iter()
-        .position(|a| a == name)
-        .and_then(|i| args.get(i + 1))
-        .and_then(|v| v.parse().ok())
 }

@@ -2,25 +2,38 @@
 //! overlap — spin communication plus the first `calculateCoreStates` slice,
 //! under the paper's projected 10x GPU speedup of the computation.
 //!
-//! Usage: `fig5 [--stride K] [--steps N] [--jobs J] [--stats]`.
+//! Usage: `fig5 [--stride K] [--steps N] [--jobs J] [--workers W] [--stats]
+//!              [--json] [--baseline FILE]`.
 
-use bench::{default_jobs, paper_ms, render_stats, sweep, SeriesTable};
-use netsim::RankStats;
-use wl_lsms::{fig5_overlap, AtomSizes, CoreStateParams, Topology};
+use std::time::Instant;
+
+use bench::{
+    arg_str, arg_usize, default_jobs, emit_json_report, paper_ms, render_stats, sweep, BenchReport,
+    SeriesReport, SeriesTable,
+};
+use netsim::{ExecPolicy, RankStats};
+use wl_lsms::{fig5_overlap_exec, AtomSizes, CoreStateParams, Topology};
 
 fn main() {
     let args: Vec<String> = std::env::args().collect();
-    let stride = arg(&args, "--stride").unwrap_or(1);
-    let steps = arg(&args, "--steps").unwrap_or(3);
-    let jobs = arg(&args, "--jobs").unwrap_or_else(default_jobs);
+    let stride = arg_usize(&args, "--stride").unwrap_or(1);
+    let steps = arg_usize(&args, "--steps").unwrap_or(3);
+    let jobs = arg_usize(&args, "--jobs").unwrap_or_else(default_jobs);
     let stats = args.iter().any(|a| a == "--stats");
+    let json = args.iter().any(|a| a == "--json");
+    let baseline = arg_str(&args, "--baseline");
+    let workers = arg_usize(&args, "--workers");
+    let exec = match workers {
+        Some(w) => ExecPolicy::bounded(w),
+        None => ExecPolicy::threads(),
+    };
 
     let ms = paper_ms(stride);
     let xs: Vec<usize> = ms
         .iter()
         .map(|&m| Topology::paper(m).total_ranks())
         .collect();
-    let mut table = SeriesTable::new(xs);
+    let mut table = SeriesTable::new(xs.clone());
 
     // The paper's projection: core-state computation accelerated 10x.
     let cparams = CoreStateParams::default().gpu();
@@ -31,12 +44,15 @@ fn main() {
         .iter()
         .flat_map(|&d| ms.iter().map(move |&m| (d, m)))
         .collect();
+    let t0 = Instant::now();
     let results = sweep(&points, jobs, |&(directive, m)| {
         let topo = Topology::paper(m);
-        fig5_overlap(&topo, directive, cparams, sizes, steps)
+        fig5_overlap_exec(&topo, directive, cparams, sizes, steps, exec)
     });
+    let wall_s = t0.elapsed().as_secs_f64();
 
     let mut stat_lines = Vec::new();
+    let mut series = Vec::new();
     for (di, &directive) in modes.iter().enumerate() {
         let label = if directive {
             "Directive Communication w/ Overlapped Computation"
@@ -45,14 +61,34 @@ fn main() {
         };
         let runs = &results[di * ms.len()..(di + 1) * ms.len()];
         table.push(label, runs.iter().map(|r| r.time).collect());
+        let mut total = RankStats::default();
+        for r in runs {
+            total.merge(&r.stats);
+        }
+        series.push(SeriesReport::new(
+            label,
+            runs.iter().map(|r| r.time.as_nanos()).collect(),
+            &total,
+        ));
         if stats {
-            let mut total = RankStats::default();
-            for r in runs {
-                total.merge(&r.stats);
-            }
             stat_lines.push(render_stats(label, &total));
         }
         eprintln!("  [done] {label}");
+    }
+
+    if json {
+        let report = BenchReport {
+            bench: "fig5".into(),
+            args: vec![
+                ("stride".into(), stride as i64),
+                ("steps".into(), steps as i64),
+                ("workers".into(), workers.map_or(-1, |w| w as i64)),
+            ],
+            ranks: xs,
+            series,
+            wall_s,
+        };
+        std::process::exit(emit_json_report(&report, baseline));
     }
 
     println!(
@@ -68,11 +104,4 @@ fn main() {
     for line in stat_lines {
         println!("{line}");
     }
-}
-
-fn arg(args: &[String], name: &str) -> Option<usize> {
-    args.iter()
-        .position(|a| a == name)
-        .and_then(|i| args.get(i + 1))
-        .and_then(|v| v.parse().ok())
 }

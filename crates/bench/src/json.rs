@@ -1,0 +1,712 @@
+//! Machine-readable benchmark reports: a minimal JSON value type (the
+//! workspace has no serde), the `--json` report schema shared by the figure
+//! binaries, and baseline comparison for the CI perf-smoke gate.
+//!
+//! Schema (stable; bump `schema` on breaking changes):
+//!
+//! ```json
+//! {
+//!   "schema": 1,
+//!   "bench": "fig4",
+//!   "args": {"stride": 4, "steps": 4, "workers": -1},
+//!   "ranks": [33, 97],
+//!   "series": [
+//!     {"label": "...", "time_ns": [123, 456],
+//!      "stats": {"sends": 1, "recvs": 1, "...": 0}}
+//!   ],
+//!   "wall_s": 1.25
+//! }
+//! ```
+//!
+//! `time_ns` are per-step virtual times — pure functions of the workload,
+//! identical across engines, worker counts and hosts, so a baseline diff on
+//! them is exact (integer equality). `stats` carries only the *virtual*
+//! operation counters; the physical hot-path counters (`uq_high_water`,
+//! `match_scan_steps`, `mailbox_locks`) depend on thread interleaving and
+//! are deliberately excluded from the stable schema. `wall_s` is physical
+//! wall time and only ever compared with a slack factor.
+
+use netsim::RankStats;
+use std::fmt::Write as _;
+
+/// A JSON value. Integers are kept exact (`Int`) — virtual times must
+/// round-trip bit-exactly through the baseline file.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Json {
+    Null,
+    Bool(bool),
+    Int(i64),
+    Num(f64),
+    Str(String),
+    Arr(Vec<Json>),
+    Obj(Vec<(String, Json)>),
+}
+
+impl Json {
+    /// Object field lookup (first match).
+    pub fn get(&self, key: &str) -> Option<&Json> {
+        match self {
+            Json::Obj(fields) => fields.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+
+    pub fn as_i64(&self) -> Option<i64> {
+        match self {
+            Json::Int(i) => Some(*i),
+            _ => None,
+        }
+    }
+
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Json::Int(i) => Some(*i as f64),
+            Json::Num(n) => Some(*n),
+            _ => None,
+        }
+    }
+
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Json::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    pub fn as_arr(&self) -> Option<&[Json]> {
+        match self {
+            Json::Arr(items) => Some(items),
+            _ => None,
+        }
+    }
+
+    /// Serialize with two-space indentation and stable (insertion) key
+    /// order, so committed baselines diff cleanly.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        self.write(&mut out, 0);
+        out
+    }
+
+    fn write(&self, out: &mut String, indent: usize) {
+        match self {
+            Json::Null => out.push_str("null"),
+            Json::Bool(b) => {
+                let _ = write!(out, "{b}");
+            }
+            Json::Int(i) => {
+                let _ = write!(out, "{i}");
+            }
+            Json::Num(n) => {
+                // Always include a decimal point so ints/floats round-trip
+                // into the same variant they were written from.
+                if n.fract() == 0.0 && n.is_finite() {
+                    let _ = write!(out, "{n:.1}");
+                } else {
+                    let _ = write!(out, "{n}");
+                }
+            }
+            Json::Str(s) => write_escaped(out, s),
+            Json::Arr(items) => {
+                if items.is_empty() {
+                    out.push_str("[]");
+                    return;
+                }
+                // Scalar-only arrays stay on one line.
+                if items
+                    .iter()
+                    .all(|i| !matches!(i, Json::Arr(_) | Json::Obj(_)))
+                {
+                    out.push('[');
+                    for (i, item) in items.iter().enumerate() {
+                        if i > 0 {
+                            out.push_str(", ");
+                        }
+                        item.write(out, indent);
+                    }
+                    out.push(']');
+                    return;
+                }
+                out.push_str("[\n");
+                for (i, item) in items.iter().enumerate() {
+                    pad(out, indent + 1);
+                    item.write(out, indent + 1);
+                    if i + 1 < items.len() {
+                        out.push(',');
+                    }
+                    out.push('\n');
+                }
+                pad(out, indent);
+                out.push(']');
+            }
+            Json::Obj(fields) => {
+                if fields.is_empty() {
+                    out.push_str("{}");
+                    return;
+                }
+                out.push_str("{\n");
+                for (i, (k, v)) in fields.iter().enumerate() {
+                    pad(out, indent + 1);
+                    write_escaped(out, k);
+                    out.push_str(": ");
+                    v.write(out, indent + 1);
+                    if i + 1 < fields.len() {
+                        out.push(',');
+                    }
+                    out.push('\n');
+                }
+                pad(out, indent);
+                out.push('}');
+            }
+        }
+    }
+
+    /// Parse a JSON document (strict enough for our own output plus
+    /// hand-edited baselines).
+    pub fn parse(text: &str) -> Result<Json, String> {
+        let bytes = text.as_bytes();
+        let mut pos = 0usize;
+        let value = parse_value(bytes, &mut pos)?;
+        skip_ws(bytes, &mut pos);
+        if pos != bytes.len() {
+            return Err(format!("trailing data at byte {pos}"));
+        }
+        Ok(value)
+    }
+}
+
+fn pad(out: &mut String, indent: usize) {
+    for _ in 0..indent {
+        out.push_str("  ");
+    }
+}
+
+fn write_escaped(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            '\r' => out.push_str("\\r"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+fn skip_ws(b: &[u8], pos: &mut usize) {
+    while *pos < b.len() && matches!(b[*pos], b' ' | b'\t' | b'\n' | b'\r') {
+        *pos += 1;
+    }
+}
+
+fn expect(b: &[u8], pos: &mut usize, c: u8) -> Result<(), String> {
+    if *pos < b.len() && b[*pos] == c {
+        *pos += 1;
+        Ok(())
+    } else {
+        Err(format!("expected '{}' at byte {}", c as char, *pos))
+    }
+}
+
+fn parse_value(b: &[u8], pos: &mut usize) -> Result<Json, String> {
+    skip_ws(b, pos);
+    match b.get(*pos) {
+        None => Err("unexpected end of input".into()),
+        Some(b'{') => {
+            *pos += 1;
+            let mut fields = Vec::new();
+            skip_ws(b, pos);
+            if b.get(*pos) == Some(&b'}') {
+                *pos += 1;
+                return Ok(Json::Obj(fields));
+            }
+            loop {
+                skip_ws(b, pos);
+                let key = parse_string(b, pos)?;
+                skip_ws(b, pos);
+                expect(b, pos, b':')?;
+                let value = parse_value(b, pos)?;
+                fields.push((key, value));
+                skip_ws(b, pos);
+                match b.get(*pos) {
+                    Some(b',') => *pos += 1,
+                    Some(b'}') => {
+                        *pos += 1;
+                        return Ok(Json::Obj(fields));
+                    }
+                    _ => return Err(format!("expected ',' or '}}' at byte {}", *pos)),
+                }
+            }
+        }
+        Some(b'[') => {
+            *pos += 1;
+            let mut items = Vec::new();
+            skip_ws(b, pos);
+            if b.get(*pos) == Some(&b']') {
+                *pos += 1;
+                return Ok(Json::Arr(items));
+            }
+            loop {
+                items.push(parse_value(b, pos)?);
+                skip_ws(b, pos);
+                match b.get(*pos) {
+                    Some(b',') => *pos += 1,
+                    Some(b']') => {
+                        *pos += 1;
+                        return Ok(Json::Arr(items));
+                    }
+                    _ => return Err(format!("expected ',' or ']' at byte {}", *pos)),
+                }
+            }
+        }
+        Some(b'"') => Ok(Json::Str(parse_string(b, pos)?)),
+        Some(b't') => parse_lit(b, pos, "true", Json::Bool(true)),
+        Some(b'f') => parse_lit(b, pos, "false", Json::Bool(false)),
+        Some(b'n') => parse_lit(b, pos, "null", Json::Null),
+        Some(_) => parse_number(b, pos),
+    }
+}
+
+fn parse_lit(b: &[u8], pos: &mut usize, lit: &str, value: Json) -> Result<Json, String> {
+    if b[*pos..].starts_with(lit.as_bytes()) {
+        *pos += lit.len();
+        Ok(value)
+    } else {
+        Err(format!("invalid literal at byte {}", *pos))
+    }
+}
+
+fn parse_string(b: &[u8], pos: &mut usize) -> Result<String, String> {
+    expect(b, pos, b'"')?;
+    let mut s = String::new();
+    while let Some(&c) = b.get(*pos) {
+        *pos += 1;
+        match c {
+            b'"' => return Ok(s),
+            b'\\' => {
+                let esc = *b.get(*pos).ok_or("unterminated escape")?;
+                *pos += 1;
+                match esc {
+                    b'"' => s.push('"'),
+                    b'\\' => s.push('\\'),
+                    b'/' => s.push('/'),
+                    b'n' => s.push('\n'),
+                    b't' => s.push('\t'),
+                    b'r' => s.push('\r'),
+                    b'u' => {
+                        let hex = b
+                            .get(*pos..*pos + 4)
+                            .ok_or("truncated \\u escape")
+                            .and_then(|h| std::str::from_utf8(h).map_err(|_| "bad \\u escape"))
+                            .map_err(String::from)?;
+                        let code =
+                            u32::from_str_radix(hex, 16).map_err(|_| "bad \\u escape digits")?;
+                        *pos += 4;
+                        s.push(char::from_u32(code).ok_or("surrogate \\u escape unsupported")?);
+                    }
+                    _ => return Err(format!("unknown escape at byte {}", *pos - 1)),
+                }
+            }
+            c => {
+                // Re-decode UTF-8 continuation bytes.
+                let start = *pos - 1;
+                let len = match c {
+                    0x00..=0x7f => 1,
+                    0xc0..=0xdf => 2,
+                    0xe0..=0xef => 3,
+                    _ => 4,
+                };
+                let chunk = b.get(start..start + len).ok_or("truncated UTF-8")?;
+                s.push_str(std::str::from_utf8(chunk).map_err(|e| e.to_string())?);
+                *pos = start + len;
+            }
+        }
+    }
+    Err("unterminated string".into())
+}
+
+fn parse_number(b: &[u8], pos: &mut usize) -> Result<Json, String> {
+    let start = *pos;
+    while let Some(&c) = b.get(*pos) {
+        if matches!(c, b'0'..=b'9' | b'-' | b'+' | b'.' | b'e' | b'E') {
+            *pos += 1;
+        } else {
+            break;
+        }
+    }
+    let text = std::str::from_utf8(&b[start..*pos]).map_err(|e| e.to_string())?;
+    if !text.contains(['.', 'e', 'E']) {
+        if let Ok(i) = text.parse::<i64>() {
+            return Ok(Json::Int(i));
+        }
+    }
+    text.parse::<f64>()
+        .map(Json::Num)
+        .map_err(|_| format!("invalid number '{text}' at byte {start}"))
+}
+
+/// The deterministic (virtual-quantity) subset of [`RankStats`] that goes
+/// into reports; order is the schema's field order.
+const STAT_FIELDS: [&str; 12] = [
+    "sends",
+    "recvs",
+    "bytes_sent",
+    "waits",
+    "waitalls",
+    "puts",
+    "bytes_put",
+    "gets",
+    "barriers",
+    "quiets",
+    "packed_bytes",
+    "datatype_commits",
+];
+
+fn stat_values(s: &RankStats) -> [usize; 12] {
+    [
+        s.sends,
+        s.recvs,
+        s.bytes_sent,
+        s.waits,
+        s.waitalls,
+        s.puts,
+        s.bytes_put,
+        s.gets,
+        s.barriers,
+        s.quiets,
+        s.packed_bytes,
+        s.datatype_commits,
+    ]
+}
+
+/// One series of a benchmark report.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SeriesReport {
+    pub label: String,
+    /// Per-x virtual times in ns (exact integers).
+    pub time_ns: Vec<u64>,
+    /// Merged deterministic operation counters across the series' runs.
+    pub stats: [usize; 12],
+}
+
+impl SeriesReport {
+    pub fn new(label: impl Into<String>, time_ns: Vec<u64>, stats: &RankStats) -> Self {
+        SeriesReport {
+            label: label.into(),
+            time_ns,
+            stats: stat_values(stats),
+        }
+    }
+}
+
+/// A `--json` benchmark report: everything above `wall_s` is a pure
+/// function of the workload and engine-independent.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BenchReport {
+    pub bench: String,
+    /// Flat integer arguments (`workers` is `-1` for thread-per-rank).
+    pub args: Vec<(String, i64)>,
+    pub ranks: Vec<usize>,
+    pub series: Vec<SeriesReport>,
+    pub wall_s: f64,
+}
+
+impl BenchReport {
+    pub fn to_json(&self) -> Json {
+        Json::Obj(vec![
+            ("schema".into(), Json::Int(1)),
+            ("bench".into(), Json::Str(self.bench.clone())),
+            (
+                "args".into(),
+                Json::Obj(
+                    self.args
+                        .iter()
+                        .map(|(k, v)| (k.clone(), Json::Int(*v)))
+                        .collect(),
+                ),
+            ),
+            (
+                "ranks".into(),
+                Json::Arr(self.ranks.iter().map(|&r| Json::Int(r as i64)).collect()),
+            ),
+            (
+                "series".into(),
+                Json::Arr(
+                    self.series
+                        .iter()
+                        .map(|s| {
+                            Json::Obj(vec![
+                                ("label".into(), Json::Str(s.label.clone())),
+                                (
+                                    "time_ns".into(),
+                                    Json::Arr(
+                                        s.time_ns.iter().map(|&t| Json::Int(t as i64)).collect(),
+                                    ),
+                                ),
+                                (
+                                    "stats".into(),
+                                    Json::Obj(
+                                        STAT_FIELDS
+                                            .iter()
+                                            .zip(s.stats)
+                                            .map(|(k, v)| ((*k).into(), Json::Int(v as i64)))
+                                            .collect(),
+                                    ),
+                                ),
+                            ])
+                        })
+                        .collect(),
+                ),
+            ),
+            ("wall_s".into(), Json::Num(self.wall_s)),
+        ])
+    }
+
+    pub fn from_json(j: &Json) -> Result<BenchReport, String> {
+        let need = |k: &str| j.get(k).ok_or_else(|| format!("missing field '{k}'"));
+        let schema = need("schema")?.as_i64().ok_or("schema not an int")?;
+        if schema != 1 {
+            return Err(format!("unsupported schema {schema}"));
+        }
+        let bench = need("bench")?.as_str().ok_or("bench not a string")?.into();
+        let args = match need("args")? {
+            Json::Obj(fields) => fields
+                .iter()
+                .map(|(k, v)| v.as_i64().map(|v| (k.clone(), v)).ok_or("bad arg value"))
+                .collect::<Result<Vec<_>, _>>()?,
+            _ => return Err("args not an object".into()),
+        };
+        let ranks = need("ranks")?
+            .as_arr()
+            .ok_or("ranks not an array")?
+            .iter()
+            .map(|v| v.as_i64().map(|i| i as usize).ok_or("bad rank"))
+            .collect::<Result<Vec<_>, _>>()?;
+        let series = need("series")?
+            .as_arr()
+            .ok_or("series not an array")?
+            .iter()
+            .map(|s| {
+                let label = s
+                    .get("label")
+                    .and_then(Json::as_str)
+                    .ok_or("series missing label")?
+                    .to_string();
+                let time_ns = s
+                    .get("time_ns")
+                    .and_then(Json::as_arr)
+                    .ok_or("series missing time_ns")?
+                    .iter()
+                    .map(|v| v.as_i64().map(|i| i as u64).ok_or("bad time_ns"))
+                    .collect::<Result<Vec<_>, _>>()?;
+                let stats_obj = s.get("stats").ok_or("series missing stats")?;
+                let mut stats = [0usize; 12];
+                for (slot, key) in stats.iter_mut().zip(STAT_FIELDS) {
+                    *slot = stats_obj
+                        .get(key)
+                        .and_then(Json::as_i64)
+                        .ok_or_else(|| format!("stats missing '{key}'"))?
+                        as usize;
+                }
+                Ok::<SeriesReport, String>(SeriesReport {
+                    label,
+                    time_ns,
+                    stats,
+                })
+            })
+            .collect::<Result<Vec<_>, _>>()?;
+        let wall_s = need("wall_s")?.as_f64().ok_or("wall_s not a number")?;
+        Ok(BenchReport {
+            bench,
+            args,
+            ranks,
+            series,
+            wall_s,
+        })
+    }
+}
+
+/// Outcome of diffing a fresh report against a committed baseline.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BaselineDiff {
+    /// Exact-match failures (virtual times, ranks, labels, counters) —
+    /// these fail the CI gate.
+    pub errors: Vec<String>,
+    /// Soft signals (wall-time regression) — these only warn.
+    pub warnings: Vec<String>,
+}
+
+/// Wall-clock regression factor that triggers a warning.
+pub const WALL_SLACK: f64 = 1.5;
+
+/// Compare `report` against the baseline file contents (a JSON object with
+/// a `benches` array of [`BenchReport`]s). The baseline entry is selected
+/// by bench name + identical args; a missing entry is an error (the gate
+/// must notice schema/arg drift, not silently pass).
+pub fn compare_with_baseline(report: &BenchReport, baseline_text: &str) -> BaselineDiff {
+    let mut diff = BaselineDiff {
+        errors: Vec::new(),
+        warnings: Vec::new(),
+    };
+    let parsed = match Json::parse(baseline_text) {
+        Ok(p) => p,
+        Err(e) => {
+            diff.errors.push(format!("baseline unparsable: {e}"));
+            return diff;
+        }
+    };
+    let benches = match parsed.get("benches").and_then(Json::as_arr) {
+        Some(b) => b,
+        None => {
+            diff.errors.push("baseline has no 'benches' array".into());
+            return diff;
+        }
+    };
+    let base = benches
+        .iter()
+        .filter_map(|b| BenchReport::from_json(b).ok())
+        .find(|b| b.bench == report.bench && b.args == report.args);
+    let base = match base {
+        Some(b) => b,
+        None => {
+            diff.errors.push(format!(
+                "no baseline entry for bench '{}' with args {:?}",
+                report.bench, report.args
+            ));
+            return diff;
+        }
+    };
+    if base.ranks != report.ranks {
+        diff.errors.push(format!(
+            "rank axis changed: baseline {:?} vs current {:?}",
+            base.ranks, report.ranks
+        ));
+    }
+    for (bs, rs) in base.series.iter().zip(&report.series) {
+        if bs.label != rs.label {
+            diff.errors
+                .push(format!("series label '{}' -> '{}'", bs.label, rs.label));
+            continue;
+        }
+        for (i, (bt, rt)) in bs.time_ns.iter().zip(&rs.time_ns).enumerate() {
+            if bt != rt {
+                diff.errors.push(format!(
+                    "series '{}' x={} time_ns {} -> {}",
+                    bs.label,
+                    report.ranks.get(i).copied().unwrap_or(i),
+                    bt,
+                    rt
+                ));
+            }
+        }
+        if bs.stats != rs.stats {
+            diff.errors.push(format!(
+                "series '{}' op counters changed: {:?} -> {:?}",
+                bs.label, bs.stats, rs.stats
+            ));
+        }
+    }
+    if base.series.len() != report.series.len() {
+        diff.errors.push(format!(
+            "series count {} -> {}",
+            base.series.len(),
+            report.series.len()
+        ));
+    }
+    if report.wall_s > base.wall_s * WALL_SLACK {
+        diff.warnings.push(format!(
+            "wall time {:.2}s exceeds baseline {:.2}s by more than {WALL_SLACK}x",
+            report.wall_s, base.wall_s
+        ));
+    }
+    diff
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_report() -> BenchReport {
+        BenchReport {
+            bench: "fig4".into(),
+            args: vec![("stride".into(), 4), ("steps".into(), 4)],
+            ranks: vec![33, 97],
+            series: vec![SeriesReport {
+                label: "Original Communication".into(),
+                time_ns: vec![1_234_567_890_123, 42],
+                stats: [1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11, 12],
+            }],
+            wall_s: 1.5,
+        }
+    }
+
+    #[test]
+    fn report_roundtrip_is_exact() {
+        let r = sample_report();
+        let text = r.to_json().render();
+        let back = BenchReport::from_json(&Json::parse(&text).unwrap()).unwrap();
+        assert_eq!(back, r);
+    }
+
+    #[test]
+    fn parser_handles_escapes_and_nesting() {
+        let j = Json::parse(r#"{"a": [1, -2.5, "x\nyA"], "b": {"c": null, "d": true}}"#).unwrap();
+        assert_eq!(
+            j.get("a").unwrap().as_arr().unwrap()[2].as_str(),
+            Some("x\nyA")
+        );
+        assert_eq!(j.get("b").unwrap().get("c"), Some(&Json::Null));
+        assert!(Json::parse("{").is_err());
+        assert!(Json::parse("[1,]").is_err());
+        assert!(Json::parse("1 2").is_err());
+    }
+
+    #[test]
+    fn large_integers_stay_exact() {
+        let big = 4_611_686_018_427_387_903i64; // ~2^62, beyond f64 precision
+        let text = Json::Arr(vec![Json::Int(big)]).render();
+        let back = Json::parse(&text).unwrap();
+        assert_eq!(back.as_arr().unwrap()[0].as_i64(), Some(big));
+    }
+
+    #[test]
+    fn baseline_identical_passes() {
+        let r = sample_report();
+        let baseline = Json::Obj(vec![
+            ("schema".into(), Json::Int(1)),
+            ("benches".into(), Json::Arr(vec![r.to_json()])),
+        ])
+        .render();
+        let diff = compare_with_baseline(&r, &baseline);
+        assert!(diff.errors.is_empty(), "{:?}", diff.errors);
+        assert!(diff.warnings.is_empty());
+    }
+
+    #[test]
+    fn baseline_flags_time_change_and_wall_regression() {
+        let r = sample_report();
+        let baseline = Json::Obj(vec![("benches".into(), Json::Arr(vec![r.to_json()]))]).render();
+        let mut changed = r.clone();
+        changed.series[0].time_ns[1] = 43;
+        changed.wall_s = 100.0;
+        let diff = compare_with_baseline(&changed, &baseline);
+        assert_eq!(diff.errors.len(), 1);
+        assert!(diff.errors[0].contains("time_ns 42 -> 43"));
+        assert_eq!(diff.warnings.len(), 1);
+    }
+
+    #[test]
+    fn baseline_missing_entry_is_error() {
+        let r = sample_report();
+        let baseline = r#"{"benches": []}"#;
+        let diff = compare_with_baseline(&r, baseline);
+        assert_eq!(diff.errors.len(), 1);
+        assert!(diff.errors[0].contains("no baseline entry"));
+    }
+}

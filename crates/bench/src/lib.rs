@@ -1,8 +1,57 @@
 //! Shared helpers for the figure-regeneration binaries and benches.
 
+pub mod json;
+
+pub use json::{compare_with_baseline, BaselineDiff, BenchReport, Json, SeriesReport};
+
 use netsim::{RankStats, Time};
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Mutex;
+
+/// Parse `--name N` style integer flags.
+pub fn arg_usize(args: &[String], name: &str) -> Option<usize> {
+    args.iter()
+        .position(|a| a == name)
+        .and_then(|i| args.get(i + 1))
+        .and_then(|v| v.parse().ok())
+}
+
+/// Parse `--name VALUE` style string flags.
+pub fn arg_str<'a>(args: &'a [String], name: &str) -> Option<&'a str> {
+    args.iter()
+        .position(|a| a == name)
+        .and_then(|i| args.get(i + 1))
+        .map(String::as_str)
+}
+
+/// Print a report as JSON on stdout and, when a baseline path is given,
+/// gate against it: exact mismatches (virtual times, counters, axes) return
+/// exit code 3, wall-time regressions only warn on stderr. Returns the
+/// process exit code.
+pub fn emit_json_report(report: &BenchReport, baseline_path: Option<&str>) -> i32 {
+    println!("{}", report.to_json().render());
+    let Some(path) = baseline_path else { return 0 };
+    let text = match std::fs::read_to_string(path) {
+        Ok(t) => t,
+        Err(e) => {
+            eprintln!("[baseline] cannot read {path}: {e}");
+            return 3;
+        }
+    };
+    let diff = compare_with_baseline(report, &text);
+    for w in &diff.warnings {
+        eprintln!("[baseline] warning: {w}");
+    }
+    for e in &diff.errors {
+        eprintln!("[baseline] MISMATCH: {e}");
+    }
+    if diff.errors.is_empty() {
+        eprintln!("[baseline] ok: matches {path}");
+        0
+    } else {
+        3
+    }
+}
 
 /// Run `f` over every item on a bounded worker pool and return the results
 /// in input order.

@@ -219,11 +219,17 @@ pub fn lint_parsed(
     }
 
     let regions: Vec<ParamsSpec> = parsed.items.iter().filter_map(region_view).collect();
-    for nranks in ranks.min..=ranks.max {
-        for (ri, spec) in regions.iter().enumerate() {
-            for diag in lint_region_at(ri, spec, nranks, vars) {
-                push(diag, &mut diags);
-            }
+    // The per-count lints are independent; fan them out over a small worker
+    // pool and merge in ascending-count order through the dedup above, so
+    // the report (including which witness is "first") is byte-identical to
+    // the sequential sweep.
+    let counts: Vec<usize> = (ranks.min..=ranks.max).collect();
+    let jobs = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+    for per_count in lint_counts(&regions, &counts, vars, jobs) {
+        for diag in per_count {
+            push(diag, &mut diags);
         }
     }
 
@@ -237,6 +243,53 @@ pub fn lint_parsed(
             .then(a.key.cmp(&b.key))
     });
     LintReport { ranks, diags }
+}
+
+/// Run every region's lints at each rank count in `counts`, in parallel,
+/// returning the diagnostics grouped per count in `counts` order (each
+/// group preserves region order). Striped assignment keeps the load even —
+/// lint cost grows with the rank count, so contiguous chunks would leave
+/// the high-count worker the straggler.
+fn lint_counts(
+    regions: &[ParamsSpec],
+    counts: &[usize],
+    vars: &HashMap<String, i64>,
+    jobs: usize,
+) -> Vec<Vec<Diag>> {
+    let lint_one = |nranks: usize| -> Vec<Diag> {
+        regions
+            .iter()
+            .enumerate()
+            .flat_map(|(ri, spec)| lint_region_at(ri, spec, nranks, vars))
+            .collect()
+    };
+    let jobs = jobs.max(1).min(counts.len());
+    if jobs <= 1 {
+        return counts.iter().map(|&n| lint_one(n)).collect();
+    }
+    let mut out: Vec<Vec<Diag>> = (0..counts.len()).map(|_| Vec::new()).collect();
+    std::thread::scope(|s| {
+        let handles: Vec<_> = (0..jobs)
+            .map(|j| {
+                let lint_one = &lint_one;
+                s.spawn(move || {
+                    counts
+                        .iter()
+                        .enumerate()
+                        .skip(j)
+                        .step_by(jobs)
+                        .map(|(i, &n)| (i, lint_one(n)))
+                        .collect::<Vec<_>>()
+                })
+            })
+            .collect();
+        for h in handles {
+            for (i, diags) in h.join().expect("lint worker panicked") {
+                out[i] = diags;
+            }
+        }
+    });
+    out
 }
 
 /// Parse and lint one source. Per-file `@decl`/`@var` annotations extend
@@ -344,6 +397,37 @@ mod tests {
             .find(|d| d.code == LintCode::UnmatchedSend)
             .expect("unmatched send");
         assert_eq!(d.witness.as_ref().unwrap().nranks, 3);
+    }
+
+    #[test]
+    fn parallel_sweep_matches_sequential() {
+        // The worker-pool sweep must be indistinguishable from the
+        // sequential one — same diagnostics, same order, same witnesses —
+        // at any worker count (including more workers than counts).
+        let src = "\
+// @decl a: int[4]
+// @decl b: int[4]
+#pragma comm_p2p sender(0) receiver(1) sendwhen(rank==0||rank==2) receivewhen(rank==1) \
+  sbuf(a) rbuf(b) count(4)";
+        let parsed = parse(
+            src,
+            &scan_annotations(src).decls.iter().fold(
+                SymbolTable::new(),
+                |mut t, (name, ty, len)| {
+                    t.declare_prim(name, *ty, *len);
+                    t
+                },
+            ),
+        )
+        .unwrap();
+        let regions: Vec<ParamsSpec> = parsed.items.iter().filter_map(region_view).collect();
+        let counts: Vec<usize> = (2..=16).collect();
+        let vars = HashMap::new();
+        let seq = lint_counts(&regions, &counts, &vars, 1);
+        for jobs in [2, 3, 5, 32] {
+            let par = lint_counts(&regions, &counts, &vars, jobs);
+            assert_eq!(seq, par, "jobs={jobs} diverged from sequential sweep");
+        }
     }
 
     #[test]

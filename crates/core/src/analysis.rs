@@ -106,7 +106,7 @@ pub fn resolve_graph(
         let env = EvalEnv {
             rank: r as i64,
             nranks: nranks as i64,
-            vars: vars.clone(),
+            vars: vars.into(),
         };
         let sends = match &merged.sendwhen {
             Some(c) => c.eval(&env),
@@ -434,7 +434,7 @@ pub fn volume_report(
                     c.eval(&EvalEnv {
                         rank: e.src as i64,
                         nranks: nranks as i64,
-                        vars: vars.clone(),
+                        vars: vars.into(),
                     })
                     .ok()
                 })

@@ -439,7 +439,7 @@ pub fn lint_region_at(
             let env = EvalEnv {
                 rank: rank as i64,
                 nranks: nranks as i64,
-                vars: vars.clone(),
+                vars: vars.into(),
             };
             match &merged.count {
                 Some(c) => c.eval(&env).ok(),
@@ -548,7 +548,7 @@ pub fn lint_region_at(
                     let env = EvalEnv {
                         rank: r as i64,
                         nranks: nranks as i64,
-                        vars: vars.clone(),
+                        vars: vars.into(),
                     };
                     match sw.eval(&env) {
                         Ok(true) => senders.push(r),

@@ -14,6 +14,72 @@ use std::collections::HashMap;
 use std::fmt;
 use std::sync::Arc;
 
+/// Variable bindings for clause evaluation, scanned linearly by name.
+///
+/// A directive scope binds a handful of names, but the lookup runs on every
+/// directive instance of every rank — a short scan with early-exit string
+/// compares beats hashing at that size, and rebinding an existing name
+/// (what directive loops do once per iteration) touches no allocator.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct VarTable(Vec<(String, i64)>);
+
+impl VarTable {
+    /// The bound value of `name`, if any.
+    pub fn get(&self, name: &str) -> Option<i64> {
+        self.0.iter().find(|(n, _)| n == name).map(|&(_, v)| v)
+    }
+
+    /// Bind `name`, updating in place if already bound.
+    pub fn set(&mut self, name: &str, value: i64) {
+        match self.0.iter_mut().find(|(n, _)| n == name) {
+            Some((_, v)) => *v = value,
+            None => self.0.push((name.to_string(), value)),
+        }
+    }
+
+    /// Iterate over `(name, value)` bindings in binding order.
+    pub fn iter(&self) -> impl Iterator<Item = (&str, i64)> {
+        self.0.iter().map(|(n, v)| (n.as_str(), *v))
+    }
+
+    /// Number of bound names.
+    pub fn len(&self) -> usize {
+        self.0.len()
+    }
+
+    /// Whether no names are bound.
+    pub fn is_empty(&self) -> bool {
+        self.0.is_empty()
+    }
+}
+
+impl From<&HashMap<String, i64>> for VarTable {
+    fn from(m: &HashMap<String, i64>) -> Self {
+        let mut t = VarTable(m.iter().map(|(n, v)| (n.clone(), *v)).collect());
+        // HashMap iteration order is arbitrary; keep the table deterministic.
+        t.0.sort();
+        t
+    }
+}
+
+impl From<HashMap<String, i64>> for VarTable {
+    fn from(m: HashMap<String, i64>) -> Self {
+        let mut t = VarTable(m.into_iter().collect());
+        t.0.sort();
+        t
+    }
+}
+
+impl FromIterator<(String, i64)> for VarTable {
+    fn from_iter<I: IntoIterator<Item = (String, i64)>>(iter: I) -> Self {
+        let mut t = VarTable::default();
+        for (n, v) in iter {
+            t.set(&n, v);
+        }
+        t
+    }
+}
+
 /// Evaluation environment for clause expressions: the SPMD identity plus
 /// user variables (loop bounds, privileged ranks, ...).
 #[derive(Clone, Debug, Default)]
@@ -23,7 +89,7 @@ pub struct EvalEnv {
     /// Communicator size.
     pub nranks: i64,
     /// User variables referenced by name in expressions.
-    pub vars: HashMap<String, i64>,
+    pub vars: VarTable,
 }
 
 impl EvalEnv {
@@ -32,19 +98,19 @@ impl EvalEnv {
         EvalEnv {
             rank: rank as i64,
             nranks: nranks as i64,
-            vars: HashMap::new(),
+            vars: VarTable::default(),
         }
     }
 
     /// Set a variable (builder style).
     pub fn with(mut self, name: &str, value: i64) -> Self {
-        self.vars.insert(name.to_string(), value);
+        self.vars.set(name, value);
         self
     }
 
-    /// Set a variable.
+    /// Set a variable, updating in place if already bound.
     pub fn set(&mut self, name: &str, value: i64) {
-        self.vars.insert(name.to_string(), value);
+        self.vars.set(name, value);
     }
 }
 
@@ -133,7 +199,7 @@ impl RankExpr {
             RankExpr::Rank => env.rank,
             RankExpr::NRanks => env.nranks,
             RankExpr::Const(v) => *v,
-            RankExpr::Var(name) => *env
+            RankExpr::Var(name) => env
                 .vars
                 .get(name)
                 .ok_or_else(|| ExprError::UnknownVar(name.clone()))?,
@@ -439,7 +505,7 @@ mod tests {
         EvalEnv {
             rank,
             nranks,
-            vars: HashMap::new(),
+            vars: Default::default(),
         }
     }
 

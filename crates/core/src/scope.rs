@@ -220,7 +220,10 @@ pub struct CommSession<'a> {
     dtype_cache: DtypeCache,
     carried_next: PendingSync,
     carried_adj: PendingSync,
-    staging: HashMap<u32, StagingSite>,
+    /// Per-site staging allocations, linear-scanned by site id: a session
+    /// has a handful of one-sided sites but the lookup runs on every
+    /// directive instance, where a short scan beats hashing.
+    staging: Vec<(u32, StagingSite)>,
     /// Arrival horizons of physically-received-but-unsynced buffers, keyed
     /// by address range. A later send reading such a buffer is forced to
     /// depart no earlier than the data's virtual arrival (causality under
@@ -242,7 +245,7 @@ impl<'a> CommSession<'a> {
             dtype_cache: DtypeCache::new(),
             carried_next: PendingSync::default(),
             carried_adj: PendingSync::default(),
-            staging: HashMap::new(),
+            staging: Vec::new(),
             recv_horizons: Vec::new(),
             program: Vec::new(),
             record_ir: true,
@@ -299,6 +302,13 @@ impl<'a> CommSession<'a> {
         &self.env
     }
 
+    fn staging_mut(&mut self, site: u32) -> Option<&mut StagingSite> {
+        self.staging
+            .iter_mut()
+            .find(|(s, _)| *s == site)
+            .map(|(_, st)| st)
+    }
+
     /// Execute a `comm_parameters` region: validates the clause list,
     /// applies any synchronization deferred to the region's beginning, runs
     /// `body`, then places this region's synchronization per `place_sync`.
@@ -341,7 +351,7 @@ impl<'a> CommSession<'a> {
                 body: Vec::new(),
                 spans: Default::default(),
             },
-            iter_counts: HashMap::new(),
+            iter_counts: Vec::new(),
             max_iter,
             error: None,
             used_bufs: Vec::new(),
@@ -385,10 +395,10 @@ impl<'a> CommSession<'a> {
                 session: self,
                 pending: PendingSync::default(),
             },
-            clauses: ClauseSet::default(),
+            clauses: None,
             site: 0,
-            sbufs: Vec::new(),
-            rbufs: Vec::new(),
+            sbufs: BufList::new(),
+            rbufs: BufList::new(),
         }
     }
 
@@ -469,7 +479,9 @@ pub struct Region<'s, 'a> {
     clauses: ClauseSet,
     pending: PendingSync,
     spec: ParamsSpec,
-    iter_counts: HashMap<u32, u64>,
+    /// Executions seen per `comm_p2p` site, linear-scanned by site id (a
+    /// region has a few lexical sites; this is read on every instance).
+    iter_counts: Vec<(u32, u64)>,
     max_iter: Option<i64>,
     error: Option<DirectiveError>,
     /// Address ranges touched by pending (unsynced) directives in this
@@ -487,10 +499,10 @@ impl<'s, 'a> Region<'s, 'a> {
     pub fn p2p<'r, 'data>(&'r mut self) -> P2pCall<'r, 's, 'a, 'data> {
         P2pCall {
             region: RegionRef::InRegion(self),
-            clauses: ClauseSet::default(),
+            clauses: None,
             site: 0,
-            sbufs: Vec::new(),
-            rbufs: Vec::new(),
+            sbufs: BufList::new(),
+            rbufs: BufList::new(),
         }
     }
 
@@ -519,17 +531,67 @@ enum RegionRef<'r, 's, 'a> {
     },
 }
 
+/// A buffer list with two inline slots, heap beyond that. A `comm_p2p`
+/// overwhelmingly carries one send and one receive buffer, and the builder
+/// is constructed on every directive instance of every rank — keeping the
+/// common case off the allocator is worth the slightly larger move.
+pub(crate) struct BufList<T> {
+    inline: [Option<T>; 2],
+    rest: Vec<T>,
+}
+
+impl<T> BufList<T> {
+    fn new() -> Self {
+        BufList {
+            inline: [None, None],
+            rest: Vec::new(),
+        }
+    }
+
+    fn push(&mut self, v: T) {
+        for slot in &mut self.inline {
+            if slot.is_none() {
+                *slot = Some(v);
+                return;
+            }
+        }
+        self.rest.push(v);
+    }
+
+    pub(crate) fn len(&self) -> usize {
+        self.inline.iter().filter(|s| s.is_some()).count() + self.rest.len()
+    }
+
+    pub(crate) fn is_empty(&self) -> bool {
+        self.inline[0].is_none() && self.rest.is_empty()
+    }
+
+    pub(crate) fn iter(&self) -> impl Iterator<Item = &T> {
+        self.inline.iter().flatten().chain(self.rest.iter())
+    }
+
+    pub(crate) fn iter_mut(&mut self) -> impl Iterator<Item = &mut T> {
+        self.inline.iter_mut().flatten().chain(self.rest.iter_mut())
+    }
+}
+
 /// A `comm_p2p` call under construction. Finish with [`P2pCall::run`] or
 /// [`P2pCall::overlap`].
 pub struct P2pCall<'r, 's, 'a, 'data> {
     region: RegionRef<'r, 's, 'a>,
-    clauses: ClauseSet,
+    /// Per-call clause overrides; boxed lazily because the hot path (clauses
+    /// inherited wholesale from the region) never overrides any.
+    clauses: Option<Box<ClauseSet>>,
     site: u32,
-    sbufs: Vec<Box<dyn SendBuf + 'data>>,
-    rbufs: Vec<Box<dyn RecvBuf + 'data>>,
+    sbufs: BufList<Box<dyn SendBuf + 'data>>,
+    rbufs: BufList<Box<dyn RecvBuf + 'data>>,
 }
 
 impl<'r, 's, 'a, 'data> P2pCall<'r, 's, 'a, 'data> {
+    fn clauses_mut(&mut self) -> &mut ClauseSet {
+        self.clauses.get_or_insert_with(Default::default)
+    }
+
     /// Distinguish lexical `comm_p2p` sites sharing a region (the macro
     /// passes `line!()`; manual callers pass any stable id).
     pub fn site(mut self, site: u32) -> Self {
@@ -539,37 +601,37 @@ impl<'r, 's, 'a, 'data> P2pCall<'r, 's, 'a, 'data> {
 
     /// `sender(expr)` override.
     pub fn sender(mut self, e: impl Into<RankExpr>) -> Self {
-        self.clauses.sender = Some(e.into());
+        self.clauses_mut().sender = Some(e.into());
         self
     }
 
     /// `receiver(expr)` override.
     pub fn receiver(mut self, e: impl Into<RankExpr>) -> Self {
-        self.clauses.receiver = Some(e.into());
+        self.clauses_mut().receiver = Some(e.into());
         self
     }
 
     /// `sendwhen(cond)` override.
     pub fn sendwhen(mut self, c: CondExpr) -> Self {
-        self.clauses.sendwhen = Some(c);
+        self.clauses_mut().sendwhen = Some(c);
         self
     }
 
     /// `receivewhen(cond)` override.
     pub fn receivewhen(mut self, c: CondExpr) -> Self {
-        self.clauses.receivewhen = Some(c);
+        self.clauses_mut().receivewhen = Some(c);
         self
     }
 
     /// `count(expr)` override.
     pub fn count(mut self, e: impl Into<RankExpr>) -> Self {
-        self.clauses.count = Some(e.into());
+        self.clauses_mut().count = Some(e.into());
         self
     }
 
     /// `target(keyword)` override.
     pub fn target(mut self, t: Target) -> Self {
-        self.clauses.target = Some(t);
+        self.clauses_mut().target = Some(t);
         self
     }
 
@@ -597,6 +659,8 @@ impl<'r, 's, 'a, 'data> P2pCall<'r, 's, 'a, 'data> {
 
     fn execute(mut self, body: impl FnOnce(&mut RankCtx)) -> Result<(), DirectiveError> {
         let mut standalone_spec = ParamsSpec::default();
+        let no_overrides = ClauseSet::default();
+        let own_clauses: &ClauseSet = self.clauses.as_deref().unwrap_or(&no_overrides);
         let result = match &mut self.region {
             RegionRef::InRegion(r) => {
                 // Borrow the region's fields individually so the enclosing
@@ -621,7 +685,7 @@ impl<'r, 's, 'a, 'data> P2pCall<'r, 's, 'a, 'data> {
                     Some(iter_counts),
                     Some(spec),
                     Some((used_bufs, split_syncs)),
-                    &self.clauses,
+                    own_clauses,
                     self.site,
                     &self.sbufs,
                     &mut self.rbufs,
@@ -636,7 +700,7 @@ impl<'r, 's, 'a, 'data> P2pCall<'r, 's, 'a, 'data> {
                 None,
                 Some(&mut standalone_spec),
                 None,
-                &self.clauses,
+                own_clauses,
                 self.site,
                 &self.sbufs,
                 &mut self.rbufs,
@@ -680,42 +744,28 @@ fn execute_p2p(
     pending: &mut PendingSync,
     outer: Option<&ClauseSet>,
     max_iter: Option<i64>,
-    iter_counts: Option<&mut HashMap<u32, u64>>,
+    iter_counts: Option<&mut Vec<(u32, u64)>>,
     spec: Option<&mut ParamsSpec>,
     used_bufs: Option<UsedBufs<'_>>,
     clauses: &ClauseSet,
     site: u32,
-    sbufs: &[Box<dyn SendBuf + '_>],
-    rbufs: &mut [Box<dyn RecvBuf + '_>],
+    sbufs: &BufList<Box<dyn SendBuf + '_>>,
+    rbufs: &mut BufList<Box<dyn RecvBuf + '_>>,
     body: impl FnOnce(&mut RankCtx),
 ) -> Result<(), DirectiveError> {
-    // -- validation ----------------------------------------------------------
-    // Checked over name-free descriptors built on the fly; full diagnostics
-    // (with buffer names) are materialized only when something is wrong.
-    let clause_diags = clauses.validate(DirectiveKind::CommP2p, outer);
-    let bufs_ok = !sbufs.is_empty()
-        && !rbufs.is_empty()
-        && sbufs.len() == rbufs.len()
-        && sbufs
-            .iter()
-            .zip(rbufs.iter())
-            .all(|(s, r)| s.desc().elem.compatible(&r.desc().elem));
-    if ClauseSet::has_errors(&clause_diags) || !bufs_ok {
-        let sb_meta: Vec<BufMeta> = sbufs.iter().map(|b| b.meta()).collect();
-        let rb_meta: Vec<BufMeta> = rbufs.iter().map(|b| b.meta()).collect();
-        return Err(DirectiveError::Invalid(
-            crate::dir::validate_p2p_call(clauses, outer, &sb_meta, &rb_meta)
-                .into_iter()
-                .filter(|d| d.severity == crate::clause::Severity::Error)
-                .collect(),
-        ));
-    }
-
-    // Record IR on first execution of this site within the region.
+    // Count this execution of the site (and enforce `max_comm_iter`).
     let mut first_execution_of_site = true;
     if let Some(counts) = iter_counts {
-        let c = counts.entry(site).or_insert(0);
-        first_execution_of_site = *c == 0;
+        let c = match counts.iter_mut().find(|(s, _)| *s == site) {
+            Some((_, c)) => {
+                first_execution_of_site = false;
+                c
+            }
+            None => {
+                counts.push((site, 0));
+                &mut counts.last_mut().expect("just pushed").1
+            }
+        };
         *c += 1;
         if let Some(bound) = max_iter {
             if *c as i64 > bound {
@@ -723,7 +773,34 @@ fn execute_p2p(
             }
         }
     }
+
+    // -- validation ----------------------------------------------------------
+    // Checked over name-free descriptors built on the fly; full diagnostics
+    // (with buffer names) are materialized only when something is wrong.
+    // The clause set and the buffer list shape at a site are call-site
+    // constants (the builder chain is the same code every iteration), so
+    // validation runs on the first execution only; later iterations of the
+    // directive loop would merely re-confirm the first result.
     if first_execution_of_site {
+        let clause_diags = clauses.validate(DirectiveKind::CommP2p, outer);
+        let bufs_ok = !sbufs.is_empty()
+            && !rbufs.is_empty()
+            && sbufs.len() == rbufs.len()
+            && sbufs
+                .iter()
+                .zip(rbufs.iter())
+                .all(|(s, r)| s.desc().elem.compatible(&r.desc().elem));
+        if ClauseSet::has_errors(&clause_diags) || !bufs_ok {
+            let sb_meta: Vec<BufMeta> = sbufs.iter().map(|b| b.meta()).collect();
+            let rb_meta: Vec<BufMeta> = rbufs.iter().map(|b| b.meta()).collect();
+            return Err(DirectiveError::Invalid(
+                crate::dir::validate_p2p_call(clauses, outer, &sb_meta, &rb_meta)
+                    .into_iter()
+                    .filter(|d| d.severity == crate::clause::Severity::Error)
+                    .collect(),
+            ));
+        }
+        // Record the region IR from this first instance.
         if let Some(spec) = spec {
             spec.body.push(P2pSpec {
                 clauses: clauses.clone(),
@@ -826,7 +903,7 @@ fn execute_p2p(
     if let Some((used, splits)) = used_bufs {
         let mut current: Vec<(usize, usize, bool)> = Vec::new();
         if is_sender {
-            for b in sbufs {
+            for b in sbufs.iter() {
                 let a = b.desc().addr;
                 current.push((a.0, a.1, false));
             }
@@ -870,8 +947,8 @@ fn execute_p2p(
 }
 
 fn p2p_specless_inferred_count(
-    sb: &[Box<dyn SendBuf + '_>],
-    rb: &[Box<dyn RecvBuf + '_>],
+    sb: &BufList<Box<dyn SendBuf + '_>>,
+    rb: &BufList<Box<dyn RecvBuf + '_>>,
 ) -> usize {
     sb.iter()
         .map(|b| b.desc().len)
@@ -887,8 +964,8 @@ fn exec_mpi2(
     session: &mut CommSession<'_>,
     pending: &mut PendingSync,
     site: u32,
-    sbufs: &[Box<dyn SendBuf + '_>],
-    rbufs: &mut [Box<dyn RecvBuf + '_>],
+    sbufs: &BufList<Box<dyn SendBuf + '_>>,
+    rbufs: &mut BufList<Box<dyn RecvBuf + '_>>,
     count: usize,
     dest: Option<usize>,
     src: Option<usize>,
@@ -896,7 +973,7 @@ fn exec_mpi2(
     let tag = DIR_TAG_BASE + site as i32;
     if let Some(dest) = dest {
         let mpi = session.ctx.machine().mpi;
-        for sb in sbufs {
+        for sb in sbufs.iter() {
             let meta = sb.meta();
             let n = count.min(meta.len);
             // Causality under deferred sync: reading a buffer that was
@@ -956,8 +1033,8 @@ fn exec_onesided(
     session: &mut CommSession<'_>,
     pending: &mut PendingSync,
     site: u32,
-    sbufs: &[Box<dyn SendBuf + '_>],
-    rbufs: &mut [Box<dyn RecvBuf + '_>],
+    sbufs: &BufList<Box<dyn SendBuf + '_>>,
+    rbufs: &mut BufList<Box<dyn RecvBuf + '_>>,
     count: usize,
     dest: Option<usize>,
     src: Option<usize>,
@@ -976,7 +1053,7 @@ fn exec_onesided(
 
     // Lazily create the per-site staging segment (collective: every rank of
     // the communicator executes the directive, participant or not).
-    if !session.staging.contains_key(&site) {
+    if session.staging_mut(site).is_none() {
         let metas: Vec<BufMeta> = sbufs.iter().map(|b| b.meta()).collect();
         let mut buf_offsets = Vec::with_capacity(metas.len());
         let mut off = 0usize;
@@ -998,7 +1075,7 @@ fn exec_onesided(
         let seg = session
             .ctx
             .sym_alloc_windowed(&group, slot_bytes * slots, window, &model);
-        session.staging.insert(
+        session.staging.push((
             site,
             StagingSite {
                 seg,
@@ -1008,14 +1085,14 @@ fn exec_onesided(
                 send_counts: HashMap::new(),
                 recv_count: 0,
             },
-        );
+        ));
     }
 
     // Sender: put each buffer's packed payload into the destination's slot.
     if let Some(dest) = dest {
         let global_dest = session.comm.global(dest);
         let (seg, slot_base, offsets, slot_bytes) = {
-            let st = session.staging.get_mut(&site).expect("staging created");
+            let st = session.staging_mut(site).expect("staging created");
             let k = st.send_counts.entry(dest).or_insert(0);
             let slot = (*k % st.slots as u64) as usize;
             *k += 1;
@@ -1080,7 +1157,7 @@ fn exec_onesided(
     // staged bytes into the user buffers, record the arrival horizon.
     if src.is_some() {
         let (seg, slot_base, offsets, expect_base) = {
-            let st = session.staging.get_mut(&site).expect("staging created");
+            let st = session.staging_mut(site).expect("staging created");
             let slot = (st.recv_count % st.slots as u64) as usize;
             let expect_base = st.recv_count * sbufs.len() as u64;
             st.recv_count += 1;

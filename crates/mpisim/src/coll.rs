@@ -5,6 +5,7 @@
 //! (parameter broadcast, result reduction), so we provide tree-based
 //! implementations on top of [`Comm`].
 
+use bytes::Bytes;
 use netsim::RankCtx;
 
 use crate::comm::Comm;
@@ -33,13 +34,20 @@ pub fn bcast<T: Pod>(ctx: &mut RankCtx, comm: &Comm, root: usize, buf: &mut [T])
         }
         mask <<= 1;
     }
-    // Send phase: fan out to children below my lowest set bit.
+    // Send phase: fan out to children below my lowest set bit. One physical
+    // copy of the payload, refcount-shared across children (the virtual
+    // charges — o_send + per-child wait — are unchanged).
     let mut child_mask = mask >> 1;
+    let mut shared: Option<Bytes> = None;
     while child_mask > 0 {
         let vchild = vrank + child_mask;
         if vchild < n {
             let child = (vchild + root) % n;
-            comm.send(ctx, child, COLL_TAG, as_bytes(buf));
+            let payload = shared
+                .get_or_insert_with(|| Bytes::copy_from_slice(as_bytes(buf)))
+                .clone();
+            let req = comm.isend_bytes(ctx, child, COLL_TAG, payload);
+            comm.wait_send(ctx, &req);
         }
         child_mask >>= 1;
     }

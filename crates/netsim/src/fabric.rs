@@ -4,6 +4,7 @@
 
 use std::collections::HashMap;
 use std::collections::VecDeque;
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
 use bytes::Bytes;
@@ -52,14 +53,16 @@ struct MailboxInner {
     posted_exact: Vec<VecDeque<PostedRecv>>,
     posted_any: VecDeque<PostedRecv>,
     posted_total: usize,
-    arrival_seq: u64,
-    post_seq: u64,
     stats: MailboxHotStats,
 }
 
 /// One rank's incoming-message matching engine.
 pub struct Mailbox {
     inner: Mutex<MailboxInner>,
+    /// Posting-order stamp, taken outside the matching lock. Only the owning
+    /// rank posts receives to its own mailbox, so an atomic fetch-add
+    /// preserves program order exactly.
+    post_seq: AtomicU64,
 }
 
 impl MailboxInner {
@@ -113,20 +116,17 @@ impl Mailbox {
                 posted_exact: (0..nranks).map(|_| VecDeque::new()).collect(),
                 posted_any: VecDeque::new(),
                 posted_total: 0,
-                arrival_seq: 0,
-                post_seq: 0,
                 stats: MailboxHotStats::default(),
             }),
+            post_seq: AtomicU64::new(0),
         }
     }
 
     /// Deliver an envelope: match against posted receives (in posting order)
     /// or park it in the per-source unexpected lane.
-    fn deliver(&self, mut env: Envelope) {
+    fn deliver(&self, env: Envelope) {
         let mut g = self.inner.lock();
         g.stats.lock_acquisitions += 1;
-        env.arrival_seq = g.arrival_seq;
-        g.arrival_seq += 1;
         // Earliest-posted matching receive: the front-most tag match in the
         // sender's exact lane vs. the front-most match in the wildcard
         // lane, whichever was posted first. Each lane is in posting order,
@@ -184,25 +184,25 @@ impl Mailbox {
     /// already parked, the receive completes immediately; otherwise it is
     /// queued for the next matching delivery.
     fn post(&self, src: SrcSel, tag: TagSel, post_time: Time, slot: Arc<RecvSlot>) {
+        let seq = self.post_seq.fetch_add(1, Ordering::Relaxed);
         let mut g = self.inner.lock();
         g.stats.lock_acquisitions += 1;
         // MPI non-overtaking: per source, messages match in send order, so
         // only each source's *oldest* parked candidate is eligible — the
         // front-most tag match in its lane. Among eligible candidates from
-        // different sources, pick the earliest virtual arrival
-        // (deterministic), tie-broken by physical arrival order.
+        // different sources, pick the earliest virtual arrival, tie-broken
+        // by source rank. Both key components are virtual quantities, so the
+        // choice is independent of the physical order in which the parked
+        // messages were delivered — and therefore of the execution engine.
         let best: Option<(usize, usize)> = match src {
             SrcSel::Exact(s) => g.oldest_match(s, tag).map(|i| (s, i)),
             SrcSel::Any => {
                 let active = std::mem::take(&mut g.active_srcs);
-                let mut best: Option<(usize, usize, (Time, u64))> = None;
+                let mut best: Option<(usize, usize, (Time, usize))> = None;
                 for &s in &active {
                     if let Some(i) = g.oldest_match(s, tag) {
                         let e = &g.unexpected[s][i];
-                        let key = (
-                            e.costs.eager_arrival(e.depart, e.payload.len()),
-                            e.arrival_seq,
-                        );
+                        let key = (e.costs.eager_arrival(e.depart, e.payload.len()), s);
                         if best.map(|(_, _, k)| key < k).unwrap_or(true) {
                             best = Some((s, i, key));
                         }
@@ -219,8 +219,6 @@ impl Mailbox {
                 complete_match(env, post_time, &slot);
             }
             None => {
-                let seq = g.post_seq;
-                g.post_seq += 1;
                 let posted = PostedRecv {
                     tag,
                     post_time,
@@ -275,6 +273,9 @@ struct BarrierInner {
     arrived: usize,
     max_entry: Time,
     exit_time: Time,
+    /// Bounded-engine single-wake registrations: ranks parked in this
+    /// generation, woken through the scheduler by the last arriver.
+    waiters: Vec<crate::sched::Waiter>,
 }
 
 /// A reusable barrier over a fixed group size that also reconciles virtual
@@ -304,12 +305,28 @@ impl GroupBarrier {
         g.max_entry = g.max_entry.max(entry);
         g.arrived += 1;
         if g.arrived == self.size {
-            g.exit_time = g.max_entry + cost;
+            let exit = g.max_entry + cost;
+            g.exit_time = exit;
             g.arrived = 0;
             g.max_entry = Time::ZERO;
             g.generation += 1;
+            let waiters = std::mem::take(&mut g.waiters);
             self.cv.notify_all();
-            g.exit_time
+            drop(g);
+            // Wake parked ranks through the scheduler: each is queued at the
+            // reconciled exit clock and granted a slot LVT-first (no
+            // condvar broadcast storm).
+            for w in waiters {
+                w.wake(exit);
+            }
+            exit
+        } else if let Some(w) = crate::sched::yield_slot() {
+            g.waiters.push(w);
+            drop(g);
+            crate::sched::park_self();
+            // Woken ⇒ our generation completed. The next generation cannot
+            // finish (and overwrite `exit_time`) before we re-enter.
+            self.inner.lock().exit_time
         } else {
             while g.generation == gen {
                 self.cv.wait(&mut g);
@@ -376,6 +393,10 @@ struct SlotInner {
     signals: Vec<Time>,
     /// Number of signalled deliveries the owner has consumed (flow control).
     consumed: u64,
+    /// Bounded-engine single-wake registration: the owner parked until the
+    /// `.0`-th (1-based) signal lands; the delivering put wakes it through
+    /// the scheduler.
+    waiting: Option<(usize, crate::sched::Waiter)>,
 }
 
 struct Slot {
@@ -483,6 +504,7 @@ impl SegmentStore {
                             data: vec![0u8; bytes],
                             signals: Vec::new(),
                             consumed: 0,
+                            waiting: None,
                         }),
                         cv: Condvar::new(),
                     })
@@ -499,10 +521,14 @@ impl SegmentStore {
             self.cv_notify(&state);
             id
         } else {
+            crate::sched::pre_block();
             while g.generation == gen {
                 state.cv.wait(&mut g);
             }
-            g.result.expect("alloc result set by last arriver")
+            let id = g.result.expect("alloc result set by last arriver");
+            drop(g);
+            crate::sched::post_block();
+            id
         }
     }
 
@@ -528,11 +554,16 @@ impl SegmentStore {
         let seg = self.seg(id);
         let slot = seg.slot_of(target);
         let mut g = slot.inner.lock();
+        let mut yielded = false;
         if signal_arrival.is_some() {
             // Flow control: do not overwrite a staging slot the owner has
             // not consumed yet. Purely physical (no virtual-time charge):
             // models adequately-sized staging on the critical path.
             while (g.signals.len() as u64).saturating_sub(g.consumed) >= seg.window {
+                if !yielded {
+                    crate::sched::pre_block();
+                    yielded = true;
+                }
                 slot.cv.wait(&mut g);
             }
         }
@@ -544,9 +575,28 @@ impl SegmentStore {
             g.data.len()
         );
         g.data[offset..offset + data.len()].copy_from_slice(data);
+        let mut waker = None;
         if let Some(t) = signal_arrival {
             g.signals.push(t);
+            if let Some((need, _)) = g.waiting.as_ref() {
+                if g.signals.len() >= *need {
+                    let (need, w) = g.waiting.take().unwrap();
+                    waker = Some((w, g.signals[need - 1]));
+                }
+            }
             slot.cv.notify_all();
+        }
+        drop(g);
+        if let Some((w, t)) = waker {
+            // Single-wake handoff to the parked owner, queued at the
+            // virtual arrival time of the signal it was waiting for.
+            w.wake(t);
+        }
+        if yielded {
+            // The write above ran slot-less (bounded, lock-holding work);
+            // reacquire only after the slot mutex is released so the owner's
+            // `mark_consumed` can never be blocked by a parked sender.
+            crate::sched::post_block();
         }
     }
 
@@ -583,10 +633,22 @@ impl SegmentStore {
         let seg = self.seg(id);
         let slot = seg.slot_of(rank);
         let mut g = slot.inner.lock();
-        while g.signals.len() < count {
-            slot.cv.wait(&mut g);
+        if g.signals.len() >= count {
+            return g.signals[count - 1];
         }
-        g.signals[count - 1]
+        if let Some(w) = crate::sched::yield_slot() {
+            debug_assert!(g.waiting.is_none(), "two waiters on one slot");
+            g.waiting = Some((count, w));
+            drop(g);
+            crate::sched::park_self();
+            // Woken ⇒ the count-th signal landed (signals only grow).
+            slot.inner.lock().signals[count - 1]
+        } else {
+            while g.signals.len() < count {
+                slot.cv.wait(&mut g);
+            }
+            g.signals[count - 1]
+        }
     }
 
     /// Number of signalled deliveries so far on `rank`'s copy.
@@ -656,7 +718,6 @@ impl Fabric {
             payload,
             depart,
             costs,
-            arrival_seq: 0,
             send_done: Arc::clone(&done),
         };
         self.mailboxes[dst].deliver(env);

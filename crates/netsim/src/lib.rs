@@ -47,6 +47,7 @@ pub mod fabric;
 pub mod model;
 pub mod msg;
 pub mod runtime;
+pub mod sched;
 pub mod time;
 pub mod trace;
 
@@ -55,6 +56,7 @@ pub use model::{CostModel, MachineModel};
 pub use msg::{
     match_timing, MatchTiming, RecvDone, RecvRequest, SendRequest, SrcSel, TagSel, WireCosts,
 };
-pub use runtime::{run, RankCtx, SimConfig, SimResult};
+pub use runtime::{run, ExecPolicy, RankCtx, SimConfig, SimResult};
+pub use sched::Scheduler;
 pub use time::Time;
 pub use trace::{EventKind, MailboxHotStats, RankStats, TraceEvent, TraceSink};

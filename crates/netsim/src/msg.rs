@@ -166,9 +166,6 @@ pub struct Envelope {
     pub depart: Time,
     /// Wire-cost parameters for this message.
     pub costs: WireCosts,
-    /// Physical arrival order stamp within the destination mailbox; used as
-    /// a deterministic tie-breaker for wildcard matching.
-    pub arrival_seq: u64,
     /// Send-side completion cell, shared with the sender's [`SendRequest`].
     pub send_done: Arc<Completion>,
 }
@@ -176,8 +173,16 @@ pub struct Envelope {
 /// A one-shot completion cell carrying a virtual completion time.
 #[derive(Debug, Default)]
 pub struct Completion {
-    state: Mutex<Option<Time>>,
+    state: Mutex<CompletionState>,
     cv: Condvar,
+}
+
+#[derive(Debug, Default)]
+struct CompletionState {
+    done: Option<Time>,
+    /// Bounded-engine single-wake registration: the rank parked on this
+    /// cell, woken through the scheduler with a slot already granted.
+    waiter: Option<crate::sched::Waiter>,
 }
 
 impl Completion {
@@ -188,24 +193,49 @@ impl Completion {
     /// Mark complete at `t`. Idempotent (keeps the first value).
     pub fn set(&self, t: Time) {
         let mut g = self.state.lock();
-        if g.is_none() {
-            *g = Some(t);
+        if g.done.is_some() {
+            return;
+        }
+        g.done = Some(t);
+        let waiter = g.waiter.take();
+        if waiter.is_none() {
             self.cv.notify_all();
+        }
+        drop(g);
+        if let Some(w) = waiter {
+            w.wake(t);
         }
     }
 
     /// Physically block until complete; returns the virtual completion time.
+    /// Under a bounded scheduler the caller's execution slot is yielded
+    /// while parked and handed back with the wake (single-wake protocol,
+    /// see [`crate::sched`]).
     pub fn wait(&self) -> Time {
         let mut g = self.state.lock();
-        while g.is_none() {
-            self.cv.wait(&mut g);
+        if let Some(t) = g.done {
+            return t;
         }
-        g.unwrap()
+        if let Some(w) = crate::sched::yield_slot() {
+            debug_assert!(g.waiter.is_none(), "two ranks waiting one completion");
+            g.waiter = Some(w);
+            drop(g);
+            crate::sched::park_self();
+            self.state
+                .lock()
+                .done
+                .expect("rank woken before completion")
+        } else {
+            while g.done.is_none() {
+                self.cv.wait(&mut g);
+            }
+            g.done.unwrap()
+        }
     }
 
     /// Non-blocking poll.
     pub fn poll(&self) -> Option<Time> {
-        *self.state.lock()
+        self.state.lock().done
     }
 }
 
@@ -227,8 +257,15 @@ pub struct RecvDone {
 /// Receive-side completion cell.
 #[derive(Debug, Default)]
 pub struct RecvSlot {
-    state: Mutex<Option<RecvDone>>,
+    state: Mutex<RecvState>,
     cv: Condvar,
+}
+
+#[derive(Debug, Default)]
+struct RecvState {
+    done: Option<RecvDone>,
+    /// Bounded-engine single-wake registration (see [`Completion`]).
+    waiter: Option<crate::sched::Waiter>,
 }
 
 impl RecvSlot {
@@ -238,22 +275,48 @@ impl RecvSlot {
 
     pub fn set(&self, done: RecvDone) {
         let mut g = self.state.lock();
-        debug_assert!(g.is_none(), "receive completed twice");
-        *g = Some(done);
-        self.cv.notify_all();
+        debug_assert!(g.done.is_none(), "receive completed twice");
+        let t = done.completion;
+        g.done = Some(done);
+        let waiter = g.waiter.take();
+        if waiter.is_none() {
+            self.cv.notify_all();
+        }
+        drop(g);
+        if let Some(w) = waiter {
+            w.wake(t);
+        }
     }
 
     /// Physically block until the matching message has been delivered.
+    /// Under a bounded scheduler the caller's execution slot is yielded
+    /// while parked and handed back with the wake (single-wake protocol,
+    /// see [`crate::sched`]).
     pub fn wait(&self) -> RecvDone {
         let mut g = self.state.lock();
-        while g.is_none() {
-            self.cv.wait(&mut g);
+        if let Some(done) = g.done.clone() {
+            return done;
         }
-        g.clone().unwrap()
+        if let Some(w) = crate::sched::yield_slot() {
+            debug_assert!(g.waiter.is_none(), "two ranks waiting one receive");
+            g.waiter = Some(w);
+            drop(g);
+            crate::sched::park_self();
+            self.state
+                .lock()
+                .done
+                .clone()
+                .expect("rank woken before delivery")
+        } else {
+            while g.done.is_none() {
+                self.cv.wait(&mut g);
+            }
+            g.done.clone().unwrap()
+        }
     }
 
     pub fn poll(&self) -> Option<RecvDone> {
-        self.state.lock().clone()
+        self.state.lock().done.clone()
     }
 }
 

@@ -16,6 +16,7 @@ use bytes::Bytes;
 use crate::fabric::{Fabric, SegId};
 use crate::model::{CostModel, MachineModel};
 use crate::msg::{RecvDone, RecvRequest, SendRequest, SrcSel, TagSel, WireCosts};
+use crate::sched::Scheduler;
 use crate::time::Time;
 use crate::trace::{EventKind, RankStats, TraceEvent, TraceSink};
 
@@ -30,6 +31,12 @@ pub struct SimConfig {
     pub trace: bool,
     /// Stack size per rank thread in bytes.
     pub stack_size: usize,
+    /// Execution engine: `None` runs thread-per-rank (every rank OS-runnable
+    /// at once); `Some(n)` runs the bounded cooperative scheduler with `n`
+    /// worker slots (`0` = auto: `min(nranks, available_parallelism)`).
+    /// Results are bit-identical either way — virtual time, not execution
+    /// order, defines the output (see [`crate::sched`]).
+    pub workers: Option<usize>,
 }
 
 impl SimConfig {
@@ -40,6 +47,7 @@ impl SimConfig {
             machine: MachineModel::default(),
             trace: false,
             stack_size: 1 << 20,
+            workers: None,
         }
     }
 
@@ -52,6 +60,59 @@ impl SimConfig {
     /// Use a specific machine model.
     pub fn with_machine(mut self, machine: MachineModel) -> Self {
         self.machine = machine;
+        self
+    }
+
+    /// Use the bounded cooperative scheduler with `n` worker slots
+    /// (`0` = auto: `min(nranks, available_parallelism)`).
+    pub fn with_workers(mut self, n: usize) -> Self {
+        self.workers = Some(n);
+        self
+    }
+
+    /// Use a specific per-rank stack size in bytes.
+    pub fn with_stack_size(mut self, bytes: usize) -> Self {
+        self.stack_size = bytes;
+        self
+    }
+
+    /// Apply an [`ExecPolicy`] (engine + stack size) to this configuration.
+    pub fn with_exec(mut self, exec: ExecPolicy) -> Self {
+        self.workers = exec.workers;
+        if let Some(bytes) = exec.stack_size {
+            self.stack_size = bytes;
+        }
+        self
+    }
+}
+
+/// Engine selection a caller can thread through higher layers (experiment
+/// drivers, bench binaries) without rebuilding a [`SimConfig`] by hand.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct ExecPolicy {
+    /// See [`SimConfig::workers`].
+    pub workers: Option<usize>,
+    /// Per-rank stack size override in bytes.
+    pub stack_size: Option<usize>,
+}
+
+impl ExecPolicy {
+    /// The thread-per-rank engine (the default).
+    pub fn threads() -> Self {
+        ExecPolicy::default()
+    }
+
+    /// The bounded cooperative scheduler with `n` worker slots (`0` = auto).
+    pub fn bounded(workers: usize) -> Self {
+        ExecPolicy {
+            workers: Some(workers),
+            stack_size: None,
+        }
+    }
+
+    /// Override the per-rank stack size in bytes.
+    pub fn with_stack_size(mut self, bytes: usize) -> Self {
+        self.stack_size = Some(bytes);
         self
     }
 }
@@ -102,6 +163,13 @@ where
     } else {
         None
     };
+    let sched = cfg.workers.map(|w| {
+        let auto = std::thread::available_parallelism()
+            .map(|p| p.get())
+            .unwrap_or(1);
+        let w = if w == 0 { auto } else { w };
+        Scheduler::new(cfg.nranks, w.min(cfg.nranks))
+    });
     let body = &body;
 
     let mut outputs: Vec<Option<(T, Time, RankStats)>> = (0..cfg.nranks).map(|_| None).collect();
@@ -111,6 +179,7 @@ where
         for rank in 0..cfg.nranks {
             let fabric = Arc::clone(&fabric);
             let sink = sink.clone();
+            let sched = sched.clone();
             let machine = cfg.machine;
             let nranks = cfg.nranks;
             let builder = std::thread::Builder::new()
@@ -118,6 +187,10 @@ where
                 .stack_size(cfg.stack_size);
             let handle = builder
                 .spawn_scoped(scope, move || {
+                    // Under the bounded engine, acquire an execution slot
+                    // before running the body and release it on drop (even
+                    // on unwind, so a panicking rank can't strand the pool).
+                    let _slot = sched.map(|s| crate::sched::RankSlot::enter(s, rank));
                     let mut ctx = RankCtx {
                         rank,
                         nranks,
@@ -224,6 +297,13 @@ impl RankCtx {
     /// The shared fabric (escape hatch for substrate layers).
     pub fn fabric(&self) -> &Arc<Fabric> {
         &self.fabric
+    }
+
+    /// Report the current clock to the bounded scheduler (slot-queue
+    /// priority hint) ahead of an operation that may physically park.
+    #[inline]
+    fn note_block(&self) {
+        crate::sched::note_clock(self.clock);
     }
 
     fn trace(&self, kind: EventKind) {
@@ -334,6 +414,7 @@ impl RankCtx {
     /// Wait for a single send request, charging `o_wait` (the expensive
     /// per-call pattern).
     pub fn wait_send(&mut self, req: &SendRequest, model: &CostModel) {
+        self.note_block();
         let done = req.wait_raw();
         self.clock = self.clock.max(done) + Time::from_nanos(model.o_wait);
         self.stats.waits += 1;
@@ -342,6 +423,7 @@ impl RankCtx {
 
     /// Wait for a single receive request, charging `o_wait`.
     pub fn wait_recv(&mut self, req: &RecvRequest, model: &CostModel) -> RecvDone {
+        self.note_block();
         let done = req.wait_raw();
         self.clock = self.clock.max(done.completion) + Time::from_nanos(model.o_wait);
         self.stats.waits += 1;
@@ -364,6 +446,7 @@ impl RankCtx {
         recvs: &[RecvRequest],
         model: &CostModel,
     ) -> Vec<RecvDone> {
+        self.note_block();
         let mut max_t = self.clock;
         for s in sends {
             max_t = max_t.max(s.wait_raw());
@@ -411,6 +494,7 @@ impl RankCtx {
         window: u64,
         model: &CostModel,
     ) -> SegId {
+        self.note_block();
         let id = self.fabric.segments().alloc(group, bytes, window);
         // shmalloc implies a barrier across the participants.
         self.barrier_group(group, model);
@@ -438,6 +522,7 @@ impl RankCtx {
         signal: bool,
     ) -> Time {
         self.clock += Time::from_nanos(model.o_put);
+        self.note_block(); // a signalled put may park on flow control
         let mut arrival = self.clock + model.wire_time(data.len());
         if model.latency_jitter_ns > 0 {
             arrival += Time::from_nanos(
@@ -500,6 +585,7 @@ impl RankCtx {
     /// Does **not** advance the clock — pair with [`RankCtx::advance_to`] or
     /// a consolidated charge.
     pub fn wait_signals_raw(&self, seg: SegId, count: usize) -> Time {
+        self.note_block();
         self.fabric.segments().wait_signals(seg, self.rank, count)
     }
 
@@ -535,6 +621,7 @@ impl RankCtx {
     /// Barrier over an arbitrary ascending group containing this rank.
     pub fn barrier_group(&mut self, group: &[usize], model: &CostModel) {
         debug_assert!(group.contains(&self.rank), "barrier group excludes caller");
+        self.note_block();
         let cost = model.barrier_cost(group.len());
         let exit = self.fabric.barrier(group, self.clock, cost);
         self.clock = exit;
@@ -740,6 +827,73 @@ mod tests {
         });
         let m = crate::model::CostModel::gemini_mpi();
         assert_eq!(res.per_rank[0], Time(10_000) + m.waitall_cost(2));
+    }
+
+    #[test]
+    fn bounded_engine_matches_thread_per_rank() {
+        // A mixed workload (p2p, barrier, one-sided put/signal) must produce
+        // bit-identical results under every engine and worker count.
+        let body = |ctx: &mut RankCtx| {
+            let m = ctx.machine().mpi;
+            let shm = ctx.machine().shmem;
+            let n = ctx.nranks();
+            let right = (ctx.rank() + 1) % n;
+            let left = (ctx.rank() + n - 1) % n;
+            let s = ctx.isend(right, 1, &[ctx.rank() as u8; 64], &m);
+            let r = ctx.irecv(SrcSel::Exact(left), TagSel::Exact(1), &m);
+            ctx.waitall(&[s], &[r], &m);
+            ctx.barrier(&m);
+            let group: Vec<usize> = (0..n).collect();
+            let seg = ctx.sym_alloc(&group, 16, &shm);
+            ctx.put(seg, right, 0, &[7u8; 16], &shm, true);
+            ctx.quiet(&shm);
+            let arrival = ctx.wait_signals_raw(seg, 1);
+            ctx.advance_to(arrival);
+            ctx.barrier(&m);
+            ctx.now()
+        };
+        let reference = run(uniform_cfg(6), body);
+        for workers in [1usize, 2, 5, 64] {
+            let res = run(uniform_cfg(6).with_workers(workers), body);
+            assert_eq!(res.final_times, reference.final_times, "workers={workers}");
+            assert_eq!(res.per_rank, reference.per_rank, "workers={workers}");
+        }
+    }
+
+    #[test]
+    fn bounded_engine_single_worker_no_deadlock_rendezvous() {
+        // Rendezvous sends block until matched; with one worker slot the
+        // sender must yield so the receiver can run.
+        let mut machine = MachineModel::default();
+        machine.mpi.eager_threshold = 0; // force rendezvous for every message
+        let cfg = SimConfig::new(4).with_machine(machine).with_workers(1);
+        let res = run(cfg, |ctx| {
+            let m = ctx.machine().mpi;
+            if ctx.rank() == 0 {
+                for dst in 1..ctx.nranks() {
+                    ctx.send(dst, 0, &[1u8; 4096], &m);
+                }
+            } else {
+                ctx.recv(SrcSel::Exact(0), TagSel::Exact(0), &m);
+            }
+            ctx.now()
+        });
+        assert!(res.makespan() > Time::ZERO);
+    }
+
+    #[test]
+    #[should_panic(expected = "rank 1 panicked")]
+    fn bounded_engine_panic_releases_slot() {
+        // The panicking rank's slot must be released so the others finish
+        // and the panic propagates instead of deadlocking the pool.
+        run(uniform_cfg(4).with_workers(1), |ctx| {
+            let m = ctx.machine().mpi;
+            ctx.barrier(&m);
+            if ctx.rank() == 1 {
+                panic!("boom");
+            }
+            ctx.barrier_group(&[0, 2, 3], &m);
+        });
     }
 
     #[test]

@@ -168,7 +168,7 @@ fn coll_report(
         let env = commint::expr::EvalEnv {
             rank: r as i64,
             nranks: nranks as i64,
-            vars: vars.clone(),
+            vars: vars.into(),
         };
         let participates = match &spec.groupwhen {
             Some(c) => c.eval(&env).unwrap_or(false),
@@ -185,7 +185,7 @@ fn coll_report(
             e.eval(&commint::expr::EvalEnv {
                 rank: 0,
                 nranks: nranks as i64,
-                vars: vars.clone(),
+                vars: vars.into(),
             })
             .ok()
         })

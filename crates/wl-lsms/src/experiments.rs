@@ -19,7 +19,7 @@
 //!   identical physics.
 
 use commint::{CommSession, Target};
-use netsim::{run, RankStats, SimConfig, Time};
+use netsim::{run, ExecPolicy, RankStats, SimConfig, Time};
 
 use crate::atom::{AtomData, AtomSizes};
 use crate::atom_comm::{transfer_atom_directive, transfer_atom_original};
@@ -67,88 +67,102 @@ pub struct Measurement {
 }
 
 /// Fig. 3: time to distribute every atom's single-atom data.
-#[allow(clippy::needless_range_loop)] // worker loops index rank-shaped arrays
 pub fn fig3_single_atom(
     topo: &Topology,
     variant: AtomCommVariant,
     sizes: AtomSizes,
 ) -> Measurement {
+    fig3_single_atom_exec(topo, variant, sizes, ExecPolicy::default())
+}
+
+/// [`fig3_single_atom`] with an explicit execution engine. The measurement
+/// is bit-identical for every [`ExecPolicy`].
+#[allow(clippy::needless_range_loop)] // worker loops index rank-shaped arrays
+pub fn fig3_single_atom_exec(
+    topo: &Topology,
+    variant: AtomCommVariant,
+    sizes: AtomSizes,
+    exec: ExecPolicy,
+) -> Measurement {
     let t = topo.clone();
-    let res = run(SimConfig::new(t.total_ranks()), move |ctx| {
-        let comms = t.build_comms(ctx);
-        let n = t.ranks_per_lsms;
-        let me = ctx.rank();
+    let res = run(
+        SimConfig::new(t.total_ranks()).with_exec(exec),
+        move |ctx| {
+            let comms = t.build_comms(ctx);
+            let n = t.ranks_per_lsms;
+            let me = ctx.rank();
 
-        // Stage A (identical in every variant): the WL master holds all
-        // atoms (loaded from disk in the real app) and pack/sends each
-        // instance's set to its privileged rank.
-        let mut received: Vec<AtomData> = Vec::new();
-        if me == t.wl_rank() {
-            for inst in 0..t.instances {
-                let dest = t.privileged_rank(inst);
-                for a in 0..n {
-                    let mut atom = AtomData::synthetic_fe(inst * n + a, sizes);
-                    transfer_atom_original(ctx, &comms.world, 0, dest, &mut atom);
-                }
-            }
-        } else if t.is_privileged(me) {
-            for _ in 0..n {
-                let mut atom = AtomData::new(sizes);
-                transfer_atom_original(ctx, &comms.world, 0, me, &mut atom);
-                received.push(atom);
-            }
-        }
-
-        // Stage B: LIZ-internal distribution, the paper's rewritten path.
-        let mut correct = true;
-        if let (Some(lsms), Some(inst)) = (comms.lsms.clone(), comms.instance) {
-            let local = lsms.rank(ctx);
-            match variant {
-                AtomCommVariant::Original => {
-                    if local == 0 {
-                        for w in 1..n {
-                            transfer_atom_original(ctx, &lsms, 0, w, &mut received[w]);
-                        }
-                    } else {
-                        let mut atom = AtomData::new(sizes);
-                        transfer_atom_original(ctx, &lsms, 0, local, &mut atom);
-                        correct = atom == AtomData::synthetic_fe(inst * n + local, sizes);
+            // Stage A (identical in every variant): the WL master holds all
+            // atoms (loaded from disk in the real app) and pack/sends each
+            // instance's set to its privileged rank.
+            let mut received: Vec<AtomData> = Vec::new();
+            if me == t.wl_rank() {
+                for inst in 0..t.instances {
+                    let dest = t.privileged_rank(inst);
+                    for a in 0..n {
+                        let mut atom = AtomData::synthetic_fe(inst * n + a, sizes);
+                        transfer_atom_original(ctx, &comms.world, 0, dest, &mut atom);
                     }
                 }
-                AtomCommVariant::DirectiveMpi2 | AtomCommVariant::DirectiveShmem => {
-                    let target = if variant == AtomCommVariant::DirectiveMpi2 {
-                        Target::Mpi2Side
-                    } else {
-                        Target::Shmem
-                    };
-                    let mut session = CommSession::new(ctx, lsms).without_ir();
-                    let mut my_atom = AtomData::new(sizes);
-                    for w in 1..n {
-                        // SPMD: every LSMS rank executes every transfer.
-                        let atom_ref: &mut AtomData = if local == 0 {
-                            &mut received[w]
-                        } else if local == w {
-                            &mut my_atom
+            } else if t.is_privileged(me) {
+                for _ in 0..n {
+                    let mut atom = AtomData::new(sizes);
+                    transfer_atom_original(ctx, &comms.world, 0, me, &mut atom);
+                    received.push(atom);
+                }
+            }
+
+            // Stage B: LIZ-internal distribution, the paper's rewritten path.
+            let mut correct = true;
+            if let (Some(lsms), Some(inst)) = (comms.lsms.clone(), comms.instance) {
+                let local = lsms.rank(ctx);
+                match variant {
+                    AtomCommVariant::Original => {
+                        if local == 0 {
+                            for w in 1..n {
+                                transfer_atom_original(ctx, &lsms, 0, w, &mut received[w]);
+                            }
                         } else {
-                            // Bystander placeholder of the same shape.
-                            &mut my_atom
-                        };
-                        transfer_atom_directive(&mut session, 0, w, target, atom_ref)
-                            .expect("directive transfer");
+                            let mut atom = AtomData::new(sizes);
+                            transfer_atom_original(ctx, &lsms, 0, local, &mut atom);
+                            correct = atom == AtomData::synthetic_fe(inst * n + local, sizes);
+                        }
                     }
-                    session.flush();
-                    if local != 0 {
-                        correct = my_atom == AtomData::synthetic_fe(inst * n + local, sizes);
+                    AtomCommVariant::DirectiveMpi2 | AtomCommVariant::DirectiveShmem => {
+                        let target = if variant == AtomCommVariant::DirectiveMpi2 {
+                            Target::Mpi2Side
+                        } else {
+                            Target::Shmem
+                        };
+                        let mut session = CommSession::new(ctx, lsms).without_ir();
+                        let mut my_atom = AtomData::new(sizes);
+                        for w in 1..n {
+                            // SPMD: every LSMS rank executes every transfer.
+                            let atom_ref: &mut AtomData = if local == 0 {
+                                &mut received[w]
+                            } else if local == w {
+                                &mut my_atom
+                            } else {
+                                // Bystander placeholder of the same shape.
+                                &mut my_atom
+                            };
+                            transfer_atom_directive(&mut session, 0, w, target, atom_ref)
+                                .expect("directive transfer");
+                        }
+                        session.flush();
+                        if local != 0 {
+                            correct = my_atom == AtomData::synthetic_fe(inst * n + local, sizes);
+                        }
                     }
                 }
+                if local == 0 {
+                    // Privileged keeps atom 0 and verifies it.
+                    correct &= received[0] == AtomData::synthetic_fe(inst * n, sizes);
+                }
             }
-            if local == 0 {
-                // Privileged keeps atom 0 and verifies it.
-                correct &= received[0] == AtomData::synthetic_fe(inst * n, sizes);
-            }
-        }
-        (ctx.now(), correct)
-    });
+            (ctx.now(), correct)
+        },
+    );
     Measurement {
         nranks: topo.total_ranks(),
         time: res.makespan(),
@@ -160,65 +174,79 @@ pub fn fig3_single_atom(
 /// Fig. 4: average per-step time of the random-spin-configuration
 /// communication (`setEvec`).
 pub fn fig4_spin(topo: &Topology, variant: SpinVariant, steps: usize) -> Measurement {
+    fig4_spin_exec(topo, variant, steps, ExecPolicy::default())
+}
+
+/// [`fig4_spin`] with an explicit execution engine. The measurement is
+/// bit-identical for every [`ExecPolicy`].
+pub fn fig4_spin_exec(
+    topo: &Topology,
+    variant: SpinVariant,
+    steps: usize,
+    exec: ExecPolicy,
+) -> Measurement {
     let t = topo.clone();
-    let res = run(SimConfig::new(t.total_ranks()), move |ctx| {
-        let comms = t.build_comms(ctx);
-        let mut state = SpinState::new(&t, ctx.rank());
-        let natoms = t.instances * t.ranks_per_lsms;
-        let mut correct = true;
-        // One warmup step (one-time staging/datatype setup), then a
-        // clock-aligning barrier, then the measured steps — the paper's
-        // numbers are steady-state main-loop iterations.
-        let total_steps = steps as u64 + 1;
-        let mut phase_start = Time::ZERO;
-        match variant {
-            SpinVariant::Original | SpinVariant::OriginalWaitall => {
-                for step in 0..total_steps {
-                    if ctx.rank() == t.wl_rank() {
-                        state.ev = generate_spins(step, natoms);
-                    }
-                    set_evec_original(
-                        ctx,
-                        &t,
-                        &comms,
-                        &mut state,
-                        variant == SpinVariant::OriginalWaitall,
-                    );
-                    correct &= check_spin(&t, ctx.rank(), step, &state);
-                    if step == 0 {
-                        let m = ctx.machine().mpi;
-                        ctx.barrier(&m);
-                        phase_start = ctx.now();
-                    }
-                }
-            }
-            SpinVariant::DirectiveMpi2 | SpinVariant::DirectiveShmem => {
-                let target = if variant == SpinVariant::DirectiveMpi2 {
-                    Target::Mpi2Side
-                } else {
-                    Target::Shmem
-                };
-                let mut session = CommSession::new(ctx, comms.world.clone()).without_ir();
-                for step in 0..total_steps {
-                    if session.ctx().rank() == t.wl_rank() {
-                        state.ev = generate_spins(step, natoms);
-                    }
-                    set_evec_directive(&mut session, &t, &mut state, target, None)
-                        .expect("directive setEvec");
-                    correct &= check_spin(&t, session.ctx().rank(), step, &state);
-                    if step == 0 {
-                        session.flush();
-                        let cx = session.ctx();
-                        let m = cx.machine().mpi;
-                        cx.barrier(&m);
-                        phase_start = cx.now();
+    let res = run(
+        SimConfig::new(t.total_ranks()).with_exec(exec),
+        move |ctx| {
+            let comms = t.build_comms(ctx);
+            let mut state = SpinState::new(&t, ctx.rank());
+            let natoms = t.instances * t.ranks_per_lsms;
+            let mut correct = true;
+            // One warmup step (one-time staging/datatype setup), then a
+            // clock-aligning barrier, then the measured steps — the paper's
+            // numbers are steady-state main-loop iterations.
+            let total_steps = steps as u64 + 1;
+            let mut phase_start = Time::ZERO;
+            match variant {
+                SpinVariant::Original | SpinVariant::OriginalWaitall => {
+                    for step in 0..total_steps {
+                        if ctx.rank() == t.wl_rank() {
+                            state.ev = generate_spins(step, natoms);
+                        }
+                        set_evec_original(
+                            ctx,
+                            &t,
+                            &comms,
+                            &mut state,
+                            variant == SpinVariant::OriginalWaitall,
+                        );
+                        correct &= check_spin(&t, ctx.rank(), step, &state);
+                        if step == 0 {
+                            let m = ctx.machine().mpi;
+                            ctx.barrier(&m);
+                            phase_start = ctx.now();
+                        }
                     }
                 }
-                session.flush();
+                SpinVariant::DirectiveMpi2 | SpinVariant::DirectiveShmem => {
+                    let target = if variant == SpinVariant::DirectiveMpi2 {
+                        Target::Mpi2Side
+                    } else {
+                        Target::Shmem
+                    };
+                    let mut session = CommSession::new(ctx, comms.world.clone()).without_ir();
+                    for step in 0..total_steps {
+                        if session.ctx().rank() == t.wl_rank() {
+                            state.ev = generate_spins(step, natoms);
+                        }
+                        set_evec_directive(&mut session, &t, &mut state, target, None)
+                            .expect("directive setEvec");
+                        correct &= check_spin(&t, session.ctx().rank(), step, &state);
+                        if step == 0 {
+                            session.flush();
+                            let cx = session.ctx();
+                            let m = cx.machine().mpi;
+                            cx.barrier(&m);
+                            phase_start = cx.now();
+                        }
+                    }
+                    session.flush();
+                }
             }
-        }
-        (ctx.now() - phase_start, correct)
-    });
+            (ctx.now() - phase_start, correct)
+        },
+    );
     let phase = res
         .per_rank
         .iter()
@@ -255,41 +283,64 @@ pub fn fig5_overlap(
     sizes: AtomSizes,
     steps: usize,
 ) -> Measurement {
-    let t = topo.clone();
-    let res = run(SimConfig::new(t.total_ranks()), move |ctx| {
-        let comms = t.build_comms(ctx);
-        let mut state = SpinState::new(&t, ctx.rank());
-        let natoms = t.instances * t.ranks_per_lsms;
-        let my_atom_id = t
-            .instance_of(ctx.rank())
-            .map(|m| m * t.ranks_per_lsms + (ctx.rank() - t.privileged_rank(m)));
-        let atom = my_atom_id.map(|id| AtomData::synthetic_fe(id, sizes));
+    fig5_overlap_exec(
+        topo,
+        directive,
+        cparams,
+        sizes,
+        steps,
+        ExecPolicy::default(),
+    )
+}
 
-        if directive {
-            let mut session = CommSession::new(ctx, comms.world.clone()).without_ir();
-            for step in 0..steps as u64 {
-                if session.ctx().rank() == t.wl_rank() {
-                    state.ev = generate_spins(step, natoms);
+/// [`fig5_overlap`] with an explicit execution engine. The measurement is
+/// bit-identical for every [`ExecPolicy`].
+pub fn fig5_overlap_exec(
+    topo: &Topology,
+    directive: bool,
+    cparams: CoreStateParams,
+    sizes: AtomSizes,
+    steps: usize,
+    exec: ExecPolicy,
+) -> Measurement {
+    let t = topo.clone();
+    let res = run(
+        SimConfig::new(t.total_ranks()).with_exec(exec),
+        move |ctx| {
+            let comms = t.build_comms(ctx);
+            let mut state = SpinState::new(&t, ctx.rank());
+            let natoms = t.instances * t.ranks_per_lsms;
+            let my_atom_id = t
+                .instance_of(ctx.rank())
+                .map(|m| m * t.ranks_per_lsms + (ctx.rank() - t.privileged_rank(m)));
+            let atom = my_atom_id.map(|id| AtomData::synthetic_fe(id, sizes));
+
+            if directive {
+                let mut session = CommSession::new(ctx, comms.world.clone()).without_ir();
+                for step in 0..steps as u64 {
+                    if session.ctx().rank() == t.wl_rank() {
+                        state.ev = generate_spins(step, natoms);
+                    }
+                    let overlap = atom.as_ref().map(|a| (a, &cparams));
+                    set_evec_directive(&mut session, &t, &mut state, Target::Mpi2Side, overlap)
+                        .expect("directive setEvec w/ overlap");
                 }
-                let overlap = atom.as_ref().map(|a| (a, &cparams));
-                set_evec_directive(&mut session, &t, &mut state, Target::Mpi2Side, overlap)
-                    .expect("directive setEvec w/ overlap");
+                session.flush();
+            } else {
+                for step in 0..steps as u64 {
+                    if ctx.rank() == t.wl_rank() {
+                        state.ev = generate_spins(step, natoms);
+                    }
+                    set_evec_original(ctx, &t, &comms, &mut state, false);
+                    if let Some(a) = &atom {
+                        // Computation after the communication completes.
+                        calculate_core_states(ctx, a, &cparams);
+                    }
+                }
             }
-            session.flush();
-        } else {
-            for step in 0..steps as u64 {
-                if ctx.rank() == t.wl_rank() {
-                    state.ev = generate_spins(step, natoms);
-                }
-                set_evec_original(ctx, &t, &comms, &mut state, false);
-                if let Some(a) = &atom {
-                    // Computation after the communication completes.
-                    calculate_core_states(ctx, a, &cparams);
-                }
-            }
-        }
-        ctx.now()
-    });
+            ctx.now()
+        },
+    );
     Measurement {
         nranks: topo.total_ranks(),
         time: Time::from_nanos(res.makespan().as_nanos() / steps as u64),

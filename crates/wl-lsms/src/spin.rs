@@ -247,9 +247,9 @@ pub fn set_evec_directive(
         let mut core_done = false;
         for m in 0..m_cnt {
             let src_rank = topo.privileged_rank(m);
+            reg.set_var("sp_src", src_rank as i64);
             for w in 1..n {
                 let dst_rank = src_rank + w;
-                reg.set_var("sp_src", src_rank as i64);
                 reg.set_var("sp_dst", dst_rank as i64);
                 let sb: &[f64] = if is_priv && src_rank == me {
                     &staged[w]
