@@ -2,16 +2,18 @@
 //! (potentials + electron densities).
 //!
 //! Usage: `fig3 [--stride K] [--jobs J] [--workers W] [--stats] [--json]
-//!              [--baseline FILE]`.
+//!              [--baseline FILE] [--trace-out FILE] [--profile FILE]`.
 
 use std::time::Instant;
 
 use bench::{
-    arg_str, arg_usize, default_jobs, emit_json_report, paper_ms, render_stats, sweep, BenchReport,
-    SeriesReport, SeriesTable,
+    arg_str, arg_usize, default_jobs, emit_json_report, emit_observability, paper_ms, render_stats,
+    sweep, BenchReport, SeriesReport, SeriesTable,
 };
 use netsim::{ExecPolicy, RankStats};
-use wl_lsms::{fig3_single_atom_exec, AtomCommVariant, AtomSizes, Topology};
+use wl_lsms::{
+    fig3_single_atom_exec, fig3_single_atom_observed, AtomCommVariant, AtomSizes, Topology,
+};
 
 fn main() {
     let args: Vec<String> = std::env::args().collect();
@@ -20,6 +22,8 @@ fn main() {
     let stats = args.iter().any(|a| a == "--stats");
     let json = args.iter().any(|a| a == "--json");
     let baseline = arg_str(&args, "--baseline");
+    let trace_out = arg_str(&args, "--trace-out");
+    let profile = arg_str(&args, "--profile");
     let workers = arg_usize(&args, "--workers");
     let exec = match workers {
         Some(w) => ExecPolicy::bounded(w),
@@ -50,6 +54,18 @@ fn main() {
         meas
     });
     let wall_s = t0.elapsed().as_secs_f64();
+
+    if trace_out.is_some() || profile.is_some() {
+        // Observability re-run: directive-MPI at the largest sweep point.
+        let m = *ms.last().expect("non-empty sweep");
+        let obs = fig3_single_atom_observed(
+            &Topology::paper(m),
+            AtomCommVariant::DirectiveMpi2,
+            AtomSizes::default(),
+            exec,
+        );
+        emit_observability("fig3", &[("m".into(), m as i64)], &obs, trace_out, profile);
+    }
 
     let mut stat_lines = Vec::new();
     let mut series = Vec::new();

@@ -2,21 +2,23 @@
 //! configurations (`setEvec`), plus the §IV-B speedup table.
 //!
 //! Usage: `fig4 [--stride K] [--steps N] [--jobs J] [--workers W] [--stats]
-//!              [--json] [--baseline FILE]`
+//!              [--json] [--baseline FILE] [--trace-out FILE] [--profile FILE]`
 //! (stride thins the process sweep; jobs bounds the sweep worker pool;
 //! `--workers` selects the bounded in-run engine, 0 = auto; stats appends
 //! merged per-variant operation counters; `--json` emits the machine
 //! -readable report instead of the table; `--baseline` gates virtual times
-//! against a committed report).
+//! against a committed report; `--trace-out`/`--profile` re-run the largest
+//! sweep point with the directive-MPI variant under full observability and
+//! write a Chrome trace / commscope profile).
 
 use std::time::Instant;
 
 use bench::{
-    arg_str, arg_usize, default_jobs, emit_json_report, paper_ms, render_stats, sweep, BenchReport,
-    SeriesReport, SeriesTable,
+    arg_str, arg_usize, default_jobs, emit_json_report, emit_observability, paper_ms, render_stats,
+    sweep, BenchReport, SeriesReport, SeriesTable,
 };
 use netsim::{ExecPolicy, RankStats};
-use wl_lsms::{fig4_spin_exec, SpinVariant, Topology};
+use wl_lsms::{fig4_spin_exec, fig4_spin_observed, SpinVariant, Topology};
 
 fn main() {
     let args: Vec<String> = std::env::args().collect();
@@ -26,6 +28,8 @@ fn main() {
     let stats = args.iter().any(|a| a == "--stats");
     let json = args.iter().any(|a| a == "--json");
     let baseline = arg_str(&args, "--baseline");
+    let trace_out = arg_str(&args, "--trace-out");
+    let profile = arg_str(&args, "--profile");
     let workers = arg_usize(&args, "--workers");
     let exec = match workers {
         Some(w) => ExecPolicy::bounded(w),
@@ -60,6 +64,21 @@ fn main() {
         meas
     });
     let wall_s = t0.elapsed().as_secs_f64();
+
+    if trace_out.is_some() || profile.is_some() {
+        // Observability re-run: the directive-MPI variant at the largest
+        // sweep point, traced and metered. Observation never perturbs the
+        // virtual clocks, and the exports are byte-identical across engines.
+        let m = *ms.last().expect("non-empty sweep");
+        let obs = fig4_spin_observed(&Topology::paper(m), SpinVariant::DirectiveMpi2, steps, exec);
+        emit_observability(
+            "fig4",
+            &[("m".into(), m as i64), ("steps".into(), steps as i64)],
+            &obs,
+            trace_out,
+            profile,
+        );
+    }
 
     let mut stat_lines = Vec::new();
     let mut series = Vec::new();

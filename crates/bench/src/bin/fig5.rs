@@ -3,16 +3,16 @@
 //! under the paper's projected 10x GPU speedup of the computation.
 //!
 //! Usage: `fig5 [--stride K] [--steps N] [--jobs J] [--workers W] [--stats]
-//!              [--json] [--baseline FILE]`.
+//!              [--json] [--baseline FILE] [--trace-out FILE] [--profile FILE]`.
 
 use std::time::Instant;
 
 use bench::{
-    arg_str, arg_usize, default_jobs, emit_json_report, paper_ms, render_stats, sweep, BenchReport,
-    SeriesReport, SeriesTable,
+    arg_str, arg_usize, default_jobs, emit_json_report, emit_observability, paper_ms, render_stats,
+    sweep, BenchReport, SeriesReport, SeriesTable,
 };
 use netsim::{ExecPolicy, RankStats};
-use wl_lsms::{fig5_overlap_exec, AtomSizes, CoreStateParams, Topology};
+use wl_lsms::{fig5_overlap_exec, fig5_overlap_observed, AtomSizes, CoreStateParams, Topology};
 
 fn main() {
     let args: Vec<String> = std::env::args().collect();
@@ -22,6 +22,8 @@ fn main() {
     let stats = args.iter().any(|a| a == "--stats");
     let json = args.iter().any(|a| a == "--json");
     let baseline = arg_str(&args, "--baseline");
+    let trace_out = arg_str(&args, "--trace-out");
+    let profile = arg_str(&args, "--profile");
     let workers = arg_usize(&args, "--workers");
     let exec = match workers {
         Some(w) => ExecPolicy::bounded(w),
@@ -50,6 +52,20 @@ fn main() {
         fig5_overlap_exec(&topo, directive, cparams, sizes, steps, exec)
     });
     let wall_s = t0.elapsed().as_secs_f64();
+
+    if trace_out.is_some() || profile.is_some() {
+        // Observability re-run: the overlapped directive path at the
+        // largest sweep point.
+        let m = *ms.last().expect("non-empty sweep");
+        let obs = fig5_overlap_observed(&Topology::paper(m), true, cparams, sizes, steps, exec);
+        emit_observability(
+            "fig5",
+            &[("m".into(), m as i64), ("steps".into(), steps as i64)],
+            &obs,
+            trace_out,
+            profile,
+        );
+    }
 
     let mut stat_lines = Vec::new();
     let mut series = Vec::new();

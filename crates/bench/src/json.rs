@@ -1,6 +1,7 @@
-//! Machine-readable benchmark reports: a minimal JSON value type (the
-//! workspace has no serde), the `--json` report schema shared by the figure
-//! binaries, and baseline comparison for the CI perf-smoke gate.
+//! Machine-readable benchmark reports: the `--json` report schema shared by
+//! the figure binaries and baseline comparison for the CI perf-smoke gate.
+//! The JSON value type itself lives in [`commscope::json`] (shared with the
+//! profiler's exporters) and is re-exported here.
 //!
 //! Schema (stable; bump `schema` on breaking changes):
 //!
@@ -12,7 +13,8 @@
 //!   "ranks": [33, 97],
 //!   "series": [
 //!     {"label": "...", "time_ns": [123, 456],
-//!      "stats": {"sends": 1, "recvs": 1, "...": 0}}
+//!      "stats": {"sends": 1, "recvs": 1, "...": 0},
+//!      "contention": [3, 120, 240]}
 //!   ],
 //!   "wall_s": 1.25
 //! }
@@ -21,335 +23,15 @@
 //! `time_ns` are per-step virtual times — pure functions of the workload,
 //! identical across engines, worker counts and hosts, so a baseline diff on
 //! them is exact (integer equality). `stats` carries only the *virtual*
-//! operation counters; the physical hot-path counters (`uq_high_water`,
-//! `match_scan_steps`, `mailbox_locks`) depend on thread interleaving and
-//! are deliberately excluded from the stable schema. `wall_s` is physical
-//! wall time and only ever compared with a slack factor.
+//! operation counters. `contention` is the physical hot-path triple
+//! `[uq_high_water, match_scan_steps, mailbox_locks]`: interleaving-
+//! dependent, so baseline comparison only *warns* on drift (like `wall_s`,
+//! which is compared with a slack factor) — it never fails the gate, and
+//! the CI engine byte-diff filters the line out.
 
 use netsim::RankStats;
-use std::fmt::Write as _;
 
-/// A JSON value. Integers are kept exact (`Int`) — virtual times must
-/// round-trip bit-exactly through the baseline file.
-#[derive(Debug, Clone, PartialEq)]
-pub enum Json {
-    Null,
-    Bool(bool),
-    Int(i64),
-    Num(f64),
-    Str(String),
-    Arr(Vec<Json>),
-    Obj(Vec<(String, Json)>),
-}
-
-impl Json {
-    /// Object field lookup (first match).
-    pub fn get(&self, key: &str) -> Option<&Json> {
-        match self {
-            Json::Obj(fields) => fields.iter().find(|(k, _)| k == key).map(|(_, v)| v),
-            _ => None,
-        }
-    }
-
-    pub fn as_i64(&self) -> Option<i64> {
-        match self {
-            Json::Int(i) => Some(*i),
-            _ => None,
-        }
-    }
-
-    pub fn as_f64(&self) -> Option<f64> {
-        match self {
-            Json::Int(i) => Some(*i as f64),
-            Json::Num(n) => Some(*n),
-            _ => None,
-        }
-    }
-
-    pub fn as_str(&self) -> Option<&str> {
-        match self {
-            Json::Str(s) => Some(s),
-            _ => None,
-        }
-    }
-
-    pub fn as_arr(&self) -> Option<&[Json]> {
-        match self {
-            Json::Arr(items) => Some(items),
-            _ => None,
-        }
-    }
-
-    /// Serialize with two-space indentation and stable (insertion) key
-    /// order, so committed baselines diff cleanly.
-    pub fn render(&self) -> String {
-        let mut out = String::new();
-        self.write(&mut out, 0);
-        out
-    }
-
-    fn write(&self, out: &mut String, indent: usize) {
-        match self {
-            Json::Null => out.push_str("null"),
-            Json::Bool(b) => {
-                let _ = write!(out, "{b}");
-            }
-            Json::Int(i) => {
-                let _ = write!(out, "{i}");
-            }
-            Json::Num(n) => {
-                // Always include a decimal point so ints/floats round-trip
-                // into the same variant they were written from.
-                if n.fract() == 0.0 && n.is_finite() {
-                    let _ = write!(out, "{n:.1}");
-                } else {
-                    let _ = write!(out, "{n}");
-                }
-            }
-            Json::Str(s) => write_escaped(out, s),
-            Json::Arr(items) => {
-                if items.is_empty() {
-                    out.push_str("[]");
-                    return;
-                }
-                // Scalar-only arrays stay on one line.
-                if items
-                    .iter()
-                    .all(|i| !matches!(i, Json::Arr(_) | Json::Obj(_)))
-                {
-                    out.push('[');
-                    for (i, item) in items.iter().enumerate() {
-                        if i > 0 {
-                            out.push_str(", ");
-                        }
-                        item.write(out, indent);
-                    }
-                    out.push(']');
-                    return;
-                }
-                out.push_str("[\n");
-                for (i, item) in items.iter().enumerate() {
-                    pad(out, indent + 1);
-                    item.write(out, indent + 1);
-                    if i + 1 < items.len() {
-                        out.push(',');
-                    }
-                    out.push('\n');
-                }
-                pad(out, indent);
-                out.push(']');
-            }
-            Json::Obj(fields) => {
-                if fields.is_empty() {
-                    out.push_str("{}");
-                    return;
-                }
-                out.push_str("{\n");
-                for (i, (k, v)) in fields.iter().enumerate() {
-                    pad(out, indent + 1);
-                    write_escaped(out, k);
-                    out.push_str(": ");
-                    v.write(out, indent + 1);
-                    if i + 1 < fields.len() {
-                        out.push(',');
-                    }
-                    out.push('\n');
-                }
-                pad(out, indent);
-                out.push('}');
-            }
-        }
-    }
-
-    /// Parse a JSON document (strict enough for our own output plus
-    /// hand-edited baselines).
-    pub fn parse(text: &str) -> Result<Json, String> {
-        let bytes = text.as_bytes();
-        let mut pos = 0usize;
-        let value = parse_value(bytes, &mut pos)?;
-        skip_ws(bytes, &mut pos);
-        if pos != bytes.len() {
-            return Err(format!("trailing data at byte {pos}"));
-        }
-        Ok(value)
-    }
-}
-
-fn pad(out: &mut String, indent: usize) {
-    for _ in 0..indent {
-        out.push_str("  ");
-    }
-}
-
-fn write_escaped(out: &mut String, s: &str) {
-    out.push('"');
-    for c in s.chars() {
-        match c {
-            '"' => out.push_str("\\\""),
-            '\\' => out.push_str("\\\\"),
-            '\n' => out.push_str("\\n"),
-            '\t' => out.push_str("\\t"),
-            '\r' => out.push_str("\\r"),
-            c if (c as u32) < 0x20 => {
-                let _ = write!(out, "\\u{:04x}", c as u32);
-            }
-            c => out.push(c),
-        }
-    }
-    out.push('"');
-}
-
-fn skip_ws(b: &[u8], pos: &mut usize) {
-    while *pos < b.len() && matches!(b[*pos], b' ' | b'\t' | b'\n' | b'\r') {
-        *pos += 1;
-    }
-}
-
-fn expect(b: &[u8], pos: &mut usize, c: u8) -> Result<(), String> {
-    if *pos < b.len() && b[*pos] == c {
-        *pos += 1;
-        Ok(())
-    } else {
-        Err(format!("expected '{}' at byte {}", c as char, *pos))
-    }
-}
-
-fn parse_value(b: &[u8], pos: &mut usize) -> Result<Json, String> {
-    skip_ws(b, pos);
-    match b.get(*pos) {
-        None => Err("unexpected end of input".into()),
-        Some(b'{') => {
-            *pos += 1;
-            let mut fields = Vec::new();
-            skip_ws(b, pos);
-            if b.get(*pos) == Some(&b'}') {
-                *pos += 1;
-                return Ok(Json::Obj(fields));
-            }
-            loop {
-                skip_ws(b, pos);
-                let key = parse_string(b, pos)?;
-                skip_ws(b, pos);
-                expect(b, pos, b':')?;
-                let value = parse_value(b, pos)?;
-                fields.push((key, value));
-                skip_ws(b, pos);
-                match b.get(*pos) {
-                    Some(b',') => *pos += 1,
-                    Some(b'}') => {
-                        *pos += 1;
-                        return Ok(Json::Obj(fields));
-                    }
-                    _ => return Err(format!("expected ',' or '}}' at byte {}", *pos)),
-                }
-            }
-        }
-        Some(b'[') => {
-            *pos += 1;
-            let mut items = Vec::new();
-            skip_ws(b, pos);
-            if b.get(*pos) == Some(&b']') {
-                *pos += 1;
-                return Ok(Json::Arr(items));
-            }
-            loop {
-                items.push(parse_value(b, pos)?);
-                skip_ws(b, pos);
-                match b.get(*pos) {
-                    Some(b',') => *pos += 1,
-                    Some(b']') => {
-                        *pos += 1;
-                        return Ok(Json::Arr(items));
-                    }
-                    _ => return Err(format!("expected ',' or ']' at byte {}", *pos)),
-                }
-            }
-        }
-        Some(b'"') => Ok(Json::Str(parse_string(b, pos)?)),
-        Some(b't') => parse_lit(b, pos, "true", Json::Bool(true)),
-        Some(b'f') => parse_lit(b, pos, "false", Json::Bool(false)),
-        Some(b'n') => parse_lit(b, pos, "null", Json::Null),
-        Some(_) => parse_number(b, pos),
-    }
-}
-
-fn parse_lit(b: &[u8], pos: &mut usize, lit: &str, value: Json) -> Result<Json, String> {
-    if b[*pos..].starts_with(lit.as_bytes()) {
-        *pos += lit.len();
-        Ok(value)
-    } else {
-        Err(format!("invalid literal at byte {}", *pos))
-    }
-}
-
-fn parse_string(b: &[u8], pos: &mut usize) -> Result<String, String> {
-    expect(b, pos, b'"')?;
-    let mut s = String::new();
-    while let Some(&c) = b.get(*pos) {
-        *pos += 1;
-        match c {
-            b'"' => return Ok(s),
-            b'\\' => {
-                let esc = *b.get(*pos).ok_or("unterminated escape")?;
-                *pos += 1;
-                match esc {
-                    b'"' => s.push('"'),
-                    b'\\' => s.push('\\'),
-                    b'/' => s.push('/'),
-                    b'n' => s.push('\n'),
-                    b't' => s.push('\t'),
-                    b'r' => s.push('\r'),
-                    b'u' => {
-                        let hex = b
-                            .get(*pos..*pos + 4)
-                            .ok_or("truncated \\u escape")
-                            .and_then(|h| std::str::from_utf8(h).map_err(|_| "bad \\u escape"))
-                            .map_err(String::from)?;
-                        let code =
-                            u32::from_str_radix(hex, 16).map_err(|_| "bad \\u escape digits")?;
-                        *pos += 4;
-                        s.push(char::from_u32(code).ok_or("surrogate \\u escape unsupported")?);
-                    }
-                    _ => return Err(format!("unknown escape at byte {}", *pos - 1)),
-                }
-            }
-            c => {
-                // Re-decode UTF-8 continuation bytes.
-                let start = *pos - 1;
-                let len = match c {
-                    0x00..=0x7f => 1,
-                    0xc0..=0xdf => 2,
-                    0xe0..=0xef => 3,
-                    _ => 4,
-                };
-                let chunk = b.get(start..start + len).ok_or("truncated UTF-8")?;
-                s.push_str(std::str::from_utf8(chunk).map_err(|e| e.to_string())?);
-                *pos = start + len;
-            }
-        }
-    }
-    Err("unterminated string".into())
-}
-
-fn parse_number(b: &[u8], pos: &mut usize) -> Result<Json, String> {
-    let start = *pos;
-    while let Some(&c) = b.get(*pos) {
-        if matches!(c, b'0'..=b'9' | b'-' | b'+' | b'.' | b'e' | b'E') {
-            *pos += 1;
-        } else {
-            break;
-        }
-    }
-    let text = std::str::from_utf8(&b[start..*pos]).map_err(|e| e.to_string())?;
-    if !text.contains(['.', 'e', 'E']) {
-        if let Ok(i) = text.parse::<i64>() {
-            return Ok(Json::Int(i));
-        }
-    }
-    text.parse::<f64>()
-        .map(Json::Num)
-        .map_err(|_| format!("invalid number '{text}' at byte {start}"))
-}
+pub use commscope::json::Json;
 
 /// The deterministic (virtual-quantity) subset of [`RankStats`] that goes
 /// into reports; order is the schema's field order.
@@ -393,6 +75,10 @@ pub struct SeriesReport {
     pub time_ns: Vec<u64>,
     /// Merged deterministic operation counters across the series' runs.
     pub stats: [usize; 12],
+    /// Physical contention counters `[uq_high_water, match_scan_steps,
+    /// mailbox_locks]` merged across the series' runs. Interleaving-
+    /// dependent: recorded for tuning, soft-gated only.
+    pub contention: [usize; 3],
 }
 
 impl SeriesReport {
@@ -401,12 +87,17 @@ impl SeriesReport {
             label: label.into(),
             time_ns,
             stats: stat_values(stats),
+            contention: [
+                stats.uq_high_water,
+                stats.match_scan_steps,
+                stats.mailbox_locks,
+            ],
         }
     }
 }
 
-/// A `--json` benchmark report: everything above `wall_s` is a pure
-/// function of the workload and engine-independent.
+/// A `--json` benchmark report: everything above `wall_s` except
+/// `contention` is a pure function of the workload and engine-independent.
 #[derive(Debug, Clone, PartialEq)]
 pub struct BenchReport {
     pub bench: String,
@@ -457,6 +148,12 @@ impl BenchReport {
                                             .zip(s.stats)
                                             .map(|(k, v)| ((*k).into(), Json::Int(v as i64)))
                                             .collect(),
+                                    ),
+                                ),
+                                (
+                                    "contention".into(),
+                                    Json::Arr(
+                                        s.contention.iter().map(|&c| Json::Int(c as i64)).collect(),
                                     ),
                                 ),
                             ])
@@ -514,10 +211,19 @@ impl BenchReport {
                         .ok_or_else(|| format!("stats missing '{key}'"))?
                         as usize;
                 }
+                // Reports written before the contention triple existed (and
+                // hand-trimmed baselines) read back as zeros.
+                let mut contention = [0usize; 3];
+                if let Some(arr) = s.get("contention").and_then(Json::as_arr) {
+                    for (slot, v) in contention.iter_mut().zip(arr) {
+                        *slot = v.as_i64().ok_or("bad contention value")? as usize;
+                    }
+                }
                 Ok::<SeriesReport, String>(SeriesReport {
                     label,
                     time_ns,
                     stats,
+                    contention,
                 })
             })
             .collect::<Result<Vec<_>, _>>()?;
@@ -538,12 +244,18 @@ pub struct BaselineDiff {
     /// Exact-match failures (virtual times, ranks, labels, counters) —
     /// these fail the CI gate.
     pub errors: Vec<String>,
-    /// Soft signals (wall-time regression) — these only warn.
+    /// Soft signals (wall-time regression, physical contention drift) —
+    /// these only warn.
     pub warnings: Vec<String>,
 }
 
 /// Wall-clock regression factor that triggers a warning.
 pub const WALL_SLACK: f64 = 1.5;
+
+/// Contention-counter growth factor that triggers a warning. Physical
+/// counters jitter with interleaving; a doubling is a real signal (e.g. a
+/// matching-engine regression), smaller drift is noise.
+pub const CONTENTION_SLACK: f64 = 2.0;
 
 /// Compare `report` against the baseline file contents (a JSON object with
 /// a `benches` array of [`BenchReport`]s). The baseline entry is selected
@@ -611,6 +323,21 @@ pub fn compare_with_baseline(report: &BenchReport, baseline_text: &str) -> Basel
                 bs.label, bs.stats, rs.stats
             ));
         }
+        // Physical counters: soft gate. Warn only on substantial growth,
+        // and only when the baseline actually recorded them (non-zero).
+        for (name, bc, rc) in [
+            ("uq_high_water", bs.contention[0], rs.contention[0]),
+            ("match_scan_steps", bs.contention[1], rs.contention[1]),
+            ("mailbox_locks", bs.contention[2], rs.contention[2]),
+        ] {
+            if bc > 0 && rc as f64 > bc as f64 * CONTENTION_SLACK {
+                diff.warnings.push(format!(
+                    "series '{}' contention counter {name} grew {bc} -> {rc} \
+                     (>{CONTENTION_SLACK}x; physical, interleaving-dependent)",
+                    bs.label
+                ));
+            }
+        }
     }
     if base.series.len() != report.series.len() {
         diff.errors.push(format!(
@@ -641,6 +368,7 @@ mod tests {
                 label: "Original Communication".into(),
                 time_ns: vec![1_234_567_890_123, 42],
                 stats: [1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11, 12],
+                contention: [3, 120, 240],
             }],
             wall_s: 1.5,
         }
@@ -655,24 +383,18 @@ mod tests {
     }
 
     #[test]
-    fn parser_handles_escapes_and_nesting() {
-        let j = Json::parse(r#"{"a": [1, -2.5, "x\nyA"], "b": {"c": null, "d": true}}"#).unwrap();
-        assert_eq!(
-            j.get("a").unwrap().as_arr().unwrap()[2].as_str(),
-            Some("x\nyA")
-        );
-        assert_eq!(j.get("b").unwrap().get("c"), Some(&Json::Null));
-        assert!(Json::parse("{").is_err());
-        assert!(Json::parse("[1,]").is_err());
-        assert!(Json::parse("1 2").is_err());
-    }
-
-    #[test]
-    fn large_integers_stay_exact() {
-        let big = 4_611_686_018_427_387_903i64; // ~2^62, beyond f64 precision
-        let text = Json::Arr(vec![Json::Int(big)]).render();
-        let back = Json::parse(&text).unwrap();
-        assert_eq!(back.as_arr().unwrap()[0].as_i64(), Some(big));
+    fn contention_renders_on_one_line_and_tolerates_absence() {
+        let r = sample_report();
+        let text = r.to_json().render();
+        // One-line scalar array, so CI's engine byte-diff can grep it out.
+        assert!(text.contains("\"contention\": [3, 120, 240]"));
+        // Pre-contention reports parse with zeros.
+        let legacy = text.replace(",\n      \"contention\": [3, 120, 240]", "");
+        let back = BenchReport::from_json(&Json::parse(&legacy).unwrap());
+        match back {
+            Ok(b) => assert_eq!(b.series[0].contention, [0, 0, 0]),
+            Err(e) => panic!("legacy report rejected: {e}"),
+        }
     }
 
     #[test]
@@ -699,6 +421,23 @@ mod tests {
         assert_eq!(diff.errors.len(), 1);
         assert!(diff.errors[0].contains("time_ns 42 -> 43"));
         assert_eq!(diff.warnings.len(), 1);
+    }
+
+    #[test]
+    fn contention_drift_warns_but_never_fails() {
+        let r = sample_report();
+        let baseline = Json::Obj(vec![("benches".into(), Json::Arr(vec![r.to_json()]))]).render();
+        let mut noisy = r.clone();
+        noisy.series[0].contention = [3, 500, 240]; // >2x scan steps
+        let diff = compare_with_baseline(&noisy, &baseline);
+        assert!(diff.errors.is_empty(), "{:?}", diff.errors);
+        assert_eq!(diff.warnings.len(), 1);
+        assert!(diff.warnings[0].contains("match_scan_steps"));
+        // Small jitter stays silent.
+        let mut jitter = r.clone();
+        jitter.series[0].contention = [4, 150, 300];
+        let diff = compare_with_baseline(&jitter, &baseline);
+        assert!(diff.warnings.is_empty(), "{:?}", diff.warnings);
     }
 
     #[test]

@@ -53,6 +53,35 @@ pub fn emit_json_report(report: &BenchReport, baseline_path: Option<&str>) -> i3
     }
 }
 
+/// Write observability exports for one observed run: a Perfetto-loadable
+/// Chrome trace (`--trace-out`) and/or a stable profile JSON (`--profile`).
+/// Shared by the figure binaries; both outputs are pure functions of
+/// virtual time and byte-identical across engines and `--jobs` widths.
+pub fn emit_observability(
+    workload: &str,
+    args: &[(String, i64)],
+    obs: &wl_lsms::Observed,
+    trace_out: Option<&str>,
+    profile: Option<&str>,
+) {
+    if trace_out.is_none() && profile.is_none() {
+        return;
+    }
+    let nranks = obs.final_times.len();
+    if let Some(path) = trace_out {
+        let text = commscope::chrome_trace(&obs.trace, nranks);
+        std::fs::write(path, &text).expect("write --trace-out file");
+        eprintln!("  [trace] wrote {path} ({} bytes)", text.len());
+    }
+    if let Some(path) = profile {
+        let analysis = commscope::analyze(&obs.trace, nranks, &obs.final_times);
+        let doc = commscope::profile_json(workload, args, &analysis, &obs.metrics);
+        let text = doc.render();
+        std::fs::write(path, &text).expect("write --profile file");
+        eprintln!("  [profile] wrote {path} ({} bytes)", text.len());
+    }
+}
+
 /// Run `f` over every item on a bounded worker pool and return the results
 /// in input order.
 ///

@@ -1,0 +1,41 @@
+//! # commscope — end-to-end communication observability
+//!
+//! The runtime's event trace records every communication operation with its
+//! virtual-time span, completion horizon, and (when issued from a
+//! directive) the [`netsim::trace::SiteId`] of the `comm_p2p` instance that
+//! caused it. This crate turns those traces — plus the runtime's metrics
+//! registry ([`netsim::RankMetrics`]) — into actionable observability:
+//!
+//! * [`analysis`] — wait-state classification (late sender / late receiver
+//!   / barrier / quiet), per-rank blame attribution that sums exactly to
+//!   measured wait time, and exact critical-path extraction over the event
+//!   DAG.
+//! * [`chrome`] — Chrome `trace_event` JSON (Perfetto-loadable), one track
+//!   per rank, with message flow arrows.
+//! * [`profile`] — a stable, integer-only profile JSON document.
+//! * [`folded`] — flamegraph folded stacks of virtual time.
+//! * [`json`] — the workspace's serde-free JSON value type (re-exported by
+//!   `bench`).
+//!
+//! Everything here is a pure function of virtual quantities, so every
+//! export is byte-identical across `ExecPolicy::threads()`,
+//! `ExecPolicy::bounded(w)`, and sweep-pool widths.
+//!
+//! The `commscope` binary (see `src/main.rs`) runs a figure workload from
+//! `wl-lsms` with tracing and metrics enabled and writes the report,
+//! trace, profile, and folded outputs.
+
+pub mod analysis;
+pub mod chrome;
+pub mod folded;
+pub mod json;
+pub mod profile;
+
+pub use analysis::{
+    analyze, kind_label, pair_messages, Analysis, PathSegment, RankWaitProfile, WaitInterval,
+    WaitKind,
+};
+pub use chrome::chrome_trace;
+pub use folded::folded_stacks;
+pub use json::Json;
+pub use profile::{profile_json, validate_profile, PROFILE_SCHEMA};

@@ -1,0 +1,281 @@
+//! The stable profile JSON: per-rank and per-site metrics, the wait-state
+//! decomposition with blame attribution, and the critical path, rendered
+//! through [`crate::json::Json`] with exact integers only. Every value is a
+//! pure function of virtual time, so profiles are byte-identical across
+//! execution engines and sweep widths — CI diffs them directly.
+
+use netsim::{Hist, RankMetrics};
+
+use crate::analysis::Analysis;
+use crate::json::Json;
+
+/// Schema version of the profile document.
+pub const PROFILE_SCHEMA: i64 = 1;
+
+fn hist_json(h: &Hist) -> Json {
+    // Trailing zero buckets are trimmed (deterministically) to keep
+    // profiles compact; `count`/`sum`/`max` stay exact.
+    let mut last = 0;
+    for (i, &b) in h.buckets.iter().enumerate() {
+        if b != 0 {
+            last = i + 1;
+        }
+    }
+    Json::Obj(vec![
+        ("count".into(), Json::Int(h.count as i64)),
+        ("sum".into(), Json::Int(h.sum as i64)),
+        ("max".into(), Json::Int(h.max as i64)),
+        (
+            "buckets".into(),
+            Json::Arr(
+                h.buckets[..last]
+                    .iter()
+                    .map(|&b| Json::Int(b as i64))
+                    .collect(),
+            ),
+        ),
+    ])
+}
+
+fn rank_metrics_json(m: &RankMetrics) -> Json {
+    Json::Obj(vec![
+        ("msgs_sent".into(), Json::Int(m.msgs_sent as i64)),
+        ("bytes_sent".into(), Json::Int(m.bytes_sent as i64)),
+        ("msgs_recvd".into(), Json::Int(m.msgs_recvd as i64)),
+        ("bytes_recvd".into(), Json::Int(m.bytes_recvd as i64)),
+        ("puts".into(), Json::Int(m.puts as i64)),
+        ("bytes_put".into(), Json::Int(m.bytes_put as i64)),
+        ("wait_ns".into(), Json::Int(m.wait_ns as i64)),
+        ("recv_dwell".into(), hist_json(&m.recv_dwell)),
+        ("waitall_width".into(), hist_json(&m.waitall_width)),
+        (
+            "sites".into(),
+            Json::Arr(
+                m.sites
+                    .iter()
+                    .map(|s| {
+                        Json::Obj(vec![
+                            ("site".into(), Json::Int(s.site as i64)),
+                            ("msgs_sent".into(), Json::Int(s.msgs_sent as i64)),
+                            ("bytes_sent".into(), Json::Int(s.bytes_sent as i64)),
+                            ("msgs_recvd".into(), Json::Int(s.msgs_recvd as i64)),
+                            ("bytes_recvd".into(), Json::Int(s.bytes_recvd as i64)),
+                            ("dwell_ns".into(), Json::Int(s.dwell_ns as i64)),
+                        ])
+                    })
+                    .collect(),
+            ),
+        ),
+    ])
+}
+
+/// Build the profile document for one observed run.
+///
+/// `args` are echoed verbatim (workload parameters); `metrics` is
+/// `SimResult::metrics` and may be empty when metrics were not enabled.
+pub fn profile_json(
+    workload: &str,
+    args: &[(String, i64)],
+    analysis: &Analysis,
+    metrics: &[RankMetrics],
+) -> Json {
+    let wait_ranks: Vec<Json> = analysis
+        .ranks
+        .iter()
+        .map(|p| {
+            Json::Obj(vec![
+                ("rank".into(), Json::Int(p.rank as i64)),
+                ("total_wait_ns".into(), Json::Int(p.total_wait_ns as i64)),
+                ("late_sender_ns".into(), Json::Int(p.late_sender_ns as i64)),
+                (
+                    "late_receiver_ns".into(),
+                    Json::Int(p.late_receiver_ns as i64),
+                ),
+                ("barrier_ns".into(), Json::Int(p.barrier_ns as i64)),
+                ("quiet_ns".into(), Json::Int(p.quiet_ns as i64)),
+                ("overhead_ns".into(), Json::Int(p.overhead_ns as i64)),
+                (
+                    "blame".into(),
+                    Json::Arr(p.blame.iter().map(|&b| Json::Int(b as i64)).collect()),
+                ),
+            ])
+        })
+        .collect();
+
+    let mut total = RankMetrics::default();
+    for m in metrics {
+        total.merge(m);
+    }
+
+    let path: Vec<Json> = analysis
+        .critical_path
+        .iter()
+        .map(|s| {
+            Json::Obj(vec![
+                ("rank".into(), Json::Int(s.rank as i64)),
+                ("start_ns".into(), Json::Int(s.start.as_nanos() as i64)),
+                ("end_ns".into(), Json::Int(s.end.as_nanos() as i64)),
+                ("label".into(), Json::Str(s.label.to_string())),
+                (
+                    "site".into(),
+                    s.site.map_or(Json::Null, |x| Json::Int(x as i64)),
+                ),
+            ])
+        })
+        .collect();
+
+    Json::Obj(vec![
+        ("schema".into(), Json::Int(PROFILE_SCHEMA)),
+        ("workload".into(), Json::Str(workload.to_string())),
+        (
+            "args".into(),
+            Json::Obj(
+                args.iter()
+                    .map(|(k, v)| (k.clone(), Json::Int(*v)))
+                    .collect(),
+            ),
+        ),
+        ("ranks".into(), Json::Int(analysis.nranks as i64)),
+        (
+            "makespan_ns".into(),
+            Json::Int(analysis.makespan.as_nanos() as i64),
+        ),
+        (
+            "wait".into(),
+            Json::Obj(vec![("per_rank".into(), Json::Arr(wait_ranks))]),
+        ),
+        (
+            "metrics".into(),
+            Json::Obj(vec![
+                (
+                    "per_rank".into(),
+                    Json::Arr(metrics.iter().map(rank_metrics_json).collect()),
+                ),
+                ("total".into(), rank_metrics_json(&total)),
+            ]),
+        ),
+        ("critical_path".into(), Json::Arr(path)),
+    ])
+}
+
+/// Validate the shape of a profile document (used by `commscope --check`
+/// and the CI smoke job). Returns a list of problems, empty when valid.
+pub fn validate_profile(doc: &Json) -> Vec<String> {
+    let mut problems = Vec::new();
+    let mut need_int = |key: &str| {
+        if doc.get(key).and_then(|v| v.as_i64()).is_none() {
+            problems.push(format!("missing integer field '{key}'"));
+        }
+    };
+    need_int("schema");
+    need_int("ranks");
+    need_int("makespan_ns");
+    if doc.get("workload").and_then(|v| v.as_str()).is_none() {
+        problems.push("missing string field 'workload'".into());
+    }
+    let nranks = doc.get("ranks").and_then(|v| v.as_i64()).unwrap_or(0) as usize;
+    match doc
+        .get("wait")
+        .and_then(|w| w.get("per_rank"))
+        .and_then(|v| v.as_arr())
+    {
+        None => problems.push("missing wait.per_rank".into()),
+        Some(rows) => {
+            if rows.len() != nranks {
+                problems.push(format!(
+                    "wait.per_rank has {} rows for {} ranks",
+                    rows.len(),
+                    nranks
+                ));
+            }
+            for row in rows {
+                let total = row.get("total_wait_ns").and_then(|v| v.as_i64());
+                let blame_sum: Option<i64> = row
+                    .get("blame")
+                    .and_then(|v| v.as_arr())
+                    .map(|b| b.iter().filter_map(|x| x.as_i64()).sum());
+                if let (Some(t), Some(b)) = (total, blame_sum) {
+                    if t != b {
+                        problems.push(format!(
+                            "rank {:?}: blame sums to {b}, total wait is {t}",
+                            row.get("rank").and_then(|v| v.as_i64())
+                        ));
+                    }
+                } else {
+                    problems.push("wait row missing total_wait_ns or blame".into());
+                }
+            }
+        }
+    }
+    if doc.get("critical_path").and_then(|v| v.as_arr()).is_none() {
+        problems.push("missing critical_path".into());
+    }
+    if doc
+        .get("metrics")
+        .and_then(|m| m.get("per_rank"))
+        .and_then(|v| v.as_arr())
+        .is_none()
+    {
+        problems.push("missing metrics.per_rank".into());
+    }
+    problems
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::analysis::analyze;
+    use netsim::trace::{EventKind, TraceEvent};
+    use netsim::Time;
+
+    #[test]
+    fn profile_roundtrips_and_validates() {
+        let evs = vec![TraceEvent {
+            rank: 0,
+            time: Time(50),
+            start: Time(10),
+            site: Some(1),
+            kind: EventKind::Quiet {
+                outstanding: 2,
+                horizon: Time(45),
+            },
+        }];
+        let a = analyze(&evs, 1, &[Time(50)]);
+        let mut m = RankMetrics::default();
+        m.on_put(32, Some(1));
+        m.on_sync(Time(10), Time(50));
+        let doc = profile_json("demo", &[("m".into(), 4)], &a, &[m]);
+        let text = doc.render();
+        let back = Json::parse(&text).unwrap();
+        assert_eq!(back, doc);
+        assert!(
+            validate_profile(&back).is_empty(),
+            "{:?}",
+            validate_profile(&back)
+        );
+        assert_eq!(
+            back.get("metrics")
+                .unwrap()
+                .get("total")
+                .unwrap()
+                .get("bytes_put")
+                .unwrap()
+                .as_i64(),
+            Some(32)
+        );
+    }
+
+    #[test]
+    fn validator_flags_blame_mismatch() {
+        let doc = Json::parse(
+            r#"{"schema": 1, "workload": "x", "args": {}, "ranks": 1,
+                "makespan_ns": 10,
+                "wait": {"per_rank": [{"rank": 0, "total_wait_ns": 5, "blame": [4]}]},
+                "metrics": {"per_rank": [], "total": {}},
+                "critical_path": []}"#,
+        )
+        .unwrap();
+        let problems = validate_profile(&doc);
+        assert!(problems.iter().any(|p| p.contains("blame")));
+    }
+}

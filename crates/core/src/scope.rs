@@ -442,9 +442,19 @@ impl<'a> CommSession<'a> {
                 .chain(&pending.recv_arrivals_mpi)
                 .copied()
                 .fold(Time::ZERO, Time::max);
+            let t0 = self.ctx.now();
+            let outstanding = self.ctx.take_outstanding_puts().len();
             self.ctx.advance_to(horizon);
-            self.ctx.take_outstanding_puts();
             self.ctx.charge(Time::from_nanos(mpi.o_quiet));
+            self.ctx.emit_event(
+                t0,
+                self.ctx.now(),
+                netsim::EventKind::Quiet {
+                    outstanding,
+                    horizon,
+                },
+            );
+            self.ctx.note_sync_span(t0, self.ctx.now());
             let group = self.comm.sorted_globals();
             self.ctx.barrier_group(&group, &mpi);
         }
@@ -461,10 +471,20 @@ impl<'a> CommSession<'a> {
                 .chain(&pending.recv_arrivals_shmem)
                 .copied()
                 .fold(Time::ZERO, Time::max);
+            let t0 = self.ctx.now();
+            let outstanding = self.ctx.take_outstanding_puts().len();
             self.ctx.advance_to(horizon);
-            self.ctx.take_outstanding_puts();
             self.ctx.charge(Time::from_nanos(shmem.o_quiet));
             self.ctx.stats.quiets += 1;
+            self.ctx.emit_event(
+                t0,
+                self.ctx.now(),
+                netsim::EventKind::Quiet {
+                    outstanding,
+                    horizon,
+                },
+            );
+            self.ctx.note_sync_span(t0, self.ctx.now());
         }
 
         // Horizons covered by the charges above are no longer needed.
@@ -930,20 +950,24 @@ fn execute_p2p(
     }
 
     // -- dispatch ---------------------------------------------------------------
-    match target {
-        Target::Mpi2Side => {
-            exec_mpi2(session, pending, site, sbufs, rbufs, count, dest, src)?;
-        }
-        Target::Mpi1Side | Target::Shmem => {
-            exec_onesided(
-                session, pending, site, sbufs, rbufs, count, dest, src, target, max_iter,
-            )?;
-        }
-    }
+    // Attribute every runtime operation issued below (including by the
+    // overlap body) to this directive's call site, so fabric-level trace
+    // events and metrics join back to the `comm_p2p` clause that caused
+    // them. The previous attribution is restored even on error.
+    let prev_site = session.ctx.set_site(Some(site));
+    let dispatched = match target {
+        Target::Mpi2Side => exec_mpi2(session, pending, site, sbufs, rbufs, count, dest, src),
+        Target::Mpi1Side | Target::Shmem => exec_onesided(
+            session, pending, site, sbufs, rbufs, count, dest, src, target, max_iter,
+        ),
+    };
 
     // -- overlapped computation --------------------------------------------------
-    body(session.ctx);
-    Ok(())
+    if dispatched.is_ok() {
+        body(session.ctx);
+    }
+    session.ctx.set_site(prev_site);
+    dispatched
 }
 
 fn p2p_specless_inferred_count(
@@ -1018,6 +1042,10 @@ fn exec_mpi2(
                     .charge(mpi.byte_cost(mpi.datatype_per_byte, done.payload.len()));
             }
             rb.scatter(n, &done.payload);
+            // The physical wait happened above; record the completion so the
+            // trace still carries a site-attributed RecvDone (the virtual
+            // charge lands later, in the consolidated region sync).
+            session.ctx.note_recv_completion(&req, &done);
             session.recv_horizons.push((meta.addr, done.completion));
             pending.recv_completions.push(done.completion);
         }

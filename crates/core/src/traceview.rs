@@ -18,7 +18,8 @@ pub struct RankTimeline {
     pub events: Vec<(Time, String)>,
     /// Virtual time of the last event.
     pub end: Time,
-    /// Total bytes sent (two-sided + puts).
+    /// Total bytes this rank moved outward: two-sided sends and puts it
+    /// initiated, plus bytes served from its memory to remote gets.
     pub bytes_out: usize,
     /// Number of consolidated syncs.
     pub waitalls: usize,
@@ -33,7 +34,9 @@ pub struct RankTimeline {
 pub struct TraceView {
     /// Per-rank timelines, keyed by rank.
     pub ranks: BTreeMap<usize, RankTimeline>,
-    /// `matrix[(src, dst)] = bytes` over two-sided sends and puts.
+    /// `matrix[(src, dst)] = bytes` flowing src → dst over every data-moving
+    /// operation: two-sided sends, one-sided puts, *and* one-sided gets
+    /// (attributed to the rank owning the data, not the caller).
     pub comm_matrix: BTreeMap<(usize, usize), usize>,
 }
 
@@ -42,6 +45,10 @@ impl TraceView {
     pub fn build(events: &[TraceEvent]) -> TraceView {
         let mut view = TraceView::default();
         for ev in events {
+            // A get moves bytes from the data owner (`src`) to the calling
+            // rank — the flow is charged after the caller's timeline borrow
+            // ends, since it lands on a *different* rank's `bytes_out`.
+            let mut get_flow: Option<(usize, usize)> = None;
             let rank = view.ranks.entry(ev.rank).or_default();
             rank.end = rank.end.max(ev.time);
             let label = match &ev.kind {
@@ -68,16 +75,19 @@ impl TraceView {
                     "recv<-{src} done ({bytes}B{})",
                     if *unexpected { ", unexpected" } else { "" }
                 ),
-                EventKind::Wait => {
+                EventKind::Wait { .. } => {
                     rank.waits += 1;
                     "wait".to_string()
                 }
-                EventKind::Waitall { n } => {
+                EventKind::Waitall { n, .. } => {
                     rank.waitalls += 1;
                     format!("waitall({n})")
                 }
-                EventKind::Get { src, bytes } => format!("get<-{src} ({bytes}B)"),
-                EventKind::Quiet { outstanding } => format!("quiet({outstanding})"),
+                EventKind::Get { src, bytes } => {
+                    get_flow = Some((*src, *bytes));
+                    format!("get<-{src} ({bytes}B)")
+                }
+                EventKind::Quiet { outstanding, .. } => format!("quiet({outstanding})"),
                 EventKind::Barrier { group_len } => format!("barrier({group_len})"),
                 EventKind::Compute { ns } => {
                     rank.compute += Time::from_nanos(*ns);
@@ -88,11 +98,25 @@ impl TraceView {
                 EventKind::Marker(m) => format!("# {m}"),
             };
             rank.events.push((ev.time, label));
+            if let Some((src, bytes)) = get_flow {
+                *view.comm_matrix.entry((src, ev.rank)).or_insert(0) += bytes;
+                view.ranks.entry(src).or_default().bytes_out += bytes;
+            }
         }
         for rank in view.ranks.values_mut() {
             rank.events.sort_by_key(|a| a.0);
         }
+        debug_assert!(view.byte_invariant_holds());
         view
+    }
+
+    /// Byte-accounting invariant: every byte in the communication matrix is
+    /// attributed to exactly one rank's `bytes_out` (sends and puts on the
+    /// initiator, gets on the data owner), so the two totals must agree.
+    pub fn byte_invariant_holds(&self) -> bool {
+        let out: usize = self.ranks.values().map(|r| r.bytes_out).sum();
+        let matrix: usize = self.comm_matrix.values().sum();
+        out == matrix
     }
 
     /// Total traffic between a pair of ranks (either direction).
@@ -227,5 +251,33 @@ mod tests {
         let view = TraceView::build(&[]);
         assert!(view.ranks.is_empty());
         assert!(view.gantt(20).contains("0ns"));
+    }
+
+    #[test]
+    fn get_bytes_attributed_to_data_owner() {
+        // A one-sided get on rank 1 pulling 64B from rank 0 must show up in
+        // the matrix as a 0 -> 1 flow, with the bytes on rank 0's ledger —
+        // previously gets were dropped from both, breaking the invariant.
+        let ev = |rank, time, kind| TraceEvent {
+            rank,
+            time: Time(time),
+            start: Time(time),
+            site: None,
+            kind,
+        };
+        let events = vec![
+            ev(0, 100, EventKind::Put { dst: 1, bytes: 16 }),
+            ev(1, 200, EventKind::Get { src: 0, bytes: 64 }),
+        ];
+        let view = TraceView::build(&events);
+        assert_eq!(view.comm_matrix[&(0, 1)], 16 + 64);
+        assert_eq!(view.ranks[&0].bytes_out, 16 + 64);
+        assert_eq!(view.ranks[&1].bytes_out, 0);
+        assert!(view.byte_invariant_holds());
+    }
+
+    #[test]
+    fn ring_trace_byte_invariant() {
+        assert!(TraceView::build(&traced_ring(4)).byte_invariant_holds());
     }
 }

@@ -26,6 +26,21 @@ pub fn with_ranks<T: Send>(nranks: usize, f: impl Fn(&mut RankCtx) -> T + Sync) 
     run(SimConfig::new(nranks), f)
 }
 
+/// Like [`with_world_session`], but with the event trace and the metrics
+/// registry enabled, for observability tests.
+pub fn with_world_session_observed<T: Send>(
+    nranks: usize,
+    f: impl Fn(&mut CommSession<'_>) -> T + Sync,
+) -> SimResult<T> {
+    run(SimConfig::new(nranks).with_trace().with_metrics(), |ctx| {
+        let comm = Comm::world(ctx);
+        let mut session = CommSession::new(ctx, comm);
+        let out = f(&mut session);
+        session.flush();
+        out
+    })
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

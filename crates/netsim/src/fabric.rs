@@ -729,7 +729,10 @@ impl Fabric {
     pub fn recv(&self, rank: usize, src: SrcSel, tag: TagSel, post_time: Time) -> RecvRequest {
         let slot = RecvSlot::new();
         self.mailboxes[rank].post(src, tag, post_time, Arc::clone(&slot));
-        RecvRequest { slot }
+        RecvRequest {
+            slot,
+            posted: post_time,
+        }
     }
 
     /// Barrier over `group` (ascending global ranks), reconciling clocks.

@@ -44,6 +44,7 @@
 //! ```
 
 pub mod fabric;
+pub mod metrics;
 pub mod model;
 pub mod msg;
 pub mod runtime;
@@ -52,6 +53,7 @@ pub mod time;
 pub mod trace;
 
 pub use fabric::{Fabric, SegId};
+pub use metrics::{Hist, RankMetrics, SchedStats, SiteMetrics};
 pub use model::{CostModel, MachineModel};
 pub use msg::{
     match_timing, MatchTiming, RecvDone, RecvRequest, SendRequest, SrcSel, TagSel, WireCosts,
@@ -59,4 +61,4 @@ pub use msg::{
 pub use runtime::{run, ExecPolicy, RankCtx, SimConfig, SimResult};
 pub use sched::Scheduler;
 pub use time::Time;
-pub use trace::{EventKind, MailboxHotStats, RankStats, TraceEvent, TraceSink};
+pub use trace::{EventKind, MailboxHotStats, RankStats, SiteId, TraceEvent, TraceSink};

@@ -347,6 +347,9 @@ impl SendRequest {
 #[derive(Debug, Clone)]
 pub struct RecvRequest {
     pub(crate) slot: Arc<RecvSlot>,
+    /// Virtual time the receive was posted (receiver clock after `o_recv`);
+    /// `completion - posted` is the posted-receive dwell.
+    pub posted: Time,
 }
 
 impl RecvRequest {

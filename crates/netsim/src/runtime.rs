@@ -14,11 +14,12 @@ use std::sync::Arc;
 use bytes::Bytes;
 
 use crate::fabric::{Fabric, SegId};
+use crate::metrics::{RankMetrics, SchedStats};
 use crate::model::{CostModel, MachineModel};
 use crate::msg::{RecvDone, RecvRequest, SendRequest, SrcSel, TagSel, WireCosts};
 use crate::sched::Scheduler;
 use crate::time::Time;
-use crate::trace::{EventKind, RankStats, TraceEvent, TraceSink};
+use crate::trace::{EventKind, RankStats, SiteId, TraceEvent, TraceSink};
 
 /// Simulation configuration.
 #[derive(Clone)]
@@ -29,6 +30,10 @@ pub struct SimConfig {
     pub machine: MachineModel,
     /// Record a full event trace (tests/examples; off for benches).
     pub trace: bool,
+    /// Collect per-rank/per-site metrics (deterministic, virtual-time
+    /// based; see [`crate::metrics`]). Off by default: every hook is a
+    /// single branch when disabled.
+    pub metrics: bool,
     /// Stack size per rank thread in bytes.
     pub stack_size: usize,
     /// Execution engine: `None` runs thread-per-rank (every rank OS-runnable
@@ -46,6 +51,7 @@ impl SimConfig {
             nranks,
             machine: MachineModel::default(),
             trace: false,
+            metrics: false,
             stack_size: 1 << 20,
             workers: None,
         }
@@ -54,6 +60,12 @@ impl SimConfig {
     /// Enable event tracing.
     pub fn with_trace(mut self) -> Self {
         self.trace = true;
+        self
+    }
+
+    /// Enable the per-rank/per-site metrics registry.
+    pub fn with_metrics(mut self) -> Self {
+        self.metrics = true;
         self
     }
 
@@ -127,6 +139,11 @@ pub struct SimResult<T> {
     pub final_times: Vec<Time>,
     /// Per-rank operation counters.
     pub stats: Vec<RankStats>,
+    /// Per-rank deterministic metrics, if enabled.
+    pub metrics: Option<Vec<RankMetrics>>,
+    /// Bounded-scheduler slot-occupancy counters (physical,
+    /// interleaving-dependent); present only when the bounded engine ran.
+    pub sched: Option<SchedStats>,
     /// The event trace, if enabled.
     pub trace: Option<Vec<TraceEvent>>,
 }
@@ -172,7 +189,8 @@ where
     });
     let body = &body;
 
-    let mut outputs: Vec<Option<(T, Time, RankStats)>> = (0..cfg.nranks).map(|_| None).collect();
+    type RankOut<T> = (T, Time, RankStats, Option<Box<RankMetrics>>);
+    let mut outputs: Vec<Option<RankOut<T>>> = (0..cfg.nranks).map(|_| None).collect();
 
     std::thread::scope(|scope| {
         let mut handles = Vec::with_capacity(cfg.nranks);
@@ -182,6 +200,7 @@ where
             let sched = sched.clone();
             let machine = cfg.machine;
             let nranks = cfg.nranks;
+            let metrics_on = cfg.metrics;
             let builder = std::thread::Builder::new()
                 .name(format!("rank-{rank}"))
                 .stack_size(cfg.stack_size);
@@ -200,9 +219,11 @@ where
                         outstanding_puts: Vec::new(),
                         stats: RankStats::default(),
                         sink,
+                        cur_site: None,
+                        metrics: metrics_on.then(Box::default),
                     };
                     let out = body(&mut ctx);
-                    (out, ctx.clock, ctx.stats)
+                    (out, ctx.clock, ctx.stats, ctx.metrics)
                 })
                 .expect("failed to spawn rank thread");
             handles.push(handle);
@@ -225,19 +246,25 @@ where
     let mut per_rank = Vec::with_capacity(cfg.nranks);
     let mut final_times = Vec::with_capacity(cfg.nranks);
     let mut stats = Vec::with_capacity(cfg.nranks);
+    let mut metrics = cfg.metrics.then(|| Vec::with_capacity(cfg.nranks));
     for (rank, slot) in outputs.into_iter().enumerate() {
-        let (out, t, mut s) = slot.expect("every rank produced output");
+        let (out, t, mut s, m) = slot.expect("every rank produced output");
         // The matching engine's hot-path counters live in the rank's
         // mailbox; fold them in now that all threads are quiescent.
         s.absorb_mailbox(&fabric.mailbox(rank).hot_stats());
         per_rank.push(out);
         final_times.push(t);
         stats.push(s);
+        if let Some(v) = &mut metrics {
+            v.push(*m.expect("metrics enabled on every rank"));
+        }
     }
     SimResult {
         per_rank,
         final_times,
         stats,
+        metrics,
+        sched: sched.map(|s| s.stats()),
         trace: sink.map(|s| s.take()),
     }
 }
@@ -267,6 +294,8 @@ pub struct RankCtx {
     /// Operation counters for this rank.
     pub stats: RankStats,
     sink: Option<Arc<TraceSink>>,
+    cur_site: Option<SiteId>,
+    metrics: Option<Box<RankMetrics>>,
 }
 
 impl RankCtx {
@@ -306,11 +335,13 @@ impl RankCtx {
         crate::sched::note_clock(self.clock);
     }
 
-    fn trace(&self, kind: EventKind) {
+    fn trace(&self, start: Time, kind: EventKind) {
         if let Some(sink) = &self.sink {
             sink.record(TraceEvent {
                 rank: self.rank,
                 time: self.clock,
+                start,
+                site: self.cur_site,
                 kind,
             });
         }
@@ -318,15 +349,91 @@ impl RankCtx {
 
     /// Emit a free-form trace marker at the current clock.
     pub fn marker(&self, label: impl Into<String>) {
-        self.trace(EventKind::Marker(label.into()));
+        self.trace(self.clock, EventKind::Marker(label.into()));
+    }
+
+    // -- observability --------------------------------------------------------
+
+    /// Attribute subsequent operations to the directive call site `site`
+    /// (or clear the attribution with `None`). Returns the previous value
+    /// so nested scopes can restore it.
+    #[inline]
+    pub fn set_site(&mut self, site: Option<SiteId>) -> Option<SiteId> {
+        std::mem::replace(&mut self.cur_site, site)
+    }
+
+    /// The current site attribution, if any.
+    #[inline]
+    pub fn current_site(&self) -> Option<SiteId> {
+        self.cur_site
+    }
+
+    /// Record a trace event on behalf of a higher layer spanning
+    /// `start..end` in virtual time, without touching the clock. Substrate
+    /// engines that implement their own charging policies use this to keep
+    /// the trace complete (e.g. the directive layer's region sync).
+    pub fn emit_event(&self, start: Time, end: Time, kind: EventKind) {
+        if let Some(sink) = &self.sink {
+            sink.record(TraceEvent {
+                rank: self.rank,
+                time: end,
+                start,
+                site: self.cur_site,
+                kind,
+            });
+        }
+    }
+
+    /// Record a synchronization span `start..end` in the metrics registry
+    /// on behalf of a higher layer (no clock change).
+    #[inline]
+    pub fn note_sync_span(&mut self, start: Time, end: Time) {
+        if let Some(m) = &mut self.metrics {
+            m.on_sync(start, end);
+        }
+    }
+
+    /// Record a consolidated completion of width `n` in the metrics
+    /// registry on behalf of a higher layer.
+    #[inline]
+    pub fn note_waitall_width(&mut self, n: usize) {
+        if let Some(m) = &mut self.metrics {
+            m.on_waitall(n);
+        }
+    }
+
+    /// Record the completion of a receive whose physical wait was performed
+    /// by a higher layer (the directive engine completes receives eagerly
+    /// and defers the clock charge): emits the `RecvDone` trace event and
+    /// feeds the metrics registry. No clock change.
+    pub fn note_recv_completion(&mut self, req: &RecvRequest, done: &RecvDone) {
+        self.trace(
+            self.clock,
+            EventKind::RecvDone {
+                src: done.src,
+                tag: done.tag,
+                bytes: done.payload.len(),
+                unexpected: done.unexpected,
+                completion: done.completion,
+            },
+        );
+        if let Some(m) = &mut self.metrics {
+            m.on_recv_complete(
+                done.payload.len(),
+                req.posted,
+                done.completion,
+                self.cur_site,
+            );
+        }
     }
 
     // -- computation --------------------------------------------------------
 
     /// Model a block of local computation costing `t` of virtual time.
     pub fn compute(&mut self, t: Time) {
+        let t0 = self.clock;
         self.clock += t;
-        self.trace(EventKind::Compute { ns: t.as_nanos() });
+        self.trace(t0, EventKind::Compute { ns: t.as_nanos() });
     }
 
     /// Charge an arbitrary local overhead without a trace event.
@@ -363,11 +470,15 @@ impl RankCtx {
         payload: Bytes,
         model: &CostModel,
     ) -> SendRequest {
+        let t0 = self.clock;
         self.clock += Time::from_nanos(model.o_send);
         let bytes = payload.len();
         self.stats.sends += 1;
         self.stats.bytes_sent += bytes;
-        self.trace(EventKind::SendPost { dst, tag, bytes });
+        self.trace(t0, EventKind::SendPost { dst, tag, bytes });
+        if let Some(m) = &mut self.metrics {
+            m.on_send(bytes, self.cur_site);
+        }
         let mut costs = WireCosts::for_message(model, bytes);
         if model.latency_jitter_ns > 0 {
             costs.latency += deterministic_jitter(
@@ -384,18 +495,22 @@ impl RankCtx {
     /// Post a non-blocking receive. Charges `o_recv`; the post time is the
     /// resulting clock.
     pub fn irecv(&mut self, src: SrcSel, tag: TagSel, model: &CostModel) -> RecvRequest {
+        let t0 = self.clock;
         self.clock += Time::from_nanos(model.o_recv);
         self.stats.recvs += 1;
-        self.trace(EventKind::RecvPost {
-            src: match src {
-                SrcSel::Exact(r) => Some(r),
-                SrcSel::Any => None,
+        self.trace(
+            t0,
+            EventKind::RecvPost {
+                src: match src {
+                    SrcSel::Exact(r) => Some(r),
+                    SrcSel::Any => None,
+                },
+                tag: match tag {
+                    TagSel::Exact(t) => Some(t),
+                    TagSel::Range { .. } | TagSel::Any => None,
+                },
             },
-            tag: match tag {
-                TagSel::Exact(t) => Some(t),
-                TagSel::Range { .. } | TagSel::Any => None,
-            },
-        });
+        );
         self.fabric.recv(self.rank, src, tag, self.clock)
     }
 
@@ -415,25 +530,48 @@ impl RankCtx {
     /// per-call pattern).
     pub fn wait_send(&mut self, req: &SendRequest, model: &CostModel) {
         self.note_block();
+        let t0 = self.clock;
         let done = req.wait_raw();
         self.clock = self.clock.max(done) + Time::from_nanos(model.o_wait);
         self.stats.waits += 1;
-        self.trace(EventKind::Wait);
+        self.trace(t0, EventKind::Wait { horizon: done });
+        if let Some(m) = &mut self.metrics {
+            m.on_sync(t0, self.clock);
+        }
     }
 
     /// Wait for a single receive request, charging `o_wait`.
     pub fn wait_recv(&mut self, req: &RecvRequest, model: &CostModel) -> RecvDone {
         self.note_block();
+        let t0 = self.clock;
         let done = req.wait_raw();
         self.clock = self.clock.max(done.completion) + Time::from_nanos(model.o_wait);
         self.stats.waits += 1;
-        self.trace(EventKind::Wait);
-        self.trace(EventKind::RecvDone {
-            src: done.src,
-            tag: done.tag,
-            bytes: done.payload.len(),
-            unexpected: done.unexpected,
-        });
+        self.trace(
+            t0,
+            EventKind::Wait {
+                horizon: done.completion,
+            },
+        );
+        self.trace(
+            self.clock,
+            EventKind::RecvDone {
+                src: done.src,
+                tag: done.tag,
+                bytes: done.payload.len(),
+                unexpected: done.unexpected,
+                completion: done.completion,
+            },
+        );
+        if let Some(m) = &mut self.metrics {
+            m.on_sync(t0, self.clock);
+            m.on_recv_complete(
+                done.payload.len(),
+                req.posted,
+                done.completion,
+                self.cur_site,
+            );
+        }
         done
     }
 
@@ -447,6 +585,7 @@ impl RankCtx {
         model: &CostModel,
     ) -> Vec<RecvDone> {
         self.note_block();
+        let t0 = self.clock;
         let mut max_t = self.clock;
         for s in sends {
             max_t = max_t.max(s.wait_raw());
@@ -461,7 +600,26 @@ impl RankCtx {
         // User-level Waitall fills per-request status objects.
         self.clock = max_t + model.waitall_cost(n) + Time::from_nanos(model.o_status * n as u64);
         self.stats.waitalls += 1;
-        self.trace(EventKind::Waitall { n });
+        for (r, d) in recvs.iter().zip(&dones) {
+            self.trace(
+                self.clock,
+                EventKind::RecvDone {
+                    src: d.src,
+                    tag: d.tag,
+                    bytes: d.payload.len(),
+                    unexpected: d.unexpected,
+                    completion: d.completion,
+                },
+            );
+            if let Some(m) = &mut self.metrics {
+                m.on_recv_complete(d.payload.len(), r.posted, d.completion, self.cur_site);
+            }
+        }
+        self.trace(t0, EventKind::Waitall { n, horizon: max_t });
+        if let Some(m) = &mut self.metrics {
+            m.on_sync(t0, self.clock);
+            m.on_waitall(n);
+        }
         dones
     }
 
@@ -469,10 +627,15 @@ impl RankCtx {
     /// as one consolidated sync (the directive layer's deferred region
     /// sync). `n` is the number of requests covered.
     pub fn charge_consolidated(&mut self, completions: &[Time], n: usize, model: &CostModel) {
+        let t0 = self.clock;
         let max_t = completions.iter().copied().fold(self.clock, Time::max);
         self.clock = max_t + model.waitall_cost(n);
         self.stats.waitalls += 1;
-        self.trace(EventKind::Waitall { n });
+        self.trace(t0, EventKind::Waitall { n, horizon: max_t });
+        if let Some(m) = &mut self.metrics {
+            m.on_sync(t0, self.clock);
+            m.on_waitall(n);
+        }
     }
 
     // -- one-sided -----------------------------------------------------------
@@ -521,6 +684,7 @@ impl RankCtx {
         model: &CostModel,
         signal: bool,
     ) -> Time {
+        let t0 = self.clock;
         self.clock += Time::from_nanos(model.o_put);
         self.note_block(); // a signalled put may park on flow control
         let mut arrival = self.clock + model.wire_time(data.len());
@@ -540,10 +704,16 @@ impl RankCtx {
         self.outstanding_puts.push(arrival);
         self.stats.puts += 1;
         self.stats.bytes_put += data.len();
-        self.trace(EventKind::Put {
-            dst: target,
-            bytes: data.len(),
-        });
+        self.trace(
+            t0,
+            EventKind::Put {
+                dst: target,
+                bytes: data.len(),
+            },
+        );
+        if let Some(m) = &mut self.metrics {
+            m.on_put(data.len(), self.cur_site);
+        }
         arrival
     }
 
@@ -558,14 +728,18 @@ impl RankCtx {
         model: &CostModel,
     ) {
         self.fabric.segments().read(seg, target, offset, out);
+        let t0 = self.clock;
         self.clock += Time::from_nanos(model.o_get)
             + Time::from_nanos(model.latency)
             + model.wire_time(out.len());
         self.stats.gets += 1;
-        self.trace(EventKind::Get {
-            src: target,
-            bytes: out.len(),
-        });
+        self.trace(
+            t0,
+            EventKind::Get {
+                src: target,
+                bytes: out.len(),
+            },
+        );
     }
 
     /// Read this rank's own copy of a segment (free: local load).
@@ -592,11 +766,21 @@ impl RankCtx {
     /// Complete all outstanding puts (`shmem_quiet`): clock advances to the
     /// latest arrival plus `o_quiet`.
     pub fn quiet(&mut self, model: &CostModel) {
+        let t0 = self.clock;
         let outstanding = self.outstanding_puts.len();
         let max_arrival = self.outstanding_puts.drain(..).fold(self.clock, Time::max);
         self.clock = max_arrival + Time::from_nanos(model.o_quiet);
         self.stats.quiets += 1;
-        self.trace(EventKind::Quiet { outstanding });
+        self.trace(
+            t0,
+            EventKind::Quiet {
+                outstanding,
+                horizon: max_arrival,
+            },
+        );
+        if let Some(m) = &mut self.metrics {
+            m.on_sync(t0, self.clock);
+        }
     }
 
     /// Completion time of the latest outstanding put without charging
@@ -622,29 +806,38 @@ impl RankCtx {
     pub fn barrier_group(&mut self, group: &[usize], model: &CostModel) {
         debug_assert!(group.contains(&self.rank), "barrier group excludes caller");
         self.note_block();
+        let t0 = self.clock;
         let cost = model.barrier_cost(group.len());
         let exit = self.fabric.barrier(group, self.clock, cost);
         self.clock = exit;
         self.stats.barriers += 1;
-        self.trace(EventKind::Barrier {
-            group_len: group.len(),
-        });
+        self.trace(
+            t0,
+            EventKind::Barrier {
+                group_len: group.len(),
+            },
+        );
+        if let Some(m) = &mut self.metrics {
+            m.on_sync(t0, self.clock);
+        }
     }
 
     // -- explicit data handling costs ----------------------------------------
 
     /// Charge an explicit pack/unpack copy of `bytes` (`MPI_Pack` path).
     pub fn charge_pack(&mut self, bytes: usize, model: &CostModel) {
+        let t0 = self.clock;
         self.clock += model.byte_cost(model.pack_per_byte, bytes);
         self.stats.packed_bytes += bytes;
-        self.trace(EventKind::Pack { bytes });
+        self.trace(t0, EventKind::Pack { bytes });
     }
 
     /// Charge a derived-datatype build + commit.
     pub fn charge_datatype_commit(&mut self, model: &CostModel) {
+        let t0 = self.clock;
         self.clock += Time::from_nanos(model.datatype_commit);
         self.stats.datatype_commits += 1;
-        self.trace(EventKind::DatatypeCommit);
+        self.trace(t0, EventKind::DatatypeCommit);
     }
 
     /// Charge a local staging copy of `bytes`.

@@ -50,6 +50,7 @@ use std::sync::Arc;
 
 use parking_lot::{Condvar, Mutex};
 
+use crate::metrics::SchedStats;
 use crate::time::Time;
 
 struct SchedInner {
@@ -57,6 +58,22 @@ struct SchedInner {
     free: usize,
     /// Ranks waiting for a slot, ordered by (virtual clock, rank).
     ready: BinaryHeap<Reverse<(Time, usize)>>,
+    /// Peak simultaneous slot holders (physical; for tuning reports only).
+    max_occupied: usize,
+    /// Total slot grants (fast-path acquisitions + handoffs + wakeups).
+    grants: u64,
+    /// Times a rank queued for a slot.
+    parks: u64,
+}
+
+impl SchedInner {
+    /// Account one slot assignment out of the free pool (caller already
+    /// decremented `free`). Must run under the inner lock.
+    #[inline]
+    fn on_grant_from_free(&mut self, workers: usize) {
+        self.grants += 1;
+        self.max_occupied = self.max_occupied.max(workers - self.free);
+    }
 }
 
 /// Per-rank wakeup cell: a dedicated condvar per rank avoids waking the
@@ -82,6 +99,9 @@ impl Scheduler {
             inner: Mutex::new(SchedInner {
                 free: workers,
                 ready: BinaryHeap::new(),
+                max_occupied: 0,
+                grants: 0,
+                parks: 0,
             }),
             parkers: (0..nranks).map(|_| Parker::default()).collect(),
             workers,
@@ -93,6 +113,19 @@ impl Scheduler {
         self.workers
     }
 
+    /// Snapshot of the occupancy counters. Physical (wall-clock
+    /// interleaving dependent) — reported for tuning, never folded into
+    /// deterministic profile output.
+    pub fn stats(&self) -> SchedStats {
+        let g = self.inner.lock();
+        SchedStats {
+            slots: self.workers,
+            max_occupied: g.max_occupied,
+            grants: g.grants,
+            parks: g.parks,
+        }
+    }
+
     /// Acquire an execution slot for `rank`, parking LVT-first if the pool
     /// is saturated. Must not be called while holding any fabric lock.
     pub fn acquire(&self, rank: usize, clock: Time) {
@@ -100,8 +133,10 @@ impl Scheduler {
             let mut g = self.inner.lock();
             if g.free > 0 {
                 g.free -= 1;
+                g.on_grant_from_free(self.workers);
                 return;
             }
+            g.parks += 1;
             g.ready.push(Reverse((clock, rank)));
         }
         self.park(rank);
@@ -113,7 +148,11 @@ impl Scheduler {
         let next = {
             let mut g = self.inner.lock();
             match g.ready.pop() {
-                Some(Reverse((_, rank))) => Some(rank),
+                Some(Reverse((_, rank))) => {
+                    // Direct handoff: occupancy unchanged, one more grant.
+                    g.grants += 1;
+                    Some(rank)
+                }
                 None => {
                     g.free += 1;
                     None
@@ -135,8 +174,10 @@ impl Scheduler {
             if g.free > 0 {
                 debug_assert!(g.ready.is_empty(), "free slot with queued ranks");
                 g.free -= 1;
+                g.on_grant_from_free(self.workers);
                 true
             } else {
+                g.parks += 1;
                 g.ready.push(Reverse((clock, rank)));
                 false
             }

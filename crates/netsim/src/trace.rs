@@ -1,11 +1,23 @@
 //! Event tracing: an optional, low-overhead record of every communication
 //! operation with its virtual timestamp. Used by tests to assert on the
 //! *structure* of generated communication (e.g. "the directive version
-//! issues exactly one waitall") and by examples to print timelines.
+//! issues exactly one waitall"), by examples to print timelines, and by
+//! `commscope` for wait-state analysis and Chrome-trace export.
+//!
+//! Every event carries a *span* (`start..time` in virtual ns) and, when the
+//! operation was issued from inside a directive, the [`SiteId`] of the
+//! `comm_p2p` instance that caused it — the link between fabric-level
+//! events and the source-level communication intent.
 
 use parking_lot::Mutex;
 
 use crate::time::Time;
+
+/// Stable identity of a directive call site (the `site(u32)` passed to the
+/// directive builder / recorded in `P2pSpec::site`). The same numbering is
+/// used by `commlint`'s report JSON, so static findings and dynamic
+/// profiles join on it.
+pub type SiteId = u32;
 
 /// What happened.
 #[derive(Clone, Debug, PartialEq)]
@@ -17,24 +29,30 @@ pub enum EventKind {
         src: Option<usize>,
         tag: Option<i32>,
     },
-    /// A receive completed (clock charged).
+    /// A receive completed. `completion` is the virtual time the data was
+    /// available (independent of when the waiting clock charge lands).
     RecvDone {
         src: usize,
         tag: i32,
         bytes: usize,
         unexpected: bool,
+        completion: Time,
     },
-    /// A single-request wait call (clock charged `o_wait`).
-    Wait,
-    /// A consolidated completion over `n` requests.
-    Waitall { n: usize },
+    /// A single-request wait call (clock charged `o_wait`). `horizon` is
+    /// the raw completion the wait resolved to (send departure or receive
+    /// completion) — `horizon > start` means the rank was blocked.
+    Wait { horizon: Time },
+    /// A consolidated completion over `n` requests; `horizon` is the
+    /// maximum completion folded into the clock.
+    Waitall { n: usize, horizon: Time },
     /// One-sided put initiated.
     Put { dst: usize, bytes: usize },
     /// One-sided get performed.
     Get { src: usize, bytes: usize },
-    /// Quiet/flush of outstanding puts.
-    Quiet { outstanding: usize },
-    /// Barrier crossed (clock reconciled).
+    /// Quiet/flush of outstanding puts; `horizon` is the latest arrival.
+    Quiet { outstanding: usize, horizon: Time },
+    /// Barrier crossed (clock reconciled). The span `start..time` is this
+    /// rank's entry..exit; the last-entering rank had the shortest span.
     Barrier { group_len: usize },
     /// Local computation block.
     Compute { ns: u64 },
@@ -53,6 +71,11 @@ pub struct TraceEvent {
     pub rank: usize,
     /// The rank's virtual clock *after* the operation.
     pub time: Time,
+    /// The rank's virtual clock when the operation began (`start == time`
+    /// for instantaneous records).
+    pub start: Time,
+    /// Directive call site that issued this operation, when known.
+    pub site: Option<SiteId>,
     /// The operation.
     pub kind: EventKind,
 }
@@ -173,14 +196,24 @@ mod tests {
         sink.record(TraceEvent {
             rank: 1,
             time: Time(20),
-            kind: EventKind::Wait,
+            start: Time(5),
+            site: None,
+            kind: EventKind::Wait { horizon: Time(18) },
         });
         sink.record(TraceEvent {
             rank: 0,
             time: Time(10),
-            kind: EventKind::Waitall { n: 4 },
+            start: Time(10),
+            site: Some(3),
+            kind: EventKind::Waitall {
+                n: 4,
+                horizon: Time(9),
+            },
         });
-        assert_eq!(sink.count_where(|e| matches!(e.kind, EventKind::Wait)), 1);
+        assert_eq!(
+            sink.count_where(|e| matches!(e.kind, EventKind::Wait { .. })),
+            1
+        );
         let evs = sink.take();
         assert_eq!(evs.len(), 2);
         assert_eq!(evs[0].time, Time(10));

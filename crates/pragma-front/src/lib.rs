@@ -40,7 +40,10 @@ pub use parse::{parse, Item, ParseError, Parsed, SymbolTable};
 /// Analysis results for one `comm_p2p` instance.
 #[derive(Clone, Debug)]
 pub struct P2pReport {
-    /// Rendered source location hint (site id).
+    /// Rendered source location hint (site id). This is the same
+    /// `netsim::SiteId` namespace carried on runtime trace events and
+    /// metrics (and on `commlint` report JSON), so static findings and
+    /// dynamic profiles for a directive join on this value.
     pub site: u32,
     /// Classified pattern at the requested rank count.
     pub pattern: Pattern,

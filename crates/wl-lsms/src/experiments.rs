@@ -19,7 +19,8 @@
 //!   identical physics.
 
 use commint::{CommSession, Target};
-use netsim::{run, ExecPolicy, RankStats, SimConfig, Time};
+use netsim::trace::TraceEvent;
+use netsim::{run, ExecPolicy, RankMetrics, RankStats, SimConfig, Time};
 
 use crate::atom::{AtomData, AtomSizes};
 use crate::atom_comm::{transfer_atom_directive, transfer_atom_original};
@@ -66,6 +67,25 @@ pub struct Measurement {
     pub stats: RankStats,
 }
 
+/// Full observability capture of one experiment run: the event trace, the
+/// metrics registry, and the final per-rank clocks — everything `commscope`
+/// needs for wait-state analysis and export. All values are pure functions
+/// of virtual time, so an `Observed` is bit-identical across execution
+/// engines. For the per-step figures the trace covers the *whole* run
+/// (including warmup), while `Measurement::time` remains the steady-state
+/// per-step number.
+#[derive(Clone, Debug)]
+pub struct Observed {
+    /// The measurement, identical to the unobserved run's.
+    pub measurement: Measurement,
+    /// Time-sorted event trace from all ranks.
+    pub trace: Vec<TraceEvent>,
+    /// Per-rank metrics registry dumps, indexed by rank.
+    pub metrics: Vec<RankMetrics>,
+    /// Final virtual clock of each rank.
+    pub final_times: Vec<Time>,
+}
+
 /// Fig. 3: time to distribute every atom's single-atom data.
 pub fn fig3_single_atom(
     topo: &Topology,
@@ -77,98 +97,129 @@ pub fn fig3_single_atom(
 
 /// [`fig3_single_atom`] with an explicit execution engine. The measurement
 /// is bit-identical for every [`ExecPolicy`].
-#[allow(clippy::needless_range_loop)] // worker loops index rank-shaped arrays
 pub fn fig3_single_atom_exec(
     topo: &Topology,
     variant: AtomCommVariant,
     sizes: AtomSizes,
     exec: ExecPolicy,
 ) -> Measurement {
+    fig3_single_atom_run(topo, variant, sizes, exec, false).0
+}
+
+/// [`fig3_single_atom_exec`] with tracing and metrics enabled; the
+/// measurement is unchanged by observation.
+pub fn fig3_single_atom_observed(
+    topo: &Topology,
+    variant: AtomCommVariant,
+    sizes: AtomSizes,
+    exec: ExecPolicy,
+) -> Observed {
+    fig3_single_atom_run(topo, variant, sizes, exec, true)
+        .1
+        .expect("observed run captures trace")
+}
+
+#[allow(clippy::needless_range_loop)] // worker loops index rank-shaped arrays
+fn fig3_single_atom_run(
+    topo: &Topology,
+    variant: AtomCommVariant,
+    sizes: AtomSizes,
+    exec: ExecPolicy,
+    observe: bool,
+) -> (Measurement, Option<Observed>) {
     let t = topo.clone();
-    let res = run(
-        SimConfig::new(t.total_ranks()).with_exec(exec),
-        move |ctx| {
-            let comms = t.build_comms(ctx);
-            let n = t.ranks_per_lsms;
-            let me = ctx.rank();
+    let mut cfg = SimConfig::new(t.total_ranks()).with_exec(exec);
+    if observe {
+        cfg = cfg.with_trace().with_metrics();
+    }
+    let res = run(cfg, move |ctx| {
+        let comms = t.build_comms(ctx);
+        let n = t.ranks_per_lsms;
+        let me = ctx.rank();
 
-            // Stage A (identical in every variant): the WL master holds all
-            // atoms (loaded from disk in the real app) and pack/sends each
-            // instance's set to its privileged rank.
-            let mut received: Vec<AtomData> = Vec::new();
-            if me == t.wl_rank() {
-                for inst in 0..t.instances {
-                    let dest = t.privileged_rank(inst);
-                    for a in 0..n {
-                        let mut atom = AtomData::synthetic_fe(inst * n + a, sizes);
-                        transfer_atom_original(ctx, &comms.world, 0, dest, &mut atom);
-                    }
-                }
-            } else if t.is_privileged(me) {
-                for _ in 0..n {
-                    let mut atom = AtomData::new(sizes);
-                    transfer_atom_original(ctx, &comms.world, 0, me, &mut atom);
-                    received.push(atom);
+        // Stage A (identical in every variant): the WL master holds all
+        // atoms (loaded from disk in the real app) and pack/sends each
+        // instance's set to its privileged rank.
+        let mut received: Vec<AtomData> = Vec::new();
+        if me == t.wl_rank() {
+            for inst in 0..t.instances {
+                let dest = t.privileged_rank(inst);
+                for a in 0..n {
+                    let mut atom = AtomData::synthetic_fe(inst * n + a, sizes);
+                    transfer_atom_original(ctx, &comms.world, 0, dest, &mut atom);
                 }
             }
+        } else if t.is_privileged(me) {
+            for _ in 0..n {
+                let mut atom = AtomData::new(sizes);
+                transfer_atom_original(ctx, &comms.world, 0, me, &mut atom);
+                received.push(atom);
+            }
+        }
 
-            // Stage B: LIZ-internal distribution, the paper's rewritten path.
-            let mut correct = true;
-            if let (Some(lsms), Some(inst)) = (comms.lsms.clone(), comms.instance) {
-                let local = lsms.rank(ctx);
-                match variant {
-                    AtomCommVariant::Original => {
-                        if local == 0 {
-                            for w in 1..n {
-                                transfer_atom_original(ctx, &lsms, 0, w, &mut received[w]);
-                            }
-                        } else {
-                            let mut atom = AtomData::new(sizes);
-                            transfer_atom_original(ctx, &lsms, 0, local, &mut atom);
-                            correct = atom == AtomData::synthetic_fe(inst * n + local, sizes);
-                        }
-                    }
-                    AtomCommVariant::DirectiveMpi2 | AtomCommVariant::DirectiveShmem => {
-                        let target = if variant == AtomCommVariant::DirectiveMpi2 {
-                            Target::Mpi2Side
-                        } else {
-                            Target::Shmem
-                        };
-                        let mut session = CommSession::new(ctx, lsms).without_ir();
-                        let mut my_atom = AtomData::new(sizes);
+        // Stage B: LIZ-internal distribution, the paper's rewritten path.
+        let mut correct = true;
+        if let (Some(lsms), Some(inst)) = (comms.lsms.clone(), comms.instance) {
+            let local = lsms.rank(ctx);
+            match variant {
+                AtomCommVariant::Original => {
+                    if local == 0 {
                         for w in 1..n {
-                            // SPMD: every LSMS rank executes every transfer.
-                            let atom_ref: &mut AtomData = if local == 0 {
-                                &mut received[w]
-                            } else if local == w {
-                                &mut my_atom
-                            } else {
-                                // Bystander placeholder of the same shape.
-                                &mut my_atom
-                            };
-                            transfer_atom_directive(&mut session, 0, w, target, atom_ref)
-                                .expect("directive transfer");
+                            transfer_atom_original(ctx, &lsms, 0, w, &mut received[w]);
                         }
-                        session.flush();
-                        if local != 0 {
-                            correct = my_atom == AtomData::synthetic_fe(inst * n + local, sizes);
-                        }
+                    } else {
+                        let mut atom = AtomData::new(sizes);
+                        transfer_atom_original(ctx, &lsms, 0, local, &mut atom);
+                        correct = atom == AtomData::synthetic_fe(inst * n + local, sizes);
                     }
                 }
-                if local == 0 {
-                    // Privileged keeps atom 0 and verifies it.
-                    correct &= received[0] == AtomData::synthetic_fe(inst * n, sizes);
+                AtomCommVariant::DirectiveMpi2 | AtomCommVariant::DirectiveShmem => {
+                    let target = if variant == AtomCommVariant::DirectiveMpi2 {
+                        Target::Mpi2Side
+                    } else {
+                        Target::Shmem
+                    };
+                    let mut session = CommSession::new(ctx, lsms).without_ir();
+                    let mut my_atom = AtomData::new(sizes);
+                    for w in 1..n {
+                        // SPMD: every LSMS rank executes every transfer.
+                        let atom_ref: &mut AtomData = if local == 0 {
+                            &mut received[w]
+                        } else if local == w {
+                            &mut my_atom
+                        } else {
+                            // Bystander placeholder of the same shape.
+                            &mut my_atom
+                        };
+                        transfer_atom_directive(&mut session, 0, w, target, atom_ref)
+                            .expect("directive transfer");
+                    }
+                    session.flush();
+                    if local != 0 {
+                        correct = my_atom == AtomData::synthetic_fe(inst * n + local, sizes);
+                    }
                 }
             }
-            (ctx.now(), correct)
-        },
-    );
-    Measurement {
+            if local == 0 {
+                // Privileged keeps atom 0 and verifies it.
+                correct &= received[0] == AtomData::synthetic_fe(inst * n, sizes);
+            }
+        }
+        (ctx.now(), correct)
+    });
+    let measurement = Measurement {
         nranks: topo.total_ranks(),
         time: res.makespan(),
         correct: res.per_rank.iter().all(|&(_, ok)| ok),
         stats: res.total_stats(),
-    }
+    };
+    let observed = observe.then(|| Observed {
+        measurement,
+        trace: res.trace.unwrap_or_default(),
+        metrics: res.metrics.unwrap_or_default(),
+        final_times: res.final_times,
+    });
+    (measurement, observed)
 }
 
 /// Fig. 4: average per-step time of the random-spin-configuration
@@ -185,80 +236,111 @@ pub fn fig4_spin_exec(
     steps: usize,
     exec: ExecPolicy,
 ) -> Measurement {
+    fig4_spin_run(topo, variant, steps, exec, false).0
+}
+
+/// [`fig4_spin_exec`] with tracing and metrics enabled; the measurement is
+/// unchanged by observation.
+pub fn fig4_spin_observed(
+    topo: &Topology,
+    variant: SpinVariant,
+    steps: usize,
+    exec: ExecPolicy,
+) -> Observed {
+    fig4_spin_run(topo, variant, steps, exec, true)
+        .1
+        .expect("observed run captures trace")
+}
+
+fn fig4_spin_run(
+    topo: &Topology,
+    variant: SpinVariant,
+    steps: usize,
+    exec: ExecPolicy,
+    observe: bool,
+) -> (Measurement, Option<Observed>) {
     let t = topo.clone();
-    let res = run(
-        SimConfig::new(t.total_ranks()).with_exec(exec),
-        move |ctx| {
-            let comms = t.build_comms(ctx);
-            let mut state = SpinState::new(&t, ctx.rank());
-            let natoms = t.instances * t.ranks_per_lsms;
-            let mut correct = true;
-            // One warmup step (one-time staging/datatype setup), then a
-            // clock-aligning barrier, then the measured steps — the paper's
-            // numbers are steady-state main-loop iterations.
-            let total_steps = steps as u64 + 1;
-            let mut phase_start = Time::ZERO;
-            match variant {
-                SpinVariant::Original | SpinVariant::OriginalWaitall => {
-                    for step in 0..total_steps {
-                        if ctx.rank() == t.wl_rank() {
-                            state.ev = generate_spins(step, natoms);
-                        }
-                        set_evec_original(
-                            ctx,
-                            &t,
-                            &comms,
-                            &mut state,
-                            variant == SpinVariant::OriginalWaitall,
-                        );
-                        correct &= check_spin(&t, ctx.rank(), step, &state);
-                        if step == 0 {
-                            let m = ctx.machine().mpi;
-                            ctx.barrier(&m);
-                            phase_start = ctx.now();
-                        }
+    let mut cfg = SimConfig::new(t.total_ranks()).with_exec(exec);
+    if observe {
+        cfg = cfg.with_trace().with_metrics();
+    }
+    let res = run(cfg, move |ctx| {
+        let comms = t.build_comms(ctx);
+        let mut state = SpinState::new(&t, ctx.rank());
+        let natoms = t.instances * t.ranks_per_lsms;
+        let mut correct = true;
+        // One warmup step (one-time staging/datatype setup), then a
+        // clock-aligning barrier, then the measured steps — the paper's
+        // numbers are steady-state main-loop iterations.
+        let total_steps = steps as u64 + 1;
+        let mut phase_start = Time::ZERO;
+        match variant {
+            SpinVariant::Original | SpinVariant::OriginalWaitall => {
+                for step in 0..total_steps {
+                    if ctx.rank() == t.wl_rank() {
+                        state.ev = generate_spins(step, natoms);
                     }
-                }
-                SpinVariant::DirectiveMpi2 | SpinVariant::DirectiveShmem => {
-                    let target = if variant == SpinVariant::DirectiveMpi2 {
-                        Target::Mpi2Side
-                    } else {
-                        Target::Shmem
-                    };
-                    let mut session = CommSession::new(ctx, comms.world.clone()).without_ir();
-                    for step in 0..total_steps {
-                        if session.ctx().rank() == t.wl_rank() {
-                            state.ev = generate_spins(step, natoms);
-                        }
-                        set_evec_directive(&mut session, &t, &mut state, target, None)
-                            .expect("directive setEvec");
-                        correct &= check_spin(&t, session.ctx().rank(), step, &state);
-                        if step == 0 {
-                            session.flush();
-                            let cx = session.ctx();
-                            let m = cx.machine().mpi;
-                            cx.barrier(&m);
-                            phase_start = cx.now();
-                        }
+                    set_evec_original(
+                        ctx,
+                        &t,
+                        &comms,
+                        &mut state,
+                        variant == SpinVariant::OriginalWaitall,
+                    );
+                    correct &= check_spin(&t, ctx.rank(), step, &state);
+                    if step == 0 {
+                        let m = ctx.machine().mpi;
+                        ctx.barrier(&m);
+                        phase_start = ctx.now();
                     }
-                    session.flush();
                 }
             }
-            (ctx.now() - phase_start, correct)
-        },
-    );
+            SpinVariant::DirectiveMpi2 | SpinVariant::DirectiveShmem => {
+                let target = if variant == SpinVariant::DirectiveMpi2 {
+                    Target::Mpi2Side
+                } else {
+                    Target::Shmem
+                };
+                let mut session = CommSession::new(ctx, comms.world.clone()).without_ir();
+                for step in 0..total_steps {
+                    if session.ctx().rank() == t.wl_rank() {
+                        state.ev = generate_spins(step, natoms);
+                    }
+                    set_evec_directive(&mut session, &t, &mut state, target, None)
+                        .expect("directive setEvec");
+                    correct &= check_spin(&t, session.ctx().rank(), step, &state);
+                    if step == 0 {
+                        session.flush();
+                        let cx = session.ctx();
+                        let m = cx.machine().mpi;
+                        cx.barrier(&m);
+                        phase_start = cx.now();
+                    }
+                }
+                session.flush();
+            }
+        }
+        (ctx.now() - phase_start, correct)
+    });
     let phase = res
         .per_rank
         .iter()
         .map(|&(t, _)| t)
         .max()
         .unwrap_or(Time::ZERO);
-    Measurement {
+    let measurement = Measurement {
         nranks: topo.total_ranks(),
         time: Time::from_nanos(phase.as_nanos() / steps as u64),
         correct: res.per_rank.iter().all(|&(_, ok)| ok),
         stats: res.total_stats(),
-    }
+    };
+    let observed = observe.then(|| Observed {
+        measurement,
+        trace: res.trace.unwrap_or_default(),
+        metrics: res.metrics.unwrap_or_default(),
+        final_times: res.final_times,
+    });
+    (measurement, observed)
 }
 
 fn check_spin(topo: &Topology, rank: usize, step: u64, state: &SpinState) -> bool {
@@ -303,50 +385,86 @@ pub fn fig5_overlap_exec(
     steps: usize,
     exec: ExecPolicy,
 ) -> Measurement {
-    let t = topo.clone();
-    let res = run(
-        SimConfig::new(t.total_ranks()).with_exec(exec),
-        move |ctx| {
-            let comms = t.build_comms(ctx);
-            let mut state = SpinState::new(&t, ctx.rank());
-            let natoms = t.instances * t.ranks_per_lsms;
-            let my_atom_id = t
-                .instance_of(ctx.rank())
-                .map(|m| m * t.ranks_per_lsms + (ctx.rank() - t.privileged_rank(m)));
-            let atom = my_atom_id.map(|id| AtomData::synthetic_fe(id, sizes));
+    fig5_overlap_run(topo, directive, cparams, sizes, steps, exec, false).0
+}
 
-            if directive {
-                let mut session = CommSession::new(ctx, comms.world.clone()).without_ir();
-                for step in 0..steps as u64 {
-                    if session.ctx().rank() == t.wl_rank() {
-                        state.ev = generate_spins(step, natoms);
-                    }
-                    let overlap = atom.as_ref().map(|a| (a, &cparams));
-                    set_evec_directive(&mut session, &t, &mut state, Target::Mpi2Side, overlap)
-                        .expect("directive setEvec w/ overlap");
+/// [`fig5_overlap_exec`] with tracing and metrics enabled; the measurement
+/// is unchanged by observation.
+pub fn fig5_overlap_observed(
+    topo: &Topology,
+    directive: bool,
+    cparams: CoreStateParams,
+    sizes: AtomSizes,
+    steps: usize,
+    exec: ExecPolicy,
+) -> Observed {
+    fig5_overlap_run(topo, directive, cparams, sizes, steps, exec, true)
+        .1
+        .expect("observed run captures trace")
+}
+
+#[allow(clippy::too_many_arguments)]
+fn fig5_overlap_run(
+    topo: &Topology,
+    directive: bool,
+    cparams: CoreStateParams,
+    sizes: AtomSizes,
+    steps: usize,
+    exec: ExecPolicy,
+    observe: bool,
+) -> (Measurement, Option<Observed>) {
+    let t = topo.clone();
+    let mut cfg = SimConfig::new(t.total_ranks()).with_exec(exec);
+    if observe {
+        cfg = cfg.with_trace().with_metrics();
+    }
+    let res = run(cfg, move |ctx| {
+        let comms = t.build_comms(ctx);
+        let mut state = SpinState::new(&t, ctx.rank());
+        let natoms = t.instances * t.ranks_per_lsms;
+        let my_atom_id = t
+            .instance_of(ctx.rank())
+            .map(|m| m * t.ranks_per_lsms + (ctx.rank() - t.privileged_rank(m)));
+        let atom = my_atom_id.map(|id| AtomData::synthetic_fe(id, sizes));
+
+        if directive {
+            let mut session = CommSession::new(ctx, comms.world.clone()).without_ir();
+            for step in 0..steps as u64 {
+                if session.ctx().rank() == t.wl_rank() {
+                    state.ev = generate_spins(step, natoms);
                 }
-                session.flush();
-            } else {
-                for step in 0..steps as u64 {
-                    if ctx.rank() == t.wl_rank() {
-                        state.ev = generate_spins(step, natoms);
-                    }
-                    set_evec_original(ctx, &t, &comms, &mut state, false);
-                    if let Some(a) = &atom {
-                        // Computation after the communication completes.
-                        calculate_core_states(ctx, a, &cparams);
-                    }
+                let overlap = atom.as_ref().map(|a| (a, &cparams));
+                set_evec_directive(&mut session, &t, &mut state, Target::Mpi2Side, overlap)
+                    .expect("directive setEvec w/ overlap");
+            }
+            session.flush();
+        } else {
+            for step in 0..steps as u64 {
+                if ctx.rank() == t.wl_rank() {
+                    state.ev = generate_spins(step, natoms);
+                }
+                set_evec_original(ctx, &t, &comms, &mut state, false);
+                if let Some(a) = &atom {
+                    // Computation after the communication completes.
+                    calculate_core_states(ctx, a, &cparams);
                 }
             }
-            ctx.now()
-        },
-    );
-    Measurement {
+        }
+        ctx.now()
+    });
+    let measurement = Measurement {
         nranks: topo.total_ranks(),
         time: Time::from_nanos(res.makespan().as_nanos() / steps as u64),
         correct: true,
         stats: res.total_stats(),
-    }
+    };
+    let observed = observe.then(|| Observed {
+        measurement,
+        trace: res.trace.unwrap_or_default(),
+        metrics: res.metrics.unwrap_or_default(),
+        final_times: res.final_times,
+    });
+    (measurement, observed)
 }
 
 /// Result of the assembled mini-app.
@@ -594,6 +712,25 @@ mod tests {
             dir.time,
             orig.time
         );
+    }
+
+    #[test]
+    fn observation_does_not_change_the_measurement() {
+        let topo = Topology::new(2, 3);
+        for v in [SpinVariant::DirectiveMpi2, SpinVariant::DirectiveShmem] {
+            let plain = fig4_spin(&topo, v, 2);
+            let obs = fig4_spin_observed(&topo, v, 2, ExecPolicy::default());
+            assert_eq!(plain.time, obs.measurement.time, "{v:?}");
+            assert!(obs.measurement.correct);
+            assert!(!obs.trace.is_empty());
+            assert_eq!(obs.metrics.len(), topo.total_ranks());
+            assert_eq!(obs.final_times.len(), topo.total_ranks());
+            // Directive-issued operations carry their call site.
+            assert!(
+                obs.trace.iter().any(|e| e.site.is_some()),
+                "{v:?}: no site-tagged events"
+            );
+        }
     }
 
     #[test]
