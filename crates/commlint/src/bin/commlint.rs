@@ -6,9 +6,10 @@
 //! ```
 //!
 //! Exit status: 0 clean (notes allowed), 1 any warning-or-above finding,
-//! 2 usage or parse error. Sources may carry `// @decl`, `// @var` and
-//! `// @ranks` annotations; `--buf`/`--var` supply the same information on
-//! the command line, and a per-file `@ranks` overrides `--ranks`.
+//! 2 usage or parse error (`--help` documents the same). Sources may carry
+//! `// @decl`, `// @var` and `// @ranks` annotations; `--buf`/`--var`
+//! supply the same information on the command line, and a per-file
+//! `@ranks` overrides `--ranks`.
 
 use std::process::ExitCode;
 
@@ -19,6 +20,22 @@ use pragma_front::SymbolTable;
 
 const USAGE: &str = "usage: commlint [--ranks LO..=HI] [--format text|json] \
 [--var name=value]... [--buf name:type:len]... FILE...";
+
+const HELP: &str = "\
+commlint — lint communication-intent pragma sources.
+
+usage: commlint [--ranks LO..=HI] [--format text|json]
+                [--var name=value]... [--buf name:type:len]... FILE...
+
+Every finding states its verification mode: `swept LO..=K` means commlint
+checked that finite rank-count range and nothing beyond it (use `commprove`
+for verdicts quantified over all rank counts). Per-file `// @ranks`
+annotations override --ranks; `// @decl` / `// @var` extend --buf / --var.
+
+exit status:
+  0  clean — no finding above note severity (the CI gate passes)
+  1  at least one warning- or error-severity finding (the CI gate fails)
+  2  usage error, unreadable input, or pragma parse error";
 
 fn fail(msg: &str) -> ExitCode {
     eprintln!("commlint: {msg}");
@@ -82,7 +99,7 @@ fn main() -> ExitCode {
                 symbols.declare_prim(name, bt, len);
             }
             "--help" | "-h" => {
-                println!("{USAGE}");
+                println!("{HELP}");
                 return ExitCode::SUCCESS;
             }
             _ if arg.starts_with("--") => {

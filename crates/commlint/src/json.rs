@@ -1,10 +1,14 @@
 //! Hand-rolled JSON rendering for `commlint --format json`.
 //!
 //! The schema is stable — CI consumers and the golden-file tests depend on
-//! it:
+//! it. Schema 2 adds the top-level `"schema"` marker and a per-diagnostic
+//! `"verification"` object saying how broadly the finding was established
+//! (`swept` for the concrete sweep; `proved`/`proved-congruent` when
+//! `commprove` decided it for all rank counts):
 //!
 //! ```json
 //! {
+//!   "schema": 2,
 //!   "files": [
 //!     {
 //!       "path": "...",
@@ -18,7 +22,8 @@
 //!           "span": { "line": 3, "col": 28 },
 //!           "region": 0,
 //!           "site": 0,
-//!           "witness": { "nranks": 3, "ranks": [2] }
+//!           "witness": { "nranks": 3, "ranks": [2] },
+//!           "verification": { "kind": "swept", "min": 2, "max": 16 }
 //!         }
 //!       ]
 //!     }
@@ -31,8 +36,12 @@
 //! golden files diff cleanly.
 
 use commint::clause::Severity;
+use commint::diag::Verification;
 
 use crate::LintReport;
+
+/// Schema version of the JSON document.
+pub const SCHEMA: u32 = 2;
 
 /// Minimal JSON string escaping (control chars, quote, backslash).
 pub fn escape(s: &str) -> String {
@@ -49,6 +58,32 @@ pub fn escape(s: &str) -> String {
         }
     }
     out
+}
+
+/// Render a [`Verification`] as a one-line JSON object (`null` if absent).
+/// Shared with `commprove`, which emits the same per-diagnostic shape.
+pub fn verification_json(v: Option<&Verification>) -> String {
+    match v {
+        None => "null".to_string(),
+        Some(Verification::Proved { from }) => {
+            format!("{{ \"kind\": \"proved\", \"from\": {from} }}")
+        }
+        Some(Verification::ProvedCongruent {
+            from,
+            modulus,
+            residues,
+        }) => {
+            let rs: Vec<String> = residues.iter().map(|r| r.to_string()).collect();
+            format!(
+                "{{ \"kind\": \"proved-congruent\", \"from\": {from}, \"modulus\": {modulus}, \
+                 \"residues\": [{}] }}",
+                rs.join(", ")
+            )
+        }
+        Some(Verification::Swept { min, max }) => {
+            format!("{{ \"kind\": \"swept\", \"min\": {min}, \"max\": {max} }}")
+        }
+    }
 }
 
 fn diag_json(d: &commint::diag::Diag, indent: &str) -> String {
@@ -71,6 +106,7 @@ fn diag_json(d: &commint::diag::Diag, indent: &str) -> String {
         }
         None => "null".to_string(),
     };
+    let verification = verification_json(d.verification.as_ref());
     format!(
         "{indent}{{\n\
          {indent}  \"code\": \"{}\",\n\
@@ -80,7 +116,8 @@ fn diag_json(d: &commint::diag::Diag, indent: &str) -> String {
          {indent}  \"span\": {span},\n\
          {indent}  \"region\": {},\n\
          {indent}  \"site\": {site},\n\
-         {indent}  \"witness\": {witness}\n\
+         {indent}  \"witness\": {witness},\n\
+         {indent}  \"verification\": {verification}\n\
          {indent}}}",
         d.code.code(),
         d.code.name(),
@@ -131,7 +168,7 @@ pub fn render_json(files: &[(String, LintReport)]) -> String {
         format!("[\n{}\n  ]", entries.join(",\n"))
     };
     format!(
-        "{{\n  \"files\": {files_json},\n  \"summary\": {{ \"errors\": {errors}, \"warnings\": {warnings}, \"notes\": {notes} }}\n}}\n"
+        "{{\n  \"schema\": {SCHEMA},\n  \"files\": {files_json},\n  \"summary\": {{ \"errors\": {errors}, \"warnings\": {warnings}, \"notes\": {notes} }}\n}}\n"
     )
 }
 
@@ -164,6 +201,11 @@ mod tests {
         )
         .unwrap();
         let doc = render_json(&[("f.comm".to_string(), report)]);
+        assert!(doc.contains("\"schema\": 2"), "{doc}");
+        assert!(
+            doc.contains("\"verification\": { \"kind\": \"swept\", \"min\": 2, \"max\": 4 }"),
+            "{doc}"
+        );
         assert!(doc.contains("\"path\": \"f.comm\""), "{doc}");
         assert!(
             doc.contains("\"ranks\": { \"min\": 2, \"max\": 4 }"),

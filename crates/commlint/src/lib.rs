@@ -23,7 +23,7 @@ pub mod json;
 use std::collections::HashMap;
 
 use commint::clause::{Diagnostic, Severity};
-use commint::diag::{lint_region_at, Diag, LintCode};
+use commint::diag::{lint_region_at, Diag, LintCode, Verification};
 use commint::dir::ParamsSpec;
 use mpisim::dtype::BasicType;
 use pragma_front::{parse, Item, ParseError, SymbolTable};
@@ -163,7 +163,9 @@ impl LintReport {
 
 /// A region view of any non-collective item: standalone `comm_p2p`s are
 /// wrapped in a default region, mirroring how the engine executes them.
-fn region_view(item: &Item) -> Option<ParamsSpec> {
+/// Public so other analysis drivers (`commprove`) see the same regions the
+/// sweep lints.
+pub fn region_view(item: &Item) -> Option<ParamsSpec> {
     match item {
         Item::Region(r) => Some(r.clone()),
         Item::P2p(p) => Some(ParamsSpec {
@@ -177,8 +179,9 @@ fn region_view(item: &Item) -> Option<ParamsSpec> {
 
 /// Map a parse/validation diagnostic into the lint catalog (`CI000`
 /// directive-rule). Pairing-rule messages are dropped: the IR-level `CI005`
-/// check reports them with clause spans and rank context.
-fn map_parse_diag(d: &Diagnostic) -> Option<Diag> {
+/// check reports them with clause spans and rank context. Public so other
+/// analysis drivers (`commprove`) report parse problems identically.
+pub fn map_parse_diag(d: &Diagnostic) -> Option<Diag> {
     if d.message.contains("must both be present") {
         return None;
     }
@@ -191,6 +194,7 @@ fn map_parse_diag(d: &Diagnostic) -> Option<Diag> {
         site: None,
         key: d.message.clone(),
         witness: None,
+        verification: None,
     })
 }
 
@@ -242,6 +246,14 @@ pub fn lint_parsed(
             .then(a.site.cmp(&b.site))
             .then(a.key.cmp(&b.key))
     });
+    // The sweep only ever checked this finite range; say so on every
+    // finding. `commprove` upgrades findings it can decide parametrically.
+    for d in &mut diags {
+        d.verification = Some(Verification::Swept {
+            min: ranks.min,
+            max: ranks.max,
+        });
+    }
     LintReport { ranks, diags }
 }
 
@@ -337,6 +349,9 @@ pub fn render_text(path: &str, report: &LintReport) -> String {
                 }
             }
             out.push(')');
+        }
+        if let Some(v) = &d.verification {
+            out.push_str(&format!(" [{v}]"));
         }
         out.push('\n');
     }
@@ -455,5 +470,6 @@ mod tests {
         assert!(text.contains("x.comm:3:"), "{text}");
         assert!(text.contains("error[CI001 unmatched-send]"), "{text}");
         assert!(text.contains("fails at nranks=2"), "{text}");
+        assert!(text.contains("[swept 2..=16]"), "{text}");
     }
 }

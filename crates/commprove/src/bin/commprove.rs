@@ -1,0 +1,250 @@
+//! `commprove` — prove communication-intent properties for all rank counts.
+//!
+//! ```text
+//! commprove [--ranks LO..=HI] [--format text|json] [--var name=value]...
+//!           [--buf name:type:len]... [--cert-dir DIR] [--check] FILE...
+//! ```
+//!
+//! Exit status: 0 clean (notes allowed), 1 any warning-or-above finding,
+//! 2 usage or parse error, 3 certificate check failure (`--check`).
+
+use std::path::{Path, PathBuf};
+use std::process::ExitCode;
+
+use commlint::{basic_type_of, json::render_json, LintOptions, RankRange};
+use commprove::check::{check_source, parse_certificate};
+use commprove::{prove_source, render_prove_text};
+use pragma_front::SymbolTable;
+
+const USAGE: &str = "usage: commprove [--ranks LO..=HI] [--format text|json] \
+[--var name=value]... [--buf name:type:len]... [--cert-dir DIR] [--check] FILE...";
+
+const HELP: &str = "\
+commprove — prove communication-intent properties for all rank counts.
+
+usage: commprove [--ranks LO..=HI] [--format text|json]
+                 [--var name=value]... [--buf name:type:len]...
+                 [--cert-dir DIR] [--check] FILE...
+
+For specs in the affine-congruence class, every commlint finding is decided
+parametrically in N: verdicts read `proved ∀N≥N0` (or `proved ∀N≥N0,
+N≡r (mod L)` when the answer depends on N's residue) instead of commlint's
+`swept LO..=HI`, and each file gets a machine-checkable certificate.
+Out-of-class specs (opaque host code, unbound variables, non-affine
+expressions) degrade to the concrete sweep over --ranks, exactly as
+commlint behaves.
+
+flags:
+  --ranks LO..=HI   sweep range for out-of-class regions and the smallest
+                    size quantified verdicts cover (default 2..=16;
+                    per-file // @ranks overrides)
+  --format FMT      text (default; proof summary + findings) or json
+                    (the commlint schema-2 report document)
+  --var, --buf      bind clause variables / declare buffers, as commlint
+  --cert-dir DIR    write one <stem>.cert.json certificate per input
+                    (with --check: read certificates from here instead)
+  --check           validate existing certificates against the sources:
+                    re-derive the case analysis, replay every checked
+                    rank count, and verify each claim is entailed
+
+exit status:
+  0  clean — no finding above note severity (the CI gate passes)
+  1  at least one warning- or error-severity finding (the CI gate fails)
+  2  usage error, unreadable input, or pragma parse error
+  3  certificate check failure (--check)";
+
+fn fail(msg: &str) -> ExitCode {
+    eprintln!("commprove: {msg}");
+    eprintln!("{USAGE}");
+    ExitCode::from(2)
+}
+
+fn cert_path(dir: &Path, file: &str) -> PathBuf {
+    let stem = Path::new(file)
+        .file_stem()
+        .map(|s| s.to_string_lossy().into_owned())
+        .unwrap_or_else(|| "out".to_string());
+    dir.join(format!("{stem}.cert.json"))
+}
+
+fn main() -> ExitCode {
+    let mut opts = LintOptions::default();
+    let mut symbols = SymbolTable::new();
+    let mut format = "text".to_string();
+    let mut cert_dir: Option<PathBuf> = None;
+    let mut check = false;
+    let mut files: Vec<String> = Vec::new();
+
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--ranks" => {
+                let Some(spec) = args.next() else {
+                    return fail("--ranks needs a value");
+                };
+                let Some(r) = RankRange::parse(&spec) else {
+                    return fail(&format!("bad --ranks `{spec}` (want LO..=HI, LO>=1)"));
+                };
+                opts.ranks = r;
+            }
+            "--format" => {
+                let Some(f) = args.next() else {
+                    return fail("--format needs a value");
+                };
+                if f != "text" && f != "json" {
+                    return fail(&format!("bad --format `{f}` (want text or json)"));
+                }
+                format = f;
+            }
+            "--var" => {
+                let Some(spec) = args.next() else {
+                    return fail("--var needs name=value");
+                };
+                let Some((name, value)) = spec.split_once('=') else {
+                    return fail(&format!("bad --var `{spec}` (want name=value)"));
+                };
+                let Ok(value) = value.trim().parse::<i64>() else {
+                    return fail(&format!("bad --var value in `{spec}`"));
+                };
+                opts.vars.insert(name.trim().to_string(), value);
+            }
+            "--buf" => {
+                let Some(spec) = args.next() else {
+                    return fail("--buf needs name:type:len");
+                };
+                let parts: Vec<&str> = spec.split(':').collect();
+                let [name, ty, len] = parts.as_slice() else {
+                    return fail(&format!("bad --buf `{spec}` (want name:type:len)"));
+                };
+                let Some(bt) = basic_type_of(ty) else {
+                    return fail(&format!("unknown --buf type `{ty}`"));
+                };
+                let Ok(len) = len.parse::<usize>() else {
+                    return fail(&format!("bad --buf length in `{spec}`"));
+                };
+                symbols.declare_prim(name, bt, len);
+            }
+            "--cert-dir" => {
+                let Some(dir) = args.next() else {
+                    return fail("--cert-dir needs a directory");
+                };
+                cert_dir = Some(PathBuf::from(dir));
+            }
+            "--check" => check = true,
+            "--help" | "-h" => {
+                println!("{HELP}");
+                return ExitCode::SUCCESS;
+            }
+            _ if arg.starts_with("--") => {
+                return fail(&format!("unknown flag `{arg}`"));
+            }
+            _ => files.push(arg),
+        }
+    }
+    if files.is_empty() {
+        return fail("no input files");
+    }
+    if check && cert_dir.is_none() {
+        return fail("--check needs --cert-dir to locate the certificates");
+    }
+
+    if check {
+        let dir = cert_dir.unwrap();
+        let mut failed = false;
+        for path in &files {
+            let src = match std::fs::read_to_string(path) {
+                Ok(s) => s,
+                Err(e) => return fail(&format!("cannot read `{path}`: {e}")),
+            };
+            let cpath = cert_path(&dir, path);
+            let doc = match std::fs::read_to_string(&cpath) {
+                Ok(s) => s,
+                Err(e) => return fail(&format!("cannot read `{}`: {e}", cpath.display())),
+            };
+            let cert = match parse_certificate(&doc) {
+                Ok(c) => c,
+                Err(e) => {
+                    eprintln!("commprove: {}: {e}", cpath.display());
+                    failed = true;
+                    continue;
+                }
+            };
+            let errors = check_source(&src, &symbols, &opts, &cert);
+            if errors.is_empty() {
+                println!(
+                    "commprove: {path}: certificate OK ({} region(s), {} claim(s))",
+                    cert.regions.len(),
+                    cert.regions.iter().map(|r| r.claims.len()).sum::<usize>()
+                );
+            } else {
+                failed = true;
+                for e in errors {
+                    eprintln!("commprove: {path}: {e}");
+                }
+            }
+        }
+        return if failed {
+            ExitCode::from(3)
+        } else {
+            ExitCode::SUCCESS
+        };
+    }
+
+    let mut reports = Vec::new();
+    for path in &files {
+        let src = match std::fs::read_to_string(path) {
+            Ok(s) => s,
+            Err(e) => return fail(&format!("cannot read `{path}`: {e}")),
+        };
+        match prove_source(path, &src, &symbols, &opts) {
+            Ok(rep) => reports.push((path.clone(), rep)),
+            Err(e) => {
+                eprintln!("commprove: {path}: {e}");
+                return ExitCode::from(2);
+            }
+        }
+    }
+
+    if let Some(dir) = &cert_dir {
+        if let Err(e) = std::fs::create_dir_all(dir) {
+            return fail(&format!("cannot create `{}`: {e}", dir.display()));
+        }
+        for (path, rep) in &reports {
+            let cpath = cert_path(dir, path);
+            if let Err(e) = std::fs::write(&cpath, rep.certificate.to_json()) {
+                return fail(&format!("cannot write `{}`: {e}", cpath.display()));
+            }
+        }
+    }
+
+    let gate_fails = reports.iter().any(|(_, r)| r.report.gate_fails());
+    if format == "json" {
+        let lint_reports: Vec<(String, commlint::LintReport)> = reports
+            .iter()
+            .map(|(p, r)| (p.clone(), r.report.clone()))
+            .collect();
+        print!("{}", render_json(&lint_reports));
+    } else {
+        for (path, rep) in &reports {
+            print!("{}", render_prove_text(path, rep));
+        }
+        let proved: usize = reports
+            .iter()
+            .flat_map(|(_, r)| &r.certificate.regions)
+            .filter(|r| r.eligible)
+            .count();
+        let total: usize = reports
+            .iter()
+            .map(|(_, r)| r.certificate.regions.len())
+            .sum();
+        eprintln!(
+            "commprove: {} file(s), {proved}/{total} region(s) decided for all N",
+            reports.len()
+        );
+    }
+    if gate_fails {
+        ExitCode::from(1)
+    } else {
+        ExitCode::SUCCESS
+    }
+}

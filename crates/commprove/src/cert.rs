@@ -1,0 +1,483 @@
+//! Machine-checkable certificates for parametric lint verdicts.
+//!
+//! A certificate records, per region, the case analysis that justifies a
+//! quantified claim: the normal forms of every clause, the case-split
+//! parameters (`lcm`, `boundary`, `threshold`), the concrete lint outcomes
+//! at every rank count the prover checked, and the claims extrapolated
+//! from them. The independent checker ([`crate::check`]) re-derives the
+//! parameters from source, replays [`commint::diag::lint_region_at`] at
+//! every listed count, and verifies the claims are entailed — so a prover
+//! bug cannot silently upgrade a verdict.
+//!
+//! Rank counts in `base_min..=checked_max` with no `outcomes` entry fired
+//! nothing: empty outcomes are omitted, not implied unknown.
+
+use std::fmt;
+
+use commint::clause::Severity;
+use commint::diag::{LintCode, SrcSpan};
+use commlint::json::escape;
+use commlint::RankRange;
+
+/// Certificate schema version (kept in lockstep with the commlint JSON
+/// report schema).
+pub const CERT_SCHEMA: u32 = 2;
+
+/// One fired lint finding, as recorded in an outcome: the sweep-merge
+/// identity plus severity (severity can differ across rank counts for the
+/// same identity, e.g. CI002's note/warning split).
+#[derive(Clone, Debug, PartialEq, Eq, PartialOrd, Ord)]
+pub struct Finding {
+    /// Lint code.
+    pub code: LintCode,
+    /// `comm_p2p` site id, `None` for region-level findings.
+    pub site: Option<u32>,
+    /// Stable identity key within `(code, site)`.
+    pub key: String,
+    /// Severity at this rank count.
+    pub severity: Severity,
+}
+
+impl fmt::Display for Finding {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.code.code())?;
+        match self.site {
+            Some(s) => write!(f, "@site{}", s)?,
+            None => write!(f, "@region")?,
+        }
+        write!(f, ":{} ({})", self.key, self.severity.keyword())
+    }
+}
+
+/// Normal forms of one `comm_p2p` site's clauses, for provenance.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct SiteCert {
+    /// Site id.
+    pub site: u32,
+    /// Directive span in the pragma source, when available.
+    pub span: Option<SrcSpan>,
+    /// `(clause keyword, normal form)` pairs in clause order.
+    pub forms: Vec<(String, String)>,
+}
+
+/// Concrete lint outcome at one rank count: the findings that fired.
+/// Only non-empty outcomes are recorded.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Outcome {
+    /// Communicator size.
+    pub nranks: usize,
+    /// Findings, sorted.
+    pub fired: Vec<Finding>,
+}
+
+/// A quantified (or sweep-limited) claim about one finding.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum Verdict {
+    /// The finding fires at no `N >= from`.
+    Absent {
+        /// Smallest size the claim covers.
+        from: usize,
+    },
+    /// The finding fires at every `N >= from`.
+    Present {
+        /// Smallest size the claim covers.
+        from: usize,
+    },
+    /// For `N >= from`, the finding fires exactly when `N mod modulus`
+    /// is in `residues`.
+    PresentCongruent {
+        /// Smallest size the claim covers.
+        from: usize,
+        /// Case-split modulus (the region's `lcm`).
+        modulus: usize,
+        /// Firing residues of `N`.
+        residues: Vec<usize>,
+    },
+    /// Only the finite sweep `min..=max` was checked (ineligible region).
+    Swept {
+        /// First swept size.
+        min: usize,
+        /// Last swept size.
+        max: usize,
+    },
+}
+
+impl fmt::Display for Verdict {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Verdict::Absent { from } => write!(f, "absent ∀N≥{from}"),
+            Verdict::Present { from } => write!(f, "present ∀N≥{from}"),
+            Verdict::PresentCongruent {
+                from,
+                modulus,
+                residues,
+            } => {
+                let rs = residues
+                    .iter()
+                    .map(|r| r.to_string())
+                    .collect::<Vec<_>>()
+                    .join(",");
+                write!(f, "present ∀N≥{from} with N≡{rs} (mod {modulus})")
+            }
+            Verdict::Swept { min, max } => write!(f, "swept {min}..={max}"),
+        }
+    }
+}
+
+/// One claim: a finding pattern plus its verdict. Absence claims use
+/// `key == "*"` (any key under the `(code, site)`) and carry no severity.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Claim {
+    /// Lint code the claim is about.
+    pub code: LintCode,
+    /// Site, `None` for region-level.
+    pub site: Option<u32>,
+    /// Identity key, or `"*"` for an absence claim over the whole
+    /// `(code, site)`.
+    pub key: String,
+    /// Severity of the claimed finding (absent for absence claims).
+    pub severity: Option<Severity>,
+    /// The verdict.
+    pub verdict: Verdict,
+}
+
+/// Per-region case analysis.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct RegionCert {
+    /// Region index within the file (0-based).
+    pub region: usize,
+    /// Whether every clause normalized into the affine-congruence class.
+    pub eligible: bool,
+    /// Why not, when ineligible (also set when the prover downgraded an
+    /// eligible region whose outcomes failed the periodicity check).
+    pub reason: Option<String>,
+    /// Case-split period `L` (1 for ineligible regions).
+    pub lcm: usize,
+    /// Boundary width `B`.
+    pub boundary: usize,
+    /// Threshold `N0 = max(base_min, 2B + 2)`: outcomes are claimed
+    /// periodic in `N` with period `lcm` from here up.
+    pub threshold: usize,
+    /// First rank count checked (the configured sweep minimum).
+    pub base_min: usize,
+    /// Last rank count checked (`threshold + PERIODS * lcm` when eligible,
+    /// the sweep maximum otherwise).
+    pub checked_max: usize,
+    /// Per-site clause normal forms (empty for ineligible regions).
+    pub sites: Vec<SiteCert>,
+    /// Non-empty concrete outcomes, ascending `nranks`.
+    pub outcomes: Vec<Outcome>,
+    /// Claims over the findings.
+    pub claims: Vec<Claim>,
+}
+
+impl RegionCert {
+    /// Findings recorded at rank count `n` (empty when none fired).
+    pub fn outcome_at(&self, n: usize) -> &[Finding] {
+        self.outcomes
+            .iter()
+            .find(|o| o.nranks == n)
+            .map(|o| o.fired.as_slice())
+            .unwrap_or(&[])
+    }
+
+    /// What the certificate says fires at rank count `n`: the recorded
+    /// outcome inside the checked window, the claims' extrapolation above
+    /// it (eligible regions only — `None` means the certificate makes no
+    /// statement about `n`).
+    pub fn predict(&self, n: usize) -> Option<Vec<Finding>> {
+        if n < self.base_min {
+            return None;
+        }
+        if n <= self.checked_max {
+            return Some(self.outcome_at(n).to_vec());
+        }
+        if !self.eligible {
+            return None;
+        }
+        let mut fired = Vec::new();
+        for c in &self.claims {
+            let hit = match &c.verdict {
+                Verdict::Present { from } => n >= *from,
+                Verdict::PresentCongruent {
+                    from,
+                    modulus,
+                    residues,
+                } => n >= *from && residues.contains(&(n % *modulus.max(&1))),
+                Verdict::Absent { .. } | Verdict::Swept { .. } => false,
+            };
+            if hit {
+                fired.push(Finding {
+                    code: c.code,
+                    site: c.site,
+                    key: c.key.clone(),
+                    severity: c.severity.unwrap_or(Severity::Note),
+                });
+            }
+        }
+        fired.sort();
+        Some(fired)
+    }
+}
+
+/// A full certificate for one pragma source.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Certificate {
+    /// Schema version ([`CERT_SCHEMA`]).
+    pub schema: u32,
+    /// Source path as given to the prover.
+    pub file: String,
+    /// Configured sweep range (per-file `@ranks` already applied).
+    pub ranks: RankRange,
+    /// One entry per linted region, in source order.
+    pub regions: Vec<RegionCert>,
+}
+
+// ---------------------------------------------------------------------------
+// JSON rendering (hand-rolled, stable, golden-diffable)
+// ---------------------------------------------------------------------------
+
+fn opt_str(s: &Option<String>) -> String {
+    match s {
+        Some(s) => format!("\"{}\"", escape(s)),
+        None => "null".to_string(),
+    }
+}
+
+fn site_json(s: &Option<u32>) -> String {
+    match s {
+        Some(s) => s.to_string(),
+        None => "null".to_string(),
+    }
+}
+
+fn span_json(s: &Option<SrcSpan>) -> String {
+    match s {
+        Some(sp) => format!("{{ \"line\": {}, \"col\": {} }}", sp.line, sp.col),
+        None => "null".to_string(),
+    }
+}
+
+fn finding_json(f: &Finding) -> String {
+    format!(
+        "{{ \"code\": \"{}\", \"severity\": \"{}\", \"site\": {}, \"key\": \"{}\" }}",
+        f.code.code(),
+        f.severity.keyword(),
+        site_json(&f.site),
+        escape(&f.key)
+    )
+}
+
+fn verdict_json(v: &Verdict) -> String {
+    match v {
+        Verdict::Absent { from } => format!("{{ \"kind\": \"absent\", \"from\": {from} }}"),
+        Verdict::Present { from } => format!("{{ \"kind\": \"present\", \"from\": {from} }}"),
+        Verdict::PresentCongruent {
+            from,
+            modulus,
+            residues,
+        } => {
+            let rs: Vec<String> = residues.iter().map(|r| r.to_string()).collect();
+            format!(
+                "{{ \"kind\": \"present-congruent\", \"from\": {from}, \"modulus\": {modulus}, \
+                 \"residues\": [{}] }}",
+                rs.join(", ")
+            )
+        }
+        Verdict::Swept { min, max } => {
+            format!("{{ \"kind\": \"swept\", \"min\": {min}, \"max\": {max} }}")
+        }
+    }
+}
+
+fn claim_json(c: &Claim, indent: &str) -> String {
+    let severity = match c.severity {
+        Some(s) => format!("\"{}\"", s.keyword()),
+        None => "null".to_string(),
+    };
+    format!(
+        "{indent}{{ \"code\": \"{}\", \"site\": {}, \"key\": \"{}\", \"severity\": {severity}, \
+         \"verdict\": {} }}",
+        c.code.code(),
+        site_json(&c.site),
+        escape(&c.key),
+        verdict_json(&c.verdict)
+    )
+}
+
+fn list_json(entries: Vec<String>, indent: &str) -> String {
+    if entries.is_empty() {
+        "[]".to_string()
+    } else {
+        format!("[\n{}\n{indent}]", entries.join(",\n"))
+    }
+}
+
+fn region_json(r: &RegionCert, indent: &str) -> String {
+    let sub = format!("{indent}  ");
+    let subsub = format!("{indent}    ");
+    let sites = list_json(
+        r.sites
+            .iter()
+            .map(|s| {
+                let forms: Vec<String> = s
+                    .forms
+                    .iter()
+                    .map(|(kw, nf)| format!("[\"{}\", \"{}\"]", escape(kw), escape(nf)))
+                    .collect();
+                format!(
+                    "{subsub}{{ \"site\": {}, \"span\": {}, \"forms\": [{}] }}",
+                    s.site,
+                    span_json(&s.span),
+                    forms.join(", ")
+                )
+            })
+            .collect(),
+        &sub,
+    );
+    let outcomes = list_json(
+        r.outcomes
+            .iter()
+            .map(|o| {
+                let fired: Vec<String> = o.fired.iter().map(finding_json).collect();
+                format!(
+                    "{subsub}{{ \"nranks\": {}, \"fired\": [{}] }}",
+                    o.nranks,
+                    fired.join(", ")
+                )
+            })
+            .collect(),
+        &sub,
+    );
+    let claims = list_json(
+        r.claims.iter().map(|c| claim_json(c, &subsub)).collect(),
+        &sub,
+    );
+    format!(
+        "{indent}{{\n\
+         {sub}\"region\": {},\n\
+         {sub}\"eligible\": {},\n\
+         {sub}\"reason\": {},\n\
+         {sub}\"lcm\": {},\n\
+         {sub}\"boundary\": {},\n\
+         {sub}\"threshold\": {},\n\
+         {sub}\"base_min\": {},\n\
+         {sub}\"checked_max\": {},\n\
+         {sub}\"sites\": {sites},\n\
+         {sub}\"outcomes\": {outcomes},\n\
+         {sub}\"claims\": {claims}\n\
+         {indent}}}",
+        r.region,
+        r.eligible,
+        opt_str(&r.reason),
+        r.lcm,
+        r.boundary,
+        r.threshold,
+        r.base_min,
+        r.checked_max,
+    )
+}
+
+impl Certificate {
+    /// Render as a stable, pretty-printed JSON document (trailing newline,
+    /// two-space indent) suitable for golden-file byte diffs.
+    pub fn to_json(&self) -> String {
+        let regions = list_json(
+            self.regions
+                .iter()
+                .map(|r| region_json(r, "    "))
+                .collect(),
+            "  ",
+        );
+        format!(
+            "{{\n  \"schema\": {},\n  \"file\": \"{}\",\n  \"ranks\": {{ \"min\": {}, \"max\": {} }},\n  \"regions\": {regions}\n}}\n",
+            self.schema,
+            escape(&self.file),
+            self.ranks.min,
+            self.ranks.max,
+        )
+    }
+}
+
+/// Parse a `CIxxx` code string back into a [`LintCode`].
+pub fn code_from_str(s: &str) -> Option<LintCode> {
+    LintCode::ALL.into_iter().find(|c| c.code() == s)
+}
+
+/// Parse a severity keyword back into a [`Severity`].
+pub fn severity_from_keyword(s: &str) -> Option<Severity> {
+    [Severity::Note, Severity::Warning, Severity::Error]
+        .into_iter()
+        .find(|sev| sev.keyword() == s)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn region() -> RegionCert {
+        RegionCert {
+            region: 0,
+            eligible: true,
+            reason: None,
+            lcm: 2,
+            boundary: 3,
+            threshold: 8,
+            base_min: 2,
+            checked_max: 14,
+            sites: vec![SiteCert {
+                site: 1,
+                span: None,
+                forms: vec![("sender".into(), "rank-1".into())],
+            }],
+            outcomes: vec![Outcome {
+                nranks: 9,
+                fired: vec![Finding {
+                    code: LintCode::UnmatchedSend,
+                    site: Some(1),
+                    key: "p0:sends".into(),
+                    severity: Severity::Error,
+                }],
+            }],
+            claims: vec![Claim {
+                code: LintCode::UnmatchedSend,
+                site: Some(1),
+                key: "p0:sends".into(),
+                severity: Some(Severity::Error),
+                verdict: Verdict::PresentCongruent {
+                    from: 8,
+                    modulus: 2,
+                    residues: vec![1],
+                },
+            }],
+        }
+    }
+
+    #[test]
+    fn predict_uses_outcomes_then_extrapolates() {
+        let r = region();
+        assert_eq!(r.predict(1), None, "below base_min");
+        assert_eq!(r.predict(2).unwrap(), vec![], "checked, nothing fired");
+        assert_eq!(r.predict(9).unwrap().len(), 1, "recorded outcome");
+        // Above checked_max: congruence extrapolation (odd fires).
+        assert_eq!(r.predict(101).unwrap().len(), 1);
+        assert_eq!(r.predict(100).unwrap(), vec![]);
+    }
+
+    #[test]
+    fn json_round_keywords() {
+        assert_eq!(code_from_str("CI004"), Some(LintCode::SizeMismatch));
+        assert_eq!(code_from_str("CI999"), None);
+        assert_eq!(severity_from_keyword("warning"), Some(Severity::Warning));
+        let cert = Certificate {
+            schema: CERT_SCHEMA,
+            file: "x.comm".into(),
+            ranks: RankRange { min: 2, max: 16 },
+            regions: vec![region()],
+        };
+        let doc = cert.to_json();
+        assert!(doc.contains("\"schema\": 2"), "{doc}");
+        assert!(doc.contains("\"kind\": \"present-congruent\""), "{doc}");
+        assert!(doc.ends_with("}\n"), "{doc}");
+    }
+}

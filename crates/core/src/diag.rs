@@ -216,6 +216,59 @@ pub struct RankWitness {
     pub ranks: Vec<usize>,
 }
 
+/// How broadly a finding was established across communicator sizes.
+///
+/// `commlint` stamps every finding [`Verification::Swept`] — it checked a
+/// finite rank range and knows nothing beyond it. `commprove` upgrades
+/// findings in the affine-congruence class to the quantified forms, backed
+/// by a certificate (see the `commprove` crate).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum Verification {
+    /// Holds for every communicator size `N >= from`.
+    Proved {
+        /// Smallest size the claim covers.
+        from: usize,
+    },
+    /// Holds for every `N >= from` whose residue `N mod modulus` is in
+    /// `residues` (and for no other `N >= from`).
+    ProvedCongruent {
+        /// Smallest size the claim covers.
+        from: usize,
+        /// Case-split modulus.
+        modulus: usize,
+        /// Residues of `N` at which the finding fires.
+        residues: Vec<usize>,
+    },
+    /// Only the finite sweep `min..=max` was checked.
+    Swept {
+        /// First swept size.
+        min: usize,
+        /// Last swept size.
+        max: usize,
+    },
+}
+
+impl fmt::Display for Verification {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Verification::Proved { from } => write!(f, "proved ∀N≥{from}"),
+            Verification::ProvedCongruent {
+                from,
+                modulus,
+                residues,
+            } => {
+                let rs = residues
+                    .iter()
+                    .map(|r| r.to_string())
+                    .collect::<Vec<_>>()
+                    .join(",");
+                write!(f, "proved ∀N≥{from}, N≡{rs} (mod {modulus})")
+            }
+            Verification::Swept { min, max } => write!(f, "swept {min}..={max}"),
+        }
+    }
+}
+
 /// One coded diagnostic.
 #[derive(Clone, Debug, PartialEq, Eq)]
 pub struct Diag {
@@ -237,6 +290,10 @@ pub struct Diag {
     pub key: String,
     /// Failing rank-count witness.
     pub witness: Option<RankWitness>,
+    /// How broadly the finding was established. `lint_region_at` leaves it
+    /// `None` (one concrete count proves nothing about a range); the sweep
+    /// and prover drivers stamp it.
+    pub verification: Option<Verification>,
 }
 
 impl Diag {
@@ -265,6 +322,9 @@ impl fmt::Display for Diag {
                 write!(f, "; ranks {}", join_ranks(&w.ranks))?;
             }
             write!(f, ")")?;
+        }
+        if let Some(v) = &self.verification {
+            write!(f, " [{v}]")?;
         }
         Ok(())
     }
@@ -308,6 +368,51 @@ pub fn lint_region_at(
         let g = resolve_graph(p2p, Some(&spec.clauses), nranks, vars);
         let site = Some(p2p.site);
 
+        // -- CI008: opaque host code in clauses -----------------------------
+        // Rank-count independent by construction, so the witness is
+        // deliberately absent: the sweep's identity merge collapses the
+        // per-count firings into exactly one finding per site.
+        let mut opaque: Vec<&'static str> = Vec::new();
+        for e in [
+            &merged.sender,
+            &merged.receiver,
+            &merged.count,
+            &merged.max_comm_iter,
+        ]
+        .into_iter()
+        .flatten()
+        {
+            e.opaque_labels(&mut opaque);
+        }
+        for c in [&merged.sendwhen, &merged.receivewhen]
+            .into_iter()
+            .flatten()
+        {
+            c.opaque_labels(&mut opaque);
+        }
+        if !opaque.is_empty() {
+            let labels = opaque
+                .iter()
+                .map(|l| format!("<{l}>"))
+                .collect::<Vec<_>>()
+                .join(", ");
+            out.push(Diag {
+                code: LintCode::UnresolvedClause,
+                severity: Severity::Warning,
+                message: format!(
+                    "clause expression(s) contain opaque host code ({labels}) that static \
+                     analysis cannot reason about: verdicts degrade to concrete \
+                     per-rank-count evaluation"
+                ),
+                span: p2p.spans.routing().or(spec.spans.routing()),
+                region,
+                site,
+                key: format!("p{idx}:opaque"),
+                witness: None,
+                verification: None,
+            });
+        }
+
         // -- CI008: unresolved clause expressions ---------------------------
         if !g.unresolved.is_empty() {
             out.push(Diag {
@@ -321,6 +426,7 @@ pub fn lint_region_at(
                 site,
                 key: format!("p{idx}"),
                 witness: witness(nranks, g.unresolved.clone()),
+                verification: None,
             });
         }
 
@@ -341,6 +447,7 @@ pub fn lint_region_at(
                 site,
                 key: format!("p{idx}:sends"),
                 witness: witness(nranks, unmatched_sends.iter().map(|e| e.src).collect()),
+                verification: None,
             });
         }
         let unmatched_recvs = g.unmatched_recvs();
@@ -359,6 +466,7 @@ pub fn lint_region_at(
                 site,
                 key: format!("p{idx}:recvs"),
                 witness: witness(nranks, unmatched_recvs.iter().map(|e| e.dst).collect()),
+                verification: None,
             });
         }
 
@@ -389,6 +497,7 @@ pub fn lint_region_at(
                 site,
                 key: format!("p{idx}"),
                 witness: witness(nranks, dl.cycle.clone()),
+                verification: None,
             });
         }
         if !g.fully_matched() {
@@ -428,6 +537,7 @@ pub fn lint_region_at(
                             site,
                             key: format!("p{idx}:s{si}:r{ri}"),
                             witness: witness(nranks, both.clone()),
+                            verification: None,
                         });
                     }
                 }
@@ -461,6 +571,7 @@ pub fn lint_region_at(
                 site,
                 key: format!("p{idx}:lists"),
                 witness: witness(nranks, vec![]),
+                verification: None,
             });
         }
         'pairs: for (k, (sb, rb)) in p2p.sbuf.iter().zip(&p2p.rbuf).enumerate() {
@@ -490,6 +601,7 @@ pub fn lint_region_at(
                         site,
                         key: format!("p{idx}:pair{k}:size"),
                         witness: witness(nranks, vec![e.src, e.dst]),
+                        verification: None,
                     });
                     continue 'pairs;
                 }
@@ -512,6 +624,7 @@ pub fn lint_region_at(
                         site,
                         key: format!("p{idx}:pair{k}:overflow"),
                         witness: witness(nranks, vec![e.dst]),
+                        verification: None,
                     });
                     continue 'pairs;
                 }
@@ -538,6 +651,7 @@ pub fn lint_region_at(
                     site,
                     key: format!("p{idx}:pairing"),
                     witness: witness(nranks, vec![]),
+                    verification: None,
                 });
             }
             (Some(sw), Some(rw)) => {
@@ -585,6 +699,7 @@ pub fn lint_region_at(
                         site,
                         key: format!("p{idx}:consistency"),
                         witness: witness(nranks, who),
+                        verification: None,
                     });
                 }
             }
@@ -619,6 +734,7 @@ pub fn lint_region_at(
                 site,
                 key: format!("p{idx}"),
                 witness: witness(nranks, vec![]),
+                verification: None,
             });
         }
     }
@@ -642,6 +758,7 @@ pub fn lint_region_at(
             site: spec.body.get(j).map(|p| p.site),
             key: format!("c{i}:{j}:{a}:{b}"),
             witness: witness(nranks, vec![]),
+            verification: None,
         });
     }
 
@@ -665,6 +782,7 @@ pub fn lint_region_at(
                 site: None,
                 key: "region".into(),
                 witness: witness(nranks, cycle),
+                verification: None,
             });
         }
     }
@@ -678,7 +796,7 @@ mod tests {
     use crate::buffer::{BufMeta, ElemKind};
     use crate::clause::ClauseSet;
     use crate::dir::P2pSpec;
-    use crate::expr::RankExpr;
+    use crate::expr::{CondExpr, RankExpr};
     use mpisim::dtype::BasicType;
 
     fn meta(name: &str, lo: usize, bytes: usize) -> BufMeta {
@@ -896,6 +1014,46 @@ mod tests {
     }
 
     #[test]
+    fn opaque_clause_fires_one_witness_free_ci008_per_site() {
+        // An opaque guard nested under Not/And must still be reported, and
+        // the diagnostic must be identical at every rank count (no witness)
+        // so the sweep merges it into a single finding.
+        let clauses = ClauseSet {
+            sender: Some(RankExpr::opaque("route", |e| e.rank)),
+            receiver: Some(RankExpr::rank()),
+            sendwhen: Some(CondExpr::opaque("gate", |_| true).not().and(CondExpr::True)),
+            receivewhen: Some(CondExpr::True),
+            ..ClauseSet::default()
+        };
+        let spec = ParamsSpec {
+            clauses,
+            body: vec![p2p(
+                ClauseSet::default(),
+                vec![meta("s", 0, 8)],
+                vec![meta("r", 100, 8)],
+            )],
+            spans: DirSpans::default(),
+        };
+        let per_count: Vec<Vec<Diag>> = (2..=6)
+            .map(|n| {
+                lint_region_at(0, &spec, n, &HashMap::new())
+                    .into_iter()
+                    .filter(|d| d.key.ends_with(":opaque"))
+                    .collect()
+            })
+            .collect();
+        for diags in &per_count {
+            assert_eq!(diags.len(), 1, "exactly one opaque CI008 per site");
+            let d = &diags[0];
+            assert_eq!(d.code, LintCode::UnresolvedClause);
+            assert!(d.witness.is_none());
+            assert!(d.message.contains("<route>") && d.message.contains("<gate>"));
+            // Identical across counts -> the sweep dedups to one finding.
+            assert_eq!(d, &per_count[0][0]);
+        }
+    }
+
+    #[test]
     fn display_includes_code_span_and_witness() {
         let d = Diag {
             code: LintCode::UnmatchedSend,
@@ -913,11 +1071,13 @@ mod tests {
                 nranks: 3,
                 ranks: vec![0, 2],
             }),
+            verification: Some(Verification::Swept { min: 2, max: 16 }),
         };
         let s = d.to_string();
         assert!(s.contains("CI001"), "{s}");
         assert!(s.contains("3:7"), "{s}");
         assert!(s.contains("fails at nranks=3"), "{s}");
         assert!(s.contains("ranks 0,2"), "{s}");
+        assert!(s.contains("[swept 2..=16]"), "{s}");
     }
 }

@@ -259,6 +259,25 @@ impl RankExpr {
         }
     }
 
+    /// Display labels of every opaque closure in the expression, in
+    /// syntactic order without duplicates.
+    pub fn opaque_labels(&self, out: &mut Vec<&'static str>) {
+        match self {
+            RankExpr::Rank | RankExpr::NRanks | RankExpr::Const(_) | RankExpr::Var(_) => {}
+            RankExpr::Add(a, b)
+            | RankExpr::Sub(a, b)
+            | RankExpr::Mul(a, b)
+            | RankExpr::Div(a, b)
+            | RankExpr::Mod(a, b) => {
+                a.opaque_labels(out);
+                b.opaque_labels(out);
+            }
+            RankExpr::Neg(a) => a.opaque_labels(out),
+            RankExpr::Opaque(_, label) if !out.contains(label) => out.push(label),
+            RankExpr::Opaque(..) => {}
+        }
+    }
+
     // -- comparison builders producing conditions ---------------------------
 
     /// `self == rhs`
@@ -468,6 +487,31 @@ impl CondExpr {
             }
             CondExpr::Not(a) => a.free_vars(out),
             _ => {}
+        }
+    }
+
+    /// Display labels of every opaque closure in the condition, including
+    /// those nested inside comparison operands, in syntactic order without
+    /// duplicates.
+    pub fn opaque_labels(&self, out: &mut Vec<&'static str>) {
+        match self {
+            CondExpr::True | CondExpr::False => {}
+            CondExpr::Eq(a, b)
+            | CondExpr::Ne(a, b)
+            | CondExpr::Lt(a, b)
+            | CondExpr::Le(a, b)
+            | CondExpr::Gt(a, b)
+            | CondExpr::Ge(a, b) => {
+                a.opaque_labels(out);
+                b.opaque_labels(out);
+            }
+            CondExpr::And(a, b) | CondExpr::Or(a, b) => {
+                a.opaque_labels(out);
+                b.opaque_labels(out);
+            }
+            CondExpr::Not(a) => a.opaque_labels(out),
+            CondExpr::Opaque(_, label) if !out.contains(label) => out.push(label),
+            CondExpr::Opaque(..) => {}
         }
     }
 }

@@ -61,6 +61,7 @@ pub mod dir;
 pub mod expr;
 pub mod lower;
 pub mod macros;
+pub mod nf;
 pub mod patterns;
 pub mod scope;
 pub mod traceview;
@@ -68,9 +69,10 @@ pub mod traceview;
 pub use buffer::{Prim, PrimMut, PrimStrided, PrimStridedMut, RecvBuf, SendBuf, Struc, StrucMut};
 pub use clause::{ClauseSet, Diagnostic, DirectiveKind, PlaceSync, Severity, Target};
 pub use coll::{CollKind, ReduceOp};
-pub use diag::{Diag, DirSpans, LintCode, RankWitness, SrcSpan};
+pub use diag::{Diag, DirSpans, LintCode, RankWitness, SrcSpan, Verification};
 pub use dir::{P2pSpec, ParamsSpec};
 pub use expr::{CondExpr, EvalEnv, ExprError, RankExpr};
+pub use nf::{ClassParams, LinForm, ModForm, NormCond, NormErr, NormExpr};
 pub use scope::{CommParams, CommSession, DirectiveError, P2pCall, Region};
 
 /// Convenient glob-import surface.

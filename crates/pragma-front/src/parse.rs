@@ -117,6 +117,27 @@ impl Parsed {
     pub fn has_errors(&self) -> bool {
         ClauseSet::has_errors(&self.diagnostics)
     }
+
+    /// Certificate provenance: every `comm_p2p` site id paired with its
+    /// best source span (the directive keyword), in source order. Region
+    /// bodies contribute their sites; collectives have none. Lets
+    /// downstream provers (`commprove`) anchor per-site claims back to the
+    /// pragma text without re-walking the IR.
+    pub fn site_spans(&self) -> Vec<(u32, Option<SrcSpan>)> {
+        let mut out = Vec::new();
+        for item in &self.items {
+            match item {
+                Item::Region(r) => {
+                    for p in &r.body {
+                        out.push((p.site, p.spans.directive.or(r.spans.directive)));
+                    }
+                }
+                Item::P2p(p) => out.push((p.site, p.spans.directive)),
+                Item::Coll(_) => {}
+            }
+        }
+        out
+    }
 }
 
 /// Parse pragma source text against a symbol table.
@@ -665,6 +686,24 @@ mod tests {
         assert_eq!(p.sbuf[0].name, "buf1");
         assert_eq!(p.rbuf[0].len, 16);
         assert!(!parsed.has_errors());
+    }
+
+    #[test]
+    fn site_spans_cover_region_bodies_and_standalone_p2ps() {
+        let src = "\
+#pragma comm_parameters sender(rank-1) receiver(rank+1)
+{
+    #pragma comm_p2p sbuf(buf1) rbuf(buf2)
+    { }
+}
+#pragma comm_p2p sender(prev) receiver(next) sbuf(buf1) rbuf(buf2)";
+        let parsed = parse(src, &symbols()).unwrap();
+        let spans = parsed.site_spans();
+        assert_eq!(spans.len(), 2, "one site per comm_p2p: {spans:?}");
+        // Sites are distinct and every span points into the source.
+        assert_ne!(spans[0].0, spans[1].0);
+        assert_eq!(spans[0].1.unwrap().line, 3);
+        assert_eq!(spans[1].1.unwrap().line, 6);
     }
 
     #[test]
