@@ -1,8 +1,11 @@
 //! Figure 3: experimental results for communication of single atom data
 //! (potentials + electron densities).
 //!
-//! Usage: `fig3 [--stride K] [--jobs J] [--workers W] [--stats] [--json]
-//!              [--baseline FILE] [--trace-out FILE] [--profile FILE]`.
+//! Usage: `fig3 [--stride K] [--jobs J] [--workers W] [--eager-threshold B]
+//!              [--stats] [--json] [--baseline FILE] [--trace-out FILE]
+//!              [--profile FILE]`
+//! (`--eager-threshold` overrides the cost model's eager/rendezvous
+//! protocol switch, in bytes).
 
 use std::time::Instant;
 
@@ -25,10 +28,14 @@ fn main() {
     let trace_out = arg_str(&args, "--trace-out");
     let profile = arg_str(&args, "--profile");
     let workers = arg_usize(&args, "--workers");
-    let exec = match workers {
+    let eager = arg_usize(&args, "--eager-threshold");
+    let mut exec = match workers {
         Some(w) => ExecPolicy::bounded(w),
         None => ExecPolicy::threads(),
     };
+    if let Some(b) = eager {
+        exec = exec.with_eager_threshold(b);
+    }
 
     let ms = paper_ms(stride);
     let xs: Vec<usize> = ms
@@ -64,7 +71,14 @@ fn main() {
             AtomSizes::default(),
             exec,
         );
-        emit_observability("fig3", &[("m".into(), m as i64)], &obs, trace_out, profile);
+        emit_observability(
+            "fig3",
+            &[("m".into(), m as i64)],
+            &obs,
+            trace_out,
+            profile,
+            None,
+        );
     }
 
     let mut stat_lines = Vec::new();
@@ -93,6 +107,7 @@ fn main() {
             args: vec![
                 ("stride".into(), stride as i64),
                 ("workers".into(), workers.map_or(-1, |w| w as i64)),
+                ("eager_threshold".into(), eager.map_or(-1, |b| b as i64)),
             ],
             ranks: xs,
             series,

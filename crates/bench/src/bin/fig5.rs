@@ -2,8 +2,11 @@
 //! overlap — spin communication plus the first `calculateCoreStates` slice,
 //! under the paper's projected 10x GPU speedup of the computation.
 //!
-//! Usage: `fig5 [--stride K] [--steps N] [--jobs J] [--workers W] [--stats]
-//!              [--json] [--baseline FILE] [--trace-out FILE] [--profile FILE]`.
+//! Usage: `fig5 [--stride K] [--steps N] [--jobs J] [--workers W]
+//!              [--eager-threshold B] [--stats] [--json] [--baseline FILE]
+//!              [--trace-out FILE] [--profile FILE]`
+//! (`--eager-threshold` overrides the cost model's eager/rendezvous
+//! protocol switch, in bytes).
 
 use std::time::Instant;
 
@@ -25,10 +28,14 @@ fn main() {
     let trace_out = arg_str(&args, "--trace-out");
     let profile = arg_str(&args, "--profile");
     let workers = arg_usize(&args, "--workers");
-    let exec = match workers {
+    let eager = arg_usize(&args, "--eager-threshold");
+    let mut exec = match workers {
         Some(w) => ExecPolicy::bounded(w),
         None => ExecPolicy::threads(),
     };
+    if let Some(b) = eager {
+        exec = exec.with_eager_threshold(b);
+    }
 
     let ms = paper_ms(stride);
     let xs: Vec<usize> = ms
@@ -64,6 +71,7 @@ fn main() {
             &obs,
             trace_out,
             profile,
+            None,
         );
     }
 
@@ -99,6 +107,7 @@ fn main() {
                 ("stride".into(), stride as i64),
                 ("steps".into(), steps as i64),
                 ("workers".into(), workers.map_or(-1, |w| w as i64)),
+                ("eager_threshold".into(), eager.map_or(-1, |b| b as i64)),
             ],
             ranks: xs,
             series,

@@ -57,12 +57,16 @@ pub fn emit_json_report(report: &BenchReport, baseline_path: Option<&str>) -> i3
 /// Chrome trace (`--trace-out`) and/or a stable profile JSON (`--profile`).
 /// Shared by the figure binaries; both outputs are pure functions of
 /// virtual time and byte-identical across engines and `--jobs` widths.
+/// `tuning` is the overlay provenance document when the observed run was
+/// executed under a tuning overlay (recorded in the profile), `None` for
+/// untuned runs.
 pub fn emit_observability(
     workload: &str,
     args: &[(String, i64)],
     obs: &wl_lsms::Observed,
     trace_out: Option<&str>,
     profile: Option<&str>,
+    tuning: Option<&commscope::Json>,
 ) {
     if trace_out.is_none() && profile.is_none() {
         return;
@@ -75,7 +79,7 @@ pub fn emit_observability(
     }
     if let Some(path) = profile {
         let analysis = commscope::analyze(&obs.trace, nranks, &obs.final_times);
-        let doc = commscope::profile_json(workload, args, &analysis, &obs.metrics);
+        let doc = commscope::profile_json_tuned(workload, args, &analysis, &obs.metrics, tuning);
         let text = doc.render();
         std::fs::write(path, &text).expect("write --profile file");
         eprintln!("  [profile] wrote {path} ({} bytes)", text.len());

@@ -38,4 +38,4 @@ pub use analysis::{
 pub use chrome::chrome_trace;
 pub use folded::folded_stacks;
 pub use json::Json;
-pub use profile::{profile_json, validate_profile, PROFILE_SCHEMA};
+pub use profile::{profile_json, profile_json_tuned, validate_profile, PROFILE_SCHEMA};

@@ -79,6 +79,21 @@ pub fn profile_json(
     analysis: &Analysis,
     metrics: &[RankMetrics],
 ) -> Json {
+    profile_json_tuned(workload, args, analysis, metrics, None)
+}
+
+/// [`profile_json`] for a run executed under a tuning overlay: `tuning` is
+/// the overlay's provenance document (generator, schema, decisions) and is
+/// recorded under a `"tuning"` key so a profile says which decisions were
+/// live when it was taken. `None` emits exactly the untuned document —
+/// committed profile goldens are unaffected.
+pub fn profile_json_tuned(
+    workload: &str,
+    args: &[(String, i64)],
+    analysis: &Analysis,
+    metrics: &[RankMetrics],
+    tuning: Option<&Json>,
+) -> Json {
     let wait_ranks: Vec<Json> = analysis
         .ranks
         .iter()
@@ -124,7 +139,7 @@ pub fn profile_json(
         })
         .collect();
 
-    Json::Obj(vec![
+    let mut fields = vec![
         ("schema".into(), Json::Int(PROFILE_SCHEMA)),
         ("workload".into(), Json::Str(workload.to_string())),
         (
@@ -155,7 +170,11 @@ pub fn profile_json(
             ]),
         ),
         ("critical_path".into(), Json::Arr(path)),
-    ])
+    ];
+    if let Some(t) = tuning {
+        fields.push(("tuning".into(), t.clone()));
+    }
+    Json::Obj(fields)
 }
 
 /// Validate the shape of a profile document (used by `commscope --check`
@@ -262,6 +281,27 @@ mod tests {
                 .unwrap()
                 .as_i64(),
             Some(32)
+        );
+    }
+
+    #[test]
+    fn tuned_profile_carries_provenance_and_none_is_identical() {
+        let a = analyze(&[], 1, &[Time(10)]);
+        let plain = profile_json("demo", &[], &a, &[]);
+        let none = profile_json_tuned("demo", &[], &a, &[], None);
+        assert_eq!(plain.render(), none.render(), "None must not change bytes");
+        let prov = Json::Obj(vec![("generator".into(), Json::Str("commtune".into()))]);
+        let tuned = profile_json_tuned("demo", &[], &a, &[], Some(&prov));
+        assert_eq!(
+            tuned
+                .get("tuning")
+                .and_then(|t| t.get("generator"))
+                .and_then(|g| g.as_str()),
+            Some("commtune")
+        );
+        assert!(
+            validate_profile(&tuned).is_empty(),
+            "tuning key stays valid"
         );
     }
 

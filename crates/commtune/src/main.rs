@@ -1,0 +1,13 @@
+//! `commtune` — decide a tuning overlay from a commscope profile.
+//!
+//! Usage:
+//!   commtune --profile FILE [--out FILE] [--pins SRC]
+//!            [--eager-threshold N] [--batch-cap N]
+//!   commtune --validate OVERLAY
+//!
+//! Exit codes: 0 ok, 2 bad input, 3 stale overlay schema.
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    std::process::exit(commtune::cli_main(&args));
+}

@@ -62,6 +62,7 @@ pub mod expr;
 pub mod lower;
 pub mod macros;
 pub mod nf;
+pub mod overlay;
 pub mod patterns;
 pub mod scope;
 pub mod traceview;
@@ -73,6 +74,7 @@ pub use diag::{Diag, DirSpans, LintCode, RankWitness, SrcSpan, Verification};
 pub use dir::{P2pSpec, ParamsSpec};
 pub use expr::{CondExpr, EvalEnv, ExprError, RankExpr};
 pub use nf::{ClassParams, LinForm, ModForm, NormCond, NormErr, NormExpr};
+pub use overlay::{Decision, Overlay, SiteDecision, OVERLAY_SCHEMA};
 pub use scope::{CommParams, CommSession, DirectiveError, P2pCall, Region};
 
 /// Convenient glob-import surface.
@@ -80,6 +82,7 @@ pub mod prelude {
     pub use crate::buffer::{Prim, PrimMut, PrimStrided, PrimStridedMut, Struc, StrucMut};
     pub use crate::clause::{PlaceSync, Target};
     pub use crate::expr::{CondExpr, EvalEnv, RankExpr};
+    pub use crate::overlay::{Decision, Overlay, SiteDecision};
     pub use crate::scope::{CommParams, CommSession, DirectiveError};
     pub use crate::{comm_coll, comm_p2p, comm_parameters};
 }

@@ -25,9 +25,15 @@ use crate::buffer::{BufMeta, ElemKind, RecvBuf, SendBuf};
 use crate::clause::{ClauseSet, Diagnostic, DirectiveKind, PlaceSync, Target};
 use crate::dir::{P2pSpec, ParamsSpec};
 use crate::expr::{CondExpr, EvalEnv, ExprError, RankExpr};
+use crate::overlay::{Decision, Overlay};
 
 /// Base user tag reserved for directive-generated messages.
 const DIR_TAG_BASE: i32 = 1 << 18;
+
+/// User-tag base for coalesced (batched) directive messages — disjoint
+/// from [`DIR_TAG_BASE`] so packed and per-instance traffic for the same
+/// site can never cross-match. Still inside mpisim's user-tag space.
+const COAL_TAG_BASE: i32 = DIR_TAG_BASE + (1 << 17);
 
 /// Errors from directive execution.
 #[derive(Debug)]
@@ -206,6 +212,52 @@ struct StagingSite {
     recv_count: u64,
 }
 
+/// Sender-side accumulator for one (site, destination) coalescing stream.
+struct CoalesceOut {
+    site: u32,
+    dest: usize,
+    target: Target,
+    batch: usize,
+    /// Directive instances accumulated since the last flush.
+    instances: usize,
+    /// Length-framed pieces awaiting one packed send.
+    buf: Vec<u8>,
+    /// Latest data-dependency horizon among the accumulated pieces: the
+    /// packed send departs no earlier than its newest piece's data.
+    horizon: Time,
+}
+
+/// Receiver-side buffer of one packed message being peeled piece by piece.
+struct CoalesceIn {
+    site: u32,
+    src: usize,
+    payload: bytes::Bytes,
+    pos: usize,
+    /// Virtual completion time of the packed message that carried `payload`.
+    completion: Time,
+}
+
+/// Per-site symmetric staging for SHMEM-coalesced flushes: one slot holds
+/// one packed flush (`[u32 total][framed pieces...]`).
+struct CoalStaging {
+    seg: SegId,
+    slot_bytes: usize,
+    slots: usize,
+    /// Per-destination flush counts (slot selection on the sender).
+    send_flushes: HashMap<usize, u64>,
+    /// Flushes consumed (slot selection + signal indexing on the receiver).
+    recv_flushes: u64,
+}
+
+/// Runtime state of an installed tuning overlay: the decisions plus the
+/// coalescing accumulators they drive.
+struct OverlayState {
+    overlay: Overlay,
+    out: Vec<CoalesceOut>,
+    inbox: Vec<CoalesceIn>,
+    shmem_staging: Vec<(u32, CoalStaging)>,
+}
+
 /// A directive session: binds a rank context to a communicator and holds
 /// the cross-region state — the per-scope datatype cache, carried
 /// synchronizations (`place_sync` deferral), symmetric staging sites, and
@@ -232,6 +284,9 @@ pub struct CommSession<'a> {
     /// Recorded region IR (first instance per call order), for analysis.
     program: Vec<ParamsSpec>,
     record_ir: bool,
+    /// Installed tuning overlay plus its coalescing state. `None` (the
+    /// untuned hot path) costs a single branch per directive instance.
+    overlay: Option<Box<OverlayState>>,
 }
 
 impl<'a> CommSession<'a> {
@@ -249,7 +304,27 @@ impl<'a> CommSession<'a> {
             recv_horizons: Vec::new(),
             program: Vec::new(),
             record_ir: true,
+            overlay: None,
         }
+    }
+
+    /// Install a tuning overlay (profile-guided decisions from `commtune`).
+    /// Decisions apply to every directive executed afterwards; `Keep`
+    /// decisions are behaviorally inert by construction, so an all-keep
+    /// overlay reproduces the untuned run bit for bit.
+    pub fn with_overlay(mut self, overlay: Overlay) -> Self {
+        self.overlay = Some(Box::new(OverlayState {
+            overlay,
+            out: Vec::new(),
+            inbox: Vec::new(),
+            shmem_staging: Vec::new(),
+        }));
+        self
+    }
+
+    /// The installed tuning overlay, if any.
+    pub fn overlay(&self) -> Option<&Overlay> {
+        self.overlay.as_deref().map(|s| &s.overlay)
     }
 
     /// The latest arrival horizon of received data overlapping `range`
@@ -359,16 +434,35 @@ impl<'a> CommSession<'a> {
         };
         let out = body(&mut region);
         let Region {
-            pending,
+            mut pending,
             spec,
             error,
             ..
         } = region;
         if let Some(e) = error {
+            // Abandon half-built coalescing batches; the receiver side of
+            // this region is aborting too, so nothing will wait for them.
+            if let Some(ov) = self.overlay.as_deref_mut() {
+                ov.out.clear();
+            }
             return Err(e);
         }
 
-        match spec.place_sync() {
+        // Region-end flush: coalesced batches never outlive their region,
+        // keeping the flush rule a pure function of the instance schedule.
+        flush_coalesced(self, &mut pending, None);
+
+        // Overlay `place_sync` decisions override the written placement for
+        // any region executing that site.
+        let mut placement = spec.place_sync();
+        if let Some(ov) = self.overlay.as_deref() {
+            for p in &spec.body {
+                if let Some(p2) = ov.overlay.place_sync_for(p.site) {
+                    placement = p2;
+                }
+            }
+        }
+        match placement {
             PlaceSync::EndParamRegion => {
                 let adj = std::mem::take(&mut self.carried_adj);
                 self.apply_sync(adj);
@@ -405,6 +499,11 @@ impl<'a> CommSession<'a> {
     /// Force application of all deferred synchronizations (the end of a run
     /// of adjacent regions, or program end).
     pub fn flush(&mut self) {
+        // Coalesced leftovers exist only if a region was abandoned without
+        // its end-of-region flush; drain them so no packed send is lost.
+        let mut extra = PendingSync::default();
+        flush_coalesced(self, &mut extra, None);
+        self.apply_sync(extra);
         let next = std::mem::take(&mut self.carried_next);
         self.apply_sync(next);
         let adj = std::mem::take(&mut self.carried_adj);
@@ -774,6 +873,7 @@ fn execute_p2p(
     body: impl FnOnce(&mut RankCtx),
 ) -> Result<(), DirectiveError> {
     // Count this execution of the site (and enforce `max_comm_iter`).
+    let in_region = iter_counts.is_some();
     let mut first_execution_of_site = true;
     if let Some(counts) = iter_counts {
         let c = match counts.iter_mut().find(|(s, _)| *s == site) {
@@ -872,10 +972,29 @@ fn execute_p2p(
         }
         None => p2p_specless_inferred_count(sbufs, rbufs),
     };
-    let target = clauses
+    let mut target = clauses
         .target
         .or_else(|| outer.and_then(|o| o.target))
         .unwrap_or_default();
+
+    // -- overlay application -----------------------------------------------------
+    // Profile-guided decisions resolve here, after the written clauses: the
+    // source states intent, the overlay refines mechanism. A single branch
+    // when no overlay is installed (the untuned hot path). Coalescing only
+    // applies inside regions — a standalone p2p synchronizes immediately,
+    // so batching it could never elide anything.
+    let mut coalesce = None;
+    if let Some(ov) = session.overlay.as_deref() {
+        if let Some(d) = ov.overlay.decision_for(site) {
+            match d.decision {
+                Decision::Retarget(t) => target = t,
+                Decision::Coalesce { batch } if batch >= 2 && in_region => {
+                    coalesce = Some(batch);
+                }
+                _ => {}
+            }
+        }
+    }
     let size = session.comm.size();
 
     let dest = if is_sender {
@@ -941,7 +1060,10 @@ fn execute_p2p(
                     .any(|&(ulo, uhi, uw)| ulo < hi && lo < uhi && (w || uw))
         });
         if conflict {
-            let p = std::mem::take(pending);
+            let mut p = std::mem::take(pending);
+            // A forced split is a flush point: in-flight coalesced batches
+            // belong to the synchronization that the dependence demands.
+            flush_coalesced(session, &mut p, None);
             session.apply_sync(p);
             used.clear();
             *splits += 1;
@@ -955,9 +1077,19 @@ fn execute_p2p(
     // events and metrics join back to the `comm_p2p` clause that caused
     // them. The previous attribution is restored even on error.
     let prev_site = session.ctx.set_site(Some(site));
-    let dispatched = match target {
-        Target::Mpi2Side => exec_mpi2(session, pending, site, sbufs, rbufs, count, dest, src),
-        Target::Mpi1Side | Target::Shmem => exec_onesided(
+    let dispatched = match (target, coalesce) {
+        (Target::Mpi2Side, Some(batch)) => exec_mpi2_coalesced(
+            session, pending, site, sbufs, rbufs, count, dest, src, batch,
+        ),
+        (Target::Shmem, Some(batch)) => exec_shmem_coalesced(
+            session, pending, site, sbufs, rbufs, count, dest, src, batch, max_iter,
+        ),
+        (Target::Mpi2Side, None) => {
+            exec_mpi2(session, pending, site, sbufs, rbufs, count, dest, src)
+        }
+        // MPI one-sided flushes through a collective fence; batching puts
+        // under it would change nothing, so Coalesce degrades to Keep.
+        (Target::Mpi1Side | Target::Shmem, _) => exec_onesided(
             session, pending, site, sbufs, rbufs, count, dest, src, target, max_iter,
         ),
     };
@@ -1048,6 +1180,398 @@ fn exec_mpi2(
             session.ctx.note_recv_completion(&req, &done);
             session.recv_horizons.push((meta.addr, done.completion));
             pending.recv_completions.push(done.completion);
+        }
+    }
+    Ok(())
+}
+
+/// Find or create the (site, dest) coalescing accumulator.
+fn coalesce_out(
+    out: &mut Vec<CoalesceOut>,
+    site: u32,
+    dest: usize,
+    target: Target,
+    batch: usize,
+) -> &mut CoalesceOut {
+    if let Some(i) = out.iter().position(|a| a.site == site && a.dest == dest) {
+        return &mut out[i];
+    }
+    out.push(CoalesceOut {
+        site,
+        dest,
+        target,
+        batch,
+        instances: 0,
+        buf: Vec::new(),
+        horizon: Time::ZERO,
+    });
+    out.last_mut().expect("just pushed")
+}
+
+/// Peel the next piece for (site, src) out of the receive-side buffer.
+/// `None` means the buffered packed message (if any) is exhausted and a new
+/// one must be received.
+fn coalesce_next_piece(ov: &mut OverlayState, site: u32, src: usize) -> Option<(Vec<u8>, Time)> {
+    let entry = ov
+        .inbox
+        .iter_mut()
+        .find(|e| e.site == site && e.src == src)?;
+    let mut pos = entry.pos;
+    let piece = mpisim::pack::peel_piece(&entry.payload, &mut pos)?.to_vec();
+    entry.pos = pos;
+    Some((piece, entry.completion))
+}
+
+/// Replace (or create) the receive-side buffer for (site, src).
+fn coalesce_store_inbox(
+    ov: &mut OverlayState,
+    site: u32,
+    src: usize,
+    payload: bytes::Bytes,
+    completion: Time,
+) {
+    let fresh = CoalesceIn {
+        site,
+        src,
+        payload,
+        pos: 0,
+        completion,
+    };
+    match ov.inbox.iter_mut().find(|e| e.site == site && e.src == src) {
+        Some(e) => *e = fresh,
+        None => ov.inbox.push(fresh),
+    }
+}
+
+/// Flush coalesced accumulators into `pending` as packed sends. `which` of
+/// `None` flushes everything — the region-end rule, a dependence-forced
+/// sync, or a receiver about to physically block (so a rank can never wait
+/// on a peer whose pieces it is itself still holding); `Some((site, dest))`
+/// flushes one full batch. Every flush point is a pure function of the
+/// per-rank instance schedule, never of engine interleaving, which is what
+/// keeps coalesced runs bit-identical across execution engines.
+fn flush_coalesced(
+    session: &mut CommSession<'_>,
+    pending: &mut PendingSync,
+    which: Option<(u32, usize)>,
+) {
+    let Some(ov) = session.overlay.as_deref_mut() else {
+        return;
+    };
+    let mut work: Vec<(u32, usize, Target, Vec<u8>, Time)> = Vec::new();
+    for acc in ov.out.iter_mut() {
+        if acc.buf.is_empty() {
+            continue;
+        }
+        if let Some((s, d)) = which {
+            if acc.site != s || acc.dest != d {
+                continue;
+            }
+        }
+        acc.instances = 0;
+        work.push((
+            acc.site,
+            acc.dest,
+            acc.target,
+            std::mem::take(&mut acc.buf),
+            std::mem::replace(&mut acc.horizon, Time::ZERO),
+        ));
+    }
+    for (site, dest, target, payload, horizon) in work {
+        // The packed message departs no earlier than its newest piece's
+        // data (the same causality fence the per-instance path applies).
+        session.ctx.advance_to(horizon);
+        match target {
+            Target::Mpi2Side => {
+                let tag = COAL_TAG_BASE + site as i32;
+                let req =
+                    session
+                        .comm
+                        .isend_packed(session.ctx, dest, tag, bytes::Bytes::from(payload));
+                pending.send_reqs.push(req);
+            }
+            Target::Shmem => {
+                let model = session.ctx.machine().shmem;
+                let (seg, slot_base) = {
+                    let ov = session.overlay.as_deref_mut().expect("checked above");
+                    let st = ov
+                        .shmem_staging
+                        .iter_mut()
+                        .find(|(s, _)| *s == site)
+                        .map(|(_, st)| st)
+                        .expect("staging created at first coalesced execution");
+                    let k = st.send_flushes.entry(dest).or_insert(0);
+                    let slot = (*k % st.slots as u64) as usize;
+                    *k += 1;
+                    (st.seg, slot * st.slot_bytes)
+                };
+                let mut wire = Vec::with_capacity(4 + payload.len());
+                wire.extend_from_slice(&(payload.len() as u32).to_le_bytes());
+                wire.extend_from_slice(&payload);
+                let global_dest = session.comm.global(dest);
+                // Pack charge + one signalled putmem of the whole batch
+                // (shmemsim's `put_packed`, inlined over the raw context
+                // because the engine talks to `netsim` directly).
+                session.ctx.charge_pack(wire.len(), &model);
+                let arrival = session
+                    .ctx
+                    .put(seg, global_dest, slot_base, &wire, &model, true);
+                pending.put_arrivals_shmem.push(arrival);
+                pending.used_shmem = true;
+                session.ctx.take_outstanding_puts();
+            }
+            Target::Mpi1Side => unreachable!("coalescing never targets MPI one-sided"),
+        }
+    }
+}
+
+/// Coalesced two-sided lowering: each instance's payload is gathered and
+/// length-framed into a per-(site, destination) batch; one packed Isend
+/// per flush replaces `batch` per-piece sends, and the receiver peels
+/// pieces back out of one packed Irecv — fewer software overheads on both
+/// sides and a smaller consolidated Waitall.
+#[allow(clippy::too_many_arguments)]
+fn exec_mpi2_coalesced(
+    session: &mut CommSession<'_>,
+    pending: &mut PendingSync,
+    site: u32,
+    sbufs: &BufList<Box<dyn SendBuf + '_>>,
+    rbufs: &mut BufList<Box<dyn RecvBuf + '_>>,
+    count: usize,
+    dest: Option<usize>,
+    src: Option<usize>,
+    batch: usize,
+) -> Result<(), DirectiveError> {
+    if let Some(dest) = dest {
+        let mpi = session.ctx.machine().mpi;
+        let mut framed = Vec::new();
+        let mut horizon = Time::ZERO;
+        for sb in sbufs.iter() {
+            let meta = sb.meta();
+            let n = count.min(meta.len);
+            if let Some(h) = session.data_horizon(meta.addr) {
+                horizon = horizon.max(h);
+            }
+            let mut piece = Vec::with_capacity(n * meta.elem.packed_size());
+            sb.gather(n, &mut piece);
+            if !matches!(meta.elem, ElemKind::Prim(_)) {
+                let dt = meta.elem.to_datatype();
+                session.dtype_cache.ensure_committed(session.ctx, &dt, &mpi);
+                session
+                    .ctx
+                    .charge(mpi.byte_cost(mpi.datatype_per_byte, piece.len()));
+            }
+            mpisim::pack::frame_piece(&mut framed, &piece);
+        }
+        let full = {
+            let ov = session
+                .overlay
+                .as_deref_mut()
+                .expect("coalescing implies an installed overlay");
+            let acc = coalesce_out(&mut ov.out, site, dest, Target::Mpi2Side, batch);
+            acc.buf.append(&mut framed);
+            acc.horizon = acc.horizon.max(horizon);
+            acc.instances += 1;
+            acc.instances >= acc.batch
+        };
+        if full {
+            flush_coalesced(session, pending, Some((site, dest)));
+        }
+    }
+    if let Some(src) = src {
+        let mpi = session.ctx.machine().mpi;
+        for rb in rbufs.iter_mut() {
+            let meta = rb.meta();
+            let n = count.min(meta.len);
+            let ov = session.overlay.as_deref_mut().expect("overlay installed");
+            let piece = match coalesce_next_piece(ov, site, src) {
+                Some(p) => p,
+                None => {
+                    // About to physically block for the next packed
+                    // message: flush our own batches first, so a rank
+                    // never waits on a peer while holding pieces that
+                    // peer (or a cycle through it) needs.
+                    flush_coalesced(session, pending, None);
+                    let tag = COAL_TAG_BASE + site as i32;
+                    let req = session.comm.irecv(session.ctx, Some(src), Some(tag));
+                    let done = req.wait_raw();
+                    session.ctx.note_recv_completion(&req, &done);
+                    // One deferred completion per packed message — the
+                    // receiver's share of the Waitall shrinks with the
+                    // batch factor.
+                    pending.recv_completions.push(done.completion);
+                    let ov = session.overlay.as_deref_mut().expect("overlay installed");
+                    coalesce_store_inbox(ov, site, src, done.payload, done.completion);
+                    coalesce_next_piece(ov, site, src)
+                        .expect("freshly received packed message has a piece")
+                }
+            };
+            let (piece, completion) = piece;
+            if !matches!(meta.elem, ElemKind::Prim(_)) {
+                let dt = meta.elem.to_datatype();
+                session.dtype_cache.ensure_committed(session.ctx, &dt, &mpi);
+                session
+                    .ctx
+                    .charge(mpi.byte_cost(mpi.datatype_per_byte, piece.len()));
+            }
+            // MPI_Unpack out of the packed wire buffer into the user buffer.
+            session.ctx.charge_pack(piece.len(), &mpi);
+            rb.scatter(n, &piece);
+            session.recv_horizons.push((meta.addr, completion));
+        }
+    }
+    Ok(())
+}
+
+/// Coalesced SHMEM lowering: framed batches land in a dedicated symmetric
+/// staging slot via one signalled `shmem_putmem` per flush; the receiver
+/// waits one signal per flush and peels pieces locally.
+#[allow(clippy::too_many_arguments)]
+fn exec_shmem_coalesced(
+    session: &mut CommSession<'_>,
+    pending: &mut PendingSync,
+    site: u32,
+    sbufs: &BufList<Box<dyn SendBuf + '_>>,
+    rbufs: &mut BufList<Box<dyn RecvBuf + '_>>,
+    count: usize,
+    dest: Option<usize>,
+    src: Option<usize>,
+    batch: usize,
+    max_iter: Option<i64>,
+) -> Result<(), DirectiveError> {
+    let model = session.ctx.machine().shmem;
+    pending.used_shmem = true;
+
+    // Lazily create the per-site coalesce staging (collective: every rank
+    // of the communicator executes the directive, participant or not). One
+    // slot holds one packed flush; `max_comm_iter` bounds flushes per
+    // region, so slots never wrap within a region.
+    let have_staging = session
+        .overlay
+        .as_deref()
+        .map(|ov| ov.shmem_staging.iter().any(|(s, _)| *s == site))
+        .unwrap_or(false);
+    if !have_staging {
+        let per_instance: usize = sbufs
+            .iter()
+            .map(|b| 4 + count * b.meta().elem.packed_size())
+            .sum();
+        let slot_bytes = (4 + batch * per_instance).max(8);
+        let slots = max_iter.map(|m| m.max(1) as usize).unwrap_or(1);
+        let group = session.comm.sorted_globals();
+        let seg = session
+            .ctx
+            .sym_alloc_windowed(&group, slot_bytes * slots, slots as u64, &model);
+        session
+            .overlay
+            .as_deref_mut()
+            .expect("coalescing implies an installed overlay")
+            .shmem_staging
+            .push((
+                site,
+                CoalStaging {
+                    seg,
+                    slot_bytes,
+                    slots,
+                    send_flushes: HashMap::new(),
+                    recv_flushes: 0,
+                },
+            ));
+    }
+
+    if let Some(dest) = dest {
+        let mut framed = Vec::new();
+        let mut horizon = Time::ZERO;
+        for sb in sbufs.iter() {
+            let meta = sb.meta();
+            let n = count.min(meta.len);
+            if let Some(h) = session.data_horizon(meta.addr) {
+                horizon = horizon.max(h);
+            }
+            let mut piece = Vec::with_capacity(n * meta.elem.packed_size());
+            sb.gather(n, &mut piece);
+            if !matches!(meta.elem, ElemKind::Prim(_)) {
+                // SHMEM has no datatype engine: composites are packed by
+                // generated code (the frame copy below is charged at pack
+                // rate already, so only note nothing extra here).
+                session
+                    .ctx
+                    .charge(model.byte_cost(model.pack_per_byte, piece.len()));
+            }
+            mpisim::pack::frame_piece(&mut framed, &piece);
+        }
+        let (full, overflow) = {
+            let ov = session
+                .overlay
+                .as_deref_mut()
+                .expect("coalescing implies an installed overlay");
+            let slot_bytes = ov
+                .shmem_staging
+                .iter()
+                .find(|(s, _)| *s == site)
+                .map(|(_, st)| st.slot_bytes)
+                .expect("staging created above");
+            let acc = coalesce_out(&mut ov.out, site, dest, Target::Shmem, batch);
+            let need = 4 + acc.buf.len() + framed.len();
+            if need > slot_bytes {
+                (false, Some((need, slot_bytes)))
+            } else {
+                acc.buf.append(&mut framed);
+                acc.horizon = acc.horizon.max(horizon);
+                acc.instances += 1;
+                (acc.instances >= acc.batch, None)
+            }
+        };
+        if let Some((need, have)) = overflow {
+            return Err(DirectiveError::StagingOverflow { site, need, have });
+        }
+        if full {
+            flush_coalesced(session, pending, Some((site, dest)));
+        }
+    }
+
+    if let Some(src) = src {
+        for rb in rbufs.iter_mut() {
+            let meta = rb.meta();
+            let n = count.min(meta.len);
+            let ov = session.overlay.as_deref_mut().expect("overlay installed");
+            let piece = match coalesce_next_piece(ov, site, src) {
+                Some(p) => p,
+                None => {
+                    // Flush-before-wait (see the two-sided path).
+                    flush_coalesced(session, pending, None);
+                    let (seg, slot_base, expect) = {
+                        let ov = session.overlay.as_deref_mut().expect("overlay installed");
+                        let st = ov
+                            .shmem_staging
+                            .iter_mut()
+                            .find(|(s, _)| *s == site)
+                            .map(|(_, st)| st)
+                            .expect("staging created above");
+                        let slot = (st.recv_flushes % st.slots as u64) as usize;
+                        st.recv_flushes += 1;
+                        (st.seg, slot * st.slot_bytes, st.recv_flushes)
+                    };
+                    let arrival = session.ctx.wait_signals_raw(seg, expect as usize);
+                    let mut hdr = [0u8; 4];
+                    session.ctx.read_local(seg, slot_base, &mut hdr);
+                    let total = u32::from_le_bytes(hdr) as usize;
+                    let mut payload = vec![0u8; total];
+                    session.ctx.read_local(seg, slot_base + 4, &mut payload);
+                    // Bounce the whole flush out of the symmetric slot at
+                    // memcpy rate and free it for flow-controlled senders.
+                    session.ctx.charge_memcpy(total, &model);
+                    session.ctx.mark_consumed(seg, 1);
+                    pending.recv_arrivals_shmem.push(arrival);
+                    let ov = session.overlay.as_deref_mut().expect("overlay installed");
+                    coalesce_store_inbox(ov, site, src, bytes::Bytes::from(payload), arrival);
+                    coalesce_next_piece(ov, site, src)
+                        .expect("freshly received packed flush has a piece")
+                }
+            };
+            let (piece, completion) = piece;
+            rb.scatter(n, &piece);
+            session.recv_horizons.push((meta.addr, completion));
         }
     }
     Ok(())
@@ -1230,6 +1754,7 @@ fn exec_onesided(
 mod tests {
     use super::*;
     use crate::buffer::{Prim, PrimMut};
+    use crate::overlay::SiteDecision;
     use netsim::{run, SimConfig};
 
     fn ring_params(n: usize) -> CommParams {
@@ -1622,6 +2147,247 @@ mod tests {
         });
         assert_eq!(res.per_rank[1], vec![0, 1, 2, 3]);
         assert!(res.per_rank[0].iter().all(|&v| v == 0));
+    }
+
+    /// Run an `iters`-deep pairwise loop (rank 0 → rank 1, `count` i64s per
+    /// instance) under an optional overlay; returns (received values,
+    /// sends, recvs, packed_bytes, final time of rank 1).
+    fn run_pair_loop(
+        target: Target,
+        iters: usize,
+        overlay: Option<Overlay>,
+    ) -> (Vec<i64>, usize, usize, usize, Time) {
+        let res = run(SimConfig::new(2), move |ctx| {
+            let comm = Comm::world(ctx);
+            let mut session = CommSession::new(ctx, comm);
+            if let Some(ov) = overlay.clone() {
+                session = session.with_overlay(ov);
+            }
+            let mut got = Vec::new();
+            let params = CommParams::new()
+                .sender(RankExpr::lit(0))
+                .receiver(RankExpr::lit(1))
+                .sendwhen(RankExpr::rank().eq(RankExpr::lit(0)))
+                .receivewhen(RankExpr::rank().eq(RankExpr::lit(1)))
+                .target(target)
+                .max_comm_iter(iters as i64);
+            session
+                .region(&params, |reg| {
+                    for i in 0..iters {
+                        let src = [i as i64 * 3, i as i64 * 3 + 1];
+                        let mut dst = [0i64; 2];
+                        reg.p2p()
+                            .site(9)
+                            .sbuf(Prim::new("src", &src))
+                            .rbuf(PrimMut::new("dst", &mut dst))
+                            .run()
+                            .unwrap();
+                        got.extend_from_slice(&dst);
+                    }
+                })
+                .unwrap();
+            session.flush();
+            (
+                got,
+                ctx.stats.sends,
+                ctx.stats.recvs,
+                ctx.stats.packed_bytes,
+                ctx.now(),
+            )
+        });
+        res.per_rank.into_iter().nth(1).unwrap()
+    }
+
+    fn coalesce_overlay(batch: usize) -> Overlay {
+        let mut ov = Overlay::default();
+        ov.set(SiteDecision::new(9, Decision::Coalesce { batch }));
+        ov
+    }
+
+    #[test]
+    fn coalesced_mpi2_delivers_and_batches() {
+        let iters = 8;
+        let (base_vals, _, base_recvs, base_packed, base_t) =
+            run_pair_loop(Target::Mpi2Side, iters, None);
+        let (vals, _, recvs, packed, t) =
+            run_pair_loop(Target::Mpi2Side, iters, Some(coalesce_overlay(4)));
+        assert_eq!(vals, base_vals, "coalescing must not change payloads");
+        assert_eq!(base_recvs, iters);
+        assert_eq!(recvs, iters / 4, "one packed receive per full batch");
+        assert_eq!(base_packed, 0, "uncoalesced small sends never pack");
+        assert!(packed > 0, "coalesced path must count packed bytes");
+        assert!(
+            t < base_t,
+            "batching 4x must beat per-instance sends ({t} vs {base_t})"
+        );
+    }
+
+    #[test]
+    fn coalesced_partial_batch_flushes_at_region_end() {
+        // 5 instances at batch 4: one full flush mid-region, the 5th
+        // piece rides the deterministic region-end flush.
+        let (base_vals, ..) = run_pair_loop(Target::Mpi2Side, 5, None);
+        let (vals, _, recvs, _, _) = run_pair_loop(Target::Mpi2Side, 5, Some(coalesce_overlay(4)));
+        assert_eq!(vals, base_vals);
+        assert_eq!(recvs, 2, "full batch + region-end remainder");
+    }
+
+    #[test]
+    fn coalesced_shmem_delivers_and_batches() {
+        let iters = 8;
+        let (base_vals, ..) = run_pair_loop(Target::Shmem, iters, None);
+        let (vals, ..) = run_pair_loop(Target::Shmem, iters, Some(coalesce_overlay(4)));
+        assert_eq!(vals, base_vals, "shmem coalescing must not change payloads");
+        let res = run(SimConfig::new(2), move |ctx| {
+            let comm = Comm::world(ctx);
+            let mut session = CommSession::new(ctx, comm).with_overlay(coalesce_overlay(4));
+            let params = CommParams::new()
+                .sender(RankExpr::lit(0))
+                .receiver(RankExpr::lit(1))
+                .sendwhen(RankExpr::rank().eq(RankExpr::lit(0)))
+                .receivewhen(RankExpr::rank().eq(RankExpr::lit(1)))
+                .target(Target::Shmem)
+                .max_comm_iter(iters as i64);
+            session
+                .region(&params, |reg| {
+                    for i in 0..iters {
+                        let src = [i as i64, i as i64];
+                        let mut dst = [0i64; 2];
+                        reg.p2p()
+                            .site(9)
+                            .sbuf(Prim::new("src", &src))
+                            .rbuf(PrimMut::new("dst", &mut dst))
+                            .run()
+                            .unwrap();
+                    }
+                })
+                .unwrap();
+            session.flush();
+            ctx.stats.puts
+        });
+        assert_eq!(res.per_rank[0], 2, "one signalled put per full batch");
+    }
+
+    #[test]
+    fn keep_overlay_is_behaviorally_inert() {
+        let base = run_pair_loop(Target::Mpi2Side, 6, None);
+        let mut ov = Overlay::default();
+        ov.set(SiteDecision::new(9, Decision::Keep));
+        ov.set(SiteDecision::new(12, Decision::Coalesce { batch: 1 }));
+        let kept = run_pair_loop(Target::Mpi2Side, 6, Some(ov));
+        assert_eq!(base, kept, "all-keep overlay must be bit-identical");
+    }
+
+    #[test]
+    fn overlay_retarget_switches_mechanism() {
+        let mut ov = Overlay::default();
+        ov.set(SiteDecision::new(9, Decision::Retarget(Target::Shmem)));
+        let res = run(SimConfig::new(2), move |ctx| {
+            let comm = Comm::world(ctx);
+            let mut session = CommSession::new(ctx, comm).with_overlay(ov.clone());
+            let src = [41i64, 42];
+            let mut dst = [0i64; 2];
+            let params = CommParams::new()
+                .sender(RankExpr::lit(0))
+                .receiver(RankExpr::lit(1))
+                .sendwhen(RankExpr::rank().eq(RankExpr::lit(0)))
+                .receivewhen(RankExpr::rank().eq(RankExpr::lit(1)))
+                .max_comm_iter(1);
+            session
+                .region(&params, |reg| {
+                    reg.p2p()
+                        .site(9)
+                        .sbuf(Prim::new("src", &src))
+                        .rbuf(PrimMut::new("dst", &mut dst))
+                        .run()
+                        .unwrap();
+                })
+                .unwrap();
+            session.flush();
+            (dst, ctx.stats.sends, ctx.stats.puts)
+        });
+        let (dst1, sends1, _) = res.per_rank[1];
+        let (_, _, puts0) = res.per_rank[0];
+        assert_eq!(dst1, [41, 42]);
+        assert_eq!(sends1, 0, "retargeted site must not use two-sided sends");
+        assert_eq!(puts0, 1, "retargeted site delivers via a put");
+    }
+
+    #[test]
+    fn overlay_place_sync_defers_region_sync() {
+        let mut ov = Overlay::default();
+        ov.set(SiteDecision::new(
+            9,
+            Decision::PlaceSync(PlaceSync::BeginNextParamRegion),
+        ));
+        let res = run(SimConfig::new(2), move |ctx| {
+            let comm = Comm::world(ctx);
+            let mut session = CommSession::new(ctx, comm).with_overlay(ov.clone());
+            let src = [1i64; 2];
+            let mut dst = [0i64; 2];
+            let params = CommParams::new()
+                .sender(RankExpr::lit(0))
+                .receiver(RankExpr::lit(1))
+                .sendwhen(RankExpr::rank().eq(RankExpr::lit(0)))
+                .receivewhen(RankExpr::rank().eq(RankExpr::lit(1)));
+            session
+                .region(&params, |reg| {
+                    reg.p2p()
+                        .site(9)
+                        .sbuf(Prim::new("src", &src))
+                        .rbuf(PrimMut::new("dst", &mut dst))
+                        .run()
+                        .unwrap();
+                })
+                .unwrap();
+            let deferred = session.ctx().stats.waitalls;
+            session.flush();
+            (deferred, ctx.stats.waitalls)
+        });
+        for (w1, w2) in res.per_rank {
+            assert_eq!(w1, 0, "overlay deferred the region-end sync");
+            assert!(w2 >= 1, "flush applies the carried sync");
+        }
+    }
+
+    #[test]
+    fn coalesced_bidirectional_exchange_does_not_deadlock() {
+        // Both ranks send AND receive at the coalesced site: the
+        // flush-before-wait rule must prevent each rank blocking on the
+        // other's unflushed batch.
+        let iters = 4usize;
+        let res = run(SimConfig::new(2), move |ctx| {
+            let comm = Comm::world(ctx);
+            let mut session = CommSession::new(ctx, comm).with_overlay(coalesce_overlay(8));
+            let me = session.rank() as i64;
+            let mut got = Vec::new();
+            let params = CommParams::new()
+                .sender(RankExpr::lit(1) - RankExpr::rank())
+                .receiver(RankExpr::lit(1) - RankExpr::rank())
+                .target(Target::Mpi2Side)
+                .max_comm_iter(iters as i64);
+            session
+                .region(&params, |reg| {
+                    for i in 0..iters {
+                        let src = [me * 100 + i as i64];
+                        let mut dst = [0i64];
+                        reg.p2p()
+                            .site(9)
+                            .sbuf(Prim::new("src", &src))
+                            .rbuf(PrimMut::new("dst", &mut dst))
+                            .run()
+                            .unwrap();
+                        got.push(dst[0]);
+                    }
+                })
+                .unwrap();
+            session.flush();
+            got
+        });
+        // Batch 8 > iters, so nothing flushes until a receiver is about to
+        // block — which forces its own accumulator out first.
+        assert_eq!(res.per_rank[0], vec![100, 101, 102, 103]);
+        assert_eq!(res.per_rank[1], vec![0, 1, 2, 3]);
     }
 
     #[test]

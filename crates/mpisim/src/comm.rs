@@ -133,6 +133,23 @@ impl Comm {
         ctx.isend_bytes(self.global(dst), self.wire_tag(tag), data, &m)
     }
 
+    /// Coalesced non-blocking send: charge `MPI_Pack` for copying the
+    /// framed batch into the wire buffer, then post one send for the whole
+    /// batch. This is the engine entry point for the directive layer's
+    /// small-message aggregation (tuning overlays); the per-batch pack
+    /// charge is what makes `packed_bytes` observable for coalesced runs.
+    pub fn isend_packed(
+        &self,
+        ctx: &mut RankCtx,
+        dst: usize,
+        tag: i32,
+        data: Bytes,
+    ) -> SendRequest {
+        let m = self.model(ctx);
+        ctx.charge_pack(data.len(), &m);
+        ctx.isend_bytes(self.global(dst), self.wire_tag(tag), data, &m)
+    }
+
     /// Non-blocking receive (`MPI_Irecv`). `src`/`tag` of `None` mean
     /// `ANY_SOURCE`/`ANY_TAG` (scoped to this communicator).
     pub fn irecv(&self, ctx: &mut RankCtx, src: Option<usize>, tag: Option<i32>) -> RecvRequest {

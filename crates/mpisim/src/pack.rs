@@ -100,10 +100,67 @@ impl PackBuf {
     }
 }
 
+/// Wire framing for coalesced (batched) messages: each piece travels as a
+/// little-endian `u32` length prefix followed by its bytes. Used by the
+/// directive engine's small-message aggregation path — the sender frames
+/// each directive instance's payload into one growing batch buffer, the
+/// receiver peels pieces back off in order.
+pub fn frame_piece(buf: &mut Vec<u8>, piece: &[u8]) {
+    buf.extend_from_slice(&(piece.len() as u32).to_le_bytes());
+    buf.extend_from_slice(piece);
+}
+
+/// Peel the next framed piece out of a coalesced payload, advancing `pos`.
+/// Returns `None` once the payload is exhausted. Panics on a truncated
+/// frame (a malformed batch is a programming error, not a recoverable
+/// condition — both framing and peeling live in this module).
+pub fn peel_piece<'a>(payload: &'a [u8], pos: &mut usize) -> Option<&'a [u8]> {
+    if *pos >= payload.len() {
+        return None;
+    }
+    assert!(
+        *pos + 4 <= payload.len(),
+        "truncated coalesced frame header"
+    );
+    let len = u32::from_le_bytes(payload[*pos..*pos + 4].try_into().unwrap()) as usize;
+    *pos += 4;
+    assert!(
+        *pos + len <= payload.len(),
+        "truncated coalesced frame body"
+    );
+    let piece = &payload[*pos..*pos + len];
+    *pos += len;
+    Some(piece)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
     use netsim::{run, SimConfig};
+
+    #[test]
+    fn frame_and_peel_roundtrip() {
+        let mut buf = Vec::new();
+        frame_piece(&mut buf, b"alpha");
+        frame_piece(&mut buf, b"");
+        frame_piece(&mut buf, &[7u8; 32]);
+        let mut pos = 0;
+        assert_eq!(peel_piece(&buf, &mut pos), Some(b"alpha".as_slice()));
+        assert_eq!(peel_piece(&buf, &mut pos), Some(b"".as_slice()));
+        assert_eq!(peel_piece(&buf, &mut pos), Some([7u8; 32].as_slice()));
+        assert_eq!(peel_piece(&buf, &mut pos), None);
+        assert_eq!(pos, buf.len());
+    }
+
+    #[test]
+    #[should_panic(expected = "truncated coalesced frame")]
+    fn truncated_frame_panics() {
+        let mut buf = Vec::new();
+        frame_piece(&mut buf, b"abcdef");
+        buf.truncate(buf.len() - 2);
+        let mut pos = 0;
+        peel_piece(&buf, &mut pos);
+    }
 
     #[test]
     fn pack_unpack_roundtrip_with_charges() {

@@ -42,6 +42,12 @@ pub struct SimConfig {
     /// Results are bit-identical either way — virtual time, not execution
     /// order, defines the output (see [`crate::sched`]).
     pub workers: Option<usize>,
+    /// Eager-vs-rendezvous protocol threshold override in bytes for the
+    /// MPI cost model (`None` keeps the machine model's constant). A
+    /// first-class tuning knob: messages at or below the threshold ship
+    /// eagerly; larger ones pay the rendezvous handshake. SHMEM puts never
+    /// rendezvous, so the SHMEM model is left untouched.
+    pub eager_threshold: Option<usize>,
 }
 
 impl SimConfig {
@@ -54,6 +60,7 @@ impl SimConfig {
             metrics: false,
             stack_size: 1 << 20,
             workers: None,
+            eager_threshold: None,
         }
     }
 
@@ -88,11 +95,21 @@ impl SimConfig {
         self
     }
 
-    /// Apply an [`ExecPolicy`] (engine + stack size) to this configuration.
+    /// Override the MPI eager-vs-rendezvous threshold in bytes.
+    pub fn with_eager_threshold(mut self, bytes: usize) -> Self {
+        self.eager_threshold = Some(bytes);
+        self
+    }
+
+    /// Apply an [`ExecPolicy`] (engine + stack size + protocol knobs) to
+    /// this configuration.
     pub fn with_exec(mut self, exec: ExecPolicy) -> Self {
         self.workers = exec.workers;
         if let Some(bytes) = exec.stack_size {
             self.stack_size = bytes;
+        }
+        if exec.eager_threshold.is_some() {
+            self.eager_threshold = exec.eager_threshold;
         }
         self
     }
@@ -106,6 +123,8 @@ pub struct ExecPolicy {
     pub workers: Option<usize>,
     /// Per-rank stack size override in bytes.
     pub stack_size: Option<usize>,
+    /// See [`SimConfig::eager_threshold`].
+    pub eager_threshold: Option<usize>,
 }
 
 impl ExecPolicy {
@@ -118,13 +137,19 @@ impl ExecPolicy {
     pub fn bounded(workers: usize) -> Self {
         ExecPolicy {
             workers: Some(workers),
-            stack_size: None,
+            ..ExecPolicy::default()
         }
     }
 
     /// Override the per-rank stack size in bytes.
     pub fn with_stack_size(mut self, bytes: usize) -> Self {
         self.stack_size = Some(bytes);
+        self
+    }
+
+    /// Override the MPI eager-vs-rendezvous threshold in bytes.
+    pub fn with_eager_threshold(mut self, bytes: usize) -> Self {
+        self.eager_threshold = Some(bytes);
         self
     }
 }
@@ -174,6 +199,11 @@ where
     F: Fn(&mut RankCtx) -> T + Sync,
 {
     assert!(cfg.nranks > 0, "need at least one rank");
+    let mut cfg = cfg;
+    if let Some(bytes) = cfg.eager_threshold {
+        cfg.machine.mpi.eager_threshold = bytes;
+    }
+    let cfg = cfg;
     let fabric = Fabric::new(cfg.nranks);
     let sink = if cfg.trace {
         Some(Arc::new(TraceSink::new()))
@@ -1072,6 +1102,35 @@ mod tests {
             ctx.now()
         });
         assert!(res.makespan() > Time::ZERO);
+    }
+
+    #[test]
+    fn eager_threshold_config_overrides_model() {
+        // The same 4 KiB message is eager under the default Gemini model
+        // (threshold 8 KiB) and pays the rendezvous handshake once the
+        // SimConfig knob pulls the threshold below the message size.
+        let elapsed = |cfg: SimConfig| {
+            run(cfg, |ctx| {
+                let m = ctx.machine().mpi;
+                if ctx.rank() == 0 {
+                    ctx.send(1, 0, &[9u8; 4096], &m);
+                } else {
+                    ctx.recv(SrcSel::Exact(0), TagSel::Exact(0), &m);
+                }
+                ctx.now()
+            })
+            .makespan()
+        };
+        let eager = elapsed(SimConfig::new(2));
+        let rdv = elapsed(SimConfig::new(2).with_eager_threshold(1024));
+        assert!(
+            rdv > eager,
+            "rendezvous {rdv:?} must cost more than {eager:?}"
+        );
+        // ExecPolicy carries the knob through with_exec unchanged.
+        let via_exec =
+            elapsed(SimConfig::new(2).with_exec(ExecPolicy::threads().with_eager_threshold(1024)));
+        assert_eq!(via_exec, rdv);
     }
 
     #[test]

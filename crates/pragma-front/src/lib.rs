@@ -265,6 +265,37 @@ pub fn analyze_with_vars(
     })
 }
 
+/// Sites pinned by `// @pin` source annotations: each pin comment applies
+/// to the next directive below it (by line), and marks that site as
+/// off-limits to the tuner — `commtune` must emit `Keep` for it and later
+/// passes must not change it. Returns the pinned site ids in source order;
+/// pins with no directive below them are ignored (they pin nothing).
+pub fn pinned_sites(src: &str, parsed: &Parsed) -> Vec<u32> {
+    let spans = parsed.site_spans();
+    let mut pinned = Vec::new();
+    for (i, line) in src.lines().enumerate() {
+        let lineno = i + 1;
+        let Some(comment) = line.split("//").nth(1) else {
+            continue;
+        };
+        if !comment.split_whitespace().any(|w| w == "@pin") {
+            continue;
+        }
+        // The nearest directive at or below the pin line.
+        let target = spans
+            .iter()
+            .filter_map(|(site, sp)| sp.as_ref().map(|s| (*site, s.line)))
+            .filter(|&(_, l)| l >= lineno)
+            .min_by_key(|&(_, l)| l);
+        if let Some((site, _)) = target {
+            if !pinned.contains(&site) {
+                pinned.push(site);
+            }
+        }
+    }
+    pinned
+}
+
 /// Parse pragma source and render the translated library calls for each
 /// directive under `target` — the paper's compiler lowering, as text.
 pub fn translate(src: &str, symbols: &SymbolTable, target: Target) -> Result<String, ParseError> {
@@ -403,6 +434,29 @@ mod tests {
             .diagnostics
             .iter()
             .any(|d| d.message.contains("`root` missing")));
+    }
+
+    #[test]
+    fn pin_annotations_map_to_next_directive() {
+        let src = r#"
+// @pin keep this site exactly as written
+#pragma comm_p2p sender((rank-1+nprocs)%nprocs) receiver((rank+1)%nprocs) sbuf(buf1) rbuf(buf2)
+
+#pragma comm_p2p sender((rank-1+nprocs)%nprocs) receiver((rank+1)%nprocs) sbuf(buf1) rbuf(buf2)
+"#;
+        let parsed = parse(src, &syms()).unwrap();
+        // Sites are assigned in source order; only the first is pinned.
+        let sites: Vec<u32> = parsed.site_spans().iter().map(|(site, _)| *site).collect();
+        assert_eq!(pinned_sites(src, &parsed), vec![sites[0]]);
+        assert!(!pinned_sites(src, &parsed).contains(&sites[1]));
+    }
+
+    #[test]
+    fn pin_without_directive_below_is_ignored() {
+        let src = "#pragma comm_p2p sender((rank-1+nprocs)%nprocs) \
+                   receiver((rank+1)%nprocs) sbuf(buf1) rbuf(buf2)\n// @pin trailing";
+        let parsed = parse(src, &syms()).unwrap();
+        assert!(pinned_sites(src, &parsed).is_empty());
     }
 
     #[test]

@@ -167,6 +167,23 @@ impl<T: Pod> SymSlice<T> {
     }
 }
 
+/// Coalesced packed put: charge the pack copy for assembling a framed
+/// batch of small messages, then issue one signalled `shmem_putmem` of the
+/// whole batch. The SHMEM half of the directive layer's small-message
+/// aggregation: one put (one `o_put`, one signal) replaces a batch of
+/// element-wise puts. Returns the virtual arrival time.
+pub fn put_packed(
+    ctx: &mut RankCtx,
+    seg: SegId,
+    target: usize,
+    dst_off: usize,
+    payload: &[u8],
+) -> Time {
+    let m = model(ctx);
+    ctx.charge_pack(payload.len(), &m);
+    ctx.put(seg, target, dst_off, payload, &m, true)
+}
+
 /// `shmem_fence`: order puts to each PE (charged as a light quiet here —
 /// Gemini implements fence as a lightweight ordering point).
 pub fn fence(ctx: &mut RankCtx) {
@@ -285,6 +302,26 @@ mod tests {
                 assert_eq!(out, [1.0, 2.0, 3.0]);
             }
         });
+    }
+
+    #[test]
+    fn packed_put_delivers_and_charges_pack() {
+        let res = run(SimConfig::new(2), |ctx| {
+            let sym = SymSlice::<u8>::new(ctx, 64);
+            if my_pe(ctx) == 0 {
+                let batch: Vec<u8> = (0..48u8).collect();
+                put_packed(ctx, sym.segment(), 1, 0, &batch);
+                quiet(ctx);
+            } else {
+                let arrival = sym.wait_deliveries_raw(ctx, 1);
+                ctx.advance_to(arrival);
+                let mut out = [0u8; 48];
+                sym.read_local(ctx, 0, &mut out);
+                assert!(out.iter().enumerate().all(|(i, &b)| b == i as u8));
+            }
+        });
+        assert_eq!(res.stats[0].packed_bytes, 48);
+        assert_eq!(res.stats[0].puts, 1);
     }
 
     #[test]

@@ -18,7 +18,7 @@
 //!   bookkeeping), used to check that every communication variant computes
 //!   identical physics.
 
-use commint::{CommSession, Target};
+use commint::{CommSession, Overlay, Target};
 use netsim::trace::TraceEvent;
 use netsim::{run, ExecPolicy, RankMetrics, RankStats, SimConfig, Time};
 
@@ -236,7 +236,7 @@ pub fn fig4_spin_exec(
     steps: usize,
     exec: ExecPolicy,
 ) -> Measurement {
-    fig4_spin_run(topo, variant, steps, exec, false).0
+    fig4_spin_run(topo, variant, steps, exec, false, None).0
 }
 
 /// [`fig4_spin_exec`] with tracing and metrics enabled; the measurement is
@@ -247,7 +247,33 @@ pub fn fig4_spin_observed(
     steps: usize,
     exec: ExecPolicy,
 ) -> Observed {
-    fig4_spin_run(topo, variant, steps, exec, true)
+    fig4_spin_run(topo, variant, steps, exec, true, None)
+        .1
+        .expect("observed run captures trace")
+}
+
+/// [`fig4_spin_exec`] with a tuning overlay installed on the directive
+/// session (commtune's decisions applied on the next run). The overlay has
+/// no effect on the Original variants, which bypass the directive engine.
+pub fn fig4_spin_tuned(
+    topo: &Topology,
+    variant: SpinVariant,
+    steps: usize,
+    exec: ExecPolicy,
+    overlay: Option<&Overlay>,
+) -> Measurement {
+    fig4_spin_run(topo, variant, steps, exec, false, overlay.cloned()).0
+}
+
+/// [`fig4_spin_tuned`] with tracing and metrics enabled.
+pub fn fig4_spin_tuned_observed(
+    topo: &Topology,
+    variant: SpinVariant,
+    steps: usize,
+    exec: ExecPolicy,
+    overlay: Option<&Overlay>,
+) -> Observed {
+    fig4_spin_run(topo, variant, steps, exec, true, overlay.cloned())
         .1
         .expect("observed run captures trace")
 }
@@ -258,6 +284,7 @@ fn fig4_spin_run(
     steps: usize,
     exec: ExecPolicy,
     observe: bool,
+    overlay: Option<Overlay>,
 ) -> (Measurement, Option<Observed>) {
     let t = topo.clone();
     let mut cfg = SimConfig::new(t.total_ranks()).with_exec(exec);
@@ -268,6 +295,7 @@ fn fig4_spin_run(
         let comms = t.build_comms(ctx);
         let mut state = SpinState::new(&t, ctx.rank());
         let natoms = t.instances * t.ranks_per_lsms;
+        let overlay = overlay.clone();
         let mut correct = true;
         // One warmup step (one-time staging/datatype setup), then a
         // clock-aligning barrier, then the measured steps — the paper's
@@ -302,6 +330,9 @@ fn fig4_spin_run(
                     Target::Shmem
                 };
                 let mut session = CommSession::new(ctx, comms.world.clone()).without_ir();
+                if let Some(ov) = overlay {
+                    session = session.with_overlay(ov);
+                }
                 for step in 0..total_steps {
                     if session.ctx().rank() == t.wl_rank() {
                         state.ev = generate_spins(step, natoms);

@@ -34,8 +34,8 @@ pub use atom::{AtomData, AtomScalars, AtomSizes};
 pub use core_states::CoreStateParams;
 pub use experiments::{
     fig3_single_atom, fig3_single_atom_exec, fig3_single_atom_observed, fig4_spin, fig4_spin_exec,
-    fig4_spin_observed, fig5_overlap, fig5_overlap_exec, fig5_overlap_observed, run_full_app,
-    AtomCommVariant, Measurement, Observed,
+    fig4_spin_observed, fig4_spin_tuned, fig4_spin_tuned_observed, fig5_overlap, fig5_overlap_exec,
+    fig5_overlap_observed, run_full_app, AtomCommVariant, Measurement, Observed,
 };
 pub use spin::{SpinState, SpinVariant};
 pub use topology::Topology;
