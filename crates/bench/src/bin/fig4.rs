@@ -3,13 +3,16 @@
 //! profile-guided tuning loop (coalesced series + A/B gate).
 //!
 //! Usage: `fig4 [--stride K] [--steps N] [--jobs J] [--workers W]
-//!              [--eager-threshold B] [--overlay FILE] [--ab]
+//!              [--eager-threshold B] [--sanitize] [--overlay FILE] [--ab]
 //!              [--min-factor F] [--stats] [--json] [--baseline FILE]
 //!              [--trace-out FILE] [--profile FILE]`
 //! (stride thins the process sweep; jobs bounds the sweep worker pool;
 //! `--workers` selects the bounded in-run engine, 0 = auto;
 //! `--eager-threshold` overrides the cost model's eager/rendezvous protocol
-//! switch, in bytes; stats appends merged per-variant operation counters;
+//! switch, in bytes; `--sanitize` runs every point under the one-sided race
+//! sanitizer, filling the `race_checks`/`conflicts_found` counters the JSON
+//! report's baseline gate refuses to pass when non-zero;
+//! stats appends merged per-variant operation counters;
 //! `--json` emits the machine-readable report instead of the table;
 //! `--baseline` gates virtual times against a committed report;
 //! `--trace-out`/`--profile` re-run the largest sweep point with the
@@ -64,12 +67,18 @@ fn main() {
     let min_factor = arg_f64(&args, "--min-factor").unwrap_or(1.3);
     let workers = arg_usize(&args, "--workers");
     let eager = arg_usize(&args, "--eager-threshold");
+    let sanitize = args.iter().any(|a| a == "--sanitize");
     let mut exec = match workers {
         Some(w) => ExecPolicy::bounded(w),
         None => ExecPolicy::threads(),
     };
     if let Some(b) = eager {
         exec = exec.with_eager_threshold(b);
+    }
+    if sanitize {
+        // Shadow-state race sanitizer: charges no virtual time, only fills
+        // the race_checks / conflicts_found counters the report gates on.
+        exec = exec.with_sanitize();
     }
 
     let ms = paper_ms(stride);

@@ -9,11 +9,14 @@
 //! time depends on the engine.
 //!
 //! Usage: `fig_scale [--ranks 512,1024,2048,4096] [--steps N] [--workers W]
-//!                   [--threads] [--stack-kib K] [--stats] [--json]
-//!                   [--baseline FILE]`
+//!                   [--threads] [--stack-kib K] [--sanitize] [--stats]
+//!                   [--json] [--baseline FILE]`
 //! `--workers` selects the bounded engine slot count (0 = auto, default);
-//! `--threads` forces thread-per-rank. Points run sequentially — at these
-//! rank counts a single simulation saturates the host.
+//! `--threads` forces thread-per-rank. `--sanitize` runs under the
+//! one-sided race sanitizer (fills `race_checks`/`conflicts_found` in the
+//! report; the baseline gate refuses non-zero conflicts). Points run
+//! sequentially — at these rank counts a single simulation saturates the
+//! host.
 
 use std::time::Instant;
 
@@ -38,12 +41,15 @@ fn main() {
         })
         .unwrap_or_else(|| vec![512, 1024, 2048, 4096]);
 
-    let exec = if threads {
+    let mut exec = if threads {
         ExecPolicy::threads()
     } else {
         ExecPolicy::bounded(workers)
     }
     .with_stack_size(stack_kib << 10);
+    if args.iter().any(|a| a == "--sanitize") {
+        exec = exec.with_sanitize();
+    }
 
     // Map each target to the nearest paper-shaped topology (16 ranks per
     // LSMS instance + 1 Wang-Landau master).

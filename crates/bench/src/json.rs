@@ -35,7 +35,7 @@ pub use commscope::json::Json;
 
 /// The deterministic (virtual-quantity) subset of [`RankStats`] that goes
 /// into reports; order is the schema's field order.
-const STAT_FIELDS: [&str; 12] = [
+const STAT_FIELDS: [&str; 14] = [
     "sends",
     "recvs",
     "bytes_sent",
@@ -48,9 +48,14 @@ const STAT_FIELDS: [&str; 12] = [
     "quiets",
     "packed_bytes",
     "datatype_commits",
+    "race_checks",
+    "conflicts_found",
 ];
 
-fn stat_values(s: &RankStats) -> [usize; 12] {
+/// Index of `conflicts_found` in [`STAT_FIELDS`] (the hard race gate).
+const CONFLICTS_IDX: usize = 13;
+
+fn stat_values(s: &RankStats) -> [usize; 14] {
     [
         s.sends,
         s.recvs,
@@ -64,6 +69,8 @@ fn stat_values(s: &RankStats) -> [usize; 12] {
         s.quiets,
         s.packed_bytes,
         s.datatype_commits,
+        s.race_checks,
+        s.conflicts_found,
     ]
 }
 
@@ -74,7 +81,7 @@ pub struct SeriesReport {
     /// Per-x virtual times in ns (exact integers).
     pub time_ns: Vec<u64>,
     /// Merged deterministic operation counters across the series' runs.
-    pub stats: [usize; 12],
+    pub stats: [usize; 14],
     /// Physical contention counters `[uq_high_water, match_scan_steps,
     /// mailbox_locks]` merged across the series' runs. Interleaving-
     /// dependent: recorded for tuning, soft-gated only.
@@ -203,13 +210,16 @@ impl BenchReport {
                     .map(|v| v.as_i64().map(|i| i as u64).ok_or("bad time_ns"))
                     .collect::<Result<Vec<_>, _>>()?;
                 let stats_obj = s.get("stats").ok_or("series missing stats")?;
-                let mut stats = [0usize; 12];
-                for (slot, key) in stats.iter_mut().zip(STAT_FIELDS) {
-                    *slot = stats_obj
-                        .get(key)
-                        .and_then(Json::as_i64)
-                        .ok_or_else(|| format!("stats missing '{key}'"))?
-                        as usize;
+                let mut stats = [0usize; 14];
+                for (i, (slot, key)) in stats.iter_mut().zip(STAT_FIELDS).enumerate() {
+                    match stats_obj.get(key).and_then(Json::as_i64) {
+                        Some(v) => *slot = v as usize,
+                        // The sanitizer counters postdate the first reports;
+                        // pre-race baselines read back as zeros (like the
+                        // contention triple below).
+                        None if i >= 12 => *slot = 0,
+                        None => return Err(format!("stats missing '{key}'")),
+                    }
                 }
                 // Reports written before the contention triple existed (and
                 // hand-trimmed baselines) read back as zeros.
@@ -300,6 +310,17 @@ pub fn compare_with_baseline(report: &BenchReport, baseline_text: &str) -> Basel
             base.ranks, report.ranks
         ));
     }
+    // Hard race gate, independent of the baseline's contents: a run whose
+    // shadow-state sanitizer attributed any conflicting access pair must
+    // never pass, even if someone blesses a racy baseline.
+    for rs in &report.series {
+        if rs.stats[CONFLICTS_IDX] != 0 {
+            diff.errors.push(format!(
+                "series '{}': sanitizer found {} one-sided race conflict(s) (must be 0)",
+                rs.label, rs.stats[CONFLICTS_IDX]
+            ));
+        }
+    }
     for (bs, rs) in base.series.iter().zip(&report.series) {
         if bs.label != rs.label {
             diff.errors
@@ -367,7 +388,7 @@ mod tests {
             series: vec![SeriesReport {
                 label: "Original Communication".into(),
                 time_ns: vec![1_234_567_890_123, 42],
-                stats: [1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11, 12],
+                stats: [1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11, 12, 13, 0],
                 contention: [3, 120, 240],
             }],
             wall_s: 1.5,
@@ -438,6 +459,39 @@ mod tests {
         jitter.series[0].contention = [4, 150, 300];
         let diff = compare_with_baseline(&jitter, &baseline);
         assert!(diff.warnings.is_empty(), "{:?}", diff.warnings);
+    }
+
+    #[test]
+    fn sanitizer_counters_tolerate_pre_race_reports() {
+        let r = sample_report();
+        let text = r.to_json().render();
+        assert!(text.contains("\"race_checks\": 13"));
+        assert!(text.contains("\"conflicts_found\": 0"));
+        // A report written before the sanitizer counters existed parses
+        // with zeros, exactly like the contention triple.
+        let legacy = text
+            .replace(",\n        \"race_checks\": 13", "")
+            .replace(",\n        \"conflicts_found\": 0", "");
+        assert!(!legacy.contains("race_checks"), "replace missed: {legacy}");
+        let back = BenchReport::from_json(&Json::parse(&legacy).unwrap()).unwrap();
+        assert_eq!(back.series[0].stats[12], 0);
+        assert_eq!(back.series[0].stats[13], 0);
+    }
+
+    #[test]
+    fn nonzero_conflicts_fail_the_gate_even_with_matching_baseline() {
+        let mut r = sample_report();
+        r.series[0].stats[13] = 2;
+        // Baseline blessed with the same racy counters: the gate must still
+        // refuse — conflicts_found is an absolute invariant, not a diff.
+        let baseline = Json::Obj(vec![("benches".into(), Json::Arr(vec![r.to_json()]))]).render();
+        let diff = compare_with_baseline(&r, &baseline);
+        assert_eq!(diff.errors.len(), 1, "{:?}", diff.errors);
+        assert!(
+            diff.errors[0].contains("race conflict"),
+            "{:?}",
+            diff.errors
+        );
     }
 
     #[test]

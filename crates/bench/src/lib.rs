@@ -140,7 +140,8 @@ pub fn render_stats(label: &str, stats: &RankStats) -> String {
     format!(
         "# stats[{label}] sends={} recvs={} bytes_sent={} waits={} waitalls={} \
          puts={} bytes_put={} gets={} barriers={} quiets={} packed_bytes={} \
-         datatype_commits={} uq_high_water={} match_scan_steps={} mailbox_locks={}",
+         datatype_commits={} race_checks={} conflicts_found={} \
+         uq_high_water={} match_scan_steps={} mailbox_locks={}",
         stats.sends,
         stats.recvs,
         stats.bytes_sent,
@@ -153,6 +154,8 @@ pub fn render_stats(label: &str, stats: &RankStats) -> String {
         stats.quiets,
         stats.packed_bytes,
         stats.datatype_commits,
+        stats.race_checks,
+        stats.conflicts_found,
         stats.uq_high_water,
         stats.match_scan_steps,
         stats.mailbox_locks,

@@ -3,6 +3,7 @@
 //! ```text
 //! commlint [--ranks LO..=HI] [--format text|json] \
 //!          [--var name=value]... [--buf name:type:len]... FILE...
+//! commlint --list-codes
 //! ```
 //!
 //! Exit status: 0 clean (notes allowed), 1 any warning-or-above finding,
@@ -14,7 +15,8 @@
 use std::process::ExitCode;
 
 use commlint::{
-    basic_type_of, json::render_json, lint_source, render_text, LintOptions, RankRange,
+    basic_type_of, json::render_json, lint_source, render_code_catalog, render_text, LintOptions,
+    RankRange,
 };
 use pragma_front::SymbolTable;
 
@@ -26,6 +28,11 @@ commlint — lint communication-intent pragma sources.
 
 usage: commlint [--ranks LO..=HI] [--format text|json]
                 [--var name=value]... [--buf name:type:len]... FILE...
+       commlint --list-codes
+
+--list-codes prints the catalog: every code with its name, one-line
+summary and verification mode (`lint+prove ∀N` when commprove can decide
+the property for all rank counts, `lint sweep` otherwise).
 
 Every finding states its verification mode: `swept LO..=K` means commlint
 checked that finite rank-count range and nothing beyond it (use `commprove`
@@ -97,6 +104,10 @@ fn main() -> ExitCode {
                     return fail(&format!("bad --buf length in `{spec}`"));
                 };
                 symbols.declare_prim(name, bt, len);
+            }
+            "--list-codes" => {
+                print!("{}", render_code_catalog());
+                return ExitCode::SUCCESS;
             }
             "--help" | "-h" => {
                 println!("{HELP}");

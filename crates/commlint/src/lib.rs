@@ -323,6 +323,33 @@ pub fn lint_source(
     Ok(lint_parsed(&parsed, ranks, &vars))
 }
 
+/// Render the full lint-code catalog (`commlint --list-codes`): one line
+/// per code with its short name, verification mode — `lint+prove ∀N` for
+/// properties `commprove` decides for every rank count, `lint sweep` for
+/// the rest — and one-line summary.
+pub fn render_code_catalog() -> String {
+    let name_w = LintCode::ALL
+        .iter()
+        .map(|c| c.name().len())
+        .max()
+        .unwrap_or(0);
+    let mut out = String::new();
+    for code in LintCode::ALL {
+        let mode = if code.provable() {
+            "lint+prove ∀N"
+        } else {
+            "lint sweep   "
+        };
+        out.push_str(&format!(
+            "{}  {:name_w$}  {mode}  {}\n",
+            code.code(),
+            code.name(),
+            code.summary()
+        ));
+    }
+    out
+}
+
 /// Render one file's report as `path:line:col: severity[CODE name]: ...`
 /// lines (clippy-style, one diagnostic per line).
 pub fn render_text(path: &str, report: &LintReport) -> String {
@@ -368,6 +395,26 @@ mod tests {
 // @ranks 2..=8
 #pragma comm_p2p sender((rank-1+nprocs)%nprocs) receiver((rank+1)%nprocs) \
   sbuf(buf1) rbuf(buf2) count(16)";
+
+    #[test]
+    fn code_catalog_lists_every_code_once() {
+        let cat = render_code_catalog();
+        assert_eq!(cat.lines().count(), LintCode::ALL.len());
+        for code in LintCode::ALL {
+            let line = cat
+                .lines()
+                .find(|l| l.starts_with(code.code()))
+                .unwrap_or_else(|| panic!("{} missing from catalog", code.code()));
+            assert!(line.contains(code.name()), "{line}");
+            assert!(line.contains(code.summary()), "{line}");
+            let mode = if code.provable() {
+                "lint+prove ∀N"
+            } else {
+                "lint sweep"
+            };
+            assert!(line.contains(mode), "{line}");
+        }
+    }
 
     #[test]
     fn annotations_scanned() {

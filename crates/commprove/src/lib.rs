@@ -58,12 +58,16 @@ pub const CHECKED_CAP: usize = 4096;
 /// The lint properties decided parametrically: for each of these (per
 /// site and region-level), an eligible region's certificate carries either
 /// presence claims or an explicit absence claim ("holds for all N").
-pub const PROVED_CODES: [LintCode; 5] = [
+pub const PROVED_CODES: [LintCode; 9] = [
     LintCode::UnmatchedSend,
     LintCode::BlockingDeadlockCycle,
     LintCode::SizeMismatch,
     LintCode::SendwhenPairing,
     LintCode::ConsolidationUnsafeOverlap,
+    LintCode::OverlappingPuts,
+    LintCode::GetPutConflict,
+    LintCode::SourceReuseBeforeQuiet,
+    LintCode::ReadBeforeSignalWait,
 ];
 
 /// Result of proving one source: the (verification-stamped) lint report

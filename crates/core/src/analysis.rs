@@ -303,36 +303,36 @@ impl IndependenceReport {
 /// instances. Write-write and write-read overlaps are conflicts; two sends
 /// reading the same buffer are not.
 pub fn buffer_independence(spec: &ParamsSpec) -> IndependenceReport {
+    use crate::interval::{Access, ByteSpan};
     let mut report = IndependenceReport::default();
+    // Each phase pairs one access role of instance `a` with one of `b`;
+    // the shared interval engine supplies the conflict rule (overlap with
+    // at least one writer), so two sends reading the same buffer never
+    // conflict. Phase order is part of the report's stable conflict order.
+    let access = |b: &crate::buffer::BufMeta, write: bool| {
+        let span = ByteSpan::of_buf(b);
+        if write {
+            Access::write(span)
+        } else {
+            Access::read(span)
+        }
+    };
     for i in 0..spec.body.len() {
         for j in (i + 1)..spec.body.len() {
             let (a, b) = (&spec.body[i], &spec.body[j]);
-            // rbuf (written) vs rbuf (written)
-            for ra in &a.rbuf {
-                for rb in &b.rbuf {
-                    if ra.overlaps(rb) {
-                        report
-                            .conflicts
-                            .push((i, j, ra.name.clone(), rb.name.clone()));
-                    }
-                }
-            }
-            // rbuf (written) vs sbuf (read) in either direction
-            for ra in &a.rbuf {
-                for sb in &b.sbuf {
-                    if ra.overlaps(sb) {
-                        report
-                            .conflicts
-                            .push((i, j, ra.name.clone(), sb.name.clone()));
-                    }
-                }
-            }
-            for sa in &a.sbuf {
-                for rb in &b.rbuf {
-                    if sa.overlaps(rb) {
-                        report
-                            .conflicts
-                            .push((i, j, sa.name.clone(), rb.name.clone()));
+            let phases: [(&[_], bool, &[_], bool); 3] = [
+                (&a.rbuf[..], true, &b.rbuf[..], true),
+                (&a.rbuf[..], true, &b.sbuf[..], false),
+                (&a.sbuf[..], false, &b.rbuf[..], true),
+            ];
+            for (xs, xw, ys, yw) in phases {
+                for x in xs {
+                    for y in ys {
+                        if access(x, xw).conflicts(&access(y, yw)) {
+                            report
+                                .conflicts
+                                .push((i, j, x.name.clone(), y.name.clone()));
+                        }
                     }
                 }
             }

@@ -20,6 +20,7 @@ use crate::analysis::{buffer_independence, deadlock_report, find_cycle, resolve_
 use crate::clause::{PlaceSync, Severity, Target};
 use crate::dir::ParamsSpec;
 use crate::expr::EvalEnv;
+use crate::interval::{Access, ByteSpan};
 
 /// A source position (byte offset plus 1-based line/column). `pragma-front`
 /// converts its lexer spans into this; builder-API specs carry none.
@@ -152,6 +153,21 @@ pub enum LintCode {
     /// `CI008` — a clause expression could not be resolved statically
     /// (unknown variables, out-of-range rank values).
     UnresolvedClause,
+    /// `CI009` — two or more origins put into the same target window in
+    /// one epoch under a one-sided target: the overlapping writes have no
+    /// ordering edge between them.
+    OverlappingPuts,
+    /// `CI010` — a put delivery and a get (or get-lowered source read) of
+    /// overlapping memory race within one epoch.
+    GetPutConflict,
+    /// `CI011` — a put's local source buffer is rewritten before the quiet
+    /// that completes the put (write-before-quiet), possible when
+    /// `place_sync` defers the quiet past an iterating region.
+    SourceReuseBeforeQuiet,
+    /// `CI012` — a rank reads a signalled region before reaching the
+    /// corresponding signal wait; a faster origin's delivery lands
+    /// mid-read.
+    ReadBeforeSignalWait,
 }
 
 impl LintCode {
@@ -167,6 +183,10 @@ impl LintCode {
             LintCode::ConsolidationUnsafeOverlap => "CI006",
             LintCode::TargetInfeasible => "CI007",
             LintCode::UnresolvedClause => "CI008",
+            LintCode::OverlappingPuts => "CI009",
+            LintCode::GetPutConflict => "CI010",
+            LintCode::SourceReuseBeforeQuiet => "CI011",
+            LintCode::ReadBeforeSignalWait => "CI012",
         }
     }
 
@@ -182,11 +202,71 @@ impl LintCode {
             LintCode::ConsolidationUnsafeOverlap => "consolidation-unsafe-overlap",
             LintCode::TargetInfeasible => "target-infeasible",
             LintCode::UnresolvedClause => "unresolved-clause",
+            LintCode::OverlappingPuts => "overlapping-puts",
+            LintCode::GetPutConflict => "get-put-conflict",
+            LintCode::SourceReuseBeforeQuiet => "source-reuse-before-quiet",
+            LintCode::ReadBeforeSignalWait => "read-before-signal-wait",
         }
     }
 
+    /// One-line catalog summary (`commlint --list-codes`).
+    pub fn summary(self) -> &'static str {
+        match self {
+            LintCode::DirectiveRule => {
+                "a directive admissibility rule is violated (clause requiredness, buffer shape)"
+            }
+            LintCode::UnmatchedSend => {
+                "a declared send has no matching declared receive, or vice versa"
+            }
+            LintCode::BlockingDeadlockCycle => {
+                "the matched graph has a wait-for cycle; a blocking translation deadlocks"
+            }
+            LintCode::SbufRbufAliasing => {
+                "a rank that both sends and receives uses overlapping sbuf/rbuf memory"
+            }
+            LintCode::SizeMismatch => {
+                "sender and receiver disagree on transfer size, or the transfer overflows rbuf"
+            }
+            LintCode::SendwhenPairing => {
+                "sendwhen/receivewhen are unpaired or select inconsistent participants"
+            }
+            LintCode::ConsolidationUnsafeOverlap => {
+                "buffers of adjacent comm_p2p instances overlap; consolidation is unsafe"
+            }
+            LintCode::TargetInfeasible => {
+                "a clause combination the requested lowering target cannot implement"
+            }
+            LintCode::UnresolvedClause => "a clause expression could not be resolved statically",
+            LintCode::OverlappingPuts => {
+                "overlapping concurrent puts into the same target window in one epoch"
+            }
+            LintCode::GetPutConflict => {
+                "a get and a put touch overlapping remote memory in the same epoch"
+            }
+            LintCode::SourceReuseBeforeQuiet => {
+                "a put's local source buffer is rewritten before the completing quiet"
+            }
+            LintCode::ReadBeforeSignalWait => {
+                "a signalled region is read before the corresponding signal wait"
+            }
+        }
+    }
+
+    /// Whether `commprove` can upgrade findings (or their absence) for this
+    /// code to a ∀N verdict with a machine-checkable certificate. The
+    /// remaining codes are swept over finite rank ranges only.
+    pub fn provable(self) -> bool {
+        !matches!(
+            self,
+            LintCode::DirectiveRule
+                | LintCode::SbufRbufAliasing
+                | LintCode::TargetInfeasible
+                | LintCode::UnresolvedClause
+        )
+    }
+
     /// Every catalogued code, in code order.
-    pub const ALL: [LintCode; 9] = [
+    pub const ALL: [LintCode; 13] = [
         LintCode::DirectiveRule,
         LintCode::UnmatchedSend,
         LintCode::BlockingDeadlockCycle,
@@ -196,6 +276,10 @@ impl LintCode {
         LintCode::ConsolidationUnsafeOverlap,
         LintCode::TargetInfeasible,
         LintCode::UnresolvedClause,
+        LintCode::OverlappingPuts,
+        LintCode::GetPutConflict,
+        LintCode::SourceReuseBeforeQuiet,
+        LintCode::ReadBeforeSignalWait,
     ];
 }
 
@@ -516,7 +600,9 @@ pub fn lint_region_at(
         if !both.is_empty() {
             for (si, sb) in p2p.sbuf.iter().enumerate() {
                 for (ri, rb) in p2p.rbuf.iter().enumerate() {
-                    if sb.overlaps(rb) {
+                    let send = Access::read(ByteSpan::of_buf(sb));
+                    let recv = Access::write(ByteSpan::of_buf(rb));
+                    if send.conflicts(&recv) {
                         out.push(Diag {
                             code: LintCode::SbufRbufAliasing,
                             severity: Severity::Error,
@@ -761,6 +847,9 @@ pub fn lint_region_at(
             verification: None,
         });
     }
+
+    // -- CI009–CI012: one-sided races between synchronization points -------
+    out.extend(crate::race::lint_races(region, spec, nranks, vars));
 
     // -- CI002 (cross-directive): cycle spanning the consolidated region ----
     if spec.body.len() > 1 && !any_single_cycle {

@@ -59,11 +59,13 @@ pub mod coll;
 pub mod diag;
 pub mod dir;
 pub mod expr;
+pub mod interval;
 pub mod lower;
 pub mod macros;
 pub mod nf;
 pub mod overlay;
 pub mod patterns;
+pub mod race;
 pub mod scope;
 pub mod traceview;
 
@@ -73,8 +75,10 @@ pub use coll::{CollKind, ReduceOp};
 pub use diag::{Diag, DirSpans, LintCode, RankWitness, SrcSpan, Verification};
 pub use dir::{P2pSpec, ParamsSpec};
 pub use expr::{CondExpr, EvalEnv, ExprError, RankExpr};
+pub use interval::{Access, AccessKind, ByteSpan};
 pub use nf::{ClassParams, LinForm, ModForm, NormCond, NormErr, NormExpr};
 pub use overlay::{Decision, Overlay, SiteDecision, OVERLAY_SCHEMA};
+pub use race::{analyze_ops, RaceFinding, RaceOp, RaceProgram};
 pub use scope::{CommParams, CommSession, DirectiveError, P2pCall, Region};
 
 /// Convenient glob-import surface.

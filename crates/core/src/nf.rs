@@ -75,6 +75,14 @@ impl LinForm {
         })
     }
 
+    /// Multiply by a constant (extent arithmetic: an element count scaled
+    /// by the element size gives the byte extent of a remote access
+    /// interval `[base, base + count·elem)`). `None` on coefficient
+    /// overflow.
+    pub fn scaled(self, k: i64) -> Option<LinForm> {
+        self.scale(k).ok()
+    }
+
     /// Evaluate at a concrete `(rank, nprocs)`; wrapping like
     /// [`RankExpr::eval`].
     pub fn eval(&self, rank: i64, nranks: i64) -> i64 {
@@ -182,6 +190,17 @@ impl NormExpr {
             _ => Err(NormErr::NonAffine(
                 "mod/div term used inside further arithmetic".into(),
             )),
+        }
+    }
+
+    /// Scale the whole expression by a constant `k > 0`. Multiplication
+    /// distributes over an affine form but not over `mod`/`div` remainders,
+    /// so those (and overflow) yield `None`. Used by the race analysis to
+    /// turn an element-count normal form into a byte-extent normal form.
+    pub fn scaled(&self, k: i64) -> Option<NormExpr> {
+        match self {
+            NormExpr::Lin(l) => l.scaled(k).map(NormExpr::Lin),
+            NormExpr::Mod(..) | NormExpr::Div(..) => None,
         }
     }
 }
@@ -540,6 +559,24 @@ mod tests {
         let mut t = VarTable::default();
         t.set("k", 3);
         t
+    }
+
+    #[test]
+    fn extent_scaling_distributes_over_affine_forms_only() {
+        // count(2*rank + 4) with 8-byte elements: the byte extent is the
+        // affine form scaled through, and evaluation commutes.
+        let count = RankExpr::lit(2) * RankExpr::rank() + RankExpr::lit(4);
+        let nf = normalize_expr(&count, &vt()).unwrap();
+        let bytes = nf.scaled(8).expect("affine form scales");
+        assert_eq!(bytes, NormExpr::Lin(LinForm { a: 16, n: 0, c: 32 }));
+        for rank in 0..6 {
+            assert_eq!(bytes.eval(rank, 6), nf.eval(rank, 6).map(|c| c * 8));
+        }
+        // A remainder does not distribute: (rank mod 3) * 8 != (8*rank) mod 3.
+        let modular = normalize_expr(&(RankExpr::rank() % RankExpr::lit(3)), &vt()).unwrap();
+        assert_eq!(modular.scaled(8), None);
+        // Coefficient overflow is surfaced, not wrapped.
+        assert_eq!(LinForm::konst(i64::MAX).scaled(2), None);
     }
 
     #[test]

@@ -540,9 +540,17 @@ impl SegmentStore {
         Arc::clone(&self.segments.read()[id.0])
     }
 
+    /// Flow-control window of a segment (deliveries that may be in flight
+    /// before the owner consumes; `u64::MAX` = unbounded).
+    pub fn window_of(&self, id: SegId) -> u64 {
+        self.seg(id).window
+    }
+
     /// Write `data` into `target`'s copy of the segment at `offset`.
     /// If `signal_arrival` is set, appends a delivery signal with that
-    /// virtual arrival time and wakes waiters.
+    /// virtual arrival time and wakes waiters; returns the signal's
+    /// 1-based ordinal on the target's copy (the race sanitizer keys its
+    /// signal-wait edge on it).
     pub fn put(
         &self,
         id: SegId,
@@ -550,7 +558,7 @@ impl SegmentStore {
         offset: usize,
         data: &[u8],
         signal_arrival: Option<Time>,
-    ) {
+    ) -> Option<u64> {
         let seg = self.seg(id);
         let slot = seg.slot_of(target);
         let mut g = slot.inner.lock();
@@ -576,8 +584,10 @@ impl SegmentStore {
         );
         g.data[offset..offset + data.len()].copy_from_slice(data);
         let mut waker = None;
+        let mut ordinal = None;
         if let Some(t) = signal_arrival {
             g.signals.push(t);
+            ordinal = Some(g.signals.len() as u64);
             if let Some((need, _)) = g.waiting.as_ref() {
                 if g.signals.len() >= *need {
                     let (need, w) = g.waiting.take().unwrap();
@@ -598,6 +608,7 @@ impl SegmentStore {
             // `mark_consumed` can never be blocked by a parked sender.
             crate::sched::post_block();
         }
+        ordinal
     }
 
     /// Mark `count` additional signalled deliveries as consumed by `rank`

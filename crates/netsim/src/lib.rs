@@ -48,6 +48,7 @@ pub mod metrics;
 pub mod model;
 pub mod msg;
 pub mod runtime;
+pub mod sanitize;
 pub mod sched;
 pub mod time;
 pub mod trace;
@@ -59,6 +60,7 @@ pub use msg::{
     match_timing, MatchTiming, RecvDone, RecvRequest, SendRequest, SrcSel, TagSel, WireCosts,
 };
 pub use runtime::{run, ExecPolicy, RankCtx, SimConfig, SimResult};
+pub use sanitize::{Conflict, SanitizeReport, Sanitizer};
 pub use sched::Scheduler;
 pub use time::Time;
 pub use trace::{EventKind, MailboxHotStats, RankStats, SiteId, TraceEvent, TraceSink};

@@ -17,6 +17,7 @@ use crate::fabric::{Fabric, SegId};
 use crate::metrics::{RankMetrics, SchedStats};
 use crate::model::{CostModel, MachineModel};
 use crate::msg::{RecvDone, RecvRequest, SendRequest, SrcSel, TagSel, WireCosts};
+use crate::sanitize::{SanitizeReport, Sanitizer};
 use crate::sched::Scheduler;
 use crate::time::Time;
 use crate::trace::{EventKind, RankStats, SiteId, TraceEvent, TraceSink};
@@ -48,6 +49,10 @@ pub struct SimConfig {
     /// eagerly; larger ones pay the rendezvous handshake. SHMEM puts never
     /// rendezvous, so the SHMEM model is left untouched.
     pub eager_threshold: Option<usize>,
+    /// Run the one-sided race sanitizer ([`crate::sanitize`]): shadow-tag
+    /// every symmetric-segment access and report conflicting unordered
+    /// pairs. Off by default: every hook is a single branch when disabled.
+    pub sanitize: bool,
 }
 
 impl SimConfig {
@@ -61,6 +66,7 @@ impl SimConfig {
             stack_size: 1 << 20,
             workers: None,
             eager_threshold: None,
+            sanitize: false,
         }
     }
 
@@ -101,6 +107,12 @@ impl SimConfig {
         self
     }
 
+    /// Enable the one-sided race sanitizer.
+    pub fn with_sanitize(mut self) -> Self {
+        self.sanitize = true;
+        self
+    }
+
     /// Apply an [`ExecPolicy`] (engine + stack size + protocol knobs) to
     /// this configuration.
     pub fn with_exec(mut self, exec: ExecPolicy) -> Self {
@@ -110,6 +122,9 @@ impl SimConfig {
         }
         if exec.eager_threshold.is_some() {
             self.eager_threshold = exec.eager_threshold;
+        }
+        if exec.sanitize {
+            self.sanitize = true;
         }
         self
     }
@@ -125,6 +140,8 @@ pub struct ExecPolicy {
     pub stack_size: Option<usize>,
     /// See [`SimConfig::eager_threshold`].
     pub eager_threshold: Option<usize>,
+    /// See [`SimConfig::sanitize`].
+    pub sanitize: bool,
 }
 
 impl ExecPolicy {
@@ -152,6 +169,12 @@ impl ExecPolicy {
         self.eager_threshold = Some(bytes);
         self
     }
+
+    /// Enable the one-sided race sanitizer.
+    pub fn with_sanitize(mut self) -> Self {
+        self.sanitize = true;
+        self
+    }
 }
 
 /// Result of a simulation: per-rank return values, final virtual clocks,
@@ -171,6 +194,8 @@ pub struct SimResult<T> {
     pub sched: Option<SchedStats>,
     /// The event trace, if enabled.
     pub trace: Option<Vec<TraceEvent>>,
+    /// The race sanitizer's report, if enabled.
+    pub sanitize: Option<SanitizeReport>,
 }
 
 impl<T> SimResult<T> {
@@ -210,6 +235,7 @@ where
     } else {
         None
     };
+    let sanitizer = cfg.sanitize.then(|| Arc::new(Sanitizer::new(cfg.nranks)));
     let sched = cfg.workers.map(|w| {
         let auto = std::thread::available_parallelism()
             .map(|p| p.get())
@@ -231,6 +257,7 @@ where
             let machine = cfg.machine;
             let nranks = cfg.nranks;
             let metrics_on = cfg.metrics;
+            let san = sanitizer.clone();
             let builder = std::thread::Builder::new()
                 .name(format!("rank-{rank}"))
                 .stack_size(cfg.stack_size);
@@ -251,6 +278,7 @@ where
                         sink,
                         cur_site: None,
                         metrics: metrics_on.then(Box::default),
+                        san,
                     };
                     let out = body(&mut ctx);
                     (out, ctx.clock, ctx.stats, ctx.metrics)
@@ -282,6 +310,11 @@ where
         // The matching engine's hot-path counters live in the rank's
         // mailbox; fold them in now that all threads are quiescent.
         s.absorb_mailbox(&fabric.mailbox(rank).hot_stats());
+        if let Some(san) = &sanitizer {
+            let (checks, conflicts) = san.rank_counters(rank);
+            s.race_checks = checks as usize;
+            s.conflicts_found = conflicts as usize;
+        }
         per_rank.push(out);
         final_times.push(t);
         stats.push(s);
@@ -296,6 +329,11 @@ where
         metrics,
         sched: sched.map(|s| s.stats()),
         trace: sink.map(|s| s.take()),
+        sanitize: sanitizer.map(|s| {
+            Arc::into_inner(s)
+                .expect("all rank threads joined")
+                .into_report()
+        }),
     }
 }
 
@@ -326,6 +364,7 @@ pub struct RankCtx {
     sink: Option<Arc<TraceSink>>,
     cur_site: Option<SiteId>,
     metrics: Option<Box<RankMetrics>>,
+    san: Option<Arc<Sanitizer>>,
 }
 
 impl RankCtx {
@@ -698,6 +737,9 @@ impl RankCtx {
     /// into this rank's copy of `seg` as consumed.
     pub fn mark_consumed(&self, seg: SegId, count: u64) {
         self.fabric.segments().mark_consumed(seg, self.rank, count);
+        if let Some(san) = &self.san {
+            san.on_consumed(self.rank, seg, count);
+        }
     }
 
     /// One-sided put of `data` into `target`'s copy of segment `seg` at
@@ -728,9 +770,23 @@ impl RankCtx {
                 ) % (model.latency_jitter_ns + 1),
             );
         }
-        self.fabric
-            .segments()
-            .put(seg, target, offset, data, signal.then_some(arrival));
+        let ordinal =
+            self.fabric
+                .segments()
+                .put(seg, target, offset, data, signal.then_some(arrival));
+        if let Some(san) = &self.san {
+            let window = self.fabric.segments().window_of(seg);
+            san.on_put_data(
+                self.rank,
+                seg,
+                window,
+                target,
+                offset,
+                data.len(),
+                ordinal,
+                self.cur_site,
+            );
+        }
         self.outstanding_puts.push(arrival);
         self.stats.puts += 1;
         self.stats.bytes_put += data.len();
@@ -747,6 +803,32 @@ impl RankCtx {
         arrival
     }
 
+    /// [`RankCtx::put`] whose source bytes come from this rank's own copy
+    /// of `seg` at `src_offset` (the staged-slot idiom). The sanitizer
+    /// additionally tracks the source read so reuse of the source region
+    /// before a `quiet` is diagnosed (CI011).
+    #[allow(clippy::too_many_arguments)]
+    pub fn put_from(
+        &mut self,
+        seg: SegId,
+        target: usize,
+        offset: usize,
+        src_offset: usize,
+        len: usize,
+        model: &CostModel,
+        signal: bool,
+    ) -> Time {
+        let mut data = vec![0u8; len];
+        self.fabric
+            .segments()
+            .read(seg, self.rank, src_offset, &mut data);
+        if let Some(san) = &self.san {
+            let window = self.fabric.segments().window_of(seg);
+            san.on_put_src(self.rank, seg, window, src_offset, len, self.cur_site);
+        }
+        self.put(seg, target, offset, &data, model, signal)
+    }
+
     /// Blocking one-sided get from `target`'s copy of `seg` into `out`.
     /// Charges the full software + wire round trip.
     pub fn get(
@@ -758,6 +840,18 @@ impl RankCtx {
         model: &CostModel,
     ) {
         self.fabric.segments().read(seg, target, offset, out);
+        if let Some(san) = &self.san {
+            let window = self.fabric.segments().window_of(seg);
+            san.on_get(
+                self.rank,
+                seg,
+                window,
+                target,
+                offset,
+                out.len(),
+                self.cur_site,
+            );
+        }
         let t0 = self.clock;
         self.clock += Time::from_nanos(model.o_get)
             + Time::from_nanos(model.latency)
@@ -775,6 +869,10 @@ impl RankCtx {
     /// Read this rank's own copy of a segment (free: local load).
     pub fn read_local(&self, seg: SegId, offset: usize, out: &mut [u8]) {
         self.fabric.segments().read(seg, self.rank, offset, out);
+        if let Some(san) = &self.san {
+            let window = self.fabric.segments().window_of(seg);
+            san.on_local_read(self.rank, seg, window, offset, out.len(), self.cur_site);
+        }
     }
 
     /// Write this rank's own copy of a segment (free: local store).
@@ -782,6 +880,10 @@ impl RankCtx {
         self.fabric
             .segments()
             .put(seg, self.rank, offset, data, None);
+        if let Some(san) = &self.san {
+            let window = self.fabric.segments().window_of(seg);
+            san.on_local_write(self.rank, seg, window, offset, data.len(), self.cur_site);
+        }
     }
 
     /// Physically wait until at least `count` signalled deliveries landed in
@@ -790,7 +892,11 @@ impl RankCtx {
     /// a consolidated charge.
     pub fn wait_signals_raw(&self, seg: SegId, count: usize) -> Time {
         self.note_block();
-        self.fabric.segments().wait_signals(seg, self.rank, count)
+        let t = self.fabric.segments().wait_signals(seg, self.rank, count);
+        if let Some(san) = &self.san {
+            san.on_wait(self.rank, seg, count as u64);
+        }
+        t
     }
 
     /// Complete all outstanding puts (`shmem_quiet`): clock advances to the
@@ -800,6 +906,9 @@ impl RankCtx {
         let outstanding = self.outstanding_puts.len();
         let max_arrival = self.outstanding_puts.drain(..).fold(self.clock, Time::max);
         self.clock = max_arrival + Time::from_nanos(model.o_quiet);
+        if let Some(san) = &self.san {
+            san.on_quiet(self.rank);
+        }
         self.stats.quiets += 1;
         self.trace(
             t0,
@@ -840,6 +949,11 @@ impl RankCtx {
         let cost = model.barrier_cost(group.len());
         let exit = self.fabric.barrier(group, self.clock, cost);
         self.clock = exit;
+        if group.len() == self.nranks {
+            if let Some(san) = &self.san {
+                san.on_full_barrier(self.rank);
+            }
+        }
         self.stats.barriers += 1;
         self.trace(
             t0,
@@ -992,6 +1106,78 @@ mod tests {
         });
         assert!(res.per_rank[1] > Time::ZERO);
         assert_eq!(res.total_stats().puts, 1);
+    }
+
+    #[test]
+    fn sanitizer_clean_on_signalled_put_wait_read() {
+        let res = run(uniform_cfg(2).with_sanitize(), |ctx| {
+            let m = ctx.machine().shmem;
+            let seg = ctx.sym_alloc(&[0, 1], 64, &m);
+            if ctx.rank() == 0 {
+                ctx.put(seg, 1, 0, &[42u8; 8], &m, true);
+                ctx.quiet(&m);
+            } else {
+                let arrival = ctx.wait_signals_raw(seg, 1);
+                ctx.advance_to(arrival);
+                let mut out = [0u8; 8];
+                ctx.read_local(seg, 0, &mut out);
+            }
+        });
+        let report = res.sanitize.as_ref().expect("sanitizer enabled");
+        assert_eq!(report.conflicts_found(), 0);
+        assert!(report.race_checks >= 2, "put + read were both checked");
+        assert_eq!(res.total_stats().conflicts_found, 0);
+        assert_eq!(res.total_stats().race_checks, report.race_checks as usize);
+        report.assert_clean();
+    }
+
+    #[test]
+    fn sanitizer_flags_overlapping_unordered_puts() {
+        let res = run(uniform_cfg(3).with_sanitize(), |ctx| {
+            let m = ctx.machine().shmem;
+            let seg = ctx.sym_alloc(&[0, 1, 2], 64, &m);
+            if ctx.rank() < 2 {
+                // Both rank 0 and rank 1 blindly put into rank 2's window.
+                ctx.put(seg, 2, 0, &[ctx.rank() as u8; 8], &m, false);
+                ctx.quiet(&m);
+            }
+            ctx.barrier(&m);
+        });
+        let report = res.sanitize.as_ref().expect("sanitizer enabled");
+        assert_eq!(report.conflicts_found(), 1);
+        assert!(
+            report.codes().contains("CI009"),
+            "codes: {:?}",
+            report.codes()
+        );
+        assert_eq!(res.total_stats().conflicts_found, 1);
+        let c = &report.conflicts[0];
+        assert_eq!(c.owner, 2);
+        assert_eq!(c.ranks, (0, 1));
+    }
+
+    #[test]
+    fn sanitizer_flags_unwaited_read_and_put_from_source_reuse() {
+        // Rank 0 rewrites its staged source before quiet (CI011); rank 1
+        // reads the landing zone without waiting for the signal (CI012).
+        let res = run(uniform_cfg(2).with_sanitize(), |ctx| {
+            let m = ctx.machine().shmem;
+            let seg = ctx.sym_alloc(&[0, 1], 64, &m);
+            if ctx.rank() == 0 {
+                ctx.write_local(seg, 32, &[7u8; 8]);
+                ctx.put_from(seg, 1, 0, 32, 8, &m, true);
+                ctx.write_local(seg, 32, &[9u8; 8]); // before quiet: CI011
+                ctx.quiet(&m);
+            } else {
+                let mut out = [0u8; 8];
+                ctx.read_local(seg, 0, &mut out); // no wait: CI012
+                ctx.wait_signals_raw(seg, 1);
+            }
+        });
+        let report = res.sanitize.as_ref().expect("sanitizer enabled");
+        let codes = report.codes();
+        assert!(codes.contains("CI011"), "codes: {codes:?}");
+        assert!(codes.contains("CI012"), "codes: {codes:?}");
     }
 
     #[test]

@@ -155,6 +155,11 @@ pub struct RankStats {
     pub match_scan_steps: usize,
     /// Mailbox lock acquisitions (deliveries into + posts on this rank).
     pub mailbox_locks: usize,
+    /// Accesses checked by the race sanitizer on this rank (0 when off).
+    pub race_checks: usize,
+    /// Conflicting unordered access pairs the sanitizer attributed to this
+    /// rank (the second access of each pair). Zero on a clean run.
+    pub conflicts_found: usize,
 }
 
 impl RankStats {
@@ -176,6 +181,8 @@ impl RankStats {
         self.uq_high_water = self.uq_high_water.max(other.uq_high_water);
         self.match_scan_steps += other.match_scan_steps;
         self.mailbox_locks += other.mailbox_locks;
+        self.race_checks += other.race_checks;
+        self.conflicts_found += other.conflicts_found;
     }
 
     /// Fold one mailbox's hot-path counters into this rank's stats.

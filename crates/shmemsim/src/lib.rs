@@ -354,6 +354,59 @@ mod tests {
     }
 
     #[test]
+    fn sanitizer_sees_through_shmem_wrappers_clean_workload() {
+        // The SymSlice wrappers delegate to the instrumented RankCtx
+        // entry points, so the shadow-state sanitizer covers SHMEM-level
+        // programs with no extra plumbing. A properly synchronized
+        // put/barrier/read workload must come out clean.
+        let res = run(
+            SimConfig::new(3).with_exec(netsim::ExecPolicy::threads().with_sanitize()),
+            |ctx| {
+                let sym = SymSlice::<f64>::new(ctx, 4);
+                if my_pe(ctx) == 0 {
+                    for pe in 1..n_pes(ctx) {
+                        sym.put(ctx, pe, 1, &[pe as f64 * 10.0]);
+                    }
+                }
+                barrier_all(ctx);
+                if my_pe(ctx) != 0 {
+                    let mut out = [0f64; 1];
+                    sym.read_local(ctx, 1, &mut out);
+                    assert_eq!(out[0], my_pe(ctx) as f64 * 10.0);
+                }
+            },
+        );
+        let report = res.sanitize.expect("sanitizer enabled");
+        assert!(report.race_checks > 0, "wrappers bypassed the sanitizer");
+        report.assert_clean();
+    }
+
+    #[test]
+    fn sanitizer_flags_unwaited_shmem_read() {
+        // Same workload with the receive-side wait removed: reading the
+        // landing zone without waiting for the signalled delivery is the
+        // CI012 shape, and the sanitizer attributes it to the reader.
+        let res = run(
+            SimConfig::new(2).with_exec(netsim::ExecPolicy::threads().with_sanitize()),
+            |ctx| {
+                let sym = SymSlice::<f64>::new(ctx, 3);
+                if my_pe(ctx) == 0 {
+                    sym.put(ctx, 1, 0, &[1.0, 2.0, 3.0]);
+                    quiet(ctx);
+                } else {
+                    let mut out = [0f64; 3];
+                    sym.read_local(ctx, 0, &mut out);
+                    let arrival = sym.wait_deliveries_raw(ctx, 1);
+                    ctx.advance_to(arrival);
+                }
+            },
+        );
+        let report = res.sanitize.expect("sanitizer enabled");
+        assert_eq!(report.conflicts_found(), 1, "{report:?}");
+        assert!(report.codes().contains("CI012"), "{report:?}");
+    }
+
+    #[test]
     fn subteam_allocation() {
         run(SimConfig::new(4), |ctx| {
             // Only PEs 1..4 participate.

@@ -63,6 +63,10 @@ fn every_lint_code_detected_on_its_fixture() {
         ("ci006_consolidation.comm", "CI006"),
         ("ci007_target_infeasible.comm", "CI007"),
         ("ci008_unresolved.comm", "CI008"),
+        ("ci009_overlapping_puts.comm", "CI009"),
+        ("ci010_get_put_conflict.comm", "CI010"),
+        ("ci011_source_reuse.comm", "CI011"),
+        ("ci012_read_before_wait.comm", "CI012"),
     ];
     for (name, code) in cases {
         let report = check_golden(name);
@@ -79,6 +83,36 @@ fn every_lint_code_detected_on_its_fixture() {
                 .unwrap_or_else(|| panic!("{name}: {code} carries no rank witness"));
             assert!(w.nranks >= 2, "{name}: witness {w:?}");
         }
+    }
+}
+
+/// The fixture corpus covers the whole catalog: every `LintCode` variant
+/// has at least one `.comm` fixture that triggers it. A new code without a
+/// fixture fails here until one is added.
+#[test]
+fn every_catalog_code_has_a_triggering_fixture() {
+    use std::collections::BTreeSet;
+
+    let mut triggered: BTreeSet<&'static str> = BTreeSet::new();
+    let mut entries: Vec<_> = std::fs::read_dir(fixture_dir())
+        .expect("fixture dir")
+        .filter_map(|e| e.ok())
+        .map(|e| e.path())
+        .filter(|p| p.extension().is_some_and(|x| x == "comm"))
+        .collect();
+    entries.sort();
+    for path in entries {
+        let name = path.file_name().unwrap().to_str().unwrap().to_string();
+        let (report, _) = lint_fixture(&name);
+        triggered.extend(report.diags.iter().map(|d| d.code.code()));
+    }
+    for code in commint::LintCode::ALL {
+        assert!(
+            triggered.contains(code.code()),
+            "lint code {} ({}) has no triggering fixture under tests/lint_fixtures/",
+            code.code(),
+            code.name()
+        );
     }
 }
 

@@ -7,7 +7,11 @@
 use std::path::PathBuf;
 
 use commint::clause::Severity;
+use commint::diag::LintCode;
 use commlint::{lint_source, LintOptions, RankRange};
+use commprove::cert::Verdict;
+use commprove::check::{check_source, parse_certificate};
+use commprove::prove_source;
 use pragma_front::SymbolTable;
 
 fn repo_file(rel: &str) -> String {
@@ -40,6 +44,55 @@ fn atom_transfer_spec_is_clean_at_paper_rank_counts() {
         "atom-transfer spec must carry zero diagnostics: {:#?}",
         report.diags
     );
+}
+
+/// Race freedom is proved, not just swept: both wl-lsms specs carry
+/// certificates claiming CI009–CI012 absent for every rank count, and the
+/// independent checker accepts those certificates after a JSON round-trip.
+#[test]
+fn wl_lsms_specs_prove_race_freedom_for_all_n() {
+    for rel in [
+        "crates/wl-lsms/pragmas/spin_exchange.comm",
+        "crates/wl-lsms/pragmas/atom_transfer.comm",
+    ] {
+        let src = repo_file(rel);
+        let rep = prove_source(rel, &src, &SymbolTable::new(), &LintOptions::default())
+            .unwrap_or_else(|e| panic!("{rel}: parse failed: {e}"));
+        assert!(!rep.certificate.regions.is_empty(), "{rel}: no regions");
+        for region in &rep.certificate.regions {
+            assert!(
+                region.eligible,
+                "{rel}: region {} outside the decidable class: {:?}",
+                region.region, region.reason
+            );
+            for code in [
+                LintCode::OverlappingPuts,
+                LintCode::GetPutConflict,
+                LintCode::SourceReuseBeforeQuiet,
+                LintCode::ReadBeforeSignalWait,
+            ] {
+                let claims: Vec<_> = region.claims.iter().filter(|c| c.code == code).collect();
+                assert!(
+                    !claims.is_empty(),
+                    "{rel}: region {}: no {} claim",
+                    region.region,
+                    code.code()
+                );
+                assert!(
+                    claims
+                        .iter()
+                        .all(|c| matches!(c.verdict, Verdict::Absent { .. })),
+                    "{rel}: region {}: {} not proved absent: {claims:?}",
+                    region.region,
+                    code.code()
+                );
+            }
+        }
+        let cert = parse_certificate(&rep.certificate.to_json())
+            .unwrap_or_else(|e| panic!("{rel}: certificate round-trip failed: {e}"));
+        let errs = check_source(&src, &SymbolTable::new(), &LintOptions::default(), &cert);
+        assert!(errs.is_empty(), "{rel}: checker rejected: {errs:?}");
+    }
 }
 
 /// The examples shipped under examples/pragmas/ pass the warning-or-above

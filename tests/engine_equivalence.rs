@@ -14,7 +14,7 @@ use wl_lsms::{
 /// engine-independent operation counters. Physical counters (unexpected
 /// -queue depth, matcher scan steps, lock counts) legitimately vary with
 /// wall-clock interleaving and are excluded.
-fn det(m: &Measurement) -> (u64, bool, [usize; 12]) {
+fn det(m: &Measurement) -> (u64, bool, [usize; 14]) {
     let s = &m.stats;
     (
         m.time.as_nanos(),
@@ -32,6 +32,8 @@ fn det(m: &Measurement) -> (u64, bool, [usize; 12]) {
             s.quiets,
             s.packed_bytes,
             s.datatype_commits,
+            s.race_checks,
+            s.conflicts_found,
         ],
     )
 }
