@@ -35,7 +35,7 @@ pub use commscope::json::Json;
 
 /// The deterministic (virtual-quantity) subset of [`RankStats`] that goes
 /// into reports; order is the schema's field order.
-const STAT_FIELDS: [&str; 14] = [
+const STAT_FIELDS: [&str; 15] = [
     "sends",
     "recvs",
     "bytes_sent",
@@ -50,12 +50,13 @@ const STAT_FIELDS: [&str; 14] = [
     "datatype_commits",
     "race_checks",
     "conflicts_found",
+    "dtype_cache_hits",
 ];
 
 /// Index of `conflicts_found` in [`STAT_FIELDS`] (the hard race gate).
 const CONFLICTS_IDX: usize = 13;
 
-fn stat_values(s: &RankStats) -> [usize; 14] {
+fn stat_values(s: &RankStats) -> [usize; 15] {
     [
         s.sends,
         s.recvs,
@@ -71,6 +72,7 @@ fn stat_values(s: &RankStats) -> [usize; 14] {
         s.datatype_commits,
         s.race_checks,
         s.conflicts_found,
+        s.dtype_cache_hits,
     ]
 }
 
@@ -81,7 +83,7 @@ pub struct SeriesReport {
     /// Per-x virtual times in ns (exact integers).
     pub time_ns: Vec<u64>,
     /// Merged deterministic operation counters across the series' runs.
-    pub stats: [usize; 14],
+    pub stats: [usize; 15],
     /// Physical contention counters `[uq_high_water, match_scan_steps,
     /// mailbox_locks]` merged across the series' runs. Interleaving-
     /// dependent: recorded for tuning, soft-gated only.
@@ -210,13 +212,13 @@ impl BenchReport {
                     .map(|v| v.as_i64().map(|i| i as u64).ok_or("bad time_ns"))
                     .collect::<Result<Vec<_>, _>>()?;
                 let stats_obj = s.get("stats").ok_or("series missing stats")?;
-                let mut stats = [0usize; 14];
+                let mut stats = [0usize; 15];
                 for (i, (slot, key)) in stats.iter_mut().zip(STAT_FIELDS).enumerate() {
                     match stats_obj.get(key).and_then(Json::as_i64) {
                         Some(v) => *slot = v as usize,
-                        // The sanitizer counters postdate the first reports;
-                        // pre-race baselines read back as zeros (like the
-                        // contention triple below).
+                        // The sanitizer and datatype-cache counters
+                        // postdate the first reports; older baselines read
+                        // back as zeros (like the contention triple below).
                         None if i >= 12 => *slot = 0,
                         None => return Err(format!("stats missing '{key}'")),
                     }
@@ -388,7 +390,7 @@ mod tests {
             series: vec![SeriesReport {
                 label: "Original Communication".into(),
                 time_ns: vec![1_234_567_890_123, 42],
-                stats: [1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11, 12, 13, 0],
+                stats: [1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11, 12, 13, 0, 14],
                 contention: [3, 120, 240],
             }],
             wall_s: 1.5,

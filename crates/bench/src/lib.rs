@@ -140,7 +140,7 @@ pub fn render_stats(label: &str, stats: &RankStats) -> String {
     format!(
         "# stats[{label}] sends={} recvs={} bytes_sent={} waits={} waitalls={} \
          puts={} bytes_put={} gets={} barriers={} quiets={} packed_bytes={} \
-         datatype_commits={} race_checks={} conflicts_found={} \
+         datatype_commits={} dtype_cache_hits={} race_checks={} conflicts_found={} \
          uq_high_water={} match_scan_steps={} mailbox_locks={}",
         stats.sends,
         stats.recvs,
@@ -154,6 +154,7 @@ pub fn render_stats(label: &str, stats: &RankStats) -> String {
         stats.quiets,
         stats.packed_bytes,
         stats.datatype_commits,
+        stats.dtype_cache_hits,
         stats.race_checks,
         stats.conflicts_found,
         stats.uq_high_water,

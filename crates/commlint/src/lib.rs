@@ -71,15 +71,45 @@ pub struct LintOptions {
     pub vars: HashMap<String, i64>,
 }
 
+/// One `@decl` buffer declaration.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct DeclAnn {
+    /// Buffer name.
+    pub name: String,
+    /// Element basic type.
+    pub ty: BasicType,
+    /// Logical length in elements.
+    pub len: usize,
+    /// Optional `vector(blocklen, stride) of mem` strided layout: each
+    /// logical element is `blocklen` contiguous values every `stride`,
+    /// carved from a backing array of `mem` values.
+    pub vector: Option<(usize, usize, usize)>,
+}
+
 /// Self-describing annotations scanned from `// @...` comments.
 #[derive(Clone, Debug, Default)]
 pub struct Annotations {
-    /// `@decl name: type[len]` buffer declarations.
-    pub decls: Vec<(String, BasicType, usize)>,
+    /// `@decl name: type[len]` buffer declarations (optionally with a
+    /// `vector(blocklen, stride) of mem` layout suffix).
+    pub decls: Vec<DeclAnn>,
     /// `@var name = value` bindings.
     pub vars: HashMap<String, i64>,
     /// `@ranks lo..=hi` sweep override.
     pub ranks: Option<RankRange>,
+}
+
+/// Install every `@decl` into a symbol table, honoring strided layouts.
+pub fn apply_decls(symbols: &mut SymbolTable, ann: &Annotations) {
+    for d in &ann.decls {
+        match d.vector {
+            Some((blocklen, stride, mem)) => {
+                symbols.declare_strided(&d.name, d.ty, blocklen, stride, d.len, mem);
+            }
+            None => {
+                symbols.declare_prim(&d.name, d.ty, d.len);
+            }
+        }
+    }
 }
 
 /// Map a C-ish type keyword to a basic type (the `pragmacc --buf` mapping).
@@ -104,21 +134,35 @@ pub fn scan_annotations(src: &str) -> Annotations {
         };
         let rest = rest.trim();
         if let Some(decl) = rest.strip_prefix("@decl ") {
-            // name: type[len]
+            // name: type[len] [vector(blocklen, stride) of mem]
             let Some((name, ty)) = decl.split_once(':') else {
                 continue;
             };
             let ty = ty.trim();
-            let Some((kw, len)) = ty.split_once('[') else {
+            let Some((kw, rest)) = ty.split_once('[') else {
                 continue;
             };
-            let Some(len) = len.strip_suffix(']') else {
+            let Some((len, tail)) = rest.split_once(']') else {
                 continue;
             };
             let (Some(bt), Ok(len)) = (basic_type_of(kw.trim()), len.trim().parse()) else {
                 continue;
             };
-            out.decls.push((name.trim().to_string(), bt, len));
+            let vector = match tail.trim() {
+                "" => None,
+                tail => {
+                    let Some(v) = parse_vector_suffix(tail) else {
+                        continue;
+                    };
+                    Some(v)
+                }
+            };
+            out.decls.push(DeclAnn {
+                name: name.trim().to_string(),
+                ty: bt,
+                len,
+                vector,
+            });
         } else if let Some(var) = rest.strip_prefix("@var ") {
             let Some((name, value)) = var.split_once('=') else {
                 continue;
@@ -133,6 +177,18 @@ pub fn scan_annotations(src: &str) -> Annotations {
         }
     }
     out
+}
+
+/// Parse a `vector(blocklen, stride) of mem` decl suffix.
+fn parse_vector_suffix(tail: &str) -> Option<(usize, usize, usize)> {
+    let args = tail.strip_prefix("vector")?.trim_start();
+    let (args, mem) = args.strip_prefix('(')?.split_once(')')?;
+    let (blocklen, stride) = args.split_once(',')?;
+    let mem = mem.trim().strip_prefix("of ")?;
+    let blocklen: usize = blocklen.trim().parse().ok()?;
+    let stride: usize = stride.trim().parse().ok()?;
+    let mem: usize = mem.trim().parse().ok()?;
+    (blocklen > 0 && stride > 0).then_some((blocklen, stride, mem))
 }
 
 /// Lint result for one source.
@@ -313,9 +369,7 @@ pub fn lint_source(
 ) -> Result<LintReport, ParseError> {
     let ann = scan_annotations(src);
     let mut symbols = symbols.clone();
-    for (name, ty, len) in &ann.decls {
-        symbols.declare_prim(name, *ty, *len);
-    }
+    apply_decls(&mut symbols, &ann);
     let mut vars = opts.vars.clone();
     vars.extend(ann.vars);
     let ranks = ann.ranks.unwrap_or(opts.ranks);
@@ -420,7 +474,15 @@ mod tests {
     fn annotations_scanned() {
         let ann = scan_annotations(RING);
         assert_eq!(ann.decls.len(), 2);
-        assert_eq!(ann.decls[0], ("buf1".to_string(), BasicType::F64, 16));
+        assert_eq!(
+            ann.decls[0],
+            DeclAnn {
+                name: "buf1".to_string(),
+                ty: BasicType::F64,
+                len: 16,
+                vector: None,
+            }
+        );
         assert_eq!(ann.ranks, Some(RankRange { min: 2, max: 8 }));
         // Malformed annotations are ignored, not errors.
         let ann = scan_annotations("// @decl oops\n// @var x\n// @ranks ?");
@@ -471,16 +533,11 @@ mod tests {
 // @decl b: int[4]
 #pragma comm_p2p sender(0) receiver(1) sendwhen(rank==0||rank==2) receivewhen(rank==1) \
   sbuf(a) rbuf(b) count(4)";
-        let parsed = parse(
-            src,
-            &scan_annotations(src).decls.iter().fold(
-                SymbolTable::new(),
-                |mut t, (name, ty, len)| {
-                    t.declare_prim(name, *ty, *len);
-                    t
-                },
-            ),
-        )
+        let parsed = parse(src, &{
+            let mut t = SymbolTable::new();
+            apply_decls(&mut t, &scan_annotations(src));
+            t
+        })
         .unwrap();
         let regions: Vec<ParamsSpec> = parsed.items.iter().filter_map(region_view).collect();
         let counts: Vec<usize> = (2..=16).collect();

@@ -535,9 +535,7 @@ pub fn check_source(
     }
     let ann = scan_annotations(src);
     let mut symbols = symbols.clone();
-    for (name, ty, len) in &ann.decls {
-        symbols.declare_prim(name, *ty, *len);
-    }
+    commlint::apply_decls(&mut symbols, &ann);
     let mut vars = opts.vars.clone();
     vars.extend(ann.vars);
     let ranks = ann.ranks.unwrap_or(opts.ranks);

@@ -506,9 +506,7 @@ pub fn prove_source(
 ) -> Result<ProveReport, ParseError> {
     let ann = scan_annotations(src);
     let mut symbols = symbols.clone();
-    for (name, ty, len) in &ann.decls {
-        symbols.declare_prim(name, *ty, *len);
-    }
+    commlint::apply_decls(&mut symbols, &ann);
     let mut vars = opts.vars.clone();
     vars.extend(ann.vars);
     let ranks = ann.ranks.unwrap_or(opts.ranks);

@@ -564,9 +564,7 @@ pub fn cli_main(args: &[String]) -> i32 {
 pub fn pinned_sites_from_source(src: &str) -> Result<Vec<u32>, String> {
     let ann = commlint::scan_annotations(src);
     let mut syms = pragma_front::SymbolTable::new();
-    for (name, ty, len) in &ann.decls {
-        syms.declare_prim(name, *ty, *len);
-    }
+    commlint::apply_decls(&mut syms, &ann);
     let parsed = pragma_front::parse(src, &syms).map_err(|e| e.message)?;
     Ok(pragma_front::pinned_sites(src, &parsed))
 }

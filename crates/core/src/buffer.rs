@@ -83,6 +83,28 @@ pub struct CompositeLayout {
     pub fields: Vec<FieldDef>,
 }
 
+/// One member of a one-level-nested composite declaration: either a plain
+/// primitive block or an embedded composite whose (already flat) layout is
+/// spliced in at a byte offset. Because [`CompositeLayout`] itself holds
+/// only primitive [`FieldDef`]s, nesting deeper than one level is
+/// unrepresentable — the paper's recursive-nesting prohibition, relaxed by
+/// exactly one level.
+#[derive(Clone, Debug)]
+pub enum NestedField {
+    /// A primitive field block.
+    Prim(FieldDef),
+    /// An embedded composite: `layout` placed at byte `offset`, its fields
+    /// flattened into the parent as `name.field`.
+    Nested {
+        /// Member name in the outer struct.
+        name: String,
+        /// Byte offset of the embedded value within the outer struct.
+        offset: usize,
+        /// The inner composite's layout.
+        layout: CompositeLayout,
+    },
+}
+
 impl CompositeLayout {
     /// Build and validate a layout for `T`. Panics on layout violations
     /// (overlaps, blocks past the extent) — these are programming errors in
@@ -99,6 +121,36 @@ impl CompositeLayout {
             .to_datatype_checked()
             .unwrap_or_else(|e| panic!("invalid composite layout for {name}: {e}"));
         layout
+    }
+
+    /// Build a layout for `T` from members that may embed one level of
+    /// composite: each [`NestedField::Nested`] member is flattened into the
+    /// parent (inner offsets shifted by the member offset, names qualified
+    /// as `member.field`), then validated like [`CompositeLayout::new`].
+    /// The result is an ordinary flat layout — every analysis, datatype
+    /// conversion and wire format downstream is unchanged.
+    pub fn nested<T>(name: &str, members: Vec<NestedField>) -> CompositeLayout {
+        let mut fields = Vec::new();
+        for m in members {
+            match m {
+                NestedField::Prim(f) => fields.push(f),
+                NestedField::Nested {
+                    name: member,
+                    offset,
+                    layout,
+                } => {
+                    for f in &layout.fields {
+                        fields.push(FieldDef {
+                            name: format!("{member}.{}", f.name),
+                            offset: offset + f.offset,
+                            ty: f.ty,
+                            blocklen: f.blocklen,
+                        });
+                    }
+                }
+            }
+        }
+        CompositeLayout::new::<T>(name, fields)
     }
 
     /// Bytes of payload one element contributes (sum of field blocks).
@@ -198,6 +250,62 @@ pub fn scatter_described<T: Described>(items: &mut [T], count: usize, packed: &[
     }
 }
 
+/// One parallel array of a struct-of-arrays group.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct SoaField {
+    /// Array name (diagnostics, codegen).
+    pub name: String,
+    /// Element type of the array.
+    pub ty: BasicType,
+    /// Values each record contributes to this array.
+    pub blocklen: usize,
+}
+
+/// Struct-of-arrays layout: one logical record is `blocklen` values in
+/// each of several *parallel arrays* (the wl-lsms core-state shape: `ec`,
+/// `nc`, `lc`, `kc` indexed by the same core-state number). The wire
+/// format is field-major — all records of the first array, then all of the
+/// second — so a per-array transfer is a plain split of the packed stream
+/// and each array ships as one contiguous block, copy-free.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct SoaLayout {
+    /// Group name (diagnostics, codegen).
+    pub name: String,
+    /// Parallel arrays, in declaration order.
+    pub fields: Vec<SoaField>,
+}
+
+impl SoaLayout {
+    /// Bytes of payload one record contributes (sum over arrays).
+    pub fn packed_size(&self) -> usize {
+        self.fields.iter().map(|f| f.blocklen * f.ty.size()).sum()
+    }
+
+    /// The packed-equivalent MPI struct datatype (sequential offsets): the
+    /// layout key for commit caching, and what an absolute-addressed
+    /// `MPI_Type_create_struct` over the arrays commits to.
+    pub fn to_datatype(&self) -> Datatype {
+        let mut off = 0usize;
+        let fields = self
+            .fields
+            .iter()
+            .map(|f| {
+                let sf = StructField {
+                    offset: off,
+                    blocklen: f.blocklen,
+                    ty: f.ty,
+                };
+                off += f.blocklen * f.ty.size();
+                sf
+            })
+            .collect();
+        Datatype::Struct {
+            fields,
+            extent: self.packed_size(),
+        }
+    }
+}
+
 /// Element kind of a buffer, as the analyses and lowering see it.
 #[derive(Clone, Debug, PartialEq)]
 pub enum ElemKind {
@@ -216,6 +324,8 @@ pub enum ElemKind {
         /// Values between block starts (≥ blocklen).
         stride: usize,
     },
+    /// A struct-of-arrays record spread over parallel arrays.
+    Soa(SoaLayout),
 }
 
 impl ElemKind {
@@ -225,15 +335,52 @@ impl ElemKind {
             ElemKind::Prim(t) => t.size(),
             ElemKind::Composite(l) => l.packed_size(),
             ElemKind::Strided { ty, blocklen, .. } => blocklen * ty.size(),
+            ElemKind::Soa(l) => l.packed_size(),
         }
     }
 
-    /// Memory extent per element.
+    /// Memory extent per element. For struct-of-arrays the records live in
+    /// disjoint arrays with no shared stride, so the payload size stands in;
+    /// exact per-array address ranges come from the buffer's
+    /// [`SendBuf::sub_ranges`]/[`RecvBuf::sub_ranges`].
     pub fn extent(&self) -> usize {
         match self {
             ElemKind::Prim(t) => t.size(),
             ElemKind::Composite(l) => l.extent,
             ElemKind::Strided { ty, stride, .. } => stride * ty.size(),
+            ElemKind::Soa(l) => l.packed_size(),
+        }
+    }
+
+    /// Bytes a transfer of `count` elements spans in *memory* (not on the
+    /// wire): the footprint the receiving allocation must cover. For a
+    /// strided view the final block does not extend to a full stride.
+    pub fn span_bytes(&self, count: usize) -> usize {
+        match self {
+            ElemKind::Strided {
+                ty,
+                blocklen,
+                stride,
+            } => {
+                if count == 0 {
+                    0
+                } else {
+                    ((count - 1) * stride + blocklen) * ty.size()
+                }
+            }
+            _ => count * self.extent(),
+        }
+    }
+
+    /// Number of independently-contiguous blocks one transfer decomposes
+    /// into per element: the message/put fan-out of a non-packing lowering
+    /// (1 for primitives and strided views — an `iput` ships all blocks in
+    /// one call — the field count for composites and struct-of-arrays).
+    pub fn field_count(&self) -> usize {
+        match self {
+            ElemKind::Prim(_) | ElemKind::Strided { .. } => 1,
+            ElemKind::Composite(l) => l.fields.len().max(1),
+            ElemKind::Soa(l) => l.fields.len().max(1),
         }
     }
 
@@ -253,6 +400,7 @@ impl ElemKind {
                 stride: *stride,
                 elem: *ty,
             },
+            ElemKind::Soa(l) => l.to_datatype(),
         }
     }
 
@@ -295,6 +443,15 @@ impl ElemKind {
                     ty: a, blocklen, ..
                 },
             ) => a == b && *blocklen == 1,
+            // Struct-of-arrays pairs only with the same field sequence: the
+            // field-major wire format is positional per array.
+            (ElemKind::Soa(a), ElemKind::Soa(b)) => {
+                a.fields.len() == b.fields.len()
+                    && a.fields
+                        .iter()
+                        .zip(&b.fields)
+                        .all(|(x, y)| x.ty == y.ty && x.blocklen == y.blocklen)
+            }
             _ => false,
         }
     }
@@ -354,6 +511,14 @@ pub trait SendBuf {
     fn desc(&self) -> BufDesc {
         BufDesc::from(self.meta())
     }
+    /// Exact per-array address ranges for views spanning multiple disjoint
+    /// allocations (struct-of-arrays). `None` means the single `addr` range
+    /// in the descriptor is exact. Dependence analyses must prefer these:
+    /// the convex hull of unrelated heap arrays can cover other buffers,
+    /// and whether it does depends on the allocator, not the program.
+    fn sub_ranges(&self) -> Option<&[(usize, usize)]> {
+        None
+    }
     /// Append `count` elements' packed bytes to `out`.
     fn gather(&self, count: usize, out: &mut Vec<u8>);
 }
@@ -365,6 +530,10 @@ pub trait RecvBuf {
     /// Hot-path descriptor; implementations override to skip the name.
     fn desc(&self) -> BufDesc {
         BufDesc::from(self.meta())
+    }
+    /// Exact per-array address ranges (see [`SendBuf::sub_ranges`]).
+    fn sub_ranges(&self) -> Option<&[(usize, usize)]> {
+        None
     }
     /// Fill `count` elements from packed bytes.
     fn scatter(&mut self, count: usize, packed: &[u8]);
@@ -664,6 +833,187 @@ impl<T: PrimElem> RecvBuf for PrimStridedMut<'_, T> {
     }
 }
 
+fn soa_hull(ranges: &[(usize, usize)]) -> (usize, usize) {
+    let lo = ranges.iter().map(|r| r.0).min().unwrap_or(0);
+    let hi = ranges.iter().map(|r| r.1).max().unwrap_or(0);
+    (lo, hi.max(lo))
+}
+
+/// A struct-of-arrays send view over parallel arrays: one logical record is
+/// `blocklen` values in each declared array (the wl-lsms core-state shape).
+/// Build with the chainable [`Soa::field`]/[`Soa::field_blocks`]; the
+/// record count is the smallest per-array record count, so a set of empty
+/// slices is a valid zero-length placeholder on non-participating ranks.
+pub struct Soa<'a> {
+    name: &'a str,
+    fields: Vec<SoaField>,
+    bytes: Vec<&'a [u8]>,
+    ranges: Vec<(usize, usize)>,
+}
+
+impl<'a> Soa<'a> {
+    /// Start an empty group with a display name.
+    pub fn new(name: &'a str) -> Self {
+        Soa {
+            name,
+            fields: Vec::new(),
+            bytes: Vec::new(),
+            ranges: Vec::new(),
+        }
+    }
+
+    /// Add a parallel array contributing one value per record.
+    pub fn field<T: PrimElem>(self, name: &str, data: &'a [T]) -> Self {
+        self.field_blocks(name, data, 1)
+    }
+
+    /// Add a parallel array contributing `blocklen` values per record.
+    pub fn field_blocks<T: PrimElem>(mut self, name: &str, data: &'a [T], blocklen: usize) -> Self {
+        assert!(blocklen >= 1, "soa blocklen must be at least 1");
+        let raw = as_bytes(data);
+        let lo = raw.as_ptr() as usize;
+        self.fields.push(SoaField {
+            name: name.to_string(),
+            ty: T::BASIC,
+            blocklen,
+        });
+        self.ranges.push((lo, lo + raw.len()));
+        self.bytes.push(raw);
+        self
+    }
+
+    fn records(&self) -> usize {
+        self.fields
+            .iter()
+            .zip(&self.bytes)
+            .map(|(f, b)| b.len() / (f.blocklen * f.ty.size()))
+            .min()
+            .unwrap_or(0)
+    }
+
+    fn layout(&self) -> SoaLayout {
+        SoaLayout {
+            name: self.name.to_string(),
+            fields: self.fields.clone(),
+        }
+    }
+}
+
+impl SendBuf for Soa<'_> {
+    fn meta(&self) -> BufMeta {
+        let (lo, hi) = soa_hull(&self.ranges);
+        BufMeta {
+            name: self.name.to_string(),
+            elem: ElemKind::Soa(self.layout()),
+            len: self.records(),
+            addr: (lo, hi),
+        }
+    }
+
+    fn sub_ranges(&self) -> Option<&[(usize, usize)]> {
+        Some(&self.ranges)
+    }
+
+    // Field-major wire format: all records of the first array, then all of
+    // the second — each array contributes one contiguous copy-free block.
+    fn gather(&self, count: usize, out: &mut Vec<u8>) {
+        assert!(count <= self.records(), "gather count exceeds record count");
+        for (f, b) in self.fields.iter().zip(&self.bytes) {
+            out.extend_from_slice(&b[..count * f.blocklen * f.ty.size()]);
+        }
+    }
+}
+
+/// A struct-of-arrays receive view (see [`Soa`]).
+pub struct SoaMut<'a> {
+    name: &'a str,
+    fields: Vec<SoaField>,
+    bytes: Vec<&'a mut [u8]>,
+    ranges: Vec<(usize, usize)>,
+}
+
+impl<'a> SoaMut<'a> {
+    /// Start an empty group with a display name.
+    pub fn new(name: &'a str) -> Self {
+        SoaMut {
+            name,
+            fields: Vec::new(),
+            bytes: Vec::new(),
+            ranges: Vec::new(),
+        }
+    }
+
+    /// Add a parallel array receiving one value per record.
+    pub fn field<T: PrimElem>(self, name: &str, data: &'a mut [T]) -> Self {
+        self.field_blocks(name, data, 1)
+    }
+
+    /// Add a parallel array receiving `blocklen` values per record.
+    pub fn field_blocks<T: PrimElem>(
+        mut self,
+        name: &str,
+        data: &'a mut [T],
+        blocklen: usize,
+    ) -> Self {
+        assert!(blocklen >= 1, "soa blocklen must be at least 1");
+        let raw = as_bytes_mut(data);
+        let lo = raw.as_ptr() as usize;
+        self.fields.push(SoaField {
+            name: name.to_string(),
+            ty: T::BASIC,
+            blocklen,
+        });
+        self.ranges.push((lo, lo + raw.len()));
+        self.bytes.push(raw);
+        self
+    }
+
+    fn records(&self) -> usize {
+        self.fields
+            .iter()
+            .zip(&self.bytes)
+            .map(|(f, b)| b.len() / (f.blocklen * f.ty.size()))
+            .min()
+            .unwrap_or(0)
+    }
+
+    fn layout(&self) -> SoaLayout {
+        SoaLayout {
+            name: self.name.to_string(),
+            fields: self.fields.clone(),
+        }
+    }
+}
+
+impl RecvBuf for SoaMut<'_> {
+    fn meta(&self) -> BufMeta {
+        let (lo, hi) = soa_hull(&self.ranges);
+        BufMeta {
+            name: self.name.to_string(),
+            elem: ElemKind::Soa(self.layout()),
+            len: self.records(),
+            addr: (lo, hi),
+        }
+    }
+
+    fn sub_ranges(&self) -> Option<&[(usize, usize)]> {
+        Some(&self.ranges)
+    }
+
+    fn scatter(&mut self, count: usize, packed: &[u8]) {
+        assert!(
+            count <= self.records(),
+            "scatter count exceeds record count"
+        );
+        let mut pos = 0usize;
+        for (f, b) in self.fields.iter().zip(&mut self.bytes) {
+            let len = count * f.blocklen * f.ty.size();
+            b[..len].copy_from_slice(&packed[pos..pos + len]);
+            pos += len;
+        }
+    }
+}
+
 /// Declare a communication-ready composite struct: emits a `#[repr(C)]`
 /// struct plus its [`Described`] layout derived with `offset_of!`.
 ///
@@ -915,6 +1265,159 @@ mod tests {
         let comp = ElemKind::Composite(Mixed::layout());
         assert!(comp.compatible(&ElemKind::Composite(Mixed::layout())));
         assert!(!comp.compatible(&f));
+    }
+
+    #[test]
+    fn soa_gather_scatter_roundtrip_field_major() {
+        let ec = [1.5f64, 2.5, 3.5];
+        let nc = [10i32, 20, 30];
+        let sb = Soa::new("core").field("ec", &ec).field("nc", &nc);
+        let meta = sb.meta();
+        assert_eq!(meta.len, 3);
+        assert_eq!(meta.elem.packed_size(), 12);
+        assert_eq!(meta.elem.field_count(), 2);
+
+        let mut packed = Vec::new();
+        sb.gather(2, &mut packed);
+        assert_eq!(packed.len(), 24);
+        // Field-major: both ec records precede both nc records.
+        let ec_back: Vec<f64> = mpisim::pod::vec_from_bytes(&packed[..16]);
+        let nc_back: Vec<i32> = mpisim::pod::vec_from_bytes(&packed[16..]);
+        assert_eq!(ec_back, vec![1.5, 2.5]);
+        assert_eq!(nc_back, vec![10, 20]);
+
+        let mut ec2 = [0f64; 3];
+        let mut nc2 = [0i32; 3];
+        let mut rb = SoaMut::new("core")
+            .field("ec", &mut ec2)
+            .field("nc", &mut nc2);
+        rb.scatter(2, &packed);
+        assert_eq!(ec2, [1.5, 2.5, 0.0]);
+        assert_eq!(nc2, [10, 20, 0]);
+    }
+
+    #[test]
+    fn soa_sub_ranges_exact_and_hull_summary() {
+        let a = [0f64; 4];
+        let b = [0i32; 4];
+        let sb = Soa::new("g").field("a", &a).field("b", &b);
+        let subs = SendBuf::sub_ranges(&sb).unwrap();
+        assert_eq!(subs.len(), 2);
+        assert_eq!(subs[0], (a.as_ptr() as usize, a.as_ptr() as usize + 32));
+        assert_eq!(subs[1], (b.as_ptr() as usize, b.as_ptr() as usize + 16));
+        let meta = sb.meta();
+        assert!(meta.addr.0 <= subs[0].0 && meta.addr.1 >= subs[1].1);
+    }
+
+    #[test]
+    fn soa_blocklen_and_empty_placeholder() {
+        let vr = [1.0f64, 2.0, 3.0, 4.0];
+        let sb = Soa::new("pot").field_blocks("vr", &vr, 4);
+        assert_eq!(sb.meta().len, 1, "one record of four values");
+        assert_eq!(sb.meta().elem.packed_size(), 32);
+
+        let empty: [f64; 0] = [];
+        let ph = Soa::new("pot").field_blocks("vr", &empty, 4);
+        assert_eq!(ph.meta().len, 0, "placeholder has zero records");
+        assert!(ph.meta().elem.compatible(&sb.meta().elem));
+    }
+
+    #[test]
+    fn soa_compatibility_is_positional() {
+        let a = [0f64; 2];
+        let b = [0i32; 2];
+        let x = Soa::new("x").field("a", &a).field("b", &b).meta().elem;
+        let y = Soa::new("y").field("p", &a).field("q", &b).meta().elem;
+        let flipped = Soa::new("z").field("b", &b).field("a", &a).meta().elem;
+        assert!(x.compatible(&y), "names are irrelevant, layout is not");
+        assert!(!x.compatible(&flipped));
+        assert!(!x.compatible(&ElemKind::Prim(BasicType::F64)));
+    }
+
+    #[test]
+    fn nested_layout_flattens_one_level() {
+        #[repr(C)]
+        #[derive(Clone, Copy)]
+        struct Inner {
+            x: f64,
+            n: [i32; 2],
+        }
+        #[repr(C)]
+        #[derive(Clone, Copy)]
+        struct Outer {
+            tag: i32,
+            inner: Inner,
+            w: f64,
+        }
+        let inner_layout = CompositeLayout::new::<Inner>(
+            "Inner",
+            vec![
+                FieldDef {
+                    name: "x".into(),
+                    offset: std::mem::offset_of!(Inner, x),
+                    ty: BasicType::F64,
+                    blocklen: 1,
+                },
+                FieldDef {
+                    name: "n".into(),
+                    offset: std::mem::offset_of!(Inner, n),
+                    ty: BasicType::I32,
+                    blocklen: 2,
+                },
+            ],
+        );
+        let outer = CompositeLayout::nested::<Outer>(
+            "Outer",
+            vec![
+                NestedField::Prim(FieldDef {
+                    name: "tag".into(),
+                    offset: std::mem::offset_of!(Outer, tag),
+                    ty: BasicType::I32,
+                    blocklen: 1,
+                }),
+                NestedField::Nested {
+                    name: "inner".into(),
+                    offset: std::mem::offset_of!(Outer, inner),
+                    layout: inner_layout,
+                },
+                NestedField::Prim(FieldDef {
+                    name: "w".into(),
+                    offset: std::mem::offset_of!(Outer, w),
+                    ty: BasicType::F64,
+                    blocklen: 1,
+                }),
+            ],
+        );
+        assert_eq!(outer.fields.len(), 4, "inner fields spliced into parent");
+        assert_eq!(outer.fields[1].name, "inner.x");
+        assert_eq!(
+            outer.fields[1].offset,
+            std::mem::offset_of!(Outer, inner) + std::mem::offset_of!(Inner, x)
+        );
+        assert_eq!(outer.fields[2].name, "inner.n");
+        assert_eq!(outer.packed_size(), 4 + 8 + 8 + 8);
+        // The flattened result is an ordinary valid struct datatype.
+        match outer.to_datatype() {
+            Datatype::Struct { fields, extent } => {
+                assert_eq!(fields.len(), 4);
+                assert_eq!(extent, std::mem::size_of::<Outer>());
+            }
+            other => panic!("expected struct datatype, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn strided_span_bytes_excludes_tail_padding() {
+        let col = ElemKind::Strided {
+            ty: BasicType::F64,
+            blocklen: 2,
+            stride: 4,
+        };
+        // 3 blocks: (3-1)*4 + 2 = 10 doubles of footprint, 6 of payload.
+        assert_eq!(col.span_bytes(3), 80);
+        assert_eq!(col.packed_size() * 3, 48);
+        assert_eq!(col.span_bytes(0), 0);
+        assert_eq!(ElemKind::Prim(BasicType::I32).span_bytes(5), 20);
     }
 
     #[test]

@@ -225,7 +225,8 @@ impl LintCode {
                 "a rank that both sends and receives uses overlapping sbuf/rbuf memory"
             }
             LintCode::SizeMismatch => {
-                "sender and receiver disagree on transfer size, or the transfer overflows rbuf"
+                "sender and receiver disagree on transfer size, or the transfer's layout \
+                 byte extent overflows rbuf memory"
             }
             LintCode::SendwhenPairing => {
                 "sendwhen/receivewhen are unpaired or select inconsistent participants"
@@ -709,6 +710,42 @@ pub fn lint_region_at(
                         region,
                         site,
                         key: format!("p{idx}:pair{k}:overflow"),
+                        witness: witness(nranks, vec![e.dst]),
+                        verification: None,
+                    });
+                    continue 'pairs;
+                }
+                // Layout-aware extent check: a strided layout touches
+                // memory beyond its packed size, so the byte extent must
+                // be computed through the descriptor, not from the element
+                // count (which the check above already covered). Skipped
+                // for struct-of-arrays, whose summary address range is a
+                // hull over unrelated member arrays.
+                let have = rb.addr.1.saturating_sub(rb.addr.0);
+                if have > 0
+                    && !matches!(rb.elem, crate::buffer::ElemKind::Soa(_))
+                    && rb.elem.span_bytes(cr) > have
+                {
+                    out.push(Diag {
+                        code: LintCode::SizeMismatch,
+                        severity: Severity::Error,
+                        message: format!(
+                            "transfer of {} element(s) spans {} byte(s) through the \
+                             layout of rbuf `{}`, overflowing its {} byte(s) of memory",
+                            cr,
+                            rb.elem.span_bytes(cr),
+                            rb.name,
+                            have
+                        ),
+                        span: p2p
+                            .spans
+                            .rbuf
+                            .get(k)
+                            .copied()
+                            .or_else(|| p2p.spans.buffers()),
+                        region,
+                        site,
+                        key: format!("p{idx}:pair{k}:extent"),
                         witness: witness(nranks, vec![e.dst]),
                         verification: None,
                     });

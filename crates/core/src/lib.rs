@@ -83,9 +83,12 @@ pub use scope::{CommParams, CommSession, DirectiveError, P2pCall, Region};
 
 /// Convenient glob-import surface.
 pub mod prelude {
-    pub use crate::buffer::{Prim, PrimMut, PrimStrided, PrimStridedMut, Struc, StrucMut};
+    pub use crate::buffer::{
+        Prim, PrimMut, PrimStrided, PrimStridedMut, Soa, SoaMut, Struc, StrucMut,
+    };
     pub use crate::clause::{PlaceSync, Target};
     pub use crate::expr::{CondExpr, EvalEnv, RankExpr};
+    pub use crate::lower::{choose_lowering, Lowering, LoweringPolicy};
     pub use crate::overlay::{Decision, Overlay, SiteDecision};
     pub use crate::scope::{CommParams, CommSession, DirectiveError};
     pub use crate::{comm_coll, comm_p2p, comm_parameters};

@@ -416,6 +416,7 @@ impl DtypeCache {
             ctx.charge_datatype_commit(model);
             true
         } else {
+            ctx.note_dtype_cache_hit();
             false
         }
     }
@@ -565,6 +566,36 @@ mod tests {
         };
         assert_eq!(a.layout_key(), b.layout_key());
         assert_ne!(a.layout_key(), c.layout_key());
+    }
+
+    #[test]
+    fn cache_commits_once_per_layout_and_counts_hits() {
+        let cfg = netsim::SimConfig::new(1);
+        let res = netsim::run(cfg, |ctx| {
+            let model = ctx.machine().mpi;
+            let mut cache = DtypeCache::new();
+            let vec_t = Datatype::Vector {
+                count: 4,
+                blocklen: 1,
+                stride: 8,
+                elem: BasicType::F64,
+            };
+            let strct =
+                Datatype::try_struct(&[("a", 0, 1, FieldKind::Basic(BasicType::I32))], 4).unwrap();
+            // First use of each layout commits; every reuse is a cache hit.
+            assert!(cache.ensure_committed(ctx, &vec_t, &model));
+            assert!(!cache.ensure_committed(ctx, &vec_t, &model));
+            assert!(cache.ensure_committed(ctx, &strct, &model));
+            for _ in 0..3 {
+                assert!(!cache.ensure_committed(ctx, &strct, &model));
+            }
+            // Basic types are predefined: neither a commit nor a cache hit.
+            assert!(!cache.ensure_committed(ctx, &Datatype::Basic(BasicType::F64), &model));
+            assert_eq!(cache.len(), 2);
+        });
+        let stats = res.stats[0];
+        assert_eq!(stats.datatype_commits, 2);
+        assert_eq!(stats.dtype_cache_hits, 4);
     }
 
     #[test]

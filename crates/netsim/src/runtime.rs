@@ -984,6 +984,12 @@ impl RankCtx {
         self.trace(t0, EventKind::DatatypeCommit);
     }
 
+    /// Record a datatype-cache hit: the layout was already committed, so the
+    /// commit cost is elided. Counter only — the virtual clock does not move.
+    pub fn note_dtype_cache_hit(&mut self) {
+        self.stats.dtype_cache_hits += 1;
+    }
+
     /// Charge a local staging copy of `bytes`.
     pub fn charge_memcpy(&mut self, bytes: usize, model: &CostModel) {
         self.clock += model.byte_cost(model.memcpy_per_byte, bytes);

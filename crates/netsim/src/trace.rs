@@ -149,6 +149,9 @@ pub struct RankStats {
     pub packed_bytes: usize,
     /// Derived datatypes committed.
     pub datatype_commits: usize,
+    /// Datatype-cache lookups that found an already-committed layout (the
+    /// commit cost was elided on these region executions).
+    pub dtype_cache_hits: usize,
     /// High-water mark of this rank's unexpected-message queue.
     pub uq_high_water: usize,
     /// Matching-engine scan steps in this rank's mailbox.
@@ -177,6 +180,7 @@ impl RankStats {
         self.quiets += other.quiets;
         self.packed_bytes += other.packed_bytes;
         self.datatype_commits += other.datatype_commits;
+        self.dtype_cache_hits += other.dtype_cache_hits;
         // A job-wide high-water mark is the worst single mailbox, not a sum.
         self.uq_high_water = self.uq_high_water.max(other.uq_high_water);
         self.match_scan_steps += other.match_scan_steps;

@@ -41,6 +41,9 @@ fn src_span(s: Span) -> SrcSpan {
 #[derive(Clone, Debug, Default)]
 pub struct SymbolTable {
     entries: HashMap<String, (ElemKind, usize)>,
+    /// Backing-memory size in bytes where it differs from `len * extent`
+    /// (strided views over a larger array).
+    mem_bytes: HashMap<String, usize>,
 }
 
 impl SymbolTable {
@@ -53,6 +56,34 @@ impl SymbolTable {
     pub fn declare_prim(&mut self, name: &str, ty: BasicType, len: usize) -> &mut Self {
         self.entries
             .insert(name.to_string(), (ElemKind::Prim(ty), len));
+        self
+    }
+
+    /// Declare a strided view: `len` logical elements of `blocklen`
+    /// contiguous `ty` values every `stride`, carved out of a backing
+    /// array of `mem_elems` values of `ty`.
+    pub fn declare_strided(
+        &mut self,
+        name: &str,
+        ty: BasicType,
+        blocklen: usize,
+        stride: usize,
+        len: usize,
+        mem_elems: usize,
+    ) -> &mut Self {
+        self.entries.insert(
+            name.to_string(),
+            (
+                ElemKind::Strided {
+                    ty,
+                    blocklen,
+                    stride,
+                },
+                len,
+            ),
+        );
+        self.mem_bytes
+            .insert(name.to_string(), mem_elems * ty.size());
         self
     }
 
@@ -70,6 +101,10 @@ impl SymbolTable {
 
     fn lookup(&self, name: &str) -> Option<&(ElemKind, usize)> {
         self.entries.get(name)
+    }
+
+    fn mem_size(&self, name: &str) -> Option<usize> {
+        self.mem_bytes.get(name).copied()
     }
 }
 
@@ -519,7 +554,11 @@ impl Parser<'_> {
         };
         let addr = *self.buf_addrs.entry(base.clone()).or_insert_with(|| {
             let lo = self.buf_addr_cursor;
-            let size = (len * elem.extent()).max(1);
+            let size = self
+                .symbols
+                .mem_size(&base)
+                .unwrap_or(len * elem.extent())
+                .max(1);
             self.buf_addr_cursor = lo + size + 64;
             (lo, lo + size)
         });

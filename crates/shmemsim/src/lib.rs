@@ -54,6 +54,20 @@ impl TypedPut {
             TypedPut::Put128 => "shmem_put128",
         }
     }
+
+    /// The strided-put (`shmem_iput*`) call name of the same granularity:
+    /// ships a strided layout in one call with no intermediate pack copy
+    /// (the transfer engine walks the stride). Byte-granular layouts have
+    /// no strided variant and fall back to `shmem_putmem`.
+    pub fn iput_name(self) -> &'static str {
+        match self {
+            TypedPut::PutMem => "shmem_putmem",
+            TypedPut::Put16 => "shmem_iput16",
+            TypedPut::Put32 => "shmem_iput32",
+            TypedPut::Put64 => "shmem_iput64",
+            TypedPut::Put128 => "shmem_iput128",
+        }
+    }
 }
 
 /// The SHMEM "processing element" view of a rank context: `my_pe`/`n_pes`

@@ -59,6 +59,7 @@ fn every_lint_code_detected_on_its_fixture() {
         ("ci002_deadlock_cycle.comm", "CI002"),
         ("ci003_aliasing.comm", "CI003"),
         ("ci004_size_mismatch.comm", "CI004"),
+        ("ci004_strided_extent.comm", "CI004"),
         ("ci005_pairing.comm", "CI005"),
         ("ci006_consolidation.comm", "CI006"),
         ("ci007_target_infeasible.comm", "CI007"),
@@ -114,6 +115,29 @@ fn every_catalog_code_has_a_triggering_fixture() {
             code.name()
         );
     }
+}
+
+/// The strided-extent fixture fires the layout-aware CI004 check: the
+/// element count fits rbuf's capacity, so only the byte-extent computed
+/// through the strided descriptor catches the overflow.
+#[test]
+fn strided_extent_fires_layout_aware_ci004() {
+    let (report, _) = lint_fixture("ci004_strided_extent.comm");
+    let d = report
+        .diags
+        .iter()
+        .find(|d| d.code.code() == "CI004")
+        .expect("CI004 fires");
+    assert!(
+        d.key.ends_with(":extent"),
+        "expected the byte-extent check to fire, got key {:?}",
+        d.key
+    );
+    assert!(
+        d.message.contains("112 byte(s)") && d.message.contains("80 byte(s)"),
+        "message should carry the layout span and memory size: {}",
+        d.message
+    );
 }
 
 /// The CI001 fixture is clean at nranks=2 and first fails at 3 — the sweep

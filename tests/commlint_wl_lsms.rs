@@ -46,6 +46,21 @@ fn atom_transfer_spec_is_clean_at_paper_rank_counts() {
     );
 }
 
+/// The composite single-directive atom transfer — the whole atom as one
+/// record with strided `vector(...) of mem` decls — lints clean, including
+/// the layout-aware CI004 byte-extent check against each backing array.
+#[test]
+fn atom_composite_spec_is_clean_at_paper_rank_counts() {
+    let src = repo_file("crates/wl-lsms/pragmas/atom_composite.comm");
+    let report = lint_source(&src, &SymbolTable::new(), &LintOptions::default()).unwrap();
+    assert_eq!(report.ranks, RankRange { min: 2, max: 16 });
+    assert!(
+        report.diags.is_empty(),
+        "composite atom-transfer spec must carry zero diagnostics: {:#?}",
+        report.diags
+    );
+}
+
 /// Race freedom is proved, not just swept: both wl-lsms specs carry
 /// certificates claiming CI009–CI012 absent for every rank count, and the
 /// independent checker accepts those certificates after a JSON round-trip.
@@ -54,6 +69,7 @@ fn wl_lsms_specs_prove_race_freedom_for_all_n() {
     for rel in [
         "crates/wl-lsms/pragmas/spin_exchange.comm",
         "crates/wl-lsms/pragmas/atom_transfer.comm",
+        "crates/wl-lsms/pragmas/atom_composite.comm",
     ] {
         let src = repo_file(rel);
         let rep = prove_source(rel, &src, &SymbolTable::new(), &LintOptions::default())

@@ -18,9 +18,7 @@ const SRC: &str = include_str!("lint_fixtures/ci006_consolidation.comm");
 
 fn symbols() -> SymbolTable {
     let mut s = SymbolTable::new();
-    for (name, bt, len) in scan_annotations(SRC).decls {
-        s.declare_prim(&name, bt, len);
-    }
+    commlint::apply_decls(&mut s, &scan_annotations(SRC));
     s
 }
 
