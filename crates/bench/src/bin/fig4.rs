@@ -4,7 +4,8 @@
 //!
 //! Usage: `fig4 [--stride K] [--steps N] [--jobs J] [--workers W]
 //!              [--eager-threshold B] [--sanitize] [--overlay FILE] [--ab]
-//!              [--min-factor F] [--stats] [--json] [--baseline FILE]
+//!              [--min-factor F] [--stats] [--watch SECS] [--json]
+//!              [--baseline FILE] [--ledger FILE] [--diff-out FILE]
 //!              [--trace-out FILE] [--profile FILE]`
 //! (stride thins the process sweep; jobs bounds the sweep worker pool;
 //! `--workers` selects the bounded in-run engine, 0 = auto;
@@ -27,7 +28,15 @@
 //! turns the run into an A/B gate: exit 2 if any tuned point is slower than
 //! its untuned directive-MPI counterpart, or if the mean speedup of the
 //! tuned series over "Original Communication" falls below `--min-factor`
-//! (default 1.3).
+//! (default 1.3). The gate also attaches a site-attributed explanation: it
+//! profiles the untuned and tuned directive runs at the largest sweep
+//! point, diffs them with commdiff, prints the per-site report to stderr,
+//! and writes the diff JSON next to the overlay (`<overlay>.diff.json`, or
+//! `--diff-out FILE`).
+//!
+//! `--watch SECS` runs the stall watchdog (stderr only; stdout and all
+//! artifacts stay bit-identical). `--ledger FILE` appends the `--json`
+//! report to the run-history ledger.
 
 use std::time::Instant;
 
@@ -36,7 +45,7 @@ use bench::{
     sweep, BenchReport, SeriesReport, SeriesTable,
 };
 use commtune::{overlay_from_json, overlay_provenance, tune, TuneOptions};
-use netsim::{ExecPolicy, RankStats};
+use netsim::{ExecPolicy, RankStats, WatchCfg};
 use wl_lsms::{
     fig4_spin_exec, fig4_spin_observed, fig4_spin_tuned, fig4_spin_tuned_observed, SpinVariant,
     Topology,
@@ -79,6 +88,12 @@ fn main() {
         // Shadow-state race sanitizer: charges no virtual time, only fills
         // the race_checks / conflicts_found counters the report gates on.
         exec = exec.with_sanitize();
+    }
+    if let Some(secs) = arg_usize(&args, "--watch") {
+        // Stall watchdog: progress/stall lines on stderr only; snapshots
+        // read state and never touch virtual time, so stdout and every
+        // artifact stay bit-identical.
+        exec = exec.with_watch(WatchCfg::stall_secs(secs as u64));
     }
 
     let ms = paper_ms(stride);
@@ -241,6 +256,55 @@ fn main() {
     // directive run (a tuning decision must never regress), and the tuned
     // series must beat "Original Communication" by at least `min_factor`.
     if ab {
+        // Site-attributed explanation artifact: profile the untuned and
+        // tuned directive runs at the largest sweep point and diff them, so
+        // the gate's verdict comes with per-site blame deltas instead of a
+        // bare factor. Written next to the overlay so rationale (overlay)
+        // and measured outcome (diff) land in one place.
+        let m = *ms.last().expect("non-empty sweep");
+        let topo = Topology::paper(m);
+        let fig_args = [
+            ("m".to_string(), m as i64),
+            ("steps".to_string(), steps as i64),
+        ];
+        let base_obs = fig4_spin_observed(&topo, SpinVariant::DirectiveMpi2, steps, exec);
+        let base_analysis = commscope::analyze(
+            &base_obs.trace,
+            base_obs.final_times.len(),
+            &base_obs.final_times,
+        );
+        let base_doc =
+            commscope::profile_json("fig4", &fig_args, &base_analysis, &base_obs.metrics);
+        let cand_obs = fig4_spin_tuned_observed(
+            &topo,
+            SpinVariant::DirectiveMpi2,
+            steps,
+            exec,
+            Some(&overlay),
+        );
+        let cand_analysis = commscope::analyze(
+            &cand_obs.trace,
+            cand_obs.final_times.len(),
+            &cand_obs.final_times,
+        );
+        let prov = overlay_provenance(&overlay);
+        let cand_doc = commscope::profile_json_tuned(
+            "fig4",
+            &fig_args,
+            &cand_analysis,
+            &cand_obs.metrics,
+            Some(&prov),
+        );
+        let diff = commscope::diff_profiles(&base_doc, &cand_doc).expect("diff own profiles");
+        eprint!("{}", commscope::render_diff_text(&diff));
+        let diff_path = arg_str(&args, "--diff-out")
+            .map(String::from)
+            .or_else(|| overlay_path.map(|p| format!("{p}.diff.json")));
+        if let Some(path) = &diff_path {
+            std::fs::write(path, diff.render()).expect("write A/B diff artifact");
+            eprintln!("[ab] wrote site-attributed diff to {path}");
+        }
+
         let dir_runs = &results[2 * ms.len()..3 * ms.len()];
         let orig_runs = &results[..ms.len()];
         let mut failed = false;
@@ -287,6 +351,7 @@ fn main() {
             series,
             wall_s,
         };
+        bench::ledger::maybe_record(&args, &report, &bench::ledger::engine_label(workers));
         std::process::exit(emit_json_report(&report, baseline));
     }
 

@@ -4,9 +4,10 @@
 //!
 //! Usage: `fig5 [--stride K] [--steps N] [--jobs J] [--workers W]
 //!              [--eager-threshold B] [--stats] [--json] [--baseline FILE]
-//!              [--trace-out FILE] [--profile FILE]`
+//!              [--ledger FILE] [--trace-out FILE] [--profile FILE]`
 //! (`--eager-threshold` overrides the cost model's eager/rendezvous
-//! protocol switch, in bytes).
+//! protocol switch, in bytes; `--ledger` appends the `--json` report to the
+//! run-history ledger read by `commscope trend`).
 
 use std::time::Instant;
 
@@ -113,6 +114,7 @@ fn main() {
             series,
             wall_s,
         };
+        bench::ledger::maybe_record(&args, &report, &bench::ledger::engine_label(workers));
         std::process::exit(emit_json_report(&report, baseline));
     }
 

@@ -2,8 +2,8 @@
 //! over payload shape × lowering strategy × backend.
 //!
 //! Usage: `fig_ddt [--ranks N] [--iters I] [--jobs J] [--workers W]
-//!                 [--ab] [--min-factor F] [--stats] [--json]
-//!                 [--baseline FILE]`
+//!                 [--ab] [--min-factor F] [--diff-out FILE] [--stats]
+//!                 [--json] [--baseline FILE] [--ledger FILE]`
 //!
 //! Each point runs a ring exchange of one shaped payload — contiguous,
 //! strided, struct, struct-of-arrays, or one-level-nested composite —
@@ -19,6 +19,15 @@
 //! its mean speedup over `pack` must reach `--min-factor` (default 1.3),
 //! else exit 2. Virtual times are exact integers, identical across
 //! engines and hosts, so `--baseline` diffs are byte-precise.
+//!
+//! The gate also attaches a site-attributed explanation: each shape runs
+//! as its own directive site, so profiling one observed run of all five
+//! shapes under `pack` and one under `auto` (MPI two-sided backend, the
+//! largest element count) and diffing them with commdiff shows exactly
+//! which shapes the chooser won or lost on. The per-site report goes to
+//! stderr and the diff JSON to `--diff-out FILE` (default
+//! `fig_ddt.ab.diff.json`). `--ledger` appends the `--json` report to the
+//! run-history ledger read by `commscope trend`.
 
 use std::time::Instant;
 
@@ -63,6 +72,19 @@ impl Shape {
             Shape::Struct => "struct",
             Shape::Soa => "soa",
             Shape::Nested => "nested",
+        }
+    }
+
+    /// Directive site id carried by this shape's `comm_p2p`: distinct per
+    /// shape so traces, profiles, and the A/B diff attribute each shape's
+    /// cost to its own row.
+    fn site(self) -> u32 {
+        match self {
+            Shape::Contig => 1,
+            Shape::Strided => 2,
+            Shape::Struct => 3,
+            Shape::Soa => 4,
+            Shape::Nested => 5,
         }
     }
 }
@@ -144,6 +166,153 @@ fn ring_params(target: Target) -> CommParams {
         .target(target)
 }
 
+/// One ring exchange of `count` elements of `shape` inside an open
+/// session. Each shape's `comm_p2p` carries its own site id
+/// ([`Shape::site`]), so attribution stays per-shape even though every
+/// shape shares this lexical callsite.
+fn exchange(session: &mut CommSession<'_>, params: &CommParams, shape: Shape, count: usize) {
+    let me = session.rank() as i64;
+    let nranks = session.size();
+    let prev = (session.rank() + nranks - 1) % nranks;
+    match shape {
+        Shape::Contig => {
+            let src = vec![me as f64; count];
+            let mut dst = vec![0f64; count];
+            session
+                .region(params, |reg| {
+                    reg.p2p()
+                        .site(shape.site())
+                        .count(RankExpr::lit(count as i64))
+                        .sbuf(Prim::new("s", &src))
+                        .rbuf(PrimMut::new("r", &mut dst))
+                        .run()
+                        .unwrap();
+                })
+                .unwrap();
+            session.flush();
+            assert_eq!(dst[0] as usize, prev, "contig payload corrupted");
+        }
+        Shape::Strided => {
+            // blocklen-2 blocks every 4: half the memory moves.
+            let src = vec![me as f64; count * 4];
+            let mut dst = vec![-1f64; count * 4];
+            session
+                .region(params, |reg| {
+                    reg.p2p()
+                        .site(shape.site())
+                        .count(RankExpr::lit(count as i64))
+                        .sbuf(PrimStrided::new("s", &src, 2, 4))
+                        .rbuf(PrimStridedMut::new("r", &mut dst, 2, 4))
+                        .run()
+                        .unwrap();
+                })
+                .unwrap();
+            session.flush();
+            assert_eq!(dst[0] as usize, prev, "strided payload corrupted");
+            assert_eq!(dst[2], -1.0, "strided gap overwritten");
+        }
+        Shape::Struct => {
+            let src = vec![
+                Cell {
+                    id: me as i32,
+                    pos: [me as f64; 3],
+                    charge: 1.0,
+                };
+                count
+            ];
+            let mut dst = vec![
+                Cell {
+                    id: -1,
+                    pos: [0.0; 3],
+                    charge: 0.0,
+                };
+                count
+            ];
+            session
+                .region(params, |reg| {
+                    reg.p2p()
+                        .site(shape.site())
+                        .count(RankExpr::lit(count as i64))
+                        .sbuf(Struc::new("s", &src))
+                        .rbuf(StrucMut::new("r", &mut dst))
+                        .run()
+                        .unwrap();
+                })
+                .unwrap();
+            session.flush();
+            assert_eq!(dst[0].id as usize, prev, "struct payload corrupted");
+        }
+        Shape::Soa => {
+            let a = vec![me; count];
+            let b = vec![me as f64; count];
+            let c = vec![me as i32; count * 2];
+            let mut ra = vec![0i64; count];
+            let mut rb = vec![0f64; count];
+            let mut rc = vec![0i32; count * 2];
+            session
+                .region(params, |reg| {
+                    reg.p2p()
+                        .site(shape.site())
+                        .count(RankExpr::lit(count as i64))
+                        .sbuf(
+                            Soa::new("s")
+                                .field("a", &a)
+                                .field("b", &b)
+                                .field_blocks("c", &c, 2),
+                        )
+                        .rbuf(
+                            SoaMut::new("r")
+                                .field("a", &mut ra)
+                                .field("b", &mut rb)
+                                .field_blocks("c", &mut rc, 2),
+                        )
+                        .run()
+                        .unwrap();
+                })
+                .unwrap();
+            session.flush();
+            assert_eq!(ra[0] as usize, prev, "soa payload corrupted");
+        }
+        Shape::Nested => {
+            let src = vec![
+                Site {
+                    tag: me as i32,
+                    moment: Moment {
+                        m: [me as f64; 2],
+                        weight: 0.5,
+                    },
+                    energy: 2.0,
+                };
+                count
+            ];
+            let mut dst = vec![
+                Site {
+                    tag: -1,
+                    moment: Moment {
+                        m: [0.0; 2],
+                        weight: 0.0,
+                    },
+                    energy: 0.0,
+                };
+                count
+            ];
+            session
+                .region(params, |reg| {
+                    reg.p2p()
+                        .site(shape.site())
+                        .count(RankExpr::lit(count as i64))
+                        .sbuf(Struc::new("s", &src))
+                        .rbuf(StrucMut::new("r", &mut dst))
+                        .run()
+                        .unwrap();
+                })
+                .unwrap();
+            session.flush();
+            assert_eq!(dst[0].tag as usize, prev, "nested payload corrupted");
+        }
+    }
+}
+
 /// Run `iters` ring exchanges of `count` elements of `shape` under the
 /// given lowering policy and return (makespan, merged stats).
 fn measure(
@@ -158,145 +327,54 @@ fn measure(
     let res = run(SimConfig::new(nranks).with_exec(exec), move |ctx| {
         let comm = Comm::world(ctx);
         let mut session = CommSession::new(ctx, comm).with_lowering(policy);
-        let me = session.rank() as i64;
-        let prev = (session.rank() + nranks - 1) % nranks;
         let params = ring_params(target);
         for _ in 0..iters {
-            match shape {
-                Shape::Contig => {
-                    let src = vec![me as f64; count];
-                    let mut dst = vec![0f64; count];
-                    session
-                        .region(&params, |reg| {
-                            reg.p2p()
-                                .count(RankExpr::lit(count as i64))
-                                .sbuf(Prim::new("s", &src))
-                                .rbuf(PrimMut::new("r", &mut dst))
-                                .run()
-                                .unwrap();
-                        })
-                        .unwrap();
-                    session.flush();
-                    assert_eq!(dst[0] as usize, prev, "contig payload corrupted");
-                }
-                Shape::Strided => {
-                    // blocklen-2 blocks every 4: half the memory moves.
-                    let src = vec![me as f64; count * 4];
-                    let mut dst = vec![-1f64; count * 4];
-                    session
-                        .region(&params, |reg| {
-                            reg.p2p()
-                                .count(RankExpr::lit(count as i64))
-                                .sbuf(PrimStrided::new("s", &src, 2, 4))
-                                .rbuf(PrimStridedMut::new("r", &mut dst, 2, 4))
-                                .run()
-                                .unwrap();
-                        })
-                        .unwrap();
-                    session.flush();
-                    assert_eq!(dst[0] as usize, prev, "strided payload corrupted");
-                    assert_eq!(dst[2], -1.0, "strided gap overwritten");
-                }
-                Shape::Struct => {
-                    let src = vec![
-                        Cell {
-                            id: me as i32,
-                            pos: [me as f64; 3],
-                            charge: 1.0,
-                        };
-                        count
-                    ];
-                    let mut dst = vec![
-                        Cell {
-                            id: -1,
-                            pos: [0.0; 3],
-                            charge: 0.0,
-                        };
-                        count
-                    ];
-                    session
-                        .region(&params, |reg| {
-                            reg.p2p()
-                                .count(RankExpr::lit(count as i64))
-                                .sbuf(Struc::new("s", &src))
-                                .rbuf(StrucMut::new("r", &mut dst))
-                                .run()
-                                .unwrap();
-                        })
-                        .unwrap();
-                    session.flush();
-                    assert_eq!(dst[0].id as usize, prev, "struct payload corrupted");
-                }
-                Shape::Soa => {
-                    let a = vec![me; count];
-                    let b = vec![me as f64; count];
-                    let c = vec![me as i32; count * 2];
-                    let mut ra = vec![0i64; count];
-                    let mut rb = vec![0f64; count];
-                    let mut rc = vec![0i32; count * 2];
-                    session
-                        .region(&params, |reg| {
-                            reg.p2p()
-                                .count(RankExpr::lit(count as i64))
-                                .sbuf(
-                                    Soa::new("s")
-                                        .field("a", &a)
-                                        .field("b", &b)
-                                        .field_blocks("c", &c, 2),
-                                )
-                                .rbuf(
-                                    SoaMut::new("r")
-                                        .field("a", &mut ra)
-                                        .field("b", &mut rb)
-                                        .field_blocks("c", &mut rc, 2),
-                                )
-                                .run()
-                                .unwrap();
-                        })
-                        .unwrap();
-                    session.flush();
-                    assert_eq!(ra[0] as usize, prev, "soa payload corrupted");
-                }
-                Shape::Nested => {
-                    let src = vec![
-                        Site {
-                            tag: me as i32,
-                            moment: Moment {
-                                m: [me as f64; 2],
-                                weight: 0.5,
-                            },
-                            energy: 2.0,
-                        };
-                        count
-                    ];
-                    let mut dst = vec![
-                        Site {
-                            tag: -1,
-                            moment: Moment {
-                                m: [0.0; 2],
-                                weight: 0.0,
-                            },
-                            energy: 0.0,
-                        };
-                        count
-                    ];
-                    session
-                        .region(&params, |reg| {
-                            reg.p2p()
-                                .count(RankExpr::lit(count as i64))
-                                .sbuf(Struc::new("s", &src))
-                                .rbuf(StrucMut::new("r", &mut dst))
-                                .run()
-                                .unwrap();
-                        })
-                        .unwrap();
-                    session.flush();
-                    assert_eq!(dst[0].tag as usize, prev, "nested payload corrupted");
-                }
-            }
+            exchange(&mut session, &params, shape, count);
         }
     });
     (res.makespan(), res.total_stats())
+}
+
+/// Observed run for the A/B diff artifact: all five shapes in ONE
+/// simulation (each on its own directive site) under `policy`, traced and
+/// metered, returned as a commscope profile document.
+fn profile_observed(
+    policy: LoweringPolicy,
+    target: Target,
+    count: usize,
+    nranks: usize,
+    iters: usize,
+    exec: ExecPolicy,
+) -> commscope::Json {
+    let res = run(
+        SimConfig::new(nranks)
+            .with_exec(exec)
+            .with_trace()
+            .with_metrics(),
+        move |ctx| {
+            let comm = Comm::world(ctx);
+            let mut session = CommSession::new(ctx, comm).with_lowering(policy);
+            let params = ring_params(target);
+            for &shape in &Shape::ALL {
+                for _ in 0..iters {
+                    exchange(&mut session, &params, shape, count);
+                }
+            }
+        },
+    );
+    let trace = res.trace.as_deref().expect("trace enabled");
+    let metrics = res.metrics.as_deref().expect("metrics enabled");
+    let analysis = commscope::analyze(trace, nranks, &res.final_times);
+    commscope::profile_json(
+        "fig_ddt",
+        &[
+            ("ranks".to_string(), nranks as i64),
+            ("iters".to_string(), iters as i64),
+            ("count".to_string(), count as i64),
+        ],
+        &analysis,
+        metrics,
+    )
 }
 
 fn arg_f64(args: &[String], name: &str) -> Option<f64> {
@@ -413,6 +491,33 @@ fn main() {
             );
             any_backend_ok |= ok;
         }
+        // Site-attributed explanation: one observed run of all five shapes
+        // under pack vs auto (MPI two-sided, largest count); each shape is
+        // its own directive site, so the diff rows name the shapes the
+        // chooser won or lost on.
+        let count = *COUNTS.last().expect("non-empty count axis");
+        let base = profile_observed(
+            LoweringPolicy::AlwaysPack,
+            Target::Mpi2Side,
+            count,
+            nranks,
+            iters,
+            exec,
+        );
+        let cand = profile_observed(
+            LoweringPolicy::Auto,
+            Target::Mpi2Side,
+            count,
+            nranks,
+            iters,
+            exec,
+        );
+        let diff = commscope::diff_profiles(&base, &cand).expect("diff own profiles");
+        eprint!("{}", commscope::render_diff_text(&diff));
+        let diff_path = arg_str(&args, "--diff-out").unwrap_or("fig_ddt.ab.diff.json");
+        std::fs::write(diff_path, diff.render()).expect("write A/B diff artifact");
+        eprintln!("[ab] wrote site-attributed diff to {diff_path}");
+
         if !any_backend_ok {
             eprintln!("[ab] FAILED: no backend is regression-free with mean >= {min_factor:.3}x");
             std::process::exit(2);
@@ -432,6 +537,7 @@ fn main() {
             series,
             wall_s,
         };
+        bench::ledger::maybe_record(&args, &report, &bench::ledger::engine_label(workers));
         std::process::exit(emit_json_report(&report, baseline));
     }
 

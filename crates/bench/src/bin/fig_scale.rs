@@ -10,18 +10,23 @@
 //!
 //! Usage: `fig_scale [--ranks 512,1024,2048,4096] [--steps N] [--workers W]
 //!                   [--threads] [--stack-kib K] [--sanitize] [--stats]
-//!                   [--json] [--baseline FILE]`
+//!                   [--watch SECS] [--json] [--baseline FILE]
+//!                   [--ledger FILE]`
 //! `--workers` selects the bounded engine slot count (0 = auto, default);
 //! `--threads` forces thread-per-rank. `--sanitize` runs under the
 //! one-sided race sanitizer (fills `race_checks`/`conflicts_found` in the
-//! report; the baseline gate refuses non-zero conflicts). Points run
-//! sequentially — at these rank counts a single simulation saturates the
-//! host.
+//! report; the baseline gate refuses non-zero conflicts). `--watch` runs
+//! the stall watchdog: progress lines on stderr every second, and any rank
+//! whose LVT has not advanced in SECS wall-seconds is flagged — stdout and
+//! every deterministic artifact stay bit-identical. `--ledger` appends the
+//! `--json` report to the run-history ledger (`commscope trend` reads it).
+//! Points run sequentially — at these rank counts a single simulation
+//! saturates the host.
 
 use std::time::Instant;
 
 use bench::{arg_str, arg_usize, emit_json_report, render_stats, BenchReport, SeriesReport};
-use netsim::{ExecPolicy, RankStats};
+use netsim::{ExecPolicy, RankStats, WatchCfg};
 use wl_lsms::{fig4_spin_exec, SpinVariant, Topology};
 
 fn main() {
@@ -49,6 +54,9 @@ fn main() {
     .with_stack_size(stack_kib << 10);
     if args.iter().any(|a| a == "--sanitize") {
         exec = exec.with_sanitize();
+    }
+    if let Some(secs) = arg_usize(&args, "--watch") {
+        exec = exec.with_watch(WatchCfg::stall_secs(secs as u64));
     }
 
     // Map each target to the nearest paper-shaped topology (16 ranks per
@@ -107,6 +115,8 @@ fn main() {
                 .collect(),
             wall_s,
         };
+        let engine = bench::ledger::engine_label(if threads { None } else { Some(workers) });
+        bench::ledger::maybe_record(&args, &report, &engine);
         std::process::exit(emit_json_report(&report, baseline));
     }
 

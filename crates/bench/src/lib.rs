@@ -1,6 +1,7 @@
 //! Shared helpers for the figure-regeneration binaries and benches.
 
 pub mod json;
+pub mod ledger;
 
 pub use json::{compare_with_baseline, BaselineDiff, BenchReport, Json, SeriesReport};
 

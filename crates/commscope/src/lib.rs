@@ -14,6 +14,10 @@
 //!   per rank, with message flow arrows.
 //! * [`profile`] — a stable, integer-only profile JSON document.
 //! * [`folded`] — flamegraph folded stacks of virtual time.
+//! * [`diff`] — differential profiling: join two profiles on the SiteId
+//!   namespace and emit per-site deltas with exact accounting.
+//! * [`trend`] — run-history trajectory over the bench ledger
+//!   (`results/LEDGER.jsonl`) with regression detection.
 //! * [`json`] — the workspace's serde-free JSON value type (re-exported by
 //!   `bench`).
 //!
@@ -27,15 +31,21 @@
 
 pub mod analysis;
 pub mod chrome;
+pub mod diff;
 pub mod folded;
 pub mod json;
 pub mod profile;
+pub mod trend;
 
 pub use analysis::{
     analyze, kind_label, pair_messages, Analysis, PathSegment, RankWaitProfile, WaitInterval,
     WaitKind,
 };
 pub use chrome::chrome_trace;
+pub use diff::{diff_is_zero, diff_profiles, render_diff_text, validate_diff, DIFF_SCHEMA};
 pub use folded::folded_stacks;
 pub use json::Json;
-pub use profile::{profile_json, profile_json_tuned, validate_profile, PROFILE_SCHEMA};
+pub use profile::{
+    profile_json, profile_json_tuned, validate_profile, PROFILE_SCHEMA, UNATTRIBUTED_SITE,
+};
+pub use trend::{parse_ledger, render_trend_text, trend, SeriesTrend, LEDGER_SCHEMA};

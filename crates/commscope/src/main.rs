@@ -4,16 +4,29 @@
 //!   commscope <fig3|fig4|fig5> [--m M] [--steps N] [--workers W]
 //!             [--variant original|waitall|mpi|shmem]
 //!             [--trace-out FILE] [--profile FILE] [--folded FILE] [--check]
+//!   commscope diff <baseline.json> <candidate.json>
+//!             [--json-out FILE] [--text-out FILE] [--check] [--expect-zero]
+//!   commscope trend <LEDGER.jsonl> [--last K] [--tolerance PCT] [--check]
 //!
-//! Runs the selected WL-LSMS workload at one sweep point (`--m` LSMS
-//! instances) with tracing and metrics enabled, prints a wait-state report,
-//! and optionally writes a Perfetto-loadable Chrome trace (`--trace-out`),
-//! a stable profile JSON (`--profile`), and flamegraph folded stacks
-//! (`--folded`). `--check` re-parses and schema-validates everything that
-//! was produced (used by the CI smoke job). All outputs are pure functions
-//! of virtual time: byte-identical for any `--workers` setting.
+//! The figure form runs the selected WL-LSMS workload at one sweep point
+//! (`--m` LSMS instances) with tracing and metrics enabled, prints a
+//! wait-state report, and optionally writes a Perfetto-loadable Chrome
+//! trace (`--trace-out`), a stable profile JSON (`--profile`), and
+//! flamegraph folded stacks (`--folded`). `--check` re-parses and
+//! schema-validates everything that was produced (used by the CI smoke
+//! job). All outputs are pure functions of virtual time: byte-identical
+//! for any `--workers` setting.
+//!
+//! `diff` joins two profile JSONs on the SiteId namespace and reports
+//! per-site deltas with exact accounting (see [`commscope::diff`]);
+//! `--expect-zero` makes a nonzero diff fail (the identical-run CI gate).
+//! `trend` renders the run-history trajectory from the bench ledger and
+//! flags regressions against the mean of the last K prior entries.
 
-use commscope::{analyze, chrome_trace, folded_stacks, profile_json, validate_profile, Json};
+use commscope::{
+    analyze, chrome_trace, diff_is_zero, diff_profiles, folded_stacks, parse_ledger, profile_json,
+    render_diff_text, render_trend_text, trend, validate_diff, validate_profile, Json,
+};
 use netsim::ExecPolicy;
 use wl_lsms::{
     fig3_single_atom_observed, fig4_spin_observed, fig5_overlap_observed, AtomCommVariant,
@@ -38,9 +51,98 @@ fn usage() -> ! {
     eprintln!(
         "usage: commscope <fig3|fig4|fig5> [--m M] [--steps N] [--workers W]\n\
          \x20                [--variant original|waitall|mpi|shmem]\n\
-         \x20                [--trace-out FILE] [--profile FILE] [--folded FILE] [--check]"
+         \x20                [--trace-out FILE] [--profile FILE] [--folded FILE] [--check]\n\
+         \x20      commscope diff <baseline.json> <candidate.json>\n\
+         \x20                [--json-out FILE] [--text-out FILE] [--check] [--expect-zero]\n\
+         \x20      commscope trend <LEDGER.jsonl> [--last K] [--tolerance PCT] [--check]"
     );
     std::process::exit(2);
+}
+
+fn read_json(path: &str) -> Json {
+    let text = std::fs::read_to_string(path).unwrap_or_else(|e| {
+        eprintln!("cannot read {path}: {e}");
+        std::process::exit(2);
+    });
+    Json::parse(&text).unwrap_or_else(|e| {
+        eprintln!("{path}: invalid JSON: {e}");
+        std::process::exit(2);
+    })
+}
+
+/// `commscope diff <baseline.json> <candidate.json>`: returns the exit code.
+fn cmd_diff(args: &[String]) -> i32 {
+    let (Some(base_path), Some(cand_path)) = (args.get(2), args.get(3)) else {
+        usage();
+    };
+    if base_path.starts_with("--") || cand_path.starts_with("--") {
+        usage();
+    }
+    let baseline = read_json(base_path);
+    let candidate = read_json(cand_path);
+    let doc = match diff_profiles(&baseline, &candidate) {
+        Ok(d) => d,
+        Err(e) => {
+            eprintln!("diff failed: {e}");
+            return 2;
+        }
+    };
+    let text = render_diff_text(&doc);
+    print!("{text}");
+    if let Some(path) = arg_str(args, "--json-out") {
+        std::fs::write(path, doc.render()).expect("write --json-out file");
+        eprintln!("[diff] wrote {path}");
+    }
+    if let Some(path) = arg_str(args, "--text-out") {
+        std::fs::write(path, &text).expect("write --text-out file");
+        eprintln!("[diff] wrote {path}");
+    }
+    let mut failures = 0;
+    if args.iter().any(|a| a == "--check") {
+        let problems = validate_diff(&doc);
+        for p in &problems {
+            eprintln!("[check] diff: {p}");
+        }
+        failures += problems.len();
+    }
+    if args.iter().any(|a| a == "--expect-zero") && !diff_is_zero(&doc) {
+        eprintln!("[check] diff is not zero (expected identical runs)");
+        failures += 1;
+    }
+    if failures > 0 {
+        eprintln!("[check] {failures} problem(s)");
+        3
+    } else {
+        0
+    }
+}
+
+/// `commscope trend <LEDGER.jsonl>`: returns the exit code.
+fn cmd_trend(args: &[String]) -> i32 {
+    let Some(path) = args.get(2).filter(|p| !p.starts_with("--")) else {
+        usage();
+    };
+    let text = std::fs::read_to_string(path).unwrap_or_else(|e| {
+        eprintln!("cannot read {path}: {e}");
+        std::process::exit(2);
+    });
+    let entries = match parse_ledger(&text) {
+        Ok(e) => e,
+        Err(e) => {
+            eprintln!("{path}: {e}");
+            return 2;
+        }
+    };
+    let last_k = arg_usize(args, "--last").unwrap_or(5);
+    let tolerance = arg_str(args, "--tolerance")
+        .and_then(|t| t.parse::<f64>().ok())
+        .unwrap_or(10.0);
+    let trends = trend(&entries, last_k, tolerance);
+    print!("{}", render_trend_text(&trends, last_k, tolerance));
+    if args.iter().any(|a| a == "--check") && trends.iter().any(|t| t.regressed) {
+        return 3;
+    }
+    0
 }
 
 fn run_workload(
@@ -100,6 +202,8 @@ fn run_workload(
 fn main() {
     let args: Vec<String> = std::env::args().collect();
     let workload = match args.get(1).map(String::as_str) {
+        Some("diff") => std::process::exit(cmd_diff(&args)),
+        Some("trend") => std::process::exit(cmd_trend(&args)),
         Some(w @ ("fig3" | "fig4" | "fig5")) => w,
         _ => usage(),
     };

@@ -6,11 +6,21 @@
 
 use netsim::{Hist, RankMetrics};
 
-use crate::analysis::Analysis;
+use crate::analysis::{Analysis, WaitKind};
 use crate::json::Json;
 
 /// Schema version of the profile document.
-pub const PROFILE_SCHEMA: i64 = 1;
+///
+/// History: schema 1 had per-rank wait rows only and no histogram
+/// percentiles; schema 2 adds `p50`/`p99` to every histogram and the
+/// `wait.per_site` section. Consumers (commtune, `commscope diff`) accept
+/// both, treating missing schema-2 fields leniently — mirroring the
+/// `--json` bench-stats precedent.
+pub const PROFILE_SCHEMA: i64 = 2;
+
+/// Pseudo-site id used for wait time, critical-path segments, and traffic
+/// that carry no directive site attribution.
+pub const UNATTRIBUTED_SITE: i64 = -1;
 
 fn hist_json(h: &Hist) -> Json {
     // Trailing zero buckets are trimmed (deterministically) to keep
@@ -25,6 +35,8 @@ fn hist_json(h: &Hist) -> Json {
         ("count".into(), Json::Int(h.count as i64)),
         ("sum".into(), Json::Int(h.sum as i64)),
         ("max".into(), Json::Int(h.max as i64)),
+        ("p50".into(), Json::Int(h.percentile(50.0) as i64)),
+        ("p99".into(), Json::Int(h.percentile(99.0) as i64)),
         (
             "buckets".into(),
             Json::Arr(
@@ -67,6 +79,60 @@ fn rank_metrics_json(m: &RankMetrics) -> Json {
             ),
         ),
     ])
+}
+
+/// Aggregate the interval decomposition and the critical path by directive
+/// site. Every wait interval lands in exactly one row (events with no site
+/// attribution land on [`UNATTRIBUTED_SITE`]), so the per-site totals sum
+/// exactly to the per-rank totals — the invariant `commscope diff` builds
+/// its exact accounting on. Rows are ordered by site id (unattributed
+/// first).
+fn wait_per_site_json(analysis: &Analysis) -> Json {
+    use std::collections::BTreeMap;
+    #[derive(Default)]
+    struct Row {
+        total: u64,
+        late_sender: u64,
+        late_receiver: u64,
+        barrier: u64,
+        quiet: u64,
+        overhead: u64,
+        cp: u64,
+    }
+    let mut rows: BTreeMap<i64, Row> = BTreeMap::new();
+    for iv in &analysis.intervals {
+        let key = iv.site.map_or(UNATTRIBUTED_SITE, |s| s as i64);
+        let r = rows.entry(key).or_default();
+        r.total += iv.blocked_ns + iv.overhead_ns;
+        match iv.kind {
+            WaitKind::LateSender => r.late_sender += iv.blocked_ns,
+            WaitKind::LateReceiver => r.late_receiver += iv.blocked_ns,
+            WaitKind::Barrier => r.barrier += iv.blocked_ns,
+            WaitKind::Quiet => r.quiet += iv.blocked_ns,
+            WaitKind::Overhead => {}
+        }
+        r.overhead += iv.overhead_ns;
+    }
+    for seg in &analysis.critical_path {
+        let key = seg.site.map_or(UNATTRIBUTED_SITE, |s| s as i64);
+        rows.entry(key).or_default().cp += seg.end.saturating_sub(seg.start).as_nanos();
+    }
+    Json::Arr(
+        rows.into_iter()
+            .map(|(site, r)| {
+                Json::Obj(vec![
+                    ("site".into(), Json::Int(site)),
+                    ("total_wait_ns".into(), Json::Int(r.total as i64)),
+                    ("late_sender_ns".into(), Json::Int(r.late_sender as i64)),
+                    ("late_receiver_ns".into(), Json::Int(r.late_receiver as i64)),
+                    ("barrier_ns".into(), Json::Int(r.barrier as i64)),
+                    ("quiet_ns".into(), Json::Int(r.quiet as i64)),
+                    ("overhead_ns".into(), Json::Int(r.overhead as i64)),
+                    ("critical_path_ns".into(), Json::Int(r.cp as i64)),
+                ])
+            })
+            .collect(),
+    )
 }
 
 /// Build the profile document for one observed run.
@@ -157,7 +223,10 @@ pub fn profile_json_tuned(
         ),
         (
             "wait".into(),
-            Json::Obj(vec![("per_rank".into(), Json::Arr(wait_ranks))]),
+            Json::Obj(vec![
+                ("per_rank".into(), Json::Arr(wait_ranks)),
+                ("per_site".into(), wait_per_site_json(analysis)),
+            ]),
         ),
         (
             "metrics".into(),
@@ -223,6 +292,57 @@ pub fn validate_profile(doc: &Json) -> Vec<String> {
                 } else {
                     problems.push("wait row missing total_wait_ns or blame".into());
                 }
+            }
+        }
+    }
+    // `wait.per_site` is schema ≥ 2; older documents stay valid without
+    // it (lenient old-version parse). When present, its totals must sum
+    // exactly to the per-rank totals — the diff accounting invariant.
+    if let Some(site_rows) = doc
+        .get("wait")
+        .and_then(|w| w.get("per_site"))
+        .and_then(|v| v.as_arr())
+    {
+        let rank_total: i64 = doc
+            .get("wait")
+            .and_then(|w| w.get("per_rank"))
+            .and_then(|v| v.as_arr())
+            .map(|rows| {
+                rows.iter()
+                    .filter_map(|r| r.get("total_wait_ns").and_then(|v| v.as_i64()))
+                    .sum()
+            })
+            .unwrap_or(0);
+        let site_total: i64 = site_rows
+            .iter()
+            .filter_map(|r| r.get("total_wait_ns").and_then(|v| v.as_i64()))
+            .sum();
+        if rank_total != site_total {
+            problems.push(format!(
+                "wait.per_site sums to {site_total}, wait.per_rank to {rank_total}"
+            ));
+        }
+        for row in site_rows {
+            let total = row.get("total_wait_ns").and_then(|v| v.as_i64());
+            let buckets: Option<i64> = [
+                "late_sender_ns",
+                "late_receiver_ns",
+                "barrier_ns",
+                "quiet_ns",
+                "overhead_ns",
+            ]
+            .iter()
+            .map(|k| row.get(k).and_then(|v| v.as_i64()))
+            .sum();
+            if let (Some(t), Some(b)) = (total, buckets) {
+                if t != b {
+                    problems.push(format!(
+                        "site {:?}: kind buckets sum to {b}, total wait is {t}",
+                        row.get("site").and_then(|v| v.as_i64())
+                    ));
+                }
+            } else {
+                problems.push("wait.per_site row missing a taxonomy field".into());
             }
         }
     }

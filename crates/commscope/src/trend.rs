@@ -1,0 +1,221 @@
+//! Run-history trend analysis over the bench ledger (`results/LEDGER.jsonl`).
+//!
+//! The ledger is written by `bench::ledger` (one compact JSON object per
+//! line, one line per `--json` bench run); this module is the reader. It is
+//! deliberately generic over the entry shape — `commscope` sits below
+//! `bench` in the dependency order, so it parses the JSONL rather than
+//! sharing a struct — and tolerates unknown fields, mirroring the lenient
+//! old-version parse used everywhere else.
+
+use crate::json::Json;
+
+/// Schema version of one ledger entry (written by `bench::ledger`).
+pub const LEDGER_SCHEMA: i64 = 1;
+
+/// Parse a JSONL ledger: one entry per non-empty line. Malformed lines are
+/// an error (the ledger is append-only machine output; a bad line means
+/// corruption worth surfacing, not skipping).
+pub fn parse_ledger(text: &str) -> Result<Vec<Json>, String> {
+    let mut entries = Vec::new();
+    for (i, line) in text.lines().enumerate() {
+        if line.trim().is_empty() {
+            continue;
+        }
+        let entry = Json::parse(line).map_err(|e| format!("ledger line {}: {e}", i + 1))?;
+        entries.push(entry);
+    }
+    Ok(entries)
+}
+
+/// Trajectory of one benchmark series across ledger entries (file order =
+/// chronological order, the ledger being append-only).
+#[derive(Clone, Debug)]
+pub struct SeriesTrend {
+    pub bench: String,
+    pub label: String,
+    /// `time_ns` per run, oldest first.
+    pub history: Vec<i64>,
+    /// Git revision recorded with the newest run, if any.
+    pub latest_rev: String,
+    /// Mean of the up-to-`last_k` runs preceding the newest.
+    pub reference_mean: f64,
+    /// Latest-vs-reference change, percent (positive = slower).
+    pub change_pct: f64,
+    /// True when the newest run exceeds the reference mean by more than
+    /// the configured tolerance.
+    pub regressed: bool,
+}
+
+/// Group ledger entries by (bench, series label) and compare each series'
+/// newest run against the mean of the `last_k` runs before it, flagging a
+/// regression when it is more than `tolerance_pct` percent slower.
+pub fn trend(entries: &[Json], last_k: usize, tolerance_pct: f64) -> Vec<SeriesTrend> {
+    // (bench, label) -> (history, latest_rev), insertion-ordered so the
+    // report is stable in ledger order.
+    let mut order: Vec<(String, String)> = Vec::new();
+    let mut series: std::collections::HashMap<(String, String), (Vec<i64>, String)> =
+        std::collections::HashMap::new();
+    for entry in entries {
+        let bench = entry
+            .get("bench")
+            .and_then(|v| v.as_str())
+            .unwrap_or("?")
+            .to_string();
+        let rev = entry
+            .get("git_rev")
+            .and_then(|v| v.as_str())
+            .unwrap_or("unknown")
+            .to_string();
+        let Some(rows) = entry.get("series").and_then(|v| v.as_arr()) else {
+            continue;
+        };
+        for row in rows {
+            let label = row
+                .get("label")
+                .and_then(|v| v.as_str())
+                .unwrap_or("?")
+                .to_string();
+            // The tracked scalar: `total_ns` (sum over the sweep) when the
+            // entry provides it, else a scalar `time_ns`.
+            let Some(t) = row
+                .get("total_ns")
+                .and_then(|v| v.as_i64())
+                .or_else(|| row.get("time_ns").and_then(|v| v.as_i64()))
+            else {
+                continue;
+            };
+            let key = (bench.clone(), label);
+            let slot = series.entry(key.clone()).or_insert_with(|| {
+                order.push(key);
+                (Vec::new(), String::new())
+            });
+            slot.0.push(t);
+            slot.1 = rev.clone();
+        }
+    }
+
+    order
+        .into_iter()
+        .map(|key| {
+            let (history, latest_rev) = series.remove(&key).expect("keyed by order");
+            let latest = *history.last().expect("non-empty history");
+            let prior = &history[..history.len() - 1];
+            let window = &prior[prior.len().saturating_sub(last_k)..];
+            let reference_mean = if window.is_empty() {
+                latest as f64
+            } else {
+                window.iter().sum::<i64>() as f64 / window.len() as f64
+            };
+            let change_pct = if reference_mean == 0.0 {
+                0.0
+            } else {
+                100.0 * (latest as f64 - reference_mean) / reference_mean
+            };
+            SeriesTrend {
+                bench: key.0,
+                label: key.1,
+                history,
+                latest_rev,
+                reference_mean,
+                change_pct,
+                regressed: change_pct > tolerance_pct,
+            }
+        })
+        .collect()
+}
+
+/// Render the trend report. Each series gets one line: run count, the
+/// trajectory endpoints, the latest-vs-reference change, and a regression
+/// flag.
+pub fn render_trend_text(trends: &[SeriesTrend], last_k: usize, tolerance_pct: f64) -> String {
+    use std::fmt::Write as _;
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "trend: {} series (reference = mean of last {last_k} prior runs, tolerance {tolerance_pct}%)",
+        trends.len()
+    );
+    for t in trends {
+        let verdict = if t.history.len() < 2 {
+            "baseline".to_string()
+        } else if t.regressed {
+            format!("REGRESSED {:+.1}%", t.change_pct)
+        } else {
+            format!("ok {:+.1}%", t.change_pct)
+        };
+        let _ = writeln!(
+            out,
+            "  {:<28} {:>3} runs  {:>14} -> {:>14} ns  [{}]  rev {}",
+            format!("{}/{}", t.bench, t.label),
+            t.history.len(),
+            t.history.first().copied().unwrap_or(0),
+            t.history.last().copied().unwrap_or(0),
+            verdict,
+            t.latest_rev,
+        );
+    }
+    if trends.iter().any(|t| t.regressed) {
+        let _ = writeln!(out, "  verdict: REGRESSION detected");
+    } else {
+        let _ = writeln!(out, "  verdict: no regression");
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn entry(bench: &str, rev: &str, times: &[(&str, i64)]) -> String {
+        let series: Vec<Json> = times
+            .iter()
+            .map(|(l, t)| {
+                Json::Obj(vec![
+                    ("label".into(), Json::Str(l.to_string())),
+                    ("time_ns".into(), Json::Int(*t)),
+                ])
+            })
+            .collect();
+        Json::Obj(vec![
+            ("schema".into(), Json::Int(LEDGER_SCHEMA)),
+            ("bench".into(), Json::Str(bench.into())),
+            ("git_rev".into(), Json::Str(rev.into())),
+            ("series".into(), Json::Arr(series)),
+        ])
+        .render_compact()
+    }
+
+    #[test]
+    fn regression_flagged_against_window_mean() {
+        let text = [
+            entry("fig4", "aaa", &[("orig", 100)]),
+            entry("fig4", "bbb", &[("orig", 102)]),
+            entry("fig4", "ccc", &[("orig", 130)]),
+        ]
+        .join("\n");
+        let entries = parse_ledger(&text).unwrap();
+        let trends = trend(&entries, 5, 10.0);
+        assert_eq!(trends.len(), 1);
+        assert!(trends[0].regressed, "{:?}", trends[0]);
+        assert_eq!(trends[0].latest_rev, "ccc");
+        // Within tolerance: not a regression.
+        let trends = trend(&entries[..2], 5, 10.0);
+        assert!(!trends[0].regressed);
+    }
+
+    #[test]
+    fn single_run_is_baseline_not_regression() {
+        let entries = parse_ledger(&entry("fig3", "aaa", &[("run", 50)])).unwrap();
+        let trends = trend(&entries, 3, 5.0);
+        assert_eq!(trends[0].history, vec![50]);
+        assert!(!trends[0].regressed);
+        let text = render_trend_text(&trends, 3, 5.0);
+        assert!(text.contains("baseline"), "{text}");
+        assert!(text.contains("no regression"), "{text}");
+    }
+
+    #[test]
+    fn malformed_line_is_an_error() {
+        assert!(parse_ledger("{\"bench\":\"x\"}\nnot json\n").is_err());
+    }
+}

@@ -158,9 +158,11 @@ pub fn tune(profile: &Json, opts: &TuneOptions) -> Result<Overlay, String> {
         .get("schema")
         .and_then(|v| v.as_i64())
         .ok_or("profile has no schema field")?;
-    if schema != commscope::PROFILE_SCHEMA {
+    // Lenient old-version parse: every field tune() reads exists since
+    // schema 1, so any schema up to the current one is accepted.
+    if !(1..=commscope::PROFILE_SCHEMA).contains(&schema) {
         return Err(format!(
-            "profile schema {schema} does not match supported schema {}",
+            "profile schema {schema} is not supported (this build reads 1..={})",
             commscope::PROFILE_SCHEMA
         ));
     }

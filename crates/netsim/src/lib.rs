@@ -47,6 +47,7 @@ pub mod fabric;
 pub mod metrics;
 pub mod model;
 pub mod msg;
+pub mod progress;
 pub mod runtime;
 pub mod sanitize;
 pub mod sched;
@@ -59,6 +60,7 @@ pub use model::{CostModel, MachineModel};
 pub use msg::{
     match_timing, MatchTiming, RecvDone, RecvRequest, SendRequest, SrcSel, TagSel, WireCosts,
 };
+pub use progress::{ProgressBoard, RankProgress, Snapshot, WatchCfg};
 pub use runtime::{run, ExecPolicy, RankCtx, SimConfig, SimResult};
 pub use sanitize::{Conflict, SanitizeReport, Sanitizer};
 pub use sched::Scheduler;

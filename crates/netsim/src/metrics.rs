@@ -60,6 +60,27 @@ impl Hist {
         self.max = self.max.max(v);
     }
 
+    /// The `p`-th percentile (0–100), resolved at bucket granularity: the
+    /// upper bound of the first bucket whose cumulative count covers the
+    /// percentile rank, clamped to the exact recorded max. A pure function
+    /// of the (deterministic) bucket counts, so it is byte-stable across
+    /// execution engines. Returns 0 when empty.
+    pub fn percentile(&self, p: f64) -> u64 {
+        if self.count == 0 {
+            return 0;
+        }
+        let rank = (((p / 100.0) * self.count as f64).ceil() as u64).clamp(1, self.count);
+        let mut cum = 0u64;
+        for (i, &c) in self.buckets.iter().enumerate() {
+            cum += c;
+            if cum >= rank {
+                let upper = if i == 0 { 0 } else { 1u64 << i.min(63) };
+                return upper.min(self.max);
+            }
+        }
+        self.max
+    }
+
     /// Mean sample value (0 when empty).
     pub fn mean(&self) -> f64 {
         if self.count == 0 {

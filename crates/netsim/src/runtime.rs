@@ -17,6 +17,7 @@ use crate::fabric::{Fabric, SegId};
 use crate::metrics::{RankMetrics, SchedStats};
 use crate::model::{CostModel, MachineModel};
 use crate::msg::{RecvDone, RecvRequest, SendRequest, SrcSel, TagSel, WireCosts};
+use crate::progress::{ProgressBoard, Snapshot, WatchCfg};
 use crate::sanitize::{SanitizeReport, Sanitizer};
 use crate::sched::Scheduler;
 use crate::time::Time;
@@ -53,6 +54,15 @@ pub struct SimConfig {
     /// every symmetric-segment access and report conflicting unordered
     /// pairs. Off by default: every hook is a single branch when disabled.
     pub sanitize: bool,
+    /// Collect live progress telemetry ([`crate::progress`]) and attach the
+    /// deterministic post-run snapshot to [`SimResult::progress`]. Off by
+    /// default: every hook is a single branch when disabled.
+    pub progress: bool,
+    /// Run the `--watch` stall watchdog: a reader thread that periodically
+    /// snapshots the progress board and prints progress / stall lines to
+    /// stderr. Implies `progress`. Snapshots only read state, so all
+    /// deterministic outputs are bit-identical with the watchdog on.
+    pub watch: Option<WatchCfg>,
 }
 
 impl SimConfig {
@@ -67,6 +77,8 @@ impl SimConfig {
             workers: None,
             eager_threshold: None,
             sanitize: false,
+            progress: false,
+            watch: None,
         }
     }
 
@@ -113,6 +125,19 @@ impl SimConfig {
         self
     }
 
+    /// Collect progress telemetry (deterministic post-run snapshot, no
+    /// watchdog thread).
+    pub fn with_progress(mut self) -> Self {
+        self.progress = true;
+        self
+    }
+
+    /// Run the `--watch` stall watchdog (implies progress collection).
+    pub fn with_watch(mut self, cfg: WatchCfg) -> Self {
+        self.watch = Some(cfg);
+        self
+    }
+
     /// Apply an [`ExecPolicy`] (engine + stack size + protocol knobs) to
     /// this configuration.
     pub fn with_exec(mut self, exec: ExecPolicy) -> Self {
@@ -125,6 +150,9 @@ impl SimConfig {
         }
         if exec.sanitize {
             self.sanitize = true;
+        }
+        if exec.watch.is_some() {
+            self.watch = exec.watch;
         }
         self
     }
@@ -142,6 +170,8 @@ pub struct ExecPolicy {
     pub eager_threshold: Option<usize>,
     /// See [`SimConfig::sanitize`].
     pub sanitize: bool,
+    /// See [`SimConfig::watch`].
+    pub watch: Option<WatchCfg>,
 }
 
 impl ExecPolicy {
@@ -175,6 +205,12 @@ impl ExecPolicy {
         self.sanitize = true;
         self
     }
+
+    /// Run the `--watch` stall watchdog alongside the simulation.
+    pub fn with_watch(mut self, cfg: WatchCfg) -> Self {
+        self.watch = Some(cfg);
+        self
+    }
 }
 
 /// Result of a simulation: per-rank return values, final virtual clocks,
@@ -196,6 +232,10 @@ pub struct SimResult<T> {
     pub trace: Option<Vec<TraceEvent>>,
     /// The race sanitizer's report, if enabled.
     pub sanitize: Option<SanitizeReport>,
+    /// The deterministic post-run progress snapshot, if progress telemetry
+    /// (or `--watch`) was enabled. `ranks` is engine-invariant; `sched` is
+    /// physical.
+    pub progress: Option<Snapshot>,
 }
 
 impl<T> SimResult<T> {
@@ -243,6 +283,17 @@ where
         let w = if w == 0 { auto } else { w };
         Scheduler::new(cfg.nranks, w.min(cfg.nranks))
     });
+    let board =
+        (cfg.progress || cfg.watch.is_some()).then(|| Arc::new(ProgressBoard::new(cfg.nranks)));
+    let watch_stop = Arc::new(std::sync::atomic::AtomicBool::new(false));
+    let watcher = cfg.watch.map(|wcfg| {
+        crate::progress::spawn_watcher(
+            Arc::clone(board.as_ref().expect("watch implies board")),
+            sched.clone(),
+            wcfg,
+            Arc::clone(&watch_stop),
+        )
+    });
     let body = &body;
 
     type RankOut<T> = (T, Time, RankStats, Option<Box<RankMetrics>>);
@@ -258,6 +309,7 @@ where
             let nranks = cfg.nranks;
             let metrics_on = cfg.metrics;
             let san = sanitizer.clone();
+            let board = board.clone();
             let builder = std::thread::Builder::new()
                 .name(format!("rank-{rank}"))
                 .stack_size(cfg.stack_size);
@@ -279,8 +331,12 @@ where
                         cur_site: None,
                         metrics: metrics_on.then(Box::default),
                         san,
+                        progress: board,
                     };
                     let out = body(&mut ctx);
+                    if let Some(p) = &ctx.progress {
+                        p.on_finish(rank, ctx.clock.as_nanos());
+                    }
                     (out, ctx.clock, ctx.stats, ctx.metrics)
                 })
                 .expect("failed to spawn rank thread");
@@ -322,18 +378,28 @@ where
             v.push(*m.expect("metrics enabled on every rank"));
         }
     }
+    // All ranks have quiesced: stop the watchdog, then take the final
+    // (deterministic) snapshot.
+    watch_stop.store(true, std::sync::atomic::Ordering::Relaxed);
+    if let Some(h) = watcher {
+        let _ = h.join();
+    }
+    let sched_stats = sched.map(|s| s.stats());
+    let progress = board.map(|b| b.snapshot(sched_stats));
+
     SimResult {
         per_rank,
         final_times,
         stats,
         metrics,
-        sched: sched.map(|s| s.stats()),
+        sched: sched_stats,
         trace: sink.map(|s| s.take()),
         sanitize: sanitizer.map(|s| {
             Arc::into_inner(s)
                 .expect("all rank threads joined")
                 .into_report()
         }),
+        progress,
     }
 }
 
@@ -365,6 +431,7 @@ pub struct RankCtx {
     cur_site: Option<SiteId>,
     metrics: Option<Box<RankMetrics>>,
     san: Option<Arc<Sanitizer>>,
+    progress: Option<Arc<ProgressBoard>>,
 }
 
 impl RankCtx {
@@ -402,6 +469,13 @@ impl RankCtx {
     #[inline]
     fn note_block(&self) {
         crate::sched::note_clock(self.clock);
+        if let Some(p) = &self.progress {
+            p.on_block(
+                self.rank,
+                self.clock.as_nanos(),
+                self.outstanding_puts.len(),
+            );
+        }
     }
 
     fn trace(&self, start: Time, kind: EventKind) {
@@ -503,6 +577,9 @@ impl RankCtx {
         let t0 = self.clock;
         self.clock += t;
         self.trace(t0, EventKind::Compute { ns: t.as_nanos() });
+        if let Some(p) = &self.progress {
+            p.on_advance(self.rank, self.clock.as_nanos());
+        }
     }
 
     /// Charge an arbitrary local overhead without a trace event.
