@@ -1,0 +1,223 @@
+//! `commintd` — the incremental analysis daemon.
+//!
+//! ```text
+//! commintd [--ranks LO..=HI] [--var name=value]... [--buf name:type:len]...
+//!          [--cert-dir DIR] (--socket PATH | --stdio)
+//! commintd --selfcheck FILE...
+//! ```
+//!
+//! Exit status: 0 clean shutdown (or selfcheck pass), 1 selfcheck
+//! mismatch, 2 usage or I/O error.
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+use std::sync::Arc;
+
+use commintd::server::{serve_stdio, serve_unix};
+use commintd::Engine;
+use commlint::json::render_json;
+use commlint::{basic_type_of, lint_source, LintOptions, RankRange};
+use commprove::prove_source;
+use pragma_front::SymbolTable;
+
+const USAGE: &str = "usage: commintd [--ranks LO..=HI] [--var name=value]... \
+[--buf name:type:len]... [--cert-dir DIR] (--socket PATH | --stdio | --selfcheck FILE...)";
+
+const HELP: &str = "\
+commintd — incremental, content-addressed analysis daemon.
+
+usage: commintd [--ranks LO..=HI] [--var name=value]... [--buf name:type:len]...
+                [--cert-dir DIR] (--socket PATH | --stdio)
+       commintd --selfcheck FILE...
+
+Serves commlint reports and commprove certificates over a length-framed
+JSON protocol ([u32 LE length][document]; ops: analyze, prove, diag,
+stats). Responses are byte-identical to the batch CLIs' output for the
+same flags, but re-analysis after an edit costs O(changed regions):
+artifacts are cached under structural region hashes, so untouched
+regions — and formatting-only edits anywhere — are served from cache.
+
+flags:
+  --ranks, --var, --buf   analysis configuration, exactly as commlint
+  --cert-dir DIR          persist one <stem>.cert.json per proved file;
+                          existing entries are byte-compared, validated
+                          with the certificate checker when stale, and
+                          rewritten (the store self-heals corruption)
+  --socket PATH           listen on a Unix-domain socket (thread per
+                          connection; a stale socket file is replaced)
+  --stdio                 serve one client over stdin/stdout
+  --selfcheck FILE...     no daemon: run each file through the engine
+                          twice (cold, then warm) and byte-compare both
+                          passes against the batch commlint/commprove
+                          library output — the CI identity gate
+
+exit status:
+  0  clean shutdown / selfcheck passed
+  1  selfcheck mismatch
+  2  usage error or I/O failure";
+
+fn fail(msg: &str) -> ExitCode {
+    eprintln!("commintd: {msg}");
+    eprintln!("{USAGE}");
+    ExitCode::from(2)
+}
+
+fn selfcheck(
+    engine: &Engine,
+    symbols: &SymbolTable,
+    opts: &LintOptions,
+    files: &[String],
+) -> ExitCode {
+    let mut failed = false;
+    for path in files {
+        let src = match std::fs::read_to_string(path) {
+            Ok(s) => s,
+            Err(e) => return fail(&format!("cannot read `{path}`: {e}")),
+        };
+        let want_lint = match lint_source(&src, symbols, opts) {
+            Ok(r) => render_json(&[(path.clone(), r)]),
+            Err(e) => return fail(&format!("{path}: {e}")),
+        };
+        let prove = match prove_source(path, &src, symbols, opts) {
+            Ok(r) => r,
+            Err(e) => return fail(&format!("{path}: {e}")),
+        };
+        let want_report = render_json(&[(path.clone(), prove.report)]);
+        let want_cert = prove.certificate.to_json();
+        for pass in ["cold", "warm"] {
+            let a = match engine.analyze(path, &src) {
+                Ok(a) => a,
+                Err(e) => return fail(&format!("{path}: {e}")),
+            };
+            let p = match engine.prove(path, &src) {
+                Ok(p) => p,
+                Err(e) => return fail(&format!("{path}: {e}")),
+            };
+            let mut bad = Vec::new();
+            if a.report_json != want_lint {
+                bad.push("analyze report");
+            }
+            if p.report_json != want_report {
+                bad.push("prove report");
+            }
+            if p.cert_json != want_cert {
+                bad.push("certificate");
+            }
+            if bad.is_empty() {
+                println!(
+                    "commintd: {path}: {pass} pass byte-identical to batch \
+                     ({} region(s), {} reused)",
+                    a.regions, a.reused
+                );
+            } else {
+                failed = true;
+                for what in bad {
+                    eprintln!("commintd: {path}: {pass} pass {what} differs from batch output");
+                }
+            }
+        }
+    }
+    if failed {
+        ExitCode::from(1)
+    } else {
+        ExitCode::SUCCESS
+    }
+}
+
+fn main() -> ExitCode {
+    let mut opts = LintOptions::default();
+    let mut symbols = SymbolTable::new();
+    let mut cert_dir: Option<PathBuf> = None;
+    let mut socket: Option<PathBuf> = None;
+    let mut stdio = false;
+    let mut check = false;
+    let mut files: Vec<String> = Vec::new();
+
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--ranks" => {
+                let Some(spec) = args.next() else {
+                    return fail("--ranks needs a value");
+                };
+                let Some(r) = RankRange::parse(&spec) else {
+                    return fail(&format!("bad --ranks `{spec}` (want LO..=HI, LO>=1)"));
+                };
+                opts.ranks = r;
+            }
+            "--var" => {
+                let Some(spec) = args.next() else {
+                    return fail("--var needs name=value");
+                };
+                let Some((name, value)) = spec.split_once('=') else {
+                    return fail(&format!("bad --var `{spec}` (want name=value)"));
+                };
+                let Ok(value) = value.trim().parse::<i64>() else {
+                    return fail(&format!("bad --var value in `{spec}`"));
+                };
+                opts.vars.insert(name.trim().to_string(), value);
+            }
+            "--buf" => {
+                let Some(spec) = args.next() else {
+                    return fail("--buf needs name:type:len");
+                };
+                let parts: Vec<&str> = spec.split(':').collect();
+                let [name, ty, len] = parts.as_slice() else {
+                    return fail(&format!("bad --buf `{spec}` (want name:type:len)"));
+                };
+                let Some(bt) = basic_type_of(ty) else {
+                    return fail(&format!("unknown --buf type `{ty}`"));
+                };
+                let Ok(len) = len.parse::<usize>() else {
+                    return fail(&format!("bad --buf length in `{spec}`"));
+                };
+                symbols.declare_prim(name, bt, len);
+            }
+            "--cert-dir" => {
+                let Some(dir) = args.next() else {
+                    return fail("--cert-dir needs a directory");
+                };
+                cert_dir = Some(PathBuf::from(dir));
+            }
+            "--socket" => {
+                let Some(p) = args.next() else {
+                    return fail("--socket needs a path");
+                };
+                socket = Some(PathBuf::from(p));
+            }
+            "--stdio" => stdio = true,
+            "--selfcheck" => check = true,
+            "--help" | "-h" => {
+                println!("{HELP}");
+                return ExitCode::SUCCESS;
+            }
+            _ if arg.starts_with("--") => {
+                return fail(&format!("unknown flag `{arg}`"));
+            }
+            _ => files.push(arg),
+        }
+    }
+
+    let engine = Engine::new(symbols.clone(), opts.clone(), cert_dir);
+    if check {
+        if files.is_empty() {
+            return fail("--selfcheck needs input files");
+        }
+        return selfcheck(&engine, &symbols, &opts, &files);
+    }
+    if !files.is_empty() {
+        return fail("file arguments need --selfcheck");
+    }
+    match (socket, stdio) {
+        (Some(path), false) => match serve_unix(Arc::new(engine), &path) {
+            Ok(()) => ExitCode::SUCCESS,
+            Err(e) => fail(&format!("cannot serve `{}`: {e}", path.display())),
+        },
+        (None, true) => match serve_stdio(&engine) {
+            Ok(()) => ExitCode::SUCCESS,
+            Err(e) => fail(&format!("stdio serve failed: {e}")),
+        },
+        (Some(_), true) => fail("--socket and --stdio are exclusive"),
+        (None, false) => fail("pick a front end: --socket PATH, --stdio, or --selfcheck"),
+    }
+}

@@ -1,0 +1,38 @@
+//! # commintd — incremental, content-addressed analysis service
+//!
+//! The batch CLIs (`commlint`, `commprove`) re-analyze a whole file on
+//! every invocation. This crate hosts the same analyses behind a
+//! long-running daemon whose cost is `O(changed regions)`: every parsed
+//! region is keyed by its structural hash ([`commlint::hash`]) and the
+//! derived artifacts — per-rank-count lint stripes, merged sweeps,
+//! commprove certificates, normal forms, race summaries — live in a
+//! content-addressed store ([`commint::cas`]) with explicit dependency
+//! edges back to a per-region anchor entry. An edit invalidates exactly
+//! the anchors whose hashes vanished; everything else is served from
+//! cache.
+//!
+//! The non-negotiable invariant is **byte identity**: a daemon-served
+//! report or certificate is the same bytes the batch CLI would print for
+//! the same source and flags, whether the cache is cold, warm, or was
+//! partially invalidated in any order. The engine earns this by reusing
+//! the CLIs' own library code paths ([`commlint::sweep_region`]'s
+//! dedup/assembly contract, [`commprove::prove_region_with`]) and by
+//! storing diagnostics in *relocatable* form — spans are recorded as
+//! canonical-token ordinals and re-anchored against the current source on
+//! every response, so a formatting-only edit reuses every artifact yet
+//! still reports exact positions.
+//!
+//! Three layers:
+//! * [`engine`] — the incremental core: hashing, delta → invalidation,
+//!   artifact construction, re-anchoring, byte-identical assembly.
+//! * [`proto`] — the length-framed JSON request/response protocol
+//!   (`analyze` / `prove` / `diag` / `stats`).
+//! * [`server`] — the front end: a Unix-domain-socket listener with one
+//!   thread per connection (the store's single-flight builds make
+//!   concurrent identical requests cheap), plus a `--stdio` mode.
+
+pub mod engine;
+pub mod proto;
+pub mod server;
+
+pub use engine::{Analysis, Engine, Proof};

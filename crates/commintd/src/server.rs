@@ -1,0 +1,96 @@
+//! The daemon front ends: a Unix-domain-socket listener and a stdio
+//! mode.
+//!
+//! Each accepted connection gets its own thread; all threads share one
+//! [`Engine`] behind an `Arc`. Concurrency safety comes from the
+//! content-addressed store's single-flight builds — two clients asking
+//! for the same artifact version block on one build and receive the same
+//! entry, so concurrent identical requests cost one analysis — and from
+//! the byte-identity of assembly: whichever interleaving wins, each
+//! response is assembled from the same artifacts into the same bytes.
+
+use std::io::{self, BufReader, BufWriter, Read, Write};
+use std::os::unix::net::{UnixListener, UnixStream};
+use std::path::Path;
+use std::sync::Arc;
+
+use crate::engine::Engine;
+use crate::proto::{handle, read_frame, write_frame};
+
+/// Serve one already-connected byte stream until EOF.
+pub fn serve_stream(engine: &Engine, r: &mut impl Read, w: &mut impl Write) -> io::Result<()> {
+    while let Some(frame) = read_frame(r)? {
+        let response = handle(engine, &frame);
+        write_frame(w, response.as_bytes())?;
+    }
+    Ok(())
+}
+
+fn serve_conn(engine: Arc<Engine>, stream: UnixStream) {
+    let mut r = BufReader::new(match stream.try_clone() {
+        Ok(s) => s,
+        Err(_) => return,
+    });
+    let mut w = BufWriter::new(stream);
+    // A client dropping the connection mid-frame is routine; the engine
+    // and every other connection are unaffected.
+    let _ = serve_stream(&engine, &mut r, &mut w);
+}
+
+/// Bind a Unix-domain socket and serve until the process is killed. A
+/// stale socket file from a previous run is removed first.
+pub fn serve_unix(engine: Arc<Engine>, path: &Path) -> io::Result<()> {
+    if path.exists() {
+        std::fs::remove_file(path)?;
+    }
+    let listener = UnixListener::bind(path)?;
+    for stream in listener.incoming() {
+        let stream = stream?;
+        let engine = Arc::clone(&engine);
+        std::thread::spawn(move || serve_conn(engine, stream));
+    }
+    Ok(())
+}
+
+/// Serve stdin/stdout (one client, e.g. an editor plugin spawning the
+/// daemon as a child process).
+pub fn serve_stdio(engine: &Engine) -> io::Result<()> {
+    let stdin = io::stdin();
+    let stdout = io::stdout();
+    let mut r = stdin.lock();
+    let mut w = BufWriter::new(stdout.lock());
+    serve_stream(engine, &mut r, &mut w)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::proto::request_json;
+    use commlint::LintOptions;
+    use pragma_front::SymbolTable;
+
+    #[test]
+    fn stream_serves_frames_in_order() {
+        let engine = Engine::new(SymbolTable::new(), LintOptions::default(), None);
+        let src = "// @decl a: double[4]\n#pragma comm_p2p sender(rank) \
+                   receiver((rank+1)%nprocs) sbuf(a) rbuf(a) count(4)";
+        let mut input = Vec::new();
+        write_frame(
+            &mut input,
+            request_json("analyze", 1, "s.comm", src).as_bytes(),
+        )
+        .unwrap();
+        write_frame(&mut input, request_json("stats", 2, "", "").as_bytes()).unwrap();
+        let mut out = Vec::new();
+        serve_stream(&engine, &mut &input[..], &mut out).unwrap();
+        let mut r = &out[..];
+        let first = String::from_utf8(read_frame(&mut r).unwrap().unwrap()).unwrap();
+        assert!(
+            first.contains("\"id\": 1") && first.contains("\"ok\": true"),
+            "{first}"
+        );
+        let second = String::from_utf8(read_frame(&mut r).unwrap().unwrap()).unwrap();
+        assert!(second.contains("\"op\": \"stats\""), "{second}");
+        assert!(read_frame(&mut r).unwrap().is_none());
+    }
+}

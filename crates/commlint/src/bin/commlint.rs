@@ -20,19 +20,26 @@ use commlint::{
 };
 use pragma_front::SymbolTable;
 
-const USAGE: &str = "usage: commlint [--ranks LO..=HI] [--format text|json] \
+const USAGE: &str = "usage: commlint [--ranks LO..=HI] [--format text|json] [--hash] \
 [--var name=value]... [--buf name:type:len]... FILE...";
 
 const HELP: &str = "\
 commlint — lint communication-intent pragma sources.
 
-usage: commlint [--ranks LO..=HI] [--format text|json]
+usage: commlint [--ranks LO..=HI] [--format text|json] [--hash]
                 [--var name=value]... [--buf name:type:len]... FILE...
        commlint --list-codes
 
 --list-codes prints the catalog: every code with its name, one-line
 summary and verification mode (`lint+prove ∀N` when commprove can decide
 the property for all rank counts, `lint sweep` otherwise).
+
+--hash prints, instead of linting, each region's structural cache hash —
+the content-addressed key the analysis daemon (`commintd`) caches under.
+The hash covers the canonical token stream (never whitespace or
+comments), the file's annotations and variable bindings, the rank range,
+and the region's index and first site id; a formatting-only edit provably
+leaves every hash unchanged.
 
 Every finding states its verification mode: `swept LO..=K` means commlint
 checked that finite rank-count range and nothing beyond it (use `commprove`
@@ -54,6 +61,7 @@ fn main() -> ExitCode {
     let mut opts = LintOptions::default();
     let mut symbols = SymbolTable::new();
     let mut format = "text".to_string();
+    let mut hash_mode = false;
     let mut files: Vec<String> = Vec::new();
 
     let mut args = std::env::args().skip(1);
@@ -105,6 +113,7 @@ fn main() -> ExitCode {
                 };
                 symbols.declare_prim(name, bt, len);
             }
+            "--hash" => hash_mode = true,
             "--list-codes" => {
                 print!("{}", render_code_catalog());
                 return ExitCode::SUCCESS;
@@ -121,6 +130,21 @@ fn main() -> ExitCode {
     }
     if files.is_empty() {
         return fail("no input files");
+    }
+
+    if hash_mode {
+        for path in &files {
+            let src = match std::fs::read_to_string(path) {
+                Ok(s) => s,
+                Err(e) => return fail(&format!("cannot read `{path}`: {e}")),
+            };
+            for (region, site_base, h) in
+                commlint::hash::region_hashes(&src, &opts.vars, opts.ranks)
+            {
+                println!("{path}: region {region} (site base {site_base}): {h:016x}");
+            }
+        }
+        return ExitCode::SUCCESS;
     }
 
     let mut reports = Vec::new();

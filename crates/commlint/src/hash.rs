@@ -1,0 +1,361 @@
+//! Structural hashing of spec regions: the key-derivation half of the
+//! content-addressed analysis cache (`commint::cas`).
+//!
+//! A source file splits into *region chunks* at top-level `#pragma`
+//! directives ([`split_regions`]); each chunk's identity is the FNV-1a
+//! hash of its **canonical token stream** — the `pragma_front::lex` output
+//! rendered kind-by-kind — so whitespace, comments, and `\` line
+//! continuations never perturb the hash ([`token_fingerprint`]). A
+//! formatting-only edit therefore provably maps to the same keys and hits
+//! the cache; any token-level change (an identifier, a count, an operator)
+//! changes the fingerprint and misses.
+//!
+//! The full cache key of an analysis artifact also folds in everything
+//! else the artifact reads: the file's annotations (`@decl`/`@var`), the
+//! analysis variable bindings, the rank range, the region's index and
+//! first site id ([`structural_hash`]). Those last two matter because
+//! diagnostics embed absolute region indexes and site ids: inserting a
+//! region above shifts them, and the key must shift too.
+
+use std::collections::HashMap;
+
+use commint::cas::Fnv64;
+use pragma_front::lex::{lex, Tok, Token};
+
+use crate::{Annotations, RankRange};
+
+/// One top-level directive chunk of a source file.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct RegionChunk {
+    /// Byte range of the chunk in the source (`start` is the `#pragma`,
+    /// `end` is the start of the next top-level chunk or EOF).
+    pub start: usize,
+    pub end: usize,
+    /// 1-based line/column of `start` (for re-anchoring relative spans).
+    pub line: usize,
+    pub col: usize,
+    /// Directive keyword following `#pragma` (e.g. `comm_parameters`).
+    pub name: String,
+    /// Whether the chunk lints as a region (`comm_parameters` block or
+    /// standalone `comm_p2p`); collectives do not.
+    pub is_region: bool,
+    /// Number of `comm_p2p` sites inside the chunk. Site ids are assigned
+    /// file-wide in source order, so a chunk's first site id is 1 plus the
+    /// sum of `sites` over all preceding chunks.
+    pub sites: usize,
+}
+
+impl RegionChunk {
+    /// The chunk's text within `src`.
+    pub fn text<'a>(&self, src: &'a str) -> &'a str {
+        &src[self.start..self.end]
+    }
+}
+
+/// Split a source file into top-level directive chunks by lexing and
+/// tracking brace depth: a `#pragma` at depth 0 opens a new chunk that
+/// runs to the next depth-0 `#pragma` (or EOF). Nested `comm_p2p`
+/// pragmas inside a `comm_parameters` body stay within their parent's
+/// chunk. Returns an empty list when the file does not lex (the parser
+/// will report the error; there is nothing stable to hash).
+pub fn split_regions(src: &str) -> Vec<RegionChunk> {
+    split_regions_tokens(src)
+        .into_iter()
+        .map(|(c, _)| c)
+        .collect()
+}
+
+/// Like [`split_regions`], but also hands back each chunk's tokens from
+/// the same single lex pass, spans file-absolute. Chunks begin and end
+/// at token boundaries and the lexer discards comments and whitespace,
+/// so a chunk's token slice is exactly what lexing its text in
+/// isolation would yield (with relative spans rebased) — callers can
+/// fingerprint and re-anchor without lexing the file again per chunk.
+pub fn split_regions_tokens(src: &str) -> Vec<(RegionChunk, Vec<Token>)> {
+    let Ok(tokens) = lex(src) else {
+        return Vec::new();
+    };
+    let mut chunks: Vec<(RegionChunk, usize)> = Vec::new();
+    let mut depth = 0usize;
+    for (i, t) in tokens.iter().enumerate() {
+        match &t.tok {
+            Tok::LBrace => depth += 1,
+            Tok::RBrace => depth = depth.saturating_sub(1),
+            Tok::Pragma => {
+                let name = match tokens.get(i + 1).map(|t| &t.tok) {
+                    Some(Tok::Ident(n)) => n.clone(),
+                    _ => String::new(),
+                };
+                if name == "comm_p2p" && depth > 0 {
+                    if let Some((last, _)) = chunks.last_mut() {
+                        last.sites += 1;
+                    }
+                }
+                if depth == 0 {
+                    if let Some((last, _)) = chunks.last_mut() {
+                        last.end = t.span.offset;
+                    }
+                    let is_region = name == "comm_parameters" || name == "comm_p2p";
+                    let sites = usize::from(name == "comm_p2p");
+                    chunks.push((
+                        RegionChunk {
+                            start: t.span.offset,
+                            end: src.len(),
+                            line: t.span.line,
+                            col: t.span.col,
+                            name,
+                            is_region,
+                            sites,
+                        },
+                        i,
+                    ));
+                }
+            }
+            _ => {}
+        }
+    }
+    let eof = tokens
+        .iter()
+        .position(|t| t.tok == Tok::Eof)
+        .unwrap_or(tokens.len());
+    let bounds: Vec<usize> = chunks.iter().map(|(_, i)| *i).collect();
+    chunks
+        .into_iter()
+        .enumerate()
+        .map(|(ci, (chunk, tstart))| {
+            let tend = bounds.get(ci + 1).copied().unwrap_or(eof);
+            (chunk, tokens[tstart..tend].to_vec())
+        })
+        .collect()
+}
+
+/// Fold one token into a hasher, canonically: the discriminant plus any
+/// payload, never the source spelling or position.
+fn fold_token(h: &mut Fnv64, t: &Token) {
+    match &t.tok {
+        Tok::Ident(s) => {
+            h.write_u64(1);
+            h.write_str(s);
+        }
+        Tok::Int(v) => {
+            h.write_u64(2);
+            h.write_i64(*v);
+        }
+        other => {
+            // Punctuation and keywords render to distinct fixed strings.
+            h.write_u64(3);
+            h.write_str(&other.to_string());
+        }
+    }
+}
+
+/// Hash a text slice's canonical token stream. Returns `None` when the
+/// slice does not lex. Whitespace- and comment-insensitive by
+/// construction: the lexer discards both before we ever see them.
+pub fn token_fingerprint(text: &str) -> Option<u64> {
+    let tokens = lex(text).ok()?;
+    Some(fingerprint_tokens(&tokens))
+}
+
+/// Hash an already-lexed token slice (stopping at `Eof` if present).
+/// `fold_token` reads only token kind and payload — never spans — so a
+/// slice of a full-file lex fingerprints identically to lexing the same
+/// text in isolation.
+pub fn fingerprint_tokens(tokens: &[Token]) -> u64 {
+    let mut h = Fnv64::new();
+    for t in tokens {
+        if t.tok == Tok::Eof {
+            break;
+        }
+        fold_token(&mut h, t);
+    }
+    h.finish()
+}
+
+/// Fold the analysis environment shared by every region of a file: `@decl`
+/// declarations (in declaration order — order is observable through
+/// buffer pairing), merged variable bindings (sorted — `HashMap` order is
+/// not canonical), and the effective rank range.
+pub fn env_hash(ann: &Annotations, vars: &HashMap<String, i64>, ranks: RankRange) -> u64 {
+    let mut h = Fnv64::new();
+    h.write_str("env");
+    for d in &ann.decls {
+        h.write_str(&d.name);
+        h.write_str(&format!("{:?}", d.ty));
+        h.write_u64(d.len as u64);
+        match d.vector {
+            Some((b, s, m)) => {
+                h.write_u64(1)
+                    .write_u64(b as u64)
+                    .write_u64(s as u64)
+                    .write_u64(m as u64);
+            }
+            None => {
+                h.write_u64(0);
+            }
+        }
+    }
+    let mut sorted: Vec<(&String, &i64)> = vars.iter().collect();
+    sorted.sort();
+    h.write_u64(sorted.len() as u64);
+    for (k, v) in sorted {
+        h.write_str(k);
+        h.write_i64(*v);
+    }
+    h.write_u64(ranks.min as u64).write_u64(ranks.max as u64);
+    h.finish()
+}
+
+/// The structural hash of one region: canonical token stream of its
+/// chunk, plus the file environment, plus the region's absolute index
+/// and first site id (both observable in diagnostics, so both
+/// key-relevant). Returns `None` when the chunk does not lex.
+pub fn structural_hash(
+    region_text: &str,
+    env: u64,
+    region_index: usize,
+    site_base: u32,
+) -> Option<u64> {
+    let toks = token_fingerprint(region_text)?;
+    Some(structural_hash_parts(toks, env, region_index, site_base))
+}
+
+/// [`structural_hash`] over an already-lexed token slice (as returned by
+/// [`split_regions_tokens`]); infallible because the tokens exist.
+pub fn structural_hash_tokens(
+    tokens: &[Token],
+    env: u64,
+    region_index: usize,
+    site_base: u32,
+) -> u64 {
+    structural_hash_parts(fingerprint_tokens(tokens), env, region_index, site_base)
+}
+
+fn structural_hash_parts(toks: u64, env: u64, region_index: usize, site_base: u32) -> u64 {
+    let mut h = Fnv64::new();
+    h.write_str("region");
+    h.write_u64(toks);
+    h.write_u64(env);
+    h.write_u64(region_index as u64);
+    h.write_u64(site_base as u64);
+    h.finish()
+}
+
+/// Per-region structural hashes of a whole file, in region order:
+/// `(region_index, first_site_id, hash)`. The env folds the file's own
+/// annotations over `extra_vars`/`default_ranks` exactly as
+/// [`crate::lint_source`] does, so the hashes key the same analyses the
+/// CLI runs. Backs `commlint --hash`.
+pub fn region_hashes(
+    src: &str,
+    extra_vars: &HashMap<String, i64>,
+    default_ranks: RankRange,
+) -> Vec<(usize, u32, u64)> {
+    let ann = crate::scan_annotations(src);
+    let mut vars = extra_vars.clone();
+    vars.extend(ann.vars.clone());
+    let ranks = ann.ranks.unwrap_or(default_ranks);
+    let env = env_hash(&ann, &vars, ranks);
+    let mut out = Vec::new();
+    let mut region_index = 0usize;
+    let mut site_base = 1u32;
+    for (chunk, toks) in split_regions_tokens(src) {
+        if chunk.is_region {
+            let h = structural_hash_tokens(&toks, env, region_index, site_base);
+            out.push((region_index, site_base, h));
+            region_index += 1;
+        }
+        site_base += chunk.sites as u32;
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const TWO_REGIONS: &str = "\
+// @decl a: double[3]
+// @decl b: double[3]
+// @var v = 1
+// @ranks 2..=4
+#pragma comm_parameters sender(0) receiver(v) sendwhen(rank==0) receivewhen(rank==v) count(3)
+{
+    #pragma comm_p2p sbuf(a) rbuf(b)
+    { }
+}
+#pragma comm_p2p sender(0) receiver(1) sendwhen(rank==0) receivewhen(rank==1) \
+  sbuf(a) rbuf(b) count(3)
+";
+
+    #[test]
+    fn splitter_finds_top_level_chunks() {
+        let chunks = split_regions(TWO_REGIONS);
+        assert_eq!(chunks.len(), 2, "{chunks:?}");
+        assert_eq!(chunks[0].name, "comm_parameters");
+        assert_eq!(chunks[0].sites, 1);
+        assert_eq!(chunks[1].name, "comm_p2p");
+        assert_eq!(chunks[1].sites, 1);
+        assert!(chunks.iter().all(|c| c.is_region));
+        // Chunks tile the directive-bearing tail of the file.
+        assert_eq!(chunks[0].end, chunks[1].start);
+        assert_eq!(chunks[1].end, TWO_REGIONS.len());
+        // The nested comm_p2p stays inside its parent chunk.
+        assert!(chunks[0].text(TWO_REGIONS).contains("comm_p2p"));
+    }
+
+    #[test]
+    fn fingerprint_ignores_whitespace_and_comments() {
+        let a = token_fingerprint("#pragma comm_p2p sbuf(a) rbuf(b) count(3)").unwrap();
+        let b = token_fingerprint(
+            "#pragma comm_p2p /* layout note */ sbuf( a )\n   rbuf(b) // trailing\n count(3)",
+        )
+        .unwrap();
+        let c = token_fingerprint("#pragma comm_p2p \\\n  sbuf(a) rbuf(b) count(3)").unwrap();
+        assert_eq!(a, b);
+        assert_eq!(a, c);
+        // A token-level change misses.
+        let d = token_fingerprint("#pragma comm_p2p sbuf(a) rbuf(b) count(4)").unwrap();
+        assert_ne!(a, d);
+    }
+
+    #[test]
+    fn hashes_stable_under_formatting_edit() {
+        let before = region_hashes(TWO_REGIONS, &HashMap::new(), RankRange::default());
+        let formatted = TWO_REGIONS.replace("sbuf(a) rbuf(b)", "sbuf( a )  rbuf( b ) /* x */");
+        let after = region_hashes(&formatted, &HashMap::new(), RankRange::default());
+        assert_eq!(before, after);
+    }
+
+    #[test]
+    fn editing_one_region_leaves_the_other_hash_alone() {
+        let before = region_hashes(TWO_REGIONS, &HashMap::new(), RankRange::default());
+        assert_eq!(before.len(), 2);
+        // Token-level edit confined to region 1 (region 0's nested p2p has
+        // no `count`, so the pattern cannot match there).
+        let edited = TWO_REGIONS.replace("sbuf(a) rbuf(b) count(3)", "sbuf(b) rbuf(a) count(3)");
+        let after = region_hashes(&edited, &HashMap::new(), RankRange::default());
+        assert_eq!(before[0], after[0], "region 0 untouched");
+        assert_ne!(before[1].2, after[1].2, "region 1 edited");
+    }
+
+    #[test]
+    fn annotation_change_shifts_every_hash() {
+        let before = region_hashes(TWO_REGIONS, &HashMap::new(), RankRange::default());
+        let after = region_hashes(
+            &TWO_REGIONS.replace("@var v = 1", "@var v = 2"),
+            &HashMap::new(),
+            RankRange::default(),
+        );
+        for (b, a) in before.iter().zip(&after) {
+            assert_ne!(b.2, a.2, "env change must reach every region key");
+        }
+    }
+
+    #[test]
+    fn site_bases_account_for_preceding_sites() {
+        let hashes = region_hashes(TWO_REGIONS, &HashMap::new(), RankRange::default());
+        assert_eq!(hashes[0].1, 1, "sites are 1-based");
+        assert_eq!(hashes[1].1, 2, "region 0 consumed one site id");
+    }
+}

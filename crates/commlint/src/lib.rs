@@ -18,6 +18,7 @@
 //! #pragma comm_p2p sender((rank-1+nprocs)%nprocs) ...
 //! ```
 
+pub mod hash;
 pub mod json;
 
 use std::collections::HashMap;
@@ -254,45 +255,53 @@ pub fn map_parse_diag(d: &Diagnostic) -> Option<Diag> {
     })
 }
 
-/// Lint pre-parsed directives over a rank range with `vars` bound: run
-/// [`lint_region_at`] at every count, merge findings by identity, and keep
-/// the *first* (smallest-rank-count) witness for each.
-pub fn lint_parsed(
-    parsed: &pragma_front::Parsed,
-    ranks: RankRange,
-    vars: &HashMap<String, i64>,
-) -> LintReport {
-    let mut diags: Vec<Diag> = Vec::new();
+/// Dedup diagnostics by identity `(code, region, site, key)` in the given
+/// order, keeping the first occurrence (and therefore its witness).
+fn dedup_in_order(diags: Vec<Diag>) -> Vec<Diag> {
     let mut seen: std::collections::HashSet<(LintCode, usize, Option<u32>, String)> =
         std::collections::HashSet::new();
-    let mut push = |d: Diag, diags: &mut Vec<Diag>| {
-        let id = (d.code, d.region, d.site, d.key.clone());
-        if seen.insert(id) {
-            diags.push(d);
-        }
-    };
+    diags
+        .into_iter()
+        .filter(|d| seen.insert((d.code, d.region, d.site, d.key.clone())))
+        .collect()
+}
 
-    for d in &parsed.diagnostics {
-        if let Some(diag) = map_parse_diag(d) {
-            push(diag, &mut diags);
-        }
+/// Sweep one region over a rank range: run [`lint_region_at`] at every
+/// count in ascending order, merging findings by identity so each keeps
+/// its *first* (smallest-rank-count) witness. This is the per-region unit
+/// of work the incremental cache (`commintd`) stores; the batch driver
+/// assembles the same artifacts via [`assemble_lint_report`], so the two
+/// front ends share one code path.
+pub fn sweep_region(
+    region_index: usize,
+    spec: &ParamsSpec,
+    ranks: RankRange,
+    vars: &HashMap<String, i64>,
+) -> Vec<Diag> {
+    dedup_in_order(
+        (ranks.min..=ranks.max)
+            .flat_map(|n| lint_region_at(region_index, spec, n, vars))
+            .collect(),
+    )
+}
+
+/// Assemble a [`LintReport`] from parse diagnostics plus per-region sweep
+/// artifacts (each the output of [`sweep_region`], or its cached
+/// equivalent). Identities never collide across groups — parse
+/// diagnostics are the only `CI000` producers and the sweep identity
+/// includes the region index — so group-local dedup composes into the
+/// global dedup, and the final sort key extends the identity, making the
+/// sorted order independent of assembly order: the report is
+/// byte-identical however the artifacts were produced.
+pub fn assemble_lint_report(
+    parse_diags: Vec<Diag>,
+    region_sweeps: Vec<Vec<Diag>>,
+    ranks: RankRange,
+) -> LintReport {
+    let mut diags = dedup_in_order(parse_diags);
+    for sweep in region_sweeps {
+        diags.extend(sweep);
     }
-
-    let regions: Vec<ParamsSpec> = parsed.items.iter().filter_map(region_view).collect();
-    // The per-count lints are independent; fan them out over a small worker
-    // pool and merge in ascending-count order through the dedup above, so
-    // the report (including which witness is "first") is byte-identical to
-    // the sequential sweep.
-    let counts: Vec<usize> = (ranks.min..=ranks.max).collect();
-    let jobs = std::thread::available_parallelism()
-        .map(|n| n.get())
-        .unwrap_or(1);
-    for per_count in lint_counts(&regions, &counts, vars, jobs) {
-        for diag in per_count {
-            push(diag, &mut diags);
-        }
-    }
-
     // Most severe first; then stable source order for determinism.
     diags.sort_by(|a, b| {
         b.severity
@@ -311,6 +320,42 @@ pub fn lint_parsed(
         });
     }
     LintReport { ranks, diags }
+}
+
+/// Map every parse/validation diagnostic through [`map_parse_diag`].
+pub fn parse_diags(parsed: &pragma_front::Parsed) -> Vec<Diag> {
+    parsed
+        .diagnostics
+        .iter()
+        .filter_map(map_parse_diag)
+        .collect()
+}
+
+/// Lint pre-parsed directives over a rank range with `vars` bound: run
+/// [`lint_region_at`] at every count, merge findings by identity, and keep
+/// the *first* (smallest-rank-count) witness for each.
+pub fn lint_parsed(
+    parsed: &pragma_front::Parsed,
+    ranks: RankRange,
+    vars: &HashMap<String, i64>,
+) -> LintReport {
+    let regions: Vec<ParamsSpec> = parsed.items.iter().filter_map(region_view).collect();
+    // The per-count lints are independent; fan them out over a small worker
+    // pool, then regroup per region in ascending-count order — exactly the
+    // order [`sweep_region`] produces sequentially, so the assembled report
+    // is byte-identical to per-region (cached) sweeps.
+    let counts: Vec<usize> = (ranks.min..=ranks.max).collect();
+    let jobs = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+    let mut per_region: Vec<Vec<Diag>> = (0..regions.len()).map(|_| Vec::new()).collect();
+    for per_count in lint_counts(&regions, &counts, vars, jobs) {
+        for diag in per_count {
+            per_region[diag.region].push(diag);
+        }
+    }
+    let sweeps = per_region.into_iter().map(dedup_in_order).collect();
+    assemble_lint_report(parse_diags(parsed), sweeps, ranks)
 }
 
 /// Run every region's lints at each rank count in `counts`, in parallel,
@@ -547,6 +592,40 @@ mod tests {
             let par = lint_counts(&regions, &counts, &vars, jobs);
             assert_eq!(seq, par, "jobs={jobs} diverged from sequential sweep");
         }
+    }
+
+    #[test]
+    fn per_region_sweeps_assemble_byte_identically() {
+        // The incremental front end computes sweeps one region at a time
+        // (possibly from cache) and assembles; the batch front end fans
+        // out per count. Same report, byte for byte.
+        let src = "\
+// @decl a: int[4]
+// @decl b: int[8]
+// @ranks 2..=6
+#pragma comm_parameters sender(0) receiver(1) sendwhen(rank==0) receivewhen(rank==1)
+{
+    #pragma comm_p2p sbuf(a) rbuf(b) count(4)
+    { }
+}
+#pragma comm_p2p sender(0) receiver(1) sendwhen(rank==0||rank==2) receivewhen(rank==1) \
+  sbuf(a) rbuf(b) count(4)";
+        let ann = scan_annotations(src);
+        let mut symbols = SymbolTable::new();
+        apply_decls(&mut symbols, &ann);
+        let parsed = parse(src, &symbols).unwrap();
+        let ranks = ann.ranks.unwrap();
+        let batch = lint_parsed(&parsed, ranks, &ann.vars);
+        let regions: Vec<ParamsSpec> = parsed.items.iter().filter_map(region_view).collect();
+        let sweeps: Vec<Vec<Diag>> = regions
+            .iter()
+            .enumerate()
+            .map(|(ri, spec)| sweep_region(ri, spec, ranks, &ann.vars))
+            .collect();
+        let assembled = assemble_lint_report(parse_diags(&parsed), sweeps, ranks);
+        assert_eq!(batch.ranks, assembled.ranks);
+        assert_eq!(batch.diags, assembled.diags);
+        assert!(!batch.diags.is_empty(), "workload should produce findings");
     }
 
     #[test]

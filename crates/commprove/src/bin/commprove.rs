@@ -12,7 +12,7 @@ use std::path::{Path, PathBuf};
 use std::process::ExitCode;
 
 use commlint::{basic_type_of, json::render_json, LintOptions, RankRange};
-use commprove::check::{check_source, parse_certificate};
+use commprove::check::check_cert_bytes;
 use commprove::{prove_source, render_prove_text};
 use pragma_front::SymbolTable;
 
@@ -157,29 +157,24 @@ fn main() -> ExitCode {
                 Err(e) => return fail(&format!("cannot read `{path}`: {e}")),
             };
             let cpath = cert_path(&dir, path);
-            let doc = match std::fs::read_to_string(&cpath) {
+            let doc = match std::fs::read(&cpath) {
                 Ok(s) => s,
                 Err(e) => return fail(&format!("cannot read `{}`: {e}", cpath.display())),
             };
-            let cert = match parse_certificate(&doc) {
-                Ok(c) => c,
-                Err(e) => {
-                    eprintln!("commprove: {}: {e}", cpath.display());
-                    failed = true;
-                    continue;
-                }
-            };
-            let errors = check_source(&src, &symbols, &opts, &cert);
-            if errors.is_empty() {
-                println!(
+            // The binary is a thin wrapper over the library checker — the
+            // same entry point the analysis daemon validates its
+            // certificate store with.
+            match check_cert_bytes(&src, &symbols, &opts, &doc) {
+                Ok(cert) => println!(
                     "commprove: {path}: certificate OK ({} region(s), {} claim(s))",
                     cert.regions.len(),
                     cert.regions.iter().map(|r| r.claims.len()).sum::<usize>()
-                );
-            } else {
-                failed = true;
-                for e in errors {
-                    eprintln!("commprove: {path}: {e}");
+                ),
+                Err(errors) => {
+                    failed = true;
+                    for e in errors {
+                        eprintln!("commprove: {path}: {e}");
+                    }
                 }
             }
         }

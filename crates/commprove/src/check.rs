@@ -568,6 +568,33 @@ pub fn check_source(
     errors
 }
 
+/// One-call library entry point for independent certificate validation:
+/// parse a certificate document from raw bytes and check it against its
+/// source. `Ok` carries the parsed (trustworthy) certificate; `Err`
+/// carries every problem found — a non-UTF-8 or non-JSON document, a
+/// schema mismatch, or any claim the replay does not entail.
+///
+/// This is what the `commprove --check` binary wraps, and what the
+/// analysis daemon (`commintd`) runs over every certificate it loads from
+/// its on-disk store: a corrupted or stale entry is rejected here and
+/// recomputed rather than served.
+pub fn check_cert_bytes(
+    src: &str,
+    symbols: &SymbolTable,
+    opts: &LintOptions,
+    cert_bytes: &[u8],
+) -> Result<Certificate, Vec<String>> {
+    let doc = std::str::from_utf8(cert_bytes)
+        .map_err(|e| vec![format!("certificate is not UTF-8: {e}")])?;
+    let cert = parse_certificate(doc).map_err(|e| vec![e])?;
+    let errors = check_source(src, symbols, opts, &cert);
+    if errors.is_empty() {
+        Ok(cert)
+    } else {
+        Err(errors)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -597,6 +624,33 @@ mod tests {
         assert_eq!(parsed.regions[0].claims, rep.certificate.regions[0].claims);
         let errors = check_source(RING, &SymbolTable::new(), &LintOptions::default(), &parsed);
         assert!(errors.is_empty(), "{errors:?}");
+    }
+
+    #[test]
+    fn check_cert_bytes_accepts_honest_and_rejects_garbage() {
+        let rep = prove_source(
+            "ring.comm",
+            RING,
+            &SymbolTable::new(),
+            &LintOptions::default(),
+        )
+        .unwrap();
+        let opts = LintOptions::default();
+        let doc = rep.certificate.to_json();
+        let cert = check_cert_bytes(RING, &SymbolTable::new(), &opts, doc.as_bytes())
+            .expect("honest certificate validates");
+        assert_eq!(cert.regions.len(), rep.certificate.regions.len());
+        // Bit rot: flip one byte mid-document.
+        let mut rotten = doc.clone().into_bytes();
+        let mid = rotten.len() / 2;
+        rotten[mid] = if rotten[mid] == b'0' { b'1' } else { b'0' };
+        assert!(check_cert_bytes(RING, &SymbolTable::new(), &opts, &rotten).is_err());
+        // Not UTF-8 / not JSON.
+        assert!(check_cert_bytes(RING, &SymbolTable::new(), &opts, &[0xff, 0xfe]).is_err());
+        assert!(check_cert_bytes(RING, &SymbolTable::new(), &opts, b"{}").is_err());
+        // Valid document, wrong source: the replay disagrees.
+        let other = RING.replace("count(16)", "count(8)");
+        assert!(check_cert_bytes(&other, &SymbolTable::new(), &opts, doc.as_bytes()).is_err());
     }
 
     #[test]

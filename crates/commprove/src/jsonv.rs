@@ -172,6 +172,22 @@ impl<'a> Parser<'a> {
         self.eat(b'"')?;
         let mut out = String::new();
         loop {
+            // Copy the run up to the next quote or escape in one piece:
+            // `"` and `\` are ASCII and never occur inside a multi-byte
+            // UTF-8 sequence, so the run boundary cannot split a
+            // character.
+            let start = self.pos;
+            while matches!(self.bytes.get(self.pos), Some(&b) if b != b'"' && b != b'\\') {
+                self.pos += 1;
+            }
+            if self.pos > start {
+                let run =
+                    std::str::from_utf8(&self.bytes[start..self.pos]).map_err(|_| JsonError {
+                        message: "invalid utf-8".into(),
+                        at: start,
+                    })?;
+                out.push_str(run);
+            }
             match self.peek() {
                 None => return self.err("unterminated string"),
                 Some(b'"') => {
@@ -205,18 +221,8 @@ impl<'a> Parser<'a> {
                     }
                     self.pos += 1;
                 }
-                Some(_) => {
-                    // Multi-byte UTF-8 passes through byte-wise; the input
-                    // is a &str so the bytes are valid.
-                    let rest = &self.bytes[self.pos..];
-                    let s = std::str::from_utf8(rest).map_err(|_| JsonError {
-                        message: "invalid utf-8".into(),
-                        at: self.pos,
-                    })?;
-                    let c = s.chars().next().unwrap();
-                    out.push(c);
-                    self.pos += c.len_utf8();
-                }
+                // The run scan stops only at EOF, `"` or `\`.
+                Some(_) => unreachable!("run scan stops at quote or escape"),
             }
         }
     }

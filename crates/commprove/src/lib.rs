@@ -264,11 +264,28 @@ pub fn prove_region(
     ranks: RankRange,
     vars: &HashMap<String, i64>,
 ) -> (Vec<Diag>, RegionCert) {
+    prove_region_with(region, spec, site_spans, ranks, vars, &|n| {
+        lint_region_at(region, spec, n, vars)
+    })
+}
+
+/// [`prove_region`] with the concrete lint step injected: `lint_at(n)`
+/// must return exactly `lint_region_at(region, spec, n, vars)` — possibly
+/// from a cache. The incremental service (`commintd`) passes a closure
+/// backed by its per-count stripe store so a prove request reuses every
+/// stripe an analyze request already computed (and vice versa); the
+/// certificate and diagnostics are byte-identical because the inputs are.
+pub fn prove_region_with(
+    region: usize,
+    spec: &ParamsSpec,
+    site_spans: &HashMap<u32, SrcSpan>,
+    ranks: RankRange,
+    vars: &HashMap<String, i64>,
+    lint_at: &dyn Fn(usize) -> Vec<Diag>,
+) -> (Vec<Diag>, RegionCert) {
     let vt: VarTable = vars.into();
     let lint_window = |hi: usize| -> Vec<(usize, Vec<Diag>)> {
-        (ranks.min..=hi)
-            .map(|n| (n, lint_region_at(region, spec, n, vars)))
-            .collect()
+        (ranks.min..=hi).map(|n| (n, lint_at(n))).collect()
     };
     let (sites, params) = match region_forms(spec, site_spans, &vt) {
         Ok(ok) => ok,

@@ -42,6 +42,15 @@ pub struct CommGraph {
     /// Ranks whose clauses could not be resolved statically (opaque
     /// expressions or unbound variables).
     pub unresolved: Vec<usize>,
+    /// Ranks whose merged `sendwhen` evaluated true, recorded even when
+    /// the receiver expression did not resolve. Every rank when the
+    /// clause is absent — only meaningful to consumers (CI005) when the
+    /// predicate pair is present.
+    pub senders: Vec<usize>,
+    /// Ranks whose merged `receivewhen` evaluated true (same caveats).
+    pub receivers: Vec<usize>,
+    /// Whether any `sendwhen`/`receivewhen` evaluation errored.
+    pub when_unknown: bool,
 }
 
 impl CommGraph {
@@ -102,12 +111,16 @@ pub fn resolve_graph(
         None => p2p.clauses.clone(),
     };
     let mut g = CommGraph::default();
+    // One environment for the whole scan: only the rank changes, and the
+    // variable table conversion (allocation + sort) is paid once, not per
+    // rank.
+    let mut env = EvalEnv {
+        rank: 0,
+        nranks: nranks as i64,
+        vars: vars.into(),
+    };
     for r in 0..nranks {
-        let env = EvalEnv {
-            rank: r as i64,
-            nranks: nranks as i64,
-            vars: vars.into(),
-        };
+        env.rank = r as i64;
         let sends = match &merged.sendwhen {
             Some(c) => c.eval(&env),
             None => Ok(true),
@@ -117,6 +130,16 @@ pub fn resolve_graph(
             None => Ok(true),
         };
         let mut resolved = true;
+        match &sends {
+            Ok(true) => g.senders.push(r),
+            Ok(false) => {}
+            Err(_) => g.when_unknown = true,
+        }
+        match &recvs {
+            Ok(true) => g.receivers.push(r),
+            Ok(false) => {}
+            Err(_) => g.when_unknown = true,
+        }
         match sends {
             Ok(true) => match merged.receiver.as_ref().map(|e| e.eval(&env)) {
                 Some(Ok(d)) if d >= 0 && (d as usize) < nranks => g.sends.push(Edge {
@@ -620,6 +643,7 @@ mod tests {
             sends,
             recvs,
             unresolved: vec![],
+            ..CommGraph::default()
         };
         assert!(g.fully_matched());
         assert_eq!(classify(&g, 6), Pattern::FanOut { root: 0 });
@@ -631,6 +655,7 @@ mod tests {
             sends: (1..5).map(|s| Edge { src: s, dst: 0 }).collect(),
             recvs: (1..5).map(|s| Edge { src: s, dst: 0 }).collect(),
             unresolved: vec![],
+            ..CommGraph::default()
         };
         assert_eq!(classify(&g, 5), Pattern::FanIn { root: 0 });
     }
@@ -645,6 +670,7 @@ mod tests {
             sends: edges.clone(),
             recvs: edges,
             unresolved: vec![],
+            ..CommGraph::default()
         };
         assert_eq!(classify(&g, 4), Pattern::Exchange);
     }
@@ -656,6 +682,7 @@ mod tests {
             sends: edges.clone(),
             recvs: edges,
             unresolved: vec![],
+            ..CommGraph::default()
         };
         assert_eq!(classify(&g, 8), Pattern::LinearShift { k: 2 });
     }
@@ -676,6 +703,7 @@ mod tests {
                 Edge { src: 2, dst: 1 },
             ],
             unresolved: vec![],
+            ..CommGraph::default()
         };
         assert_eq!(classify(&g, 3), Pattern::Irregular);
     }
@@ -887,6 +915,7 @@ mod tests {
             sends: (0..3).map(|s| Edge { src: s, dst: s + 1 }).collect(),
             recvs: (0..3).map(|s| Edge { src: s, dst: s + 1 }).collect(),
             unresolved: vec![],
+            ..CommGraph::default()
         };
         let rep = deadlock_report(&chain);
         assert!(rep.nonblocking_safe);

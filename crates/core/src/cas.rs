@@ -1,0 +1,509 @@
+//! Content-addressed artifact store: the shared substrate of the
+//! incremental analysis service (`commintd`).
+//!
+//! Every derived analysis artifact — a lint stripe at one rank count, a
+//! merged per-region sweep, an affine normal form, a `commprove`
+//! certificate — is stored under a [`Key`] combining the *kind* of artifact
+//! with a 64-bit content hash of everything the artifact is a pure function
+//! of (canonical token stream, annotations, analysis variables, rank
+//! range). Two properties follow:
+//!
+//! * **Content addressing.** The key never names a file or a revision; the
+//!   same spec text under any path, at any time, maps to the same entries.
+//!   Formatting-only edits (whitespace, comments) hash identically and hit.
+//! * **Single-flight.** [`Store::get_or_build`] guarantees each artifact is
+//!   computed at most once even under concurrent requests: the first caller
+//!   builds while later callers for the same key block on a condvar and
+//!   receive the finished value. N clients editing the same spec cost one
+//!   computation per artifact, not N.
+//!
+//! Entries carry explicit dependency edges (stripe → sweep, stripe →
+//! certificate, …). [`Store::invalidate`] removes an entry and walks the
+//! reverse edges so everything downstream of a dirty input is dropped in
+//! one call — the invalidation engine in `commintd` maps a file delta to
+//! dirty region keys and lets the edges do the rest.
+
+use std::collections::HashMap;
+use std::sync::{Condvar, Mutex};
+
+/// Artifact namespace of a cache key. Kinds partition the hash space so a
+/// lint stripe and a certificate derived from identical inputs never
+/// collide, and make [`Stats`] reports legible.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum ArtifactKind {
+    /// Per-region anchor entry: every artifact derived from one region
+    /// version depends on its anchor, so invalidating the anchor evicts
+    /// the whole cohort in one call.
+    Region,
+    /// Parsed + normalized region forms (`commint::nf` output).
+    Forms,
+    /// One region linted at one rank count (a "stripe").
+    Stripe,
+    /// One region's merged sweep over a full rank range.
+    Sweep,
+    /// One region's `commprove` certificate + proof diagnostics.
+    Cert,
+    /// One region's race-analysis summary.
+    Race,
+}
+
+impl ArtifactKind {
+    /// Stable short label (used in `stats` responses and logs).
+    pub fn label(self) -> &'static str {
+        match self {
+            ArtifactKind::Region => "region",
+            ArtifactKind::Forms => "forms",
+            ArtifactKind::Stripe => "stripe",
+            ArtifactKind::Sweep => "sweep",
+            ArtifactKind::Cert => "cert",
+            ArtifactKind::Race => "race",
+        }
+    }
+}
+
+/// Content-addressed cache key: artifact kind + 64-bit structural hash of
+/// every input the artifact depends on.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Key {
+    pub kind: ArtifactKind,
+    pub hash: u64,
+}
+
+impl Key {
+    pub fn new(kind: ArtifactKind, hash: u64) -> Key {
+        Key { kind, hash }
+    }
+}
+
+impl std::fmt::Display for Key {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}:{:016x}", self.kind.label(), self.hash)
+    }
+}
+
+/// FNV-1a 64-bit offset basis.
+pub const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+/// FNV-1a 64-bit prime.
+pub const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
+
+/// Hash a byte string with FNV-1a (64-bit). Dependency-free and stable
+/// across platforms and versions — cache keys must never drift with a
+/// stdlib hasher change.
+pub fn fnv1a64(bytes: &[u8]) -> u64 {
+    let mut h = FNV_OFFSET;
+    for &b in bytes {
+        h ^= b as u64;
+        h = h.wrapping_mul(FNV_PRIME);
+    }
+    h
+}
+
+/// Incremental FNV-1a 64-bit hasher for composing multi-part keys without
+/// materializing the concatenation.
+#[derive(Clone, Copy, Debug)]
+pub struct Fnv64(u64);
+
+impl Default for Fnv64 {
+    fn default() -> Self {
+        Fnv64(FNV_OFFSET)
+    }
+}
+
+impl Fnv64 {
+    pub fn new() -> Fnv64 {
+        Fnv64::default()
+    }
+
+    /// Fold raw bytes into the hash.
+    pub fn write(&mut self, bytes: &[u8]) -> &mut Self {
+        for &b in bytes {
+            self.0 ^= b as u64;
+            self.0 = self.0.wrapping_mul(FNV_PRIME);
+        }
+        self
+    }
+
+    /// Fold a length-prefixed string: `write_str("ab").write_str("c")`
+    /// never collides with `write_str("a").write_str("bc")`.
+    pub fn write_str(&mut self, s: &str) -> &mut Self {
+        self.write_u64(s.len() as u64).write(s.as_bytes())
+    }
+
+    /// Fold a little-endian u64.
+    pub fn write_u64(&mut self, v: u64) -> &mut Self {
+        self.write(&v.to_le_bytes())
+    }
+
+    /// Fold an i64 (two's complement, little-endian).
+    pub fn write_i64(&mut self, v: i64) -> &mut Self {
+        self.write(&v.to_le_bytes())
+    }
+
+    pub fn finish(&self) -> u64 {
+        self.0
+    }
+}
+
+/// Counters describing a store's lifetime behaviour. All monotonic except
+/// `entries` (the current resident population).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct Stats {
+    /// Entries currently resident.
+    pub entries: usize,
+    /// `get`/`get_or_build` calls answered from a resident entry.
+    pub hits: u64,
+    /// Calls that had to build (no resident entry, no in-flight build).
+    pub misses: u64,
+    /// Calls that blocked on another thread's in-flight build of the same
+    /// key and received its result (the single-flight save).
+    pub waits: u64,
+    /// Entries removed by `invalidate` (including downstream dependents).
+    pub invalidations: u64,
+}
+
+impl Stats {
+    /// Fraction of lookups served without building, in `[0, 1]`.
+    pub fn hit_rate(&self) -> f64 {
+        let served = self.hits + self.waits;
+        let total = served + self.misses;
+        if total == 0 {
+            0.0
+        } else {
+            served as f64 / total as f64
+        }
+    }
+}
+
+enum Slot<V> {
+    /// Finished artifact.
+    Ready(V),
+    /// A thread is computing this entry; waiters block on the condvar.
+    Building,
+}
+
+struct Inner<V> {
+    slots: HashMap<Key, Slot<V>>,
+    /// Reverse dependency edges: `dependents[k]` lists the keys whose
+    /// artifacts were built *from* `k`'s artifact and must die with it.
+    dependents: HashMap<Key, Vec<Key>>,
+    stats: Stats,
+}
+
+/// Remove a `Building` slot if the builder unwinds, so waiters retry
+/// instead of deadlocking on an entry nobody is computing.
+struct BuildGuard<'a, V> {
+    store: &'a Store<V>,
+    key: Key,
+    armed: bool,
+}
+
+impl<V> Drop for BuildGuard<'_, V> {
+    fn drop(&mut self) {
+        if self.armed {
+            let mut inner = self.store.inner.lock().unwrap();
+            inner.slots.remove(&self.key);
+            drop(inner);
+            self.store.cv.notify_all();
+        }
+    }
+}
+
+/// Thread-safe content-addressed store with single-flight builds and
+/// dependency-edge invalidation. `V` is the artifact payload (in
+/// `commintd`, an enum over relocatable diagnostics, certificates and
+/// forms).
+pub struct Store<V> {
+    inner: Mutex<Inner<V>>,
+    cv: Condvar,
+}
+
+impl<V: Clone> Default for Store<V> {
+    fn default() -> Self {
+        Store::new()
+    }
+}
+
+impl<V: Clone> Store<V> {
+    pub fn new() -> Store<V> {
+        Store {
+            inner: Mutex::new(Inner {
+                slots: HashMap::new(),
+                dependents: HashMap::new(),
+                stats: Stats::default(),
+            }),
+            cv: Condvar::new(),
+        }
+    }
+
+    /// Look up a finished artifact, counting a hit or miss. Does not block
+    /// on in-flight builds (an entry mid-build reads as absent).
+    pub fn get(&self, key: Key) -> Option<V> {
+        let mut inner = self.inner.lock().unwrap();
+        match inner.slots.get(&key) {
+            Some(Slot::Ready(v)) => {
+                let v = v.clone();
+                inner.stats.hits += 1;
+                Some(v)
+            }
+            _ => {
+                inner.stats.misses += 1;
+                None
+            }
+        }
+    }
+
+    /// Insert a finished artifact directly (used when an artifact is
+    /// produced as a by-product of building another, or restored from the
+    /// disk certificate store after validation). Records `deps` edges.
+    pub fn insert(&self, key: Key, deps: &[Key], value: V) {
+        let mut inner = self.inner.lock().unwrap();
+        inner.slots.insert(key, Slot::Ready(value));
+        for &d in deps {
+            let row = inner.dependents.entry(d).or_default();
+            if !row.contains(&key) {
+                row.push(key);
+            }
+        }
+        inner.stats.entries = inner.slots.len();
+        drop(inner);
+        // A direct insert may land on a key someone is waiting for.
+        self.cv.notify_all();
+    }
+
+    /// Fetch the artifact for `key`, building it with `build` if absent.
+    /// Exactly one caller runs `build` per resident lifetime of the key;
+    /// concurrent callers block and share the result. `deps` names the
+    /// keys this artifact is derived from — invalidating any of them
+    /// removes this entry too.
+    pub fn get_or_build<F: FnOnce() -> V>(&self, key: Key, deps: &[Key], build: F) -> V {
+        {
+            let mut inner = self.inner.lock().unwrap();
+            let mut waited = false;
+            loop {
+                match inner.slots.get(&key) {
+                    Some(Slot::Ready(v)) => {
+                        let v = v.clone();
+                        // Each call counts exactly once: as a wait if it
+                        // blocked on another thread's build, else a hit.
+                        if waited {
+                            inner.stats.waits += 1;
+                        } else {
+                            inner.stats.hits += 1;
+                        }
+                        return v;
+                    }
+                    Some(Slot::Building) => {
+                        waited = true;
+                        inner = self.cv.wait(inner).unwrap();
+                    }
+                    None => {
+                        inner.slots.insert(key, Slot::Building);
+                        inner.stats.misses += 1;
+                        break;
+                    }
+                }
+            }
+        }
+        let mut guard = BuildGuard {
+            store: self,
+            key,
+            armed: true,
+        };
+        let value = build();
+        guard.armed = false;
+        drop(guard);
+        let mut inner = self.inner.lock().unwrap();
+        inner.slots.insert(key, Slot::Ready(value.clone()));
+        for &d in deps {
+            let row = inner.dependents.entry(d).or_default();
+            if !row.contains(&key) {
+                row.push(key);
+            }
+        }
+        inner.stats.entries = inner.slots.len();
+        drop(inner);
+        self.cv.notify_all();
+        value
+    }
+
+    /// Remove `key` and, transitively, every entry downstream of it along
+    /// the dependency edges. Returns the number of entries removed.
+    /// In-flight builds of removed keys finish and land (their inputs were
+    /// read before the invalidation; the entry is simply stale-keyed and
+    /// unreachable once the caller re-derives keys from the new content).
+    pub fn invalidate(&self, key: Key) -> usize {
+        let mut inner = self.inner.lock().unwrap();
+        let mut frontier = vec![key];
+        let mut removed = 0usize;
+        let mut visited = std::collections::HashSet::new();
+        while let Some(k) = frontier.pop() {
+            if !visited.insert(k) {
+                continue;
+            }
+            if matches!(inner.slots.remove(&k), Some(Slot::Ready(_))) {
+                removed += 1;
+            }
+            if let Some(down) = inner.dependents.remove(&k) {
+                frontier.extend(down);
+            }
+        }
+        inner.stats.invalidations += removed as u64;
+        inner.stats.entries = inner.slots.len();
+        removed
+    }
+
+    /// Drop every entry and edge; counters survive (they describe the
+    /// store's lifetime, not its population).
+    pub fn clear(&self) {
+        let mut inner = self.inner.lock().unwrap();
+        let n = inner
+            .slots
+            .values()
+            .filter(|s| matches!(s, Slot::Ready(_)))
+            .count();
+        inner.slots.clear();
+        inner.dependents.clear();
+        inner.stats.invalidations += n as u64;
+        inner.stats.entries = 0;
+    }
+
+    /// Snapshot the counters.
+    pub fn stats(&self) -> Stats {
+        self.inner.lock().unwrap().stats
+    }
+
+    /// Resident entry count per kind (for `stats` responses).
+    pub fn population(&self) -> Vec<(ArtifactKind, usize)> {
+        let inner = self.inner.lock().unwrap();
+        let mut by_kind: HashMap<ArtifactKind, usize> = HashMap::new();
+        for (k, slot) in &inner.slots {
+            if matches!(slot, Slot::Ready(_)) {
+                *by_kind.entry(k.kind).or_default() += 1;
+            }
+        }
+        let mut rows: Vec<_> = by_kind.into_iter().collect();
+        rows.sort();
+        rows
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+    use std::sync::Arc;
+
+    fn k(kind: ArtifactKind, hash: u64) -> Key {
+        Key::new(kind, hash)
+    }
+
+    #[test]
+    fn fnv_is_stable() {
+        // Reference vectors for FNV-1a 64-bit.
+        assert_eq!(fnv1a64(b""), 0xcbf2_9ce4_8422_2325);
+        assert_eq!(fnv1a64(b"a"), 0xaf63_dc4c_8601_ec8c);
+        let mut h = Fnv64::new();
+        h.write(b"a");
+        assert_eq!(h.finish(), fnv1a64(b"a"));
+        // Length prefixing separates field boundaries.
+        let ab_c = Fnv64::new().write_str("ab").write_str("c").finish();
+        let a_bc = Fnv64::new().write_str("a").write_str("bc").finish();
+        assert_ne!(ab_c, a_bc);
+    }
+
+    #[test]
+    fn build_once_then_hit() {
+        let store: Store<u32> = Store::new();
+        let key = k(ArtifactKind::Stripe, 7);
+        let mut built = 0;
+        let v = store.get_or_build(key, &[], || {
+            built += 1;
+            42
+        });
+        assert_eq!((v, built), (42, 1));
+        let v = store.get_or_build(key, &[], || {
+            built += 1;
+            99
+        });
+        assert_eq!((v, built), (42, 1), "second lookup must hit");
+        let s = store.stats();
+        assert_eq!((s.hits, s.misses, s.entries), (1, 1, 1));
+    }
+
+    #[test]
+    fn invalidate_cascades_along_edges() {
+        let store: Store<&'static str> = Store::new();
+        let stripe = k(ArtifactKind::Stripe, 1);
+        let sweep = k(ArtifactKind::Sweep, 2);
+        let cert = k(ArtifactKind::Cert, 3);
+        let other = k(ArtifactKind::Sweep, 4);
+        store.insert(stripe, &[], "stripe");
+        store.insert(sweep, &[stripe], "sweep");
+        store.insert(cert, &[sweep], "cert");
+        store.insert(other, &[], "other");
+        // Killing the stripe kills the sweep and the cert, not `other`.
+        assert_eq!(store.invalidate(stripe), 3);
+        assert!(store.get(sweep).is_none());
+        assert!(store.get(cert).is_none());
+        assert_eq!(store.get(other), Some("other"));
+        assert_eq!(store.stats().invalidations, 3);
+        // Idempotent.
+        assert_eq!(store.invalidate(stripe), 0);
+    }
+
+    #[test]
+    fn single_flight_under_contention() {
+        let store: Arc<Store<u64>> = Arc::new(Store::new());
+        let builds = Arc::new(AtomicUsize::new(0));
+        let key = k(ArtifactKind::Cert, 11);
+        let mut handles = Vec::new();
+        for _ in 0..8 {
+            let store = Arc::clone(&store);
+            let builds = Arc::clone(&builds);
+            handles.push(std::thread::spawn(move || {
+                store.get_or_build(key, &[], || {
+                    builds.fetch_add(1, Ordering::SeqCst);
+                    // Widen the race window so waiters actually queue.
+                    std::thread::sleep(std::time::Duration::from_millis(20));
+                    1234
+                })
+            }));
+        }
+        for h in handles {
+            assert_eq!(h.join().unwrap(), 1234);
+        }
+        assert_eq!(builds.load(Ordering::SeqCst), 1, "exactly one build");
+        let s = store.stats();
+        assert_eq!(s.misses, 1);
+        assert_eq!(s.hits + s.waits, 7);
+    }
+
+    #[test]
+    fn builder_panic_releases_waiters() {
+        let store: Arc<Store<u32>> = Arc::new(Store::new());
+        let key = k(ArtifactKind::Forms, 5);
+        let s2 = Arc::clone(&store);
+        let h = std::thread::spawn(move || {
+            let _ = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                s2.get_or_build(key, &[], || panic!("builder died"))
+            }));
+        });
+        h.join().unwrap();
+        // The slot must be free again: a fresh build succeeds.
+        let v = store.get_or_build(key, &[], || 7);
+        assert_eq!(v, 7);
+    }
+
+    #[test]
+    fn population_counts_by_kind() {
+        let store: Store<u8> = Store::new();
+        store.insert(k(ArtifactKind::Stripe, 1), &[], 0);
+        store.insert(k(ArtifactKind::Stripe, 2), &[], 0);
+        store.insert(k(ArtifactKind::Cert, 3), &[], 0);
+        let pop = store.population();
+        assert_eq!(
+            pop,
+            vec![(ArtifactKind::Stripe, 2), (ArtifactKind::Cert, 1)]
+        );
+    }
+}

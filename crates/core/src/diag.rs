@@ -632,14 +632,16 @@ pub fn lint_region_at(
         }
 
         // -- CI004: send/receive byte-size mismatch -------------------------
-        let count_at = |rank: usize| -> Option<i64> {
-            let env = EvalEnv {
-                rank: rank as i64,
-                nranks: nranks as i64,
-                vars: vars.into(),
-            };
+        // One reusable environment: only the rank varies per query.
+        let mut count_env = EvalEnv {
+            rank: 0,
+            nranks: nranks as i64,
+            vars: vars.into(),
+        };
+        let mut count_at = |rank: usize| -> Option<i64> {
+            count_env.rank = rank as i64;
             match &merged.count {
-                Some(c) => c.eval(&env).ok(),
+                Some(c) => c.eval(&count_env).ok(),
                 None => p2p.inferred_count().map(|c| c as i64),
             }
         };
@@ -777,28 +779,12 @@ pub fn lint_region_at(
                     verification: None,
                 });
             }
-            (Some(sw), Some(rw)) => {
-                let mut senders = Vec::new();
-                let mut receivers = Vec::new();
-                let mut unknown = false;
-                for r in 0..nranks {
-                    let env = EvalEnv {
-                        rank: r as i64,
-                        nranks: nranks as i64,
-                        vars: vars.into(),
-                    };
-                    match sw.eval(&env) {
-                        Ok(true) => senders.push(r),
-                        Ok(false) => {}
-                        Err(_) => unknown = true,
-                    }
-                    match rw.eval(&env) {
-                        Ok(true) => receivers.push(r),
-                        Ok(false) => {}
-                        Err(_) => unknown = true,
-                    }
-                }
-                if !unknown && senders.is_empty() != receivers.is_empty() {
+            (Some(_), Some(_)) => {
+                // The graph resolution already evaluated both predicates
+                // at every rank; consume its record instead of re-scanning.
+                let senders = &g.senders;
+                let receivers = &g.receivers;
+                if !g.when_unknown && senders.is_empty() != receivers.is_empty() {
                     let (what, who) = if receivers.is_empty() {
                         (
                             "`sendwhen` selects sender(s) but `receivewhen` selects no receiver",

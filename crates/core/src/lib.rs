@@ -54,6 +54,7 @@
 
 pub mod analysis;
 pub mod buffer;
+pub mod cas;
 pub mod clause;
 pub mod coll;
 pub mod diag;

@@ -150,6 +150,21 @@ pub fn lint_races(
     vars: &HashMap<String, i64>,
 ) -> Vec<Diag> {
     let mut out = Vec::new();
+    // Every race code needs at least one one-sided site to anchor on
+    // (two-sided views only ever appear as the read side of a one-sided
+    // conflict), so a region whose merged targets are all two-sided can
+    // skip the per-rank graph resolution entirely. The target clause is
+    // a plain enum — this costs two Option reads per site.
+    if !spec.body.iter().any(|p2p| {
+        one_sided(
+            p2p.clauses
+                .target
+                .or(spec.clauses.target)
+                .unwrap_or_default(),
+        )
+    }) {
+        return out;
+    }
     let views = site_views(spec, nranks, vars);
 
     // -- CI009: overlapping concurrent puts to the same target window -------
